@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared setup for the per-table/per-figure benchmark harnesses.
+ *
+ * Every harness prints the same rows the corresponding paper table
+ * or figure reports. Sizes can be scaled via environment variables:
+ *   SPECINFER_BENCH_PROMPTS  prompts per dataset cell (default 8)
+ *   SPECINFER_BENCH_TOKENS   generated tokens per prompt (default 32)
+ */
+
+#ifndef SPECINFER_BENCH_BENCH_COMMON_H
+#define SPECINFER_BENCH_BENCH_COMMON_H
+
+#include <cstdlib>
+#include <string>
+
+#include "core/spec_engine.h"
+#include "model/model_factory.h"
+#include "workload/datasets.h"
+#include "workload/trace.h"
+
+namespace specinfer {
+namespace bench {
+
+/** Read a positive integer from the environment, with default. */
+inline size_t
+envSize(const char *name, size_t def)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr)
+        return def;
+    long parsed = std::atol(value);
+    return parsed > 0 ? static_cast<size_t>(parsed) : def;
+}
+
+inline size_t
+benchPrompts()
+{
+    return envSize("SPECINFER_BENCH_PROMPTS", 8);
+}
+
+inline size_t
+benchTokens()
+{
+    return envSize("SPECINFER_BENCH_TOKENS", 32);
+}
+
+/** An LLM and its early-exit SSM, as used across all benches. */
+struct BenchModels
+{
+    model::Transformer llm;
+    model::Transformer ssm;
+};
+
+/** Build the default evaluation pair (DESIGN.md §2 substitution). */
+inline BenchModels
+makeBenchModels(const std::string &preset = "llama-7b-sim",
+                size_t ssm_layers = 2)
+{
+    model::Transformer llm = model::makeLlm(model::llmPreset(preset));
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, ssm_layers);
+    return {std::move(llm), std::move(ssm)};
+}
+
+/** Engine config used by the end-to-end benches. */
+inline core::EngineConfig
+benchEngineConfig(bool stochastic, core::ExpansionConfig expansion)
+{
+    core::EngineConfig cfg =
+        stochastic ? core::EngineConfig::stochasticDefault(1.0f)
+                   : core::EngineConfig::greedyDefault();
+    cfg.spec.expansion = std::move(expansion);
+    cfg.maxNewTokens = benchTokens();
+    cfg.stopAtEos = false; // fixed-length generation, as in §6.2
+    return cfg;
+}
+
+} // namespace bench
+} // namespace specinfer
+
+#endif // SPECINFER_BENCH_BENCH_COMMON_H

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Reproduces paper Figure 11: tree-based parallel decoding vs. the
+ * sequence-based decoding mechanism of existing systems.
+ *
+ * Two complementary measurements:
+ *  1. Real kernel cost on this machine: wall-clock time to decode
+ *     the same speculated token trees through (a) one fused
+ *     tree-attention pass and (b) one pass per root-to-leaf
+ *     sequence with cloned KV caches. This measures the actual
+ *     redundant computation the topology-aware causal mask removes.
+ *  2. The GPU-shape projection: feeding the measured redundancy
+ *     (token-forwards and kernel launches) through the roofline
+ *     model, which reproduces the paper's batch-size dependence
+ *     (on-par at small BS where bandwidth hides extra compute, up
+ *     to ~1.8x at large BS).
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "model/sequence_parallel.h"
+#include "simulator/system_model.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace specinfer;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::BenchModels models = bench::makeBenchModels();
+    const model::Transformer &llm = models.llm;
+    const size_t batch_sizes[] = {1, 2, 4, 8, 16};
+    const size_t prefix_len = 64;
+    const size_t reps = bench::envSize("SPECINFER_BENCH_REPS", 4);
+
+    std::printf("== Figure 11: tree-based vs sequence-based parallel "
+                "decoding ==\n");
+
+    // Build one realistic speculated tree per potential request via
+    // the actual speculator (paper expansion config).
+    core::SpeculatorConfig spec_cfg;
+    spec_cfg.expansion = core::ExpansionConfig::paperDefault();
+    spec_cfg.mode = core::SpeculationMode::TopK;
+    spec_cfg.ssmSampling.temperature = 1.0f;
+    core::Speculator speculator({&models.ssm}, spec_cfg);
+
+    workload::PromptDataset dataset = workload::PromptDataset::named(
+        "Alpaca", llm.config().vocabSize);
+    util::Rng rng(11);
+
+    const size_t max_bs = 16;
+    std::vector<model::KvCache> caches;
+    std::vector<model::DecodeChunk> chunks;
+    double tree_tokens = 0.0;
+    model::SequenceParallelStats redundancy_total;
+    for (size_t r = 0; r < max_bs; ++r) {
+        // Per-request prefix: dataset prompt padded to prefix_len.
+        std::vector<int> prefix = dataset.prompt(r);
+        while (prefix.size() < prefix_len)
+            prefix.push_back(prefix[prefix.size() % 7] %
+                             (static_cast<int>(
+                                  llm.config().vocabSize) - 1) + 1);
+        prefix.resize(prefix_len);
+
+        model::KvCache cache = llm.makeCache();
+        llm.forward(model::DecodeChunk::sequence(
+                        {prefix.begin(), prefix.end() - 1}),
+                    cache);
+        auto ssm_caches = speculator.makeCaches(llm.config().maxSeqLen);
+        core::TokenTree tree =
+            speculator.speculate(prefix, ssm_caches, rng);
+        chunks.push_back(tree.toChunk());
+        tree_tokens += static_cast<double>(tree.size());
+        caches.push_back(std::move(cache));
+    }
+
+    util::Table table({"BS", "tree ms/iter", "seq ms/iter",
+                       "measured speedup", "kernels tree", "kernels seq",
+                       "token-fwds tree", "token-fwds seq"});
+    std::vector<double> redundancy_ratio(5, 1.0);
+    std::vector<double> seq_kernels(5, 1.0);
+    for (size_t b = 0; b < 5; ++b) {
+        const size_t bs = batch_sizes[b];
+        // Tree-based: one fused pass per request.
+        double tree_s = 0.0, seq_s = 0.0;
+        size_t tree_fwds = 0, seq_fwds = 0, seq_kern = 0;
+        for (size_t rep = 0; rep < reps; ++rep) {
+            Clock::time_point t0 = Clock::now();
+            for (size_t r = 0; r < bs; ++r) {
+                size_t base = caches[r].length();
+                llm.forward(chunks[r], caches[r]);
+                caches[r].truncate(base);
+            }
+            tree_s += secondsSince(t0);
+            t0 = Clock::now();
+            for (size_t r = 0; r < bs; ++r) {
+                size_t base = caches[r].length();
+                model::SequenceParallelStats stats;
+                model::sequenceParallelDecode(llm, chunks[r],
+                                              caches[r], &stats);
+                caches[r].truncate(base);
+                if (rep == 0) {
+                    seq_fwds += stats.tokensComputed;
+                    seq_kern += stats.sequences;
+                    tree_fwds += chunks[r].size();
+                }
+            }
+            seq_s += secondsSince(t0);
+        }
+        double tree_ms = tree_s / static_cast<double>(reps) * 1e3;
+        double seq_ms = seq_s / static_cast<double>(reps) * 1e3;
+        redundancy_ratio[b] = static_cast<double>(seq_fwds) /
+                              static_cast<double>(tree_fwds);
+        seq_kernels[b] = static_cast<double>(seq_kern) /
+                         static_cast<double>(bs);
+        table.addRow({std::to_string(bs),
+                      util::formatDouble(tree_ms, 2),
+                      util::formatDouble(seq_ms, 2),
+                      util::formatDouble(seq_ms / tree_ms, 2) + "x",
+                      std::to_string(bs),
+                      std::to_string(seq_kern),
+                      std::to_string(tree_fwds),
+                      std::to_string(seq_fwds)});
+    }
+    std::printf("-- measured CPU kernel cost (per batch iteration; "
+                "CPU executes serially, so the redundancy shows at "
+                "every batch size) --\n");
+    std::printf("%s", table.toAscii().c_str());
+
+    // GPU-shape projection through the roofline model.
+    std::printf("\n-- roofline projection on one A10 (per-token "
+                "latency, ms): bandwidth hides redundant compute at "
+                "small BS; divergence appears as BS grows --\n");
+    simulator::GpuPerfModel perf(
+        simulator::ClusterSpec::paperTestbed(1));
+    const simulator::LlmSpec spec =
+        simulator::LlmSpec::preset("llama-7b");
+    const double tokens_per_req = tree_tokens / max_bs;
+    util::Table gpu({"BS", "tree-based", "sequence-based",
+                     "speedup"});
+    for (size_t b = 0; b < 5; ++b) {
+        simulator::IterationWorkload tree_work;
+        tree_work.requests = batch_sizes[b];
+        tree_work.tokensPerRequest = tokens_per_req;
+        tree_work.contextLen = 96.0;
+        double tree_t = perf.iterationTime(spec, {1, 1}, tree_work);
+
+        simulator::IterationWorkload seq_work = tree_work;
+        seq_work.tokensPerRequest =
+            tokens_per_req * redundancy_ratio[b];
+        double seq_t = perf.iterationTime(spec, {1, 1}, seq_work);
+        // One kernel per sequence per request instead of one fused
+        // kernel per request: the extra launches serialize on the
+        // GPU command queue.
+        seq_t += (seq_kernels[b] - 1.0) *
+                 static_cast<double>(batch_sizes[b]) *
+                 static_cast<double>(spec.nLayers) *
+                 perf.cluster().gpu.perLayerOverheadUs * 1.0e-6;
+
+        gpu.addRow({std::to_string(batch_sizes[b]),
+                    util::formatDouble(tree_t * 1e3, 2),
+                    util::formatDouble(seq_t * 1e3, 2),
+                    util::formatDouble(seq_t / tree_t, 2) + "x"});
+    }
+    std::printf("%s", gpu.toAscii().c_str());
+    std::printf("\nPaper reference: on-par for small batch sizes, "
+                "up to 1.8x faster for large batch sizes.\n");
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Reproduces paper Figure 7: end-to-end per-token latency of
+ * distributed LLM inference for vLLM, HuggingFace TGI,
+ * FasterTransformer, and SpecInfer in incremental / sequence-based /
+ * tree-based modes, across three model/cluster setups and batch
+ * sizes 1-16.
+ *
+ * The speculation statistics driving the speculative systems are
+ * measured from the real CPU engine (paper expansion config
+ * <1,1,3,1,1,1,1,1>); the hardware latencies come from the roofline
+ * cluster model of the A10 testbed (see DESIGN.md §2).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "simulator/system_model.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace specinfer;
+
+struct Setup
+{
+    const char *label;
+    const char *llmSpec;    // real-model spec for the perf model
+    const char *simPreset;  // CPU-scale model for real traces
+    size_t ssmLayers;
+    const char *ssmSpec;
+    size_t nodes;
+    simulator::ParallelismPlan plan;
+};
+
+simulator::SpeculationProfile
+measureProfile(const bench::BenchModels &models,
+               const core::ExpansionConfig &expansion)
+{
+    core::EngineConfig cfg = bench::benchEngineConfig(false,
+                                                      expansion);
+    core::SpecEngine engine(&models.llm, {&models.ssm}, cfg);
+    workload::PromptDataset dataset = workload::PromptDataset::named(
+        "Alpaca", models.llm.config().vocabSize);
+    workload::RunConfig run;
+    run.prompts = bench::benchPrompts();
+    workload::TraceAggregator agg =
+        workload::runEngineOnDataset(engine, dataset, run);
+    return agg.profile(expansion);
+}
+
+} // namespace
+
+int
+main()
+{
+    const Setup setups[] = {
+        {"LLaMA-7B (1 GPU/node, 1 node)", "llama-7b", "llama-7b-sim",
+         2, "llama-68m", 1, {1, 1}},
+        {"OPT-30B (4 GPUs/node, 1 node)", "opt-30b", "opt-30b-sim",
+         3, "opt-125m", 1, {4, 1}},
+        {"LLaMA-65B (4 GPUs/node, 2 nodes)", "llama-65b",
+         "llama-65b-sim", 2, "llama-68m", 2, {4, 2}},
+    };
+    const size_t batch_sizes[] = {1, 2, 4, 8, 16};
+
+    std::printf("== Figure 7: distributed inference per-token "
+                "latency (ms), roofline model of the A10 testbed "
+                "driven by measured speculation traces ==\n");
+
+    for (const Setup &setup : setups) {
+        bench::BenchModels models =
+            bench::makeBenchModels(setup.simPreset, setup.ssmLayers);
+        simulator::SpeculationProfile tree_profile = measureProfile(
+            models, core::ExpansionConfig::paperDefault());
+        simulator::SpeculationProfile seq_profile = measureProfile(
+            models, core::ExpansionConfig::uniform(1, 8));
+
+        simulator::SystemModel sim{simulator::GpuPerfModel(
+            simulator::ClusterSpec::paperTestbed(setup.nodes))};
+
+        std::printf("\n-- %s --\n", setup.label);
+        std::printf("   measured traces: tree verifies %.2f "
+                    "tokens/step (LLM decodes %.1f tokens/step), "
+                    "sequence verifies %.2f tokens/step\n",
+                    tree_profile.avgVerifiedPerIter,
+                    tree_profile.avgLlmTokensPerIter,
+                    seq_profile.avgVerifiedPerIter);
+
+        util::Table table({"system", "BS=1", "BS=2", "BS=4", "BS=8",
+                           "BS=16"});
+        const bool multinode = setup.nodes > 1;
+        double tree_lat[5] = {0}, best_incr[5] = {0};
+        for (const simulator::NamedSystem &system :
+             simulator::distributedSystems()) {
+            const bool unsupported =
+                multinode && (system.name == "vLLM" ||
+                              system.name == "HuggingFace TGI");
+            std::vector<std::string> row = {system.name};
+            for (size_t b = 0; b < 5; ++b) {
+                if (unsupported) {
+                    // vLLM / TGI cannot serve across nodes (no
+                    // pipeline parallelism), per §6.2.
+                    row.push_back("n/a");
+                    continue;
+                }
+                simulator::ServingScenario scenario;
+                scenario.llm =
+                    simulator::LlmSpec::preset(setup.llmSpec);
+                scenario.ssm =
+                    simulator::LlmSpec::preset(setup.ssmSpec);
+                scenario.cluster =
+                    simulator::ClusterSpec::paperTestbed(setup.nodes);
+                scenario.plan = setup.plan;
+                scenario.batchSize = batch_sizes[b];
+                scenario.contextLen = 96.0;
+                scenario.systemEfficiency = system.systemEfficiency;
+                scenario.speculative = system.speculative;
+                const simulator::SpeculationProfile &profile =
+                    !system.speculative
+                        ? simulator::SpeculationProfile::incremental()
+                        : (system.treeSpeculation ? tree_profile
+                                                  : seq_profile);
+                double latency =
+                    sim.perTokenLatency(scenario, profile) * 1.0e3;
+                row.push_back(util::formatDouble(latency, 2));
+                if (system.treeSpeculation)
+                    tree_lat[b] = latency;
+                else if (!system.speculative &&
+                         (best_incr[b] == 0.0 ||
+                          latency < best_incr[b]))
+                    best_incr[b] = latency;
+            }
+            table.addRow(std::move(row));
+        }
+        std::printf("%s", table.toAscii().c_str());
+        std::printf("speedup of tree-based SpecInfer over best "
+                    "incremental baseline:");
+        for (size_t b = 0; b < 5; ++b)
+            std::printf(" BS=%zu: %.2fx", batch_sizes[b],
+                        best_incr[b] / tree_lat[b]);
+        std::printf("\n");
+    }
+    std::printf("\nPaper reference: SpecInfer outperforms "
+                "incremental systems by 1.5-2.5x (single node) and "
+                "2.4-2.8x (multi-node); the advantage shrinks as "
+                "batch size grows.\n");
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the kernels behind tree-based
+ * parallel decoding: the linear-layer matvec, softmax, RoPE, fused
+ * tree-attention forward vs. per-sequence decoding, and KV-cache
+ * compaction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "model/model_factory.h"
+#include "model/sequence_parallel.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace specinfer;
+
+void
+BM_MatvecTransposed(benchmark::State &state)
+{
+    const size_t dim = static_cast<size_t>(state.range(0));
+    tensor::Tensor w(dim, dim);
+    std::vector<float> x(dim, 0.5f), out(dim);
+    util::Rng rng(1);
+    for (size_t i = 0; i < w.size(); ++i)
+        w.data()[i] = static_cast<float>(rng.normal());
+    for (auto _ : state) {
+        tensor::matvecTransposed(x.data(), w, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(dim * dim));
+}
+BENCHMARK(BM_MatvecTransposed)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_SoftmaxRow(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    std::vector<float> row(n, 1.0f);
+    for (auto _ : state) {
+        tensor::softmaxRow(row.data(), n);
+        benchmark::DoNotOptimize(row.data());
+    }
+}
+BENCHMARK(BM_SoftmaxRow)->Arg(512)->Arg(2048);
+
+void
+BM_RopeRow(benchmark::State &state)
+{
+    std::vector<float> row(64, 0.3f);
+    size_t pos = 0;
+    for (auto _ : state) {
+        tensor::ropeRow(row.data(), 4, 16, pos++);
+        benchmark::DoNotOptimize(row.data());
+    }
+}
+BENCHMARK(BM_RopeRow);
+
+model::Transformer &
+benchLlm()
+{
+    static model::Transformer llm =
+        model::makeLlm(model::llmPreset("llama-7b-sim"));
+    return llm;
+}
+
+/** Balanced binary token tree chunk of the given size. */
+model::DecodeChunk
+treeChunk(size_t nodes)
+{
+    model::DecodeChunk chunk;
+    for (size_t i = 0; i < nodes; ++i) {
+        chunk.tokens.push_back(static_cast<int>(i % 50 + 1));
+        chunk.parents.push_back(
+            i == 0 ? -1 : static_cast<int32_t>((i - 1) / 2));
+    }
+    return chunk;
+}
+
+void
+BM_TreeParallelDecode(benchmark::State &state)
+{
+    model::Transformer &llm = benchLlm();
+    model::KvCache cache = llm.makeCache();
+    util::Rng rng(3);
+    std::vector<int> prefix;
+    for (int i = 0; i < 64; ++i)
+        prefix.push_back(static_cast<int>(
+            rng.uniformInt(int64_t{1}, int64_t{400})));
+    llm.forward(model::DecodeChunk::sequence(prefix), cache);
+    model::DecodeChunk chunk =
+        treeChunk(static_cast<size_t>(state.range(0)));
+    const size_t base = cache.length();
+    for (auto _ : state) {
+        tensor::Tensor logits = llm.forward(chunk, cache);
+        benchmark::DoNotOptimize(logits.data());
+        cache.truncate(base);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_TreeParallelDecode)->Arg(7)->Arg(15);
+
+void
+BM_SequenceParallelDecode(benchmark::State &state)
+{
+    model::Transformer &llm = benchLlm();
+    model::KvCache cache = llm.makeCache();
+    util::Rng rng(3);
+    std::vector<int> prefix;
+    for (int i = 0; i < 64; ++i)
+        prefix.push_back(static_cast<int>(
+            rng.uniformInt(int64_t{1}, int64_t{400})));
+    llm.forward(model::DecodeChunk::sequence(prefix), cache);
+    model::DecodeChunk chunk =
+        treeChunk(static_cast<size_t>(state.range(0)));
+    const size_t base = cache.length();
+    for (auto _ : state) {
+        tensor::Tensor logits =
+            model::sequenceParallelDecode(llm, chunk, cache);
+        benchmark::DoNotOptimize(logits.data());
+        cache.truncate(base);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_SequenceParallelDecode)->Arg(7)->Arg(15);
+
+void
+BM_KvCacheKeepRows(benchmark::State &state)
+{
+    model::KvCache cache(8, 64, 256);
+    cache.allocate(200);
+    std::vector<size_t> keep;
+    for (size_t s = 0; s < 180; ++s)
+        keep.push_back(s);
+    keep.push_back(190);
+    keep.push_back(195);
+    for (auto _ : state) {
+        model::KvCache scratch = cache.clone();
+        scratch.keepRows(keep);
+        benchmark::DoNotOptimize(scratch.length());
+    }
+}
+BENCHMARK(BM_KvCacheKeepRows);
+
+} // namespace
+
+BENCHMARK_MAIN();

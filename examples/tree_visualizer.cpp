@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Token-tree anatomy: build a speculated token tree step by step,
+ * print its structure, decode it with tree attention, and show how
+ * greedy verification walks it — making the core data structures of
+ * the paper (Definitions 3.1, 3.2, 4.1) visible.
+ *
+ * Run: ./examples/tree_visualizer
+ */
+
+#include <cstdio>
+
+#include "core/speculator.h"
+#include "core/verifier.h"
+#include "model/model_factory.h"
+#include "workload/datasets.h"
+
+int
+main()
+{
+    using namespace specinfer;
+
+    model::Transformer llm =
+        model::makeLlm(model::llmPreset("llama-7b-sim"));
+    model::Transformer ssm_a = model::makeEarlyExitSsm(llm, 2);
+    model::Transformer ssm_b =
+        model::makeEarlyExitSsm(llm, 2, 0.15f, 42);
+
+    workload::PromptDataset dataset = workload::PromptDataset::named(
+        "WebQA", llm.config().vocabSize);
+    std::vector<int> prompt = dataset.prompt(3);
+
+    // --- Expansion-based construction from a single SSM.
+    core::SpeculatorConfig cfg;
+    cfg.expansion = {{2, 2, 1}};
+    cfg.mode = core::SpeculationMode::TopK;
+    cfg.ssmSampling.temperature = 1.0f;
+    core::Speculator single({&ssm_a}, cfg);
+    auto caches = single.makeCaches(llm.config().maxSeqLen);
+    util::Rng rng(7);
+    core::TokenTree tree = single.speculate(prompt, caches, rng);
+    std::printf("expansion-based token tree from %s, config %s:\n%s\n",
+                ssm_a.config().name.c_str(),
+                cfg.expansion.toString().c_str(),
+                tree.toAscii().c_str());
+
+    // --- Merge-based construction across two diverse SSMs
+    //     (Definition 3.2).
+    core::Speculator pool({&ssm_a, &ssm_b}, cfg);
+    auto pool_caches = pool.makeCaches(llm.config().maxSeqLen);
+    core::TokenTree merged = pool.speculate(prompt, pool_caches, rng);
+    std::printf("merged token tree from 2 SSMs (%zu nodes vs %zu "
+                "from one SSM):\n%s\n",
+                merged.size(), tree.size(), merged.toAscii().c_str());
+
+    // --- Tree-based parallel decoding + greedy verification.
+    model::KvCache cache = llm.makeCache();
+    if (prompt.size() > 1)
+        llm.forward(model::DecodeChunk::sequence(
+                        {prompt.begin(), prompt.end() - 1}),
+                    cache);
+    tensor::Tensor logits = llm.forward(merged.toChunk(), cache);
+
+    model::SamplingParams greedy;
+    greedy.temperature = 0.0f;
+    core::Verifier verifier(core::VerifyMode::Greedy, greedy);
+    core::VerifyResult verdict = verifier.verify(merged, logits, rng);
+
+    std::printf("greedy verification walk:\n");
+    core::NodeId u = core::TokenTree::kRoot;
+    for (core::NodeId v : verdict.acceptedNodes) {
+        std::printf("  node %d (t%d) -> accepted child node %d "
+                    "(t%d)\n",
+                    u, merged.node(u).token, v,
+                    merged.node(v).token);
+        u = v;
+    }
+    std::printf("  bonus token from the LLM at node %d: t%d\n", u,
+                verdict.bonusToken);
+    std::printf("verified %zu token(s) in one LLM decoding step\n",
+                verdict.tokens.size());
+    return 0;
+}

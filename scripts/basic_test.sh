@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Basic functionality test, mirroring the paper artifact's
+# basic_test.sh (appendix A.5): exercises incremental decoding,
+# speculative inference (greedy + stochastic), and the quickstart's
+# losslessness check. Prints "Test passed!" on success.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD_DIR:-build}
+
+echo "-- quickstart (losslessness check)"
+"$BUILD/examples/quickstart" > /dev/null
+
+echo "-- incremental decoding"
+"$BUILD/tools/incr_decoding" --num-prompts 2 --max-tokens 16 \
+    > /dev/null
+
+echo "-- speculative inference (greedy)"
+"$BUILD/tools/spec_infer" --num-prompts 2 --max-tokens 16 \
+    > /dev/null
+
+echo "-- speculative inference (stochastic)"
+"$BUILD/tools/spec_infer" --num-prompts 1 --max-tokens 16 \
+    --temperature 0.8 > /dev/null
+
+echo "Test passed!"

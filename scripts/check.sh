@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full verification sweep: configure, build, run all tests, run all
+# benchmark harnesses. Mirrors what CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+    echo "=== $b ==="
+    "$b"
+    echo
+done

@@ -1,0 +1,131 @@
+#include "core/boost_tuning.h"
+
+#include <algorithm>
+
+#include "model/sampler.h"
+#include "util/logging.h"
+
+namespace specinfer {
+namespace core {
+
+std::vector<BoostSample>
+buildBoostCorpus(const model::Transformer &llm,
+                 const std::vector<std::vector<int>> &prompts,
+                 size_t tokens_per_prompt)
+{
+    SPECINFER_CHECK(tokens_per_prompt > 0, "empty corpus requested");
+    std::vector<BoostSample> corpus;
+    corpus.reserve(prompts.size() * tokens_per_prompt);
+    for (const std::vector<int> &prompt : prompts) {
+        SPECINFER_CHECK(!prompt.empty(), "empty prompt in corpus");
+        model::KvCache cache = llm.makeCache();
+        tensor::Tensor logits = llm.forward(
+            model::DecodeChunk::sequence(prompt), cache);
+        std::vector<int> context = prompt;
+        const float *row = logits.row(prompt.size() - 1);
+        for (size_t g = 0; g < tokens_per_prompt; ++g) {
+            int token =
+                model::greedyToken(row, llm.config().vocabSize);
+            corpus.push_back({context, token});
+            if (context.size() + 2 >= llm.config().maxSeqLen)
+                break;
+            context.push_back(token);
+            logits = llm.forward(model::DecodeChunk::single(token),
+                                 cache);
+            row = logits.row(0);
+        }
+    }
+    return corpus;
+}
+
+std::vector<std::vector<bool>>
+agreementMatrix(
+    const std::vector<const model::Transformer *> &candidates,
+    const std::vector<BoostSample> &corpus)
+{
+    SPECINFER_CHECK(!candidates.empty(), "no candidate SSMs");
+    std::vector<std::vector<bool>> agrees(
+        candidates.size(), std::vector<bool>(corpus.size(), false));
+    for (size_t c = 0; c < candidates.size(); ++c) {
+        const model::Transformer &ssm = *candidates[c];
+        for (size_t s = 0; s < corpus.size(); ++s) {
+            // Contexts grow by one token between consecutive
+            // samples of the same prompt, but correctness over a
+            // mixed corpus is simpler with fresh caches; corpora
+            // are small (selection is offline).
+            model::KvCache cache = ssm.makeCache();
+            tensor::Tensor logits = ssm.forward(
+                model::DecodeChunk::sequence(corpus[s].context),
+                cache);
+            int token = model::greedyToken(
+                logits.row(corpus[s].context.size() - 1),
+                ssm.config().vocabSize);
+            agrees[c][s] = token == corpus[s].llmToken;
+        }
+    }
+    return agrees;
+}
+
+BoostResult
+boostSelect(const std::vector<std::vector<bool>> &agrees,
+            const BoostConfig &cfg)
+{
+    SPECINFER_CHECK(!agrees.empty(), "no candidates to select from");
+    SPECINFER_CHECK(cfg.poolSize >= 1, "pool must hold >= 1 SSM");
+    const size_t n_samples = agrees[0].size();
+    SPECINFER_CHECK(n_samples > 0, "empty corpus");
+    for (const std::vector<bool> &row : agrees)
+        SPECINFER_CHECK(row.size() == n_samples,
+                        "ragged agreement matrix");
+
+    BoostResult result;
+    // Single-candidate baseline for the ablation report.
+    size_t best_single = 0;
+    for (const std::vector<bool> &row : agrees) {
+        size_t hits = static_cast<size_t>(
+            std::count(row.begin(), row.end(), true));
+        best_single = std::max(best_single, hits);
+    }
+    result.bestSingleCoverage =
+        static_cast<double>(best_single) /
+        static_cast<double>(n_samples);
+
+    std::vector<bool> covered(n_samples, false);
+    std::vector<bool> used(agrees.size(), false);
+    const size_t rounds = std::min(cfg.poolSize, agrees.size());
+    for (size_t round = 0; round < rounds; ++round) {
+        size_t best = agrees.size();
+        size_t best_gain = 0;
+        for (size_t c = 0; c < agrees.size(); ++c) {
+            if (used[c])
+                continue;
+            size_t gain = 0;
+            for (size_t s = 0; s < n_samples; ++s) {
+                if (!agrees[c][s])
+                    continue;
+                if (cfg.filterCovered && covered[s])
+                    continue; // marked sample: filtered out
+                ++gain;
+            }
+            if (best == agrees.size() || gain > best_gain) {
+                best = c;
+                best_gain = gain;
+            }
+        }
+        SPECINFER_CHECK(best < agrees.size(), "selection failed");
+        used[best] = true;
+        result.selected.push_back(best);
+        for (size_t s = 0; s < n_samples; ++s)
+            if (agrees[best][s])
+                covered[s] = true;
+    }
+
+    size_t total_covered = static_cast<size_t>(
+        std::count(covered.begin(), covered.end(), true));
+    result.aggregateCoverage = static_cast<double>(total_covered) /
+                               static_cast<double>(n_samples);
+    return result;
+}
+
+} // namespace core
+} // namespace specinfer

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Collective boost-tuning of an SSM pool (paper §3, merge-based
+ * token tree construction).
+ *
+ * The paper aligns a pool of SSMs with the LLM by adaptive boosting:
+ * fine-tune one SSM, mark the corpus samples where it already agrees
+ * with the LLM, then fine-tune the next SSM on the remaining
+ * samples, and so on — producing a pool whose *aggregate* output
+ * covers the LLM well. With no gradient training available here, the
+ * "fine-tune one SSM" step is replaced by *selecting* the candidate
+ * SSM (from a family of early-exit depths and head-noise variants)
+ * that agrees with the LLM on the largest number of still-uncovered
+ * samples; the mark-and-filter boosting loop is implemented
+ * faithfully.
+ */
+
+#ifndef SPECINFER_CORE_BOOST_TUNING_H
+#define SPECINFER_CORE_BOOST_TUNING_H
+
+#include <cstddef>
+#include <vector>
+
+#include "model/transformer.h"
+#include "util/rng.h"
+
+namespace specinfer {
+namespace core {
+
+/** One next-token prediction task: a context and the LLM's choice. */
+struct BoostSample
+{
+    std::vector<int> context;
+    int llmToken;
+};
+
+/** Configuration of the boosting loop. */
+struct BoostConfig
+{
+    /** Number of SSMs to place in the pool. */
+    size_t poolSize = 2;
+
+    /** Samples already covered are removed before scoring the next
+     *  SSM (the paper's mark-and-filter step). */
+    bool filterCovered = true;
+};
+
+/** Outcome of boost-tuning. */
+struct BoostResult
+{
+    /** Indices into the candidate vector, in selection order. */
+    std::vector<size_t> selected;
+
+    /** Fraction of corpus samples covered by the aggregate pool
+     *  (some candidate agrees with the LLM). */
+    double aggregateCoverage = 0.0;
+
+    /** Coverage of the single best candidate alone. */
+    double bestSingleCoverage = 0.0;
+};
+
+/**
+ * Build a next-token corpus by decoding dataset-style prompts with
+ * the LLM (greedy), emitting one BoostSample per decoding position.
+ *
+ * @param llm The target model.
+ * @param prompts Prompt set (e.g. from workload::PromptDataset).
+ * @param tokens_per_prompt Positions sampled per prompt.
+ */
+std::vector<BoostSample>
+buildBoostCorpus(const model::Transformer &llm,
+                 const std::vector<std::vector<int>> &prompts,
+                 size_t tokens_per_prompt);
+
+/**
+ * Per-candidate agreement bitmap: agrees[c][s] is true when
+ * candidate c's greedy next token matches the LLM's on sample s.
+ */
+std::vector<std::vector<bool>>
+agreementMatrix(const std::vector<const model::Transformer *> &candidates,
+                const std::vector<BoostSample> &corpus);
+
+/**
+ * The boosting loop: greedily select cfg.poolSize candidates, each
+ * chosen to maximize agreement on the samples not yet covered by
+ * previously selected SSMs.
+ */
+BoostResult boostSelect(const std::vector<std::vector<bool>> &agrees,
+                        const BoostConfig &cfg);
+
+} // namespace core
+} // namespace specinfer
+
+#endif // SPECINFER_CORE_BOOST_TUNING_H

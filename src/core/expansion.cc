@@ -1,0 +1,74 @@
+#include "core/expansion.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace core {
+
+size_t
+ExpansionConfig::maxNodes() const
+{
+    size_t total = 0;
+    size_t frontier = 1;
+    for (size_t k : widths) {
+        frontier *= k;
+        total += frontier;
+    }
+    return total;
+}
+
+ExpansionConfig
+ExpansionConfig::paperDefault()
+{
+    return {{1, 1, 3, 1, 1, 1, 1, 1}};
+}
+
+ExpansionConfig
+ExpansionConfig::widthAtThird(size_t k, size_t len)
+{
+    SPECINFER_CHECK(len >= 3, "widthAtThird needs at least 3 steps");
+    ExpansionConfig cfg;
+    cfg.widths.assign(len, 1);
+    cfg.widths[2] = k;
+    return cfg;
+}
+
+ExpansionConfig
+ExpansionConfig::uniform(size_t k, size_t len)
+{
+    ExpansionConfig cfg;
+    cfg.widths.assign(len, k);
+    return cfg;
+}
+
+ExpansionConfig
+ExpansionConfig::none()
+{
+    return {};
+}
+
+std::string
+ExpansionConfig::toString() const
+{
+    std::ostringstream oss;
+    oss << "<";
+    for (size_t i = 0; i < widths.size(); ++i) {
+        if (i)
+            oss << ",";
+        oss << widths[i];
+    }
+    oss << ">";
+    return oss.str();
+}
+
+void
+ExpansionConfig::validate() const
+{
+    for (size_t k : widths)
+        SPECINFER_CHECK(k >= 1, "expansion width must be >= 1");
+}
+
+} // namespace core
+} // namespace specinfer

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Static token-tree expansion configuration (paper §3).
+ *
+ * An expansion config <k_1, ..., k_m> directs the speculator to take
+ * m speculative steps, expanding k_i candidate tokens from every
+ * frontier node at step i. The paper's end-to-end runs use
+ * <1,1,3,1,1,1,1,1>; the width sweeps use <1,1,k,1,1,1,1,1>.
+ */
+
+#ifndef SPECINFER_CORE_EXPANSION_H
+#define SPECINFER_CORE_EXPANSION_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace specinfer {
+namespace core {
+
+/** Per-step branching factors for expansion-based tree construction. */
+struct ExpansionConfig
+{
+    /** k_i = tokens expanded per frontier node at step i. */
+    std::vector<size_t> widths;
+
+    /** Number of speculative steps (tree depth below the root). */
+    size_t steps() const { return widths.size(); }
+
+    /**
+     * Upper bound on speculated (non-root) nodes: sum of cumulative
+     * width products. Sampled-mode duplicates only shrink the tree.
+     */
+    size_t maxNodes() const;
+
+    /** The paper's default <1,1,3,1,1,1,1,1>. */
+    static ExpansionConfig paperDefault();
+
+    /** Width sweep config <1,1,k,1,...,1> of total length `len`. */
+    static ExpansionConfig widthAtThird(size_t k, size_t len = 8);
+
+    /** Constant-width config <k,k,...,k> of length `len`. */
+    static ExpansionConfig uniform(size_t k, size_t len);
+
+    /** Zero-step config: speculation disabled (incremental mode). */
+    static ExpansionConfig none();
+
+    /** e.g. "<1,1,3,1,1,1,1,1>". */
+    std::string toString() const;
+
+    /** Abort if any width is zero. */
+    void validate() const;
+};
+
+} // namespace core
+} // namespace specinfer
+
+#endif // SPECINFER_CORE_EXPANSION_H

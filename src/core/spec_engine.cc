@@ -1,0 +1,380 @@
+#include "core/spec_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace core {
+
+EngineConfig
+EngineConfig::greedyDefault()
+{
+    EngineConfig cfg;
+    cfg.spec.expansion = ExpansionConfig::paperDefault();
+    cfg.spec.mode = SpeculationMode::TopK;
+    cfg.spec.ssmSampling.temperature = 1.0f;
+    cfg.llmSampling.temperature = 0.0f;
+    cfg.verify = VerifyMode::Greedy;
+    return cfg;
+}
+
+EngineConfig
+EngineConfig::stochasticDefault(float temperature)
+{
+    EngineConfig cfg;
+    cfg.spec.expansion = ExpansionConfig::paperDefault();
+    cfg.spec.mode = SpeculationMode::Sampled;
+    // Proposals are drawn from a mildly flattened SSM distribution;
+    // MSS preserves the LLM distribution for any proposal q, and a
+    // flatter q decorrelates residual rounds, improving multi-
+    // candidate acceptance (calibrated against paper Table 1).
+    cfg.spec.ssmSampling.temperature = 1.3f * temperature;
+    cfg.llmSampling.temperature = temperature;
+    cfg.verify = VerifyMode::MultiStepSampling;
+    return cfg;
+}
+
+size_t
+SpecStats::totalGenerated() const
+{
+    size_t total = 0;
+    for (const StepRecord &s : steps)
+        total += s.verifiedTokens;
+    return total;
+}
+
+size_t
+SpecStats::totalLlmTokens() const
+{
+    size_t total = 0;
+    for (const StepRecord &s : steps)
+        total += s.llmChunkTokens;
+    return total;
+}
+
+size_t
+SpecStats::totalSsmTokens() const
+{
+    size_t total = 0;
+    for (const StepRecord &s : steps)
+        total += s.ssmTokensDecoded;
+    return total;
+}
+
+double
+SpecStats::avgVerifiedPerStep() const
+{
+    if (steps.empty())
+        return 0.0;
+    return static_cast<double>(totalGenerated()) /
+           static_cast<double>(steps.size());
+}
+
+SpecEngine::SpecEngine(const model::Transformer *llm,
+                       std::vector<const model::Transformer *> ssms,
+                       EngineConfig cfg)
+    : llm_(llm),
+      verifier_(cfg.verify, cfg.llmSampling),
+      cfg_(cfg)
+{
+    SPECINFER_CHECK(llm_ != nullptr, "null LLM");
+    cfg_.spec.expansion.validate();
+    const bool incremental = cfg_.spec.expansion.steps() == 0;
+    if (!incremental) {
+        SPECINFER_CHECK(!ssms.empty(),
+                        "speculative mode requires at least one SSM");
+        for (const model::Transformer *ssm : ssms) {
+            SPECINFER_CHECK(ssm != nullptr, "null SSM");
+            SPECINFER_CHECK(ssm->config().vocabSize ==
+                            llm_->config().vocabSize,
+                            "SSM and LLM vocabularies must match");
+        }
+        speculator_ = std::make_unique<Speculator>(std::move(ssms),
+                                                   cfg_.spec);
+    }
+    // Room for the sequence plus one in-flight token tree; a merged
+    // tree can hold up to one budget's worth of nodes per SSM.
+    const size_t pool = speculator_ ? speculator_->ssmCount() : 1;
+    treeBudget_ = cfg_.spec.nodeBudget() * pool;
+    cacheCapacity_ = llm_->config().maxSeqLen + treeBudget_ + 2;
+}
+
+SpecSession
+SpecEngine::makeSession(std::vector<int> prompt,
+                        uint64_t request_seed,
+                        size_t max_new_tokens) const
+{
+    return SpecSession(this, std::move(prompt),
+                       cfg_.seed ^ (request_seed * 0x9e3779b9ULL),
+                       max_new_tokens == 0 ? cfg_.maxNewTokens
+                                           : max_new_tokens);
+}
+
+GenerationResult
+SpecEngine::generate(const std::vector<int> &prompt,
+                     uint64_t request_seed,
+                     size_t max_new_tokens) const
+{
+    SpecSession session =
+        makeSession(prompt, request_seed, max_new_tokens);
+    while (!session.done())
+        session.step();
+    GenerationResult res;
+    res.tokens = session.generated();
+    res.logProbs = session.logProbs();
+    res.stats = session.stats();
+    return res;
+}
+
+SpecSession::SpecSession(const SpecEngine *engine,
+                         std::vector<int> prompt,
+                         uint64_t request_seed, size_t max_new_tokens)
+    : engine_(engine),
+      seq_(std::move(prompt)),
+      promptLen_(seq_.size()),
+      maxNewTokens_(max_new_tokens),
+      llmCache_(engine->llm_->makeCache(engine->cacheCapacity_)),
+      rng_(request_seed)
+{
+    SPECINFER_CHECK(!seq_.empty(), "empty prompt");
+    SPECINFER_CHECK(seq_.size() + 2 < engine->llm_->config().maxSeqLen,
+                    "prompt does not fit in the sequence budget");
+    if (engine_->speculator_)
+        ssmCaches_ = engine_->speculator_->makeCaches(
+            engine_->cacheCapacity_);
+}
+
+std::vector<int>
+SpecSession::applyStopSequences(std::vector<int> appended)
+{
+    const auto &stops = engine_->cfg_.stopSequences;
+    if (stops.empty() || appended.size() == 0)
+        return appended;
+    // Scan each position where a match could newly end: matches may
+    // straddle the boundary between already-generated tokens and
+    // this step's appended ones.
+    const size_t gen_before = seq_.size() - promptLen_;
+    for (size_t i = 0; i < appended.size(); ++i) {
+        const size_t end = gen_before + i + 1; // generated length
+        for (const std::vector<int> &stop : stops) {
+            if (stop.empty() || stop.size() > end)
+                continue;
+            bool match = true;
+            for (size_t j = 0; j < stop.size() && match; ++j) {
+                size_t pos = end - stop.size() + j; // generated idx
+                int tok = pos < gen_before
+                              ? seq_[promptLen_ + pos]
+                              : appended[pos - gen_before];
+                match = tok == stop[j];
+            }
+            if (match) {
+                appended.resize(i + 1);
+                stopReason_ = StopReason::StopSequence;
+                done_ = true;
+                return appended;
+            }
+        }
+    }
+    return appended;
+}
+
+std::vector<int>
+SpecSession::generated() const
+{
+    return std::vector<int>(seq_.begin() +
+                            static_cast<ptrdiff_t>(promptLen_),
+                            seq_.end());
+}
+
+void
+SpecSession::step()
+{
+    SPECINFER_CHECK(!done_, "step() on a finished session");
+    const model::Transformer &llm = *engine_->llm_;
+    const EngineConfig &cfg = engine_->cfg_;
+
+    // 0. Chunked prefill: if more uncached tokens remain than the
+    // per-iteration cap allows, absorb one plain chunk and return
+    // without speculating (keeping at least the final token
+    // uncached for the next iteration's tree root).
+    if (cfg.maxPrefillChunk > 0) {
+        const size_t uncached = seq_.size() - llmCache_.length();
+        if (uncached > cfg.maxPrefillChunk + 1) {
+            std::vector<int> part(
+                seq_.begin() +
+                    static_cast<ptrdiff_t>(llmCache_.length()),
+                seq_.begin() +
+                    static_cast<ptrdiff_t>(llmCache_.length() +
+                                           cfg.maxPrefillChunk));
+            llm.forward(model::DecodeChunk::sequence(part),
+                        llmCache_);
+            StepRecord prefill;
+            prefill.llmChunkTokens = part.size();
+            stats_.steps.push_back(prefill);
+            return;
+        }
+    }
+
+    // 1. Speculate a token tree rooted at the last verified token.
+    StepRecord record;
+    TokenTree tree(seq_.back());
+    if (engine_->speculator_) {
+        SpeculationCost cost;
+        tree = engine_->speculator_->speculate(seq_, ssmCaches_, rng_,
+                                               &cost);
+        record.ssmTokensDecoded = cost.ssmTokensDecoded;
+    }
+    record.treeSize = tree.speculatedCount();
+
+    // 2. Tree-based parallel decoding: catch-up tokens (verified but
+    // not yet cached, ending with the root) plus the speculated
+    // nodes, as one chunk.
+    const size_t cached = llmCache_.length();
+    SPECINFER_CHECK(cached < seq_.size(), "cache/sequence mismatch");
+    const size_t catch_up = seq_.size() - cached; // includes root
+    model::DecodeChunk chunk;
+    chunk.tokens.reserve(catch_up + tree.speculatedCount());
+    chunk.parents.reserve(catch_up + tree.speculatedCount());
+    for (size_t i = 0; i < catch_up; ++i) {
+        chunk.tokens.push_back(seq_[cached + i]);
+        chunk.parents.push_back(static_cast<int32_t>(i) - 1);
+    }
+    const int32_t offset = static_cast<int32_t>(catch_up) - 1;
+    for (size_t n = 1; n < tree.size(); ++n) {
+        const TreeNode &node = tree.node(static_cast<NodeId>(n));
+        chunk.tokens.push_back(node.token);
+        chunk.parents.push_back(node.parent + offset);
+    }
+    const size_t base = llmCache_.length();
+    tensor::Tensor chunk_logits = llm.forward(chunk, llmCache_);
+    record.llmChunkTokens = chunk.size();
+
+    // Re-index logits by tree node id (root = catch-up row offset).
+    tensor::Tensor node_logits(tree.size(), chunk_logits.cols());
+    for (size_t n = 0; n < tree.size(); ++n)
+        std::memcpy(node_logits.row(n),
+                    chunk_logits.row(static_cast<size_t>(offset) + n),
+                    chunk_logits.cols() * sizeof(float));
+
+    // 3. Verify.
+    VerifyResult verdict = engine_->verifier_.verify(tree, node_logits,
+                                                     rng_);
+
+    // Respect the generation budget and EOS.
+    std::vector<int> appended = verdict.tokens;
+    const size_t already = seq_.size() - promptLen_;
+    if (already + appended.size() > maxNewTokens_) {
+        appended.resize(maxNewTokens_ - already);
+        stopReason_ = StopReason::MaxTokens;
+        done_ = true;
+    }
+    if (cfg.stopAtEos) {
+        for (size_t i = 0; i < appended.size(); ++i) {
+            if (appended[i] == llm.config().eosToken) {
+                appended.resize(i + 1);
+                stopReason_ = StopReason::Eos;
+                done_ = true;
+                break;
+            }
+        }
+    }
+    appended = applyStopSequences(std::move(appended));
+    SPECINFER_CHECK(!appended.empty() || done_,
+                    "verification produced no tokens");
+
+    // Per-token LLM log-probabilities: token i of the verdict is
+    // emitted from the distribution at the i-th node on the walk
+    // (root, then each accepted node).
+    {
+        model::SamplingParams unit;
+        unit.temperature = 1.0f;
+        NodeId dist_node = TokenTree::kRoot;
+        for (size_t i = 0; i < appended.size(); ++i) {
+            std::vector<float> p = model::logitsToProbs(
+                node_logits.row(static_cast<size_t>(dist_node)),
+                node_logits.cols(), unit);
+            logProbs_.push_back(std::log(std::max(
+                p[static_cast<size_t>(appended[i])], 1.0e-30f)));
+            if (i < verdict.acceptedNodes.size())
+                dist_node = verdict.acceptedNodes[i];
+        }
+    }
+    seq_.insert(seq_.end(), appended.begin(), appended.end());
+    record.verifiedTokens = appended.size();
+    stats_.steps.push_back(record);
+
+    // 4. KV-cache compaction: keep the prefix, the catch-up tokens
+    // (including the root), and the accepted nodes that survived the
+    // budget cut. Kept accepted tokens = appended minus the bonus.
+    size_t kept_accepted =
+        appended.size() > 0 &&
+        appended.size() == verdict.tokens.size()
+            ? verdict.acceptedNodes.size()
+            : std::min(appended.size(), verdict.acceptedNodes.size());
+    std::vector<size_t> keep;
+    keep.reserve(base + catch_up + kept_accepted);
+    for (size_t s = 0; s < base + catch_up; ++s)
+        keep.push_back(s);
+    for (size_t i = 0; i < kept_accepted; ++i)
+        keep.push_back(base + static_cast<size_t>(offset) +
+                       static_cast<size_t>(verdict.acceptedNodes[i]));
+    llmCache_.keepRows(keep);
+
+    if (done_)
+        return;
+    if (seq_.size() - promptLen_ >= maxNewTokens_) {
+        stopReason_ = StopReason::MaxTokens;
+        done_ = true;
+        return;
+    }
+    // Stop before the next tree could overflow the sequence budget.
+    const size_t next_peak = seq_.size() + engine_->treeBudget_ + 2;
+    if (next_peak >= llm.config().maxSeqLen) {
+        stopReason_ = StopReason::CapacityLimit;
+        done_ = true;
+    }
+}
+
+GenerationResult
+incrementalGenerate(const model::Transformer &llm,
+                    const std::vector<int> &prompt,
+                    const model::SamplingParams &params,
+                    size_t max_new_tokens, util::Rng &rng,
+                    bool stop_at_eos)
+{
+    SPECINFER_CHECK(!prompt.empty(), "empty prompt");
+    GenerationResult res;
+    model::KvCache cache = llm.makeCache();
+    tensor::Tensor logits = llm.forward(
+        model::DecodeChunk::sequence(prompt), cache);
+    const float *last = logits.row(prompt.size() - 1);
+    model::SamplingParams unit;
+    unit.temperature = 1.0f;
+    for (size_t i = 0; i < max_new_tokens; ++i) {
+        int token = model::sampleToken(last, llm.config().vocabSize,
+                                       params, rng);
+        res.tokens.push_back(token);
+        std::vector<float> p = model::logitsToProbs(
+            last, llm.config().vocabSize, unit);
+        res.logProbs.push_back(std::log(std::max(
+            p[static_cast<size_t>(token)], 1.0e-30f)));
+        StepRecord record;
+        record.verifiedTokens = 1;
+        record.llmChunkTokens = 1;
+        res.stats.steps.push_back(record);
+        if (stop_at_eos && token == llm.config().eosToken)
+            break;
+        if (prompt.size() + res.tokens.size() + 1 >=
+            llm.config().maxSeqLen)
+            break;
+        logits = llm.forward(model::DecodeChunk::single(token), cache);
+        last = logits.row(0);
+    }
+    return res;
+}
+
+} // namespace core
+} // namespace specinfer

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * The speculate / tree-decode / verify loop (paper Algorithm 2) and
+ * per-request session state.
+ *
+ * A SpecSession owns one request's verified sequence, LLM KV cache,
+ * and per-SSM KV caches. Each step():
+ *   1. the Speculator builds a token tree rooted at the last
+ *      verified token;
+ *   2. the LLM decodes the whole tree (plus any not-yet-cached
+ *      verified tokens) in a single tree-based parallel decoding
+ *      chunk;
+ *   3. the Verifier walks the tree and appends the accepted tokens
+ *      plus one bonus token;
+ *   4. the LLM cache keeps the verified path and drops the rejected
+ *      branches (KvCache::keepRows).
+ *
+ * Configured with an empty expansion the engine degenerates to
+ * exact incremental decoding (the paper's "SpecInfer w/ incremental
+ * decoding" ablation); with a single SSM and all-ones expansion it
+ * is sequence-based speculative inference.
+ */
+
+#ifndef SPECINFER_CORE_SPEC_ENGINE_H
+#define SPECINFER_CORE_SPEC_ENGINE_H
+
+#include <memory>
+#include <vector>
+
+#include "core/speculator.h"
+#include "core/verifier.h"
+#include "model/transformer.h"
+#include "util/rng.h"
+
+namespace specinfer {
+namespace core {
+
+/** Full engine configuration. */
+struct EngineConfig
+{
+    SpeculatorConfig spec;
+    model::SamplingParams llmSampling;
+    VerifyMode verify = VerifyMode::Greedy;
+    size_t maxNewTokens = 128;
+    bool stopAtEos = true;
+    uint64_t seed = 0x5eedULL;
+
+    /**
+     * Chunked prefill: cap the number of prompt tokens the LLM
+     * processes in one iteration (0 = unlimited). Long prompts are
+     * then absorbed across several iterations that emit no tokens,
+     * bounding per-iteration latency so batched co-runners are not
+     * stalled behind one giant prefill.
+     */
+    size_t maxPrefillChunk = 0;
+
+    /**
+     * Stop sequences: generation ends as soon as the generated
+     * suffix equals one of these token sequences (the match is kept
+     * in the output, like EOS). Empty entries are ignored.
+     */
+    std::vector<std::vector<int>> stopSequences;
+
+    /** Convenience: greedy engine with the paper's expansion. */
+    static EngineConfig greedyDefault();
+
+    /** Convenience: stochastic engine (MSS) with temperature t. */
+    static EngineConfig stochasticDefault(float temperature = 1.0f);
+};
+
+/** Per-iteration record feeding figures 9-11 and the simulator. */
+struct StepRecord
+{
+    size_t treeSize = 0;         ///< speculated (non-root) nodes
+    size_t verifiedTokens = 0;   ///< tokens appended (incl. bonus)
+    size_t llmChunkTokens = 0;   ///< tokens the LLM decoded this step
+    size_t ssmTokensDecoded = 0; ///< SSM token-forwards this step
+};
+
+/** Accumulated per-request speculation statistics. */
+struct SpecStats
+{
+    std::vector<StepRecord> steps;
+
+    size_t llmSteps() const { return steps.size(); }
+    size_t totalGenerated() const;
+    size_t totalLlmTokens() const;
+    size_t totalSsmTokens() const;
+    double avgVerifiedPerStep() const;
+};
+
+/** Result of a complete generation. */
+struct GenerationResult
+{
+    std::vector<int> tokens;  ///< generated tokens (prompt excluded)
+    std::vector<float> logProbs; ///< per-token LLM log-probabilities
+    SpecStats stats;
+};
+
+class SpecEngine;
+
+/**
+ * Mutable per-request decoding state. Create via
+ * SpecEngine::makeSession(); drive with step() until done().
+ */
+class SpecSession
+{
+  public:
+    bool done() const { return done_; }
+
+    /** Run one speculate+verify iteration. @pre !done() */
+    void step();
+
+    /** Prompt + generated tokens. */
+    const std::vector<int> &sequence() const { return seq_; }
+
+    /** Generated tokens only. */
+    std::vector<int> generated() const;
+
+    const SpecStats &stats() const { return stats_; }
+
+    /** Why the session finished (valid once done()). */
+    enum class StopReason
+    {
+        None,
+        Eos,
+        MaxTokens,
+        CapacityLimit,
+        StopSequence,
+    };
+    StopReason stopReason() const { return stopReason_; }
+
+    /**
+     * Log-probability of each generated token under the LLM's
+     * plain (temperature-1) distribution at its decoding position;
+     * parallel to generated().
+     */
+    const std::vector<float> &logProbs() const { return logProbs_; }
+
+  private:
+    friend class SpecEngine;
+    SpecSession(const SpecEngine *engine, std::vector<int> prompt,
+                uint64_t request_seed, size_t max_new_tokens);
+
+    /** Truncate at a stop-sequence match inside `appended` and set
+     *  the stop state; returns the (possibly shortened) list. */
+    std::vector<int> applyStopSequences(std::vector<int> appended);
+
+    const SpecEngine *engine_;
+    std::vector<int> seq_;
+    size_t promptLen_;
+    size_t maxNewTokens_;
+    std::vector<float> logProbs_;
+    model::KvCache llmCache_;
+    std::vector<model::KvCache> ssmCaches_;
+    util::Rng rng_;
+    SpecStats stats_;
+    bool done_ = false;
+    StopReason stopReason_ = StopReason::None;
+};
+
+/**
+ * The serving engine: immutable models + configuration shared by
+ * all requests.
+ */
+class SpecEngine
+{
+  public:
+    /**
+     * @param llm Non-owning pointer to the target model.
+     * @param ssms Non-owning SSM pool (may be empty only when the
+     *        expansion config is empty, i.e. incremental mode).
+     */
+    SpecEngine(const model::Transformer *llm,
+               std::vector<const model::Transformer *> ssms,
+               EngineConfig cfg);
+
+    const EngineConfig &config() const { return cfg_; }
+    const model::Transformer &llm() const { return *llm_; }
+
+    /** Maximum speculated nodes a merged token tree can hold (the
+     *  per-iteration KV headroom a request needs beyond its
+     *  sequence). */
+    size_t treeBudget() const { return treeBudget_; }
+
+    /**
+     * Create a session for one request.
+     *
+     * @param max_new_tokens Per-request generation budget override;
+     *        0 uses the engine default.
+     */
+    SpecSession makeSession(std::vector<int> prompt,
+                            uint64_t request_seed = 0,
+                            size_t max_new_tokens = 0) const;
+
+    /** Run a request to completion. */
+    GenerationResult generate(const std::vector<int> &prompt,
+                              uint64_t request_seed = 0,
+                              size_t max_new_tokens = 0) const;
+
+  private:
+    friend class SpecSession;
+
+    const model::Transformer *llm_;
+    std::unique_ptr<Speculator> speculator_; // null in incremental mode
+    Verifier verifier_;
+    EngineConfig cfg_;
+    size_t cacheCapacity_;
+    size_t treeBudget_; ///< max speculated nodes in a merged tree
+};
+
+/**
+ * Reference incremental decoding (paper Algorithm 1), implemented
+ * independently of the speculative path; used as ground truth by
+ * the equivalence tests and as the baseline in benches.
+ */
+GenerationResult incrementalGenerate(const model::Transformer &llm,
+                                     const std::vector<int> &prompt,
+                                     const model::SamplingParams &params,
+                                     size_t max_new_tokens,
+                                     util::Rng &rng,
+                                     bool stop_at_eos = true);
+
+} // namespace core
+} // namespace specinfer
+
+#endif // SPECINFER_CORE_SPEC_ENGINE_H

@@ -1,0 +1,199 @@
+#include "core/speculator.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace specinfer {
+namespace core {
+
+size_t
+SpeculatorConfig::nodeBudget() const
+{
+    return policy == ExpansionPolicy::AdaptiveMass
+               ? maxTreeNodes
+               : expansion.maxNodes();
+}
+
+Speculator::Speculator(std::vector<const model::Transformer *> ssms,
+                       SpeculatorConfig cfg)
+    : ssms_(std::move(ssms)), cfg_(std::move(cfg))
+{
+    SPECINFER_CHECK(!ssms_.empty(), "speculator needs at least one SSM");
+    for (const model::Transformer *ssm : ssms_)
+        SPECINFER_CHECK(ssm != nullptr, "null SSM in pool");
+    cfg_.expansion.validate();
+    if (cfg_.policy == ExpansionPolicy::AdaptiveMass) {
+        SPECINFER_CHECK(cfg_.mode == SpeculationMode::TopK,
+                        "adaptive expansion requires TopK mode");
+        SPECINFER_CHECK(cfg_.adaptiveMass > 0.0f &&
+                        cfg_.adaptiveMass <= 1.0f,
+                        "adaptiveMass must be in (0, 1]");
+        SPECINFER_CHECK(cfg_.adaptiveMaxWidth >= 1,
+                        "adaptiveMaxWidth must be >= 1");
+    }
+}
+
+std::vector<model::KvCache>
+Speculator::makeCaches(size_t capacity) const
+{
+    std::vector<model::KvCache> caches;
+    caches.reserve(ssms_.size());
+    for (const model::Transformer *ssm : ssms_)
+        caches.push_back(ssm->makeCache(capacity));
+    return caches;
+}
+
+TokenTree
+Speculator::speculate(const std::vector<int> &seq,
+                      std::vector<model::KvCache> &caches,
+                      util::Rng &rng, SpeculationCost *cost) const
+{
+    SPECINFER_CHECK(!seq.empty(), "cannot speculate on empty sequence");
+    SPECINFER_CHECK(caches.size() == ssms_.size(),
+                    "one cache per SSM required");
+    TokenTree tree = speculateOne(0, seq, caches[0], rng, cost);
+    for (size_t s = 1; s < ssms_.size(); ++s) {
+        TokenTree other = speculateOne(s, seq, caches[s], rng, cost);
+        tree.merge(other);
+    }
+    return tree;
+}
+
+TokenTree
+Speculator::speculateOne(size_t ssm_id, const std::vector<int> &seq,
+                         model::KvCache &cache, util::Rng &rng,
+                         SpeculationCost *cost) const
+{
+    const model::Transformer &ssm = *ssms_[ssm_id];
+    const size_t vocab = ssm.config().vocabSize;
+    const size_t cached = cache.length();
+    SPECINFER_CHECK(cached < seq.size(),
+                    "SSM cache already contains the whole sequence; "
+                    "the last token must be uncached");
+
+    TokenTree tree(seq.back());
+
+    // Catch-up: decode all not-yet-cached verified tokens, including
+    // the root, as one sequential chunk. The root's output row gives
+    // the SSM's distribution at the tree root.
+    std::vector<int> catch_up(seq.begin() + cached, seq.end());
+    tensor::Tensor logits = ssm.forward(
+        model::DecodeChunk::sequence(catch_up), cache);
+    if (cost) {
+        cost->ssmTokensDecoded += catch_up.size();
+        cost->ssmForwardCalls += 1;
+    }
+
+    // Frontier entry: a tree node awaiting expansion, with its SSM
+    // cache slot and the slots of its speculated ancestors.
+    struct Frontier
+    {
+        NodeId node;
+        std::vector<size_t> extras;       ///< speculated ancestor slots
+        std::vector<float> dist;          ///< SSM dist at this node
+    };
+
+    const size_t prefix = seq.size(); // whole verified seq now cached
+    std::vector<Frontier> frontier;
+    frontier.push_back({TokenTree::kRoot, {},
+                        model::logitsToProbs(
+                            logits.row(catch_up.size() - 1), vocab,
+                            cfg_.ssmSampling)});
+    tree.setSsmDistribution(TokenTree::kRoot,
+                            static_cast<int>(ssm_id),
+                            frontier.back().dist);
+
+    for (size_t step = 0; step < cfg_.expansion.steps(); ++step) {
+        const size_t k = cfg_.expansion.widths[step];
+
+        // Select k candidates per frontier node; duplicates within a
+        // node fold into one chunk entry but keep their proposal
+        // multiplicity (TokenTree::addChild).
+        model::DecodeChunk chunk;
+        chunk.prefixLen = prefix;
+        std::vector<NodeId> chunk_nodes;
+        std::vector<size_t> chunk_frontier; // frontier index per entry
+        for (size_t f = 0; f < frontier.size(); ++f) {
+            const Frontier &fr = frontier[f];
+            std::vector<int> picks;
+            if (cfg_.policy == ExpansionPolicy::AdaptiveMass) {
+                // Expand the node's top tokens until the target
+                // probability mass is reached (confident nodes stay
+                // narrow, uncertain nodes branch wide).
+                std::vector<size_t> top = tensor::topkRow(
+                    fr.dist.data(), vocab,
+                    std::min(cfg_.adaptiveMaxWidth, vocab));
+                float mass = 0.0f;
+                for (size_t idx : top) {
+                    picks.push_back(static_cast<int>(idx));
+                    mass += fr.dist[idx];
+                    if (mass >= cfg_.adaptiveMass)
+                        break;
+                }
+            } else if (cfg_.mode == SpeculationMode::TopK) {
+                std::vector<size_t> top = tensor::topkRow(
+                    fr.dist.data(), vocab, std::min(k, vocab));
+                for (size_t idx : top)
+                    picks.push_back(static_cast<int>(idx));
+            } else {
+                for (size_t j = 0; j < k; ++j)
+                    picks.push_back(static_cast<int>(
+                        rng.categorical(fr.dist)));
+            }
+            for (int token : picks) {
+                if (tree.speculatedCount() >= cfg_.nodeBudget())
+                    break;
+                size_t before = tree.size();
+                NodeId child = tree.addChild(fr.node, token,
+                                             static_cast<int>(ssm_id));
+                if (tree.size() == before)
+                    continue; // duplicate: proposal recorded, no node
+                chunk.tokens.push_back(token);
+                chunk.parents.push_back(-1);
+                chunk.extraSlots.push_back(fr.extras);
+                chunk_nodes.push_back(child);
+                chunk_frontier.push_back(f);
+            }
+        }
+        if (chunk.tokens.empty())
+            break;
+
+        const size_t chunk_base = cache.length();
+        tensor::Tensor step_logits = ssm.forward(chunk, cache);
+        if (cost) {
+            cost->ssmTokensDecoded += chunk.tokens.size();
+            cost->ssmForwardCalls += 1;
+        }
+
+        std::vector<Frontier> next;
+        next.reserve(chunk_nodes.size());
+        const bool last_step = step + 1 == cfg_.expansion.steps();
+        for (size_t j = 0; j < chunk_nodes.size(); ++j) {
+            std::vector<float> dist = model::logitsToProbs(
+                step_logits.row(j), vocab, cfg_.ssmSampling);
+            tree.setSsmDistribution(chunk_nodes[j],
+                                    static_cast<int>(ssm_id), dist);
+            if (last_step)
+                continue;
+            Frontier fr;
+            fr.node = chunk_nodes[j];
+            fr.extras = frontier[chunk_frontier[j]].extras;
+            fr.extras.push_back(chunk_base + j);
+            fr.dist = std::move(dist);
+            next.push_back(std::move(fr));
+        }
+        frontier = std::move(next);
+        if (frontier.empty())
+            break;
+    }
+
+    // Roll back speculated rows; keep the whole verified sequence so
+    // the next call only decodes newly verified tokens.
+    cache.truncate(prefix);
+    return tree;
+}
+
+} // namespace core
+} // namespace specinfer

@@ -1,0 +1,172 @@
+#include "core/token_tree.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace core {
+
+TokenTree::TokenTree(int root_token)
+{
+    TreeNode root;
+    root.token = root_token;
+    root.parent = -1;
+    root.depth = 0;
+    nodes_.push_back(std::move(root));
+}
+
+size_t
+TokenTree::maxDepth() const
+{
+    size_t depth = 0;
+    for (const TreeNode &n : nodes_)
+        depth = std::max(depth, n.depth);
+    return depth;
+}
+
+const TreeNode &
+TokenTree::node(NodeId id) const
+{
+    SPECINFER_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size(),
+                    "node id " << id << " out of range");
+    return nodes_[static_cast<size_t>(id)];
+}
+
+NodeId
+TokenTree::addChild(NodeId parent, int token, int ssm_id)
+{
+    SPECINFER_CHECK(parent >= 0 &&
+                    static_cast<size_t>(parent) < nodes_.size(),
+                    "parent id " << parent << " out of range");
+    for (NodeId c : nodes_[parent].children) {
+        if (nodes_[c].token == token) {
+            nodes_[c].proposals.push_back(ssm_id);
+            return c;
+        }
+    }
+    NodeId id = static_cast<NodeId>(nodes_.size());
+    TreeNode child;
+    child.token = token;
+    child.parent = parent;
+    child.proposals.push_back(ssm_id);
+    child.depth = nodes_[parent].depth + 1;
+    nodes_.push_back(std::move(child));
+    nodes_[parent].children.push_back(id);
+    return id;
+}
+
+std::vector<int>
+TokenTree::pathTokens(NodeId id) const
+{
+    std::vector<int> path;
+    for (NodeId n = id; n >= 0; n = nodes_[n].parent)
+        path.push_back(nodes_[n].token);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+void
+TokenTree::setSsmDistribution(NodeId id, int ssm_id,
+                              std::vector<float> dist)
+{
+    SPECINFER_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size(),
+                    "node id out of range");
+    for (DistRecord &rec : dists_) {
+        if (rec.node == id && rec.ssmId == ssm_id) {
+            rec.dist = std::move(dist);
+            return;
+        }
+    }
+    dists_.push_back({id, ssm_id, std::move(dist)});
+}
+
+const std::vector<float> *
+TokenTree::ssmDistribution(NodeId id, int ssm_id) const
+{
+    for (const DistRecord &rec : dists_)
+        if (rec.node == id && rec.ssmId == ssm_id)
+            return &rec.dist;
+    return nullptr;
+}
+
+void
+TokenTree::merge(const TokenTree &other)
+{
+    SPECINFER_CHECK(other.node(kRoot).token == node(kRoot).token,
+                    "merged trees must share the root token");
+    // Map other-node -> this-node, built in other's creation order
+    // (topological, so parents are mapped before children).
+    std::vector<NodeId> mapped(other.nodes_.size(), -1);
+    mapped[kRoot] = kRoot;
+    for (size_t i = 1; i < other.nodes_.size(); ++i) {
+        const TreeNode &src = other.nodes_[i];
+        NodeId parent_here = mapped[src.parent];
+        SPECINFER_CHECK(parent_here >= 0, "merge parent not mapped");
+        // Graft once per proposal so proposal multisets union.
+        NodeId here = -1;
+        for (int ssm_id : src.proposals)
+            here = addChild(parent_here, src.token, ssm_id);
+        SPECINFER_CHECK(here >= 0, "node with no proposals");
+        mapped[static_cast<NodeId>(i)] = here;
+    }
+    for (const DistRecord &rec : other.dists_) {
+        if (ssmDistribution(mapped[rec.node], rec.ssmId) == nullptr)
+            setSsmDistribution(mapped[rec.node], rec.ssmId, rec.dist);
+    }
+}
+
+model::DecodeChunk
+TokenTree::toChunk(int32_t root_parent) const
+{
+    model::DecodeChunk chunk;
+    chunk.tokens.reserve(nodes_.size());
+    chunk.parents.reserve(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        chunk.tokens.push_back(nodes_[i].token);
+        chunk.parents.push_back(i == 0 ? root_parent : nodes_[i].parent);
+    }
+    return chunk;
+}
+
+std::vector<std::vector<int>>
+TokenTree::allPaths() const
+{
+    std::vector<std::vector<int>> paths;
+    paths.reserve(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i)
+        paths.push_back(pathTokens(static_cast<NodeId>(i)));
+    return paths;
+}
+
+std::string
+TokenTree::toAscii() const
+{
+    std::ostringstream oss;
+    std::function<void(NodeId, std::string, bool)> walk =
+        [&](NodeId id, std::string indent, bool last) {
+            const TreeNode &n = nodes_[id];
+            oss << indent;
+            if (id != kRoot)
+                oss << (last ? "`-- " : "|-- ");
+            oss << "t" << n.token << " (node " << id;
+            if (!n.proposals.empty()) {
+                oss << ", ssm";
+                for (int p : n.proposals)
+                    oss << " " << p;
+            }
+            oss << ")\n";
+            std::string next = indent;
+            if (id != kRoot)
+                next += last ? "    " : "|   ";
+            for (size_t c = 0; c < n.children.size(); ++c)
+                walk(n.children[c], next, c + 1 == n.children.size());
+        };
+    walk(kRoot, "", true);
+    return oss.str();
+}
+
+} // namespace core
+} // namespace specinfer

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Token tree (paper Definition 3.1) and token tree merge
+ * (Definition 3.2).
+ *
+ * Each node is labelled with a token; the sequence S_u identified by
+ * node u is the concatenation of tokens on the root-to-u path. The
+ * root holds the last verified token, so its children are the first
+ * speculated tokens.
+ *
+ * Nodes also carry *proposal* metadata needed by multi-step
+ * speculative sampling: which SSM(s) proposed the node (a node kept
+ * once per unique token can carry several proposals — a multiset of
+ * candidates in Algorithm 2's terms), and each SSM's full next-token
+ * distribution at every node it expanded.
+ */
+
+#ifndef SPECINFER_CORE_TOKEN_TREE_H
+#define SPECINFER_CORE_TOKEN_TREE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/transformer.h"
+
+namespace specinfer {
+namespace core {
+
+/** Index of a node within its TokenTree. */
+using NodeId = int32_t;
+
+/** One node of a token tree. */
+struct TreeNode
+{
+    int token;                       ///< token labelling this node
+    NodeId parent;                   ///< -1 for the root
+    std::vector<NodeId> children;    ///< in creation order
+
+    /**
+     * One entry per proposal of this node: the id of the SSM that
+     * proposed it. A token proposed twice (e.g. sampled twice, or by
+     * two SSMs) appears once as a node but carries two proposals,
+     * preserving the multiset semantics Algorithm 2 verifies.
+     */
+    std::vector<int> proposals;
+
+    /** Depth below the root (root = 0). */
+    size_t depth = 0;
+};
+
+/**
+ * Speculated token tree.
+ *
+ * Nodes are stored in creation order, which is always topological
+ * (parents precede children); this makes node order directly usable
+ * as the DFS-style chunk order required by tree-based parallel
+ * decoding and KV-cache compaction.
+ */
+class TokenTree
+{
+  public:
+    /** Create a tree whose root holds the given (verified) token. */
+    explicit TokenTree(int root_token);
+
+    /** Total number of nodes, including the root. */
+    size_t size() const { return nodes_.size(); }
+
+    /** Number of speculated (non-root) nodes. */
+    size_t speculatedCount() const { return nodes_.size() - 1; }
+
+    /** Maximum node depth (root = 0). */
+    size_t maxDepth() const;
+
+    static constexpr NodeId kRoot = 0;
+
+    const TreeNode &node(NodeId id) const;
+
+    /**
+     * Add a child of `parent` labelled `token`, proposed by SSM
+     * `ssm_id`. If a child with the same token already exists the
+     * proposal is appended to it instead (Definition 3.2 merge by
+     * sequence identity) and the existing node id is returned.
+     */
+    NodeId addChild(NodeId parent, int token, int ssm_id);
+
+    /** Tokens on the root-to-node path, root first. */
+    std::vector<int> pathTokens(NodeId id) const;
+
+    /**
+     * Record SSM `ssm_id`'s next-token distribution conditioned on
+     * S_node (needed to verify that SSM's proposals at this node).
+     */
+    void setSsmDistribution(NodeId id, int ssm_id,
+                            std::vector<float> dist);
+
+    /** Stored distribution, or nullptr if ssm_id never expanded id. */
+    const std::vector<float> *ssmDistribution(NodeId id,
+                                              int ssm_id) const;
+
+    /**
+     * Token tree merge (Definition 3.2): graft every path of `other`
+     * into this tree so the result represents the union of both path
+     * sets. Proposal multisets and SSM distributions are unioned.
+     * @pre other has the same root token.
+     */
+    void merge(const TokenTree &other);
+
+    /**
+     * Convert to a decode chunk (node order; root's parent becomes
+     * `root_parent`, an index into the caller's enclosing chunk or
+     * -1). Node i of the tree is chunk token `offset + i` where
+     * offset is the caller-managed position of the root.
+     */
+    model::DecodeChunk toChunk(int32_t root_parent = -1) const;
+
+    /**
+     * All root-to-node token sequences (one per node), used to state
+     * Definition 3.2 properties in tests.
+     */
+    std::vector<std::vector<int>> allPaths() const;
+
+    /** Multiline ASCII rendering for debugging and examples. */
+    std::string toAscii() const;
+
+  private:
+    std::vector<TreeNode> nodes_;
+    /** Sparse per-node (ssm_id, distribution) records. */
+    struct DistRecord
+    {
+        NodeId node;
+        int ssmId;
+        std::vector<float> dist;
+    };
+    std::vector<DistRecord> dists_;
+};
+
+} // namespace core
+} // namespace specinfer
+
+#endif // SPECINFER_CORE_TOKEN_TREE_H

@@ -1,0 +1,189 @@
+#include "core/verifier.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace specinfer {
+namespace core {
+
+Verifier::Verifier(VerifyMode mode, model::SamplingParams llm_params)
+    : mode_(mode), llmParams_(llm_params)
+{
+    if (mode_ == VerifyMode::Greedy) {
+        SPECINFER_CHECK(llm_params.isGreedy(),
+                        "greedy verification requires a greedy "
+                        "(temperature <= 0) LLM distribution");
+    } else {
+        SPECINFER_CHECK(!llm_params.isGreedy(),
+                        "stochastic verification requires temperature "
+                        "> 0");
+    }
+}
+
+VerifyResult
+Verifier::verify(const TokenTree &tree, const tensor::Tensor &llm_logits,
+                 util::Rng &rng) const
+{
+    SPECINFER_CHECK(llm_logits.rows() == tree.size(),
+                    "need one LLM logit row per tree node");
+    switch (mode_) {
+      case VerifyMode::Greedy:
+        return verifyGreedy(tree, llm_logits);
+      case VerifyMode::MultiStepSampling:
+        return verifyStochastic(tree, llm_logits, rng);
+      case VerifyMode::NaiveSampling:
+        return verifyNaive(tree, llm_logits, rng);
+    }
+    SPECINFER_FATAL("unreachable verify mode");
+}
+
+VerifyResult
+Verifier::verifyGreedy(const TokenTree &tree,
+                       const tensor::Tensor &llm_logits) const
+{
+    VerifyResult res;
+    NodeId u = TokenTree::kRoot;
+    for (;;) {
+        int llm_token = model::greedyToken(llm_logits.row(u),
+                                           llm_logits.cols());
+        NodeId next = -1;
+        for (NodeId v : tree.node(u).children) {
+            if (tree.node(v).token == llm_token) {
+                next = v;
+                break;
+            }
+        }
+        if (next < 0) {
+            res.bonusToken = llm_token;
+            res.tokens.push_back(llm_token);
+            return res;
+        }
+        res.acceptedNodes.push_back(next);
+        res.tokens.push_back(llm_token);
+        u = next;
+    }
+}
+
+VerifyResult
+Verifier::verifyStochastic(const TokenTree &tree,
+                           const tensor::Tensor &llm_logits,
+                           util::Rng &rng) const
+{
+    const size_t vocab = llm_logits.cols();
+    VerifyResult res;
+    NodeId u = TokenTree::kRoot;
+
+    while (!tree.node(u).children.empty()) {
+        // Current (residualizable) LLM distribution at u.
+        std::vector<float> p = model::logitsToProbs(
+            llm_logits.row(u), vocab, llmParams_);
+
+        // Candidate multiset: one entry per proposal.
+        struct Candidate
+        {
+            NodeId node;
+            int ssmId;
+        };
+        std::vector<Candidate> pool;
+        for (NodeId v : tree.node(u).children)
+            for (int ssm_id : tree.node(v).proposals)
+                pool.push_back({v, ssm_id});
+
+        NodeId accepted = -1;
+        while (!pool.empty()) {
+            size_t pick = rng.uniformInt(
+                static_cast<uint64_t>(pool.size()));
+            Candidate cand = pool[pick];
+            const int token = tree.node(cand.node).token;
+            const std::vector<float> *q =
+                tree.ssmDistribution(u, cand.ssmId);
+            SPECINFER_CHECK(q != nullptr,
+                            "missing SSM " << cand.ssmId
+                                           << " distribution at node "
+                                           << u);
+            const float qx = (*q)[static_cast<size_t>(token)];
+            const float px = p[static_cast<size_t>(token)];
+            const double r = rng.uniform();
+            const bool accept =
+                qx > 0.0f ? (r * static_cast<double>(qx) <=
+                             static_cast<double>(px))
+                          : (px > 0.0f);
+            if (accept) {
+                accepted = cand.node;
+                break;
+            }
+            // Residual renormalization: p <- norm(max(0, p - q)).
+            double total = 0.0;
+            for (size_t x = 0; x < vocab; ++x) {
+                p[x] = std::max(0.0f, p[x] - (*q)[x]);
+                total += p[x];
+            }
+            if (total > 0.0) {
+                const float inv = static_cast<float>(1.0 / total);
+                for (size_t x = 0; x < vocab; ++x)
+                    p[x] *= inv;
+            } else {
+                // p == q numerically; restore p so a token can still
+                // be emitted from the LLM distribution.
+                p = model::logitsToProbs(llm_logits.row(u), vocab,
+                                         llmParams_);
+            }
+            pool.erase(pool.begin() + static_cast<ptrdiff_t>(pick));
+        }
+
+        if (accepted < 0) {
+            // All candidates rejected: emit from the final residual.
+            int token = static_cast<int>(rng.categorical(p));
+            res.bonusToken = token;
+            res.tokens.push_back(token);
+            return res;
+        }
+        res.acceptedNodes.push_back(accepted);
+        res.tokens.push_back(tree.node(accepted).token);
+        u = accepted;
+    }
+
+    // Reached a leaf with everything accepted: bonus token from the
+    // LLM's (unresidualized) distribution at the leaf.
+    std::vector<float> p = model::logitsToProbs(llm_logits.row(u),
+                                                vocab, llmParams_);
+    int token = static_cast<int>(rng.categorical(p));
+    res.bonusToken = token;
+    res.tokens.push_back(token);
+    return res;
+}
+
+VerifyResult
+Verifier::verifyNaive(const TokenTree &tree,
+                      const tensor::Tensor &llm_logits,
+                      util::Rng &rng) const
+{
+    const size_t vocab = llm_logits.cols();
+    VerifyResult res;
+    NodeId u = TokenTree::kRoot;
+    for (;;) {
+        std::vector<float> p = model::logitsToProbs(
+            llm_logits.row(u), vocab, llmParams_);
+        int token = static_cast<int>(rng.categorical(p));
+        NodeId next = -1;
+        for (NodeId v : tree.node(u).children) {
+            if (tree.node(v).token == token) {
+                next = v;
+                break;
+            }
+        }
+        if (next < 0) {
+            res.bonusToken = token;
+            res.tokens.push_back(token);
+            return res;
+        }
+        res.acceptedNodes.push_back(next);
+        res.tokens.push_back(token);
+        u = next;
+    }
+}
+
+} // namespace core
+} // namespace specinfer

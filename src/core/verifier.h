@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Token tree verification (paper §4.3, Algorithm 2).
+ *
+ * Given the LLM's output distribution at every tree node (produced
+ * by tree-based parallel decoding), the verifier walks the tree from
+ * the root and decides which speculated tokens to accept:
+ *
+ *  - VerifyGreedy: follow the child matching the LLM argmax; output
+ *    is token-for-token identical to incremental greedy decoding.
+ *  - VerifyStochastic (multi-step speculative sampling, MSS): try
+ *    candidates in random order, accept candidate x from SSM s with
+ *    probability min(1, P_LLM(x)/P_SSM_s(x)), residual-renormalize
+ *    P_LLM on rejection; provably preserves the LLM's decoding
+ *    distribution (Theorem 4.2).
+ *  - Naive sampling (NS): sample from the LLM and accept only if a
+ *    matching child exists; the baseline MSS dominates (Theorem 4.3).
+ *
+ * Every verification appends exactly one bonus token drawn from the
+ * LLM at the deepest verified node, so an iteration always produces
+ * at least one token.
+ */
+
+#ifndef SPECINFER_CORE_VERIFIER_H
+#define SPECINFER_CORE_VERIFIER_H
+
+#include <vector>
+
+#include "core/token_tree.h"
+#include "model/sampler.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace specinfer {
+namespace core {
+
+/** Which verification algorithm to run. */
+enum class VerifyMode
+{
+    Greedy,             ///< Algorithm 2, VerifyGreedy
+    MultiStepSampling,  ///< Algorithm 2, VerifyStochastic (MSS)
+    NaiveSampling,      ///< the NS baseline of §4.3 / Table 3
+};
+
+/** Outcome of verifying one token tree. */
+struct VerifyResult
+{
+    /** Accepted tree nodes, in path order from the root's child. */
+    std::vector<NodeId> acceptedNodes;
+
+    /** The extra token emitted by the LLM at the deepest node. */
+    int bonusToken = -1;
+
+    /** All tokens appended this step: accepted tokens + bonus. */
+    std::vector<int> tokens;
+};
+
+/**
+ * Token tree verifier. Stateless; one instance can serve all
+ * requests of a given decoding configuration.
+ */
+class Verifier
+{
+  public:
+    /**
+     * @param mode Verification algorithm.
+     * @param llm_params Decoding distribution of the LLM (greedy
+     *        mode ignores everything except argmax).
+     */
+    Verifier(VerifyMode mode, model::SamplingParams llm_params);
+
+    VerifyMode mode() const { return mode_; }
+
+    /**
+     * Verify a speculated token tree against the LLM's outputs.
+     *
+     * @param tree The speculated tree (root = last verified token).
+     * @param llm_logits LLM logit rows indexed by tree node id
+     *        (shape [tree.size() x vocab]).
+     * @param rng Randomness for the stochastic modes.
+     */
+    VerifyResult verify(const TokenTree &tree,
+                        const tensor::Tensor &llm_logits,
+                        util::Rng &rng) const;
+
+  private:
+    VerifyResult verifyGreedy(const TokenTree &tree,
+                              const tensor::Tensor &llm_logits) const;
+    VerifyResult verifyStochastic(const TokenTree &tree,
+                                  const tensor::Tensor &llm_logits,
+                                  util::Rng &rng) const;
+    VerifyResult verifyNaive(const TokenTree &tree,
+                             const tensor::Tensor &llm_logits,
+                             util::Rng &rng) const;
+
+    VerifyMode mode_;
+    model::SamplingParams llmParams_;
+};
+
+} // namespace core
+} // namespace specinfer
+
+#endif // SPECINFER_CORE_VERIFIER_H

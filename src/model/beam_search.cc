@@ -1,0 +1,158 @@
+#include "model/beam_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/sampler.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace specinfer {
+namespace model {
+
+double
+BeamHypothesis::score(float length_penalty) const
+{
+    if (length_penalty <= 0.0f || tokens.empty())
+        return logProb;
+    return logProb /
+           std::pow(static_cast<double>(tokens.size()),
+                    static_cast<double>(length_penalty));
+}
+
+namespace {
+
+/** A live beam: generated tokens, their cache slots, and the
+ *  next-token distribution at the beam's tip. */
+struct Beam
+{
+    std::vector<int> tokens;
+    std::vector<size_t> slots; ///< cache slots of generated tokens
+    std::vector<float> logProbs; ///< log next-token dist at the tip
+    double logProb = 0.0;
+};
+
+std::vector<float>
+logDistribution(const float *logits, size_t vocab)
+{
+    std::vector<float> dist(logits, logits + vocab);
+    tensor::softmaxRow(dist.data(), vocab);
+    for (float &p : dist)
+        p = std::log(std::max(p, 1.0e-30f));
+    return dist;
+}
+
+} // namespace
+
+std::vector<BeamHypothesis>
+beamSearch(const Transformer &model, const std::vector<int> &prompt,
+           const BeamSearchParams &params)
+{
+    SPECINFER_CHECK(!prompt.empty(), "empty prompt");
+    SPECINFER_CHECK(params.beamWidth >= 1, "beam width must be >= 1");
+    const size_t vocab = model.config().vocabSize;
+    const int eos = model.config().eosToken;
+
+    KvCache cache = model.makeCache(prompt.size() +
+                                    params.beamWidth *
+                                        params.maxNewTokens + 2);
+    tensor::Tensor logits =
+        model.forward(DecodeChunk::sequence(prompt), cache);
+
+    std::vector<Beam> live(1);
+    live[0].logProbs =
+        logDistribution(logits.row(prompt.size() - 1), vocab);
+    std::vector<BeamHypothesis> finished;
+
+    for (size_t step = 0; step < params.maxNewTokens; ++step) {
+        if (live.empty() || finished.size() >= params.beamWidth)
+            break;
+
+        // Gather candidate continuations from every live beam.
+        struct Candidate
+        {
+            size_t beam;
+            int token;
+            double logProb;
+        };
+        std::vector<Candidate> candidates;
+        for (size_t b = 0; b < live.size(); ++b) {
+            std::vector<size_t> top = tensor::topkRow(
+                live[b].logProbs.data(), vocab,
+                std::min(params.beamWidth + 1, vocab));
+            for (size_t idx : top)
+                candidates.push_back(
+                    {b, static_cast<int>(idx),
+                     live[b].logProb + live[b].logProbs[idx]});
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const Candidate &a, const Candidate &b) {
+                      return a.logProb > b.logProb;
+                  });
+
+        // Select the next beam set; EOS continuations finish.
+        std::vector<Candidate> chosen;
+        for (const Candidate &cand : candidates) {
+            if (chosen.size() >= params.beamWidth)
+                break;
+            if (params.stopAtEos && cand.token == eos) {
+                BeamHypothesis hyp;
+                hyp.tokens = live[cand.beam].tokens;
+                hyp.tokens.push_back(cand.token);
+                hyp.logProb = cand.logProb;
+                finished.push_back(std::move(hyp));
+                continue;
+            }
+            chosen.push_back(cand);
+        }
+        if (chosen.empty())
+            break;
+
+        // Decode all chosen continuations as one tree-shaped chunk:
+        // each new token extends its parent beam's path over the
+        // shared prompt prefix.
+        DecodeChunk chunk;
+        chunk.prefixLen = prompt.size();
+        for (const Candidate &cand : chosen) {
+            chunk.tokens.push_back(cand.token);
+            chunk.parents.push_back(-1);
+            chunk.extraSlots.push_back(live[cand.beam].slots);
+        }
+        const size_t base = cache.length();
+        tensor::Tensor step_logits = model.forward(chunk, cache);
+
+        std::vector<Beam> next;
+        next.reserve(chosen.size());
+        for (size_t i = 0; i < chosen.size(); ++i) {
+            Beam beam;
+            beam.tokens = live[chosen[i].beam].tokens;
+            beam.tokens.push_back(chosen[i].token);
+            beam.slots = live[chosen[i].beam].slots;
+            beam.slots.push_back(base + i);
+            beam.logProb = chosen[i].logProb;
+            beam.logProbs =
+                logDistribution(step_logits.row(i), vocab);
+            next.push_back(std::move(beam));
+        }
+        live = std::move(next);
+    }
+
+    // Remaining live beams compete with the finished ones.
+    for (const Beam &beam : live) {
+        BeamHypothesis hyp;
+        hyp.tokens = beam.tokens;
+        hyp.logProb = beam.logProb;
+        finished.push_back(std::move(hyp));
+    }
+    std::sort(finished.begin(), finished.end(),
+              [&](const BeamHypothesis &a, const BeamHypothesis &b) {
+                  return a.score(params.lengthPenalty) >
+                         b.score(params.lengthPenalty);
+              });
+    if (finished.size() > params.beamWidth)
+        finished.resize(params.beamWidth);
+    return finished;
+}
+
+} // namespace model
+} // namespace specinfer

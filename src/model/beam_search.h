@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Beam search decoding (paper §7 "multi-sample decoding
+ * techniques": SpecInfer supports beam search / top-k / top-p as
+ * decoding strategies orthogonal to speculative verification).
+ *
+ * This implementation decodes all live beams of one request in a
+ * single tree-shaped chunk per step: the beam frontier is exactly a
+ * token tree over the shared prompt prefix, so beam search rides on
+ * the same tree-based parallel decoding machinery as verification —
+ * sharing the prompt KV cache across beams instead of duplicating
+ * it per hypothesis.
+ */
+
+#ifndef SPECINFER_MODEL_BEAM_SEARCH_H
+#define SPECINFER_MODEL_BEAM_SEARCH_H
+
+#include <vector>
+
+#include "model/transformer.h"
+
+namespace specinfer {
+namespace model {
+
+/** Beam search parameters. */
+struct BeamSearchParams
+{
+    /** Number of live hypotheses. */
+    size_t beamWidth = 4;
+
+    /** Tokens to generate per hypothesis. */
+    size_t maxNewTokens = 32;
+
+    /** Stop a hypothesis at the model's EOS token. */
+    bool stopAtEos = true;
+
+    /**
+     * Length penalty exponent alpha: hypotheses are ranked by
+     * logprob / length^alpha (0 disables normalization).
+     */
+    float lengthPenalty = 0.0f;
+};
+
+/** One finished hypothesis. */
+struct BeamHypothesis
+{
+    std::vector<int> tokens;   ///< generated tokens (prompt excluded)
+    double logProb = 0.0;      ///< sum of token log-probabilities
+
+    /** Ranking score under the given length penalty. */
+    double score(float length_penalty) const;
+};
+
+/**
+ * Run beam search for one prompt.
+ *
+ * @return Hypotheses sorted by descending score, at most beamWidth.
+ */
+std::vector<BeamHypothesis>
+beamSearch(const Transformer &model, const std::vector<int> &prompt,
+           const BeamSearchParams &params);
+
+} // namespace model
+} // namespace specinfer
+
+#endif // SPECINFER_MODEL_BEAM_SEARCH_H

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Architecture hyperparameters for the decoder-only transformer
+ * substrate and presets mirroring the paper's model zoo.
+ */
+
+#ifndef SPECINFER_MODEL_CONFIG_H
+#define SPECINFER_MODEL_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace specinfer {
+namespace model {
+
+/**
+ * Hyperparameters of one decoder-only transformer (LLaMA-style:
+ * RMSNorm, RoPE, SwiGLU MLP, tied embedding / LM head option).
+ *
+ * The models in this reproduction are synthetic: weights are drawn
+ * deterministically from `seed`. `residual_scale` controls how much
+ * each transformer block perturbs the residual stream, which in turn
+ * controls how well an early-exit SSM aligns with the full model —
+ * the knob we use to calibrate speculation success rates to the
+ * paper's measured ranges (Table 1).
+ */
+struct ModelConfig
+{
+    /** Human-readable model name (e.g. "llama-7b-sim"). */
+    std::string name = "model";
+
+    /** Vocabulary size; token ids are in [0, vocab_size). */
+    size_t vocabSize = 512;
+
+    /** Residual stream width. */
+    size_t dModel = 64;
+
+    /** Number of transformer blocks. */
+    size_t nLayers = 6;
+
+    /** Number of attention heads; must divide dModel. */
+    size_t nHeads = 4;
+
+    /** Hidden width of the SwiGLU MLP. */
+    size_t dFf = 176;
+
+    /** Maximum sequence length (KV-cache capacity). */
+    size_t maxSeqLen = 512;
+
+    /** RoPE base frequency. */
+    float ropeTheta = 10000.0f;
+
+    /**
+     * Scale applied to each block's residual contribution at weight
+     * init time. Smaller values make early-exit SSMs align better
+     * with the full model.
+     */
+    float residualScale = 0.20f;
+
+    /** Multiplier on output logits; sharpens the LM distribution. */
+    float logitScale = 4.0f;
+
+    /** Weight-init seed; two configs differing only in layer count
+     *  share all common weights when built from the same seed. */
+    uint64_t seed = 42;
+
+    /** Reserved token id signalling end of sequence. */
+    int eosToken = 0;
+
+    /** Per-head dimension. */
+    size_t dHead() const { return dModel / nHeads; }
+
+    /** Approximate parameter count (for the perf model and docs). */
+    size_t paramCount() const;
+
+    /** Abort if the configuration is internally inconsistent. */
+    void validate() const;
+};
+
+/**
+ * Named presets. The `*-sim` presets are scaled-down stand-ins for
+ * the paper's models, sized so that full experiments run on one CPU
+ * core; the simulator (src/simulator) separately models the real
+ * models' parameter counts for latency experiments.
+ */
+ModelConfig llmPreset(const std::string &name);
+
+/** Small speculative-model preset paired with llmPreset(). */
+ModelConfig ssmPreset(const std::string &name);
+
+} // namespace model
+} // namespace specinfer
+
+#endif // SPECINFER_MODEL_CONFIG_H

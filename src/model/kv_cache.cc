@@ -1,0 +1,94 @@
+#include "model/kv_cache.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace model {
+
+KvCache::KvCache(size_t n_layers, size_t kv_dim, size_t capacity)
+    : kvDim_(kv_dim), capacity_(capacity)
+{
+    SPECINFER_CHECK(n_layers > 0 && kv_dim > 0 && capacity > 0,
+                    "degenerate KV cache");
+    keys_.reserve(n_layers);
+    values_.reserve(n_layers);
+    for (size_t i = 0; i < n_layers; ++i) {
+        keys_.emplace_back(capacity, kv_dim);
+        values_.emplace_back(capacity, kv_dim);
+    }
+}
+
+size_t
+KvCache::allocate(size_t m)
+{
+    SPECINFER_CHECK(length_ + m <= capacity_,
+                    "KV cache overflow: " << length_ << " + " << m
+                                          << " > " << capacity_);
+    size_t base = length_;
+    length_ += m;
+    return base;
+}
+
+float *
+KvCache::keyRow(size_t layer, size_t slot)
+{
+    SPECINFER_CHECK(slot < length_, "KV key slot out of range");
+    return keys_[layer].row(slot);
+}
+
+const float *
+KvCache::keyRow(size_t layer, size_t slot) const
+{
+    SPECINFER_CHECK(slot < length_, "KV key slot out of range");
+    return keys_[layer].row(slot);
+}
+
+float *
+KvCache::valueRow(size_t layer, size_t slot)
+{
+    SPECINFER_CHECK(slot < length_, "KV value slot out of range");
+    return values_[layer].row(slot);
+}
+
+const float *
+KvCache::valueRow(size_t layer, size_t slot) const
+{
+    SPECINFER_CHECK(slot < length_, "KV value slot out of range");
+    return values_[layer].row(slot);
+}
+
+void
+KvCache::truncate(size_t new_length)
+{
+    SPECINFER_CHECK(new_length <= length_,
+                    "truncate cannot grow the cache");
+    length_ = new_length;
+}
+
+void
+KvCache::keepRows(const std::vector<size_t> &slots)
+{
+    for (size_t i = 0; i < slots.size(); ++i) {
+        SPECINFER_CHECK(slots[i] < length_, "keepRows slot out of range");
+        if (i > 0)
+            SPECINFER_CHECK(slots[i - 1] < slots[i],
+                            "keepRows slots must be strictly ascending");
+    }
+    const size_t bytes = kvDim_ * sizeof(float);
+    for (size_t layer = 0; layer < keys_.size(); ++layer) {
+        for (size_t i = 0; i < slots.size(); ++i) {
+            if (slots[i] == i)
+                continue;
+            std::memcpy(keys_[layer].row(i), keys_[layer].row(slots[i]),
+                        bytes);
+            std::memcpy(values_[layer].row(i),
+                        values_[layer].row(slots[i]), bytes);
+        }
+    }
+    length_ = slots.size();
+}
+
+} // namespace model
+} // namespace specinfer

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Key-value cache for incremental and tree-based decoding.
+ *
+ * The cache stores post-RoPE keys and values per layer. Tree-based
+ * parallel decoding (paper §4.2) appends a whole token tree in DFS
+ * order, then after verification the accepted path is kept and the
+ * rejected branches are dropped via keepRows(), so the cache always
+ * contains a plain sequence between iterations.
+ */
+
+#ifndef SPECINFER_MODEL_KV_CACHE_H
+#define SPECINFER_MODEL_KV_CACHE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace specinfer {
+namespace model {
+
+/**
+ * Per-request KV cache covering all layers of one model.
+ *
+ * Rows are shared across all sequences of a token tree (§4.2
+ * "depth-first search to update key-value cache"); slot indices are
+ * handed out by allocate() and written by the transformer.
+ */
+class KvCache
+{
+  public:
+    /**
+     * @param n_layers Number of transformer layers cached.
+     * @param kv_dim Per-token K (and V) width, nHeads * dHead.
+     * @param capacity Maximum number of cached tokens.
+     */
+    KvCache(size_t n_layers, size_t kv_dim, size_t capacity);
+
+    /** Number of tokens currently cached. */
+    size_t length() const { return length_; }
+
+    /** Maximum number of tokens this cache can hold. */
+    size_t capacity() const { return capacity_; }
+
+    size_t layers() const { return keys_.size(); }
+    size_t kvDim() const { return kvDim_; }
+
+    /**
+     * Reserve m consecutive slots for a new decode chunk.
+     * @return The first reserved slot index.
+     */
+    size_t allocate(size_t m);
+
+    /** Mutable key row for (layer, slot). @pre slot < length(). */
+    float *keyRow(size_t layer, size_t slot);
+    const float *keyRow(size_t layer, size_t slot) const;
+
+    /** Mutable value row for (layer, slot). */
+    float *valueRow(size_t layer, size_t slot);
+    const float *valueRow(size_t layer, size_t slot) const;
+
+    /** Drop all slots >= new_length (speculation rollback). */
+    void truncate(size_t new_length);
+
+    /**
+     * Keep exactly the given slots (strictly ascending), compacting
+     * them to the front; used after token tree verification to keep
+     * the verified path and drop rejected branches.
+     */
+    void keepRows(const std::vector<size_t> &slots);
+
+    /** Deep copy (used by the sequence-based decoding baseline). */
+    KvCache clone() const { return *this; }
+
+  private:
+    size_t kvDim_;
+    size_t capacity_;
+    size_t length_ = 0;
+    std::vector<tensor::Tensor> keys_;    ///< per layer [capacity x kvDim]
+    std::vector<tensor::Tensor> values_;
+};
+
+} // namespace model
+} // namespace specinfer
+
+#endif // SPECINFER_MODEL_KV_CACHE_H

@@ -1,0 +1,118 @@
+#include "model/model_factory.h"
+
+#include <functional>
+#include <sstream>
+
+#include "tensor/quant.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace specinfer {
+namespace model {
+
+Transformer
+makeLlm(const ModelConfig &cfg)
+{
+    return Transformer(cfg, initWeights(cfg));
+}
+
+Transformer
+makeEarlyExitSsm(const Transformer &llm, size_t n_layers,
+                 float head_noise_std, uint64_t noise_seed)
+{
+    const ModelConfig &llm_cfg = llm.config();
+    SPECINFER_CHECK(n_layers > 0 && n_layers <= llm_cfg.nLayers,
+                    "early-exit depth " << n_layers
+                                        << " outside [1, "
+                                        << llm_cfg.nLayers << "]");
+    ModelConfig cfg = llm_cfg;
+    cfg.nLayers = n_layers;
+    std::ostringstream name;
+    name << llm_cfg.name << "-ee" << n_layers;
+    if (head_noise_std > 0.0f)
+        name << "-n" << noise_seed;
+    cfg.name = name.str();
+
+    if (head_noise_std <= 0.0f) {
+        // Pure early exit: share the LLM's weights outright.
+        return Transformer(cfg, llm.weights());
+    }
+
+    // Diverse pool member: private copy with a perturbed LM head.
+    auto w = std::make_shared<ModelWeights>(*llm.weights());
+    w->layers.resize(n_layers);
+    util::Rng rng(noise_seed ^ 0x55edbeefULL);
+    for (size_t r = 0; r < w->lmHead.rows(); ++r) {
+        float *row = w->lmHead.row(r);
+        for (size_t c = 0; c < w->lmHead.cols(); ++c)
+            row[c] += static_cast<float>(
+                rng.normal(0.0, head_noise_std));
+    }
+    return Transformer(cfg, std::move(w));
+}
+
+namespace {
+
+/**
+ * Copy the LLM's first n_layers, apply `compress` to every weight
+ * matrix (embedding excluded: token identities stay exact), and
+ * wrap in a transformer named with `tag`.
+ */
+Transformer
+makeCompressedSsm(const Transformer &llm, size_t n_layers,
+                  const std::string &tag,
+                  const std::function<void(tensor::Tensor &)> &compress)
+{
+    const ModelConfig &llm_cfg = llm.config();
+    SPECINFER_CHECK(n_layers > 0 && n_layers <= llm_cfg.nLayers,
+                    "compressed-SSM depth " << n_layers
+                                            << " outside [1, "
+                                            << llm_cfg.nLayers << "]");
+    ModelConfig cfg = llm_cfg;
+    cfg.nLayers = n_layers;
+    cfg.name = llm_cfg.name + "-" + tag;
+
+    auto w = std::make_shared<ModelWeights>(*llm.weights());
+    w->layers.resize(n_layers);
+    for (LayerWeights &lw : w->layers) {
+        compress(lw.wq);
+        compress(lw.wk);
+        compress(lw.wv);
+        compress(lw.wo);
+        compress(lw.wGate);
+        compress(lw.wUp);
+        compress(lw.wDown);
+    }
+    compress(w->lmHead);
+    return Transformer(cfg, std::move(w));
+}
+
+} // namespace
+
+Transformer
+makeQuantizedSsm(const Transformer &llm, size_t n_layers, int bits)
+{
+    std::ostringstream tag;
+    tag << "ee" << n_layers << "-q" << bits;
+    return makeCompressedSsm(llm, n_layers, tag.str(),
+                             [bits](tensor::Tensor &t) {
+                                 tensor::fakeQuantizeRows(t, bits);
+                             });
+}
+
+Transformer
+makePrunedSsm(const Transformer &llm, size_t n_layers,
+              double sparsity)
+{
+    std::ostringstream tag;
+    tag << "ee" << n_layers << "-p"
+        << static_cast<int>(sparsity * 100.0);
+    return makeCompressedSsm(llm, n_layers, tag.str(),
+                             [sparsity](tensor::Tensor &t) {
+                                 tensor::pruneByMagnitude(t,
+                                                          sparsity);
+                             });
+}
+
+} // namespace model
+} // namespace specinfer

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Construction of LLMs and their paired small speculative models.
+ *
+ * The paper obtains SSMs as pre-trained small members of the LLM's
+ * family (e.g. LLaMA-68M for LLaMA-7B) and optionally boost-tunes a
+ * pool of them. With no trained checkpoints available, we build SSMs
+ * as *early exits* of the LLM: an SSM shares the LLM's weights but
+ * runs only the first L layers, optionally with a perturbed LM head
+ * for cross-SSM diversity (the merge-based speculation pool).
+ * Early exits are genuinely partially aligned with the full model,
+ * which is the property speculation quality depends on; see
+ * DESIGN.md §2 for the substitution rationale.
+ */
+
+#ifndef SPECINFER_MODEL_MODEL_FACTORY_H
+#define SPECINFER_MODEL_MODEL_FACTORY_H
+
+#include <cstdint>
+
+#include "model/transformer.h"
+
+namespace specinfer {
+namespace model {
+
+/** Build an LLM from a config (deterministic weights from cfg.seed). */
+Transformer makeLlm(const ModelConfig &cfg);
+
+/**
+ * Build an early-exit SSM sharing the given LLM's weights.
+ *
+ * @param llm The target model to speculate for.
+ * @param n_layers Number of leading layers the SSM evaluates; must
+ *                 be <= the LLM's layer count.
+ * @param head_noise_std Standard deviation of Gaussian noise added
+ *                 to a private copy of the LM head. Zero (default)
+ *                 shares the head with no copy.
+ * @param noise_seed Seed for the head perturbation; distinct seeds
+ *                 produce a diverse SSM pool for merge-based trees.
+ */
+Transformer makeEarlyExitSsm(const Transformer &llm, size_t n_layers,
+                             float head_noise_std = 0.0f,
+                             uint64_t noise_seed = 1);
+
+/**
+ * Build a *quantized* SSM: the first n_layers of the LLM with every
+ * weight matrix fake-quantized to an n-bit grid (paper §1: SSMs as
+ * quantized variants of the LLM). The returned model runs on the
+ * same float kernels but behaves numerically like an n-bit model.
+ */
+Transformer makeQuantizedSsm(const Transformer &llm, size_t n_layers,
+                             int bits);
+
+/**
+ * Build a *pruned* SSM: the first n_layers of the LLM with the
+ * given fraction of smallest-magnitude weights zeroed per matrix
+ * (paper §1: SSMs as pruned variants of the LLM).
+ */
+Transformer makePrunedSsm(const Transformer &llm, size_t n_layers,
+                          double sparsity);
+
+} // namespace model
+} // namespace specinfer
+
+#endif // SPECINFER_MODEL_MODEL_FACTORY_H

@@ -1,0 +1,77 @@
+#include "model/sampler.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace specinfer {
+namespace model {
+
+std::vector<float>
+logitsToProbs(const float *logits, size_t n, const SamplingParams &params)
+{
+    SPECINFER_CHECK(n > 0, "empty logit row");
+    std::vector<float> probs(logits, logits + n);
+    tensor::softmaxRowTemperature(probs.data(), n, params.temperature);
+
+    if (params.topK > 0 && params.topK < n) {
+        std::vector<size_t> keep =
+            tensor::topkRow(probs.data(), n, params.topK);
+        std::vector<float> filtered(n, 0.0f);
+        float total = 0.0f;
+        for (size_t idx : keep) {
+            filtered[idx] = probs[idx];
+            total += probs[idx];
+        }
+        SPECINFER_CHECK(total > 0.0f, "top-k filtered all mass");
+        for (float &p : filtered)
+            p /= total;
+        probs.swap(filtered);
+    }
+
+    if (params.topP < 1.0f) {
+        SPECINFER_CHECK(params.topP > 0.0f, "topP must be in (0, 1]");
+        std::vector<size_t> order(n);
+        for (size_t i = 0; i < n; ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            if (probs[a] != probs[b])
+                return probs[a] > probs[b];
+            return a < b;
+        });
+        std::vector<float> filtered(n, 0.0f);
+        float total = 0.0f;
+        for (size_t idx : order) {
+            filtered[idx] = probs[idx];
+            total += probs[idx];
+            if (total >= params.topP)
+                break;
+        }
+        SPECINFER_CHECK(total > 0.0f, "top-p filtered all mass");
+        for (float &p : filtered)
+            p /= total;
+        probs.swap(filtered);
+    }
+    return probs;
+}
+
+int
+sampleToken(const float *logits, size_t n, const SamplingParams &params,
+            util::Rng &rng)
+{
+    if (params.isGreedy())
+        return greedyToken(logits, n);
+    std::vector<float> probs = logitsToProbs(logits, n, params);
+    return static_cast<int>(rng.categorical(probs));
+}
+
+int
+greedyToken(const float *logits, size_t n)
+{
+    return static_cast<int>(tensor::argmaxRow(logits, n));
+}
+
+} // namespace model
+} // namespace specinfer

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Token sampling: greedy, temperature, top-k, and top-p (nucleus).
+ *
+ * logitsToProbs() defines the *decoding distribution* both for the
+ * LLM and for SSMs; multi-step speculative sampling (core/verifier)
+ * preserves exactly this distribution per Theorem 4.2.
+ */
+
+#ifndef SPECINFER_MODEL_SAMPLER_H
+#define SPECINFER_MODEL_SAMPLER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace specinfer {
+namespace model {
+
+/** Decoding-distribution parameters. */
+struct SamplingParams
+{
+    /** Softmax temperature; <= 0 degenerates to greedy (one-hot). */
+    float temperature = 1.0f;
+
+    /** Keep only the k most likely tokens (0 disables). */
+    size_t topK = 0;
+
+    /** Nucleus sampling mass in (0, 1]; 1 disables. */
+    float topP = 1.0f;
+
+    /** True when the distribution is a deterministic one-hot. */
+    bool isGreedy() const { return temperature <= 0.0f; }
+};
+
+/**
+ * Convert a logit row into the decoding probability distribution:
+ * temperature softmax, then top-k filtering, then top-p filtering,
+ * renormalized.
+ */
+std::vector<float> logitsToProbs(const float *logits, size_t n,
+                                 const SamplingParams &params);
+
+/** Sample a token id from the decoding distribution. */
+int sampleToken(const float *logits, size_t n,
+                const SamplingParams &params, util::Rng &rng);
+
+/** Argmax token id. */
+int greedyToken(const float *logits, size_t n);
+
+} // namespace model
+} // namespace specinfer
+
+#endif // SPECINFER_MODEL_SAMPLER_H

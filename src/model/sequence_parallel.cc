@@ -1,0 +1,93 @@
+#include "model/sequence_parallel.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace model {
+
+tensor::Tensor
+sequenceParallelDecode(const Transformer &model, const DecodeChunk &chunk,
+                       KvCache &cache, SequenceParallelStats *stats)
+{
+    chunk.validate();
+    SPECINFER_CHECK(chunk.extraSlots.empty() &&
+                    chunk.prefixLen == DecodeChunk::kWholeCache,
+                    "sequence-parallel baseline handles plain tree "
+                    "chunks only");
+    const size_t m = chunk.size();
+    SPECINFER_CHECK(m > 0, "empty decode chunk");
+    const size_t base = cache.length();
+
+    // Identify leaves: nodes that are nobody's parent.
+    std::vector<bool> has_child(m, false);
+    for (size_t i = 0; i < m; ++i)
+        if (chunk.parents[i] >= 0)
+            has_child[static_cast<size_t>(chunk.parents[i])] = true;
+
+    tensor::Tensor logits(m, model.config().vocabSize);
+    std::vector<bool> have_logits(m, false);
+
+    // Main-cache rows for the chunk, filled from per-sequence runs.
+    const size_t main_base = cache.allocate(m);
+    SPECINFER_CHECK(main_base == base, "unexpected cache state");
+
+    SequenceParallelStats local;
+    const size_t kv_bytes = cache.kvDim() * sizeof(float);
+
+    for (size_t leaf = 0; leaf < m; ++leaf) {
+        if (has_child[leaf])
+            continue;
+        // Root-to-leaf path of chunk indices.
+        std::vector<size_t> path;
+        for (int32_t n = static_cast<int32_t>(leaf); n >= 0;
+             n = chunk.parents[n])
+            path.push_back(static_cast<size_t>(n));
+        std::reverse(path.begin(), path.end());
+
+        // One kernel per sequence, with a private copy of the prefix
+        // cache (the "conflicting key-value caches" cost of §4.2).
+        KvCache seq_cache = cache.clone();
+        seq_cache.truncate(base);
+        local.cacheRowsCopied += base;
+
+        std::vector<int> seq_tokens(path.size());
+        for (size_t j = 0; j < path.size(); ++j)
+            seq_tokens[j] = chunk.tokens[path[j]];
+        tensor::Tensor seq_logits = model.forward(
+            DecodeChunk::sequence(seq_tokens), seq_cache);
+        ++local.sequences;
+        local.tokensComputed += path.size();
+
+        // Harvest logits and main-cache KV rows for first-covered
+        // nodes; K/V of a node is identical across covering paths.
+        for (size_t j = 0; j < path.size(); ++j) {
+            size_t node = path[j];
+            if (have_logits[node])
+                continue;
+            have_logits[node] = true;
+            std::memcpy(logits.row(node), seq_logits.row(j),
+                        model.config().vocabSize * sizeof(float));
+            for (size_t layer = 0; layer < cache.layers(); ++layer) {
+                std::memcpy(cache.keyRow(layer, main_base + node),
+                            seq_cache.keyRow(layer, base + j),
+                            kv_bytes);
+                std::memcpy(cache.valueRow(layer, main_base + node),
+                            seq_cache.valueRow(layer, base + j),
+                            kv_bytes);
+            }
+        }
+    }
+
+    for (size_t i = 0; i < m; ++i)
+        SPECINFER_CHECK(have_logits[i], "node " << i
+                        << " not covered by any root-to-leaf path");
+    if (stats)
+        *stats = local;
+    return logits;
+}
+
+} // namespace model
+} // namespace specinfer

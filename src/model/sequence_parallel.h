@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Sequence-based parallel decoding — the baseline that tree-based
+ * parallel decoding replaces (paper Figure 4, left; evaluated in
+ * Figure 11).
+ *
+ * A token tree is decomposed into its root-to-leaf sequences; each
+ * sequence is decoded with its own cloned KV cache and its own
+ * "kernel launch" (forward call), recomputing shared prefixes. The
+ * result is mathematically identical to tree-based decoding, only
+ * slower — tests assert bit-equality, benches measure the gap.
+ */
+
+#ifndef SPECINFER_MODEL_SEQUENCE_PARALLEL_H
+#define SPECINFER_MODEL_SEQUENCE_PARALLEL_H
+
+#include "model/transformer.h"
+
+namespace specinfer {
+namespace model {
+
+/** Cost accounting for one sequence-parallel decode. */
+struct SequenceParallelStats
+{
+    size_t sequences = 0;        ///< kernels launched (one per leaf)
+    size_t tokensComputed = 0;   ///< token-forwards incl. redundancy
+    size_t cacheRowsCopied = 0;  ///< prefix rows duplicated per clone
+};
+
+/**
+ * Decode a token-tree chunk via per-sequence kernels.
+ *
+ * Has the same contract as Transformer::forward(): appends
+ * chunk.size() rows to `cache` (in chunk order, so subsequent
+ * keepRows()/truncate() behave identically) and returns logits
+ * [chunk.size() x vocab], bit-identical to tree-based decoding.
+ *
+ * @param stats Optional cost accounting output.
+ */
+tensor::Tensor sequenceParallelDecode(const Transformer &model,
+                                      const DecodeChunk &chunk,
+                                      KvCache &cache,
+                                      SequenceParallelStats *stats
+                                          = nullptr);
+
+} // namespace model
+} // namespace specinfer
+
+#endif // SPECINFER_MODEL_SEQUENCE_PARALLEL_H

@@ -1,0 +1,235 @@
+#include "model/transformer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace specinfer {
+namespace model {
+
+DecodeChunk
+DecodeChunk::single(int token)
+{
+    DecodeChunk chunk;
+    chunk.tokens = {token};
+    chunk.parents = {-1};
+    return chunk;
+}
+
+DecodeChunk
+DecodeChunk::sequence(const std::vector<int> &tokens)
+{
+    DecodeChunk chunk;
+    chunk.tokens = tokens;
+    chunk.parents.resize(tokens.size());
+    for (size_t i = 0; i < tokens.size(); ++i)
+        chunk.parents[i] = static_cast<int32_t>(i) - 1;
+    return chunk;
+}
+
+void
+DecodeChunk::validate() const
+{
+    SPECINFER_CHECK(tokens.size() == parents.size(),
+                    "chunk tokens/parents size mismatch");
+    SPECINFER_CHECK(extraSlots.empty() ||
+                    extraSlots.size() == tokens.size(),
+                    "extraSlots must be empty or per-token");
+    for (size_t i = 0; i < parents.size(); ++i) {
+        SPECINFER_CHECK(parents[i] >= -1 &&
+                        parents[i] < static_cast<int32_t>(i),
+                        "chunk parent " << parents[i] << " at index "
+                                        << i << " is not topological");
+    }
+}
+
+Transformer::Transformer(ModelConfig cfg,
+                         std::shared_ptr<const ModelWeights> weights)
+    : cfg_(std::move(cfg)), weights_(std::move(weights))
+{
+    cfg_.validate();
+    SPECINFER_CHECK(weights_ != nullptr, "null weights");
+    SPECINFER_CHECK(cfg_.nLayers <= weights_->layers.size(),
+                    "config uses " << cfg_.nLayers
+                                   << " layers but weights have "
+                                   << weights_->layers.size());
+}
+
+KvCache
+Transformer::makeCache(size_t capacity) const
+{
+    if (capacity == 0)
+        capacity = cfg_.maxSeqLen;
+    return KvCache(cfg_.nLayers, cfg_.dModel, capacity);
+}
+
+tensor::Tensor
+Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
+{
+    chunk.validate();
+    const size_t m = chunk.size();
+    SPECINFER_CHECK(m > 0, "empty decode chunk");
+    const size_t d = cfg_.dModel;
+    const size_t n_heads = cfg_.nHeads;
+    const size_t d_head = cfg_.dHead();
+    const float attn_scale = 1.0f / std::sqrt(static_cast<float>(d_head));
+
+    const size_t entry_len = cache.length();
+    const size_t prefix = chunk.prefixLen == DecodeChunk::kWholeCache
+                              ? entry_len : chunk.prefixLen;
+    SPECINFER_CHECK(prefix <= entry_len,
+                    "chunk prefixLen exceeds cache length");
+    const size_t base = cache.allocate(m);
+    ++kernelLaunches_;
+
+    static const std::vector<size_t> no_extras;
+    auto extras_of = [&](size_t i) -> const std::vector<size_t> & {
+        return chunk.extraSlots.empty() ? no_extras
+                                        : chunk.extraSlots[i];
+    };
+
+    // Derive absolute positions and per-token visibility. slots[i]
+    // is the full ascending list of cache slots token i attends to
+    // beyond the common prefix: extra slots first, then within-chunk
+    // ancestor slots (base + ancestor index), then itself.
+    std::vector<size_t> positions(m);
+    std::vector<std::vector<size_t>> slots(m);
+    for (size_t i = 0; i < m; ++i) {
+        const std::vector<size_t> &extras = extras_of(i);
+        for (size_t e = 0; e < extras.size(); ++e) {
+            SPECINFER_CHECK(extras[e] >= prefix && extras[e] < entry_len,
+                            "extra slot " << extras[e]
+                                          << " outside [prefix, entry)");
+            if (e > 0)
+                SPECINFER_CHECK(extras[e - 1] < extras[e],
+                                "extra slots must ascend");
+        }
+        int32_t p = chunk.parents[i];
+        if (p < 0) {
+            positions[i] = prefix + extras.size();
+            slots[i].assign(extras.begin(), extras.end());
+        } else {
+            SPECINFER_CHECK(extras.size() ==
+                            extras_of(static_cast<size_t>(p)).size(),
+                            "child must inherit parent's extra slots");
+            positions[i] = positions[p] + 1;
+            slots[i] = slots[p];
+        }
+        slots[i].push_back(base + i);
+        SPECINFER_CHECK(positions[i] < cache.capacity(),
+                        "token position exceeds cache capacity");
+    }
+
+    // Residual stream for the whole chunk.
+    tensor::Tensor hidden(m, d);
+    for (size_t i = 0; i < m; ++i) {
+        int tok = chunk.tokens[i];
+        SPECINFER_CHECK(tok >= 0 &&
+                        static_cast<size_t>(tok) < cfg_.vocabSize,
+                        "token " << tok << " outside vocabulary");
+        const float *emb = weights_->embedding.row(tok);
+        float *h = hidden.row(i);
+        for (size_t c = 0; c < d; ++c)
+            h[c] = emb[c];
+    }
+
+    std::vector<float> normed(d);
+    std::vector<float> q(d);
+    std::vector<float> attn_out(d);
+    std::vector<float> proj(d);
+    std::vector<float> scores;
+    std::vector<float> gate(cfg_.dFf);
+    std::vector<float> up(cfg_.dFf);
+
+    for (size_t layer = 0; layer < cfg_.nLayers; ++layer) {
+        const LayerWeights &lw = weights_->layers[layer];
+
+        // Phase 1: write post-RoPE K and V for the whole chunk so
+        // that attention below can read any ancestor's slot. This is
+        // the fused single-kernel layout of §4.2.
+        for (size_t i = 0; i < m; ++i) {
+            tensor::rmsnormRow(hidden.row(i), lw.attnNorm.data(), d,
+                               normed.data());
+            float *k_row = cache.keyRow(layer, base + i);
+            float *v_row = cache.valueRow(layer, base + i);
+            tensor::matvecTransposed(normed.data(), lw.wk, k_row);
+            tensor::matvecTransposed(normed.data(), lw.wv, v_row);
+            tensor::ropeRow(k_row, n_heads, d_head, positions[i],
+                            cfg_.ropeTheta);
+        }
+
+        // Phase 2: attention under the topology-aware causal mask.
+        for (size_t i = 0; i < m; ++i) {
+            tensor::rmsnormRow(hidden.row(i), lw.attnNorm.data(), d,
+                               normed.data());
+            tensor::matvecTransposed(normed.data(), lw.wq, q.data());
+            tensor::ropeRow(q.data(), n_heads, d_head, positions[i],
+                            cfg_.ropeTheta);
+
+            const std::vector<size_t> &vis = slots[i];
+            const size_t n_ctx = prefix + vis.size();
+            scores.resize(n_ctx);
+            for (size_t h = 0; h < n_heads; ++h) {
+                const float *qh = q.data() + h * d_head;
+                const size_t off = h * d_head;
+                for (size_t s = 0; s < prefix; ++s)
+                    scores[s] = attn_scale *
+                        tensor::dotRow(qh, cache.keyRow(layer, s) + off,
+                                       d_head);
+                for (size_t a = 0; a < vis.size(); ++a)
+                    scores[prefix + a] = attn_scale *
+                        tensor::dotRow(qh,
+                                       cache.keyRow(layer, vis[a]) + off,
+                                       d_head);
+                tensor::softmaxRow(scores.data(), n_ctx);
+                float *out_h = attn_out.data() + h * d_head;
+                std::fill(out_h, out_h + d_head, 0.0f);
+                for (size_t s = 0; s < prefix; ++s) {
+                    const float *vh = cache.valueRow(layer, s) + off;
+                    const float wgt = scores[s];
+                    for (size_t c = 0; c < d_head; ++c)
+                        out_h[c] += wgt * vh[c];
+                }
+                for (size_t a = 0; a < vis.size(); ++a) {
+                    const float *vh =
+                        cache.valueRow(layer, vis[a]) + off;
+                    const float wgt = scores[prefix + a];
+                    for (size_t c = 0; c < d_head; ++c)
+                        out_h[c] += wgt * vh[c];
+                }
+            }
+            tensor::matvecTransposed(attn_out.data(), lw.wo,
+                                     proj.data());
+            tensor::addRow(hidden.row(i), proj.data(), d);
+
+            // SwiGLU MLP.
+            tensor::rmsnormRow(hidden.row(i), lw.ffnNorm.data(), d,
+                               normed.data());
+            tensor::matvecTransposed(normed.data(), lw.wGate,
+                                     gate.data());
+            tensor::matvecTransposed(normed.data(), lw.wUp, up.data());
+            tensor::siluRow(gate.data(), cfg_.dFf);
+            tensor::mulRows(gate.data(), gate.data(), up.data(),
+                            cfg_.dFf);
+            tensor::matvecTransposed(gate.data(), lw.wDown,
+                                     proj.data());
+            tensor::addRow(hidden.row(i), proj.data(), d);
+        }
+    }
+
+    // Final norm + LM head.
+    tensor::Tensor logits(m, cfg_.vocabSize);
+    for (size_t i = 0; i < m; ++i) {
+        tensor::rmsnormRow(hidden.row(i), weights_->finalNorm.data(), d,
+                           normed.data());
+        tensor::matvecTransposed(normed.data(), weights_->lmHead,
+                                 logits.row(i));
+        tensor::scaleRow(logits.row(i), cfg_.vocabSize, cfg_.logitScale);
+    }
+    return logits;
+}
+
+} // namespace model
+} // namespace specinfer

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Decoder-only transformer with tree-based parallel decoding.
+ *
+ * forward() processes a DecodeChunk — an arbitrary batch of new
+ * tokens linked by within-chunk parent pointers. A plain sequence is
+ * a chunk whose parents are {-1, 0, 1, ...}; a token tree is a chunk
+ * in topological order with tree parents. Attention for chunk token
+ * i covers (a) the cached prefix, (b) optional explicit extra cache
+ * slots (speculated ancestors committed by an earlier chunk), and
+ * (c) i's within-chunk ancestors including itself. This is exactly
+ * the paper's topology-aware causal mask (§4.2), evaluated in one
+ * fused pass over the chunk.
+ */
+
+#ifndef SPECINFER_MODEL_TRANSFORMER_H
+#define SPECINFER_MODEL_TRANSFORMER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "model/config.h"
+#include "model/kv_cache.h"
+#include "model/weights.h"
+#include "tensor/tensor.h"
+
+namespace specinfer {
+namespace model {
+
+/**
+ * A batch of new tokens to decode against a KV cache.
+ *
+ * parents[i] is the within-chunk index of token i's parent, or -1 if
+ * token i's parent is already cached. Parents must precede children.
+ *
+ * Visibility of chunk token i under the topology-aware causal mask:
+ *   - cache slots [0, prefixLen)  (the verified common prefix);
+ *   - extraSlots[i]               (cached speculated ancestors,
+ *                                  strictly ascending, all >=
+ *                                  prefixLen; empty when unused);
+ *   - within-chunk ancestors of i (derived from parents), plus i.
+ *
+ * Token positions for RoPE are derived:
+ *   position(i) = parents[i] < 0
+ *                   ? prefixLen + extraSlots[i].size()
+ *                   : position(parent) + 1.
+ */
+struct DecodeChunk
+{
+    std::vector<int> tokens;
+    std::vector<int32_t> parents;
+
+    /**
+     * Number of leading cache slots visible to every chunk token.
+     * kWholeCache (default) resolves to the cache length at entry.
+     */
+    static constexpr size_t kWholeCache = static_cast<size_t>(-1);
+    size_t prefixLen = kWholeCache;
+
+    /** Optional per-token extra cache slots; empty vector = none. */
+    std::vector<std::vector<size_t>> extraSlots;
+
+    size_t size() const { return tokens.size(); }
+
+    /** Chunk holding one token extending the cached prefix. */
+    static DecodeChunk single(int token);
+
+    /** Chunk holding a plain token sequence. */
+    static DecodeChunk sequence(const std::vector<int> &tokens);
+
+    /** Abort if sizes mismatch or parents are malformed. */
+    void validate() const;
+};
+
+/**
+ * Decoder-only transformer (RMSNorm + RoPE + SwiGLU), usable both as
+ * the LLM token tree verifier and as a small speculative model.
+ *
+ * The instance does not own a KV cache; callers create one per
+ * request with makeCache() so many requests can share the weights.
+ */
+class Transformer
+{
+  public:
+    /**
+     * @param cfg Architecture description; cfg.nLayers may be
+     *            smaller than weights->layers.size() (early exit).
+     * @param weights Shared immutable weights.
+     */
+    Transformer(ModelConfig cfg,
+                std::shared_ptr<const ModelWeights> weights);
+
+    const ModelConfig &config() const { return cfg_; }
+    const std::shared_ptr<const ModelWeights> &weights() const
+    {
+        return weights_;
+    }
+
+    /** Create an empty KV cache sized for this model. */
+    KvCache makeCache(size_t capacity = 0) const;
+
+    /**
+     * Run tree-based parallel decoding on one chunk.
+     *
+     * Appends chunk.size() rows to the cache (committed; the caller
+     * rolls back speculative rows with truncate()/keepRows()) and
+     * returns logits with shape [chunk.size() x vocabSize].
+     */
+    tensor::Tensor forward(const DecodeChunk &chunk, KvCache &cache) const;
+
+    /**
+     * Count of fused attention "kernels" launched so far (one per
+     * forward() call); the sequence-based baseline launches one per
+     * sequence, which is the contrast drawn by Figure 4.
+     */
+    uint64_t kernelLaunches() const { return kernelLaunches_; }
+
+  private:
+    ModelConfig cfg_;
+    std::shared_ptr<const ModelWeights> weights_;
+    mutable uint64_t kernelLaunches_ = 0;
+};
+
+} // namespace model
+} // namespace specinfer
+
+#endif // SPECINFER_MODEL_TRANSFORMER_H

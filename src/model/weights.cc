@@ -1,0 +1,79 @@
+#include "model/weights.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace specinfer {
+namespace model {
+
+namespace {
+
+void
+fillGaussian(tensor::Tensor &t, util::Rng &rng, float stddev)
+{
+    for (size_t r = 0; r < t.rows(); ++r) {
+        float *row = t.row(r);
+        for (size_t c = 0; c < t.cols(); ++c)
+            row[c] = static_cast<float>(rng.normal(0.0, stddev));
+    }
+}
+
+} // namespace
+
+std::shared_ptr<ModelWeights>
+initWeights(const ModelConfig &cfg)
+{
+    cfg.validate();
+    auto w = std::make_shared<ModelWeights>();
+
+    // Init scales are intentionally independent of cfg.nLayers so
+    // that a shallower config with the same seed yields an exact
+    // prefix of the deeper model's layer stack (the early-exit SSM
+    // property, tested by WeightsTest.ShallowConfigIsPrefixOfDeep).
+    const float d = static_cast<float>(cfg.dModel);
+    const float base_std = 1.0f / std::sqrt(d);
+    const float resid_std = base_std * cfg.residualScale;
+
+    // Embedding and head are seeded independently of depth so that
+    // models of different depth share them when seeds match.
+    {
+        util::Rng rng(cfg.seed ^ 0xe3bedd1176ULL);
+        w->embedding.reset(cfg.vocabSize, cfg.dModel);
+        fillGaussian(w->embedding, rng, 1.0f);
+        w->lmHead.reset(cfg.vocabSize, cfg.dModel);
+        fillGaussian(w->lmHead, rng, base_std);
+        w->finalNorm.assign(cfg.dModel, 1.0f);
+    }
+
+    w->layers.resize(cfg.nLayers);
+    for (size_t i = 0; i < cfg.nLayers; ++i) {
+        // Per-layer stream keyed on (seed, layer index) only: a
+        // shallower config is a prefix of a deeper one.
+        util::Rng rng(cfg.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+        LayerWeights &lw = w->layers[i];
+        lw.wq.reset(cfg.dModel, cfg.dModel);
+        lw.wk.reset(cfg.dModel, cfg.dModel);
+        lw.wv.reset(cfg.dModel, cfg.dModel);
+        lw.wo.reset(cfg.dModel, cfg.dModel);
+        lw.wGate.reset(cfg.dFf, cfg.dModel);
+        lw.wUp.reset(cfg.dFf, cfg.dModel);
+        lw.wDown.reset(cfg.dModel, cfg.dFf);
+        fillGaussian(lw.wq, rng, base_std);
+        fillGaussian(lw.wk, rng, base_std);
+        fillGaussian(lw.wv, rng, base_std);
+        fillGaussian(lw.wo, rng, resid_std);
+        fillGaussian(lw.wGate, rng, base_std);
+        fillGaussian(lw.wUp, rng, base_std);
+        fillGaussian(lw.wDown, rng,
+                     cfg.residualScale /
+                     std::sqrt(static_cast<float>(cfg.dFf)));
+        lw.attnNorm.assign(cfg.dModel, 1.0f);
+        lw.ffnNorm.assign(cfg.dModel, 1.0f);
+    }
+    return w;
+}
+
+} // namespace model
+} // namespace specinfer

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Weight containers and deterministic initialization for the
+ * transformer substrate.
+ */
+
+#ifndef SPECINFER_MODEL_WEIGHTS_H
+#define SPECINFER_MODEL_WEIGHTS_H
+
+#include <memory>
+#include <vector>
+
+#include "model/config.h"
+#include "tensor/tensor.h"
+
+namespace specinfer {
+namespace model {
+
+/** Weights of one transformer block. Linear layers are stored
+ *  row-major as [out_dim x in_dim] (used with matvecTransposed). */
+struct LayerWeights
+{
+    tensor::Tensor wq, wk, wv, wo;        ///< attention projections
+    tensor::Tensor wGate, wUp, wDown;     ///< SwiGLU MLP
+    std::vector<float> attnNorm;          ///< pre-attention RMSNorm gain
+    std::vector<float> ffnNorm;           ///< pre-MLP RMSNorm gain
+};
+
+/** Full model weights. */
+struct ModelWeights
+{
+    tensor::Tensor embedding;             ///< [vocab x dModel]
+    std::vector<LayerWeights> layers;
+    std::vector<float> finalNorm;         ///< final RMSNorm gain
+    tensor::Tensor lmHead;                ///< [vocab x dModel]
+};
+
+/**
+ * Deterministically initialize weights from cfg.seed.
+ *
+ * Layer i's weights depend only on (seed, i), so a config with fewer
+ * layers but the same seed produces a strict prefix of the deeper
+ * model's stack — the property early-exit SSMs rely on. Residual-path
+ * projections (wo, wDown) are scaled by
+ * residualScale / sqrt(nLayers) so block contributions stay modest
+ * and early exits remain aligned with the full model.
+ */
+std::shared_ptr<ModelWeights> initWeights(const ModelConfig &cfg);
+
+} // namespace model
+} // namespace specinfer
+
+#endif // SPECINFER_MODEL_WEIGHTS_H

@@ -1,0 +1,86 @@
+#include "runtime/kv_memory.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace runtime {
+
+KvBlockAllocator::KvBlockAllocator(size_t total_blocks,
+                                   size_t block_tokens)
+    : totalBlocks_(total_blocks), blockTokens_(block_tokens)
+{
+    SPECINFER_CHECK(total_blocks > 0, "empty KV pool");
+    SPECINFER_CHECK(block_tokens > 0, "degenerate KV block size");
+}
+
+size_t
+KvBlockAllocator::blocksFor(size_t tokens) const
+{
+    return (tokens + blockTokens_ - 1) / blockTokens_;
+}
+
+bool
+KvBlockAllocator::canReserve(uint64_t request, size_t tokens) const
+{
+    size_t want = blocksFor(tokens);
+    size_t have = requestBlocks(request);
+    if (want <= have)
+        return true;
+    return want - have <= freeBlocks();
+}
+
+bool
+KvBlockAllocator::reserve(uint64_t request, size_t tokens)
+{
+    size_t want = blocksFor(tokens);
+    size_t have = requestBlocks(request);
+    if (want <= have)
+        return true;
+    size_t grow = want - have;
+    if (grow > freeBlocks()) {
+        ++stats_.failedReservations;
+        return false;
+    }
+    held_[request] = want;
+    usedBlocks_ += grow;
+    stats_.peakUsedBlocks =
+        std::max(stats_.peakUsedBlocks, usedBlocks_);
+    ++stats_.totalReservations;
+    return true;
+}
+
+void
+KvBlockAllocator::release(uint64_t request)
+{
+    auto it = held_.find(request);
+    if (it == held_.end())
+        return;
+    SPECINFER_CHECK(usedBlocks_ >= it->second,
+                    "KV pool accounting underflow");
+    usedBlocks_ -= it->second;
+    held_.erase(it);
+}
+
+size_t
+KvBlockAllocator::requestBlocks(uint64_t request) const
+{
+    auto it = held_.find(request);
+    return it == held_.end() ? 0 : it->second;
+}
+
+double
+KvBlockAllocator::fragmentation(size_t actual_tokens) const
+{
+    size_t capacity_tokens = usedBlocks_ * blockTokens_;
+    if (capacity_tokens == 0)
+        return 0.0;
+    size_t waste = capacity_tokens -
+                   std::min(actual_tokens, capacity_tokens);
+    return static_cast<double>(waste) /
+           static_cast<double>(capacity_tokens);
+}
+
+} // namespace runtime
+} // namespace specinfer

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Paged KV-cache memory accounting and admission control.
+ *
+ * The paper's introduction motivates speculation partly through KV
+ * memory pressure: caching keys and values for long sequences
+ * limits how many requests can be served in parallel. This module
+ * models the block-granular KV memory pool of a modern serving
+ * system (as popularized by vLLM's PagedAttention, cited as a
+ * baseline in §6): requests reserve fixed-size token blocks as
+ * their sequences grow, and the request manager admits a request
+ * only when its worst-case footprint fits.
+ */
+
+#ifndef SPECINFER_RUNTIME_KV_MEMORY_H
+#define SPECINFER_RUNTIME_KV_MEMORY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+namespace specinfer {
+namespace runtime {
+
+/** Aggregate pool statistics. */
+struct KvMemoryStats
+{
+    size_t peakUsedBlocks = 0;    ///< high-water mark
+    size_t failedReservations = 0;///< reserve() calls that failed
+    size_t totalReservations = 0; ///< successful reserve() calls
+};
+
+/**
+ * Block-granular KV memory pool shared by all requests of one
+ * serving pipeline.
+ *
+ * A request's reservation is expressed in tokens and rounded up to
+ * blocks; reservations only grow (sequences never shrink) until the
+ * request releases everything at completion.
+ */
+class KvBlockAllocator
+{
+  public:
+    /**
+     * @param total_blocks Pool capacity in blocks.
+     * @param block_tokens Tokens per block (vLLM default: 16).
+     */
+    KvBlockAllocator(size_t total_blocks, size_t block_tokens);
+
+    size_t totalBlocks() const { return totalBlocks_; }
+    size_t usedBlocks() const { return usedBlocks_; }
+    size_t freeBlocks() const { return totalBlocks_ - usedBlocks_; }
+    size_t blockTokens() const { return blockTokens_; }
+
+    /** Blocks required to hold the given number of tokens. */
+    size_t blocksFor(size_t tokens) const;
+
+    /** True when a reservation of `tokens` for `request` would
+     *  succeed (accounting for its current holding). */
+    bool canReserve(uint64_t request, size_t tokens) const;
+
+    /**
+     * Grow request's reservation to cover `tokens` tokens.
+     * @return false (and change nothing) when the pool is exhausted;
+     *         shrinking requests is a no-op returning true.
+     */
+    bool reserve(uint64_t request, size_t tokens);
+
+    /** Release all blocks held by the request. */
+    void release(uint64_t request);
+
+    /** Blocks currently held by the request (0 if unknown). */
+    size_t requestBlocks(uint64_t request) const;
+
+    /** Number of requests currently holding blocks. */
+    size_t activeRequests() const { return held_.size(); }
+
+    /**
+     * Internal fragmentation: fraction of reserved token capacity
+     * that is not backed by actual tokens, given the actual token
+     * total (callers track actual tokens themselves).
+     */
+    double fragmentation(size_t actual_tokens) const;
+
+    const KvMemoryStats &stats() const { return stats_; }
+
+  private:
+    size_t totalBlocks_;
+    size_t blockTokens_;
+    size_t usedBlocks_ = 0;
+    std::map<uint64_t, size_t> held_; ///< request -> blocks
+    KvMemoryStats stats_;
+};
+
+} // namespace runtime
+} // namespace specinfer
+
+#endif // SPECINFER_RUNTIME_KV_MEMORY_H

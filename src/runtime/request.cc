@@ -1,0 +1,2 @@
+// Request types are header-only; this file anchors the library.
+#include "runtime/request.h"

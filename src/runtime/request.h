@@ -1,0 +1,64 @@
+/**
+ * @file
+ * LLM serving request descriptors and results.
+ */
+
+#ifndef SPECINFER_RUNTIME_REQUEST_H
+#define SPECINFER_RUNTIME_REQUEST_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/spec_engine.h"
+
+namespace specinfer {
+namespace runtime {
+
+/** Lifecycle of a request inside the request manager. */
+enum class RequestStatus
+{
+    Pending,   ///< queued, not yet admitted to a batch
+    Running,   ///< part of the active batch
+    Finished,  ///< generation complete; result available
+};
+
+/** A serving request as submitted by a client. */
+struct Request
+{
+    uint64_t id = 0;
+    std::vector<int> prompt;
+    /** Iteration at which the request was submitted. */
+    size_t arrivalIteration = 0;
+    /** Per-request generation budget; 0 uses the engine default. */
+    size_t maxNewTokens = 0;
+};
+
+/** Completed request with timing and speculation statistics. */
+struct RequestResult
+{
+    uint64_t id = 0;
+    std::vector<int> tokens;           ///< generated tokens
+    core::SpecStats stats;
+    core::SpecSession::StopReason stopReason =
+        core::SpecSession::StopReason::None;
+    size_t arrivalIteration = 0;
+    size_t startIteration = 0;         ///< first iteration in a batch
+    size_t finishIteration = 0;
+
+    /** Iterations spent queued before admission. */
+    size_t queueIterations() const
+    {
+        return startIteration - arrivalIteration;
+    }
+
+    /** Iterations spent decoding. */
+    size_t serviceIterations() const
+    {
+        return finishIteration - startIteration + 1;
+    }
+};
+
+} // namespace runtime
+} // namespace specinfer
+
+#endif // SPECINFER_RUNTIME_REQUEST_H

@@ -1,0 +1,197 @@
+#include "runtime/request_manager.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace runtime {
+
+RequestManager::RequestManager(const core::SpecEngine *engine,
+                               ServingConfig cfg)
+    : engine_(engine), cfg_(cfg)
+{
+    SPECINFER_CHECK(engine_ != nullptr, "null engine");
+    SPECINFER_CHECK(cfg_.maxBatchSize > 0, "batch size must be >= 1");
+    if (cfg_.kvPoolBlocks > 0)
+        kvPool_ = std::make_unique<KvBlockAllocator>(
+            cfg_.kvPoolBlocks, cfg_.kvBlockTokens);
+}
+
+uint64_t
+RequestManager::submit(std::vector<int> prompt,
+                       size_t max_new_tokens)
+{
+    Request req;
+    req.id = nextId_++;
+    req.prompt = std::move(prompt);
+    req.arrivalIteration = stats_.iterations;
+    req.maxNewTokens = max_new_tokens;
+    if (kvPool_) {
+        SPECINFER_CHECK(
+            kvPool_->blocksFor(worstCaseTokens(req)) <=
+                kvPool_->totalBlocks(),
+            "request can never fit in the KV pool; grow "
+            "kvPoolBlocks");
+    }
+    pending_.push_back(std::move(req));
+    ++stats_.requestsSubmitted;
+    return pending_.back().id;
+}
+
+bool
+RequestManager::busy() const
+{
+    return !pending_.empty() || !active_.empty();
+}
+
+size_t
+RequestManager::worstCaseTokens(const Request &req) const
+{
+    const size_t budget = req.maxNewTokens > 0
+                              ? req.maxNewTokens
+                              : engine_->config().maxNewTokens;
+    return req.prompt.size() + budget + engine_->treeBudget() + 2;
+}
+
+size_t
+RequestManager::preemptLatestArrival(uint64_t requester)
+{
+    // Request ids increase with submission order, so the id is the
+    // arrival priority: only strictly later arrivals are eligible
+    // victims, and among them the latest goes first.
+    size_t victim = active_.size();
+    for (size_t i = 0; i < active_.size(); ++i) {
+        if (active_[i].request.id <= requester)
+            continue;
+        if (victim == active_.size() ||
+            active_[i].request.id > active_[victim].request.id)
+            victim = i;
+    }
+    if (victim == active_.size())
+        return kNoVictim;
+    // Release memory and requeue for a fresh (recomputed) start;
+    // seeding by request id keeps the eventual output identical.
+    kvPool_->release(active_[victim].request.id);
+    pending_.push_front(std::move(active_[victim].request));
+    active_.erase(active_.begin() + static_cast<ptrdiff_t>(victim));
+    ++stats_.preemptions;
+    return victim;
+}
+
+void
+RequestManager::runIteration()
+{
+    // Admit pending requests into the free batch slots. Static
+    // batching only admits into an idle engine; continuous batching
+    // admits whenever a slot is free. With a KV pool, admission
+    // additionally requires a memory reservation.
+    const bool may_admit =
+        cfg_.policy == SchedulingPolicy::Continuous ||
+        active_.empty();
+    while (may_admit && active_.size() < cfg_.maxBatchSize &&
+           !pending_.empty()) {
+        Request &front = pending_.front();
+        if (kvPool_) {
+            const size_t need =
+                cfg_.kvPolicy == KvReservationPolicy::WorstCase
+                    ? worstCaseTokens(front)
+                    : front.prompt.size() + engine_->treeBudget() +
+                          2;
+            if (!kvPool_->reserve(front.id, need))
+                break; // pool exhausted; retry next iteration
+        }
+        Request req = std::move(front);
+        pending_.pop_front();
+        core::SpecSession session = engine_->makeSession(
+            req.prompt, req.id, req.maxNewTokens);
+        active_.push_back({std::move(req), std::move(session),
+                           stats_.iterations});
+    }
+    if (active_.empty()) {
+        // Nothing runnable; still counts as a scheduling tick so
+        // arrival bookkeeping stays monotone.
+        stats_.batchSizeTrace.push_back(0);
+        ++stats_.iterations;
+        return;
+    }
+    stats_.batchSizeTrace.push_back(active_.size());
+
+    // One decoding iteration per active request (iteration-level
+    // scheduling: requests at different progress advance together).
+    // Under on-demand paging a request's growth may exhaust the
+    // pool mid-flight; the youngest active request is then
+    // preempted and restarted later (vLLM-style recompute).
+    for (size_t i = 0; i < active_.size();) {
+        const uint64_t id = active_[i].request.id;
+        if (kvPool_ &&
+            cfg_.kvPolicy == KvReservationPolicy::OnDemand) {
+            const size_t need = active_[i].session.sequence().size() +
+                                engine_->treeBudget() + 2;
+            bool ok = kvPool_->reserve(id, need);
+            while (!ok) {
+                size_t erased = preemptLatestArrival(id);
+                if (erased == kNoVictim)
+                    break;
+                if (erased < i)
+                    --i; // our element shifted left
+                ok = kvPool_->reserve(id, need);
+            }
+            if (!ok) {
+                // Last resort: preempt this request itself (it will
+                // restart when memory frees).
+                kvPool_->release(id);
+                pending_.push_front(std::move(active_[i].request));
+                active_.erase(active_.begin() +
+                              static_cast<ptrdiff_t>(i));
+                ++stats_.preemptions;
+                continue;
+            }
+        }
+        active_[i].session.step();
+        ++stats_.requestIterations;
+        ++i;
+    }
+    ++stats_.iterations;
+
+    // Retire finished requests; their slots free up immediately.
+    for (size_t i = 0; i < active_.size();) {
+        if (!active_[i].session.done()) {
+            ++i;
+            continue;
+        }
+        ActiveRequest &ar = active_[i];
+        RequestResult res;
+        res.id = ar.request.id;
+        res.tokens = ar.session.generated();
+        res.stats = ar.session.stats();
+        res.stopReason = ar.session.stopReason();
+        res.arrivalIteration = ar.request.arrivalIteration;
+        res.startIteration = ar.startIteration;
+        res.finishIteration = stats_.iterations - 1;
+        stats_.tokensGenerated += res.tokens.size();
+        ++stats_.requestsFinished;
+        if (kvPool_)
+            kvPool_->release(res.id);
+        finished_.push_back(std::move(res));
+        active_.erase(active_.begin() + static_cast<ptrdiff_t>(i));
+    }
+}
+
+void
+RequestManager::runUntilDrained()
+{
+    while (busy())
+        runIteration();
+}
+
+std::vector<RequestResult>
+RequestManager::takeFinished()
+{
+    std::vector<RequestResult> out = std::move(finished_);
+    finished_.clear();
+    return out;
+}
+
+} // namespace runtime
+} // namespace specinfer

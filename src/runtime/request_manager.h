@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Request manager with Orca-style continuous batching (paper §5.1).
+ *
+ * Scheduling is at *iteration* granularity: every call to
+ * runIteration() admits pending requests into the active batch (up
+ * to maxBatchSize), runs one speculate+verify iteration for every
+ * active request, and retires requests that finished — so new
+ * requests start decoding without waiting for the current batch to
+ * drain, and finished requests leave immediately.
+ */
+
+#ifndef SPECINFER_RUNTIME_REQUEST_MANAGER_H
+#define SPECINFER_RUNTIME_REQUEST_MANAGER_H
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/spec_engine.h"
+#include "runtime/kv_memory.h"
+#include "runtime/request.h"
+
+namespace specinfer {
+namespace runtime {
+
+/** Batch admission policy. */
+enum class SchedulingPolicy
+{
+    /** Orca-style continuous batching (paper §5.1): requests join
+     *  and leave the batch at iteration granularity. */
+    Continuous,
+
+    /** Request-level static batching, the pre-Orca baseline: a
+     *  batch is formed when the engine is idle and no request joins
+     *  until the whole batch drains. */
+    Static,
+};
+
+/** How KV memory is reserved for admitted requests. */
+enum class KvReservationPolicy
+{
+    /** Reserve the worst-case footprint (prompt + full generation
+     *  budget + one token tree) at admission; never preempts but
+     *  wastes capacity (internal over-reservation). */
+    WorstCase,
+
+    /** Reserve blocks on demand as sequences grow (vLLM-style
+     *  paging); admits more requests but may have to preempt and
+     *  restart the youngest request on pool exhaustion. */
+    OnDemand,
+};
+
+/** Request manager configuration. */
+struct ServingConfig
+{
+    /** Maximum number of requests decoded concurrently. */
+    size_t maxBatchSize = 8;
+
+    /** Admission policy. */
+    SchedulingPolicy policy = SchedulingPolicy::Continuous;
+
+    /** KV memory pool size in blocks; 0 disables memory-based
+     *  admission control. */
+    size_t kvPoolBlocks = 0;
+
+    /** Tokens per KV block. */
+    size_t kvBlockTokens = 16;
+
+    /** Reservation policy when a pool is configured. */
+    KvReservationPolicy kvPolicy = KvReservationPolicy::WorstCase;
+};
+
+/** Aggregate serving metrics. */
+struct ServingStats
+{
+    size_t iterations = 0;
+    size_t requestsSubmitted = 0;
+    size_t requestsFinished = 0;
+    size_t tokensGenerated = 0;
+    /** Sum over iterations of the active batch size. */
+    size_t requestIterations = 0;
+    /** Requests preempted and restarted due to KV pool pressure. */
+    size_t preemptions = 0;
+    /** Active batch size of every iteration, in order (0 = idle
+     *  tick); lets callers price each iteration through a hardware
+     *  model. */
+    std::vector<size_t> batchSizeTrace;
+
+    double avgBatchSize() const
+    {
+        return iterations == 0
+                   ? 0.0
+                   : static_cast<double>(requestIterations) /
+                         static_cast<double>(iterations);
+    }
+};
+
+/**
+ * Schedules requests onto a SpecEngine with continuous batching.
+ * Single-threaded by design: one manager models one serving
+ * pipeline, matching the paper's per-pipeline latency experiments.
+ */
+class RequestManager
+{
+  public:
+    /**
+     * @param engine Non-owning engine shared by all requests.
+     * @param cfg Scheduling configuration.
+     */
+    RequestManager(const core::SpecEngine *engine, ServingConfig cfg);
+
+    /**
+     * Submit a request; returns its id.
+     * @param max_new_tokens Per-request generation budget; 0 uses
+     *        the engine default.
+     */
+    uint64_t submit(std::vector<int> prompt,
+                    size_t max_new_tokens = 0);
+
+    /** True while any request is pending or running. */
+    bool busy() const;
+
+    /**
+     * One iteration-level scheduling step: admit, decode one
+     * iteration for each active request, retire finished requests.
+     */
+    void runIteration();
+
+    /** Drive iterations until no request is pending or running. */
+    void runUntilDrained();
+
+    size_t pendingCount() const { return pending_.size(); }
+    size_t activeCount() const { return active_.size(); }
+    size_t iterationCount() const { return stats_.iterations; }
+    const ServingStats &stats() const { return stats_; }
+
+    /** Results completed so far, in finish order. */
+    const std::vector<RequestResult> &finished() const
+    {
+        return finished_;
+    }
+
+    /** Move out the finished results (clients draining output). */
+    std::vector<RequestResult> takeFinished();
+
+    /** KV memory pool, or nullptr when admission is unbounded. */
+    const KvBlockAllocator *kvPool() const { return kvPool_.get(); }
+
+  private:
+    /** Worst-case cached tokens for a request over its lifetime. */
+    size_t worstCaseTokens(const Request &req) const;
+
+    static constexpr size_t kNoVictim = static_cast<size_t>(-1);
+
+    /**
+     * Preempt the latest-arrival active request that arrived after
+     * `requester` (FCFS priority: a request may only steal memory
+     * from strictly later arrivals, otherwise two requests could
+     * evict each other forever). Releases the victim's memory and
+     * requeues it for a fresh start.
+     * @return the erased index, or kNoVictim if none.
+     */
+    size_t preemptLatestArrival(uint64_t requester);
+    struct ActiveRequest
+    {
+        Request request;
+        core::SpecSession session;
+        size_t startIteration;
+    };
+
+    const core::SpecEngine *engine_;
+    ServingConfig cfg_;
+    uint64_t nextId_ = 1;
+    std::deque<Request> pending_;
+    std::vector<ActiveRequest> active_;
+    std::vector<RequestResult> finished_;
+    ServingStats stats_;
+    std::unique_ptr<KvBlockAllocator> kvPool_;
+};
+
+} // namespace runtime
+} // namespace specinfer
+
+#endif // SPECINFER_RUNTIME_REQUEST_MANAGER_H

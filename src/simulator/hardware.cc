@@ -1,0 +1,35 @@
+#include "simulator/hardware.h"
+
+namespace specinfer {
+namespace simulator {
+
+GpuSpec
+GpuSpec::a10()
+{
+    GpuSpec spec;
+    spec.name = "NVIDIA A10 24GB";
+    spec.fp16Tflops = 125.0;
+    spec.computeEfficiency = 0.8;
+    spec.hbmBandwidthGBps = 600.0;
+    spec.bandwidthEfficiency = 0.8;
+    spec.hbmCapacityGB = 24.0;
+    spec.perLayerOverheadUs = 12.0;
+    return spec;
+}
+
+InterconnectSpec
+InterconnectSpec::g5_12xlarge()
+{
+    return InterconnectSpec{};
+}
+
+ClusterSpec
+ClusterSpec::paperTestbed(size_t nodes)
+{
+    ClusterSpec spec;
+    spec.nodes = nodes;
+    return spec;
+}
+
+} // namespace simulator
+} // namespace specinfer

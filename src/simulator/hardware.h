@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Hardware descriptions for the analytical performance model.
+ *
+ * This reproduction has no GPUs, so the latency experiments
+ * (Figures 7, 8, 10) are regenerated through a first-principles
+ * roofline + interconnect model of the paper's testbed: AWS
+ * g5.12xlarge nodes (4x NVIDIA A10 24GB), PCIe within a node,
+ * 100 Gbps Ethernet across nodes. See DESIGN.md §2.
+ */
+
+#ifndef SPECINFER_SIMULATOR_HARDWARE_H
+#define SPECINFER_SIMULATOR_HARDWARE_H
+
+#include <cstddef>
+#include <string>
+
+namespace specinfer {
+namespace simulator {
+
+/** One GPU's capability envelope. */
+struct GpuSpec
+{
+    std::string name = "gpu";
+
+    /** Dense fp16 tensor throughput, in TFLOP/s. */
+    double fp16Tflops = 125.0;
+
+    /** Achievable fraction of peak FLOPs for GEMMs. */
+    double computeEfficiency = 0.8;
+
+    /** HBM bandwidth in GB/s. */
+    double hbmBandwidthGBps = 600.0;
+
+    /** Achievable fraction of peak bandwidth. */
+    double bandwidthEfficiency = 0.8;
+
+    /** HBM capacity in GB. */
+    double hbmCapacityGB = 24.0;
+
+    /** Fixed overhead per transformer layer per iteration
+     *  (kernel launches, scheduling), in microseconds. */
+    double perLayerOverheadUs = 12.0;
+
+    /**
+     * Energy coefficients (paper §2: accessing HBM costs two to
+     * three orders of magnitude more energy than arithmetic).
+     * Order-of-magnitude literature values for a 2020s-era GPU.
+     */
+    double pjPerFlop = 0.6;        ///< fp16 arithmetic, pJ per FLOP
+    double pjPerHbmByte = 60.0;    ///< HBM access, pJ per byte
+    double pjPerLinkByte = 250.0;  ///< off-chip link, pJ per byte
+
+    /** NVIDIA A10 24GB (the paper's testbed GPU). */
+    static GpuSpec a10();
+};
+
+/** Links between GPUs and between nodes. */
+struct InterconnectSpec
+{
+    /** Intra-node GPU-to-GPU bandwidth (PCIe 4.0 x16), GB/s. */
+    double intraNodeGBps = 24.0;
+
+    /** Intra-node per-message latency, microseconds. */
+    double intraNodeLatencyUs = 8.0;
+
+    /** Inter-node bandwidth (100 Gbps Ethernet), GB/s. */
+    double interNodeGBps = 10.0;
+
+    /** Inter-node per-message latency, microseconds. */
+    double interNodeLatencyUs = 30.0;
+
+    /** Host DRAM <-> GPU transfer bandwidth (offloading), GB/s. */
+    double hostToGpuGBps = 20.0;
+
+    /** AWS g5.12xlarge fabric (paper testbed). */
+    static InterconnectSpec g5_12xlarge();
+};
+
+/** A cluster: homogeneous GPUs arranged in nodes. */
+struct ClusterSpec
+{
+    GpuSpec gpu = GpuSpec::a10();
+    InterconnectSpec link = InterconnectSpec::g5_12xlarge();
+    size_t gpusPerNode = 4;
+    size_t nodes = 1;
+
+    size_t totalGpus() const { return gpusPerNode * nodes; }
+
+    /** The paper's testbed: `nodes` g5.12xlarge instances. */
+    static ClusterSpec paperTestbed(size_t nodes = 1);
+};
+
+} // namespace simulator
+} // namespace specinfer
+
+#endif // SPECINFER_SIMULATOR_HARDWARE_H

@@ -1,0 +1,50 @@
+#include "simulator/llm_spec.h"
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace simulator {
+
+LlmSpec
+LlmSpec::preset(const std::string &name)
+{
+    LlmSpec spec;
+    spec.name = name;
+    if (name == "llama-7b") {
+        spec.nParams = 6.7e9;
+        spec.nLayers = 32;
+        spec.hidden = 4096;
+        spec.vocab = 32000;
+    } else if (name == "opt-13b") {
+        spec.nParams = 13.0e9;
+        spec.nLayers = 40;
+        spec.hidden = 5120;
+        spec.vocab = 50272;
+    } else if (name == "opt-30b") {
+        spec.nParams = 30.0e9;
+        spec.nLayers = 48;
+        spec.hidden = 7168;
+        spec.vocab = 50272;
+    } else if (name == "llama-65b") {
+        spec.nParams = 65.2e9;
+        spec.nLayers = 80;
+        spec.hidden = 8192;
+        spec.vocab = 32000;
+    } else if (name == "llama-68m") {
+        spec.nParams = 68.0e6;
+        spec.nLayers = 2;
+        spec.hidden = 768;
+        spec.vocab = 32000;
+    } else if (name == "opt-125m") {
+        spec.nParams = 125.0e6;
+        spec.nLayers = 12;
+        spec.hidden = 768;
+        spec.vocab = 50272;
+    } else {
+        SPECINFER_FATAL("unknown model preset '" << name << "'");
+    }
+    return spec;
+}
+
+} // namespace simulator
+} // namespace specinfer

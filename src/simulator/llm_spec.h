@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Architecture descriptions of the paper's real models, used by the
+ * performance model (independent of the CPU-scale ModelConfig the
+ * inference substrate runs).
+ */
+
+#ifndef SPECINFER_SIMULATOR_LLM_SPEC_H
+#define SPECINFER_SIMULATOR_LLM_SPEC_H
+
+#include <cstddef>
+#include <string>
+
+namespace specinfer {
+namespace simulator {
+
+/** Size parameters of a served model. */
+struct LlmSpec
+{
+    std::string name = "model";
+    double nParams = 7.0e9;      ///< total parameters
+    size_t nLayers = 32;
+    size_t hidden = 4096;
+    size_t vocab = 32000;
+    double bytesPerParam = 2.0;  ///< fp16 serving
+
+    /** Parameter bytes. */
+    double paramBytes() const { return nParams * bytesPerParam; }
+
+    /** KV-cache bytes per cached token. */
+    double kvBytesPerToken() const
+    {
+        return 2.0 * static_cast<double>(nLayers) *
+               static_cast<double>(hidden) * bytesPerParam;
+    }
+
+    /** Named presets: llama-7b, opt-13b, opt-30b, llama-65b,
+     *  llama-68m, opt-125m. */
+    static LlmSpec preset(const std::string &name);
+};
+
+} // namespace simulator
+} // namespace specinfer
+
+#endif // SPECINFER_SIMULATOR_LLM_SPEC_H

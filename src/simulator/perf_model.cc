@@ -1,0 +1,156 @@
+#include "simulator/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace simulator {
+
+GpuPerfModel::GpuPerfModel(ClusterSpec cluster)
+    : cluster_(std::move(cluster))
+{
+    SPECINFER_CHECK(cluster_.gpusPerNode > 0 && cluster_.nodes > 0,
+                    "empty cluster");
+}
+
+bool
+GpuPerfModel::fitsInMemory(const LlmSpec &llm,
+                           const ParallelismPlan &plan) const
+{
+    const double per_gpu_bytes =
+        llm.paramBytes() / static_cast<double>(plan.totalGpus());
+    // Leave ~25% headroom for KV cache and activations.
+    return per_gpu_bytes <= cluster_.gpu.hbmCapacityGB * 1.0e9 * 0.75;
+}
+
+double
+GpuPerfModel::iterationTime(const LlmSpec &llm,
+                            const ParallelismPlan &plan,
+                            const IterationWorkload &work,
+                            Placement placement) const
+{
+    SPECINFER_CHECK(plan.tensorParallel >= 1 &&
+                    plan.pipelineParallel >= 1,
+                    "degenerate parallelism plan");
+    SPECINFER_CHECK(plan.tensorParallel <= cluster_.gpusPerNode,
+                    "tensor parallelism cannot cross nodes");
+    SPECINFER_CHECK(plan.totalGpus() <= cluster_.totalGpus(),
+                    "plan uses more GPUs than the cluster has");
+    SPECINFER_CHECK(work.requests >= 1 && work.tokensPerRequest > 0.0,
+                    "empty iteration workload");
+
+    const GpuSpec &gpu = cluster_.gpu;
+    const InterconnectSpec &link = cluster_.link;
+    const double tp = static_cast<double>(plan.tensorParallel);
+    const double t_tokens = work.totalTokens();
+
+    // --- Compute: GEMMs touch every parameter twice per token;
+    // attention reads the context per new token.
+    const double gemm_flops = 2.0 * llm.nParams * t_tokens;
+    const double attn_flops = 4.0 * static_cast<double>(llm.hidden) *
+                              work.contextLen * t_tokens *
+                              static_cast<double>(llm.nLayers);
+    const double flops_per_gpu = (gemm_flops + attn_flops) / tp;
+    const double compute_s = flops_per_gpu /
+        (gpu.fp16Tflops * 1.0e12 * gpu.computeEfficiency);
+
+    // --- Memory: one pass over the (per-GPU shard of) weights per
+    // iteration, plus KV-cache reads for attention.
+    const double kv_bytes = llm.kvBytesPerToken() * work.contextLen *
+                            t_tokens;
+    const double hbm_bytes = llm.paramBytes() / tp + kv_bytes / tp;
+    const double hbm_s = hbm_bytes /
+        (gpu.hbmBandwidthGBps * 1.0e9 * gpu.bandwidthEfficiency);
+
+    double stage_s = std::max(compute_s, hbm_s);
+
+    // --- Offloading: weights stream host -> GPU every iteration,
+    // overlapped with compute (FlexGen-style pipelining).
+    if (placement == Placement::Offloaded) {
+        const double stream_s = llm.paramBytes() /
+                                (link.hostToGpuGBps * 1.0e9);
+        stage_s = std::max(stage_s, stream_s);
+    }
+
+    // --- Tensor parallelism: two all-reduces per layer of the
+    // per-token activations.
+    double comm_s = 0.0;
+    if (plan.tensorParallel > 1) {
+        const double msg_bytes = t_tokens *
+                                 static_cast<double>(llm.hidden) *
+                                 llm.bytesPerParam;
+        const double per_allreduce =
+            link.intraNodeLatencyUs * 1.0e-6 +
+            msg_bytes / (link.intraNodeGBps * 1.0e9);
+        comm_s += 2.0 * static_cast<double>(llm.nLayers) *
+                  per_allreduce;
+    }
+
+    // --- Pipeline parallelism: stages execute sequentially for one
+    // batch; (p-1) activation hand-offs across nodes.
+    if (plan.pipelineParallel > 1) {
+        const double hops =
+            static_cast<double>(plan.pipelineParallel - 1);
+        const double msg_bytes = t_tokens *
+                                 static_cast<double>(llm.hidden) *
+                                 llm.bytesPerParam;
+        comm_s += hops * (link.interNodeLatencyUs * 1.0e-6 +
+                          msg_bytes / (link.interNodeGBps * 1.0e9));
+    }
+
+    const double overhead_s = static_cast<double>(llm.nLayers) *
+                              gpu.perLayerOverheadUs * 1.0e-6;
+
+    return stage_s + comm_s + overhead_s;
+}
+
+double
+GpuPerfModel::iterationEnergy(const LlmSpec &llm,
+                              const ParallelismPlan &plan,
+                              const IterationWorkload &work,
+                              Placement placement) const
+{
+    SPECINFER_CHECK(plan.tensorParallel >= 1 &&
+                    plan.pipelineParallel >= 1,
+                    "degenerate parallelism plan");
+    const GpuSpec &gpu = cluster_.gpu;
+    const double t_tokens = work.totalTokens();
+
+    // Arithmetic: sums over all GPUs, so no parallelism division.
+    const double flops =
+        2.0 * llm.nParams * t_tokens +
+        4.0 * static_cast<double>(llm.hidden) * work.contextLen *
+            t_tokens * static_cast<double>(llm.nLayers);
+
+    // HBM traffic: every shard is read once per iteration, so the
+    // fleet-wide bytes equal one full pass over the weights plus
+    // the KV cache.
+    const double hbm_bytes =
+        llm.paramBytes() +
+        llm.kvBytesPerToken() * work.contextLen * t_tokens;
+
+    // Off-chip transfers.
+    double link_bytes = 0.0;
+    const double msg_bytes = t_tokens *
+                             static_cast<double>(llm.hidden) *
+                             llm.bytesPerParam;
+    if (plan.tensorParallel > 1)
+        link_bytes += 2.0 * static_cast<double>(llm.nLayers) *
+                      msg_bytes *
+                      static_cast<double>(plan.tensorParallel);
+    if (plan.pipelineParallel > 1)
+        link_bytes +=
+            static_cast<double>(plan.pipelineParallel - 1) *
+            msg_bytes;
+    if (placement == Placement::Offloaded)
+        link_bytes += llm.paramBytes();
+
+    return (flops * gpu.pjPerFlop + hbm_bytes * gpu.pjPerHbmByte +
+            link_bytes * gpu.pjPerLinkByte) *
+           1.0e-12;
+}
+
+} // namespace simulator
+} // namespace specinfer

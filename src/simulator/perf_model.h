@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Roofline-based GPU iteration-latency model.
+ *
+ * One LLM decoding iteration processes, for each of R batched
+ * requests, a chunk of new tokens (1 for incremental decoding, the
+ * token tree size for tree-based verification) against that
+ * request's KV cache. Iteration time is modeled as
+ *
+ *   max(compute_time, memory_time) + parallelism costs + overheads
+ *
+ * where memory_time covers one pass over the model weights (shared
+ * by the whole batch) plus KV-cache traffic, and compute_time covers
+ * the GEMM and attention FLOPs. This captures the paper's central
+ * effect: at small batch sizes decoding is weight-bandwidth-bound,
+ * so verifying a whole token tree costs nearly the same as decoding
+ * a single token.
+ */
+
+#ifndef SPECINFER_SIMULATOR_PERF_MODEL_H
+#define SPECINFER_SIMULATOR_PERF_MODEL_H
+
+#include "simulator/hardware.h"
+#include "simulator/llm_spec.h"
+
+namespace specinfer {
+namespace simulator {
+
+/** How a model's layers are spread over the cluster. */
+struct ParallelismPlan
+{
+    /** Tensor-parallel degree (intra-node, Megatron-style). */
+    size_t tensorParallel = 1;
+
+    /** Pipeline-parallel degree (inter-node stages). */
+    size_t pipelineParallel = 1;
+
+    size_t totalGpus() const
+    {
+        return tensorParallel * pipelineParallel;
+    }
+};
+
+/** Where the model weights live during serving. */
+enum class Placement
+{
+    InMemory,   ///< weights resident in GPU HBM
+    Offloaded,  ///< weights streamed from host DRAM every iteration
+};
+
+/** The work one decoding iteration performs. */
+struct IterationWorkload
+{
+    /** Number of batched requests. */
+    size_t requests = 1;
+
+    /** New tokens decoded per request this iteration. */
+    double tokensPerRequest = 1.0;
+
+    /** Average context (KV cache) length per request. */
+    double contextLen = 256.0;
+
+    double totalTokens() const
+    {
+        return static_cast<double>(requests) * tokensPerRequest;
+    }
+};
+
+/**
+ * Analytical iteration-latency model for one cluster.
+ */
+class GpuPerfModel
+{
+  public:
+    explicit GpuPerfModel(ClusterSpec cluster);
+
+    const ClusterSpec &cluster() const { return cluster_; }
+
+    /**
+     * Latency (seconds) of one decoding iteration.
+     *
+     * @param llm Model being served.
+     * @param plan Parallelization (validated against the cluster).
+     * @param work Tokens/contexts processed this iteration.
+     * @param placement Weight placement.
+     */
+    double iterationTime(const LlmSpec &llm, const ParallelismPlan &plan,
+                         const IterationWorkload &work,
+                         Placement placement = Placement::InMemory) const;
+
+    /** True if the plan leaves headroom for weights in HBM. */
+    bool fitsInMemory(const LlmSpec &llm,
+                      const ParallelismPlan &plan) const;
+
+    /**
+     * Energy (joules) of one decoding iteration, summed across all
+     * participating GPUs: arithmetic + HBM traffic + off-chip
+     * transfers (all-reduce, pipeline hops, host streaming). This
+     * quantifies the paper's §2 argument that verifying a token
+     * tree amortizes the dominant weight-read energy over several
+     * generated tokens.
+     */
+    double iterationEnergy(const LlmSpec &llm,
+                           const ParallelismPlan &plan,
+                           const IterationWorkload &work,
+                           Placement placement
+                               = Placement::InMemory) const;
+
+  private:
+    ClusterSpec cluster_;
+};
+
+} // namespace simulator
+} // namespace specinfer
+
+#endif // SPECINFER_SIMULATOR_PERF_MODEL_H

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * End-to-end per-token latency composition for the serving systems
+ * compared in the paper's evaluation (Figures 7, 8, 10).
+ *
+ * A "system" is a cost-model configuration: the incremental-decoding
+ * baselines (vLLM, HuggingFace TGI, FasterTransformer, FlexGen, and
+ * SpecInfer's own incremental mode) decode one token per request per
+ * iteration; the speculative modes decode a token tree driven by a
+ * SpeculationProfile measured from the *real* CPU engine, so the
+ * acceptance statistics that determine the speedups come from the
+ * implemented algorithms, not from assumed constants.
+ */
+
+#ifndef SPECINFER_SIMULATOR_SYSTEM_MODEL_H
+#define SPECINFER_SIMULATOR_SYSTEM_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "simulator/perf_model.h"
+
+namespace specinfer {
+namespace simulator {
+
+/**
+ * Speculation statistics driving the speculative-system cost model;
+ * produced from real engine traces by workload::profileFromStats().
+ */
+struct SpeculationProfile
+{
+    /** Tokens the LLM decodes per iteration (tree + root). */
+    double avgLlmTokensPerIter = 1.0;
+
+    /** Verified tokens emitted per iteration. */
+    double avgVerifiedPerIter = 1.0;
+
+    /** SSM chunk size per expansion level (level 0 = catch-up +
+     *  root), averaged over iterations. */
+    std::vector<double> ssmChunkSizes;
+
+    /** Profile describing plain incremental decoding. */
+    static SpeculationProfile incremental();
+};
+
+/** One serving configuration to price. */
+struct ServingScenario
+{
+    LlmSpec llm = LlmSpec::preset("llama-7b");
+    LlmSpec ssm = LlmSpec::preset("llama-68m");
+    ClusterSpec cluster = ClusterSpec::paperTestbed();
+    ParallelismPlan plan;
+    Placement placement = Placement::InMemory;
+    size_t batchSize = 1;
+    double contextLen = 256.0;
+
+    /**
+     * Relative implementation efficiency of the modeled system
+     * (runtime polish unrelated to the decoding algorithm); 1.0 =
+     * the common kernel baseline. Documented per baseline in
+     * EXPERIMENTS.md.
+     */
+    double systemEfficiency = 1.0;
+
+    /** True when the scenario runs speculation (prices SSM time). */
+    bool speculative = false;
+};
+
+/**
+ * Prices scenarios through the roofline model.
+ */
+class SystemModel
+{
+  public:
+    explicit SystemModel(GpuPerfModel perf);
+
+    const GpuPerfModel &perf() const { return perf_; }
+
+    /**
+     * Average per-token latency in seconds for the scenario under
+     * the given speculation profile (use
+     * SpeculationProfile::incremental() for non-speculative
+     * systems).
+     */
+    double perTokenLatency(const ServingScenario &scenario,
+                           const SpeculationProfile &profile) const;
+
+    /** Latency of one full iteration (LLM + speculation), seconds. */
+    double iterationLatency(const ServingScenario &scenario,
+                            const SpeculationProfile &profile) const;
+
+    /**
+     * Average energy per generated token in joules (LLM pass plus
+     * SSM speculation passes, divided by verified tokens).
+     */
+    double energyPerToken(const ServingScenario &scenario,
+                          const SpeculationProfile &profile) const;
+
+  private:
+    GpuPerfModel perf_;
+};
+
+/**
+ * Baseline catalogue: named systems with their modeled efficiency
+ * constants, used by the Figure 7/8 benches.
+ */
+struct NamedSystem
+{
+    std::string name;
+    bool speculative;
+    bool treeSpeculation;  ///< false = sequence-based (width 1)
+    double systemEfficiency;
+};
+
+/** The systems compared in Figure 7 (distributed serving). */
+std::vector<NamedSystem> distributedSystems();
+
+/** The systems compared in Figure 8 (offloading-based serving). */
+std::vector<NamedSystem> offloadingSystems();
+
+} // namespace simulator
+} // namespace specinfer
+
+#endif // SPECINFER_SIMULATOR_SYSTEM_MODEL_H

@@ -1,0 +1,209 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace tensor {
+
+void
+matmul(const Tensor &a, const Tensor &b, Tensor &out)
+{
+    SPECINFER_CHECK(a.cols() == b.rows(),
+                    "matmul shape mismatch " << a.shapeString() << " * "
+                                             << b.shapeString());
+    SPECINFER_CHECK(out.rows() == a.rows() && out.cols() == b.cols(),
+                    "matmul output shape mismatch");
+    const size_t m = a.rows(), k = a.cols(), n = b.cols();
+    for (size_t i = 0; i < m; ++i) {
+        float *out_row = out.row(i);
+        std::fill(out_row, out_row + n, 0.0f);
+        const float *a_row = a.row(i);
+        for (size_t kk = 0; kk < k; ++kk) {
+            const float av = a_row[kk];
+            const float *b_row = b.row(kk);
+            for (size_t j = 0; j < n; ++j)
+                out_row[j] += av * b_row[j];
+        }
+    }
+}
+
+void
+matmulTransposedB(const Tensor &a, const Tensor &b, Tensor &out)
+{
+    SPECINFER_CHECK(a.cols() == b.cols(),
+                    "matmulT shape mismatch " << a.shapeString() << " * "
+                                              << b.shapeString() << "^T");
+    SPECINFER_CHECK(out.rows() == a.rows() && out.cols() == b.rows(),
+                    "matmulT output shape mismatch");
+    for (size_t i = 0; i < a.rows(); ++i) {
+        const float *a_row = a.row(i);
+        float *out_row = out.row(i);
+        for (size_t j = 0; j < b.rows(); ++j)
+            out_row[j] = dotRow(a_row, b.row(j), a.cols());
+    }
+}
+
+void
+matvecTransposed(const float *x, const Tensor &w, float *out)
+{
+    for (size_t j = 0; j < w.rows(); ++j)
+        out[j] = dotRow(x, w.row(j), w.cols());
+}
+
+void
+softmaxRow(float *row, size_t n)
+{
+    SPECINFER_CHECK(n > 0, "softmax of empty row");
+    float peak = row[0];
+    for (size_t i = 1; i < n; ++i)
+        peak = std::max(peak, row[i]);
+    float total = 0.0f;
+    for (size_t i = 0; i < n; ++i) {
+        row[i] = std::exp(row[i] - peak);
+        total += row[i];
+    }
+    const float inv = 1.0f / total;
+    for (size_t i = 0; i < n; ++i)
+        row[i] *= inv;
+}
+
+void
+softmaxRowTemperature(float *row, size_t n, float temperature)
+{
+    SPECINFER_CHECK(n > 0, "softmax of empty row");
+    if (temperature <= 0.0f) {
+        size_t best = argmaxRow(row, n);
+        std::fill(row, row + n, 0.0f);
+        row[best] = 1.0f;
+        return;
+    }
+    const float inv_t = 1.0f / temperature;
+    for (size_t i = 0; i < n; ++i)
+        row[i] *= inv_t;
+    softmaxRow(row, n);
+}
+
+void
+rmsnormRow(const float *x, const float *gain, size_t n, float *out,
+           float eps)
+{
+    double ss = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        ss += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+    const float inv_rms = 1.0f / std::sqrt(
+        static_cast<float>(ss / static_cast<double>(n)) + eps);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = x[i] * inv_rms * gain[i];
+}
+
+void
+siluRow(float *row, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        row[i] = row[i] / (1.0f + std::exp(-row[i]));
+}
+
+void
+geluRow(float *row, size_t n)
+{
+    constexpr float k = 0.7978845608f; // sqrt(2/pi)
+    for (size_t i = 0; i < n; ++i) {
+        float x = row[i];
+        row[i] = 0.5f * x *
+                 (1.0f + std::tanh(k * (x + 0.044715f * x * x * x)));
+    }
+}
+
+void
+addRow(float *out, const float *a, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] += a[i];
+}
+
+void
+scaleRow(float *row, size_t n, float s)
+{
+    for (size_t i = 0; i < n; ++i)
+        row[i] *= s;
+}
+
+void
+mulRows(float *out, const float *a, const float *b, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = a[i] * b[i];
+}
+
+float
+dotRow(const float *a, const float *b, size_t n)
+{
+    float acc = 0.0f;
+    for (size_t i = 0; i < n; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+void
+ropeRow(float *row, size_t n_heads, size_t d_head, size_t position,
+        float theta)
+{
+    SPECINFER_CHECK(d_head % 2 == 0, "RoPE requires even head dim");
+    for (size_t h = 0; h < n_heads; ++h) {
+        float *head = row + h * d_head;
+        for (size_t i = 0; i < d_head; i += 2) {
+            float freq = std::pow(
+                theta, -static_cast<float>(i) /
+                       static_cast<float>(d_head));
+            float angle = static_cast<float>(position) * freq;
+            float c = std::cos(angle), s = std::sin(angle);
+            float x0 = head[i], x1 = head[i + 1];
+            head[i] = x0 * c - x1 * s;
+            head[i + 1] = x0 * s + x1 * c;
+        }
+    }
+}
+
+size_t
+argmaxRow(const float *row, size_t n)
+{
+    SPECINFER_CHECK(n > 0, "argmax of empty row");
+    size_t best = 0;
+    for (size_t i = 1; i < n; ++i)
+        if (row[i] > row[best])
+            best = i;
+    return best;
+}
+
+std::vector<size_t>
+topkRow(const float *row, size_t n, size_t k)
+{
+    SPECINFER_CHECK(k > 0 && k <= n, "topk with k=" << k << ", n=" << n);
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i)
+        idx[i] = i;
+    std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                      [row](size_t a, size_t b) {
+                          if (row[a] != row[b])
+                              return row[a] > row[b];
+                          return a < b;
+                      });
+    idx.resize(k);
+    return idx;
+}
+
+double
+totalVariation(const float *p, const float *q, size_t n)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        acc += std::abs(static_cast<double>(p[i]) -
+                        static_cast<double>(q[i]));
+    return 0.5 * acc;
+}
+
+} // namespace tensor
+} // namespace specinfer

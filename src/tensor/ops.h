@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Numeric kernels for the transformer substrate.
+ *
+ * All kernels operate on raw float rows or on Tensor; none allocate
+ * unless they return a fresh value. These are the CPU stand-ins for
+ * the cuBLAS/FasterTransformer kernels the paper's system uses.
+ */
+
+#ifndef SPECINFER_TENSOR_OPS_H
+#define SPECINFER_TENSOR_OPS_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace specinfer {
+namespace tensor {
+
+/**
+ * out = a * b, where a is [m x k] and b is [k x n].
+ * @pre out has shape [m x n] and does not alias a or b.
+ */
+void matmul(const Tensor &a, const Tensor &b, Tensor &out);
+
+/**
+ * out = a * b^T, where a is [m x k] and b is [n x k].
+ * Weight matrices are stored row-major as [out_dim x in_dim], so this
+ * is the natural kernel for linear layers.
+ * @pre out has shape [m x n] and does not alias a or b.
+ */
+void matmulTransposedB(const Tensor &a, const Tensor &b, Tensor &out);
+
+/**
+ * out_row = x_row * w^T for one row: y[j] = sum_i x[i] * w[j][i].
+ * @param x Input vector of length w.cols().
+ * @param w Weight matrix [out_dim x in_dim].
+ * @param out Output vector of length w.rows().
+ */
+void matvecTransposed(const float *x, const Tensor &w, float *out);
+
+/** In-place numerically-stable softmax over a length-n row. */
+void softmaxRow(float *row, size_t n);
+
+/**
+ * In-place softmax with temperature; temperature <= 0 degenerates to
+ * a one-hot argmax distribution.
+ */
+void softmaxRowTemperature(float *row, size_t n, float temperature);
+
+/**
+ * RMSNorm: out[i] = x[i] / rms(x) * gain[i].
+ * out may alias x.
+ */
+void rmsnormRow(const float *x, const float *gain, size_t n, float *out,
+                float eps = 1.0e-5f);
+
+/** SiLU activation applied elementwise in place. */
+void siluRow(float *row, size_t n);
+
+/** GELU (tanh approximation) applied elementwise in place. */
+void geluRow(float *row, size_t n);
+
+/** out[i] += a[i] for a length-n row. */
+void addRow(float *out, const float *a, size_t n);
+
+/** out[i] *= s for a length-n row. */
+void scaleRow(float *row, size_t n, float s);
+
+/** out[i] = a[i] * b[i] for a length-n row. */
+void mulRows(float *out, const float *a, const float *b, size_t n);
+
+/** Dot product of two length-n rows. */
+float dotRow(const float *a, const float *b, size_t n);
+
+/**
+ * Apply rotary position embeddings (RoPE) in place to a row of
+ * n_heads * d_head floats laid out head-major.
+ *
+ * @param row Query or key row.
+ * @param n_heads Number of attention heads in the row.
+ * @param d_head Per-head dimension (must be even).
+ * @param position Absolute token position.
+ * @param theta Base frequency (LLaMA uses 10000).
+ */
+void ropeRow(float *row, size_t n_heads, size_t d_head, size_t position,
+             float theta = 10000.0f);
+
+/** Index of the maximum element (first on ties). @pre n > 0 */
+size_t argmaxRow(const float *row, size_t n);
+
+/**
+ * Indices of the k largest elements in descending value order.
+ * @pre 0 < k <= n.
+ */
+std::vector<size_t> topkRow(const float *row, size_t n, size_t k);
+
+/** Total variation distance between two length-n distributions. */
+double totalVariation(const float *p, const float *q, size_t n);
+
+} // namespace tensor
+} // namespace specinfer
+
+#endif // SPECINFER_TENSOR_OPS_H

@@ -1,0 +1,86 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace tensor {
+
+void
+fakeQuantizeRows(Tensor &t, int bits)
+{
+    SPECINFER_CHECK(bits >= 2 && bits <= 8,
+                    "quantization width must be in [2, 8]");
+    const float q_max =
+        static_cast<float>((1 << (bits - 1)) - 1);
+    for (size_t r = 0; r < t.rows(); ++r) {
+        float *row = t.row(r);
+        float peak = 0.0f;
+        for (size_t c = 0; c < t.cols(); ++c)
+            peak = std::max(peak, std::abs(row[c]));
+        if (peak == 0.0f)
+            continue;
+        const float scale = peak / q_max;
+        for (size_t c = 0; c < t.cols(); ++c)
+            row[c] = std::round(row[c] / scale) * scale;
+    }
+}
+
+void
+pruneByMagnitude(Tensor &t, double sparsity)
+{
+    SPECINFER_CHECK(sparsity >= 0.0 && sparsity < 1.0,
+                    "sparsity must be in [0, 1)");
+    if (sparsity == 0.0 || t.size() == 0)
+        return;
+    std::vector<float> mags(t.size());
+    for (size_t i = 0; i < t.size(); ++i)
+        mags[i] = std::abs(t.data()[i]);
+    size_t k = static_cast<size_t>(
+        sparsity * static_cast<double>(t.size()));
+    if (k == 0)
+        return;
+    std::nth_element(mags.begin(),
+                     mags.begin() + static_cast<ptrdiff_t>(k - 1),
+                     mags.end());
+    const float threshold = mags[k - 1];
+    size_t zeroed = 0;
+    for (size_t i = 0; i < t.size() && zeroed < k; ++i) {
+        if (std::abs(t.data()[i]) <= threshold) {
+            t.data()[i] = 0.0f;
+            ++zeroed;
+        }
+    }
+}
+
+double
+meanAbsDiff(const Tensor &a, const Tensor &b)
+{
+    SPECINFER_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+                    "shape mismatch");
+    if (a.size() == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += std::abs(static_cast<double>(a.data()[i]) -
+                        static_cast<double>(b.data()[i]));
+    return acc / static_cast<double>(a.size());
+}
+
+double
+zeroFraction(const Tensor &t)
+{
+    if (t.size() == 0)
+        return 0.0;
+    size_t zeros = 0;
+    for (size_t i = 0; i < t.size(); ++i)
+        zeros += t.data()[i] == 0.0f;
+    return static_cast<double>(zeros) /
+           static_cast<double>(t.size());
+}
+
+} // namespace tensor
+} // namespace specinfer

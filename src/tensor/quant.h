@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Weight compression primitives: symmetric per-row integer
+ * fake-quantization and magnitude pruning.
+ *
+ * The paper obtains SSMs from "distilled, quantized, and/or pruned
+ * variants of an LLM" (§1). Fake quantization (quantize to an
+ * n-bit grid, dequantize back to float) reproduces a quantized
+ * model's numerical behaviour while staying runnable by the float
+ * kernels, which is exactly what acceptance-rate studies need.
+ */
+
+#ifndef SPECINFER_TENSOR_QUANT_H
+#define SPECINFER_TENSOR_QUANT_H
+
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace specinfer {
+namespace tensor {
+
+/**
+ * Symmetric per-row fake quantization in place: each row is scaled
+ * to the signed n-bit integer grid ([-127, 127] for 8 bits),
+ * rounded, and scaled back.
+ *
+ * @param t Weight matrix, modified in place.
+ * @param bits Integer width in [2, 8].
+ */
+void fakeQuantizeRows(Tensor &t, int bits);
+
+/**
+ * Magnitude pruning in place: zero the fraction `sparsity` of
+ * entries with the smallest absolute values (global threshold).
+ *
+ * @param t Weight matrix, modified in place.
+ * @param sparsity Fraction to zero, in [0, 1).
+ */
+void pruneByMagnitude(Tensor &t, double sparsity);
+
+/** Mean absolute difference between two same-shape tensors. */
+double meanAbsDiff(const Tensor &a, const Tensor &b);
+
+/** Fraction of exactly-zero entries. */
+double zeroFraction(const Tensor &t);
+
+} // namespace tensor
+} // namespace specinfer
+
+#endif // SPECINFER_TENSOR_QUANT_H

@@ -1,0 +1,76 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace tensor {
+
+Tensor::Tensor(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+{
+}
+
+Tensor::Tensor(size_t rows, size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+float &
+Tensor::at(size_t r, size_t c)
+{
+    SPECINFER_CHECK(r < rows_ && c < cols_,
+                    "index (" << r << ", " << c << ") out of "
+                              << shapeString());
+    return data_[r * cols_ + c];
+}
+
+float
+Tensor::at(size_t r, size_t c) const
+{
+    SPECINFER_CHECK(r < rows_ && c < cols_,
+                    "index (" << r << ", " << c << ") out of "
+                              << shapeString());
+    return data_[r * cols_ + c];
+}
+
+float *
+Tensor::row(size_t r)
+{
+    SPECINFER_CHECK(r < rows_, "row " << r << " out of " << shapeString());
+    return data_.data() + r * cols_;
+}
+
+const float *
+Tensor::row(size_t r) const
+{
+    SPECINFER_CHECK(r < rows_, "row " << r << " out of " << shapeString());
+    return data_.data() + r * cols_;
+}
+
+void
+Tensor::fill(float value)
+{
+    for (float &x : data_)
+        x = value;
+}
+
+void
+Tensor::reset(size_t rows, size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+}
+
+std::string
+Tensor::shapeString() const
+{
+    std::ostringstream oss;
+    oss << "[" << rows_ << " x " << cols_ << "]";
+    return oss.str();
+}
+
+} // namespace tensor
+} // namespace specinfer

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal dense float tensor used by the transformer substrate.
+ *
+ * Row-major, owning storage, rank 1 or 2 in practice (attention code
+ * flattens heads explicitly). This is deliberately a small surface:
+ * all hot-loop math lives in tensor/ops.h and works on raw rows.
+ */
+
+#ifndef SPECINFER_TENSOR_TENSOR_H
+#define SPECINFER_TENSOR_TENSOR_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace specinfer {
+namespace tensor {
+
+/**
+ * Dense row-major float matrix/vector.
+ *
+ * A Tensor with rows == 1 doubles as a vector. Element access is
+ * bounds-checked in debug builds via SPECINFER_CHECK.
+ */
+class Tensor
+{
+  public:
+    /** Empty 0x0 tensor. */
+    Tensor() = default;
+
+    /** Allocate a rows x cols tensor, zero-initialized. */
+    Tensor(size_t rows, size_t cols);
+
+    /** Allocate and fill with a constant. */
+    Tensor(size_t rows, size_t cols, float fill);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    /** Mutable element access. */
+    float &at(size_t r, size_t c);
+
+    /** Const element access. */
+    float at(size_t r, size_t c) const;
+
+    /** Pointer to the start of row r. */
+    float *row(size_t r);
+    const float *row(size_t r) const;
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Set every element to the given value. */
+    void fill(float value);
+
+    /** Resize (contents are discarded and zeroed). */
+    void reset(size_t rows, size_t cols);
+
+    /** Human-readable shape, e.g. "[4 x 128]". */
+    std::string shapeString() const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace tensor
+} // namespace specinfer
+
+#endif // SPECINFER_TENSOR_TENSOR_H

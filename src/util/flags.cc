@@ -1,0 +1,101 @@
+#include "util/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace util {
+
+Flags::Flags(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        std::string body = arg.substr(2);
+        SPECINFER_CHECK(!body.empty(), "bare '--' argument");
+        size_t eq = body.find('=');
+        if (eq != std::string::npos) {
+            values_[body.substr(0, eq)] = body.substr(eq + 1);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            values_[body] = argv[++i];
+        } else {
+            values_[body] = ""; // boolean-style flag
+        }
+    }
+}
+
+bool
+Flags::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+Flags::get(const std::string &name, const std::string &def) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+}
+
+int64_t
+Flags::getInt(const std::string &name, int64_t def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        SPECINFER_FATAL("flag --" << name << " expects an integer, "
+                                  << "got '" << it->second << "'");
+    return value;
+}
+
+double
+Flags::getDouble(const std::string &name, double def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    double value = std::strtod(it->second.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        SPECINFER_FATAL("flag --" << name << " expects a number, "
+                                  << "got '" << it->second << "'");
+    return value;
+}
+
+bool
+Flags::getBool(const std::string &name, bool def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    if (it->second.empty() || it->second == "true" ||
+        it->second == "1")
+        return true;
+    if (it->second == "false" || it->second == "0")
+        return false;
+    SPECINFER_FATAL("flag --" << name << " expects true/false, got '"
+                              << it->second << "'");
+}
+
+void
+Flags::allowOnly(const std::vector<std::string> &names) const
+{
+    for (const auto &[key, value] : values_) {
+        (void)value;
+        if (std::find(names.begin(), names.end(), key) ==
+            names.end())
+            SPECINFER_FATAL("unknown flag --" << key);
+    }
+}
+
+} // namespace util
+} // namespace specinfer

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for the CLI tools:
+ * "--name value" and "--name=value" forms, with typed accessors
+ * and defaults. Unknown flags are fatal (catches typos).
+ */
+
+#ifndef SPECINFER_UTIL_FLAGS_H
+#define SPECINFER_UTIL_FLAGS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace specinfer {
+namespace util {
+
+/** Parsed command-line flags. */
+class Flags
+{
+  public:
+    /**
+     * Parse argv. Flags must start with "--"; positional arguments
+     * are collected separately.
+     */
+    Flags(int argc, const char *const *argv);
+
+    /** True when --name was supplied. */
+    bool has(const std::string &name) const;
+
+    /** String flag with default. */
+    std::string get(const std::string &name,
+                    const std::string &def = "") const;
+
+    /** Integer flag with default; fatal on non-numeric values. */
+    int64_t getInt(const std::string &name, int64_t def) const;
+
+    /** Floating-point flag with default. */
+    double getDouble(const std::string &name, double def) const;
+
+    /** Boolean flag: present without value, or =true/=false. */
+    bool getBool(const std::string &name, bool def = false) const;
+
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /**
+     * Abort with a usage error if any parsed flag is not in the
+     * allowed list (call once after construction).
+     */
+    void allowOnly(const std::vector<std::string> &names) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace util
+} // namespace specinfer
+
+#endif // SPECINFER_UTIL_FLAGS_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal logging and error-checking helpers.
+ *
+ * Following gem5's fatal/panic split:
+ *  - SPECINFER_CHECK / panic: internal invariant violations (bugs);
+ *    abort so a debugger or core dump can capture state.
+ *  - SPECINFER_FATAL: user-facing configuration errors; exit(1).
+ */
+
+#ifndef SPECINFER_UTIL_LOGGING_H
+#define SPECINFER_UTIL_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace specinfer {
+namespace util {
+
+/** Log severity levels, in increasing order of importance. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/** Set the global minimum level that will be printed. */
+void setLogLevel(LogLevel level);
+
+/** Current global minimum level. */
+LogLevel logLevel();
+
+/** Emit one log line to stderr if level passes the global filter. */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Internal-error abort (simulator bug). Never returns. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** User-error exit (bad configuration). Never returns. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+} // namespace util
+} // namespace specinfer
+
+#define SPECINFER_LOG(level, expr)                                       \
+    do {                                                                 \
+        if (static_cast<int>(level) >=                                   \
+            static_cast<int>(::specinfer::util::logLevel())) {           \
+            std::ostringstream oss_;                                     \
+            oss_ << expr;                                                \
+            ::specinfer::util::logMessage(level, oss_.str());            \
+        }                                                                \
+    } while (0)
+
+#define SPECINFER_DEBUG(expr)                                            \
+    SPECINFER_LOG(::specinfer::util::LogLevel::Debug, expr)
+#define SPECINFER_INFO(expr)                                             \
+    SPECINFER_LOG(::specinfer::util::LogLevel::Info, expr)
+#define SPECINFER_WARN(expr)                                             \
+    SPECINFER_LOG(::specinfer::util::LogLevel::Warn, expr)
+
+/** Assert an internal invariant; abort with context on failure. */
+#define SPECINFER_CHECK(cond, expr)                                      \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            std::ostringstream oss_;                                     \
+            oss_ << "check failed: " #cond ": " << expr;                 \
+            ::specinfer::util::panicImpl(__FILE__, __LINE__,             \
+                                         oss_.str());                    \
+        }                                                                \
+    } while (0)
+
+/** Report an unrecoverable user/configuration error and exit. */
+#define SPECINFER_FATAL(expr)                                            \
+    do {                                                                 \
+        std::ostringstream oss_;                                         \
+        oss_ << expr;                                                    \
+        ::specinfer::util::fatalImpl(__FILE__, __LINE__, oss_.str());    \
+    } while (0)
+
+#endif // SPECINFER_UTIL_LOGGING_H

@@ -1,0 +1,162 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace util {
+
+void
+RunningStat::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ == 0 ? 0.0 : mean_;
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    SPECINFER_CHECK(!samples.empty(), "percentile of empty sample set");
+    SPECINFER_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range");
+    std::sort(samples.begin(), samples.end());
+    if (samples.size() == 1)
+        return samples[0];
+    double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    size_t lo = static_cast<size_t>(std::floor(rank));
+    size_t hi = static_cast<size_t>(std::ceil(rank));
+    double frac = rank - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples))
+{
+    SPECINFER_CHECK(!sorted_.empty(), "EmpiricalCdf of empty samples");
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double
+EmpiricalCdf::valueAt(double q) const
+{
+    SPECINFER_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
+    if (q <= 0.0)
+        return sorted_.front();
+    size_t idx = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(sorted_.size()))) - 1;
+    idx = std::min(idx, sorted_.size() - 1);
+    return sorted_[idx];
+}
+
+double
+EmpiricalCdf::cdfAt(double x) const
+{
+    auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>>
+EmpiricalCdf::curve(size_t n) const
+{
+    SPECINFER_CHECK(n >= 2, "CDF curve needs at least two points");
+    std::vector<std::pair<double, double>> pts;
+    pts.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        double q = static_cast<double>(i) / static_cast<double>(n - 1);
+        pts.emplace_back(q, valueAt(q));
+    }
+    return pts;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    SPECINFER_CHECK(hi > lo, "histogram range must be non-empty");
+    SPECINFER_CHECK(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    double t = (x - lo_) / (hi_ - lo_);
+    int64_t bin = static_cast<int64_t>(
+        t * static_cast<double>(counts_.size()));
+    bin = std::clamp<int64_t>(bin, 0,
+                              static_cast<int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<size_t>(bin)];
+    ++total_;
+}
+
+size_t
+Histogram::binCount(size_t bin) const
+{
+    SPECINFER_CHECK(bin < counts_.size(), "histogram bin out of range");
+    return counts_[bin];
+}
+
+double
+Histogram::binLow(size_t bin) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+           static_cast<double>(counts_.size());
+}
+
+double
+Histogram::binHigh(size_t bin) const
+{
+    return binLow(bin + 1);
+}
+
+std::string
+Histogram::toAscii(size_t width) const
+{
+    size_t peak = 1;
+    for (size_t c : counts_)
+        peak = std::max(peak, c);
+    std::ostringstream oss;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        size_t bar = counts_[i] * width / peak;
+        oss << "[" << binLow(i) << ", " << binHigh(i) << ") ";
+        for (size_t j = 0; j < bar; ++j)
+            oss << '#';
+        oss << " " << counts_[i] << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace util
+} // namespace specinfer

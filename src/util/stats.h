@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Descriptive statistics used by the experiment harnesses:
+ * running moments, percentiles, empirical CDFs, and histograms.
+ */
+
+#ifndef SPECINFER_UTIL_STATS_H
+#define SPECINFER_UTIL_STATS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace specinfer {
+namespace util {
+
+/**
+ * Online accumulator for count/mean/variance/min/max (Welford).
+ */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Number of samples folded in so far. */
+    size_t count() const { return count_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const;
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 1.0e300;
+    double max_ = -1.0e300;
+};
+
+/**
+ * Linear-interpolated percentile of a sample vector.
+ *
+ * @param samples Non-empty sample set (copied and sorted internally).
+ * @param p Percentile in [0, 100].
+ */
+double percentile(std::vector<double> samples, double p);
+
+/**
+ * Empirical CDF over a fixed sample set.
+ *
+ * Built once from samples; supports both directions of lookup:
+ * value at a given CDF quantile, and CDF at a given value.
+ */
+class EmpiricalCdf
+{
+  public:
+    /** Build from samples. @pre samples is non-empty. */
+    explicit EmpiricalCdf(std::vector<double> samples);
+
+    /** Inverse CDF: smallest sample with CDF >= q, q in [0, 1]. */
+    double valueAt(double q) const;
+
+    /** Fraction of samples <= x. */
+    double cdfAt(double x) const;
+
+    /** Number of underlying samples. */
+    size_t count() const { return sorted_.size(); }
+
+    /**
+     * Evaluate the inverse CDF on an even grid of n points, producing
+     * (quantile, value) pairs suitable for plotting a CDF curve.
+     */
+    std::vector<std::pair<double, double>> curve(size_t n) const;
+
+  private:
+    std::vector<double> sorted_;
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi); out-of-range samples clamp to
+ * the first/last bin.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t bins);
+
+    void add(double x);
+
+    size_t binCount(size_t bin) const;
+    size_t totalCount() const { return total_; }
+    size_t bins() const { return counts_.size(); }
+    double binLow(size_t bin) const;
+    double binHigh(size_t bin) const;
+
+    /** Render a compact ASCII bar chart. */
+    std::string toAscii(size_t width = 40) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<size_t> counts_;
+    size_t total_ = 0;
+};
+
+} // namespace util
+} // namespace specinfer
+
+#endif // SPECINFER_UTIL_STATS_H

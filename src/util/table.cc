@@ -1,0 +1,85 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    SPECINFER_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    SPECINFER_CHECK(cells.size() == headers_.size(),
+                    "row arity " << cells.size() << " != header arity "
+                                 << headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::toAscii() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            oss << row[c];
+            for (size_t pad = row[c].size(); pad < widths[c] + 2; ++pad)
+                oss << ' ';
+        }
+        oss << '\n';
+    };
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    for (size_t i = 0; i < total; ++i)
+        oss << '-';
+    oss << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return oss.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                oss << ',';
+            oss << row[c];
+        }
+        oss << '\n';
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+    return oss.str();
+}
+
+std::string
+formatDouble(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return std::string(buf);
+}
+
+} // namespace util
+} // namespace specinfer

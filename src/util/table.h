@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fixed-width ASCII table and CSV emitters used by the benchmark
+ * harnesses to print rows in the same layout as the paper's tables.
+ */
+
+#ifndef SPECINFER_UTIL_TABLE_H
+#define SPECINFER_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace specinfer {
+namespace util {
+
+/**
+ * Accumulates rows of string cells and renders them as an aligned
+ * ASCII table or as CSV.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render as an aligned ASCII table. */
+    std::string toAscii() const;
+
+    /** Render as CSV (no quoting; cells must not contain commas). */
+    std::string toCsv() const;
+
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimals. */
+std::string formatDouble(double value, int decimals = 2);
+
+} // namespace util
+} // namespace specinfer
+
+#endif // SPECINFER_UTIL_TABLE_H

@@ -1,0 +1,51 @@
+#include "workload/arrivals.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace specinfer {
+namespace workload {
+
+std::vector<size_t>
+poissonArrivals(size_t count, double mean_gap_iterations,
+                uint64_t seed)
+{
+    SPECINFER_CHECK(mean_gap_iterations > 0.0,
+                    "mean inter-arrival gap must be positive");
+    util::Rng rng(seed ^ 0xa881u);
+    std::vector<size_t> arrivals;
+    arrivals.reserve(count);
+    double t = 0.0;
+    for (size_t i = 0; i < count; ++i) {
+        double u;
+        do {
+            u = rng.uniform();
+        } while (u <= 0.0);
+        t += -mean_gap_iterations * std::log(u);
+        arrivals.push_back(static_cast<size_t>(t));
+    }
+    return arrivals;
+}
+
+std::vector<size_t>
+uniformArrivals(size_t count, double gap)
+{
+    SPECINFER_CHECK(gap >= 0.0, "gap must be non-negative");
+    std::vector<size_t> arrivals;
+    arrivals.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        arrivals.push_back(static_cast<size_t>(
+            gap * static_cast<double>(i)));
+    return arrivals;
+}
+
+std::vector<size_t>
+burstArrivals(size_t count)
+{
+    return std::vector<size_t>(count, 0);
+}
+
+} // namespace workload
+} // namespace specinfer

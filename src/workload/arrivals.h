@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Request arrival processes for serving experiments.
+ *
+ * The paper's serving runs replay conversation traces; the load a
+ * scheduler sees is shaped by *when* requests arrive, so the
+ * continuous-batching experiments need an arrival process. Arrival
+ * times are expressed in scheduler iterations (one iteration = one
+ * LLM pass), deterministic per seed.
+ */
+
+#ifndef SPECINFER_WORKLOAD_ARRIVALS_H
+#define SPECINFER_WORKLOAD_ARRIVALS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace specinfer {
+namespace workload {
+
+/**
+ * Deterministic Poisson arrival schedule: exponential inter-arrival
+ * gaps with the given mean, accumulated and rounded down to
+ * iteration indices (several requests may share an iteration).
+ *
+ * @param count Number of arrivals.
+ * @param mean_gap_iterations Mean inter-arrival gap.
+ * @param seed RNG seed.
+ * @return Non-decreasing arrival iterations, length `count`.
+ */
+std::vector<size_t> poissonArrivals(size_t count,
+                                    double mean_gap_iterations,
+                                    uint64_t seed);
+
+/** Evenly spaced arrivals: i-th request at floor(i * gap). */
+std::vector<size_t> uniformArrivals(size_t count, double gap);
+
+/** All requests arrive at iteration 0 (closed-loop burst). */
+std::vector<size_t> burstArrivals(size_t count);
+
+} // namespace workload
+} // namespace specinfer
+
+#endif // SPECINFER_WORKLOAD_ARRIVALS_H

@@ -1,0 +1,85 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace specinfer {
+namespace workload {
+
+PromptDataset::PromptDataset(std::string name, size_t vocab_size,
+                             double mean_len, double stddev_len,
+                             double zipf_exponent)
+    : name_(std::move(name)),
+      vocabSize_(vocab_size),
+      meanLen_(mean_len),
+      stddevLen_(stddev_len),
+      seed_(util::hashString(name_.c_str()) ^ vocab_size)
+{
+    SPECINFER_CHECK(vocab_size >= 4, "vocabulary too small");
+    SPECINFER_CHECK(mean_len >= 2.0, "prompts must average >= 2 tokens");
+
+    // Zipfian weights over a dataset-specific permutation of the
+    // vocabulary (token 0 = EOS excluded).
+    std::vector<int> perm;
+    perm.reserve(vocab_size - 1);
+    for (size_t t = 1; t < vocab_size; ++t)
+        perm.push_back(static_cast<int>(t));
+    util::Rng rng(seed_ ^ 0x7e57ab1e);
+    rng.shuffle(perm);
+    tokenWeights_.assign(vocab_size, 0.0f);
+    for (size_t rank = 0; rank < perm.size(); ++rank) {
+        tokenWeights_[static_cast<size_t>(perm[rank])] =
+            static_cast<float>(
+                1.0 / std::pow(static_cast<double>(rank + 1),
+                               zipf_exponent));
+    }
+}
+
+PromptDataset
+PromptDataset::named(const std::string &name, size_t vocab_size)
+{
+    // Length statistics loosely mirror the real datasets: WebQA has
+    // short questions, PIQA has longer physical-commonsense goals,
+    // the instruction sets sit in between.
+    if (name == "Alpaca")
+        return PromptDataset(name, vocab_size, 18.0, 7.0, 1.05);
+    if (name == "CP")
+        return PromptDataset(name, vocab_size, 24.0, 10.0, 0.95);
+    if (name == "WebQA")
+        return PromptDataset(name, vocab_size, 9.0, 3.0, 1.25);
+    if (name == "CIP")
+        return PromptDataset(name, vocab_size, 15.0, 6.0, 1.00);
+    if (name == "PIQA")
+        return PromptDataset(name, vocab_size, 28.0, 11.0, 1.10);
+    SPECINFER_FATAL("unknown dataset '" << name << "'");
+}
+
+const std::vector<std::string> &
+PromptDataset::allNames()
+{
+    static const std::vector<std::string> names = {
+        "Alpaca", "CP", "WebQA", "CIP", "PIQA",
+    };
+    return names;
+}
+
+std::vector<int>
+PromptDataset::prompt(size_t index) const
+{
+    util::Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+    double len_d = rng.normal(meanLen_, stddevLen_);
+    size_t len = static_cast<size_t>(
+        std::max(2.0, std::min(len_d, meanLen_ + 4.0 * stddevLen_)));
+    std::vector<int> tokens;
+    tokens.reserve(len);
+    for (size_t i = 0; i < len; ++i)
+        tokens.push_back(static_cast<int>(
+            rng.categorical(tokenWeights_)));
+    return tokens;
+}
+
+} // namespace workload
+} // namespace specinfer

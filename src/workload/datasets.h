@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Synthetic prompt datasets standing in for the paper's five prompt
+ * sources (Alpaca, ChatGPT Prompts, WebQA, Chatbot Instruction
+ * Prompts, PIQA).
+ *
+ * The paper uses only the prompts/questions of these datasets to
+ * simulate conversation traces; reporting per-dataset numbers shows
+ * robustness across workloads. Our stand-ins are deterministic
+ * generators with per-dataset length distributions and Zipfian token
+ * statistics over dataset-specific vocabulary orderings, preserving
+ * the "five distinct workloads" structure (DESIGN.md §2).
+ */
+
+#ifndef SPECINFER_WORKLOAD_DATASETS_H
+#define SPECINFER_WORKLOAD_DATASETS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specinfer {
+namespace workload {
+
+/**
+ * Deterministic prompt generator. prompt(i) is a pure function of
+ * (dataset name, vocab size, i), so experiments are reproducible
+ * and comparable across systems.
+ */
+class PromptDataset
+{
+  public:
+    /**
+     * @param name Dataset label.
+     * @param vocab_size Token ids are drawn from [1, vocab_size)
+     *        (token 0 is reserved for EOS and never appears).
+     * @param mean_len Mean prompt length in tokens.
+     * @param stddev_len Prompt length standard deviation.
+     * @param zipf_exponent Token-frequency skew (larger = skewier).
+     */
+    PromptDataset(std::string name, size_t vocab_size, double mean_len,
+                  double stddev_len, double zipf_exponent);
+
+    /** One of the five named presets (see allNames()). */
+    static PromptDataset named(const std::string &name,
+                               size_t vocab_size);
+
+    /** The five dataset names used throughout the evaluation. */
+    static const std::vector<std::string> &allNames();
+
+    const std::string &name() const { return name_; }
+    size_t vocabSize() const { return vocabSize_; }
+
+    /** Deterministic prompt for the given index (length >= 2). */
+    std::vector<int> prompt(size_t index) const;
+
+  private:
+    std::string name_;
+    size_t vocabSize_;
+    double meanLen_;
+    double stddevLen_;
+    std::vector<float> tokenWeights_; ///< Zipfian over permuted vocab
+    uint64_t seed_;
+};
+
+} // namespace workload
+} // namespace specinfer
+
+#endif // SPECINFER_WORKLOAD_DATASETS_H

@@ -1,0 +1,92 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace workload {
+
+void
+TraceAggregator::add(const core::SpecStats &stats)
+{
+    for (const core::StepRecord &s : stats.steps) {
+        sumVerified_ += static_cast<double>(s.verifiedTokens);
+        sumLlmTokens_ += static_cast<double>(s.llmChunkTokens);
+        sumSsmTokens_ += static_cast<double>(s.ssmTokensDecoded);
+        sumTreeSize_ += static_cast<double>(s.treeSize);
+    }
+    totalSteps_ += stats.steps.size();
+    perRequestVerified_.push_back(stats.avgVerifiedPerStep());
+}
+
+double
+TraceAggregator::avgVerifiedPerStep() const
+{
+    return totalSteps_ == 0
+               ? 0.0
+               : sumVerified_ / static_cast<double>(totalSteps_);
+}
+
+double
+TraceAggregator::avgLlmTokensPerStep() const
+{
+    return totalSteps_ == 0
+               ? 0.0
+               : sumLlmTokens_ / static_cast<double>(totalSteps_);
+}
+
+double
+TraceAggregator::avgSsmTokensPerStep() const
+{
+    return totalSteps_ == 0
+               ? 0.0
+               : sumSsmTokens_ / static_cast<double>(totalSteps_);
+}
+
+simulator::SpeculationProfile
+TraceAggregator::profile(const core::ExpansionConfig &expansion) const
+{
+    SPECINFER_CHECK(totalSteps_ > 0, "empty trace");
+    simulator::SpeculationProfile p;
+    p.avgVerifiedPerIter = std::max(1.0, avgVerifiedPerStep());
+    p.avgLlmTokensPerIter = std::max(1.0, avgLlmTokensPerStep());
+
+    // Per-level SSM chunks: catch-up level (the newly verified
+    // tokens, ~ avgVerified) followed by the expansion frontier
+    // sizes, deflated to the measured tree size.
+    const double max_nodes =
+        static_cast<double>(expansion.maxNodes());
+    const double measured =
+        totalSteps_ == 0 ? max_nodes
+                         : sumTreeSize_ /
+                               static_cast<double>(totalSteps_);
+    const double deflate =
+        max_nodes > 0.0 ? std::min(1.0, measured / max_nodes) : 1.0;
+    p.ssmChunkSizes.clear();
+    p.ssmChunkSizes.push_back(p.avgVerifiedPerIter); // catch-up
+    double frontier = 1.0;
+    for (size_t k : expansion.widths) {
+        frontier *= static_cast<double>(k);
+        p.ssmChunkSizes.push_back(std::max(1.0, frontier * deflate));
+    }
+    return p;
+}
+
+TraceAggregator
+runEngineOnDataset(const core::SpecEngine &engine,
+                   const PromptDataset &dataset, const RunConfig &cfg)
+{
+    TraceAggregator agg;
+    for (size_t i = 0; i < cfg.prompts; ++i) {
+        std::vector<int> prompt =
+            dataset.prompt(cfg.firstPrompt + i);
+        core::GenerationResult res =
+            engine.generate(prompt, cfg.seedBase + i);
+        agg.add(res.stats);
+    }
+    return agg;
+}
+
+} // namespace workload
+} // namespace specinfer

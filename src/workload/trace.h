@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Trace aggregation: turns per-request speculation statistics from
+ * the real CPU engine into the summary profiles that drive the
+ * hardware performance model, plus per-request sample sets for the
+ * CDF figures.
+ */
+
+#ifndef SPECINFER_WORKLOAD_TRACE_H
+#define SPECINFER_WORKLOAD_TRACE_H
+
+#include <vector>
+
+#include "core/spec_engine.h"
+#include "simulator/system_model.h"
+#include "workload/datasets.h"
+
+namespace specinfer {
+namespace workload {
+
+/**
+ * Accumulates SpecStats across requests.
+ */
+class TraceAggregator
+{
+  public:
+    /** Fold one request's statistics in. */
+    void add(const core::SpecStats &stats);
+
+    size_t requests() const { return perRequestVerified_.size(); }
+    size_t totalSteps() const { return totalSteps_; }
+
+    /** Mean verified tokens per LLM decoding step, across steps. */
+    double avgVerifiedPerStep() const;
+
+    /** Mean tokens decoded by the LLM per step (tree + catch-up). */
+    double avgLlmTokensPerStep() const;
+
+    /** Mean SSM token-forwards per step. */
+    double avgSsmTokensPerStep() const;
+
+    /** Per-request average verified-per-step samples (Figure 9's
+     *  CDF is built over these). */
+    const std::vector<double> &perRequestVerified() const
+    {
+        return perRequestVerified_;
+    }
+
+    /**
+     * Summarize into a simulator profile. Per-level SSM chunk sizes
+     * are the expansion config's frontier sizes deflated by the
+     * measured tree-size ratio (sampled-mode duplicates shrink
+     * trees below the config's upper bound).
+     */
+    simulator::SpeculationProfile
+    profile(const core::ExpansionConfig &expansion) const;
+
+  private:
+    size_t totalSteps_ = 0;
+    double sumVerified_ = 0.0;
+    double sumLlmTokens_ = 0.0;
+    double sumSsmTokens_ = 0.0;
+    double sumTreeSize_ = 0.0;
+    std::vector<double> perRequestVerified_;
+};
+
+/** Parameters for driving an engine over a dataset. */
+struct RunConfig
+{
+    size_t prompts = 8;          ///< prompts drawn from the dataset
+    size_t firstPrompt = 0;      ///< starting dataset index
+    uint64_t seedBase = 7;       ///< per-request seed = base + index
+};
+
+/** Decode `cfg.prompts` dataset prompts to completion, aggregating
+ *  speculation statistics. */
+TraceAggregator runEngineOnDataset(const core::SpecEngine &engine,
+                                   const PromptDataset &dataset,
+                                   const RunConfig &cfg);
+
+} // namespace workload
+} // namespace specinfer
+
+#endif // SPECINFER_WORKLOAD_TRACE_H

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "../model/test_models.h"
+#include "core/spec_engine.h"
+#include "model/model_factory.h"
+
+namespace specinfer {
+namespace core {
+namespace {
+
+using specinfer::testing::tinyLlm;
+
+SpeculatorConfig
+adaptiveConfig(float mass, size_t max_width, size_t depth = 4)
+{
+    SpeculatorConfig cfg;
+    cfg.expansion = ExpansionConfig::uniform(1, depth);
+    cfg.mode = SpeculationMode::TopK;
+    cfg.ssmSampling.temperature = 1.0f;
+    cfg.policy = ExpansionPolicy::AdaptiveMass;
+    cfg.adaptiveMass = mass;
+    cfg.adaptiveMaxWidth = max_width;
+    return cfg;
+}
+
+TEST(AdaptiveExpansionTest, TightMassDegeneratesToChain)
+{
+    // A tiny target mass means one candidate per node suffices.
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    Speculator spec({&ssm}, adaptiveConfig(1e-6f, 4));
+    auto caches = spec.makeCaches(160);
+    util::Rng rng(1);
+    TokenTree tree = spec.speculate({5, 9, 3}, caches, rng);
+    EXPECT_EQ(tree.speculatedCount(), 4u); // one per step
+    EXPECT_EQ(tree.maxDepth(), 4u);
+}
+
+TEST(AdaptiveExpansionTest, FullMassHitsWidthCap)
+{
+    // Mass 1.0 can only be reached by the cap on a smooth
+    // distribution, so every node expands adaptiveMaxWidth ways
+    // until the node budget intervenes.
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    SpeculatorConfig cfg = adaptiveConfig(1.0f, 3, 2);
+    cfg.maxTreeNodes = 100;
+    Speculator spec({&ssm}, cfg);
+    auto caches = spec.makeCaches(160);
+    util::Rng rng(2);
+    TokenTree tree = spec.speculate({5, 9, 3}, caches, rng);
+    // Full 3-ary tree of depth 2: 3 + 9 nodes.
+    EXPECT_EQ(tree.speculatedCount(), 12u);
+}
+
+TEST(AdaptiveExpansionTest, RespectsNodeBudget)
+{
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    SpeculatorConfig cfg = adaptiveConfig(1.0f, 4, 6);
+    cfg.maxTreeNodes = 10;
+    Speculator spec({&ssm}, cfg);
+    auto caches = spec.makeCaches(160);
+    util::Rng rng(3);
+    TokenTree tree = spec.speculate({7, 2, 4}, caches, rng);
+    EXPECT_LE(tree.speculatedCount(), 10u);
+    EXPECT_EQ(cfg.nodeBudget(), 10u);
+}
+
+TEST(AdaptiveExpansionTest, StaticBudgetIsConfigBound)
+{
+    SpeculatorConfig cfg;
+    cfg.expansion = ExpansionConfig::paperDefault();
+    EXPECT_EQ(cfg.nodeBudget(), 20u);
+}
+
+TEST(AdaptiveExpansionTest, GreedyEngineRemainsLossless)
+{
+    // Adaptive expansion changes which tokens are speculated, never
+    // which tokens are emitted.
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    std::vector<int> prompt = {4, 8, 15, 16};
+
+    model::SamplingParams greedy;
+    greedy.temperature = 0.0f;
+    util::Rng rng(1);
+    GenerationResult ref = incrementalGenerate(llm, prompt, greedy,
+                                               20, rng, false);
+
+    EngineConfig ecfg = EngineConfig::greedyDefault();
+    ecfg.spec = adaptiveConfig(0.7f, 3, 6);
+    ecfg.maxNewTokens = 20;
+    ecfg.stopAtEos = false;
+    SpecEngine engine(&llm, {&ssm}, ecfg);
+    GenerationResult got = engine.generate(prompt);
+    EXPECT_EQ(got.tokens, ref.tokens);
+}
+
+TEST(AdaptiveExpansionTest, AdaptsWidthToUncertainty)
+{
+    // Across many nodes, adaptive trees must actually vary their
+    // branching (not all chains, not all full fans).
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    Speculator spec({&ssm}, adaptiveConfig(0.5f, 4, 5));
+    auto caches = spec.makeCaches(160);
+    util::Rng rng(4);
+    size_t min_children = 100, max_children = 0;
+    for (uint64_t s = 0; s < 6; ++s) {
+        std::vector<int> seq = {static_cast<int>(s * 3 + 1), 9, 2};
+        TokenTree tree = spec.speculate(seq, caches, rng);
+        for (size_t n = 0; n < tree.size(); ++n) {
+            const TreeNode &node = tree.node(static_cast<NodeId>(n));
+            if (node.children.empty())
+                continue;
+            min_children =
+                std::min(min_children, node.children.size());
+            max_children =
+                std::max(max_children, node.children.size());
+        }
+        for (auto &cache : caches)
+            cache.truncate(0);
+    }
+    EXPECT_LT(min_children, max_children);
+}
+
+TEST(AdaptiveExpansionDeathTest, RequiresTopKMode)
+{
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    SpeculatorConfig cfg = adaptiveConfig(0.5f, 3);
+    cfg.mode = SpeculationMode::Sampled;
+    EXPECT_DEATH(Speculator({&ssm}, cfg), "TopK");
+}
+
+TEST(AdaptiveExpansionDeathTest, ValidatesMass)
+{
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    SpeculatorConfig cfg = adaptiveConfig(1.5f, 3);
+    EXPECT_DEATH(Speculator({&ssm}, cfg), "adaptiveMass");
+}
+
+} // namespace
+} // namespace core
+} // namespace specinfer

@@ -1,0 +1,125 @@
+#include "core/boost_tuning.h"
+
+#include <gtest/gtest.h>
+
+#include "../model/test_models.h"
+#include "model/model_factory.h"
+
+namespace specinfer {
+namespace core {
+namespace {
+
+using specinfer::testing::tinyLlm;
+
+std::vector<std::vector<bool>>
+matrix(std::initializer_list<std::vector<bool>> rows)
+{
+    return {rows};
+}
+
+TEST(BoostSelectTest, PicksComplementaryPair)
+{
+    // Candidate 0 covers samples {0,1,2}; candidate 1 covers
+    // {0,1,3}; candidate 2 covers {4,5}. Best single is 0 or 1 (3
+    // samples), but the boosted pair {0 or 1, 2} covers 5 samples —
+    // the filter step must prefer 2 over the redundant twin.
+    auto agrees = matrix({
+        {true, true, true, false, false, false},
+        {true, true, false, true, false, false},
+        {false, false, false, false, true, true},
+    });
+    BoostConfig cfg;
+    cfg.poolSize = 2;
+    BoostResult res = boostSelect(agrees, cfg);
+    ASSERT_EQ(res.selected.size(), 2u);
+    EXPECT_EQ(res.selected[0], 0u);
+    EXPECT_EQ(res.selected[1], 2u);
+    EXPECT_DOUBLE_EQ(res.bestSingleCoverage, 0.5);
+    EXPECT_NEAR(res.aggregateCoverage, 5.0 / 6.0, 1e-12);
+}
+
+TEST(BoostSelectTest, WithoutFilterPicksRedundantTwin)
+{
+    // The same setup without the mark-and-filter step degenerates
+    // to picking the two individually-best (but redundant) SSMs —
+    // demonstrating why the paper's boosting loop filters.
+    auto agrees = matrix({
+        {true, true, true, false, false, false},
+        {true, true, false, true, false, false},
+        {false, false, false, false, true, true},
+    });
+    BoostConfig cfg;
+    cfg.poolSize = 2;
+    cfg.filterCovered = false;
+    BoostResult res = boostSelect(agrees, cfg);
+    EXPECT_EQ(res.selected[0], 0u);
+    EXPECT_EQ(res.selected[1], 1u);
+    EXPECT_NEAR(res.aggregateCoverage, 4.0 / 6.0, 1e-12);
+}
+
+TEST(BoostSelectTest, AggregateNeverWorseThanSingle)
+{
+    auto agrees = matrix({
+        {true, false, true, false},
+        {false, true, false, true},
+        {true, true, false, false},
+    });
+    BoostConfig cfg;
+    cfg.poolSize = 2;
+    BoostResult res = boostSelect(agrees, cfg);
+    EXPECT_GE(res.aggregateCoverage, res.bestSingleCoverage);
+}
+
+TEST(BoostSelectTest, PoolLargerThanCandidatesIsClamped)
+{
+    auto agrees = matrix({{true, false}});
+    BoostConfig cfg;
+    cfg.poolSize = 5;
+    BoostResult res = boostSelect(agrees, cfg);
+    EXPECT_EQ(res.selected.size(), 1u);
+}
+
+TEST(BoostSelectDeathTest, RejectsBadInput)
+{
+    BoostConfig cfg;
+    EXPECT_DEATH(boostSelect({}, cfg), "candidates");
+    auto ragged = matrix({{true, false}, {true}});
+    EXPECT_DEATH(boostSelect(ragged, cfg), "ragged");
+}
+
+TEST(BoostCorpusTest, BuildsLlmTrajectories)
+{
+    model::Transformer llm = tinyLlm();
+    std::vector<std::vector<int>> prompts = {{3, 5, 7}, {2, 4}};
+    std::vector<BoostSample> corpus =
+        buildBoostCorpus(llm, prompts, 4);
+    ASSERT_EQ(corpus.size(), 8u);
+    // Contexts grow by one token along each trajectory and each
+    // llmToken equals the greedy continuation.
+    EXPECT_EQ(corpus[0].context, prompts[0]);
+    EXPECT_EQ(corpus[1].context.size(), 4u);
+    EXPECT_EQ(corpus[1].context.back(), corpus[0].llmToken);
+}
+
+TEST(BoostEndToEndTest, DeeperExitAgreesMore)
+{
+    // Sanity: in the agreement matrix, a deeper early exit agrees
+    // with the LLM at least as often as a very shallow one.
+    model::Transformer llm = tinyLlm();
+    model::Transformer deep = model::makeEarlyExitSsm(llm, 2);
+    model::Transformer shallow = model::makeEarlyExitSsm(llm, 1);
+    std::vector<std::vector<int>> prompts = {{3, 5, 7, 9}, {8, 1}};
+    std::vector<BoostSample> corpus =
+        buildBoostCorpus(llm, prompts, 6);
+    auto agrees = agreementMatrix({&deep, &shallow}, corpus);
+    size_t deep_hits = 0, shallow_hits = 0;
+    for (size_t s = 0; s < corpus.size(); ++s) {
+        deep_hits += agrees[0][s];
+        shallow_hits += agrees[1][s];
+    }
+    EXPECT_GE(deep_hits, shallow_hits);
+}
+
+} // namespace
+} // namespace core
+} // namespace specinfer

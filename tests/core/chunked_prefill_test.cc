@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Chunked prefill and per-request generation budgets: long prompts
+ * are absorbed across bounded iterations without changing outputs,
+ * and sessions can override the engine's token budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../model/test_models.h"
+#include "core/spec_engine.h"
+#include "model/model_factory.h"
+
+namespace specinfer {
+namespace core {
+namespace {
+
+using specinfer::testing::randomPrompt;
+using specinfer::testing::tinyLlm;
+
+struct Fixture
+{
+    Fixture() : llm(tinyLlm()), ssm(model::makeEarlyExitSsm(llm, 2))
+    {
+    }
+
+    EngineConfig
+    config(size_t chunk) const
+    {
+        EngineConfig cfg = EngineConfig::greedyDefault();
+        cfg.spec.expansion = ExpansionConfig::uniform(2, 3);
+        cfg.maxNewTokens = 10;
+        cfg.stopAtEos = false;
+        cfg.maxPrefillChunk = chunk;
+        return cfg;
+    }
+
+    model::Transformer llm;
+    model::Transformer ssm;
+};
+
+TEST(ChunkedPrefillTest, OutputUnchanged)
+{
+    Fixture f;
+    util::Rng rng(3);
+    std::vector<int> prompt =
+        randomPrompt(rng, 37, f.llm.config().vocabSize);
+
+    SpecEngine plain(&f.llm, {&f.ssm}, f.config(0));
+    SpecEngine chunked(&f.llm, {&f.ssm}, f.config(8));
+    GenerationResult a = plain.generate(prompt, 5);
+    GenerationResult b = chunked.generate(prompt, 5);
+    EXPECT_EQ(a.tokens, b.tokens);
+}
+
+TEST(ChunkedPrefillTest, BoundsPerIterationTokensDuringPrefill)
+{
+    Fixture f;
+    util::Rng rng(4);
+    std::vector<int> prompt =
+        randomPrompt(rng, 41, f.llm.config().vocabSize);
+    SpecEngine chunked(&f.llm, {&f.ssm}, f.config(8));
+    GenerationResult res = chunked.generate(prompt, 6);
+
+    // Prefill steps decode exactly the cap and emit nothing; the
+    // first speculative step then handles the remaining tail.
+    size_t prefill_steps = 0;
+    for (const StepRecord &s : res.stats.steps) {
+        if (s.verifiedTokens == 0) {
+            EXPECT_EQ(s.llmChunkTokens, 8u);
+            EXPECT_EQ(s.treeSize, 0u);
+            ++prefill_steps;
+        }
+    }
+    // 41-token prompt, cap 8: uncached>9 while cached<32.
+    EXPECT_EQ(prefill_steps, 4u);
+    EXPECT_EQ(res.stats.totalGenerated(), res.tokens.size());
+}
+
+TEST(ChunkedPrefillTest, ShortPromptSkipsChunking)
+{
+    Fixture f;
+    SpecEngine chunked(&f.llm, {&f.ssm}, f.config(8));
+    GenerationResult res = chunked.generate({1, 2, 3}, 7);
+    for (const StepRecord &s : res.stats.steps)
+        EXPECT_GE(s.verifiedTokens, 1u);
+}
+
+TEST(PerRequestBudgetTest, OverrideShortensGeneration)
+{
+    Fixture f;
+    SpecEngine engine(&f.llm, {&f.ssm}, f.config(0));
+    GenerationResult full = engine.generate({5, 6, 7}, 1);
+    GenerationResult capped = engine.generate({5, 6, 7}, 1, 4);
+    EXPECT_EQ(full.tokens.size(), 10u);
+    EXPECT_EQ(capped.tokens.size(), 4u);
+    // Greedy decoding: the capped output is a prefix of the full.
+    EXPECT_TRUE(std::equal(capped.tokens.begin(),
+                           capped.tokens.end(),
+                           full.tokens.begin()));
+}
+
+TEST(PerRequestBudgetTest, ZeroMeansEngineDefault)
+{
+    Fixture f;
+    SpecEngine engine(&f.llm, {&f.ssm}, f.config(0));
+    GenerationResult res = engine.generate({5, 6, 7}, 1, 0);
+    EXPECT_EQ(res.tokens.size(), 10u);
+}
+
+} // namespace
+} // namespace core
+} // namespace specinfer

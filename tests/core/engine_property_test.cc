@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Randomized configuration sweep over the whole engine: for random
+ * expansion configs, SSM pools, and prompts, the structural
+ * invariants must hold — greedy losslessness, stats consistency,
+ * cache bookkeeping, and capacity safety.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../model/test_models.h"
+#include "core/spec_engine.h"
+#include "model/model_factory.h"
+
+namespace specinfer {
+namespace core {
+namespace {
+
+using specinfer::testing::randomPrompt;
+using specinfer::testing::tinyLlm;
+
+class RandomEngineConfig : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RandomEngineConfig, InvariantsHold)
+{
+    util::Rng rng(GetParam() * 7919 + 13);
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm_a = model::makeEarlyExitSsm(
+        llm, 1 + rng.uniformInt(uint64_t{2}));
+    model::Transformer ssm_b = model::makeEarlyExitSsm(
+        llm, 1 + rng.uniformInt(uint64_t{2}), 0.1f, GetParam());
+
+    // Random expansion config (possibly empty = incremental).
+    ExpansionConfig expansion;
+    size_t depth = rng.uniformInt(uint64_t{7}); // 0..6
+    for (size_t i = 0; i < depth; ++i)
+        expansion.widths.push_back(1 + rng.uniformInt(uint64_t{3}));
+
+    EngineConfig cfg = EngineConfig::greedyDefault();
+    cfg.spec.expansion = expansion;
+    cfg.maxNewTokens = 6 + rng.uniformInt(uint64_t{14});
+    cfg.stopAtEos = false;
+
+    std::vector<const model::Transformer *> pool;
+    if (depth > 0) {
+        pool.push_back(&ssm_a);
+        if (rng.uniform() < 0.4)
+            pool.push_back(&ssm_b);
+    }
+    SpecEngine engine(&llm, pool, cfg);
+
+    std::vector<int> prompt = randomPrompt(
+        rng, 2 + rng.uniformInt(uint64_t{10}),
+        llm.config().vocabSize);
+
+    // Reference incremental decode.
+    model::SamplingParams greedy;
+    greedy.temperature = 0.0f;
+    util::Rng ref_rng(1);
+    GenerationResult ref = incrementalGenerate(
+        llm, prompt, greedy, cfg.maxNewTokens, ref_rng, false);
+
+    GenerationResult got = engine.generate(prompt, GetParam());
+
+    // 1. Lossless output.
+    ASSERT_EQ(got.tokens, ref.tokens)
+        << "expansion " << expansion.toString() << " pool "
+        << pool.size();
+
+    // 2. Stats consistency.
+    EXPECT_EQ(got.stats.totalGenerated(), got.tokens.size());
+    size_t budget = cfg.spec.nodeBudget() * std::max<size_t>(
+        pool.size(), 1);
+    for (const StepRecord &s : got.stats.steps) {
+        EXPECT_GE(s.verifiedTokens, 1u);
+        EXPECT_LE(s.verifiedTokens, cfg.maxNewTokens);
+        EXPECT_LE(s.treeSize, budget);
+        EXPECT_GE(s.llmChunkTokens, s.treeSize + 1);
+        if (depth == 0) {
+            EXPECT_EQ(s.treeSize, 0u);
+        }
+    }
+
+    // 3. Verified tokens per step never exceed the speculation
+    //    depth plus the bonus.
+    if (depth > 0) {
+        for (const StepRecord &s : got.stats.steps)
+            EXPECT_LE(s.verifiedTokens, depth + 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomEngineConfig,
+                         ::testing::Range(uint64_t{0}, uint64_t{16}));
+
+} // namespace
+} // namespace core
+} // namespace specinfer

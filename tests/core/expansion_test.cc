@@ -1,0 +1,60 @@
+#include "core/expansion.h"
+
+#include <gtest/gtest.h>
+
+namespace specinfer {
+namespace core {
+namespace {
+
+TEST(ExpansionTest, PaperDefault)
+{
+    ExpansionConfig cfg = ExpansionConfig::paperDefault();
+    EXPECT_EQ(cfg.steps(), 8u);
+    EXPECT_EQ(cfg.toString(), "<1,1,3,1,1,1,1,1>");
+    // Frontiers: 1,1,3,3,3,3,3,3 -> 20 nodes max.
+    EXPECT_EQ(cfg.maxNodes(), 20u);
+}
+
+TEST(ExpansionTest, WidthAtThird)
+{
+    ExpansionConfig cfg = ExpansionConfig::widthAtThird(5);
+    EXPECT_EQ(cfg.steps(), 8u);
+    EXPECT_EQ(cfg.widths[2], 5u);
+    EXPECT_EQ(cfg.widths[0], 1u);
+    // Frontiers: 1,1,5,5,5,5,5,5 -> 32.
+    EXPECT_EQ(cfg.maxNodes(), 32u);
+}
+
+TEST(ExpansionTest, Uniform)
+{
+    ExpansionConfig cfg = ExpansionConfig::uniform(2, 3);
+    // Frontiers 2,4,8 -> 14.
+    EXPECT_EQ(cfg.maxNodes(), 14u);
+    EXPECT_EQ(cfg.toString(), "<2,2,2>");
+}
+
+TEST(ExpansionTest, NoneIsIncremental)
+{
+    ExpansionConfig cfg = ExpansionConfig::none();
+    EXPECT_EQ(cfg.steps(), 0u);
+    EXPECT_EQ(cfg.maxNodes(), 0u);
+    EXPECT_EQ(cfg.toString(), "<>");
+    cfg.validate();
+}
+
+TEST(ExpansionTest, SequenceConfig)
+{
+    ExpansionConfig cfg = ExpansionConfig::uniform(1, 8);
+    EXPECT_EQ(cfg.maxNodes(), 8u);
+}
+
+TEST(ExpansionDeathTest, RejectsZeroWidth)
+{
+    ExpansionConfig cfg;
+    cfg.widths = {1, 0, 2};
+    EXPECT_DEATH(cfg.validate(), "width");
+}
+
+} // namespace
+} // namespace core
+} // namespace specinfer

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Generation output details: per-token log-probabilities and stop
+ * sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../model/test_models.h"
+#include "core/spec_engine.h"
+#include "model/model_factory.h"
+
+namespace specinfer {
+namespace core {
+namespace {
+
+using specinfer::testing::tinyLlm;
+
+struct Fixture
+{
+    Fixture() : llm(tinyLlm()), ssm(model::makeEarlyExitSsm(llm, 2))
+    {
+    }
+
+    EngineConfig
+    config() const
+    {
+        EngineConfig cfg = EngineConfig::greedyDefault();
+        cfg.spec.expansion = ExpansionConfig::uniform(2, 3);
+        cfg.maxNewTokens = 12;
+        cfg.stopAtEos = false;
+        return cfg;
+    }
+
+    model::Transformer llm;
+    model::Transformer ssm;
+};
+
+TEST(LogProbsTest, ParallelToTokensAndFinite)
+{
+    Fixture f;
+    SpecEngine engine(&f.llm, {&f.ssm}, f.config());
+    GenerationResult res = engine.generate({3, 7, 11});
+    ASSERT_EQ(res.logProbs.size(), res.tokens.size());
+    for (float lp : res.logProbs) {
+        EXPECT_LE(lp, 0.0f);
+        EXPECT_TRUE(std::isfinite(lp));
+    }
+}
+
+TEST(LogProbsTest, MatchesIncrementalReference)
+{
+    // Speculative decoding must report the same log-probabilities
+    // that incremental decoding computes at each position.
+    Fixture f;
+    std::vector<int> prompt = {9, 4, 2, 17};
+    SpecEngine engine(&f.llm, {&f.ssm}, f.config());
+    GenerationResult spec = engine.generate(prompt);
+
+    model::SamplingParams greedy;
+    greedy.temperature = 0.0f;
+    util::Rng rng(1);
+    GenerationResult ref = incrementalGenerate(
+        f.llm, prompt, greedy, 12, rng, false);
+
+    ASSERT_EQ(spec.tokens, ref.tokens);
+    ASSERT_EQ(spec.logProbs.size(), ref.logProbs.size());
+    for (size_t i = 0; i < spec.logProbs.size(); ++i)
+        EXPECT_NEAR(spec.logProbs[i], ref.logProbs[i], 1e-5f);
+}
+
+TEST(LogProbsTest, GreedyTokensHaveHighestLogProb)
+{
+    // Under greedy decoding every emitted token is the argmax, so
+    // its probability is at least 1/vocab.
+    Fixture f;
+    SpecEngine engine(&f.llm, {&f.ssm}, f.config());
+    GenerationResult res = engine.generate({5, 5, 5});
+    const float floor = std::log(
+        1.0f / static_cast<float>(f.llm.config().vocabSize));
+    for (float lp : res.logProbs)
+        EXPECT_GT(lp, floor);
+}
+
+TEST(StopSequenceTest, StopsAtSingleTokenSequence)
+{
+    Fixture f;
+    // Learn what the model generates, then stop at the 3rd token.
+    SpecEngine probe(&f.llm, {&f.ssm}, f.config());
+    GenerationResult full = probe.generate({8, 1, 6});
+    ASSERT_GE(full.tokens.size(), 4u);
+
+    EngineConfig cfg = f.config();
+    cfg.stopSequences = {{full.tokens[2]}};
+    SpecEngine engine(&f.llm, {&f.ssm}, cfg);
+    SpecSession session = engine.makeSession({8, 1, 6});
+    while (!session.done())
+        session.step();
+    EXPECT_EQ(session.generated(),
+              std::vector<int>(full.tokens.begin(),
+                               full.tokens.begin() + 3));
+    EXPECT_EQ(session.stopReason(),
+              SpecSession::StopReason::StopSequence);
+}
+
+TEST(StopSequenceTest, MultiTokenMatchAcrossIterations)
+{
+    // A two-token stop sequence straddling verification steps must
+    // still be found.
+    Fixture f;
+    SpecEngine probe(&f.llm, {&f.ssm}, f.config());
+    GenerationResult full = probe.generate({2, 4, 8});
+    ASSERT_GE(full.tokens.size(), 5u);
+
+    EngineConfig cfg = f.config();
+    cfg.stopSequences = {{full.tokens[2], full.tokens[3]}};
+    SpecEngine engine(&f.llm, {&f.ssm}, cfg);
+    SpecSession session = engine.makeSession({2, 4, 8});
+    while (!session.done())
+        session.step();
+    EXPECT_EQ(session.generated(),
+              std::vector<int>(full.tokens.begin(),
+                               full.tokens.begin() + 4));
+}
+
+TEST(StopSequenceTest, NonMatchingSequenceHasNoEffect)
+{
+    Fixture f;
+    EngineConfig cfg = f.config();
+    // A sequence that cannot appear (same token 13 times exceeds
+    // the budget window oddity) — use an implausible long pattern.
+    cfg.stopSequences = {{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}};
+    SpecEngine engine(&f.llm, {&f.ssm}, cfg);
+    SpecEngine plain(&f.llm, {&f.ssm}, f.config());
+    EXPECT_EQ(engine.generate({7, 7, 7}).tokens,
+              plain.generate({7, 7, 7}).tokens);
+}
+
+TEST(StopSequenceTest, EmptyStopSequenceIgnored)
+{
+    Fixture f;
+    EngineConfig cfg = f.config();
+    cfg.stopSequences = {{}};
+    SpecEngine engine(&f.llm, {&f.ssm}, cfg);
+    GenerationResult res = engine.generate({6, 6, 6});
+    EXPECT_EQ(res.tokens.size(), 12u);
+}
+
+} // namespace
+} // namespace core
+} // namespace specinfer

@@ -1,0 +1,279 @@
+#include "core/spec_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../model/test_models.h"
+#include "model/model_factory.h"
+
+namespace specinfer {
+namespace core {
+namespace {
+
+using specinfer::testing::randomPrompt;
+using specinfer::testing::tinyConfig;
+using specinfer::testing::tinyLlm;
+
+/** Greedy engine config with the given expansion. */
+EngineConfig
+greedyConfig(ExpansionConfig expansion, size_t max_new = 24)
+{
+    EngineConfig cfg = EngineConfig::greedyDefault();
+    cfg.spec.expansion = std::move(expansion);
+    cfg.maxNewTokens = max_new;
+    cfg.stopAtEos = false;
+    return cfg;
+}
+
+/**
+ * Losslessness (the paper's core guarantee for greedy decoding):
+ * tree-based speculative inference emits token-for-token the same
+ * sequence as incremental greedy decoding, for any SSM pool and any
+ * expansion configuration.
+ */
+class GreedyLossless : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(GreedyLossless, MatchesIncrementalDecoding)
+{
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    util::Rng prompt_rng(GetParam());
+    std::vector<int> prompt = randomPrompt(
+        prompt_rng, 3 + prompt_rng.uniformInt(uint64_t{8}),
+        llm.config().vocabSize);
+
+    model::SamplingParams greedy;
+    greedy.temperature = 0.0f;
+    util::Rng ref_rng(1);
+    GenerationResult ref = incrementalGenerate(
+        llm, prompt, greedy, 24, ref_rng, /*stop_at_eos=*/false);
+
+    const ExpansionConfig configs[] = {
+        ExpansionConfig::paperDefault(),
+        ExpansionConfig::uniform(1, 8),
+        ExpansionConfig::uniform(2, 4),
+        ExpansionConfig::widthAtThird(4, 6),
+    };
+    for (const ExpansionConfig &expansion : configs) {
+        SpecEngine engine(&llm, {&ssm}, greedyConfig(expansion));
+        GenerationResult got =
+            engine.generate(prompt, GetParam());
+        EXPECT_EQ(got.tokens, ref.tokens)
+            << "expansion " << expansion.toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PropertySweep, GreedyLossless,
+                         ::testing::Range(uint64_t{0}, uint64_t{6}));
+
+TEST(SpecEngineTest, MultiSsmGreedyStillLossless)
+{
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm1 = model::makeEarlyExitSsm(llm, 2);
+    model::Transformer ssm2 =
+        model::makeEarlyExitSsm(llm, 1, 0.2f, 5);
+    std::vector<int> prompt = {3, 14, 9, 2};
+
+    model::SamplingParams greedy;
+    greedy.temperature = 0.0f;
+    util::Rng ref_rng(1);
+    GenerationResult ref = incrementalGenerate(
+        llm, prompt, greedy, 20, ref_rng, false);
+
+    EngineConfig cfg = greedyConfig(ExpansionConfig::uniform(2, 5),
+                                    20);
+    SpecEngine engine(&llm, {&ssm1, &ssm2}, cfg);
+    GenerationResult got = engine.generate(prompt);
+    EXPECT_EQ(got.tokens, ref.tokens);
+}
+
+TEST(SpecEngineTest, IncrementalModeMatchesReference)
+{
+    // Empty expansion = the paper's "SpecInfer w/ incremental
+    // decoding" ablation; must equal Algorithm 1 exactly.
+    model::Transformer llm = tinyLlm();
+    std::vector<int> prompt = {7, 7, 7};
+    model::SamplingParams greedy;
+    greedy.temperature = 0.0f;
+    util::Rng ref_rng(1);
+    GenerationResult ref = incrementalGenerate(
+        llm, prompt, greedy, 16, ref_rng, false);
+
+    EngineConfig cfg = greedyConfig(ExpansionConfig::none(), 16);
+    SpecEngine engine(&llm, {}, cfg);
+    GenerationResult got = engine.generate(prompt);
+    EXPECT_EQ(got.tokens, ref.tokens);
+    // Incremental mode decodes exactly one token per step.
+    for (const StepRecord &s : got.stats.steps)
+        EXPECT_EQ(s.verifiedTokens, 1u);
+}
+
+TEST(SpecEngineTest, SpeculationAcceleratesGreedyDecoding)
+{
+    // The whole point: fewer LLM steps than generated tokens.
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    EngineConfig cfg =
+        greedyConfig(ExpansionConfig::paperDefault(), 32);
+    SpecEngine engine(&llm, {&ssm}, cfg);
+    std::vector<int> prompt = {5, 12, 31, 2, 18};
+    GenerationResult res = engine.generate(prompt);
+    EXPECT_EQ(res.tokens.size(), 32u);
+    EXPECT_LT(res.stats.llmSteps(), 32u);
+    EXPECT_GT(res.stats.avgVerifiedPerStep(), 1.0);
+}
+
+TEST(SpecEngineTest, StatsAreInternallyConsistent)
+{
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    EngineConfig cfg =
+        greedyConfig(ExpansionConfig::paperDefault(), 20);
+    SpecEngine engine(&llm, {&ssm}, cfg);
+    GenerationResult res = engine.generate({4, 4, 4, 4});
+    EXPECT_EQ(res.stats.totalGenerated(), res.tokens.size());
+    for (const StepRecord &s : res.stats.steps) {
+        EXPECT_GE(s.verifiedTokens, 1u);
+        // Each step the LLM decodes the tree plus the catch-up.
+        EXPECT_GE(s.llmChunkTokens, s.treeSize + 1);
+        EXPECT_GT(s.ssmTokensDecoded, 0u);
+    }
+}
+
+TEST(SpecEngineTest, MaxNewTokensRespected)
+{
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    EngineConfig cfg = greedyConfig(ExpansionConfig::uniform(1, 8), 5);
+    SpecEngine engine(&llm, {&ssm}, cfg);
+    GenerationResult res = engine.generate({9, 9, 9});
+    EXPECT_EQ(res.tokens.size(), 5u);
+}
+
+TEST(SpecEngineTest, EosTruncatesOutput)
+{
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    EngineConfig cfg = EngineConfig::stochasticDefault(2.0f);
+    cfg.maxNewTokens = 48;
+    cfg.stopAtEos = true;
+    SpecEngine engine(&llm, {&ssm}, cfg);
+    // Over several seeds, every EOS that appears must be final.
+    bool saw_eos = false;
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+        GenerationResult res = engine.generate({1, 2, 3}, seed);
+        for (size_t i = 0; i < res.tokens.size(); ++i) {
+            if (res.tokens[i] == llm.config().eosToken) {
+                EXPECT_EQ(i + 1, res.tokens.size());
+                saw_eos = true;
+            }
+        }
+    }
+    // With temperature 2 over 8 runs of 48 tokens, EOS (1/96-ish
+    // per step) should have appeared at least once.
+    EXPECT_TRUE(saw_eos);
+}
+
+TEST(SpecEngineTest, SessionStepMatchesGenerate)
+{
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    EngineConfig cfg =
+        greedyConfig(ExpansionConfig::paperDefault(), 12);
+    SpecEngine engine(&llm, {&ssm}, cfg);
+    std::vector<int> prompt = {8, 6, 7};
+    GenerationResult whole = engine.generate(prompt, 3);
+    SpecSession session = engine.makeSession(prompt, 3);
+    size_t steps = 0;
+    while (!session.done()) {
+        session.step();
+        ++steps;
+    }
+    EXPECT_EQ(session.generated(), whole.tokens);
+    EXPECT_EQ(steps, whole.stats.llmSteps());
+    EXPECT_NE(session.stopReason(),
+              SpecSession::StopReason::None);
+}
+
+TEST(SpecEngineTest, CapacityLimitStopsCleanly)
+{
+    model::ModelConfig cfg = tinyConfig();
+    cfg.maxSeqLen = 48;
+    model::Transformer llm = model::makeLlm(cfg);
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    EngineConfig ecfg =
+        greedyConfig(ExpansionConfig::paperDefault(), 1000);
+    SpecEngine engine(&llm, {&ssm}, ecfg);
+    SpecSession session = engine.makeSession({1, 2, 3, 4});
+    while (!session.done())
+        session.step();
+    EXPECT_EQ(session.stopReason(),
+              SpecSession::StopReason::CapacityLimit);
+    EXPECT_LT(session.sequence().size(), cfg.maxSeqLen);
+}
+
+TEST(SpecEngineTest, StochasticPreservesLlmDistribution)
+{
+    // End-to-end Theorem 4.2: the marginal of the first generated
+    // token under tree speculation + MSS equals the marginal under
+    // incremental stochastic decoding, on a real (tiny) model.
+    model::ModelConfig cfg = tinyConfig(321);
+    cfg.vocabSize = 16;
+    cfg.dModel = 16;
+    cfg.nHeads = 2;
+    cfg.dFf = 32;
+    cfg.nLayers = 2;
+    model::Transformer llm = model::makeLlm(cfg);
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 1);
+
+    EngineConfig ecfg = EngineConfig::stochasticDefault(1.0f);
+    ecfg.spec.expansion = {{2, 2}};
+    ecfg.maxNewTokens = 1;
+    ecfg.stopAtEos = false;
+    SpecEngine engine(&llm, {&ssm}, ecfg);
+
+    const std::vector<int> prompt = {3, 8, 1, 12};
+    const int trials = 6000;
+    std::vector<double> engine_counts(cfg.vocabSize, 0.0);
+    std::vector<double> ref_counts(cfg.vocabSize, 0.0);
+
+    model::SamplingParams params;
+    params.temperature = 1.0f;
+    util::Rng ref_rng(77);
+    for (int t = 0; t < trials; ++t) {
+        GenerationResult got =
+            engine.generate(prompt, static_cast<uint64_t>(t));
+        engine_counts[static_cast<size_t>(got.tokens[0])] += 1.0;
+        GenerationResult ref = incrementalGenerate(
+            llm, prompt, params, 1, ref_rng, false);
+        ref_counts[static_cast<size_t>(ref.tokens[0])] += 1.0;
+    }
+    double tvd = 0.0;
+    for (size_t c = 0; c < cfg.vocabSize; ++c)
+        tvd += std::abs(engine_counts[c] - ref_counts[c]) / trials;
+    EXPECT_LT(0.5 * tvd, 0.05);
+}
+
+TEST(SpecEngineDeathTest, SpeculativeModeNeedsSsm)
+{
+    model::Transformer llm = tinyLlm();
+    EngineConfig cfg = greedyConfig(ExpansionConfig::paperDefault());
+    EXPECT_DEATH(SpecEngine(&llm, {}, cfg), "SSM");
+}
+
+TEST(SpecEngineDeathTest, VocabulariesMustMatch)
+{
+    model::Transformer llm = tinyLlm();
+    model::ModelConfig other = tinyConfig();
+    other.vocabSize = 32;
+    model::Transformer alien = model::makeLlm(other);
+    EngineConfig cfg = greedyConfig(ExpansionConfig::uniform(1, 2));
+    EXPECT_DEATH(SpecEngine(&llm, {&alien}, cfg), "vocab");
+}
+
+} // namespace
+} // namespace core
+} // namespace specinfer

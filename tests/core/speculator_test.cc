@@ -1,0 +1,200 @@
+#include "core/speculator.h"
+
+#include <gtest/gtest.h>
+
+#include "../model/test_models.h"
+#include "model/model_factory.h"
+#include "tensor/ops.h"
+
+namespace specinfer {
+namespace core {
+namespace {
+
+using specinfer::testing::tinyLlm;
+
+struct Fixture
+{
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+};
+
+SpeculatorConfig
+topkConfig(ExpansionConfig expansion)
+{
+    SpeculatorConfig cfg;
+    cfg.expansion = std::move(expansion);
+    cfg.mode = SpeculationMode::TopK;
+    cfg.ssmSampling.temperature = 1.0f;
+    return cfg;
+}
+
+TEST(SpeculatorTest, TopKTreeHasExactShape)
+{
+    Fixture f;
+    Speculator spec({&f.ssm}, topkConfig({{2, 1, 3}}));
+    auto caches = spec.makeCaches(128);
+    util::Rng rng(1);
+    std::vector<int> seq = {5, 9, 3};
+    TokenTree tree = spec.speculate(seq, caches, rng);
+    // TopK picks are distinct, so the tree is exactly the config
+    // shape: 2 + 2 + 6 speculated nodes.
+    EXPECT_EQ(tree.speculatedCount(), 10u);
+    EXPECT_EQ(tree.maxDepth(), 3u);
+    EXPECT_EQ(tree.node(TokenTree::kRoot).token, 3);
+    EXPECT_EQ(tree.node(TokenTree::kRoot).children.size(), 2u);
+}
+
+TEST(SpeculatorTest, CacheInvariantMaintained)
+{
+    Fixture f;
+    Speculator spec({&f.ssm}, topkConfig({{2, 2}}));
+    auto caches = spec.makeCaches(128);
+    util::Rng rng(2);
+    std::vector<int> seq = {5, 9, 3};
+    spec.speculate(seq, caches, rng);
+    // After speculation the cache holds exactly the sequence.
+    EXPECT_EQ(caches[0].length(), seq.size());
+    // A longer sequence later decodes only the new suffix.
+    seq.push_back(7);
+    seq.push_back(2);
+    SpeculationCost cost;
+    spec.speculate(seq, caches, rng, &cost);
+    EXPECT_EQ(caches[0].length(), seq.size());
+}
+
+TEST(SpeculatorTest, Deterministic)
+{
+    Fixture f;
+    Speculator spec({&f.ssm}, topkConfig({{2, 2}}));
+    std::vector<int> seq = {4, 11, 6};
+    auto ca = spec.makeCaches(128);
+    auto cb = spec.makeCaches(128);
+    util::Rng ra(3), rb(3);
+    TokenTree ta = spec.speculate(seq, ca, ra);
+    TokenTree tb = spec.speculate(seq, cb, rb);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (size_t i = 0; i < ta.size(); ++i) {
+        EXPECT_EQ(ta.node(static_cast<NodeId>(i)).token,
+                  tb.node(static_cast<NodeId>(i)).token);
+        EXPECT_EQ(ta.node(static_cast<NodeId>(i)).parent,
+                  tb.node(static_cast<NodeId>(i)).parent);
+    }
+}
+
+TEST(SpeculatorTest, TopKChildrenAreSsmTopK)
+{
+    // The root's children must be the top-k tokens of the SSM's
+    // distribution computed by plain incremental decoding.
+    Fixture f;
+    const size_t vocab = f.ssm.config().vocabSize;
+    Speculator spec({&f.ssm}, topkConfig({{3}}));
+    auto caches = spec.makeCaches(128);
+    util::Rng rng(4);
+    std::vector<int> seq = {8, 2, 13};
+    TokenTree tree = spec.speculate(seq, caches, rng);
+
+    model::KvCache ref_cache = f.ssm.makeCache();
+    tensor::Tensor logits = f.ssm.forward(
+        model::DecodeChunk::sequence(seq), ref_cache);
+    auto top = tensor::topkRow(logits.row(seq.size() - 1), vocab, 3);
+
+    const auto &children = tree.node(TokenTree::kRoot).children;
+    ASSERT_EQ(children.size(), 3u);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(tree.node(children[i]).token,
+                  static_cast<int>(top[i]));
+}
+
+TEST(SpeculatorTest, StoresRootDistribution)
+{
+    Fixture f;
+    Speculator spec({&f.ssm}, topkConfig({{2}}));
+    auto caches = spec.makeCaches(128);
+    util::Rng rng(5);
+    TokenTree tree = spec.speculate({1, 2, 3}, caches, rng);
+    const std::vector<float> *dist =
+        tree.ssmDistribution(TokenTree::kRoot, 0);
+    ASSERT_NE(dist, nullptr);
+    EXPECT_EQ(dist->size(), f.ssm.config().vocabSize);
+    float total = 0.0f;
+    for (float p : *dist)
+        total += p;
+    EXPECT_NEAR(total, 1.0f, 1e-4f);
+}
+
+TEST(SpeculatorTest, SampledModeRecordsProposalMultiplicity)
+{
+    // With a large k on a tiny effective vocabulary, sampling must
+    // produce duplicate tokens that fold into proposal multisets.
+    Fixture f;
+    SpeculatorConfig cfg;
+    cfg.expansion = {{12}};
+    cfg.mode = SpeculationMode::Sampled;
+    cfg.ssmSampling.temperature = 1.0f;
+    cfg.ssmSampling.topK = 2; // only two tokens can be sampled
+    Speculator spec({&f.ssm}, cfg);
+    auto caches = spec.makeCaches(128);
+    util::Rng rng(6);
+    TokenTree tree = spec.speculate({3, 1, 4}, caches, rng);
+    EXPECT_LE(tree.speculatedCount(), 2u);
+    size_t proposals = 0;
+    for (NodeId c : tree.node(TokenTree::kRoot).children)
+        proposals += tree.node(c).proposals.size();
+    EXPECT_EQ(proposals, 12u);
+}
+
+TEST(SpeculatorTest, MultiSsmMergeCoversBothPools)
+{
+    Fixture f;
+    model::Transformer ssm2 =
+        model::makeEarlyExitSsm(f.llm, 2, 0.3f, 77);
+    Speculator spec({&f.ssm, &ssm2}, topkConfig({{2}}));
+    auto caches = spec.makeCaches(128);
+    ASSERT_EQ(caches.size(), 2u);
+    util::Rng rng(7);
+    TokenTree tree = spec.speculate({9, 4, 2}, caches, rng);
+    // Each SSM proposed 2 root children; the merged tree carries
+    // 4 proposals total (<= 4 distinct nodes).
+    size_t proposals = 0;
+    bool saw_ssm1 = false;
+    for (NodeId c : tree.node(TokenTree::kRoot).children) {
+        proposals += tree.node(c).proposals.size();
+        for (int s : tree.node(c).proposals)
+            saw_ssm1 |= s == 1;
+    }
+    EXPECT_EQ(proposals, 4u);
+    EXPECT_TRUE(saw_ssm1);
+    // Both SSMs' distributions are recorded at the root.
+    EXPECT_NE(tree.ssmDistribution(TokenTree::kRoot, 0), nullptr);
+    EXPECT_NE(tree.ssmDistribution(TokenTree::kRoot, 1), nullptr);
+}
+
+TEST(SpeculatorTest, CostAccounting)
+{
+    Fixture f;
+    Speculator spec({&f.ssm}, topkConfig({{1, 1}}));
+    auto caches = spec.makeCaches(128);
+    util::Rng rng(8);
+    SpeculationCost cost;
+    spec.speculate({6, 6, 6}, caches, rng, &cost);
+    // Catch-up decodes 3 tokens, then two 1-token levels.
+    EXPECT_EQ(cost.ssmTokensDecoded, 5u);
+    EXPECT_EQ(cost.ssmForwardCalls, 3u);
+}
+
+TEST(SpeculatorDeathTest, RequiresUncachedTail)
+{
+    Fixture f;
+    Speculator spec({&f.ssm}, topkConfig({{1}}));
+    auto caches = spec.makeCaches(128);
+    util::Rng rng(9);
+    std::vector<int> seq = {1, 2};
+    spec.speculate(seq, caches, rng);
+    // Cache now holds the full sequence; speculating again on the
+    // same sequence violates the invariant.
+    EXPECT_DEATH(spec.speculate(seq, caches, rng), "uncached");
+}
+
+} // namespace
+} // namespace core
+} // namespace specinfer

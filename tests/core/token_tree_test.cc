@@ -1,0 +1,173 @@
+#include "core/token_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace specinfer {
+namespace core {
+namespace {
+
+std::set<std::vector<int>>
+pathSet(const TokenTree &tree)
+{
+    auto paths = tree.allPaths();
+    return std::set<std::vector<int>>(paths.begin(), paths.end());
+}
+
+TEST(TokenTreeTest, RootOnly)
+{
+    TokenTree tree(42);
+    EXPECT_EQ(tree.size(), 1u);
+    EXPECT_EQ(tree.speculatedCount(), 0u);
+    EXPECT_EQ(tree.maxDepth(), 0u);
+    EXPECT_EQ(tree.node(TokenTree::kRoot).token, 42);
+    EXPECT_EQ(tree.node(TokenTree::kRoot).parent, -1);
+}
+
+TEST(TokenTreeTest, AddChildBuildsTopology)
+{
+    TokenTree tree(1);
+    NodeId a = tree.addChild(TokenTree::kRoot, 2, 0);
+    NodeId b = tree.addChild(TokenTree::kRoot, 3, 0);
+    NodeId c = tree.addChild(a, 4, 0);
+    EXPECT_EQ(tree.size(), 4u);
+    EXPECT_EQ(tree.node(a).depth, 1u);
+    EXPECT_EQ(tree.node(c).depth, 2u);
+    EXPECT_EQ(tree.node(c).parent, a);
+    EXPECT_EQ(tree.maxDepth(), 2u);
+    EXPECT_EQ(tree.node(TokenTree::kRoot).children.size(), 2u);
+    EXPECT_EQ(tree.node(b).children.size(), 0u);
+}
+
+TEST(TokenTreeTest, DuplicateChildMergesProposals)
+{
+    TokenTree tree(1);
+    NodeId a = tree.addChild(TokenTree::kRoot, 5, 0);
+    NodeId b = tree.addChild(TokenTree::kRoot, 5, 1);
+    NodeId c = tree.addChild(TokenTree::kRoot, 5, 0);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, c);
+    EXPECT_EQ(tree.size(), 2u);
+    ASSERT_EQ(tree.node(a).proposals.size(), 3u);
+    EXPECT_EQ(tree.node(a).proposals[0], 0);
+    EXPECT_EQ(tree.node(a).proposals[1], 1);
+    EXPECT_EQ(tree.node(a).proposals[2], 0);
+}
+
+TEST(TokenTreeTest, PathTokens)
+{
+    TokenTree tree(10);
+    NodeId a = tree.addChild(TokenTree::kRoot, 11, 0);
+    NodeId b = tree.addChild(a, 12, 0);
+    EXPECT_EQ(tree.pathTokens(b), (std::vector<int>{10, 11, 12}));
+    EXPECT_EQ(tree.pathTokens(TokenTree::kRoot),
+              (std::vector<int>{10}));
+}
+
+TEST(TokenTreeTest, SsmDistributionRoundTrip)
+{
+    TokenTree tree(1);
+    EXPECT_EQ(tree.ssmDistribution(TokenTree::kRoot, 0), nullptr);
+    tree.setSsmDistribution(TokenTree::kRoot, 0, {0.25f, 0.75f});
+    const std::vector<float> *d =
+        tree.ssmDistribution(TokenTree::kRoot, 0);
+    ASSERT_NE(d, nullptr);
+    EXPECT_FLOAT_EQ((*d)[1], 0.75f);
+    EXPECT_EQ(tree.ssmDistribution(TokenTree::kRoot, 1), nullptr);
+    // Overwrite replaces.
+    tree.setSsmDistribution(TokenTree::kRoot, 0, {1.0f, 0.0f});
+    EXPECT_FLOAT_EQ(
+        (*tree.ssmDistribution(TokenTree::kRoot, 0))[0], 1.0f);
+}
+
+TEST(TokenTreeTest, MergeIsPathSetUnion)
+{
+    // Definition 3.2: the merged tree's path set is exactly the
+    // union of the sources' path sets.
+    TokenTree a(1);
+    NodeId a1 = a.addChild(TokenTree::kRoot, 2, 0);
+    a.addChild(a1, 3, 0);
+
+    TokenTree b(1);
+    NodeId b1 = b.addChild(TokenTree::kRoot, 2, 1);
+    b.addChild(b1, 4, 1);
+    b.addChild(TokenTree::kRoot, 5, 1);
+
+    std::set<std::vector<int>> expect = pathSet(a);
+    for (const auto &p : pathSet(b))
+        expect.insert(p);
+
+    a.merge(b);
+    EXPECT_EQ(pathSet(a), expect);
+    // Shared node {1,2} is represented once but carries proposals
+    // from both SSMs.
+    EXPECT_EQ(a.node(a1).proposals.size(), 2u);
+}
+
+TEST(TokenTreeTest, MergeUnionsDistributions)
+{
+    TokenTree a(1);
+    a.setSsmDistribution(TokenTree::kRoot, 0, {1.0f, 0.0f});
+    TokenTree b(1);
+    b.setSsmDistribution(TokenTree::kRoot, 1, {0.0f, 1.0f});
+    a.merge(b);
+    ASSERT_NE(a.ssmDistribution(TokenTree::kRoot, 0), nullptr);
+    ASSERT_NE(a.ssmDistribution(TokenTree::kRoot, 1), nullptr);
+}
+
+TEST(TokenTreeTest, MergeIdempotent)
+{
+    TokenTree a(1);
+    NodeId a1 = a.addChild(TokenTree::kRoot, 2, 0);
+    a.addChild(a1, 3, 0);
+    TokenTree copy = a;
+    a.merge(copy);
+    EXPECT_EQ(pathSet(a), pathSet(copy));
+}
+
+TEST(TokenTreeDeathTest, MergeRequiresSameRoot)
+{
+    TokenTree a(1);
+    TokenTree b(2);
+    EXPECT_DEATH(a.merge(b), "root token");
+}
+
+TEST(TokenTreeTest, ToChunkPreservesTopology)
+{
+    TokenTree tree(7);
+    NodeId a = tree.addChild(TokenTree::kRoot, 8, 0);
+    tree.addChild(TokenTree::kRoot, 9, 0);
+    tree.addChild(a, 10, 0);
+    model::DecodeChunk chunk = tree.toChunk();
+    chunk.validate();
+    EXPECT_EQ(chunk.tokens, (std::vector<int>{7, 8, 9, 10}));
+    EXPECT_EQ(chunk.parents, (std::vector<int32_t>{-1, 0, 0, 1}));
+}
+
+TEST(TokenTreeTest, CreationOrderIsTopological)
+{
+    TokenTree tree(1);
+    NodeId a = tree.addChild(TokenTree::kRoot, 2, 0);
+    NodeId b = tree.addChild(a, 3, 0);
+    NodeId c = tree.addChild(TokenTree::kRoot, 4, 0);
+    NodeId d = tree.addChild(b, 5, 0);
+    for (NodeId id : {a, b, c, d})
+        EXPECT_LT(tree.node(id).parent, id);
+}
+
+TEST(TokenTreeTest, AsciiContainsAllTokens)
+{
+    TokenTree tree(1);
+    NodeId a = tree.addChild(TokenTree::kRoot, 22, 0);
+    tree.addChild(a, 33, 1);
+    std::string art = tree.toAscii();
+    EXPECT_NE(art.find("t1"), std::string::npos);
+    EXPECT_NE(art.find("t22"), std::string::npos);
+    EXPECT_NE(art.find("t33"), std::string::npos);
+}
+
+} // namespace
+} // namespace core
+} // namespace specinfer

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Verifier edge cases: structural consistency of accepted paths,
+ * residual-degeneracy fallback, deep-chain acceptance, and bonus
+ * token provenance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/verifier.h"
+#include "model/sampler.h"
+
+namespace specinfer {
+namespace core {
+namespace {
+
+constexpr size_t kVocab = 5;
+
+void
+setRow(tensor::Tensor &logits, size_t row,
+       const std::vector<float> &probs)
+{
+    for (size_t c = 0; c < kVocab; ++c)
+        logits.at(row, c) =
+            probs[c] > 0.0f ? std::log(probs[c]) : -60.0f;
+}
+
+model::SamplingParams
+stochastic()
+{
+    model::SamplingParams p;
+    p.temperature = 1.0f;
+    return p;
+}
+
+TEST(VerifierEdgeTest, AcceptedNodesFormRootPath)
+{
+    // Whatever happens, acceptedNodes must be a parent-child chain
+    // from the root and tokens must match the nodes.
+    TokenTree tree(0);
+    std::vector<float> q = {0.2f, 0.2f, 0.2f, 0.2f, 0.2f};
+    tree.setSsmDistribution(TokenTree::kRoot, 0, q);
+    NodeId a = tree.addChild(TokenTree::kRoot, 1, 0);
+    tree.setSsmDistribution(a, 0, q);
+    NodeId b = tree.addChild(a, 2, 0);
+    tree.setSsmDistribution(b, 0, q);
+    tree.addChild(b, 3, 0);
+
+    tensor::Tensor logits(tree.size(), kVocab);
+    for (size_t r = 0; r < tree.size(); ++r)
+        setRow(logits, r, {0.2f, 0.2f, 0.2f, 0.2f, 0.2f});
+
+    Verifier verifier(VerifyMode::MultiStepSampling, stochastic());
+    util::Rng rng(5);
+    for (int t = 0; t < 200; ++t) {
+        VerifyResult res = verifier.verify(tree, logits, rng);
+        NodeId parent = TokenTree::kRoot;
+        for (size_t i = 0; i < res.acceptedNodes.size(); ++i) {
+            NodeId v = res.acceptedNodes[i];
+            ASSERT_EQ(tree.node(v).parent, parent);
+            ASSERT_EQ(res.tokens[i], tree.node(v).token);
+            parent = v;
+        }
+        ASSERT_EQ(res.tokens.size(),
+                  res.acceptedNodes.size() + 1);
+        ASSERT_EQ(res.tokens.back(), res.bonusToken);
+    }
+}
+
+TEST(VerifierEdgeTest, IdenticalDistributionsChainFully)
+{
+    // p == q at every level: every candidate accepted, so the walk
+    // always reaches the leaf and emits depth+1 tokens.
+    std::vector<float> pq = {0.3f, 0.3f, 0.2f, 0.1f, 0.1f};
+    TokenTree tree(0);
+    tree.setSsmDistribution(TokenTree::kRoot, 0, pq);
+    util::Rng build_rng(7);
+    NodeId u = TokenTree::kRoot;
+    for (int d = 0; d < 4; ++d) {
+        NodeId v = tree.addChild(
+            u, static_cast<int>(build_rng.categorical(pq)), 0);
+        tree.setSsmDistribution(v, 0, pq);
+        u = v;
+    }
+    tensor::Tensor logits(tree.size(), kVocab);
+    for (size_t r = 0; r < tree.size(); ++r)
+        setRow(logits, r, pq);
+    Verifier verifier(VerifyMode::MultiStepSampling, stochastic());
+    util::Rng rng(8);
+    for (int t = 0; t < 50; ++t) {
+        VerifyResult res = verifier.verify(tree, logits, rng);
+        EXPECT_EQ(res.acceptedNodes.size(), 4u);
+        EXPECT_EQ(res.tokens.size(), 5u);
+    }
+}
+
+TEST(VerifierEdgeTest, ResidualDegeneracyStillEmitsToken)
+{
+    // Candidate token where q(x) slightly exceeds p(x) and q == p
+    // elsewhere: rejection is possible, after which the residual is
+    // numerically ~zero; the fallback must still emit a valid
+    // token rather than aborting.
+    std::vector<float> p = {0.50f, 0.50f, 0.0f, 0.0f, 0.0f};
+    std::vector<float> q = {0.501f, 0.499f, 0.0f, 0.0f, 0.0f};
+    Verifier verifier(VerifyMode::MultiStepSampling, stochastic());
+    util::Rng rng(11);
+    int rejections = 0;
+    for (int t = 0; t < 3000; ++t) {
+        TokenTree tree(0);
+        tree.setSsmDistribution(TokenTree::kRoot, 0, q);
+        tree.addChild(TokenTree::kRoot, 0, 0); // the q-heavy token
+        tensor::Tensor logits(tree.size(), kVocab);
+        for (size_t r = 0; r < tree.size(); ++r)
+            setRow(logits, r, p);
+        VerifyResult res = verifier.verify(tree, logits, rng);
+        ASSERT_FALSE(res.tokens.empty());
+        ASSERT_TRUE(res.tokens[0] == 0 || res.tokens[0] == 1);
+        rejections += res.acceptedNodes.empty();
+    }
+    // Rejection probability ~ 1 - min(1, .5/.501) ~ 0.2%.
+    EXPECT_GT(rejections, 0);
+}
+
+TEST(VerifierEdgeTest, GreedyDeepChainStopsAtFirstMiss)
+{
+    TokenTree tree(0);
+    NodeId a = tree.addChild(TokenTree::kRoot, 1, 0);
+    NodeId b = tree.addChild(a, 2, 0);
+    tree.addChild(b, 3, 0);
+    tensor::Tensor logits(tree.size(), kVocab);
+    logits.at(TokenTree::kRoot, 1) = 5.0f; // match a
+    logits.at(static_cast<size_t>(a), 4) = 5.0f; // miss (no child 4)
+    logits.at(static_cast<size_t>(b), 3) = 5.0f; // unreachable
+    model::SamplingParams greedy;
+    greedy.temperature = 0.0f;
+    Verifier verifier(VerifyMode::Greedy, greedy);
+    util::Rng rng(1);
+    VerifyResult res = verifier.verify(tree, logits, rng);
+    EXPECT_EQ(res.acceptedNodes, (std::vector<NodeId>{a}));
+    EXPECT_EQ(res.tokens, (std::vector<int>{1, 4}));
+}
+
+TEST(VerifierEdgeTest, NaiveSamplingLeafBonus)
+{
+    // Naive sampling on a single-node tree = plain sampling.
+    TokenTree tree(0);
+    tensor::Tensor logits(1, kVocab);
+    setRow(logits, 0, {0.0f, 0.0f, 1.0f, 0.0f, 0.0f});
+    Verifier verifier(VerifyMode::NaiveSampling, stochastic());
+    util::Rng rng(3);
+    VerifyResult res = verifier.verify(tree, logits, rng);
+    EXPECT_EQ(res.tokens, (std::vector<int>{2}));
+    EXPECT_TRUE(res.acceptedNodes.empty());
+}
+
+} // namespace
+} // namespace core
+} // namespace specinfer

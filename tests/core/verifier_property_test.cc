@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Deeper distribution-preservation properties of multi-step
+ * speculative sampling: filtered (top-k / top-p) LLM decoding
+ * distributions, and the *joint* distribution over multi-level
+ * trees — extending the single-step marginals checked in
+ * verifier_test.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/verifier.h"
+#include "model/sampler.h"
+#include "tensor/tensor.h"
+
+namespace specinfer {
+namespace core {
+namespace {
+
+constexpr size_t kVocab = 6;
+
+void
+setRowFromProbs(tensor::Tensor &logits, size_t row,
+                const std::vector<float> &probs)
+{
+    for (size_t c = 0; c < kVocab; ++c)
+        logits.at(row, c) =
+            probs[c] > 0.0f ? std::log(probs[c]) : -60.0f;
+}
+
+double
+tvd(const std::vector<double> &emp, const std::vector<double> &ref)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < emp.size(); ++i)
+        acc += std::abs(emp[i] - ref[i]);
+    return 0.5 * acc;
+}
+
+TEST(VerifierFilteredTest, MssPreservesTopKFilteredDistribution)
+{
+    // When the LLM decodes with top-k filtering, MSS must preserve
+    // the *filtered* distribution.
+    std::vector<float> p_raw = {0.35f, 0.30f, 0.15f,
+                                0.10f, 0.06f, 0.04f};
+    std::vector<float> q = {0.25f, 0.15f, 0.25f, 0.15f, 0.1f, 0.1f};
+
+    model::SamplingParams llm_params;
+    llm_params.temperature = 1.0f;
+    llm_params.topK = 3;
+    Verifier verifier(VerifyMode::MultiStepSampling, llm_params);
+
+    // Reference: the filtered distribution the sampler itself
+    // produces from these logits.
+    tensor::Tensor probe(1, kVocab);
+    setRowFromProbs(probe, 0, p_raw);
+    std::vector<float> p_filtered = model::logitsToProbs(
+        probe.row(0), kVocab, llm_params);
+    for (size_t c = 3; c < kVocab; ++c)
+        ASSERT_FLOAT_EQ(p_filtered[c], 0.0f);
+
+    util::Rng rng(77);
+    const int trials = 50000;
+    std::vector<double> counts(kVocab, 0.0);
+    for (int t = 0; t < trials; ++t) {
+        TokenTree tree(0);
+        tree.setSsmDistribution(TokenTree::kRoot, 0, q);
+        tree.addChild(TokenTree::kRoot,
+                      static_cast<int>(rng.categorical(q)), 0);
+        tensor::Tensor logits(tree.size(), kVocab);
+        for (size_t r = 0; r < tree.size(); ++r)
+            setRowFromProbs(logits, r, p_raw);
+        VerifyResult res = verifier.verify(tree, logits, rng);
+        counts[static_cast<size_t>(res.tokens[0])] += 1.0;
+    }
+    std::vector<double> ref(p_filtered.begin(), p_filtered.end());
+    for (double &c : counts)
+        c /= trials;
+    EXPECT_LT(tvd(counts, ref), 0.012);
+    // Filtered-out tokens must never be emitted.
+    EXPECT_DOUBLE_EQ(counts[4], 0.0);
+    EXPECT_DOUBLE_EQ(counts[5], 0.0);
+}
+
+TEST(VerifierFilteredTest, MssPreservesTopPFilteredDistribution)
+{
+    std::vector<float> p_raw = {0.40f, 0.30f, 0.15f,
+                                0.08f, 0.04f, 0.03f};
+    std::vector<float> q = {0.2f, 0.2f, 0.2f, 0.2f, 0.1f, 0.1f};
+    model::SamplingParams llm_params;
+    llm_params.temperature = 1.0f;
+    llm_params.topP = 0.8f;
+    Verifier verifier(VerifyMode::MultiStepSampling, llm_params);
+
+    tensor::Tensor probe(1, kVocab);
+    setRowFromProbs(probe, 0, p_raw);
+    std::vector<float> p_filtered = model::logitsToProbs(
+        probe.row(0), kVocab, llm_params);
+
+    util::Rng rng(78);
+    const int trials = 50000;
+    std::vector<double> counts(kVocab, 0.0);
+    for (int t = 0; t < trials; ++t) {
+        TokenTree tree(0);
+        tree.setSsmDistribution(TokenTree::kRoot, 0, q);
+        for (int j = 0; j < 2; ++j)
+            tree.addChild(TokenTree::kRoot,
+                          static_cast<int>(rng.categorical(q)), 0);
+        tensor::Tensor logits(tree.size(), kVocab);
+        for (size_t r = 0; r < tree.size(); ++r)
+            setRowFromProbs(logits, r, p_raw);
+        VerifyResult res = verifier.verify(tree, logits, rng);
+        counts[static_cast<size_t>(res.tokens[0])] += 1.0;
+    }
+    std::vector<double> ref(p_filtered.begin(), p_filtered.end());
+    for (double &c : counts)
+        c /= trials;
+    EXPECT_LT(tvd(counts, ref), 0.012);
+}
+
+TEST(VerifierJointTest, TwoLevelJointDistributionPreserved)
+{
+    // Theorem 4.2 applies to the whole emitted sequence, not just
+    // the first token. Build two-level trees whose children at
+    // every node are i.i.d. SSM samples, with the LLM's conditional
+    // distribution at a node depending on that node's token, and
+    // check the joint law of the first two emitted tokens.
+    const std::vector<float> p1 = {0.35f, 0.25f, 0.15f,
+                                   0.10f, 0.10f, 0.05f};
+    // Conditional p2(y | x): a deterministic function of x.
+    auto p2_of = [](int x) {
+        std::vector<float> p(kVocab, 0.0f);
+        for (size_t y = 0; y < kVocab; ++y)
+            p[y] = static_cast<float>(
+                1.0 + ((static_cast<size_t>(x) + 2 * y) % 5));
+        float total = 0.0f;
+        for (float v : p)
+            total += v;
+        for (float &v : p)
+            v /= total;
+        return p;
+    };
+    // The SSM's proposal at a node also depends on the node token.
+    auto q_of = [](int x) {
+        std::vector<float> q(kVocab, 0.0f);
+        for (size_t y = 0; y < kVocab; ++y)
+            q[y] = static_cast<float>(
+                1.0 + ((2 * static_cast<size_t>(x) + y) % 4));
+        float total = 0.0f;
+        for (float v : q)
+            total += v;
+        for (float &v : q)
+            v /= total;
+        return q;
+    };
+    const std::vector<float> q_root = {0.25f, 0.20f, 0.15f,
+                                       0.15f, 0.15f, 0.10f};
+
+    model::SamplingParams params;
+    params.temperature = 1.0f;
+    Verifier verifier(VerifyMode::MultiStepSampling, params);
+    util::Rng rng(79);
+
+    std::map<std::pair<int, int>, double> joint;
+    const int trials = 120000;
+    for (int t = 0; t < trials; ++t) {
+        TokenTree tree(0);
+        tree.setSsmDistribution(TokenTree::kRoot, 0, q_root);
+        // Two root candidates, one grandchild under each.
+        for (int j = 0; j < 2; ++j) {
+            int x = static_cast<int>(rng.categorical(q_root));
+            NodeId child = tree.addChild(TokenTree::kRoot, x, 0);
+            std::vector<float> qx = q_of(x);
+            tree.setSsmDistribution(child, 0, qx);
+            tree.addChild(child,
+                          static_cast<int>(rng.categorical(qx)), 0);
+        }
+        tensor::Tensor logits(tree.size(), kVocab);
+        setRowFromProbs(logits, TokenTree::kRoot, p1);
+        for (size_t n = 1; n < tree.size(); ++n)
+            setRowFromProbs(
+                logits, n,
+                p2_of(tree.node(static_cast<NodeId>(n)).token));
+        VerifyResult res = verifier.verify(tree, logits, rng);
+        ASSERT_GE(res.tokens.size(), 1u);
+        if (res.tokens.size() >= 2)
+            joint[{res.tokens[0], res.tokens[1]}] += 1.0;
+        else
+            joint[{res.tokens[0], -1}] += 1.0;
+    }
+
+    // Reference joint: first token ~ p1; second token ~ p2(.|x)
+    // whenever a second token is emitted. A second token exists
+    // only when the first came from an accepted child (the bonus is
+    // then drawn at that child). When the first token is the
+    // root-level bonus, no second token is emitted this iteration —
+    // consistency requires the *conditional* law of the second
+    // token given (first = x, second exists) to be p2(.|x).
+    for (size_t x = 0; x < kVocab; ++x) {
+        double with_second = 0.0;
+        std::vector<double> second(kVocab, 0.0);
+        for (size_t y = 0; y < kVocab; ++y) {
+            auto it = joint.find({static_cast<int>(x),
+                                  static_cast<int>(y)});
+            if (it != joint.end()) {
+                with_second += it->second;
+                second[y] = it->second;
+            }
+        }
+        if (with_second < 2000.0)
+            continue; // not enough mass for a stable estimate
+        std::vector<float> ref_f = p2_of(static_cast<int>(x));
+        std::vector<double> ref(ref_f.begin(), ref_f.end());
+        for (double &v : second)
+            v /= with_second;
+        EXPECT_LT(tvd(second, ref), 0.03) << "first token " << x;
+    }
+
+    // And the first-token marginal is p1 exactly.
+    std::vector<double> first(kVocab, 0.0);
+    for (const auto &[key, count] : joint)
+        first[static_cast<size_t>(key.first)] += count;
+    for (double &v : first)
+        v /= trials;
+    std::vector<double> ref1(p1.begin(), p1.end());
+    EXPECT_LT(tvd(first, ref1), 0.012);
+}
+
+} // namespace
+} // namespace core
+} // namespace specinfer

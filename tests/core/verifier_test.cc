@@ -1,0 +1,306 @@
+#include "core/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "tensor/ops.h"
+
+namespace specinfer {
+namespace core {
+namespace {
+
+constexpr size_t kVocab = 6;
+
+/** Logit row whose temperature-1 softmax equals `probs`. */
+void
+setRowFromProbs(tensor::Tensor &logits, size_t row,
+                const std::vector<float> &probs)
+{
+    for (size_t c = 0; c < kVocab; ++c)
+        logits.at(row, c) =
+            probs[c] > 0.0f ? std::log(probs[c]) : -60.0f;
+}
+
+model::SamplingParams
+stochasticParams()
+{
+    model::SamplingParams p;
+    p.temperature = 1.0f;
+    return p;
+}
+
+model::SamplingParams
+greedyParams()
+{
+    model::SamplingParams p;
+    p.temperature = 0.0f;
+    return p;
+}
+
+TEST(VerifierGreedyTest, AcceptsMatchingChain)
+{
+    // Root -> 2 -> 4 chain; LLM argmax at root = 2, at node(2) = 4,
+    // at node(4) = 1 (bonus).
+    TokenTree tree(0);
+    NodeId n2 = tree.addChild(TokenTree::kRoot, 2, 0);
+    NodeId n4 = tree.addChild(n2, 4, 0);
+    tree.addChild(TokenTree::kRoot, 3, 0); // decoy branch
+
+    tensor::Tensor logits(tree.size(), kVocab);
+    logits.at(TokenTree::kRoot, 2) = 5.0f;
+    logits.at(static_cast<size_t>(n2), 4) = 5.0f;
+    logits.at(static_cast<size_t>(n4), 1) = 5.0f;
+
+    Verifier verifier(VerifyMode::Greedy, greedyParams());
+    util::Rng rng(1);
+    VerifyResult res = verifier.verify(tree, logits, rng);
+    EXPECT_EQ(res.acceptedNodes, (std::vector<NodeId>{n2, n4}));
+    EXPECT_EQ(res.tokens, (std::vector<int>{2, 4, 1}));
+    EXPECT_EQ(res.bonusToken, 1);
+}
+
+TEST(VerifierGreedyTest, MissAtRootGivesSingleBonus)
+{
+    TokenTree tree(0);
+    tree.addChild(TokenTree::kRoot, 2, 0);
+    tensor::Tensor logits(tree.size(), kVocab);
+    logits.at(TokenTree::kRoot, 5) = 3.0f; // no child holds 5
+    Verifier verifier(VerifyMode::Greedy, greedyParams());
+    util::Rng rng(1);
+    VerifyResult res = verifier.verify(tree, logits, rng);
+    EXPECT_TRUE(res.acceptedNodes.empty());
+    EXPECT_EQ(res.tokens, (std::vector<int>{5}));
+}
+
+TEST(VerifierGreedyTest, EmptyTreeActsAsIncrementalDecode)
+{
+    TokenTree tree(0);
+    tensor::Tensor logits(1, kVocab);
+    logits.at(0, 3) = 1.0f;
+    Verifier verifier(VerifyMode::Greedy, greedyParams());
+    util::Rng rng(1);
+    VerifyResult res = verifier.verify(tree, logits, rng);
+    EXPECT_EQ(res.tokens, (std::vector<int>{3}));
+}
+
+TEST(VerifierMssTest, CertainAcceptWhenDistributionsMatch)
+{
+    // Candidate token has P_LLM == P_SSM; acceptance ratio is 1 so
+    // the candidate always passes.
+    TokenTree tree(0);
+    std::vector<float> q = {0.0f, 1.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+    tree.setSsmDistribution(TokenTree::kRoot, 0, q);
+    NodeId child = tree.addChild(TokenTree::kRoot, 1, 0);
+
+    tensor::Tensor logits(tree.size(), kVocab);
+    setRowFromProbs(logits, TokenTree::kRoot, q);
+    setRowFromProbs(logits, static_cast<size_t>(child),
+                    {0.5f, 0.5f, 0.0f, 0.0f, 0.0f, 0.0f});
+
+    Verifier verifier(VerifyMode::MultiStepSampling,
+                      stochasticParams());
+    util::Rng rng(2);
+    for (int trial = 0; trial < 20; ++trial) {
+        VerifyResult res = verifier.verify(tree, logits, rng);
+        ASSERT_EQ(res.acceptedNodes.size(), 1u);
+        EXPECT_EQ(res.tokens[0], 1);
+        EXPECT_EQ(res.tokens.size(), 2u); // accepted + leaf bonus
+    }
+}
+
+TEST(VerifierMssTest, CertainRejectWhenLlmMassIsZero)
+{
+    // P_LLM(candidate) == 0: always rejected; residual equals the
+    // LLM distribution restricted away from the candidate.
+    TokenTree tree(0);
+    std::vector<float> q = {0.0f, 1.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+    tree.setSsmDistribution(TokenTree::kRoot, 0, q);
+    tree.addChild(TokenTree::kRoot, 1, 0);
+
+    tensor::Tensor logits(tree.size(), kVocab);
+    setRowFromProbs(logits, TokenTree::kRoot,
+                    {0.0f, 0.0f, 0.7f, 0.3f, 0.0f, 0.0f});
+
+    Verifier verifier(VerifyMode::MultiStepSampling,
+                      stochasticParams());
+    util::Rng rng(3);
+    int count2 = 0, total = 4000;
+    for (int trial = 0; trial < total; ++trial) {
+        VerifyResult res = verifier.verify(tree, logits, rng);
+        ASSERT_TRUE(res.acceptedNodes.empty());
+        ASSERT_TRUE(res.tokens[0] == 2 || res.tokens[0] == 3);
+        count2 += res.tokens[0] == 2;
+    }
+    EXPECT_NEAR(static_cast<double>(count2) / total, 0.7, 0.03);
+}
+
+/**
+ * Theorem 4.2 (distribution preservation): over trees whose
+ * candidates are i.i.d. samples from the SSM distribution, the
+ * marginal of the first emitted token equals P_LLM exactly.
+ */
+class MssDistributionTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(MssDistributionTest, FirstTokenMarginalIsLlmDistribution)
+{
+    const int k = std::get<0>(GetParam());
+    const int scenario = std::get<1>(GetParam());
+
+    std::vector<float> p, q;
+    if (scenario == 0) {
+        p = {0.40f, 0.25f, 0.15f, 0.10f, 0.07f, 0.03f};
+        q = {0.10f, 0.30f, 0.20f, 0.20f, 0.10f, 0.10f};
+    } else {
+        p = {0.05f, 0.05f, 0.30f, 0.30f, 0.25f, 0.05f};
+        q = {0.50f, 0.20f, 0.10f, 0.10f, 0.05f, 0.05f};
+    }
+
+    Verifier verifier(VerifyMode::MultiStepSampling,
+                      stochasticParams());
+    util::Rng rng(1000 + static_cast<uint64_t>(k));
+    std::vector<double> counts(kVocab, 0.0);
+    const int trials = 60000;
+    for (int t = 0; t < trials; ++t) {
+        TokenTree tree(0);
+        tree.setSsmDistribution(TokenTree::kRoot, 0, q);
+        for (int j = 0; j < k; ++j)
+            tree.addChild(TokenTree::kRoot,
+                          static_cast<int>(rng.categorical(q)), 0);
+        tensor::Tensor logits(tree.size(), kVocab);
+        setRowFromProbs(logits, TokenTree::kRoot, p);
+        // Children rows: arbitrary (only the bonus-after-accept
+        // draws from them; we look at the first token only).
+        for (size_t r = 1; r < tree.size(); ++r)
+            setRowFromProbs(logits, r, p);
+        VerifyResult res = verifier.verify(tree, logits, rng);
+        counts[static_cast<size_t>(res.tokens[0])] += 1.0;
+    }
+    double tvd = 0.0;
+    for (size_t c = 0; c < kVocab; ++c)
+        tvd += std::abs(counts[c] / trials -
+                        static_cast<double>(p[c]));
+    EXPECT_LT(0.5 * tvd, 0.012)
+        << "k=" << k << " scenario=" << scenario;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MssDistributionTest,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(0, 1)));
+
+TEST(VerifierMssTest, MultiSsmMarginalPreserved)
+{
+    // Two SSMs with different proposal distributions; Theorem 4.2
+    // must still hold.
+    std::vector<float> p = {0.3f, 0.3f, 0.2f, 0.1f, 0.05f, 0.05f};
+    std::vector<float> q0 = {0.6f, 0.1f, 0.1f, 0.1f, 0.05f, 0.05f};
+    std::vector<float> q1 = {0.05f, 0.05f, 0.1f, 0.1f, 0.1f, 0.6f};
+
+    Verifier verifier(VerifyMode::MultiStepSampling,
+                      stochasticParams());
+    util::Rng rng(2024);
+    std::vector<double> counts(kVocab, 0.0);
+    const int trials = 60000;
+    for (int t = 0; t < trials; ++t) {
+        TokenTree tree(0);
+        tree.setSsmDistribution(TokenTree::kRoot, 0, q0);
+        tree.setSsmDistribution(TokenTree::kRoot, 1, q1);
+        tree.addChild(TokenTree::kRoot,
+                      static_cast<int>(rng.categorical(q0)), 0);
+        tree.addChild(TokenTree::kRoot,
+                      static_cast<int>(rng.categorical(q1)), 1);
+        tensor::Tensor logits(tree.size(), kVocab);
+        for (size_t r = 0; r < tree.size(); ++r)
+            setRowFromProbs(logits, r, p);
+        VerifyResult res = verifier.verify(tree, logits, rng);
+        counts[static_cast<size_t>(res.tokens[0])] += 1.0;
+    }
+    double tvd = 0.0;
+    for (size_t c = 0; c < kVocab; ++c)
+        tvd += std::abs(counts[c] / trials -
+                        static_cast<double>(p[c]));
+    EXPECT_LT(0.5 * tvd, 0.012);
+}
+
+TEST(VerifierNaiveTest, MarginalPreserved)
+{
+    // Naive sampling trivially preserves the LLM distribution.
+    std::vector<float> p = {0.4f, 0.3f, 0.2f, 0.05f, 0.03f, 0.02f};
+    std::vector<float> q = {0.2f, 0.2f, 0.2f, 0.2f, 0.1f, 0.1f};
+    Verifier verifier(VerifyMode::NaiveSampling, stochasticParams());
+    util::Rng rng(7);
+    std::vector<double> counts(kVocab, 0.0);
+    const int trials = 60000;
+    for (int t = 0; t < trials; ++t) {
+        TokenTree tree(0);
+        tree.setSsmDistribution(TokenTree::kRoot, 0, q);
+        tree.addChild(TokenTree::kRoot,
+                      static_cast<int>(rng.categorical(q)), 0);
+        tensor::Tensor logits(tree.size(), kVocab);
+        for (size_t r = 0; r < tree.size(); ++r)
+            setRowFromProbs(logits, r, p);
+        VerifyResult res = verifier.verify(tree, logits, rng);
+        counts[static_cast<size_t>(res.tokens[0])] += 1.0;
+    }
+    double tvd = 0.0;
+    for (size_t c = 0; c < kVocab; ++c)
+        tvd += std::abs(counts[c] / trials -
+                        static_cast<double>(p[c]));
+    EXPECT_LT(0.5 * tvd, 0.012);
+}
+
+TEST(VerifierTest, MssAcceptanceDominatesNaive)
+{
+    // Theorem 4.3: P(reject | MSS) <= P(reject | NS), measured as
+    // the acceptance rate over matched candidate pools.
+    std::vector<float> p = {0.35f, 0.25f, 0.15f, 0.10f, 0.10f, 0.05f};
+    std::vector<float> q = {0.15f, 0.35f, 0.20f, 0.10f, 0.10f, 0.10f};
+    Verifier mss(VerifyMode::MultiStepSampling, stochasticParams());
+    Verifier naive(VerifyMode::NaiveSampling, stochasticParams());
+    util::Rng rng(99);
+    const int trials = 40000;
+    int mss_accepts = 0, ns_accepts = 0;
+    for (int t = 0; t < trials; ++t) {
+        TokenTree tree(0);
+        tree.setSsmDistribution(TokenTree::kRoot, 0, q);
+        for (int j = 0; j < 3; ++j)
+            tree.addChild(TokenTree::kRoot,
+                          static_cast<int>(rng.categorical(q)), 0);
+        tensor::Tensor logits(tree.size(), kVocab);
+        for (size_t r = 0; r < tree.size(); ++r)
+            setRowFromProbs(logits, r, p);
+        mss_accepts +=
+            !mss.verify(tree, logits, rng).acceptedNodes.empty();
+        ns_accepts +=
+            !naive.verify(tree, logits, rng).acceptedNodes.empty();
+    }
+    EXPECT_GT(mss_accepts, ns_accepts);
+}
+
+TEST(VerifierDeathTest, ModeAndParamsMustAgree)
+{
+    EXPECT_DEATH(Verifier(VerifyMode::Greedy, stochasticParams()),
+                 "greedy");
+    EXPECT_DEATH(
+        Verifier(VerifyMode::MultiStepSampling, greedyParams()),
+        "temperature");
+}
+
+TEST(VerifierDeathTest, LogitRowsMustMatchTree)
+{
+    TokenTree tree(0);
+    tree.addChild(TokenTree::kRoot, 1, 0);
+    tensor::Tensor logits(1, kVocab);
+    Verifier verifier(VerifyMode::Greedy, greedyParams());
+    util::Rng rng(1);
+    EXPECT_DEATH(verifier.verify(tree, logits, rng), "row");
+}
+
+} // namespace
+} // namespace core
+} // namespace specinfer

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * KV-cache compaction property tests: after tree verification drops
+ * rejected branches with keepRows(), all future decoding must be
+ * indistinguishable from a cache built by decoding the accepted
+ * sequence from scratch. This is the invariant that lets SpecInfer
+ * reuse one shared cache across iterations (paper §4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "../model/test_models.h"
+#include "model/model_factory.h"
+#include "util/rng.h"
+
+namespace specinfer {
+namespace {
+
+using specinfer::testing::randomPrompt;
+using specinfer::testing::tinyLlm;
+
+/**
+ * Decode a random tree over a random prefix, keep a random
+ * root-to-node path, and compare future logits against a fresh
+ * cache holding prefix + kept tokens.
+ */
+class CompactionEquivalence : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(CompactionEquivalence, FutureDecodingUnaffected)
+{
+    model::Transformer llm = tinyLlm();
+    util::Rng rng(GetParam() + 500);
+    const size_t vocab = llm.config().vocabSize;
+
+    std::vector<int> prefix =
+        randomPrompt(rng, 2 + rng.uniformInt(uint64_t{8}), vocab);
+    model::DecodeChunk tree =
+        specinfer::testing::randomTreeChunk(
+            rng, 3 + rng.uniformInt(uint64_t{8}), vocab);
+
+    model::KvCache cache = llm.makeCache();
+    llm.forward(model::DecodeChunk::sequence(prefix), cache);
+    const size_t base = cache.length();
+    llm.forward(tree, cache);
+
+    // Pick a random node; its root-to-node path is the "accepted"
+    // branch.
+    size_t node = rng.uniformInt(static_cast<uint64_t>(tree.size()));
+    std::vector<size_t> path;
+    for (int32_t n = static_cast<int32_t>(node); n >= 0;
+         n = tree.parents[static_cast<size_t>(n)])
+        path.push_back(static_cast<size_t>(n));
+    std::reverse(path.begin(), path.end());
+
+    std::vector<size_t> keep;
+    for (size_t s = 0; s < base; ++s)
+        keep.push_back(s);
+    for (size_t idx : path)
+        keep.push_back(base + idx);
+    cache.keepRows(keep);
+
+    // Fresh cache: decode prefix + accepted tokens sequentially.
+    std::vector<int> accepted_seq = prefix;
+    for (size_t idx : path)
+        accepted_seq.push_back(tree.tokens[idx]);
+    model::KvCache fresh = llm.makeCache();
+    llm.forward(model::DecodeChunk::sequence(accepted_seq), fresh);
+
+    ASSERT_EQ(cache.length(), fresh.length());
+
+    // Future decoding must agree bitwise.
+    std::vector<int> future =
+        randomPrompt(rng, 3, vocab);
+    tensor::Tensor a = llm.forward(
+        model::DecodeChunk::sequence(future), cache);
+    tensor::Tensor b = llm.forward(
+        model::DecodeChunk::sequence(future), fresh);
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a.data()[i], b.data()[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(PropertySweep, CompactionEquivalence,
+                         ::testing::Range(uint64_t{0}, uint64_t{10}));
+
+TEST(CompactionTest, RepeatedCompactionStaysConsistent)
+{
+    // Chain several speculate/keep cycles and compare against a
+    // never-compacted sequential decode of the accepted stream.
+    model::Transformer llm = tinyLlm();
+    util::Rng rng(9000);
+    const size_t vocab = llm.config().vocabSize;
+
+    std::vector<int> seq = randomPrompt(rng, 4, vocab);
+    model::KvCache cache = llm.makeCache();
+    llm.forward(model::DecodeChunk::sequence(seq), cache);
+
+    for (int round = 0; round < 4; ++round) {
+        model::DecodeChunk tree =
+            specinfer::testing::randomTreeChunk(rng, 6, vocab);
+        const size_t base = cache.length();
+        llm.forward(tree, cache);
+        // Accept the path to a random leaf-ish node.
+        size_t node = rng.uniformInt(uint64_t{6});
+        std::vector<size_t> path;
+        for (int32_t n = static_cast<int32_t>(node); n >= 0;
+             n = tree.parents[static_cast<size_t>(n)])
+            path.push_back(static_cast<size_t>(n));
+        std::reverse(path.begin(), path.end());
+        std::vector<size_t> keep;
+        for (size_t s = 0; s < base; ++s)
+            keep.push_back(s);
+        for (size_t idx : path) {
+            keep.push_back(base + idx);
+            seq.push_back(tree.tokens[idx]);
+        }
+        cache.keepRows(keep);
+    }
+
+    model::KvCache fresh = llm.makeCache();
+    llm.forward(model::DecodeChunk::sequence(seq), fresh);
+    tensor::Tensor a =
+        llm.forward(model::DecodeChunk::single(5), cache);
+    tensor::Tensor b =
+        llm.forward(model::DecodeChunk::single(5), fresh);
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a.data()[i], b.data()[i]);
+}
+
+} // namespace
+} // namespace specinfer

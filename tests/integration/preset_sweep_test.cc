@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Property sweeps across the model-zoo presets: every preset pair
+ * must satisfy the calibration band, the lossless guarantee, and
+ * serialization round-trips — the properties the benchmark
+ * harnesses depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/spec_engine.h"
+#include "model/model_factory.h"
+#include "model/sampler.h"
+#include "model/serialization.h"
+#include "workload/datasets.h"
+
+namespace specinfer {
+namespace {
+
+class PresetSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PresetSweep, AcceptanceInCalibratedBand)
+{
+    // Greedy top-1 agreement between the preset LLM and its
+    // early-exit SSM must sit in the paper-calibrated band
+    // (roughly 50-75%); a regression here silently distorts every
+    // latency figure.
+    model::Transformer llm =
+        model::makeLlm(model::llmPreset(GetParam()));
+    model::Transformer ssm = model::makeEarlyExitSsm(
+        llm, llm.config().nLayers >= 12 ? 3 : 2);
+    workload::PromptDataset dataset = workload::PromptDataset::named(
+        "Alpaca", llm.config().vocabSize);
+
+    size_t agree = 0, steps = 0;
+    for (size_t pi = 0; pi < 4; ++pi) {
+        std::vector<int> prompt = dataset.prompt(pi);
+        model::KvCache lc = llm.makeCache();
+        model::KvCache sc = ssm.makeCache();
+        tensor::Tensor ll = llm.forward(
+            model::DecodeChunk::sequence(prompt), lc);
+        tensor::Tensor sl = ssm.forward(
+            model::DecodeChunk::sequence(prompt), sc);
+        const float *lrow = ll.row(prompt.size() - 1);
+        const float *srow = sl.row(prompt.size() - 1);
+        for (int g = 0; g < 24; ++g) {
+            int lt = model::greedyToken(lrow,
+                                        llm.config().vocabSize);
+            int st = model::greedyToken(srow,
+                                        ssm.config().vocabSize);
+            agree += lt == st;
+            ++steps;
+            ll = llm.forward(model::DecodeChunk::single(lt), lc);
+            sl = ssm.forward(model::DecodeChunk::single(lt), sc);
+            lrow = ll.row(0);
+            srow = sl.row(0);
+        }
+    }
+    double rate = static_cast<double>(agree) /
+                  static_cast<double>(steps);
+    EXPECT_GT(rate, 0.45) << GetParam();
+    EXPECT_LT(rate, 0.85) << GetParam();
+}
+
+TEST_P(PresetSweep, GreedyLossless)
+{
+    model::Transformer llm =
+        model::makeLlm(model::llmPreset(GetParam()));
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    workload::PromptDataset dataset = workload::PromptDataset::named(
+        "WebQA", llm.config().vocabSize);
+    std::vector<int> prompt = dataset.prompt(1);
+
+    model::SamplingParams greedy;
+    greedy.temperature = 0.0f;
+    util::Rng rng(1);
+    core::GenerationResult ref = core::incrementalGenerate(
+        llm, prompt, greedy, 16, rng, false);
+
+    core::EngineConfig cfg = core::EngineConfig::greedyDefault();
+    cfg.maxNewTokens = 16;
+    cfg.stopAtEos = false;
+    core::SpecEngine engine(&llm, {&ssm}, cfg);
+    EXPECT_EQ(engine.generate(prompt).tokens, ref.tokens)
+        << GetParam();
+}
+
+TEST_P(PresetSweep, SerializationRoundTrip)
+{
+    model::Transformer llm =
+        model::makeLlm(model::llmPreset(GetParam()));
+    std::stringstream buffer;
+    model::saveModel(buffer, llm.config(), *llm.weights());
+    model::Transformer restored = model::loadModel(buffer);
+    model::KvCache ca = llm.makeCache();
+    model::KvCache cb = restored.makeCache();
+    tensor::Tensor la =
+        llm.forward(model::DecodeChunk::sequence({1, 2, 3}), ca);
+    tensor::Tensor lb = restored.forward(
+        model::DecodeChunk::sequence({1, 2, 3}), cb);
+    for (size_t i = 0; i < la.size(); ++i)
+        ASSERT_EQ(la.data()[i], lb.data()[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelZoo, PresetSweep,
+                         ::testing::Values("llama-7b-sim",
+                                           "opt-13b-sim",
+                                           "opt-30b-sim",
+                                           "llama-65b-sim"));
+
+} // namespace
+} // namespace specinfer

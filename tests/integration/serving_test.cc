@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Cross-module integration tests: datasets -> engine -> request
+ * manager -> traces -> simulator, exercising the same pipeline the
+ * benchmark harnesses run, plus end-to-end consistency checks that
+ * cut across module boundaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../model/test_models.h"
+#include "model/model_factory.h"
+#include "runtime/request_manager.h"
+#include "simulator/system_model.h"
+#include "workload/trace.h"
+
+namespace specinfer {
+namespace {
+
+using specinfer::testing::tinyLlm;
+
+struct Stack
+{
+    Stack()
+        : llm(tinyLlm()),
+          ssm(model::makeEarlyExitSsm(llm, 2)),
+          dataset(workload::PromptDataset::named(
+              "Alpaca", llm.config().vocabSize))
+    {
+    }
+
+    core::EngineConfig
+    engineConfig(bool stochastic) const
+    {
+        core::EngineConfig cfg =
+            stochastic ? core::EngineConfig::stochasticDefault()
+                       : core::EngineConfig::greedyDefault();
+        cfg.spec.expansion = core::ExpansionConfig::uniform(2, 4);
+        cfg.maxNewTokens = 16;
+        cfg.stopAtEos = false;
+        return cfg;
+    }
+
+    model::Transformer llm;
+    model::Transformer ssm;
+    workload::PromptDataset dataset;
+};
+
+TEST(ServingIntegrationTest, DatasetThroughEngineToProfile)
+{
+    Stack stack;
+    core::SpecEngine engine(&stack.llm, {&stack.ssm},
+                            stack.engineConfig(false));
+    workload::RunConfig run;
+    run.prompts = 4;
+    workload::TraceAggregator agg =
+        workload::runEngineOnDataset(engine, stack.dataset, run);
+    simulator::SpeculationProfile profile =
+        agg.profile(core::ExpansionConfig::uniform(2, 4));
+
+    // The profile must be internally consistent with the traces.
+    EXPECT_GE(profile.avgLlmTokensPerIter,
+              profile.avgVerifiedPerIter);
+    ASSERT_EQ(profile.ssmChunkSizes.size(), 5u);
+
+    // And it must price sensibly through the simulator.
+    simulator::SystemModel sim{simulator::GpuPerfModel(
+        simulator::ClusterSpec::paperTestbed(1))};
+    simulator::ServingScenario scenario;
+    scenario.llm = simulator::LlmSpec::preset("llama-7b");
+    scenario.ssm = simulator::LlmSpec::preset("llama-68m");
+    scenario.plan = {1, 1};
+    scenario.speculative = true;
+    double spec_latency = sim.perTokenLatency(scenario, profile);
+    scenario.speculative = false;
+    double incr_latency = sim.perTokenLatency(
+        scenario, simulator::SpeculationProfile::incremental());
+    EXPECT_LT(spec_latency, incr_latency);
+}
+
+TEST(ServingIntegrationTest, ManagerTraceMatchesDirectRuns)
+{
+    // Aggregating traces through the request manager equals
+    // aggregating direct engine runs with the same request seeds.
+    Stack stack;
+    core::SpecEngine engine(&stack.llm, {&stack.ssm},
+                            stack.engineConfig(false));
+
+    runtime::RequestManager manager(&engine, {3});
+    std::vector<uint64_t> ids;
+    for (size_t i = 0; i < 5; ++i)
+        ids.push_back(manager.submit(stack.dataset.prompt(i)));
+    manager.runUntilDrained();
+
+    workload::TraceAggregator via_manager;
+    for (const runtime::RequestResult &res : manager.finished())
+        via_manager.add(res.stats);
+
+    workload::TraceAggregator direct;
+    for (size_t i = 0; i < 5; ++i)
+        direct.add(engine.generate(stack.dataset.prompt(i), ids[i])
+                       .stats);
+
+    EXPECT_DOUBLE_EQ(via_manager.avgVerifiedPerStep(),
+                     direct.avgVerifiedPerStep());
+    EXPECT_EQ(via_manager.totalSteps(), direct.totalSteps());
+}
+
+TEST(ServingIntegrationTest, StochasticServingIsSeedDeterministic)
+{
+    Stack stack;
+    core::SpecEngine engine(&stack.llm, {&stack.ssm},
+                            stack.engineConfig(true));
+    core::GenerationResult a =
+        engine.generate(stack.dataset.prompt(0), 42);
+    core::GenerationResult b =
+        engine.generate(stack.dataset.prompt(0), 42);
+    core::GenerationResult c =
+        engine.generate(stack.dataset.prompt(0), 43);
+    EXPECT_EQ(a.tokens, b.tokens);
+    EXPECT_NE(a.tokens, c.tokens); // different seed, same prompt
+}
+
+TEST(ServingIntegrationTest, MixedConfigurationsShareModels)
+{
+    // Several engines (greedy/stochastic/adaptive/multi-SSM) can
+    // share the same immutable weights concurrently.
+    Stack stack;
+    model::Transformer noisy =
+        model::makeEarlyExitSsm(stack.llm, 2, 0.1f, 9);
+
+    core::EngineConfig adaptive = stack.engineConfig(false);
+    adaptive.spec.policy = core::ExpansionPolicy::AdaptiveMass;
+    adaptive.spec.adaptiveMass = 0.6f;
+    adaptive.spec.adaptiveMaxWidth = 3;
+
+    core::SpecEngine greedy(&stack.llm, {&stack.ssm},
+                            stack.engineConfig(false));
+    core::SpecEngine stochastic(&stack.llm, {&stack.ssm},
+                                stack.engineConfig(true));
+    core::SpecEngine multi(&stack.llm, {&stack.ssm, &noisy},
+                           stack.engineConfig(false));
+    core::SpecEngine adapt(&stack.llm, {&stack.ssm}, adaptive);
+
+    std::vector<int> prompt = stack.dataset.prompt(1);
+    core::GenerationResult g = greedy.generate(prompt);
+    core::GenerationResult s = stochastic.generate(prompt);
+    core::GenerationResult m = multi.generate(prompt);
+    core::GenerationResult a = adapt.generate(prompt);
+
+    // Greedy-equivalence family: greedy, multi-SSM greedy, and
+    // adaptive greedy all emit the same (lossless) tokens.
+    EXPECT_EQ(g.tokens, m.tokens);
+    EXPECT_EQ(g.tokens, a.tokens);
+    EXPECT_EQ(g.tokens.size(), 16u);
+    EXPECT_EQ(s.tokens.size(), 16u);
+}
+
+TEST(ServingIntegrationTest, AllDatasetsServeCleanly)
+{
+    Stack stack;
+    core::SpecEngine engine(&stack.llm, {&stack.ssm},
+                            stack.engineConfig(true));
+    for (const std::string &name :
+         workload::PromptDataset::allNames()) {
+        workload::PromptDataset dataset =
+            workload::PromptDataset::named(
+                name, stack.llm.config().vocabSize);
+        core::GenerationResult res =
+            engine.generate(dataset.prompt(0));
+        EXPECT_EQ(res.tokens.size(), 16u) << name;
+        EXPECT_GE(res.stats.avgVerifiedPerStep(), 1.0) << name;
+    }
+}
+
+} // namespace
+} // namespace specinfer

@@ -1,0 +1,24 @@
+// The umbrella header must compile standalone and expose the whole
+// public API.
+#include "specinfer/specinfer.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaTest, EndToEndThroughSingleInclude)
+{
+    using namespace specinfer;
+    model::Transformer llm =
+        model::makeLlm(model::llmPreset("tiny"));
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    core::EngineConfig cfg = core::EngineConfig::greedyDefault();
+    cfg.spec.expansion = core::ExpansionConfig::uniform(2, 3);
+    cfg.maxNewTokens = 6;
+    cfg.stopAtEos = false;
+    core::SpecEngine engine(&llm, {&ssm}, cfg);
+    core::GenerationResult res = engine.generate({1, 2, 3});
+    EXPECT_EQ(res.tokens.size(), 6u);
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+#include "model/beam_search.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/sampler.h"
+#include "tensor/ops.h"
+#include "test_models.h"
+
+namespace specinfer {
+namespace model {
+namespace {
+
+using specinfer::testing::tinyLlm;
+
+BeamSearchParams
+params(size_t width, size_t tokens, bool eos = false)
+{
+    BeamSearchParams p;
+    p.beamWidth = width;
+    p.maxNewTokens = tokens;
+    p.stopAtEos = eos;
+    return p;
+}
+
+TEST(BeamSearchTest, WidthOneEqualsGreedy)
+{
+    Transformer llm = tinyLlm();
+    std::vector<int> prompt = {4, 9, 2};
+    auto beams = beamSearch(llm, prompt, params(1, 12));
+    ASSERT_EQ(beams.size(), 1u);
+
+    // Reference greedy decode.
+    KvCache cache = llm.makeCache();
+    tensor::Tensor logits =
+        llm.forward(DecodeChunk::sequence(prompt), cache);
+    std::vector<int> greedy;
+    const float *row = logits.row(prompt.size() - 1);
+    for (int i = 0; i < 12; ++i) {
+        int tok = greedyToken(row, llm.config().vocabSize);
+        greedy.push_back(tok);
+        logits = llm.forward(DecodeChunk::single(tok), cache);
+        row = logits.row(0);
+    }
+    EXPECT_EQ(beams[0].tokens, greedy);
+}
+
+TEST(BeamSearchTest, ReturnsSortedDistinctHypotheses)
+{
+    Transformer llm = tinyLlm();
+    auto beams = beamSearch(llm, {7, 3, 1}, params(4, 8));
+    ASSERT_EQ(beams.size(), 4u);
+    for (size_t i = 1; i < beams.size(); ++i) {
+        EXPECT_GE(beams[i - 1].logProb, beams[i].logProb);
+        EXPECT_NE(beams[i - 1].tokens, beams[i].tokens);
+    }
+    for (const BeamHypothesis &hyp : beams)
+        EXPECT_EQ(hyp.tokens.size(), 8u);
+}
+
+TEST(BeamSearchTest, WiderBeamNeverWorse)
+{
+    // The best hypothesis score is monotone in beam width.
+    Transformer llm = tinyLlm();
+    std::vector<int> prompt = {5, 5, 5};
+    double prev = -1e18;
+    for (size_t width : {1, 2, 4}) {
+        auto beams = beamSearch(llm, prompt, params(width, 10));
+        EXPECT_GE(beams[0].logProb, prev - 1e-9);
+        prev = beams[0].logProb;
+    }
+}
+
+TEST(BeamSearchTest, LogProbMatchesTokenwiseSum)
+{
+    // Recompute the winning hypothesis' log-probability by plain
+    // incremental decoding and compare.
+    Transformer llm = tinyLlm();
+    std::vector<int> prompt = {8, 2, 6};
+    auto beams = beamSearch(llm, prompt, params(3, 6));
+    const BeamHypothesis &best = beams[0];
+
+    KvCache cache = llm.makeCache();
+    tensor::Tensor logits =
+        llm.forward(DecodeChunk::sequence(prompt), cache);
+    const float *row = logits.row(prompt.size() - 1);
+    double log_prob = 0.0;
+    for (int tok : best.tokens) {
+        std::vector<float> probs(row,
+                                 row + llm.config().vocabSize);
+        tensor::softmaxRow(probs.data(), probs.size());
+        log_prob += std::log(static_cast<double>(
+            probs[static_cast<size_t>(tok)]));
+        logits = llm.forward(DecodeChunk::single(tok), cache);
+        row = logits.row(0);
+    }
+    EXPECT_NEAR(best.logProb, log_prob, 1e-3);
+}
+
+TEST(BeamSearchTest, LengthPenaltyChangesRanking)
+{
+    BeamHypothesis short_hyp;
+    short_hyp.tokens = {1, 2};
+    short_hyp.logProb = -2.0;
+    BeamHypothesis long_hyp;
+    long_hyp.tokens = {1, 2, 3, 4, 5, 6, 7, 8};
+    long_hyp.logProb = -4.0;
+    // Unnormalized: short wins. Strongly normalized: long wins.
+    EXPECT_GT(short_hyp.score(0.0f), long_hyp.score(0.0f));
+    EXPECT_LT(short_hyp.score(1.0f), long_hyp.score(1.0f));
+}
+
+TEST(BeamSearchTest, EosFinishesHypotheses)
+{
+    Transformer llm = tinyLlm();
+    BeamSearchParams p = params(3, 16, /*eos=*/true);
+    auto beams = beamSearch(llm, {1, 2, 3}, p);
+    ASSERT_FALSE(beams.empty());
+    for (const BeamHypothesis &hyp : beams) {
+        for (size_t i = 0; i + 1 < hyp.tokens.size(); ++i)
+            EXPECT_NE(hyp.tokens[i], llm.config().eosToken);
+    }
+}
+
+TEST(BeamSearchDeathTest, RejectsBadParams)
+{
+    Transformer llm = tinyLlm();
+    EXPECT_DEATH(beamSearch(llm, {}, params(2, 4)), "empty prompt");
+    EXPECT_DEATH(beamSearch(llm, {1}, params(0, 4)), "beam width");
+}
+
+} // namespace
+} // namespace model
+} // namespace specinfer

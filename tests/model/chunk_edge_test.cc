@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Edge cases of DecodeChunk visibility control: explicit prefixLen
+ * narrower than the cache, extra-slot inheritance rules, and
+ * position derivation at boundaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/transformer.h"
+#include "test_models.h"
+
+namespace specinfer {
+namespace model {
+namespace {
+
+using specinfer::testing::tinyLlm;
+
+TEST(ChunkEdgeTest, NarrowPrefixHidesLaterCacheRows)
+{
+    // A chunk with prefixLen = 2 over a cache of 4 must behave as
+    // if the last two cached tokens did not exist.
+    Transformer llm = tinyLlm();
+
+    KvCache full = llm.makeCache();
+    llm.forward(DecodeChunk::sequence({3, 5, 7, 9}), full);
+    DecodeChunk narrow = DecodeChunk::single(11);
+    narrow.prefixLen = 2;
+    tensor::Tensor narrow_logits = llm.forward(narrow, full);
+
+    KvCache short_cache = llm.makeCache();
+    llm.forward(DecodeChunk::sequence({3, 5}), short_cache);
+    tensor::Tensor ref_logits =
+        llm.forward(DecodeChunk::single(11), short_cache);
+
+    for (size_t c = 0; c < llm.config().vocabSize; ++c)
+        ASSERT_EQ(narrow_logits.at(0, c), ref_logits.at(0, c));
+}
+
+TEST(ChunkEdgeTest, PositionsDeriveFromPrefixAndExtras)
+{
+    // Token with prefixLen p and e extra slots sits at position
+    // p + e; verified by equivalence with a plain sequence decode.
+    Transformer llm = tinyLlm();
+
+    KvCache cache = llm.makeCache();
+    llm.forward(DecodeChunk::sequence({2, 4, 6}), cache); // slots 0-2
+    // Cache another token (slot 3) that only the chunk token's
+    // extra list will expose.
+    DecodeChunk extra_tok = DecodeChunk::single(8);
+    llm.forward(extra_tok, cache);
+
+    DecodeChunk chunk = DecodeChunk::single(10);
+    chunk.prefixLen = 3;
+    chunk.extraSlots = {{3}};
+    tensor::Tensor got = llm.forward(chunk, cache);
+
+    KvCache ref_cache = llm.makeCache();
+    tensor::Tensor ref = llm.forward(
+        DecodeChunk::sequence({2, 4, 6, 8, 10}), ref_cache);
+    for (size_t c = 0; c < llm.config().vocabSize; ++c)
+        ASSERT_EQ(got.at(0, c), ref.at(4, c));
+}
+
+TEST(ChunkEdgeDeathTest, ExtraSlotsMustSitBetweenPrefixAndEntry)
+{
+    Transformer llm = tinyLlm();
+    KvCache cache = llm.makeCache();
+    llm.forward(DecodeChunk::sequence({1, 2, 3}), cache);
+    DecodeChunk chunk = DecodeChunk::single(4);
+    chunk.prefixLen = 2;
+    chunk.extraSlots = {{1}}; // inside the prefix: invalid
+    EXPECT_DEATH(llm.forward(chunk, cache), "outside");
+    DecodeChunk chunk2 = DecodeChunk::single(4);
+    chunk2.prefixLen = 2;
+    chunk2.extraSlots = {{5}}; // beyond entry length: invalid
+    EXPECT_DEATH(llm.forward(chunk2, cache), "outside");
+}
+
+TEST(ChunkEdgeDeathTest, PrefixBeyondCacheLength)
+{
+    Transformer llm = tinyLlm();
+    KvCache cache = llm.makeCache();
+    llm.forward(DecodeChunk::sequence({1, 2}), cache);
+    DecodeChunk chunk = DecodeChunk::single(3);
+    chunk.prefixLen = 5;
+    EXPECT_DEATH(llm.forward(chunk, cache), "prefixLen");
+}
+
+TEST(ChunkEdgeDeathTest, ChildMustInheritParentExtras)
+{
+    Transformer llm = tinyLlm();
+    KvCache cache = llm.makeCache();
+    llm.forward(DecodeChunk::sequence({1, 2, 3}), cache);
+    DecodeChunk chunk;
+    chunk.tokens = {4, 5};
+    chunk.parents = {-1, 0};
+    chunk.prefixLen = 2;
+    chunk.extraSlots = {{2}, {}}; // child drops the parent's extra
+    EXPECT_DEATH(llm.forward(chunk, cache), "inherit");
+}
+
+TEST(ChunkEdgeTest, EmptyExtrasVectorEqualsPerTokenEmpty)
+{
+    Transformer llm = tinyLlm();
+    KvCache a = llm.makeCache();
+    KvCache b = llm.makeCache();
+    llm.forward(DecodeChunk::sequence({7, 8}), a);
+    llm.forward(DecodeChunk::sequence({7, 8}), b);
+    DecodeChunk no_field = DecodeChunk::sequence({9, 10});
+    DecodeChunk with_field = DecodeChunk::sequence({9, 10});
+    with_field.extraSlots = {{}, {}};
+    tensor::Tensor la = llm.forward(no_field, a);
+    tensor::Tensor lb = llm.forward(with_field, b);
+    for (size_t i = 0; i < la.size(); ++i)
+        ASSERT_EQ(la.data()[i], lb.data()[i]);
+}
+
+} // namespace
+} // namespace model
+} // namespace specinfer

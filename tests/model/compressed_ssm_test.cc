@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Quantized and pruned SSM variants (paper §1: SSMs as quantized /
+ * pruned variants of the LLM): construction, behaviour, and the
+ * lossless guarantee when used for speculation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/spec_engine.h"
+#include "model/model_factory.h"
+#include "tensor/quant.h"
+#include "test_models.h"
+
+namespace specinfer {
+namespace model {
+namespace {
+
+using specinfer::testing::tinyLlm;
+
+TEST(CompressedSsmTest, QuantizedSsmDiffersButIsClose)
+{
+    Transformer llm = tinyLlm();
+    Transformer plain = makeEarlyExitSsm(llm, 2);
+    Transformer quant = makeQuantizedSsm(llm, 2, 8);
+    EXPECT_NE(quant.config().name, plain.config().name);
+
+    KvCache ca = plain.makeCache();
+    KvCache cb = quant.makeCache();
+    DecodeChunk chunk = DecodeChunk::sequence({3, 9, 27});
+    tensor::Tensor la = plain.forward(chunk, ca);
+    tensor::Tensor lb = quant.forward(chunk, cb);
+    double diff = 0.0;
+    bool any = false;
+    for (size_t i = 0; i < la.size(); ++i) {
+        diff += std::abs(la.data()[i] - lb.data()[i]);
+        any |= la.data()[i] != lb.data()[i];
+    }
+    EXPECT_TRUE(any);
+    EXPECT_LT(diff / static_cast<double>(la.size()), 0.5);
+}
+
+TEST(CompressedSsmTest, LowerBitsDriftMore)
+{
+    Transformer llm = tinyLlm();
+    Transformer plain = makeEarlyExitSsm(llm, 2);
+    double prev = 0.0;
+    for (int bits : {8, 4, 3}) {
+        Transformer quant = makeQuantizedSsm(llm, 2, bits);
+        KvCache ca = plain.makeCache();
+        KvCache cb = quant.makeCache();
+        DecodeChunk chunk = DecodeChunk::sequence({5, 6, 7, 8});
+        tensor::Tensor la = plain.forward(chunk, ca);
+        tensor::Tensor lb = quant.forward(chunk, cb);
+        double diff = 0.0;
+        for (size_t i = 0; i < la.size(); ++i)
+            diff += std::abs(la.data()[i] - lb.data()[i]);
+        EXPECT_GT(diff, prev) << bits << " bits";
+        prev = diff;
+    }
+}
+
+TEST(CompressedSsmTest, PrunedSsmHasZeroWeights)
+{
+    Transformer llm = tinyLlm();
+    Transformer pruned = makePrunedSsm(llm, 2, 0.4);
+    double zeros =
+        tensor::zeroFraction(pruned.weights()->layers[0].wq);
+    EXPECT_NEAR(zeros, 0.4, 0.05);
+    // The source LLM is untouched.
+    EXPECT_LT(tensor::zeroFraction(llm.weights()->layers[0].wq),
+              0.01);
+}
+
+TEST(CompressedSsmTest, EmbeddingStaysExact)
+{
+    Transformer llm = tinyLlm();
+    Transformer quant = makeQuantizedSsm(llm, 2, 4);
+    const tensor::Tensor &a = llm.weights()->embedding;
+    const tensor::Tensor &b = quant.weights()->embedding;
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(CompressedSsmTest, GreedyLosslessWithCompressedSsms)
+{
+    // Whatever the SSM's quality, greedy verification stays exact.
+    Transformer llm = tinyLlm();
+    Transformer quant = makeQuantizedSsm(llm, 2, 4);
+    Transformer pruned = makePrunedSsm(llm, 2, 0.5);
+    std::vector<int> prompt = {11, 22, 33};
+
+    SamplingParams greedy;
+    greedy.temperature = 0.0f;
+    util::Rng rng(1);
+    core::GenerationResult ref = core::incrementalGenerate(
+        llm, prompt, greedy, 16, rng, false);
+
+    core::EngineConfig cfg = core::EngineConfig::greedyDefault();
+    cfg.maxNewTokens = 16;
+    cfg.stopAtEos = false;
+    core::SpecEngine engine(&llm, {&quant, &pruned}, cfg);
+    core::GenerationResult got = engine.generate(prompt);
+    EXPECT_EQ(got.tokens, ref.tokens);
+}
+
+TEST(CompressedSsmDeathTest, ValidatesDepth)
+{
+    Transformer llm = tinyLlm();
+    EXPECT_DEATH(makeQuantizedSsm(llm, 0, 8), "depth");
+    EXPECT_DEATH(makePrunedSsm(llm, 99, 0.5), "depth");
+}
+
+} // namespace
+} // namespace model
+} // namespace specinfer

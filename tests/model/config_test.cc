@@ -1,0 +1,118 @@
+#include "model/config.h"
+
+#include <gtest/gtest.h>
+
+#include "model/weights.h"
+
+namespace specinfer {
+namespace model {
+namespace {
+
+TEST(ModelConfigTest, DefaultsValidate)
+{
+    ModelConfig cfg;
+    cfg.validate();
+    EXPECT_EQ(cfg.dHead(), cfg.dModel / cfg.nHeads);
+}
+
+TEST(ModelConfigTest, ParamCountMatchesHandCount)
+{
+    ModelConfig cfg;
+    cfg.vocabSize = 10;
+    cfg.dModel = 4;
+    cfg.nHeads = 2;
+    cfg.dFf = 8;
+    cfg.nLayers = 2;
+    // emb 40 + head 40 + final norm 4
+    // per layer: 4*16 + 3*32 + 8 = 168; x2 = 336
+    EXPECT_EQ(cfg.paramCount(), 40u + 40u + 4u + 336u);
+}
+
+TEST(ModelConfigTest, PresetsAreConsistent)
+{
+    for (const char *name :
+         {"llama-7b-sim", "opt-13b-sim", "opt-30b-sim",
+          "llama-65b-sim", "tiny"}) {
+        ModelConfig cfg = llmPreset(name);
+        EXPECT_EQ(cfg.name, name);
+        cfg.validate();
+    }
+    for (const char *name : {"llama-68m-sim", "opt-125m-sim"}) {
+        ModelConfig cfg = ssmPreset(name);
+        EXPECT_EQ(cfg.name, name);
+        cfg.validate();
+    }
+}
+
+TEST(ModelConfigTest, PresetDepthOrdering)
+{
+    EXPECT_LT(llmPreset("llama-7b-sim").nLayers,
+              llmPreset("opt-30b-sim").nLayers);
+    EXPECT_LT(llmPreset("opt-30b-sim").nLayers,
+              llmPreset("llama-65b-sim").nLayers);
+    EXPECT_LT(ssmPreset("llama-68m-sim").nLayers,
+              llmPreset("llama-7b-sim").nLayers);
+}
+
+TEST(ModelConfigDeathTest, RejectsBadShapes)
+{
+    ModelConfig cfg;
+    cfg.nHeads = 3; // does not divide dModel = 64... 64 % 3 != 0
+    EXPECT_DEATH(cfg.validate(), "nHeads");
+    cfg = ModelConfig();
+    cfg.nLayers = 0;
+    EXPECT_DEATH(cfg.validate(), "layer");
+    cfg = ModelConfig();
+    cfg.eosToken = -1;
+    EXPECT_DEATH(cfg.validate(), "EOS");
+}
+
+TEST(WeightsTest, DeterministicInit)
+{
+    ModelConfig cfg = llmPreset("tiny");
+    auto a = initWeights(cfg);
+    auto b = initWeights(cfg);
+    ASSERT_EQ(a->layers.size(), b->layers.size());
+    for (size_t i = 0; i < a->embedding.size(); ++i)
+        EXPECT_FLOAT_EQ(a->embedding.data()[i],
+                        b->embedding.data()[i]);
+    for (size_t l = 0; l < a->layers.size(); ++l)
+        for (size_t i = 0; i < a->layers[l].wq.size(); ++i)
+            EXPECT_FLOAT_EQ(a->layers[l].wq.data()[i],
+                            b->layers[l].wq.data()[i]);
+}
+
+TEST(WeightsTest, ShallowConfigIsPrefixOfDeep)
+{
+    // The early-exit SSM property: same seed, fewer layers => the
+    // common layers and the embedding/head are identical.
+    ModelConfig deep = llmPreset("tiny");
+    ModelConfig shallow = deep;
+    shallow.nLayers = 2;
+    auto wd = initWeights(deep);
+    auto ws = initWeights(shallow);
+    ASSERT_EQ(ws->layers.size(), 2u);
+    for (size_t l = 0; l < 2; ++l)
+        for (size_t i = 0; i < ws->layers[l].wo.size(); ++i)
+            EXPECT_FLOAT_EQ(ws->layers[l].wo.data()[i],
+                            wd->layers[l].wo.data()[i]);
+    for (size_t i = 0; i < ws->lmHead.size(); ++i)
+        EXPECT_FLOAT_EQ(ws->lmHead.data()[i], wd->lmHead.data()[i]);
+}
+
+TEST(WeightsTest, DifferentSeedsDiffer)
+{
+    ModelConfig a_cfg = llmPreset("tiny");
+    ModelConfig b_cfg = a_cfg;
+    b_cfg.seed += 1;
+    auto a = initWeights(a_cfg);
+    auto b = initWeights(b_cfg);
+    bool any_diff = false;
+    for (size_t i = 0; i < a->embedding.size() && !any_diff; ++i)
+        any_diff = a->embedding.data()[i] != b->embedding.data()[i];
+    EXPECT_TRUE(any_diff);
+}
+
+} // namespace
+} // namespace model
+} // namespace specinfer

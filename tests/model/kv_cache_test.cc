@@ -1,0 +1,100 @@
+#include "model/kv_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace specinfer {
+namespace model {
+namespace {
+
+TEST(KvCacheTest, AllocateAdvancesLength)
+{
+    KvCache cache(2, 8, 16);
+    EXPECT_EQ(cache.length(), 0u);
+    EXPECT_EQ(cache.allocate(3), 0u);
+    EXPECT_EQ(cache.length(), 3u);
+    EXPECT_EQ(cache.allocate(2), 3u);
+    EXPECT_EQ(cache.length(), 5u);
+}
+
+TEST(KvCacheTest, RowsAreWritable)
+{
+    KvCache cache(2, 4, 8);
+    cache.allocate(2);
+    cache.keyRow(1, 0)[3] = 7.0f;
+    cache.valueRow(0, 1)[0] = -2.0f;
+    EXPECT_FLOAT_EQ(cache.keyRow(1, 0)[3], 7.0f);
+    EXPECT_FLOAT_EQ(cache.valueRow(0, 1)[0], -2.0f);
+}
+
+TEST(KvCacheTest, TruncateRollsBack)
+{
+    KvCache cache(1, 4, 8);
+    cache.allocate(5);
+    cache.truncate(2);
+    EXPECT_EQ(cache.length(), 2u);
+    // Slots can be re-allocated after truncation.
+    EXPECT_EQ(cache.allocate(1), 2u);
+}
+
+TEST(KvCacheTest, KeepRowsCompacts)
+{
+    KvCache cache(1, 2, 8);
+    cache.allocate(5);
+    for (size_t s = 0; s < 5; ++s) {
+        cache.keyRow(0, s)[0] = static_cast<float>(s);
+        cache.valueRow(0, s)[1] = static_cast<float>(10 + s);
+    }
+    cache.keepRows({0, 2, 4});
+    EXPECT_EQ(cache.length(), 3u);
+    EXPECT_FLOAT_EQ(cache.keyRow(0, 0)[0], 0.0f);
+    EXPECT_FLOAT_EQ(cache.keyRow(0, 1)[0], 2.0f);
+    EXPECT_FLOAT_EQ(cache.keyRow(0, 2)[0], 4.0f);
+    EXPECT_FLOAT_EQ(cache.valueRow(0, 2)[1], 14.0f);
+}
+
+TEST(KvCacheTest, KeepRowsIdentityPrefix)
+{
+    KvCache cache(1, 2, 8);
+    cache.allocate(3);
+    cache.keyRow(0, 1)[0] = 5.0f;
+    cache.keepRows({0, 1});
+    EXPECT_EQ(cache.length(), 2u);
+    EXPECT_FLOAT_EQ(cache.keyRow(0, 1)[0], 5.0f);
+}
+
+TEST(KvCacheTest, CloneIsDeep)
+{
+    KvCache cache(1, 2, 4);
+    cache.allocate(1);
+    cache.keyRow(0, 0)[0] = 1.0f;
+    KvCache copy = cache.clone();
+    copy.keyRow(0, 0)[0] = 2.0f;
+    EXPECT_FLOAT_EQ(cache.keyRow(0, 0)[0], 1.0f);
+    EXPECT_FLOAT_EQ(copy.keyRow(0, 0)[0], 2.0f);
+}
+
+TEST(KvCacheDeathTest, OverflowAborts)
+{
+    KvCache cache(1, 2, 4);
+    cache.allocate(4);
+    EXPECT_DEATH(cache.allocate(1), "overflow");
+}
+
+TEST(KvCacheDeathTest, KeepRowsMustAscend)
+{
+    KvCache cache(1, 2, 8);
+    cache.allocate(4);
+    EXPECT_DEATH(cache.keepRows({2, 1}), "ascending");
+    EXPECT_DEATH(cache.keepRows({0, 4}), "out of range");
+}
+
+TEST(KvCacheDeathTest, TruncateCannotGrow)
+{
+    KvCache cache(1, 2, 8);
+    cache.allocate(2);
+    EXPECT_DEATH(cache.truncate(3), "grow");
+}
+
+} // namespace
+} // namespace model
+} // namespace specinfer

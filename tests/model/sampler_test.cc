@@ -1,0 +1,122 @@
+#include "model/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace specinfer {
+namespace model {
+namespace {
+
+TEST(SamplerTest, ProbsNormalize)
+{
+    float logits[] = {0.0f, 1.0f, 2.0f};
+    SamplingParams params;
+    auto probs = logitsToProbs(logits, 3, params);
+    float total = std::accumulate(probs.begin(), probs.end(), 0.0f);
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+    EXPECT_GT(probs[2], probs[1]);
+}
+
+TEST(SamplerTest, GreedyTemperatureIsOneHot)
+{
+    float logits[] = {0.5f, 2.0f, 1.0f};
+    SamplingParams params;
+    params.temperature = 0.0f;
+    auto probs = logitsToProbs(logits, 3, params);
+    EXPECT_FLOAT_EQ(probs[0], 0.0f);
+    EXPECT_FLOAT_EQ(probs[1], 1.0f);
+    EXPECT_FLOAT_EQ(probs[2], 0.0f);
+}
+
+TEST(SamplerTest, TopKFilters)
+{
+    float logits[] = {0.0f, 3.0f, 2.0f, 1.0f};
+    SamplingParams params;
+    params.topK = 2;
+    auto probs = logitsToProbs(logits, 4, params);
+    EXPECT_FLOAT_EQ(probs[0], 0.0f);
+    EXPECT_FLOAT_EQ(probs[3], 0.0f);
+    EXPECT_GT(probs[1], 0.0f);
+    EXPECT_GT(probs[2], 0.0f);
+    EXPECT_NEAR(probs[1] + probs[2], 1.0f, 1e-5f);
+}
+
+TEST(SamplerTest, TopKLargerThanVocabIsNoop)
+{
+    float logits[] = {1.0f, 2.0f};
+    SamplingParams plain, filtered;
+    filtered.topK = 10;
+    auto a = logitsToProbs(logits, 2, plain);
+    auto b = logitsToProbs(logits, 2, filtered);
+    EXPECT_FLOAT_EQ(a[0], b[0]);
+    EXPECT_FLOAT_EQ(a[1], b[1]);
+}
+
+TEST(SamplerTest, TopPKeepsNucleus)
+{
+    // Probabilities ~ {0.643, 0.236, 0.087, 0.032} for logits
+    // {3,2,1,0}; topP = 0.7 keeps the first two.
+    float logits[] = {3.0f, 2.0f, 1.0f, 0.0f};
+    SamplingParams params;
+    params.topP = 0.7f;
+    auto probs = logitsToProbs(logits, 4, params);
+    EXPECT_GT(probs[0], 0.0f);
+    EXPECT_GT(probs[1], 0.0f);
+    EXPECT_FLOAT_EQ(probs[2], 0.0f);
+    EXPECT_FLOAT_EQ(probs[3], 0.0f);
+    EXPECT_NEAR(probs[0] + probs[1], 1.0f, 1e-5f);
+}
+
+TEST(SamplerTest, TopPOneIsNoop)
+{
+    float logits[] = {1.0f, 2.0f, 0.5f};
+    SamplingParams plain, nucleus;
+    nucleus.topP = 1.0f;
+    auto a = logitsToProbs(logits, 3, plain);
+    auto b = logitsToProbs(logits, 3, nucleus);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(SamplerTest, GreedyToken)
+{
+    float logits[] = {0.1f, 0.9f, 0.3f};
+    EXPECT_EQ(greedyToken(logits, 3), 1);
+}
+
+TEST(SamplerTest, SampleTokenGreedyParams)
+{
+    float logits[] = {0.1f, 0.9f, 0.3f};
+    SamplingParams params;
+    params.temperature = 0.0f;
+    util::Rng rng(3);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(sampleToken(logits, 3, params, rng), 1);
+}
+
+TEST(SamplerTest, SampleTokenMatchesDistribution)
+{
+    float logits[] = {std::log(0.2f), std::log(0.8f)};
+    SamplingParams params;
+    util::Rng rng(4);
+    int count1 = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        count1 += sampleToken(logits, 2, params, rng) == 1;
+    EXPECT_NEAR(static_cast<double>(count1) / n, 0.8, 0.01);
+}
+
+TEST(SamplerTest, TemperatureFlattens)
+{
+    float logits[] = {0.0f, 2.0f};
+    SamplingParams hot;
+    hot.temperature = 10.0f;
+    auto probs = logitsToProbs(logits, 2, hot);
+    EXPECT_NEAR(probs[0], 0.45, 0.06);
+}
+
+} // namespace
+} // namespace model
+} // namespace specinfer

@@ -1,0 +1,128 @@
+#include "model/sequence_parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "test_models.h"
+#include "util/rng.h"
+
+namespace specinfer {
+namespace model {
+namespace {
+
+using specinfer::testing::randomPrompt;
+using specinfer::testing::randomTreeChunk;
+using specinfer::testing::tinyLlm;
+
+TEST(SequenceParallelTest, MatchesTreeDecodingBitwise)
+{
+    Transformer llm = tinyLlm();
+    std::vector<int> prefix = {2, 7, 1};
+    DecodeChunk chunk;
+    chunk.tokens = {10, 11, 12, 13, 14};
+    chunk.parents = {-1, 0, 0, 1, 2};
+
+    KvCache tree_cache = llm.makeCache();
+    llm.forward(DecodeChunk::sequence(prefix), tree_cache);
+    KvCache seq_cache = tree_cache.clone();
+
+    tensor::Tensor tree_logits = llm.forward(chunk, tree_cache);
+    tensor::Tensor seq_logits =
+        sequenceParallelDecode(llm, chunk, seq_cache);
+
+    ASSERT_EQ(tree_logits.rows(), seq_logits.rows());
+    for (size_t i = 0; i < tree_logits.size(); ++i)
+        ASSERT_EQ(tree_logits.data()[i], seq_logits.data()[i]);
+}
+
+TEST(SequenceParallelTest, LeavesCacheInSameState)
+{
+    Transformer llm = tinyLlm();
+    std::vector<int> prefix = {3, 9};
+    DecodeChunk chunk;
+    chunk.tokens = {5, 6, 7};
+    chunk.parents = {-1, 0, 0};
+
+    KvCache a = llm.makeCache();
+    llm.forward(DecodeChunk::sequence(prefix), a);
+    KvCache b = a.clone();
+
+    llm.forward(chunk, a);
+    sequenceParallelDecode(llm, chunk, b);
+
+    ASSERT_EQ(a.length(), b.length());
+    for (size_t layer = 0; layer < a.layers(); ++layer) {
+        for (size_t slot = 0; slot < a.length(); ++slot) {
+            for (size_t d = 0; d < a.kvDim(); ++d) {
+                ASSERT_EQ(a.keyRow(layer, slot)[d],
+                          b.keyRow(layer, slot)[d]);
+                ASSERT_EQ(a.valueRow(layer, slot)[d],
+                          b.valueRow(layer, slot)[d]);
+            }
+        }
+    }
+}
+
+TEST(SequenceParallelTest, StatsCountLeavesAndRedundancy)
+{
+    Transformer llm = tinyLlm();
+    KvCache cache = llm.makeCache();
+    llm.forward(DecodeChunk::sequence({1, 2}), cache);
+
+    // Two leaves; path lengths 2 (root+left) and 2 (root+right):
+    // root computed twice = 4 token-forwards vs 3 tree tokens.
+    DecodeChunk chunk;
+    chunk.tokens = {5, 6, 7};
+    chunk.parents = {-1, 0, 0};
+    SequenceParallelStats stats;
+    sequenceParallelDecode(llm, chunk, cache, &stats);
+    EXPECT_EQ(stats.sequences, 2u);
+    EXPECT_EQ(stats.tokensComputed, 4u);
+    EXPECT_EQ(stats.cacheRowsCopied, 2u * 2u);
+}
+
+TEST(SequenceParallelTest, SingleSequenceDegenerates)
+{
+    Transformer llm = tinyLlm();
+    KvCache cache = llm.makeCache();
+    DecodeChunk chunk = DecodeChunk::sequence({4, 5, 6});
+    SequenceParallelStats stats;
+    tensor::Tensor logits =
+        sequenceParallelDecode(llm, chunk, cache, &stats);
+    EXPECT_EQ(stats.sequences, 1u);
+    EXPECT_EQ(stats.tokensComputed, 3u);
+    EXPECT_EQ(logits.rows(), 3u);
+}
+
+class RandomSequenceParallel
+    : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RandomSequenceParallel, AlwaysMatchesTreeDecoding)
+{
+    Transformer llm = tinyLlm();
+    util::Rng rng(GetParam() + 100);
+    std::vector<int> prefix =
+        randomPrompt(rng, 1 + rng.uniformInt(uint64_t{6}),
+                     llm.config().vocabSize);
+    DecodeChunk chunk = randomTreeChunk(
+        rng, 2 + rng.uniformInt(uint64_t{9}),
+        llm.config().vocabSize);
+
+    KvCache tree_cache = llm.makeCache();
+    llm.forward(DecodeChunk::sequence(prefix), tree_cache);
+    KvCache seq_cache = tree_cache.clone();
+
+    tensor::Tensor tree_logits = llm.forward(chunk, tree_cache);
+    tensor::Tensor seq_logits =
+        sequenceParallelDecode(llm, chunk, seq_cache);
+    for (size_t i = 0; i < tree_logits.size(); ++i)
+        ASSERT_EQ(tree_logits.data()[i], seq_logits.data()[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(PropertySweep, RandomSequenceParallel,
+                         ::testing::Range(uint64_t{0}, uint64_t{8}));
+
+} // namespace
+} // namespace model
+} // namespace specinfer

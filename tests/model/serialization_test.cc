@@ -1,0 +1,101 @@
+#include "model/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/model_factory.h"
+#include "test_models.h"
+
+namespace specinfer {
+namespace model {
+namespace {
+
+using specinfer::testing::tinyLlm;
+
+TEST(SerializationTest, RoundTripPreservesLogitsBitwise)
+{
+    Transformer original = tinyLlm(4242);
+    std::stringstream buffer;
+    saveModel(buffer, original.config(), *original.weights());
+    Transformer restored = loadModel(buffer);
+
+    EXPECT_EQ(restored.config().name, original.config().name);
+    EXPECT_EQ(restored.config().vocabSize,
+              original.config().vocabSize);
+    EXPECT_EQ(restored.config().seed, original.config().seed);
+
+    KvCache ca = original.makeCache();
+    KvCache cb = restored.makeCache();
+    DecodeChunk chunk = DecodeChunk::sequence({3, 14, 15, 9});
+    tensor::Tensor la = original.forward(chunk, ca);
+    tensor::Tensor lb = restored.forward(chunk, cb);
+    ASSERT_EQ(la.size(), lb.size());
+    for (size_t i = 0; i < la.size(); ++i)
+        ASSERT_EQ(la.data()[i], lb.data()[i]);
+}
+
+TEST(SerializationTest, EarlyExitSsmSurvivesRoundTrip)
+{
+    // Saving the full model and loading with a shallower config is
+    // how a deployed SSM would ship alongside its LLM; the stream
+    // keeps all layers so both can be restored.
+    Transformer llm = tinyLlm(77);
+    std::stringstream buffer;
+    saveModel(buffer, llm.config(), *llm.weights());
+    Transformer restored = loadModel(buffer);
+    Transformer ssm_a = makeEarlyExitSsm(llm, 2);
+    Transformer ssm_b = makeEarlyExitSsm(restored, 2);
+    KvCache ca = ssm_a.makeCache();
+    KvCache cb = ssm_b.makeCache();
+    tensor::Tensor la =
+        ssm_a.forward(DecodeChunk::sequence({1, 2, 3}), ca);
+    tensor::Tensor lb =
+        ssm_b.forward(DecodeChunk::sequence({1, 2, 3}), cb);
+    for (size_t i = 0; i < la.size(); ++i)
+        ASSERT_EQ(la.data()[i], lb.data()[i]);
+}
+
+TEST(SerializationTest, FileRoundTrip)
+{
+    Transformer original = tinyLlm(555);
+    std::string path = ::testing::TempDir() + "/specinfer_model.bin";
+    saveModelFile(path, original);
+    Transformer restored = loadModelFile(path);
+    EXPECT_EQ(restored.config().nLayers, original.config().nLayers);
+    std::remove(path.c_str());
+}
+
+TEST(SerializationDeathTest, RejectsGarbage)
+{
+    std::stringstream buffer;
+    buffer << "definitely not a model";
+    EXPECT_DEATH(loadModel(buffer), "not a SpecInfer model");
+}
+
+TEST(SerializationDeathTest, RejectsTruncation)
+{
+    Transformer original = tinyLlm();
+    std::stringstream buffer;
+    saveModel(buffer, original.config(), *original.weights());
+    std::string data = buffer.str();
+    std::stringstream cut;
+    cut << data.substr(0, data.size() / 2);
+    EXPECT_DEATH(loadModel(cut), "truncated");
+}
+
+TEST(SerializationDeathTest, RejectsWrongVersion)
+{
+    Transformer original = tinyLlm();
+    std::stringstream buffer;
+    saveModel(buffer, original.config(), *original.weights());
+    std::string data = buffer.str();
+    data[4] = 99; // clobber the version field
+    std::stringstream bad;
+    bad << data;
+    EXPECT_DEATH(loadModel(bad), "version");
+}
+
+} // namespace
+} // namespace model
+} // namespace specinfer

@@ -1,0 +1,198 @@
+#include "model/transformer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_models.h"
+#include "model/model_factory.h"
+#include "util/rng.h"
+
+namespace specinfer {
+namespace model {
+namespace {
+
+using specinfer::testing::randomPrompt;
+using specinfer::testing::tinyConfig;
+using specinfer::testing::tinyLlm;
+
+TEST(DecodeChunkTest, Constructors)
+{
+    DecodeChunk single = DecodeChunk::single(5);
+    EXPECT_EQ(single.size(), 1u);
+    EXPECT_EQ(single.parents[0], -1);
+
+    DecodeChunk seq = DecodeChunk::sequence({1, 2, 3});
+    EXPECT_EQ(seq.size(), 3u);
+    EXPECT_EQ(seq.parents[0], -1);
+    EXPECT_EQ(seq.parents[2], 1);
+    seq.validate();
+}
+
+TEST(DecodeChunkDeathTest, RejectsForwardParents)
+{
+    DecodeChunk chunk;
+    chunk.tokens = {1, 2};
+    chunk.parents = {1, -1}; // parent after child
+    EXPECT_DEATH(chunk.validate(), "topological");
+}
+
+TEST(TransformerTest, DeterministicForward)
+{
+    Transformer llm = tinyLlm();
+    KvCache a = llm.makeCache();
+    KvCache b = llm.makeCache();
+    DecodeChunk chunk = DecodeChunk::sequence({3, 7, 11});
+    tensor::Tensor la = llm.forward(chunk, a);
+    tensor::Tensor lb = llm.forward(chunk, b);
+    ASSERT_EQ(la.size(), lb.size());
+    for (size_t i = 0; i < la.size(); ++i)
+        EXPECT_FLOAT_EQ(la.data()[i], lb.data()[i]);
+}
+
+TEST(TransformerTest, LogitsShape)
+{
+    Transformer llm = tinyLlm();
+    KvCache cache = llm.makeCache();
+    tensor::Tensor logits =
+        llm.forward(DecodeChunk::sequence({1, 2}), cache);
+    EXPECT_EQ(logits.rows(), 2u);
+    EXPECT_EQ(logits.cols(), llm.config().vocabSize);
+    EXPECT_EQ(cache.length(), 2u);
+}
+
+TEST(TransformerTest, IncrementalMatchesPrefill)
+{
+    // KV-cache consistency: decoding token-by-token must produce the
+    // same final-row logits as prefilling the whole sequence.
+    Transformer llm = tinyLlm();
+    util::Rng rng(5);
+    std::vector<int> seq =
+        randomPrompt(rng, 12, llm.config().vocabSize);
+
+    KvCache full = llm.makeCache();
+    tensor::Tensor full_logits =
+        llm.forward(DecodeChunk::sequence(seq), full);
+
+    KvCache inc = llm.makeCache();
+    tensor::Tensor step_logits;
+    for (int tok : seq)
+        step_logits = llm.forward(DecodeChunk::single(tok), inc);
+
+    for (size_t c = 0; c < llm.config().vocabSize; ++c)
+        EXPECT_FLOAT_EQ(step_logits.at(0, c),
+                        full_logits.at(seq.size() - 1, c));
+    EXPECT_EQ(inc.length(), full.length());
+}
+
+TEST(TransformerTest, ChunkSplitInvariance)
+{
+    // Splitting a sequence into arbitrary chunks cannot change
+    // logits (positions/masks derive correctly at boundaries).
+    Transformer llm = tinyLlm();
+    util::Rng rng(6);
+    std::vector<int> seq =
+        randomPrompt(rng, 10, llm.config().vocabSize);
+
+    KvCache a = llm.makeCache();
+    tensor::Tensor whole = llm.forward(DecodeChunk::sequence(seq), a);
+
+    KvCache b = llm.makeCache();
+    std::vector<int> first(seq.begin(), seq.begin() + 4);
+    std::vector<int> second(seq.begin() + 4, seq.end());
+    llm.forward(DecodeChunk::sequence(first), b);
+    tensor::Tensor part =
+        llm.forward(DecodeChunk::sequence(second), b);
+
+    for (size_t i = 0; i < second.size(); ++i)
+        for (size_t c = 0; c < llm.config().vocabSize; ++c)
+            EXPECT_FLOAT_EQ(part.at(i, c), whole.at(4 + i, c));
+}
+
+TEST(TransformerTest, TruncateThenRedecodeMatches)
+{
+    // Speculation rollback: truncating the cache and re-decoding
+    // gives identical logits.
+    Transformer llm = tinyLlm();
+    KvCache cache = llm.makeCache();
+    llm.forward(DecodeChunk::sequence({4, 5, 6}), cache);
+    tensor::Tensor before =
+        llm.forward(DecodeChunk::single(9), cache);
+    cache.truncate(3);
+    tensor::Tensor after = llm.forward(DecodeChunk::single(9), cache);
+    for (size_t c = 0; c < llm.config().vocabSize; ++c)
+        EXPECT_FLOAT_EQ(after.at(0, c), before.at(0, c));
+}
+
+TEST(TransformerTest, EarlyExitSsmSharesWeights)
+{
+    Transformer llm = tinyLlm();
+    Transformer ssm = makeEarlyExitSsm(llm, 2);
+    EXPECT_EQ(ssm.config().nLayers, 2u);
+    EXPECT_EQ(ssm.weights().get(), llm.weights().get());
+    EXPECT_NE(ssm.config().name, llm.config().name);
+}
+
+TEST(TransformerTest, EarlyExitMatchesShallowModel)
+{
+    // An early-exit SSM must behave exactly like a model built from
+    // scratch with the same seed and fewer layers.
+    Transformer llm = tinyLlm(1234);
+    Transformer ssm = makeEarlyExitSsm(llm, 2);
+
+    ModelConfig shallow_cfg = tinyConfig(1234);
+    shallow_cfg.nLayers = 2;
+    Transformer shallow = makeLlm(shallow_cfg);
+
+    KvCache a = ssm.makeCache();
+    KvCache b = shallow.makeCache();
+    DecodeChunk chunk = DecodeChunk::sequence({2, 3, 5, 8});
+    tensor::Tensor la = ssm.forward(chunk, a);
+    tensor::Tensor lb = shallow.forward(chunk, b);
+    for (size_t i = 0; i < la.size(); ++i)
+        EXPECT_FLOAT_EQ(la.data()[i], lb.data()[i]);
+}
+
+TEST(TransformerTest, NoisyHeadSsmDiffers)
+{
+    Transformer llm = tinyLlm();
+    Transformer a = makeEarlyExitSsm(llm, 2, 0.05f, 1);
+    Transformer b = makeEarlyExitSsm(llm, 2, 0.05f, 2);
+    KvCache ca = a.makeCache();
+    KvCache cb = b.makeCache();
+    tensor::Tensor la = a.forward(DecodeChunk::single(7), ca);
+    tensor::Tensor lb = b.forward(DecodeChunk::single(7), cb);
+    bool any_diff = false;
+    for (size_t i = 0; i < la.size() && !any_diff; ++i)
+        any_diff = la.data()[i] != lb.data()[i];
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(TransformerTest, KernelLaunchCounter)
+{
+    Transformer llm = tinyLlm();
+    KvCache cache = llm.makeCache();
+    EXPECT_EQ(llm.kernelLaunches(), 0u);
+    llm.forward(DecodeChunk::single(1), cache);
+    llm.forward(DecodeChunk::single(2), cache);
+    EXPECT_EQ(llm.kernelLaunches(), 2u);
+}
+
+TEST(TransformerDeathTest, RejectsOutOfVocabToken)
+{
+    Transformer llm = tinyLlm();
+    KvCache cache = llm.makeCache();
+    DecodeChunk chunk = DecodeChunk::single(
+        static_cast<int>(llm.config().vocabSize));
+    EXPECT_DEATH(llm.forward(chunk, cache), "vocabulary");
+}
+
+TEST(TransformerDeathTest, RejectsDeeperConfigThanWeights)
+{
+    Transformer llm = tinyLlm();
+    ModelConfig cfg = llm.config();
+    cfg.nLayers += 1;
+    EXPECT_DEATH(Transformer(cfg, llm.weights()), "layers");
+}
+
+} // namespace
+} // namespace model
+} // namespace specinfer

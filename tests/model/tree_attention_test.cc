@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The central equivalence property of tree attention (paper
+ * Definition 4.1): for every node u of a token tree, the tree
+ * attention output equals ordinary causal sequence attention run on
+ * the root-to-u path S_u. We assert bitwise-identical logits, which
+ * also validates the topology-aware causal mask, the derived RoPE
+ * positions, and the shared KV-cache layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/transformer.h"
+#include "test_models.h"
+#include "util/rng.h"
+
+namespace specinfer {
+namespace model {
+namespace {
+
+using specinfer::testing::randomPrompt;
+using specinfer::testing::randomTreeChunk;
+using specinfer::testing::tinyLlm;
+
+/** Root-to-node path as chunk indices, root first. */
+std::vector<size_t>
+chunkPath(const DecodeChunk &chunk, size_t node)
+{
+    std::vector<size_t> path;
+    for (int32_t n = static_cast<int32_t>(node); n >= 0;
+         n = chunk.parents[static_cast<size_t>(n)])
+        path.push_back(static_cast<size_t>(n));
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+/**
+ * Reference: decode each root-to-node path as a plain sequence on a
+ * fresh copy of the prefix cache; compare node logits bitwise.
+ */
+void
+expectTreeMatchesPerPath(const Transformer &llm,
+                         const std::vector<int> &prefix,
+                         const DecodeChunk &tree_chunk)
+{
+    KvCache cache = llm.makeCache();
+    if (!prefix.empty())
+        llm.forward(DecodeChunk::sequence(prefix), cache);
+    KvCache prefix_cache = cache.clone();
+
+    tensor::Tensor tree_logits = llm.forward(tree_chunk, cache);
+
+    for (size_t node = 0; node < tree_chunk.size(); ++node) {
+        std::vector<size_t> path = chunkPath(tree_chunk, node);
+        std::vector<int> tokens;
+        for (size_t idx : path)
+            tokens.push_back(tree_chunk.tokens[idx]);
+        KvCache seq_cache = prefix_cache.clone();
+        tensor::Tensor seq_logits =
+            llm.forward(DecodeChunk::sequence(tokens), seq_cache);
+        const float *expect = seq_logits.row(path.size() - 1);
+        const float *got = tree_logits.row(node);
+        for (size_t c = 0; c < llm.config().vocabSize; ++c)
+            ASSERT_EQ(got[c], expect[c])
+                << "node " << node << " logit " << c;
+    }
+}
+
+TEST(TreeAttentionTest, LinearChainEqualsSequence)
+{
+    Transformer llm = tinyLlm();
+    DecodeChunk chunk = DecodeChunk::sequence({5, 6, 7, 8});
+    expectTreeMatchesPerPath(llm, {1, 2, 3}, chunk);
+}
+
+TEST(TreeAttentionTest, BinaryFanoutEqualsPerPath)
+{
+    Transformer llm = tinyLlm();
+    DecodeChunk chunk;
+    chunk.tokens = {10, 11, 12, 13, 14, 15, 16};
+    chunk.parents = {-1, 0, 0, 1, 1, 2, 2};
+    expectTreeMatchesPerPath(llm, {4, 9, 2, 7}, chunk);
+}
+
+TEST(TreeAttentionTest, PaperFigureFourTopology)
+{
+    // The token tree of Figure 4: t3 under the root, {t4, t8} under
+    // t3, {t5, t6} under t4 and t9 under t8, t7 under t6.
+    Transformer llm = tinyLlm();
+    DecodeChunk chunk;
+    chunk.tokens = {3, 4, 5, 6, 7, 8, 9};
+    chunk.parents = {-1, 0, 1, 1, 3, 0, 5};
+    expectTreeMatchesPerPath(llm, {1, 2}, chunk);
+}
+
+TEST(TreeAttentionTest, EmptyPrefix)
+{
+    Transformer llm = tinyLlm();
+    DecodeChunk chunk;
+    chunk.tokens = {1, 2, 3};
+    chunk.parents = {-1, 0, 0};
+    expectTreeMatchesPerPath(llm, {}, chunk);
+}
+
+class RandomTreeAttention : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RandomTreeAttention, EqualsPerPathDecoding)
+{
+    Transformer llm = tinyLlm();
+    util::Rng rng(GetParam());
+    size_t prefix_len = 1 + rng.uniformInt(uint64_t{10});
+    size_t nodes = 2 + rng.uniformInt(uint64_t{12});
+    std::vector<int> prefix =
+        randomPrompt(rng, prefix_len, llm.config().vocabSize);
+    DecodeChunk chunk =
+        randomTreeChunk(rng, nodes, llm.config().vocabSize);
+    expectTreeMatchesPerPath(llm, prefix, chunk);
+}
+
+INSTANTIATE_TEST_SUITE_P(PropertySweep, RandomTreeAttention,
+                         ::testing::Range(uint64_t{0}, uint64_t{12}));
+
+TEST(TreeAttentionTest, ExtraSlotsMatchSingleChunk)
+{
+    // Level-by-level decoding with explicit extra slots (as the
+    // speculator does) must equal decoding the whole tree at once.
+    Transformer llm = tinyLlm();
+    std::vector<int> prefix = {3, 1, 4, 1, 5};
+
+    // Whole-tree reference: root + two children + grandchild.
+    DecodeChunk whole;
+    whole.tokens = {9, 10, 11, 12};
+    whole.parents = {-1, 0, 0, 1};
+    KvCache ref_cache = llm.makeCache();
+    llm.forward(DecodeChunk::sequence(prefix), ref_cache);
+    tensor::Tensor ref = llm.forward(whole, ref_cache);
+
+    // Level-by-level: root first, then children with prefixLen
+    // pinned to the verified prefix and the root as an extra slot.
+    KvCache cache = llm.makeCache();
+    std::vector<int> prefix_plus_root = prefix;
+    prefix_plus_root.push_back(9);
+    tensor::Tensor root_logits = llm.forward(
+        DecodeChunk::sequence(prefix_plus_root), cache);
+    // Root row must match.
+    for (size_t c = 0; c < llm.config().vocabSize; ++c)
+        ASSERT_EQ(root_logits.at(prefix.size(), c), ref.at(0, c));
+
+    DecodeChunk level1;
+    level1.tokens = {10, 11};
+    level1.parents = {-1, -1};
+    level1.prefixLen = prefix.size() + 1; // prefix + root
+    tensor::Tensor l1 = llm.forward(level1, cache);
+    for (size_t c = 0; c < llm.config().vocabSize; ++c) {
+        ASSERT_EQ(l1.at(0, c), ref.at(1, c));
+        ASSERT_EQ(l1.at(1, c), ref.at(2, c));
+    }
+
+    DecodeChunk level2;
+    level2.tokens = {12};
+    level2.parents = {-1};
+    level2.prefixLen = prefix.size() + 1;
+    level2.extraSlots = {{prefix.size() + 1}}; // slot of token 10
+    tensor::Tensor l2 = llm.forward(level2, cache);
+    for (size_t c = 0; c < llm.config().vocabSize; ++c)
+        ASSERT_EQ(l2.at(0, c), ref.at(3, c));
+}
+
+TEST(TreeAttentionTest, SiblingIsolation)
+{
+    // A node's logits must not depend on sibling branches: grow the
+    // tree with an extra sibling subtree and check unchanged rows.
+    Transformer llm = tinyLlm();
+    std::vector<int> prefix = {2, 4, 6};
+
+    DecodeChunk small;
+    small.tokens = {7, 8};
+    small.parents = {-1, 0};
+    KvCache c1 = llm.makeCache();
+    llm.forward(DecodeChunk::sequence(prefix), c1);
+    tensor::Tensor small_logits = llm.forward(small, c1);
+
+    DecodeChunk big;
+    big.tokens = {7, 8, 20, 21, 22};
+    big.parents = {-1, 0, 0, 2, 1};
+    KvCache c2 = llm.makeCache();
+    llm.forward(DecodeChunk::sequence(prefix), c2);
+    tensor::Tensor big_logits = llm.forward(big, c2);
+
+    for (size_t node = 0; node < 2; ++node)
+        for (size_t c = 0; c < llm.config().vocabSize; ++c)
+            ASSERT_EQ(big_logits.at(node, c), small_logits.at(node, c));
+}
+
+TEST(TreeAttentionDeathTest, ExtraSlotsMustAscend)
+{
+    Transformer llm = tinyLlm();
+    KvCache cache = llm.makeCache();
+    llm.forward(DecodeChunk::sequence({1, 2, 3}), cache);
+    DecodeChunk chunk;
+    chunk.tokens = {5};
+    chunk.parents = {-1};
+    chunk.prefixLen = 1;
+    chunk.extraSlots = {{2, 1}};
+    EXPECT_DEATH(llm.forward(chunk, cache), "ascend");
+}
+
+} // namespace
+} // namespace model
+} // namespace specinfer

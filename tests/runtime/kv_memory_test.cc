@@ -1,0 +1,267 @@
+#include "runtime/kv_memory.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "../model/test_models.h"
+#include "model/model_factory.h"
+#include "runtime/request_manager.h"
+
+namespace specinfer {
+namespace runtime {
+namespace {
+
+using specinfer::testing::tinyLlm;
+
+TEST(KvBlockAllocatorTest, BlocksForRoundsUp)
+{
+    KvBlockAllocator pool(10, 16);
+    EXPECT_EQ(pool.blocksFor(0), 0u);
+    EXPECT_EQ(pool.blocksFor(1), 1u);
+    EXPECT_EQ(pool.blocksFor(16), 1u);
+    EXPECT_EQ(pool.blocksFor(17), 2u);
+}
+
+TEST(KvBlockAllocatorTest, ReserveGrowAndRelease)
+{
+    KvBlockAllocator pool(4, 16);
+    EXPECT_TRUE(pool.reserve(1, 20)); // 2 blocks
+    EXPECT_EQ(pool.usedBlocks(), 2u);
+    EXPECT_EQ(pool.requestBlocks(1), 2u);
+    // Growing within the holding is a no-op.
+    EXPECT_TRUE(pool.reserve(1, 30));
+    EXPECT_EQ(pool.usedBlocks(), 2u);
+    // Growing beyond it takes more blocks.
+    EXPECT_TRUE(pool.reserve(1, 33));
+    EXPECT_EQ(pool.usedBlocks(), 3u);
+    pool.release(1);
+    EXPECT_EQ(pool.usedBlocks(), 0u);
+    EXPECT_EQ(pool.requestBlocks(1), 0u);
+}
+
+TEST(KvBlockAllocatorTest, ExhaustionFailsCleanly)
+{
+    KvBlockAllocator pool(2, 16);
+    EXPECT_TRUE(pool.reserve(1, 32));
+    EXPECT_FALSE(pool.reserve(2, 1));
+    EXPECT_EQ(pool.stats().failedReservations, 1u);
+    // Failure changed nothing.
+    EXPECT_EQ(pool.usedBlocks(), 2u);
+    EXPECT_EQ(pool.requestBlocks(2), 0u);
+    EXPECT_FALSE(pool.canReserve(2, 1));
+    pool.release(1);
+    EXPECT_TRUE(pool.canReserve(2, 1));
+}
+
+TEST(KvBlockAllocatorTest, ShrinkingIsNoop)
+{
+    KvBlockAllocator pool(4, 8);
+    EXPECT_TRUE(pool.reserve(1, 24));
+    EXPECT_TRUE(pool.reserve(1, 8));
+    EXPECT_EQ(pool.requestBlocks(1), 3u);
+}
+
+TEST(KvBlockAllocatorTest, PeakAndFragmentation)
+{
+    KvBlockAllocator pool(8, 16);
+    pool.reserve(1, 17); // 2 blocks = 32 token capacity
+    EXPECT_EQ(pool.stats().peakUsedBlocks, 2u);
+    EXPECT_NEAR(pool.fragmentation(17), 15.0 / 32.0, 1e-12);
+    pool.release(1);
+    EXPECT_EQ(pool.stats().peakUsedBlocks, 2u);
+    EXPECT_DOUBLE_EQ(pool.fragmentation(0), 0.0);
+}
+
+TEST(KvBlockAllocatorDeathTest, RejectsDegeneratePool)
+{
+    EXPECT_DEATH(KvBlockAllocator(0, 16), "empty");
+    EXPECT_DEATH(KvBlockAllocator(4, 0), "block");
+}
+
+// ---------------------------------------------------------------
+// Admission control + preemption through the request manager.
+
+struct Fixture
+{
+    Fixture()
+        : llm(tinyLlm()),
+          ssm(model::makeEarlyExitSsm(llm, 2)),
+          engine(&llm, {&ssm}, makeConfig())
+    {
+    }
+
+    static core::EngineConfig
+    makeConfig()
+    {
+        core::EngineConfig cfg = core::EngineConfig::greedyDefault();
+        cfg.spec.expansion = core::ExpansionConfig::uniform(2, 3);
+        cfg.maxNewTokens = 12;
+        cfg.stopAtEos = false;
+        return cfg;
+    }
+
+    model::Transformer llm;
+    model::Transformer ssm;
+    core::SpecEngine engine;
+};
+
+std::vector<int>
+promptFor(int i)
+{
+    return {2 + i, 9, 4, 7 + (i % 3)};
+}
+
+TEST(KvAdmissionTest, WorstCasePolicyBoundsConcurrency)
+{
+    Fixture f;
+    // Worst case per request: 4 prompt + 12 gen + treeBudget + 2.
+    size_t per_request = f.engine.config().maxNewTokens + 4 +
+                         f.engine.treeBudget() + 2;
+    ServingConfig cfg;
+    cfg.maxBatchSize = 8;
+    cfg.kvBlockTokens = 8;
+    // Room for exactly two requests.
+    KvBlockAllocator probe(1000, 8);
+    cfg.kvPoolBlocks = 2 * probe.blocksFor(per_request);
+    RequestManager manager(&f.engine, cfg);
+    for (int i = 0; i < 5; ++i)
+        manager.submit(promptFor(i));
+    manager.runIteration();
+    EXPECT_EQ(manager.activeCount(), 2u);
+    manager.runUntilDrained();
+    EXPECT_EQ(manager.finished().size(), 5u);
+    EXPECT_EQ(manager.stats().preemptions, 0u);
+    EXPECT_EQ(manager.kvPool()->usedBlocks(), 0u);
+}
+
+TEST(KvAdmissionTest, OnDemandAdmitsMoreThanWorstCase)
+{
+    // The same pool admits more concurrent requests under paging
+    // because reservations track actual sequence growth instead of
+    // the full generation budget. Use a long generation budget and
+    // a narrow tree so the gap is large.
+    Fixture f;
+    core::EngineConfig ecfg = Fixture::makeConfig();
+    ecfg.spec.expansion = core::ExpansionConfig::uniform(1, 2);
+    ecfg.maxNewTokens = 48;
+    core::SpecEngine engine(&f.llm, {&f.ssm}, ecfg);
+
+    size_t per_request =
+        48 + 4 + engine.treeBudget() + 2; // worst case tokens
+    ServingConfig cfg;
+    cfg.maxBatchSize = 8;
+    cfg.kvBlockTokens = 8;
+    KvBlockAllocator probe(1000, 8);
+    cfg.kvPoolBlocks = 2 * probe.blocksFor(per_request);
+    cfg.kvPolicy = KvReservationPolicy::OnDemand;
+    RequestManager manager(&engine, cfg);
+    for (int i = 0; i < 8; ++i)
+        manager.submit(promptFor(i));
+    manager.runIteration();
+    EXPECT_GT(manager.activeCount(), 2u);
+    manager.runUntilDrained();
+    EXPECT_EQ(manager.finished().size(), 8u);
+}
+
+TEST(KvAdmissionTest, PreemptionPreservesOutputs)
+{
+    // A pool tight enough to force preemptions must still produce
+    // exactly the unconstrained outputs (recompute-on-restart with
+    // per-request seeds).
+    Fixture f;
+    ServingConfig tight;
+    tight.maxBatchSize = 4;
+    tight.kvBlockTokens = 8;
+    // Enough for ~1.5 requests' worst case: forces paging pressure.
+    size_t per_request = f.engine.config().maxNewTokens + 4 +
+                         f.engine.treeBudget() + 2;
+    KvBlockAllocator probe(1000, 8);
+    tight.kvPoolBlocks =
+        probe.blocksFor(per_request) * 3 / 2;
+    tight.kvPolicy = KvReservationPolicy::OnDemand;
+    RequestManager constrained(&f.engine, tight);
+
+    ServingConfig loose;
+    loose.maxBatchSize = 4;
+    RequestManager unconstrained(&f.engine, loose);
+
+    std::map<uint64_t, std::vector<int>> got, want;
+    for (int i = 0; i < 6; ++i) {
+        constrained.submit(promptFor(i));
+        unconstrained.submit(promptFor(i));
+    }
+    constrained.runUntilDrained();
+    unconstrained.runUntilDrained();
+    ASSERT_EQ(constrained.finished().size(), 6u);
+    for (const RequestResult &res : constrained.finished())
+        got[res.id] = res.tokens;
+    for (const RequestResult &res : unconstrained.finished())
+        want[res.id] = res.tokens;
+    EXPECT_EQ(got, want);
+    EXPECT_GT(constrained.stats().preemptions, 0u);
+}
+
+TEST(KvAdmissionTest, TightPoolTerminates)
+{
+    // Regression test: with victim selection based on restart time
+    // instead of arrival order, two requests under a tight pool
+    // could evict each other forever. FCFS priority guarantees the
+    // earliest active request always progresses.
+    Fixture f;
+    size_t per_request = f.engine.config().maxNewTokens + 4 +
+                         f.engine.treeBudget() + 2;
+    ServingConfig cfg;
+    cfg.maxBatchSize = 4;
+    cfg.kvBlockTokens = 8;
+    KvBlockAllocator probe(1000, 8);
+    // Barely more than one request's worst case: maximum pressure.
+    cfg.kvPoolBlocks = probe.blocksFor(per_request) + 2;
+    cfg.kvPolicy = KvReservationPolicy::OnDemand;
+    RequestManager manager(&f.engine, cfg);
+    for (int i = 0; i < 4; ++i)
+        manager.submit(promptFor(i));
+    size_t iterations = 0;
+    while (manager.busy()) {
+        manager.runIteration();
+        ASSERT_LT(++iterations, 500u) << "scheduler livelock";
+    }
+    EXPECT_EQ(manager.finished().size(), 4u);
+}
+
+TEST(KvAdmissionTest, EarliestActiveIsNeverPreempted)
+{
+    // FCFS property: all preemptions hit later arrivals, so
+    // requests finish in arrival order under pressure.
+    Fixture f;
+    size_t per_request = f.engine.config().maxNewTokens + 4 +
+                         f.engine.treeBudget() + 2;
+    ServingConfig cfg;
+    cfg.maxBatchSize = 4;
+    cfg.kvBlockTokens = 8;
+    KvBlockAllocator probe(1000, 8);
+    cfg.kvPoolBlocks = probe.blocksFor(per_request) * 3 / 2;
+    cfg.kvPolicy = KvReservationPolicy::OnDemand;
+    RequestManager manager(&f.engine, cfg);
+    for (int i = 0; i < 5; ++i)
+        manager.submit(promptFor(i));
+    manager.runUntilDrained();
+    ASSERT_EQ(manager.finished().size(), 5u);
+    for (size_t i = 1; i < manager.finished().size(); ++i)
+        EXPECT_LT(manager.finished()[i - 1].id,
+                  manager.finished()[i].id);
+}
+
+TEST(KvAdmissionDeathTest, ImpossibleRequestIsFatal)
+{
+    Fixture f;
+    ServingConfig cfg;
+    cfg.kvPoolBlocks = 1;
+    cfg.kvBlockTokens = 4;
+    RequestManager manager(&f.engine, cfg);
+    EXPECT_DEATH(manager.submit(promptFor(0)), "never fit");
+}
+
+} // namespace
+} // namespace runtime
+} // namespace specinfer

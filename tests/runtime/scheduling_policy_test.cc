@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "../model/test_models.h"
+#include "model/model_factory.h"
+#include "runtime/request_manager.h"
+
+namespace specinfer {
+namespace runtime {
+namespace {
+
+using specinfer::testing::tinyLlm;
+
+struct Fixture
+{
+    Fixture()
+        : llm(tinyLlm()),
+          ssm(model::makeEarlyExitSsm(llm, 2)),
+          engine(&llm, {&ssm}, makeConfig())
+    {
+    }
+
+    static core::EngineConfig
+    makeConfig()
+    {
+        core::EngineConfig cfg = core::EngineConfig::greedyDefault();
+        cfg.spec.expansion = core::ExpansionConfig::uniform(2, 4);
+        cfg.maxNewTokens = 16;
+        cfg.stopAtEos = false;
+        return cfg;
+    }
+
+    model::Transformer llm;
+    model::Transformer ssm;
+    core::SpecEngine engine;
+};
+
+std::vector<int>
+promptFor(int i)
+{
+    return {1 + i, 5, 3 + (i % 7), 8, 2};
+}
+
+TEST(SchedulingPolicyTest, StaticWaitsForBatchToDrain)
+{
+    Fixture f;
+    ServingConfig cfg;
+    cfg.maxBatchSize = 2;
+    cfg.policy = SchedulingPolicy::Static;
+    RequestManager manager(&f.engine, cfg);
+    for (int i = 0; i < 3; ++i)
+        manager.submit(promptFor(i));
+    manager.runIteration();
+    EXPECT_EQ(manager.activeCount(), 2u);
+    // Even after a slot could have freed, the third request waits
+    // until the batch fully drains.
+    while (manager.activeCount() > 0)
+        manager.runIteration();
+    EXPECT_EQ(manager.finished().size(), 2u);
+    manager.runIteration();
+    EXPECT_EQ(manager.activeCount(), 1u);
+    manager.runUntilDrained();
+    EXPECT_EQ(manager.finished().size(), 3u);
+}
+
+TEST(SchedulingPolicyTest, OutputsIdenticalAcrossPolicies)
+{
+    // Scheduling changes timing, never tokens.
+    Fixture f;
+    std::map<uint64_t, std::vector<int>> by_policy[2];
+    for (int p = 0; p < 2; ++p) {
+        ServingConfig cfg;
+        cfg.maxBatchSize = 2;
+        cfg.policy = p == 0 ? SchedulingPolicy::Continuous
+                            : SchedulingPolicy::Static;
+        RequestManager manager(&f.engine, cfg);
+        for (int i = 0; i < 5; ++i)
+            manager.submit(promptFor(i));
+        manager.runUntilDrained();
+        for (const RequestResult &res : manager.finished())
+            by_policy[p][res.id] = res.tokens;
+    }
+    EXPECT_EQ(by_policy[0], by_policy[1]);
+}
+
+TEST(SchedulingPolicyTest, ContinuousFinishesNoLaterInIterations)
+{
+    // With a shared iteration clock, continuous batching's total
+    // makespan is at most static batching's.
+    Fixture f;
+    size_t makespan[2] = {0, 0};
+    for (int p = 0; p < 2; ++p) {
+        ServingConfig cfg;
+        cfg.maxBatchSize = 2;
+        cfg.policy = p == 0 ? SchedulingPolicy::Continuous
+                            : SchedulingPolicy::Static;
+        RequestManager manager(&f.engine, cfg);
+        for (int i = 0; i < 6; ++i)
+            manager.submit(promptFor(i));
+        manager.runUntilDrained();
+        makespan[p] = manager.iterationCount();
+    }
+    EXPECT_LE(makespan[0], makespan[1]);
+}
+
+TEST(SchedulingPolicyTest, ContinuousIsDefault)
+{
+    ServingConfig cfg;
+    EXPECT_EQ(cfg.policy, SchedulingPolicy::Continuous);
+}
+
+} // namespace
+} // namespace runtime
+} // namespace specinfer

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "simulator/system_model.h"
+
+namespace specinfer {
+namespace simulator {
+namespace {
+
+GpuPerfModel
+testbed()
+{
+    return GpuPerfModel(ClusterSpec::paperTestbed(1));
+}
+
+TEST(EnergyTest, WeightReadsDominateAtBatchOne)
+{
+    // Paper §2: HBM access costs orders of magnitude more than
+    // arithmetic, so one incremental decoding step's energy is
+    // essentially one pass over the weights.
+    GpuPerfModel perf = testbed();
+    LlmSpec llm = LlmSpec::preset("llama-7b");
+    IterationWorkload work;
+    work.requests = 1;
+    work.tokensPerRequest = 1.0;
+    work.contextLen = 128.0;
+    double joules = perf.iterationEnergy(llm, {1, 1}, work);
+    double weight_only = llm.paramBytes() * 60.0 * 1e-12;
+    EXPECT_GT(joules, weight_only);
+    EXPECT_LT(joules, weight_only * 1.3);
+}
+
+TEST(EnergyTest, TreeVerificationAmortizesWeightEnergy)
+{
+    // Verifying a 21-token tree reads the weights once but emits
+    // ~3 tokens, so per-token energy drops by nearly that factor.
+    SystemModel sim{testbed()};
+    ServingScenario scenario;
+    scenario.llm = LlmSpec::preset("llama-7b");
+    scenario.ssm = LlmSpec::preset("llama-68m");
+    scenario.plan = {1, 1};
+    scenario.batchSize = 1;
+    scenario.contextLen = 128.0;
+
+    double incr = sim.energyPerToken(
+        scenario, SpeculationProfile::incremental());
+
+    ServingScenario spec = scenario;
+    spec.speculative = true;
+    SpeculationProfile profile;
+    profile.avgLlmTokensPerIter = 21.0;
+    profile.avgVerifiedPerIter = 3.0;
+    profile.ssmChunkSizes = {3, 1, 1, 3, 3, 3, 3, 3, 3};
+    double tree = sim.energyPerToken(spec, profile);
+
+    EXPECT_LT(tree, incr);
+    EXPECT_GT(incr / tree, 2.0);
+    EXPECT_LT(incr / tree, 3.0);
+}
+
+TEST(EnergyTest, OffloadingChargesHostTransfers)
+{
+    GpuPerfModel perf = testbed();
+    LlmSpec llm = LlmSpec::preset("opt-13b");
+    IterationWorkload work;
+    work.requests = 1;
+    work.tokensPerRequest = 1.0;
+    double in_mem = perf.iterationEnergy(llm, {1, 1}, work);
+    double off = perf.iterationEnergy(llm, {1, 1}, work,
+                                      Placement::Offloaded);
+    EXPECT_GT(off, in_mem);
+    // The delta is exactly the param bytes over the link.
+    EXPECT_NEAR(off - in_mem,
+                llm.paramBytes() * 250.0 * 1e-12, 1e-6);
+}
+
+TEST(EnergyTest, TensorParallelismAddsLinkEnergy)
+{
+    GpuPerfModel perf = testbed();
+    LlmSpec llm = LlmSpec::preset("opt-30b");
+    IterationWorkload work;
+    work.requests = 4;
+    work.tokensPerRequest = 8.0;
+    double tp1 = perf.iterationEnergy(llm, {1, 1}, work);
+    double tp4 = perf.iterationEnergy(llm, {4, 1}, work);
+    EXPECT_GT(tp4, tp1);
+}
+
+TEST(EnergyTest, EnergyScalesWithBatchAmortization)
+{
+    // At larger batch the fixed weight-read energy is shared, so
+    // per-token energy falls for incremental decoding.
+    SystemModel sim{testbed()};
+    ServingScenario bs1;
+    bs1.llm = LlmSpec::preset("llama-7b");
+    bs1.plan = {1, 1};
+    bs1.batchSize = 1;
+    ServingScenario bs16 = bs1;
+    bs16.batchSize = 16;
+    SpeculationProfile incr = SpeculationProfile::incremental();
+    EXPECT_GT(sim.energyPerToken(bs1, incr),
+              sim.energyPerToken(bs16, incr));
+}
+
+} // namespace
+} // namespace simulator
+} // namespace specinfer

@@ -1,0 +1,161 @@
+#include "simulator/perf_model.h"
+
+#include <gtest/gtest.h>
+
+namespace specinfer {
+namespace simulator {
+namespace {
+
+GpuPerfModel
+testbed(size_t nodes = 1)
+{
+    return GpuPerfModel(ClusterSpec::paperTestbed(nodes));
+}
+
+IterationWorkload
+work(size_t requests, double tokens, double ctx = 128.0)
+{
+    IterationWorkload w;
+    w.requests = requests;
+    w.tokensPerRequest = tokens;
+    w.contextLen = ctx;
+    return w;
+}
+
+TEST(PerfModelTest, BandwidthBoundAtBatchOne)
+{
+    // One token of LLaMA-7B on an A10 is weight-bandwidth bound:
+    // time ~= paramBytes / effective bandwidth (plus overheads).
+    GpuPerfModel perf = testbed();
+    LlmSpec llm = LlmSpec::preset("llama-7b");
+    double t = perf.iterationTime(llm, {1, 1}, work(1, 1.0));
+    double weight_floor = llm.paramBytes() / (600e9 * 0.8);
+    EXPECT_GT(t, weight_floor);
+    EXPECT_LT(t, weight_floor * 1.5);
+}
+
+TEST(PerfModelTest, SmallTreeNearlyFree)
+{
+    // The paper's core effect: verifying a 21-token tree costs
+    // almost the same as decoding one token at batch size 1.
+    GpuPerfModel perf = testbed();
+    LlmSpec llm = LlmSpec::preset("llama-7b");
+    double one = perf.iterationTime(llm, {1, 1}, work(1, 1.0));
+    double tree = perf.iterationTime(llm, {1, 1}, work(1, 21.0));
+    EXPECT_LT(tree / one, 1.25);
+}
+
+TEST(PerfModelTest, ComputeBoundAtLargeBatch)
+{
+    // At hundreds of tokens the GEMMs dominate and time scales
+    // with token count.
+    GpuPerfModel perf = testbed();
+    LlmSpec llm = LlmSpec::preset("llama-7b");
+    double a = perf.iterationTime(llm, {1, 1}, work(16, 21.0));
+    double b = perf.iterationTime(llm, {1, 1}, work(32, 21.0));
+    EXPECT_GT(b / a, 1.5);
+}
+
+TEST(PerfModelTest, MonotoneInModelSize)
+{
+    GpuPerfModel perf = testbed();
+    double small = perf.iterationTime(LlmSpec::preset("llama-7b"),
+                                      {1, 1}, work(1, 1.0));
+    double big = perf.iterationTime(LlmSpec::preset("opt-13b"),
+                                    {1, 1}, work(1, 1.0));
+    EXPECT_GT(big, small);
+}
+
+TEST(PerfModelTest, MonotoneInTokensAndContext)
+{
+    GpuPerfModel perf = testbed();
+    LlmSpec llm = LlmSpec::preset("opt-13b");
+    EXPECT_LE(perf.iterationTime(llm, {1, 1}, work(1, 1.0)),
+              perf.iterationTime(llm, {1, 1}, work(1, 8.0)));
+    EXPECT_LE(perf.iterationTime(llm, {1, 1}, work(1, 4.0, 64.0)),
+              perf.iterationTime(llm, {1, 1}, work(1, 4.0, 2048.0)));
+}
+
+TEST(PerfModelTest, TensorParallelismHelpsBigModels)
+{
+    GpuPerfModel perf = testbed();
+    LlmSpec llm = LlmSpec::preset("opt-30b");
+    double tp1 = perf.iterationTime(llm, {1, 1}, work(1, 1.0));
+    double tp4 = perf.iterationTime(llm, {4, 1}, work(1, 1.0));
+    EXPECT_LT(tp4, tp1);
+    // But adds all-reduce cost, so the scaling is sub-linear.
+    EXPECT_GT(tp4, tp1 / 4.0);
+}
+
+TEST(PerfModelTest, PipelineAddsInterNodeCost)
+{
+    // Pipeline parallelism exists to fit the model (LLaMA-65B does
+    // not fit on one 4-GPU node), not to cut single-batch latency:
+    // stages run sequentially for one batch and pay an activation
+    // hand-off, so pp=2 is slightly *slower* than a hypothetical
+    // single-node placement.
+    GpuPerfModel perf = testbed(2);
+    LlmSpec llm = LlmSpec::preset("llama-65b");
+    EXPECT_FALSE(perf.fitsInMemory(llm, {4, 1}));
+    double pp1 = perf.iterationTime(llm, {4, 1}, work(1, 1.0));
+    double pp2 = perf.iterationTime(llm, {4, 2}, work(1, 1.0));
+    EXPECT_GT(pp2, pp1);
+    EXPECT_LT(pp2, pp1 * 1.1);
+}
+
+TEST(PerfModelTest, OffloadDominatedByHostTransfer)
+{
+    GpuPerfModel perf = testbed();
+    LlmSpec llm = LlmSpec::preset("opt-13b");
+    double off = perf.iterationTime(llm, {1, 1}, work(1, 1.0),
+                                    Placement::Offloaded);
+    double stream_floor = llm.paramBytes() / (20.0 * 1e9);
+    EXPECT_GE(off, stream_floor);
+    double in_mem = perf.iterationTime(llm, {1, 1}, work(1, 1.0));
+    EXPECT_GT(off, 10.0 * in_mem);
+}
+
+TEST(PerfModelTest, MemoryFitMatchesPaperSetups)
+{
+    GpuPerfModel perf = testbed(2);
+    EXPECT_TRUE(perf.fitsInMemory(LlmSpec::preset("llama-7b"),
+                                  {1, 1}));
+    EXPECT_FALSE(perf.fitsInMemory(LlmSpec::preset("opt-30b"),
+                                   {1, 1}));
+    EXPECT_TRUE(perf.fitsInMemory(LlmSpec::preset("opt-30b"),
+                                  {4, 1}));
+    EXPECT_FALSE(perf.fitsInMemory(LlmSpec::preset("llama-65b"),
+                                   {4, 1}));
+    EXPECT_TRUE(perf.fitsInMemory(LlmSpec::preset("llama-65b"),
+                                  {4, 2}));
+}
+
+TEST(PerfModelTest, LlmSpecDerivedQuantities)
+{
+    LlmSpec llm = LlmSpec::preset("opt-13b");
+    EXPECT_DOUBLE_EQ(llm.paramBytes(), 13.0e9 * 2.0);
+    EXPECT_DOUBLE_EQ(llm.kvBytesPerToken(),
+                     2.0 * 40.0 * 5120.0 * 2.0);
+}
+
+TEST(PerfModelDeathTest, RejectsBadPlans)
+{
+    GpuPerfModel perf = testbed();
+    LlmSpec llm = LlmSpec::preset("llama-7b");
+    EXPECT_DEATH(
+        perf.iterationTime(llm, {8, 1}, work(1, 1.0)),
+        "cross nodes");
+    EXPECT_DEATH(
+        perf.iterationTime(llm, {4, 2}, work(1, 1.0)),
+        "more GPUs");
+}
+
+TEST(PerfModelDeathTest, RejectsUnknownPreset)
+{
+    EXPECT_EXIT(LlmSpec::preset("gpt-5"),
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+} // namespace
+} // namespace simulator
+} // namespace specinfer

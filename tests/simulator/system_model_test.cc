@@ -1,0 +1,151 @@
+#include "simulator/system_model.h"
+
+#include <gtest/gtest.h>
+
+namespace specinfer {
+namespace simulator {
+namespace {
+
+SystemModel
+makeModel()
+{
+    return SystemModel(GpuPerfModel(ClusterSpec::paperTestbed(1)));
+}
+
+ServingScenario
+baseScenario()
+{
+    ServingScenario s;
+    s.llm = LlmSpec::preset("llama-7b");
+    s.ssm = LlmSpec::preset("llama-68m");
+    s.plan = {1, 1};
+    s.batchSize = 1;
+    s.contextLen = 128.0;
+    return s;
+}
+
+SpeculationProfile
+treeProfile()
+{
+    SpeculationProfile p;
+    p.avgLlmTokensPerIter = 21.0;
+    p.avgVerifiedPerIter = 3.0;
+    p.ssmChunkSizes = {3.0, 1.0, 1.0, 3.0, 3.0, 3.0, 3.0, 3.0, 3.0};
+    return p;
+}
+
+TEST(SystemModelTest, PerTokenIsIterationOverVerified)
+{
+    SystemModel sim = makeModel();
+    ServingScenario scenario = baseScenario();
+    scenario.speculative = true;
+    SpeculationProfile profile = treeProfile();
+    EXPECT_DOUBLE_EQ(
+        sim.perTokenLatency(scenario, profile),
+        sim.iterationLatency(scenario, profile) / 3.0);
+}
+
+TEST(SystemModelTest, SpeculationBeatsIncrementalAtBatchOne)
+{
+    SystemModel sim = makeModel();
+    ServingScenario incr = baseScenario();
+    ServingScenario spec = baseScenario();
+    spec.speculative = true;
+    double a = sim.perTokenLatency(
+        incr, SpeculationProfile::incremental());
+    double b = sim.perTokenLatency(spec, treeProfile());
+    EXPECT_LT(b, a);
+    EXPECT_GT(a / b, 1.5);
+    EXPECT_LT(a / b, 3.0);
+}
+
+TEST(SystemModelTest, AdvantageShrinksWithBatchSize)
+{
+    SystemModel sim = makeModel();
+    double prev_speedup = 1e9;
+    for (size_t bs : {1, 4, 16}) {
+        ServingScenario incr = baseScenario();
+        incr.batchSize = bs;
+        ServingScenario spec = incr;
+        spec.speculative = true;
+        double speedup =
+            sim.perTokenLatency(incr,
+                                SpeculationProfile::incremental()) /
+            sim.perTokenLatency(spec, treeProfile());
+        EXPECT_LT(speedup, prev_speedup);
+        prev_speedup = speedup;
+    }
+}
+
+TEST(SystemModelTest, SsmLevelsAddCost)
+{
+    SystemModel sim = makeModel();
+    ServingScenario scenario = baseScenario();
+    scenario.speculative = true;
+    SpeculationProfile shallow = treeProfile();
+    shallow.ssmChunkSizes = {1.0};
+    SpeculationProfile deep = treeProfile();
+    EXPECT_LT(sim.iterationLatency(scenario, shallow),
+              sim.iterationLatency(scenario, deep));
+}
+
+TEST(SystemModelTest, SystemEfficiencyScalesLatency)
+{
+    SystemModel sim = makeModel();
+    ServingScenario fast = baseScenario();
+    fast.systemEfficiency = 2.0;
+    ServingScenario slow = baseScenario();
+    slow.systemEfficiency = 1.0;
+    SpeculationProfile incr = SpeculationProfile::incremental();
+    EXPECT_NEAR(sim.perTokenLatency(fast, incr) * 2.0,
+                sim.perTokenLatency(slow, incr), 1e-12);
+}
+
+TEST(SystemModelTest, OffloadSpeedupTracksVerifiedTokens)
+{
+    // In the transfer-dominated offload regime the speedup over
+    // incremental is essentially the verified-tokens-per-step.
+    SystemModel sim = makeModel();
+    ServingScenario flexgen = baseScenario();
+    flexgen.llm = LlmSpec::preset("opt-13b");
+    flexgen.placement = Placement::Offloaded;
+    ServingScenario spec = flexgen;
+    spec.speculative = true;
+    SpeculationProfile profile = treeProfile();
+    double speedup =
+        sim.perTokenLatency(flexgen,
+                            SpeculationProfile::incremental()) /
+        sim.perTokenLatency(spec, profile);
+    EXPECT_NEAR(speedup, profile.avgVerifiedPerIter, 0.35);
+}
+
+TEST(SystemModelTest, NamedSystemCatalogues)
+{
+    auto dist = distributedSystems();
+    ASSERT_EQ(dist.size(), 6u);
+    size_t speculative = 0, tree = 0;
+    for (const NamedSystem &s : dist) {
+        speculative += s.speculative;
+        tree += s.treeSpeculation;
+    }
+    EXPECT_EQ(speculative, 2u);
+    EXPECT_EQ(tree, 1u);
+
+    auto off = offloadingSystems();
+    ASSERT_EQ(off.size(), 2u);
+    EXPECT_FALSE(off[0].speculative);
+    EXPECT_TRUE(off[1].speculative);
+}
+
+TEST(SystemModelDeathTest, ProfileMustEmitAtLeastOneToken)
+{
+    SystemModel sim = makeModel();
+    SpeculationProfile bad;
+    bad.avgVerifiedPerIter = 0.5;
+    EXPECT_DEATH(sim.iterationLatency(baseScenario(), bad),
+                 "at least one token");
+}
+
+} // namespace
+} // namespace simulator
+} // namespace specinfer

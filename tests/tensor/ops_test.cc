@@ -1,0 +1,215 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace specinfer {
+namespace tensor {
+namespace {
+
+TEST(OpsTest, MatmulMatchesManual)
+{
+    Tensor a(2, 3), b(3, 2), out(2, 2);
+    float av[] = {1, 2, 3, 4, 5, 6};
+    float bv[] = {7, 8, 9, 10, 11, 12};
+    std::copy(av, av + 6, a.data());
+    std::copy(bv, bv + 6, b.data());
+    matmul(a, b, out);
+    EXPECT_FLOAT_EQ(out.at(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 1), 154.0f);
+}
+
+TEST(OpsTest, MatmulTransposedBMatchesMatmul)
+{
+    util::Rng rng(1);
+    Tensor a(3, 4), b(5, 4), bt(4, 5), out1(3, 5), out2(3, 5);
+    for (size_t i = 0; i < a.size(); ++i)
+        a.data()[i] = static_cast<float>(rng.normal());
+    for (size_t r = 0; r < 5; ++r)
+        for (size_t c = 0; c < 4; ++c) {
+            float v = static_cast<float>(rng.normal());
+            b.at(r, c) = v;
+            bt.at(c, r) = v;
+        }
+    matmulTransposedB(a, b, out1);
+    matmul(a, bt, out2);
+    for (size_t i = 0; i < out1.size(); ++i)
+        EXPECT_NEAR(out1.data()[i], out2.data()[i], 1e-4f);
+}
+
+TEST(OpsTest, MatvecTransposedMatchesMatmulT)
+{
+    util::Rng rng(2);
+    Tensor x(1, 6), w(4, 6), expect(1, 4);
+    for (size_t i = 0; i < x.size(); ++i)
+        x.data()[i] = static_cast<float>(rng.normal());
+    for (size_t i = 0; i < w.size(); ++i)
+        w.data()[i] = static_cast<float>(rng.normal());
+    matmulTransposedB(x, w, expect);
+    float out[4];
+    matvecTransposed(x.data(), w, out);
+    for (size_t j = 0; j < 4; ++j)
+        EXPECT_FLOAT_EQ(out[j], expect.at(0, j));
+}
+
+TEST(OpsTest, SoftmaxNormalizes)
+{
+    float row[] = {1.0f, 2.0f, 3.0f};
+    softmaxRow(row, 3);
+    float total = row[0] + row[1] + row[2];
+    EXPECT_NEAR(total, 1.0f, 1e-6f);
+    EXPECT_GT(row[2], row[1]);
+    EXPECT_GT(row[1], row[0]);
+}
+
+TEST(OpsTest, SoftmaxStableForLargeLogits)
+{
+    float row[] = {1000.0f, 1001.0f};
+    softmaxRow(row, 2);
+    EXPECT_NEAR(row[0] + row[1], 1.0f, 1e-6f);
+    EXPECT_FALSE(std::isnan(row[0]));
+}
+
+TEST(OpsTest, SoftmaxTemperatureSharpens)
+{
+    float hot[] = {1.0f, 2.0f};
+    float cold[] = {1.0f, 2.0f};
+    softmaxRowTemperature(hot, 2, 2.0f);
+    softmaxRowTemperature(cold, 2, 0.5f);
+    EXPECT_GT(cold[1], hot[1]);
+}
+
+TEST(OpsTest, SoftmaxZeroTemperatureIsOneHot)
+{
+    float row[] = {0.5f, 3.0f, 1.0f};
+    softmaxRowTemperature(row, 3, 0.0f);
+    EXPECT_FLOAT_EQ(row[0], 0.0f);
+    EXPECT_FLOAT_EQ(row[1], 1.0f);
+    EXPECT_FLOAT_EQ(row[2], 0.0f);
+}
+
+TEST(OpsTest, RmsnormUnitGain)
+{
+    float x[] = {3.0f, 4.0f};
+    float gain[] = {1.0f, 1.0f};
+    float out[2];
+    rmsnormRow(x, gain, 2, out, 0.0f);
+    // rms = sqrt((9+16)/2) = sqrt(12.5)
+    float rms = std::sqrt(12.5f);
+    EXPECT_NEAR(out[0], 3.0f / rms, 1e-5f);
+    EXPECT_NEAR(out[1], 4.0f / rms, 1e-5f);
+}
+
+TEST(OpsTest, RmsnormAliasSafe)
+{
+    float x[] = {1.0f, 2.0f, 3.0f};
+    float gain[] = {2.0f, 2.0f, 2.0f};
+    float expect[3];
+    rmsnormRow(x, gain, 3, expect);
+    rmsnormRow(x, gain, 3, x);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FLOAT_EQ(x[i], expect[i]);
+}
+
+TEST(OpsTest, SiluValues)
+{
+    float row[] = {0.0f, 100.0f};
+    siluRow(row, 2);
+    EXPECT_FLOAT_EQ(row[0], 0.0f);
+    EXPECT_NEAR(row[1], 100.0f, 1e-3f);
+}
+
+TEST(OpsTest, GeluValues)
+{
+    float row[] = {0.0f, 10.0f, -10.0f};
+    geluRow(row, 3);
+    EXPECT_FLOAT_EQ(row[0], 0.0f);
+    EXPECT_NEAR(row[1], 10.0f, 1e-3f);
+    EXPECT_NEAR(row[2], 0.0f, 1e-3f);
+}
+
+TEST(OpsTest, RowArithmetic)
+{
+    float a[] = {1.0f, 2.0f};
+    float b[] = {3.0f, 5.0f};
+    addRow(a, b, 2);
+    EXPECT_FLOAT_EQ(a[0], 4.0f);
+    scaleRow(a, 2, 0.5f);
+    EXPECT_FLOAT_EQ(a[1], 3.5f);
+    float out[2];
+    mulRows(out, a, b, 2);
+    EXPECT_FLOAT_EQ(out[0], 6.0f);
+    EXPECT_FLOAT_EQ(dotRow(a, b, 2), 2.0f * 3.0f + 3.5f * 5.0f);
+}
+
+TEST(OpsTest, RopePreservesNorm)
+{
+    float row[] = {1.0f, 2.0f, 3.0f, 4.0f};
+    float norm_before = dotRow(row, row, 4);
+    ropeRow(row, 2, 2, 17);
+    EXPECT_NEAR(dotRow(row, row, 4), norm_before, 1e-4f);
+}
+
+TEST(OpsTest, RopePositionZeroIsIdentity)
+{
+    float row[] = {1.0f, 2.0f, 3.0f, 4.0f};
+    float orig[] = {1.0f, 2.0f, 3.0f, 4.0f};
+    ropeRow(row, 1, 4, 0);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(row[i], orig[i]);
+}
+
+TEST(OpsTest, RopeRelativeProperty)
+{
+    // Dot products of RoPE'd q/k depend only on relative offset.
+    float q1[] = {0.3f, -0.7f};
+    float k1[] = {1.1f, 0.2f};
+    float q2[] = {0.3f, -0.7f};
+    float k2[] = {1.1f, 0.2f};
+    ropeRow(q1, 1, 2, 5);
+    ropeRow(k1, 1, 2, 3);
+    ropeRow(q2, 1, 2, 9);
+    ropeRow(k2, 1, 2, 7);
+    EXPECT_NEAR(dotRow(q1, k1, 2), dotRow(q2, k2, 2), 1e-5f);
+}
+
+TEST(OpsTest, ArgmaxFirstOnTies)
+{
+    float row[] = {1.0f, 5.0f, 5.0f, 0.0f};
+    EXPECT_EQ(argmaxRow(row, 4), 1u);
+}
+
+TEST(OpsTest, TopkDescending)
+{
+    float row[] = {0.1f, 0.9f, 0.5f, 0.7f};
+    auto top = topkRow(row, 4, 3);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0], 1u);
+    EXPECT_EQ(top[1], 3u);
+    EXPECT_EQ(top[2], 2u);
+}
+
+TEST(OpsTest, TopkAllElements)
+{
+    float row[] = {2.0f, 1.0f};
+    auto top = topkRow(row, 2, 2);
+    EXPECT_EQ(top[0], 0u);
+    EXPECT_EQ(top[1], 1u);
+}
+
+TEST(OpsTest, TotalVariation)
+{
+    float p[] = {0.5f, 0.5f, 0.0f};
+    float q[] = {0.0f, 0.5f, 0.5f};
+    EXPECT_NEAR(totalVariation(p, q, 3), 0.5, 1e-9);
+    EXPECT_NEAR(totalVariation(p, p, 3), 0.0, 1e-9);
+}
+
+} // namespace
+} // namespace tensor
+} // namespace specinfer

@@ -1,0 +1,115 @@
+#include "tensor/quant.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+
+namespace specinfer {
+namespace tensor {
+namespace {
+
+Tensor
+randomTensor(size_t rows, size_t cols, uint64_t seed)
+{
+    Tensor t(rows, cols);
+    util::Rng rng(seed);
+    for (size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = static_cast<float>(rng.normal());
+    return t;
+}
+
+TEST(QuantTest, EightBitErrorIsSmall)
+{
+    Tensor t = randomTensor(16, 64, 1);
+    Tensor orig = t;
+    fakeQuantizeRows(t, 8);
+    double err = meanAbsDiff(t, orig);
+    EXPECT_GT(err, 0.0);
+    // Max |x| ~ 3.5; 8-bit grid step ~ 3.5/127; mean rounding error
+    // ~ step/4.
+    EXPECT_LT(err, 0.02);
+}
+
+TEST(QuantTest, FewerBitsMoreError)
+{
+    Tensor orig = randomTensor(8, 32, 2);
+    double prev = 0.0;
+    for (int bits : {8, 4, 2}) {
+        Tensor t = orig;
+        fakeQuantizeRows(t, bits);
+        double err = meanAbsDiff(t, orig);
+        EXPECT_GT(err, prev);
+        prev = err;
+    }
+}
+
+TEST(QuantTest, GridHasAtMostTwoToBitsLevels)
+{
+    Tensor t = randomTensor(1, 256, 3);
+    fakeQuantizeRows(t, 3); // levels in [-3..3] * scale
+    std::set<float> levels(t.data(), t.data() + t.size());
+    EXPECT_LE(levels.size(), 7u);
+}
+
+TEST(QuantTest, IdempotentOnGrid)
+{
+    Tensor t = randomTensor(4, 16, 4);
+    fakeQuantizeRows(t, 5);
+    Tensor once = t;
+    fakeQuantizeRows(t, 5);
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_FLOAT_EQ(t.data()[i], once.data()[i]);
+}
+
+TEST(QuantTest, ZeroRowUntouched)
+{
+    Tensor t(2, 4);
+    fakeQuantizeRows(t, 8);
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_FLOAT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(PruneTest, SparsityAchieved)
+{
+    Tensor t = randomTensor(16, 64, 5);
+    pruneByMagnitude(t, 0.5);
+    EXPECT_NEAR(zeroFraction(t), 0.5, 0.01);
+}
+
+TEST(PruneTest, KeepsLargestMagnitudes)
+{
+    Tensor t(1, 6);
+    float vals[] = {0.1f, -5.0f, 0.2f, 3.0f, -0.05f, 1.0f};
+    std::copy(vals, vals + 6, t.data());
+    pruneByMagnitude(t, 0.5);
+    EXPECT_FLOAT_EQ(t.at(0, 1), -5.0f);
+    EXPECT_FLOAT_EQ(t.at(0, 3), 3.0f);
+    EXPECT_FLOAT_EQ(t.at(0, 5), 1.0f);
+    EXPECT_FLOAT_EQ(t.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(t.at(0, 2), 0.0f);
+    EXPECT_FLOAT_EQ(t.at(0, 4), 0.0f);
+}
+
+TEST(PruneTest, ZeroSparsityIsNoop)
+{
+    Tensor t = randomTensor(4, 8, 6);
+    Tensor orig = t;
+    pruneByMagnitude(t, 0.0);
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_FLOAT_EQ(t.data()[i], orig.data()[i]);
+}
+
+TEST(QuantDeathTest, RejectsBadParams)
+{
+    Tensor t(2, 2);
+    EXPECT_DEATH(fakeQuantizeRows(t, 1), "width");
+    EXPECT_DEATH(fakeQuantizeRows(t, 9), "width");
+    EXPECT_DEATH(pruneByMagnitude(t, 1.0), "sparsity");
+}
+
+} // namespace
+} // namespace tensor
+} // namespace specinfer

@@ -1,0 +1,66 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace specinfer {
+namespace tensor {
+namespace {
+
+TEST(TensorTest, DefaultEmpty)
+{
+    Tensor t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.rows(), 0u);
+    EXPECT_EQ(t.cols(), 0u);
+}
+
+TEST(TensorTest, ZeroInitialized)
+{
+    Tensor t(3, 4);
+    EXPECT_EQ(t.size(), 12u);
+    for (size_t r = 0; r < 3; ++r)
+        for (size_t c = 0; c < 4; ++c)
+            EXPECT_FLOAT_EQ(t.at(r, c), 0.0f);
+}
+
+TEST(TensorTest, FillConstructor)
+{
+    Tensor t(2, 2, 1.5f);
+    EXPECT_FLOAT_EQ(t.at(1, 1), 1.5f);
+}
+
+TEST(TensorTest, RowMajorLayout)
+{
+    Tensor t(2, 3);
+    t.at(1, 2) = 9.0f;
+    EXPECT_FLOAT_EQ(t.data()[1 * 3 + 2], 9.0f);
+    EXPECT_FLOAT_EQ(t.row(1)[2], 9.0f);
+}
+
+TEST(TensorTest, FillAndReset)
+{
+    Tensor t(2, 2);
+    t.fill(3.0f);
+    EXPECT_FLOAT_EQ(t.at(0, 1), 3.0f);
+    t.reset(1, 5);
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_EQ(t.cols(), 5u);
+    EXPECT_FLOAT_EQ(t.at(0, 4), 0.0f);
+}
+
+TEST(TensorTest, ShapeString)
+{
+    Tensor t(4, 7);
+    EXPECT_EQ(t.shapeString(), "[4 x 7]");
+}
+
+TEST(TensorDeathTest, OutOfRangeAborts)
+{
+    Tensor t(2, 2);
+    EXPECT_DEATH(t.at(2, 0), "out of");
+    EXPECT_DEATH(t.at(0, 2), "out of");
+}
+
+} // namespace
+} // namespace tensor
+} // namespace specinfer

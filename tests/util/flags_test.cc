@@ -1,0 +1,82 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace specinfer {
+namespace util {
+namespace {
+
+Flags
+parse(std::vector<const char *> args)
+{
+    args.insert(args.begin(), "prog");
+    return Flags(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, SpaceAndEqualsForms)
+{
+    Flags f = parse({"--alpha", "1", "--beta=two"});
+    EXPECT_TRUE(f.has("alpha"));
+    EXPECT_EQ(f.getInt("alpha", 0), 1);
+    EXPECT_EQ(f.get("beta"), "two");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent)
+{
+    Flags f = parse({});
+    EXPECT_FALSE(f.has("x"));
+    EXPECT_EQ(f.get("x", "d"), "d");
+    EXPECT_EQ(f.getInt("x", 7), 7);
+    EXPECT_DOUBLE_EQ(f.getDouble("x", 1.5), 1.5);
+    EXPECT_TRUE(f.getBool("x", true));
+}
+
+TEST(FlagsTest, BooleanForms)
+{
+    Flags f = parse({"--on", "--off=false", "--yes=true"});
+    EXPECT_TRUE(f.getBool("on"));
+    EXPECT_FALSE(f.getBool("off"));
+    EXPECT_TRUE(f.getBool("yes"));
+}
+
+TEST(FlagsTest, PositionalArguments)
+{
+    Flags f = parse({"file1", "--k", "v", "file2"});
+    EXPECT_EQ(f.positional(),
+              (std::vector<std::string>{"file1", "file2"}));
+}
+
+TEST(FlagsTest, DoubleValues)
+{
+    Flags f = parse({"--t=0.75"});
+    EXPECT_DOUBLE_EQ(f.getDouble("t", 0.0), 0.75);
+}
+
+TEST(FlagsTest, NegativeIntegerAsSeparateToken)
+{
+    Flags f = parse({"--n=-3"});
+    EXPECT_EQ(f.getInt("n", 0), -3);
+}
+
+TEST(FlagsDeathTest, BadValuesAreFatal)
+{
+    Flags ints = parse({"--n=abc"});
+    EXPECT_EXIT(ints.getInt("n", 0),
+                ::testing::ExitedWithCode(1), "integer");
+    Flags bools = parse({"--b=maybe"});
+    EXPECT_EXIT(bools.getBool("b"),
+                ::testing::ExitedWithCode(1), "true/false");
+}
+
+TEST(FlagsDeathTest, AllowOnlyCatchesTypos)
+{
+    Flags f = parse({"--tempratur=1"});
+    EXPECT_EXIT(f.allowOnly({"temperature"}),
+                ::testing::ExitedWithCode(1), "unknown flag");
+    Flags ok = parse({"--temperature=1"});
+    ok.allowOnly({"temperature"});
+}
+
+} // namespace
+} // namespace util
+} // namespace specinfer

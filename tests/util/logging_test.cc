@@ -1,0 +1,59 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace specinfer {
+namespace util {
+namespace {
+
+TEST(LoggingTest, LevelFilterRoundTrip)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    setLogLevel(before);
+}
+
+TEST(LoggingTest, MacrosEvaluateLazily)
+{
+    // Below the filter threshold the stream expression must not be
+    // evaluated.
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Error);
+    int evaluations = 0;
+    auto touch = [&]() {
+        ++evaluations;
+        return "x";
+    };
+    SPECINFER_DEBUG(touch());
+    SPECINFER_INFO(touch());
+    EXPECT_EQ(evaluations, 0);
+    setLogLevel(before);
+}
+
+TEST(LoggingTest, CheckPassesThrough)
+{
+    // A passing check evaluates its condition exactly once and has
+    // no other effect.
+    int evaluations = 0;
+    SPECINFER_CHECK(++evaluations == 1, "should not fire");
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LoggingDeathTest, CheckAborts)
+{
+    EXPECT_DEATH(SPECINFER_CHECK(false, "ctx " << 42),
+                 "check failed.*ctx 42");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(SPECINFER_FATAL("bad config " << 7),
+                ::testing::ExitedWithCode(1), "bad config 7");
+}
+
+} // namespace
+} // namespace util
+} // namespace specinfer

@@ -1,0 +1,104 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace specinfer {
+namespace util {
+namespace {
+
+TEST(RunningStatTest, Empty)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, Moments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, Reset)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(PercentileTest, Endpoints)
+{
+    std::vector<double> v = {3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.0);
+}
+
+TEST(PercentileTest, Interpolates)
+{
+    std::vector<double> v = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(PercentileTest, Singleton)
+{
+    EXPECT_DOUBLE_EQ(percentile({42.0}, 73.0), 42.0);
+}
+
+TEST(EmpiricalCdfTest, ValueAndCdf)
+{
+    EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(cdf.valueAt(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.valueAt(0.25), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.valueAt(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(cdf.valueAt(1.0), 4.0);
+    EXPECT_DOUBLE_EQ(cdf.cdfAt(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.cdfAt(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.cdfAt(9.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, CurveMonotone)
+{
+    EmpiricalCdf cdf({5.0, 1.0, 3.0, 2.0, 4.0});
+    auto pts = cdf.curve(11);
+    ASSERT_EQ(pts.size(), 11u);
+    for (size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_GE(pts[i].first, pts[i - 1].first);
+        EXPECT_GE(pts[i].second, pts[i - 1].second);
+    }
+}
+
+TEST(HistogramTest, BinsAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);  // clamps to first bin
+    h.add(0.5);
+    h.add(9.9);
+    h.add(11.0);  // clamps to last bin
+    EXPECT_EQ(h.totalCount(), 4u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(4), 2u);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(4), 10.0);
+}
+
+TEST(HistogramTest, AsciiRenders)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.1);
+    std::string art = h.toAscii();
+    EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+} // namespace
+} // namespace util
+} // namespace specinfer

@@ -1,0 +1,36 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace specinfer {
+namespace util {
+namespace {
+
+TEST(TableTest, AsciiAlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    std::string out = t.toAscii();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, CsvFormat)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.toCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+    EXPECT_EQ(formatDouble(1.005, 1), "1.0");
+}
+
+} // namespace
+} // namespace util
+} // namespace specinfer

@@ -1,0 +1,52 @@
+#include "workload/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace specinfer {
+namespace workload {
+namespace {
+
+TEST(ArrivalsTest, PoissonIsDeterministicPerSeed)
+{
+    auto a = poissonArrivals(20, 3.0, 1);
+    auto b = poissonArrivals(20, 3.0, 1);
+    auto c = poissonArrivals(20, 3.0, 2);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(ArrivalsTest, PoissonNonDecreasingWithRightMean)
+{
+    auto arrivals = poissonArrivals(4000, 5.0, 9);
+    ASSERT_EQ(arrivals.size(), 4000u);
+    for (size_t i = 1; i < arrivals.size(); ++i)
+        ASSERT_GE(arrivals[i], arrivals[i - 1]);
+    // Mean gap ~ 5 iterations (last arrival near 5 * count).
+    double mean_gap = static_cast<double>(arrivals.back()) / 4000.0;
+    EXPECT_NEAR(mean_gap, 5.0, 0.4);
+}
+
+TEST(ArrivalsTest, UniformSpacing)
+{
+    auto arrivals = uniformArrivals(5, 2.5);
+    EXPECT_EQ(arrivals,
+              (std::vector<size_t>{0, 2, 5, 7, 10}));
+}
+
+TEST(ArrivalsTest, BurstAllAtZero)
+{
+    auto arrivals = burstArrivals(3);
+    EXPECT_EQ(arrivals, (std::vector<size_t>{0, 0, 0}));
+}
+
+TEST(ArrivalsDeathTest, RejectsBadGap)
+{
+    EXPECT_DEATH(poissonArrivals(3, 0.0, 1), "positive");
+    EXPECT_DEATH(uniformArrivals(3, -1.0), "non-negative");
+}
+
+} // namespace
+} // namespace workload
+} // namespace specinfer

@@ -1,0 +1,103 @@
+#include "workload/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace specinfer {
+namespace workload {
+namespace {
+
+constexpr size_t kVocab = 512;
+
+TEST(DatasetsTest, FiveNamedPresets)
+{
+    const auto &names = PromptDataset::allNames();
+    ASSERT_EQ(names.size(), 5u);
+    for (const std::string &name : names) {
+        PromptDataset dataset = PromptDataset::named(name, kVocab);
+        EXPECT_EQ(dataset.name(), name);
+        EXPECT_EQ(dataset.vocabSize(), kVocab);
+    }
+}
+
+TEST(DatasetsTest, PromptsAreDeterministic)
+{
+    PromptDataset a = PromptDataset::named("Alpaca", kVocab);
+    PromptDataset b = PromptDataset::named("Alpaca", kVocab);
+    for (size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(a.prompt(i), b.prompt(i));
+}
+
+TEST(DatasetsTest, DistinctIndicesDiffer)
+{
+    PromptDataset ds = PromptDataset::named("CP", kVocab);
+    EXPECT_NE(ds.prompt(0), ds.prompt(1));
+}
+
+TEST(DatasetsTest, DatasetsDiffer)
+{
+    PromptDataset a = PromptDataset::named("Alpaca", kVocab);
+    PromptDataset b = PromptDataset::named("PIQA", kVocab);
+    EXPECT_NE(a.prompt(0), b.prompt(0));
+}
+
+TEST(DatasetsTest, TokensInRangeAndNoEos)
+{
+    for (const std::string &name : PromptDataset::allNames()) {
+        PromptDataset ds = PromptDataset::named(name, kVocab);
+        for (size_t i = 0; i < 20; ++i) {
+            std::vector<int> prompt = ds.prompt(i);
+            ASSERT_GE(prompt.size(), 2u);
+            for (int tok : prompt) {
+                ASSERT_GT(tok, 0) << name;
+                ASSERT_LT(tok, static_cast<int>(kVocab));
+            }
+        }
+    }
+}
+
+TEST(DatasetsTest, LengthStatisticsMatchPreset)
+{
+    // WebQA prompts (short questions) must be shorter on average
+    // than PIQA prompts (long goals).
+    util::RunningStat webqa, piqa;
+    PromptDataset w = PromptDataset::named("WebQA", kVocab);
+    PromptDataset p = PromptDataset::named("PIQA", kVocab);
+    for (size_t i = 0; i < 200; ++i) {
+        webqa.add(static_cast<double>(w.prompt(i).size()));
+        piqa.add(static_cast<double>(p.prompt(i).size()));
+    }
+    EXPECT_NEAR(webqa.mean(), 9.0, 2.0);
+    EXPECT_NEAR(piqa.mean(), 28.0, 4.0);
+    EXPECT_LT(webqa.mean(), piqa.mean());
+}
+
+TEST(DatasetsTest, TokenFrequenciesAreSkewed)
+{
+    // Zipfian weights: the most common token should appear far more
+    // often than the median token.
+    PromptDataset ds = PromptDataset::named("WebQA", kVocab);
+    std::vector<size_t> counts(kVocab, 0);
+    size_t total = 0;
+    for (size_t i = 0; i < 400; ++i) {
+        for (int tok : ds.prompt(i)) {
+            ++counts[static_cast<size_t>(tok)];
+            ++total;
+        }
+    }
+    size_t peak = 0;
+    for (size_t c : counts)
+        peak = std::max(peak, c);
+    EXPECT_GT(static_cast<double>(peak) / total, 0.02);
+}
+
+TEST(DatasetsDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(PromptDataset::named("MMLU", kVocab),
+                ::testing::ExitedWithCode(1), "unknown dataset");
+}
+
+} // namespace
+} // namespace workload
+} // namespace specinfer

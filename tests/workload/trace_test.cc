@@ -1,0 +1,118 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "../model/test_models.h"
+#include "model/model_factory.h"
+
+namespace specinfer {
+namespace workload {
+namespace {
+
+using specinfer::testing::tinyLlm;
+
+core::SpecStats
+statsOf(std::vector<core::StepRecord> steps)
+{
+    core::SpecStats stats;
+    stats.steps = std::move(steps);
+    return stats;
+}
+
+TEST(TraceAggregatorTest, AveragesAcrossSteps)
+{
+    TraceAggregator agg;
+    agg.add(statsOf({{10, 3, 11, 12}, {10, 1, 11, 12}}));
+    agg.add(statsOf({{10, 2, 11, 12}}));
+    EXPECT_EQ(agg.requests(), 2u);
+    EXPECT_EQ(agg.totalSteps(), 3u);
+    EXPECT_DOUBLE_EQ(agg.avgVerifiedPerStep(), 2.0);
+    EXPECT_DOUBLE_EQ(agg.avgLlmTokensPerStep(), 11.0);
+    EXPECT_DOUBLE_EQ(agg.avgSsmTokensPerStep(), 12.0);
+}
+
+TEST(TraceAggregatorTest, PerRequestSamples)
+{
+    TraceAggregator agg;
+    agg.add(statsOf({{5, 4, 6, 6}, {5, 2, 6, 6}}));
+    agg.add(statsOf({{5, 1, 6, 6}}));
+    ASSERT_EQ(agg.perRequestVerified().size(), 2u);
+    EXPECT_DOUBLE_EQ(agg.perRequestVerified()[0], 3.0);
+    EXPECT_DOUBLE_EQ(agg.perRequestVerified()[1], 1.0);
+}
+
+TEST(TraceAggregatorTest, ProfileReflectsMeasurements)
+{
+    TraceAggregator agg;
+    // Tree size 10 out of maxNodes 20 -> deflation 0.5.
+    agg.add(statsOf({{10, 2, 12, 9}, {10, 2, 12, 9}}));
+    core::ExpansionConfig expansion =
+        core::ExpansionConfig::paperDefault();
+    simulator::SpeculationProfile profile = agg.profile(expansion);
+    EXPECT_DOUBLE_EQ(profile.avgVerifiedPerIter, 2.0);
+    EXPECT_DOUBLE_EQ(profile.avgLlmTokensPerIter, 12.0);
+    // Catch-up level + 8 expansion levels.
+    ASSERT_EQ(profile.ssmChunkSizes.size(), 9u);
+    EXPECT_DOUBLE_EQ(profile.ssmChunkSizes[0], 2.0);
+    // Frontier at the wide level: 3 * 0.5 deflation = 1.5.
+    EXPECT_DOUBLE_EQ(profile.ssmChunkSizes[3], 1.5);
+}
+
+TEST(TraceAggregatorTest, ProfileClampsToOneToken)
+{
+    TraceAggregator agg;
+    agg.add(statsOf({{0, 1, 1, 0}}));
+    simulator::SpeculationProfile profile =
+        agg.profile(core::ExpansionConfig::none());
+    EXPECT_DOUBLE_EQ(profile.avgVerifiedPerIter, 1.0);
+    ASSERT_EQ(profile.ssmChunkSizes.size(), 1u);
+}
+
+TEST(TraceAggregatorDeathTest, EmptyTraceProfileIsFatal)
+{
+    TraceAggregator agg;
+    EXPECT_DEATH(agg.profile(core::ExpansionConfig::paperDefault()),
+                 "empty trace");
+}
+
+TEST(RunEngineOnDatasetTest, RunsRequestedPrompts)
+{
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    core::EngineConfig cfg = core::EngineConfig::greedyDefault();
+    cfg.spec.expansion = core::ExpansionConfig::uniform(1, 4);
+    cfg.maxNewTokens = 8;
+    cfg.stopAtEos = false;
+    core::SpecEngine engine(&llm, {&ssm}, cfg);
+    PromptDataset dataset =
+        PromptDataset::named("Alpaca", llm.config().vocabSize);
+    RunConfig run;
+    run.prompts = 3;
+    TraceAggregator agg = runEngineOnDataset(engine, dataset, run);
+    EXPECT_EQ(agg.requests(), 3u);
+    EXPECT_GT(agg.totalSteps(), 0u);
+    EXPECT_GE(agg.avgVerifiedPerStep(), 1.0);
+}
+
+TEST(RunEngineOnDatasetTest, DeterministicAcrossCalls)
+{
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    core::EngineConfig cfg = core::EngineConfig::greedyDefault();
+    cfg.spec.expansion = core::ExpansionConfig::uniform(2, 3);
+    cfg.maxNewTokens = 8;
+    cfg.stopAtEos = false;
+    core::SpecEngine engine(&llm, {&ssm}, cfg);
+    PromptDataset dataset =
+        PromptDataset::named("CIP", llm.config().vocabSize);
+    RunConfig run;
+    run.prompts = 2;
+    TraceAggregator a = runEngineOnDataset(engine, dataset, run);
+    TraceAggregator b = runEngineOnDataset(engine, dataset, run);
+    EXPECT_EQ(a.avgVerifiedPerStep(), b.avgVerifiedPerStep());
+    EXPECT_EQ(a.totalSteps(), b.totalSteps());
+}
+
+} // namespace
+} // namespace workload
+} // namespace specinfer

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared setup for the command-line tools (mirroring the paper
+ * artifact's spec_infer / incr_decoding programs).
+ */
+
+#ifndef SPECINFER_TOOLS_CLI_COMMON_H
+#define SPECINFER_TOOLS_CLI_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/spec_engine.h"
+#include "model/model_factory.h"
+#include "util/flags.h"
+#include "workload/datasets.h"
+
+namespace specinfer {
+namespace tools {
+
+/** Flags shared by both CLIs. */
+inline const std::vector<std::string> &
+commonFlagNames()
+{
+    static const std::vector<std::string> names = {
+        "llm",        "ssm-layers", "dataset",   "num-prompts",
+        "max-tokens", "temperature", "expansion", "seed",
+        "verbose",
+    };
+    return names;
+}
+
+/** Parse the expansion flag "k1,k2,..." into a config. */
+inline core::ExpansionConfig
+parseExpansion(const std::string &text)
+{
+    core::ExpansionConfig cfg;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        cfg.widths.push_back(static_cast<size_t>(
+            std::stoul(text.substr(pos, comma - pos))));
+        pos = comma + 1;
+    }
+    cfg.validate();
+    return cfg;
+}
+
+/** Print one request's outcome. */
+inline void
+printResult(size_t index, const std::vector<int> &prompt,
+            const core::GenerationResult &res, bool verbose)
+{
+    std::printf("[prompt %zu] %zu prompt tokens -> %zu generated in "
+                "%zu LLM steps (%.2f tokens/step)\n",
+                index, prompt.size(), res.tokens.size(),
+                res.stats.llmSteps(),
+                res.stats.avgVerifiedPerStep());
+    if (verbose) {
+        std::printf("  tokens:");
+        for (int tok : res.tokens)
+            std::printf(" %d", tok);
+        std::printf("\n");
+    }
+}
+
+} // namespace tools
+} // namespace specinfer
+
+#endif // SPECINFER_TOOLS_CLI_COMMON_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * spec_infer — serve prompts with tree-based speculative inference
+ * and verification, mirroring the paper artifact's program of the
+ * same name.
+ *
+ * Usage:
+ *   spec_infer [--llm llama-7b-sim] [--ssm-layers 2]
+ *              [--dataset Alpaca] [--num-prompts 4]
+ *              [--max-tokens 64] [--temperature 0]
+ *              [--expansion 1,1,3,1,1,1,1,1] [--seed 1] [--verbose]
+ *
+ * temperature 0 = greedy decoding (lossless vs incremental);
+ * temperature > 0 = stochastic decoding via multi-step speculative
+ * sampling.
+ */
+
+#include "cli_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace specinfer;
+    util::Flags flags(argc, argv);
+    flags.allowOnly(tools::commonFlagNames());
+
+    const std::string llm_name = flags.get("llm", "llama-7b-sim");
+    const size_t ssm_layers =
+        static_cast<size_t>(flags.getInt("ssm-layers", 2));
+    const std::string dataset_name = flags.get("dataset", "Alpaca");
+    const size_t num_prompts =
+        static_cast<size_t>(flags.getInt("num-prompts", 4));
+    const size_t max_tokens =
+        static_cast<size_t>(flags.getInt("max-tokens", 64));
+    const float temperature =
+        static_cast<float>(flags.getDouble("temperature", 0.0));
+    const bool verbose = flags.getBool("verbose");
+
+    model::Transformer llm =
+        model::makeLlm(model::llmPreset(llm_name));
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, ssm_layers);
+
+    core::EngineConfig cfg =
+        temperature > 0.0f
+            ? core::EngineConfig::stochasticDefault(temperature)
+            : core::EngineConfig::greedyDefault();
+    cfg.spec.expansion = tools::parseExpansion(
+        flags.get("expansion", "1,1,3,1,1,1,1,1"));
+    cfg.maxNewTokens = max_tokens;
+    cfg.seed = static_cast<uint64_t>(flags.getInt("seed", 1));
+    core::SpecEngine engine(&llm, {&ssm}, cfg);
+
+    std::printf("spec_infer: %s + %s, dataset %s, expansion %s, "
+                "%s decoding\n",
+                llm.config().name.c_str(), ssm.config().name.c_str(),
+                dataset_name.c_str(),
+                cfg.spec.expansion.toString().c_str(),
+                temperature > 0.0f ? "stochastic" : "greedy");
+
+    workload::PromptDataset dataset = workload::PromptDataset::named(
+        dataset_name, llm.config().vocabSize);
+    double steps = 0.0, tokens = 0.0;
+    for (size_t i = 0; i < num_prompts; ++i) {
+        std::vector<int> prompt = dataset.prompt(i);
+        core::GenerationResult res = engine.generate(prompt, i);
+        tools::printResult(i, prompt, res, verbose);
+        steps += static_cast<double>(res.stats.llmSteps());
+        tokens += static_cast<double>(res.tokens.size());
+    }
+    std::printf("total: %.0f tokens in %.0f LLM decoding steps "
+                "(%.2f tokens/step)\n",
+                tokens, steps, tokens / steps);
+    return 0;
+}
