@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_adaptive_expansion"
+  "../bench/ablation_adaptive_expansion.pdb"
+  "CMakeFiles/ablation_adaptive_expansion.dir/ablation_adaptive_expansion.cc.o"
+  "CMakeFiles/ablation_adaptive_expansion.dir/ablation_adaptive_expansion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_boost_pool"
+  "../bench/ablation_boost_pool.pdb"
+  "CMakeFiles/ablation_boost_pool.dir/ablation_boost_pool.cc.o"
+  "CMakeFiles/ablation_boost_pool.dir/ablation_boost_pool.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_boost_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_continuous_batching"
+  "../bench/ablation_continuous_batching.pdb"
+  "CMakeFiles/ablation_continuous_batching.dir/ablation_continuous_batching.cc.o"
+  "CMakeFiles/ablation_continuous_batching.dir/ablation_continuous_batching.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_continuous_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_energy"
+  "../bench/ablation_energy.pdb"
+  "CMakeFiles/ablation_energy.dir/ablation_energy.cc.o"
+  "CMakeFiles/ablation_energy.dir/ablation_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_kv_memory"
+  "../bench/ablation_kv_memory.pdb"
+  "CMakeFiles/ablation_kv_memory.dir/ablation_kv_memory.cc.o"
+  "CMakeFiles/ablation_kv_memory.dir/ablation_kv_memory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kv_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ssm_compression"
+  "../bench/ablation_ssm_compression.pdb"
+  "CMakeFiles/ablation_ssm_compression.dir/ablation_ssm_compression.cc.o"
+  "CMakeFiles/ablation_ssm_compression.dir/ablation_ssm_compression.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ssm_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_tree_width_latency"
+  "../bench/fig10_tree_width_latency.pdb"
+  "CMakeFiles/fig10_tree_width_latency.dir/fig10_tree_width_latency.cc.o"
+  "CMakeFiles/fig10_tree_width_latency.dir/fig10_tree_width_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tree_width_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_tree_vs_sequence"
+  "../bench/fig11_tree_vs_sequence.pdb"
+  "CMakeFiles/fig11_tree_vs_sequence.dir/fig11_tree_vs_sequence.cc.o"
+  "CMakeFiles/fig11_tree_vs_sequence.dir/fig11_tree_vs_sequence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tree_vs_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_tree_vs_sequence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_distributed_latency"
+  "../bench/fig7_distributed_latency.pdb"
+  "CMakeFiles/fig7_distributed_latency.dir/fig7_distributed_latency.cc.o"
+  "CMakeFiles/fig7_distributed_latency.dir/fig7_distributed_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_distributed_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_offloading_latency"
+  "../bench/fig8_offloading_latency.pdb"
+  "CMakeFiles/fig8_offloading_latency.dir/fig8_offloading_latency.cc.o"
+  "CMakeFiles/fig8_offloading_latency.dir/fig8_offloading_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_offloading_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_verified_tokens_cdf"
+  "../bench/fig9_verified_tokens_cdf.pdb"
+  "CMakeFiles/fig9_verified_tokens_cdf.dir/fig9_verified_tokens_cdf.cc.o"
+  "CMakeFiles/fig9_verified_tokens_cdf.dir/fig9_verified_tokens_cdf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_verified_tokens_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

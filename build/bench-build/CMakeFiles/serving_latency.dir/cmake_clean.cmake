@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/serving_latency"
+  "../bench/serving_latency.pdb"
+  "CMakeFiles/serving_latency.dir/serving_latency.cc.o"
+  "CMakeFiles/serving_latency.dir/serving_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_topk_success"
+  "../bench/table1_topk_success.pdb"
+  "CMakeFiles/table1_topk_success.dir/table1_topk_success.cc.o"
+  "CMakeFiles/table1_topk_success.dir/table1_topk_success.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_topk_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_avg_verified"
+  "../bench/table2_avg_verified.pdb"
+  "CMakeFiles/table2_avg_verified.dir/table2_avg_verified.cc.o"
+  "CMakeFiles/table2_avg_verified.dir/table2_avg_verified.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_avg_verified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_mss_vs_naive"
+  "../bench/table3_mss_vs_naive.pdb"
+  "CMakeFiles/table3_mss_vs_naive.dir/table3_mss_vs_naive.cc.o"
+  "CMakeFiles/table3_mss_vs_naive.dir/table3_mss_vs_naive.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_mss_vs_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chat_serving.dir/chat_serving.cpp.o"
+  "CMakeFiles/chat_serving.dir/chat_serving.cpp.o.d"
+  "chat_serving"
+  "chat_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chat_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

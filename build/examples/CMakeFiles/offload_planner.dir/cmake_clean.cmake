@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_planner.dir/offload_planner.cpp.o"
+  "CMakeFiles/offload_planner.dir/offload_planner.cpp.o.d"
+  "offload_planner"
+  "offload_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_visualizer.dir/tree_visualizer.cpp.o"
+  "CMakeFiles/tree_visualizer.dir/tree_visualizer.cpp.o.d"
+  "tree_visualizer"
+  "tree_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/boost_tuning.cc" "src/core/CMakeFiles/specinfer_core.dir/boost_tuning.cc.o" "gcc" "src/core/CMakeFiles/specinfer_core.dir/boost_tuning.cc.o.d"
+  "/root/repo/src/core/expansion.cc" "src/core/CMakeFiles/specinfer_core.dir/expansion.cc.o" "gcc" "src/core/CMakeFiles/specinfer_core.dir/expansion.cc.o.d"
+  "/root/repo/src/core/spec_engine.cc" "src/core/CMakeFiles/specinfer_core.dir/spec_engine.cc.o" "gcc" "src/core/CMakeFiles/specinfer_core.dir/spec_engine.cc.o.d"
+  "/root/repo/src/core/speculator.cc" "src/core/CMakeFiles/specinfer_core.dir/speculator.cc.o" "gcc" "src/core/CMakeFiles/specinfer_core.dir/speculator.cc.o.d"
+  "/root/repo/src/core/token_tree.cc" "src/core/CMakeFiles/specinfer_core.dir/token_tree.cc.o" "gcc" "src/core/CMakeFiles/specinfer_core.dir/token_tree.cc.o.d"
+  "/root/repo/src/core/verifier.cc" "src/core/CMakeFiles/specinfer_core.dir/verifier.cc.o" "gcc" "src/core/CMakeFiles/specinfer_core.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/specinfer_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/specinfer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/specinfer_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specinfer_core.dir/boost_tuning.cc.o"
+  "CMakeFiles/specinfer_core.dir/boost_tuning.cc.o.d"
+  "CMakeFiles/specinfer_core.dir/expansion.cc.o"
+  "CMakeFiles/specinfer_core.dir/expansion.cc.o.d"
+  "CMakeFiles/specinfer_core.dir/spec_engine.cc.o"
+  "CMakeFiles/specinfer_core.dir/spec_engine.cc.o.d"
+  "CMakeFiles/specinfer_core.dir/speculator.cc.o"
+  "CMakeFiles/specinfer_core.dir/speculator.cc.o.d"
+  "CMakeFiles/specinfer_core.dir/token_tree.cc.o"
+  "CMakeFiles/specinfer_core.dir/token_tree.cc.o.d"
+  "CMakeFiles/specinfer_core.dir/verifier.cc.o"
+  "CMakeFiles/specinfer_core.dir/verifier.cc.o.d"
+  "libspecinfer_core.a"
+  "libspecinfer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specinfer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/beam_search.cc" "src/model/CMakeFiles/specinfer_model.dir/beam_search.cc.o" "gcc" "src/model/CMakeFiles/specinfer_model.dir/beam_search.cc.o.d"
+  "/root/repo/src/model/config.cc" "src/model/CMakeFiles/specinfer_model.dir/config.cc.o" "gcc" "src/model/CMakeFiles/specinfer_model.dir/config.cc.o.d"
+  "/root/repo/src/model/kv_cache.cc" "src/model/CMakeFiles/specinfer_model.dir/kv_cache.cc.o" "gcc" "src/model/CMakeFiles/specinfer_model.dir/kv_cache.cc.o.d"
+  "/root/repo/src/model/model_factory.cc" "src/model/CMakeFiles/specinfer_model.dir/model_factory.cc.o" "gcc" "src/model/CMakeFiles/specinfer_model.dir/model_factory.cc.o.d"
+  "/root/repo/src/model/sampler.cc" "src/model/CMakeFiles/specinfer_model.dir/sampler.cc.o" "gcc" "src/model/CMakeFiles/specinfer_model.dir/sampler.cc.o.d"
+  "/root/repo/src/model/sequence_parallel.cc" "src/model/CMakeFiles/specinfer_model.dir/sequence_parallel.cc.o" "gcc" "src/model/CMakeFiles/specinfer_model.dir/sequence_parallel.cc.o.d"
+  "/root/repo/src/model/serialization.cc" "src/model/CMakeFiles/specinfer_model.dir/serialization.cc.o" "gcc" "src/model/CMakeFiles/specinfer_model.dir/serialization.cc.o.d"
+  "/root/repo/src/model/transformer.cc" "src/model/CMakeFiles/specinfer_model.dir/transformer.cc.o" "gcc" "src/model/CMakeFiles/specinfer_model.dir/transformer.cc.o.d"
+  "/root/repo/src/model/weights.cc" "src/model/CMakeFiles/specinfer_model.dir/weights.cc.o" "gcc" "src/model/CMakeFiles/specinfer_model.dir/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/specinfer_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/specinfer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

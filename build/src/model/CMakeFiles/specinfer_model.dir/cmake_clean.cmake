@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specinfer_model.dir/beam_search.cc.o"
+  "CMakeFiles/specinfer_model.dir/beam_search.cc.o.d"
+  "CMakeFiles/specinfer_model.dir/config.cc.o"
+  "CMakeFiles/specinfer_model.dir/config.cc.o.d"
+  "CMakeFiles/specinfer_model.dir/kv_cache.cc.o"
+  "CMakeFiles/specinfer_model.dir/kv_cache.cc.o.d"
+  "CMakeFiles/specinfer_model.dir/model_factory.cc.o"
+  "CMakeFiles/specinfer_model.dir/model_factory.cc.o.d"
+  "CMakeFiles/specinfer_model.dir/sampler.cc.o"
+  "CMakeFiles/specinfer_model.dir/sampler.cc.o.d"
+  "CMakeFiles/specinfer_model.dir/sequence_parallel.cc.o"
+  "CMakeFiles/specinfer_model.dir/sequence_parallel.cc.o.d"
+  "CMakeFiles/specinfer_model.dir/serialization.cc.o"
+  "CMakeFiles/specinfer_model.dir/serialization.cc.o.d"
+  "CMakeFiles/specinfer_model.dir/transformer.cc.o"
+  "CMakeFiles/specinfer_model.dir/transformer.cc.o.d"
+  "CMakeFiles/specinfer_model.dir/weights.cc.o"
+  "CMakeFiles/specinfer_model.dir/weights.cc.o.d"
+  "libspecinfer_model.a"
+  "libspecinfer_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specinfer_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

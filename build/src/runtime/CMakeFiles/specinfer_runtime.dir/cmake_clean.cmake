@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specinfer_runtime.dir/kv_memory.cc.o"
+  "CMakeFiles/specinfer_runtime.dir/kv_memory.cc.o.d"
+  "CMakeFiles/specinfer_runtime.dir/request.cc.o"
+  "CMakeFiles/specinfer_runtime.dir/request.cc.o.d"
+  "CMakeFiles/specinfer_runtime.dir/request_manager.cc.o"
+  "CMakeFiles/specinfer_runtime.dir/request_manager.cc.o.d"
+  "libspecinfer_runtime.a"
+  "libspecinfer_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specinfer_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulator/hardware.cc" "src/simulator/CMakeFiles/specinfer_simulator.dir/hardware.cc.o" "gcc" "src/simulator/CMakeFiles/specinfer_simulator.dir/hardware.cc.o.d"
+  "/root/repo/src/simulator/llm_spec.cc" "src/simulator/CMakeFiles/specinfer_simulator.dir/llm_spec.cc.o" "gcc" "src/simulator/CMakeFiles/specinfer_simulator.dir/llm_spec.cc.o.d"
+  "/root/repo/src/simulator/perf_model.cc" "src/simulator/CMakeFiles/specinfer_simulator.dir/perf_model.cc.o" "gcc" "src/simulator/CMakeFiles/specinfer_simulator.dir/perf_model.cc.o.d"
+  "/root/repo/src/simulator/system_model.cc" "src/simulator/CMakeFiles/specinfer_simulator.dir/system_model.cc.o" "gcc" "src/simulator/CMakeFiles/specinfer_simulator.dir/system_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/specinfer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

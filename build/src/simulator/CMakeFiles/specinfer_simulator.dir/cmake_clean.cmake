@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specinfer_simulator.dir/hardware.cc.o"
+  "CMakeFiles/specinfer_simulator.dir/hardware.cc.o.d"
+  "CMakeFiles/specinfer_simulator.dir/llm_spec.cc.o"
+  "CMakeFiles/specinfer_simulator.dir/llm_spec.cc.o.d"
+  "CMakeFiles/specinfer_simulator.dir/perf_model.cc.o"
+  "CMakeFiles/specinfer_simulator.dir/perf_model.cc.o.d"
+  "CMakeFiles/specinfer_simulator.dir/system_model.cc.o"
+  "CMakeFiles/specinfer_simulator.dir/system_model.cc.o.d"
+  "libspecinfer_simulator.a"
+  "libspecinfer_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specinfer_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specinfer_tensor.dir/ops.cc.o"
+  "CMakeFiles/specinfer_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/specinfer_tensor.dir/quant.cc.o"
+  "CMakeFiles/specinfer_tensor.dir/quant.cc.o.d"
+  "CMakeFiles/specinfer_tensor.dir/tensor.cc.o"
+  "CMakeFiles/specinfer_tensor.dir/tensor.cc.o.d"
+  "libspecinfer_tensor.a"
+  "libspecinfer_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specinfer_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specinfer_util.dir/flags.cc.o"
+  "CMakeFiles/specinfer_util.dir/flags.cc.o.d"
+  "CMakeFiles/specinfer_util.dir/logging.cc.o"
+  "CMakeFiles/specinfer_util.dir/logging.cc.o.d"
+  "CMakeFiles/specinfer_util.dir/rng.cc.o"
+  "CMakeFiles/specinfer_util.dir/rng.cc.o.d"
+  "CMakeFiles/specinfer_util.dir/stats.cc.o"
+  "CMakeFiles/specinfer_util.dir/stats.cc.o.d"
+  "CMakeFiles/specinfer_util.dir/table.cc.o"
+  "CMakeFiles/specinfer_util.dir/table.cc.o.d"
+  "libspecinfer_util.a"
+  "libspecinfer_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specinfer_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

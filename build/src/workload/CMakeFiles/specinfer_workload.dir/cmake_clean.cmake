@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specinfer_workload.dir/arrivals.cc.o"
+  "CMakeFiles/specinfer_workload.dir/arrivals.cc.o.d"
+  "CMakeFiles/specinfer_workload.dir/datasets.cc.o"
+  "CMakeFiles/specinfer_workload.dir/datasets.cc.o.d"
+  "CMakeFiles/specinfer_workload.dir/trace.cc.o"
+  "CMakeFiles/specinfer_workload.dir/trace.cc.o.d"
+  "libspecinfer_workload.a"
+  "libspecinfer_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specinfer_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

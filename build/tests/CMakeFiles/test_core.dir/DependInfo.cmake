@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/adaptive_expansion_test.cc" "tests/CMakeFiles/test_core.dir/core/adaptive_expansion_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/adaptive_expansion_test.cc.o.d"
+  "/root/repo/tests/core/boost_tuning_test.cc" "tests/CMakeFiles/test_core.dir/core/boost_tuning_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/boost_tuning_test.cc.o.d"
+  "/root/repo/tests/core/chunked_prefill_test.cc" "tests/CMakeFiles/test_core.dir/core/chunked_prefill_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/chunked_prefill_test.cc.o.d"
+  "/root/repo/tests/core/engine_property_test.cc" "tests/CMakeFiles/test_core.dir/core/engine_property_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/engine_property_test.cc.o.d"
+  "/root/repo/tests/core/expansion_test.cc" "tests/CMakeFiles/test_core.dir/core/expansion_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/expansion_test.cc.o.d"
+  "/root/repo/tests/core/generation_output_test.cc" "tests/CMakeFiles/test_core.dir/core/generation_output_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/generation_output_test.cc.o.d"
+  "/root/repo/tests/core/spec_engine_test.cc" "tests/CMakeFiles/test_core.dir/core/spec_engine_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/spec_engine_test.cc.o.d"
+  "/root/repo/tests/core/speculator_test.cc" "tests/CMakeFiles/test_core.dir/core/speculator_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/speculator_test.cc.o.d"
+  "/root/repo/tests/core/token_tree_test.cc" "tests/CMakeFiles/test_core.dir/core/token_tree_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/token_tree_test.cc.o.d"
+  "/root/repo/tests/core/verifier_edge_test.cc" "tests/CMakeFiles/test_core.dir/core/verifier_edge_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/verifier_edge_test.cc.o.d"
+  "/root/repo/tests/core/verifier_property_test.cc" "tests/CMakeFiles/test_core.dir/core/verifier_property_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/verifier_property_test.cc.o.d"
+  "/root/repo/tests/core/verifier_test.cc" "tests/CMakeFiles/test_core.dir/core/verifier_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/verifier_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/specinfer_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/specinfer_simulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/specinfer_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/specinfer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/specinfer_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/specinfer_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/specinfer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/adaptive_expansion_test.cc.o"
+  "CMakeFiles/test_core.dir/core/adaptive_expansion_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/boost_tuning_test.cc.o"
+  "CMakeFiles/test_core.dir/core/boost_tuning_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/chunked_prefill_test.cc.o"
+  "CMakeFiles/test_core.dir/core/chunked_prefill_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/engine_property_test.cc.o"
+  "CMakeFiles/test_core.dir/core/engine_property_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/expansion_test.cc.o"
+  "CMakeFiles/test_core.dir/core/expansion_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/generation_output_test.cc.o"
+  "CMakeFiles/test_core.dir/core/generation_output_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/spec_engine_test.cc.o"
+  "CMakeFiles/test_core.dir/core/spec_engine_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/speculator_test.cc.o"
+  "CMakeFiles/test_core.dir/core/speculator_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/token_tree_test.cc.o"
+  "CMakeFiles/test_core.dir/core/token_tree_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/verifier_edge_test.cc.o"
+  "CMakeFiles/test_core.dir/core/verifier_edge_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/verifier_property_test.cc.o"
+  "CMakeFiles/test_core.dir/core/verifier_property_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/verifier_test.cc.o"
+  "CMakeFiles/test_core.dir/core/verifier_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/compaction_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/compaction_test.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/preset_sweep_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/preset_sweep_test.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/serving_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/serving_test.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/umbrella_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/umbrella_test.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/beam_search_test.cc" "tests/CMakeFiles/test_model.dir/model/beam_search_test.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/beam_search_test.cc.o.d"
+  "/root/repo/tests/model/chunk_edge_test.cc" "tests/CMakeFiles/test_model.dir/model/chunk_edge_test.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/chunk_edge_test.cc.o.d"
+  "/root/repo/tests/model/compressed_ssm_test.cc" "tests/CMakeFiles/test_model.dir/model/compressed_ssm_test.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/compressed_ssm_test.cc.o.d"
+  "/root/repo/tests/model/config_test.cc" "tests/CMakeFiles/test_model.dir/model/config_test.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/config_test.cc.o.d"
+  "/root/repo/tests/model/kv_cache_test.cc" "tests/CMakeFiles/test_model.dir/model/kv_cache_test.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/kv_cache_test.cc.o.d"
+  "/root/repo/tests/model/sampler_test.cc" "tests/CMakeFiles/test_model.dir/model/sampler_test.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/sampler_test.cc.o.d"
+  "/root/repo/tests/model/sequence_parallel_test.cc" "tests/CMakeFiles/test_model.dir/model/sequence_parallel_test.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/sequence_parallel_test.cc.o.d"
+  "/root/repo/tests/model/serialization_test.cc" "tests/CMakeFiles/test_model.dir/model/serialization_test.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/serialization_test.cc.o.d"
+  "/root/repo/tests/model/transformer_test.cc" "tests/CMakeFiles/test_model.dir/model/transformer_test.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/transformer_test.cc.o.d"
+  "/root/repo/tests/model/tree_attention_test.cc" "tests/CMakeFiles/test_model.dir/model/tree_attention_test.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/tree_attention_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/specinfer_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/specinfer_simulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/specinfer_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/specinfer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/specinfer_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/specinfer_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/specinfer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/model/beam_search_test.cc.o"
+  "CMakeFiles/test_model.dir/model/beam_search_test.cc.o.d"
+  "CMakeFiles/test_model.dir/model/chunk_edge_test.cc.o"
+  "CMakeFiles/test_model.dir/model/chunk_edge_test.cc.o.d"
+  "CMakeFiles/test_model.dir/model/compressed_ssm_test.cc.o"
+  "CMakeFiles/test_model.dir/model/compressed_ssm_test.cc.o.d"
+  "CMakeFiles/test_model.dir/model/config_test.cc.o"
+  "CMakeFiles/test_model.dir/model/config_test.cc.o.d"
+  "CMakeFiles/test_model.dir/model/kv_cache_test.cc.o"
+  "CMakeFiles/test_model.dir/model/kv_cache_test.cc.o.d"
+  "CMakeFiles/test_model.dir/model/sampler_test.cc.o"
+  "CMakeFiles/test_model.dir/model/sampler_test.cc.o.d"
+  "CMakeFiles/test_model.dir/model/sequence_parallel_test.cc.o"
+  "CMakeFiles/test_model.dir/model/sequence_parallel_test.cc.o.d"
+  "CMakeFiles/test_model.dir/model/serialization_test.cc.o"
+  "CMakeFiles/test_model.dir/model/serialization_test.cc.o.d"
+  "CMakeFiles/test_model.dir/model/transformer_test.cc.o"
+  "CMakeFiles/test_model.dir/model/transformer_test.cc.o.d"
+  "CMakeFiles/test_model.dir/model/tree_attention_test.cc.o"
+  "CMakeFiles/test_model.dir/model/tree_attention_test.cc.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

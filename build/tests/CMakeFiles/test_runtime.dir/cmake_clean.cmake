@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/kv_memory_test.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/kv_memory_test.cc.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/request_manager_test.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/request_manager_test.cc.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/scheduling_policy_test.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/scheduling_policy_test.cc.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

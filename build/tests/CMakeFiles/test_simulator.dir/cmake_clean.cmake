@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulator.dir/simulator/energy_test.cc.o"
+  "CMakeFiles/test_simulator.dir/simulator/energy_test.cc.o.d"
+  "CMakeFiles/test_simulator.dir/simulator/perf_model_test.cc.o"
+  "CMakeFiles/test_simulator.dir/simulator/perf_model_test.cc.o.d"
+  "CMakeFiles/test_simulator.dir/simulator/system_model_test.cc.o"
+  "CMakeFiles/test_simulator.dir/simulator/system_model_test.cc.o.d"
+  "test_simulator"
+  "test_simulator.pdb"
+  "test_simulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor.dir/tensor/ops_test.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/ops_test.cc.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/quant_test.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/quant_test.cc.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/tensor_test.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/tensor_test.cc.o.d"
+  "test_tensor"
+  "test_tensor.pdb"
+  "test_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

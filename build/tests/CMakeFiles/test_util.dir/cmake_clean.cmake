@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/flags_test.cc.o"
+  "CMakeFiles/test_util.dir/util/flags_test.cc.o.d"
+  "CMakeFiles/test_util.dir/util/logging_test.cc.o"
+  "CMakeFiles/test_util.dir/util/logging_test.cc.o.d"
+  "CMakeFiles/test_util.dir/util/rng_test.cc.o"
+  "CMakeFiles/test_util.dir/util/rng_test.cc.o.d"
+  "CMakeFiles/test_util.dir/util/stats_test.cc.o"
+  "CMakeFiles/test_util.dir/util/stats_test.cc.o.d"
+  "CMakeFiles/test_util.dir/util/table_test.cc.o"
+  "CMakeFiles/test_util.dir/util/table_test.cc.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incr_decoding.dir/incr_decoding.cc.o"
+  "CMakeFiles/incr_decoding.dir/incr_decoding.cc.o.d"
+  "incr_decoding"
+  "incr_decoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incr_decoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

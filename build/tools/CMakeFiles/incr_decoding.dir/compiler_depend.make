@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for incr_decoding.
+# This may be replaced when dependencies are built.

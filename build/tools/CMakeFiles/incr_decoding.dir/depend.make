@@ -1,0 +1,2 @@
+# Empty dependencies file for incr_decoding.
+# This may be replaced when dependencies are built.

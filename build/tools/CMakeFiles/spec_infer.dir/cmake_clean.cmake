@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_infer.dir/spec_infer.cc.o"
+  "CMakeFiles/spec_infer.dir/spec_infer.cc.o.d"
+  "spec_infer"
+  "spec_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
