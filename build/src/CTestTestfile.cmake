@@ -8,6 +8,7 @@ subdirs("util")
 subdirs("tensor")
 subdirs("model")
 subdirs("core")
+subdirs("verify")
 subdirs("runtime")
 subdirs("simulator")
 subdirs("workload")

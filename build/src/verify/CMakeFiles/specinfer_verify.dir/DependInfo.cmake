@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/diff_harness.cc" "src/verify/CMakeFiles/specinfer_verify.dir/diff_harness.cc.o" "gcc" "src/verify/CMakeFiles/specinfer_verify.dir/diff_harness.cc.o.d"
+  "/root/repo/src/verify/stat_tests.cc" "src/verify/CMakeFiles/specinfer_verify.dir/stat_tests.cc.o" "gcc" "src/verify/CMakeFiles/specinfer_verify.dir/stat_tests.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/specinfer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/specinfer_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/specinfer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/specinfer_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specinfer_verify.dir/diff_harness.cc.o"
+  "CMakeFiles/specinfer_verify.dir/diff_harness.cc.o.d"
+  "CMakeFiles/specinfer_verify.dir/stat_tests.cc.o"
+  "CMakeFiles/specinfer_verify.dir/stat_tests.cc.o.d"
+  "libspecinfer_verify.a"
+  "libspecinfer_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specinfer_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

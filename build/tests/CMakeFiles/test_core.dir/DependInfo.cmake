@@ -11,9 +11,11 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/adaptive_expansion_test.cc" "tests/CMakeFiles/test_core.dir/core/adaptive_expansion_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/adaptive_expansion_test.cc.o.d"
   "/root/repo/tests/core/boost_tuning_test.cc" "tests/CMakeFiles/test_core.dir/core/boost_tuning_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/boost_tuning_test.cc.o.d"
   "/root/repo/tests/core/chunked_prefill_test.cc" "tests/CMakeFiles/test_core.dir/core/chunked_prefill_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/chunked_prefill_test.cc.o.d"
+  "/root/repo/tests/core/diff_oracle_test.cc" "tests/CMakeFiles/test_core.dir/core/diff_oracle_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/diff_oracle_test.cc.o.d"
   "/root/repo/tests/core/engine_property_test.cc" "tests/CMakeFiles/test_core.dir/core/engine_property_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/engine_property_test.cc.o.d"
   "/root/repo/tests/core/expansion_test.cc" "tests/CMakeFiles/test_core.dir/core/expansion_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/expansion_test.cc.o.d"
   "/root/repo/tests/core/generation_output_test.cc" "tests/CMakeFiles/test_core.dir/core/generation_output_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/generation_output_test.cc.o.d"
+  "/root/repo/tests/core/mss_regression_test.cc" "tests/CMakeFiles/test_core.dir/core/mss_regression_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/mss_regression_test.cc.o.d"
   "/root/repo/tests/core/spec_engine_test.cc" "tests/CMakeFiles/test_core.dir/core/spec_engine_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/spec_engine_test.cc.o.d"
   "/root/repo/tests/core/speculator_test.cc" "tests/CMakeFiles/test_core.dir/core/speculator_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/speculator_test.cc.o.d"
   "/root/repo/tests/core/token_tree_test.cc" "tests/CMakeFiles/test_core.dir/core/token_tree_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/token_tree_test.cc.o.d"
@@ -24,6 +26,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verify/CMakeFiles/specinfer_verify.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/specinfer_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/simulator/CMakeFiles/specinfer_simulator.dir/DependInfo.cmake"
   "/root/repo/build/src/runtime/CMakeFiles/specinfer_runtime.dir/DependInfo.cmake"

@@ -5,12 +5,16 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_core.dir/core/boost_tuning_test.cc.o.d"
   "CMakeFiles/test_core.dir/core/chunked_prefill_test.cc.o"
   "CMakeFiles/test_core.dir/core/chunked_prefill_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/diff_oracle_test.cc.o"
+  "CMakeFiles/test_core.dir/core/diff_oracle_test.cc.o.d"
   "CMakeFiles/test_core.dir/core/engine_property_test.cc.o"
   "CMakeFiles/test_core.dir/core/engine_property_test.cc.o.d"
   "CMakeFiles/test_core.dir/core/expansion_test.cc.o"
   "CMakeFiles/test_core.dir/core/expansion_test.cc.o.d"
   "CMakeFiles/test_core.dir/core/generation_output_test.cc.o"
   "CMakeFiles/test_core.dir/core/generation_output_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/mss_regression_test.cc.o"
+  "CMakeFiles/test_core.dir/core/mss_regression_test.cc.o.d"
   "CMakeFiles/test_core.dir/core/spec_engine_test.cc.o"
   "CMakeFiles/test_core.dir/core/spec_engine_test.cc.o.d"
   "CMakeFiles/test_core.dir/core/speculator_test.cc.o"

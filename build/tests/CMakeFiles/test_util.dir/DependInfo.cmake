@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verify/CMakeFiles/specinfer_verify.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/specinfer_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/simulator/CMakeFiles/specinfer_simulator.dir/DependInfo.cmake"
   "/root/repo/build/src/runtime/CMakeFiles/specinfer_runtime.dir/DependInfo.cmake"

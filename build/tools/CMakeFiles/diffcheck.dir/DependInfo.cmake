@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/diffcheck.cc" "tools/CMakeFiles/diffcheck.dir/diffcheck.cc.o" "gcc" "tools/CMakeFiles/diffcheck.dir/diffcheck.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verify/CMakeFiles/specinfer_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/specinfer_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/specinfer_simulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/specinfer_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/specinfer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/specinfer_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/specinfer_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/specinfer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffcheck.dir/diffcheck.cc.o"
+  "CMakeFiles/diffcheck.dir/diffcheck.cc.o.d"
+  "diffcheck"
+  "diffcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

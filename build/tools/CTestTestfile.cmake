@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(diffcheck "/root/repo/build/tools/diffcheck" "--trials" "50" "--fuzz-trials" "100" "--kv-trials" "20" "--mss-samples" "2000")
+set_tests_properties(diffcheck PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")

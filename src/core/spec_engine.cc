@@ -64,13 +64,24 @@ SpecStats::totalSsmTokens() const
     return total;
 }
 
+size_t
+SpecStats::decodeSteps() const
+{
+    size_t total = 0;
+    for (const StepRecord &s : steps)
+        if (!s.prefill)
+            ++total;
+    return total;
+}
+
 double
 SpecStats::avgVerifiedPerStep() const
 {
-    if (steps.empty())
+    const size_t decode = decodeSteps();
+    if (decode == 0)
         return 0.0;
     return static_cast<double>(totalGenerated()) /
-           static_cast<double>(steps.size());
+           static_cast<double>(decode);
 }
 
 SpecEngine::SpecEngine(const model::Transformer *llm,
@@ -213,6 +224,7 @@ SpecSession::step()
                         llmCache_);
             StepRecord prefill;
             prefill.llmChunkTokens = part.size();
+            prefill.prefill = true;
             stats_.steps.push_back(prefill);
             return;
         }
@@ -338,12 +350,29 @@ SpecSession::step()
     }
 }
 
+/** True when `generated` ends with one of the stop sequences. */
+static bool
+endsWithStopSequence(const std::vector<int> &generated,
+                     const std::vector<std::vector<int>> &stops)
+{
+    for (const std::vector<int> &stop : stops) {
+        if (stop.empty() || stop.size() > generated.size())
+            continue;
+        if (std::equal(stop.begin(), stop.end(),
+                       generated.end() -
+                           static_cast<ptrdiff_t>(stop.size())))
+            return true;
+    }
+    return false;
+}
+
 GenerationResult
 incrementalGenerate(const model::Transformer &llm,
                     const std::vector<int> &prompt,
                     const model::SamplingParams &params,
                     size_t max_new_tokens, util::Rng &rng,
-                    bool stop_at_eos)
+                    bool stop_at_eos,
+                    const std::vector<std::vector<int>> &stop_sequences)
 {
     SPECINFER_CHECK(!prompt.empty(), "empty prompt");
     GenerationResult res;
@@ -365,6 +394,8 @@ incrementalGenerate(const model::Transformer &llm,
         record.verifiedTokens = 1;
         record.llmChunkTokens = 1;
         res.stats.steps.push_back(record);
+        if (endsWithStopSequence(res.tokens, stop_sequences))
+            break;
         if (stop_at_eos && token == llm.config().eosToken)
             break;
         if (prompt.size() + res.tokens.size() + 1 >=

@@ -75,6 +75,10 @@ struct StepRecord
     size_t verifiedTokens = 0;   ///< tokens appended (incl. bonus)
     size_t llmChunkTokens = 0;   ///< tokens the LLM decoded this step
     size_t ssmTokensDecoded = 0; ///< SSM token-forwards this step
+
+    /** True for a chunked-prefill iteration that only absorbed
+     *  prompt tokens (no speculation, no tokens emitted). */
+    bool prefill = false;
 };
 
 /** Accumulated per-request speculation statistics. */
@@ -83,9 +87,16 @@ struct SpecStats
     std::vector<StepRecord> steps;
 
     size_t llmSteps() const { return steps.size(); }
+
+    /** Speculate+verify iterations, excluding prefill-only steps. */
+    size_t decodeSteps() const;
+
     size_t totalGenerated() const;
     size_t totalLlmTokens() const;
     size_t totalSsmTokens() const;
+
+    /** Mean verified tokens per *decode* step (Table 2's metric);
+     *  prefill-only steps emit nothing and are excluded. */
     double avgVerifiedPerStep() const;
 };
 
@@ -213,13 +224,17 @@ class SpecEngine
  * Reference incremental decoding (paper Algorithm 1), implemented
  * independently of the speculative path; used as ground truth by
  * the equivalence tests and as the baseline in benches.
+ *
+ * `stop_sequences` mirrors EngineConfig::stopSequences: generation
+ * ends as soon as the generated suffix equals one of the entries
+ * (the match is kept in the output), keeping the oracle comparable
+ * to SpecSession on configs that use stop sequences.
  */
-GenerationResult incrementalGenerate(const model::Transformer &llm,
-                                     const std::vector<int> &prompt,
-                                     const model::SamplingParams &params,
-                                     size_t max_new_tokens,
-                                     util::Rng &rng,
-                                     bool stop_at_eos = true);
+GenerationResult incrementalGenerate(
+    const model::Transformer &llm, const std::vector<int> &prompt,
+    const model::SamplingParams &params, size_t max_new_tokens,
+    util::Rng &rng, bool stop_at_eos = true,
+    const std::vector<std::vector<int>> &stop_sequences = {});
 
 } // namespace core
 } // namespace specinfer

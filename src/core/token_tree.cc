@@ -43,6 +43,12 @@ TokenTree::addChild(NodeId parent, int token, int ssm_id)
                     "parent id " << parent << " out of range");
     for (NodeId c : nodes_[parent].children) {
         if (nodes_[c].token == token) {
+            // Every addChild() call is one independent proposal, so
+            // the multiset keeps multiplicity: a token an SSM samples
+            // twice is two genuine draws, and Theorem 4.2 exactness
+            // requires stochastic verification to residualize once
+            // per draw. Deduplication of *re-grafted* proposals (the
+            // same draw seen again) happens in merge().
             nodes_[c].proposals.push_back(ssm_id);
             return c;
         }
@@ -105,11 +111,44 @@ TokenTree::merge(const TokenTree &other)
         const TreeNode &src = other.nodes_[i];
         NodeId parent_here = mapped[src.parent];
         SPECINFER_CHECK(parent_here >= 0, "merge parent not mapped");
-        // Graft once per proposal so proposal multisets union.
+        SPECINFER_CHECK(!src.proposals.empty(),
+                        "merged node with no proposals");
+        // Locate the grafted node, creating it (with no proposals
+        // yet) if this tree lacks the path.
         NodeId here = -1;
-        for (int ssm_id : src.proposals)
-            here = addChild(parent_here, src.token, ssm_id);
-        SPECINFER_CHECK(here >= 0, "node with no proposals");
+        for (NodeId c : nodes_[parent_here].children) {
+            if (nodes_[c].token == src.token) {
+                here = c;
+                break;
+            }
+        }
+        if (here < 0) {
+            here = static_cast<NodeId>(nodes_.size());
+            TreeNode child;
+            child.token = src.token;
+            child.parent = parent_here;
+            child.depth = nodes_[parent_here].depth + 1;
+            nodes_.push_back(std::move(child));
+            nodes_[parent_here].children.push_back(here);
+        }
+        // Proposal multisets union by per-SSM *max* multiplicity:
+        // a proposal already present here is the same draw seen
+        // again (re-merge / self-merge), and double-recording it
+        // would make stochastic verification subtract that SSM's
+        // distribution from the LLM residual twice for one draw.
+        // Proposals from a distinct source union in untouched.
+        std::vector<int> &dst = nodes_[here].proposals;
+        for (size_t j = 0; j < src.proposals.size(); ++j) {
+            const int ssm_id = src.proposals[j];
+            size_t src_count = 0;
+            for (size_t k = 0; k <= j; ++k)
+                src_count += src.proposals[k] == ssm_id ? 1 : 0;
+            size_t dst_count = 0;
+            for (int p : dst)
+                dst_count += p == ssm_id ? 1 : 0;
+            if (dst_count < src_count)
+                dst.push_back(ssm_id);
+        }
         mapped[static_cast<NodeId>(i)] = here;
     }
     for (const DistRecord &rec : other.dists_) {

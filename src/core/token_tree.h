@@ -38,10 +38,15 @@ struct TreeNode
     std::vector<NodeId> children;    ///< in creation order
 
     /**
-     * One entry per proposal of this node: the id of the SSM that
-     * proposed it. A token proposed twice (e.g. sampled twice, or by
-     * two SSMs) appears once as a node but carries two proposals,
-     * preserving the multiset semantics Algorithm 2 verifies.
+     * The ids of the SSMs that proposed this node, one entry per
+     * independent draw (a multiset — Algorithm 2's candidate set).
+     * A token proposed by two SSMs appears once as a node but
+     * carries both proposals; a token the *same* SSM samples twice
+     * is two entries, because stochastic verification residualizes
+     * the LLM distribution once per genuine draw (Theorem 4.2).
+     * merge() unions multisets by per-SSM max multiplicity, so
+     * re-grafting the same proposal (self-merge / re-merge) never
+     * inflates a draw into two.
      */
     std::vector<int> proposals;
 
@@ -79,8 +84,10 @@ class TokenTree
     /**
      * Add a child of `parent` labelled `token`, proposed by SSM
      * `ssm_id`. If a child with the same token already exists the
-     * proposal is appended to it instead (Definition 3.2 merge by
-     * sequence identity) and the existing node id is returned.
+     * proposal is recorded on it instead (Definition 3.2 merge by
+     * sequence identity) and the existing node id is returned. Each
+     * call records one proposal — callers pass one independent draw
+     * per call.
      */
     NodeId addChild(NodeId parent, int token, int ssm_id);
 
@@ -101,7 +108,9 @@ class TokenTree
     /**
      * Token tree merge (Definition 3.2): graft every path of `other`
      * into this tree so the result represents the union of both path
-     * sets. Proposal multisets and SSM distributions are unioned.
+     * sets. Proposal multisets union by per-SSM max multiplicity
+     * (idempotent: re-merging a tree never duplicates proposals) and
+     * SSM distributions are unioned.
      * @pre other has the same root token.
      */
     void merge(const TokenTree &other);

@@ -115,20 +115,22 @@ Verifier::verifyStochastic(const TokenTree &tree,
                 break;
             }
             // Residual renormalization: p <- norm(max(0, p - q)).
+            // Committed only when the residual keeps positive mass:
+            // when q numerically dominates p the subtraction would
+            // zero out, and resetting to the full LLM distribution
+            // here would resurrect mass already consumed by earlier
+            // rejections (biasing the emitted law) — instead keep
+            // the last strictly-positive residual (Alg. 2).
+            std::vector<float> residual(vocab);
             double total = 0.0;
             for (size_t x = 0; x < vocab; ++x) {
-                p[x] = std::max(0.0f, p[x] - (*q)[x]);
-                total += p[x];
+                residual[x] = std::max(0.0f, p[x] - (*q)[x]);
+                total += residual[x];
             }
             if (total > 0.0) {
                 const float inv = static_cast<float>(1.0 / total);
                 for (size_t x = 0; x < vocab; ++x)
-                    p[x] *= inv;
-            } else {
-                // p == q numerically; restore p so a token can still
-                // be emitted from the LLM distribution.
-                p = model::logitsToProbs(llm_logits.row(u), vocab,
-                                         llmParams_);
+                    p[x] = residual[x] * inv;
             }
             pool.erase(pool.begin() + static_cast<ptrdiff_t>(pick));
         }

@@ -1,0 +1,642 @@
+#include "verify/diff_harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <sstream>
+
+#include "core/spec_engine.h"
+#include "model/model_factory.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "verify/stat_tests.h"
+
+namespace specinfer {
+namespace verify {
+
+namespace {
+
+/** Random prompt over [1, vocab) (avoids the EOS token id 0). */
+std::vector<int>
+drawPrompt(util::Rng &rng, size_t len, size_t vocab)
+{
+    std::vector<int> prompt;
+    prompt.reserve(len);
+    for (size_t i = 0; i < len; ++i)
+        prompt.push_back(static_cast<int>(rng.uniformInt(
+            int64_t{1}, static_cast<int64_t>(vocab) - 1)));
+    return prompt;
+}
+
+/** Tiny-but-real architecture derived from the trial stream. */
+model::ModelConfig
+drawModelConfig(util::Rng &rng)
+{
+    model::ModelConfig cfg;
+    cfg.name = "diff-tiny";
+    cfg.vocabSize = 24 + rng.uniformInt(uint64_t{73});      // 24..96
+    cfg.nHeads = 2 + 2 * rng.uniformInt(uint64_t{2});       // 2 or 4
+    cfg.dModel = cfg.nHeads *
+                 (4 + 4 * rng.uniformInt(uint64_t{2}));     // dHead 4/8
+    cfg.dFf = 32 + 16 * rng.uniformInt(uint64_t{2});        // 32 or 48
+    cfg.nLayers = 2 + rng.uniformInt(uint64_t{3});          // 2..4
+    cfg.maxSeqLen = 192;
+    cfg.seed = rng.next();
+    return cfg;
+}
+
+std::string
+joinTokens(const std::vector<int> &tokens)
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < tokens.size(); ++i)
+        oss << (i ? "," : "") << tokens[i];
+    return oss.str();
+}
+
+/** Locate the node identified by a root-to-node token path. */
+core::NodeId
+findByPath(const core::TokenTree &tree, const std::vector<int> &path)
+{
+    core::NodeId u = core::TokenTree::kRoot;
+    if (path.empty() || tree.node(u).token != path.front())
+        return -1;
+    for (size_t i = 1; i < path.size(); ++i) {
+        core::NodeId next = -1;
+        for (core::NodeId v : tree.node(u).children) {
+            if (tree.node(v).token == path[i]) {
+                next = v;
+                break;
+            }
+        }
+        if (next < 0)
+            return -1;
+        u = next;
+    }
+    return u;
+}
+
+/** Random speculated tree for one SSM id over a small vocabulary. */
+core::TokenTree
+drawSsmTree(util::Rng &rng, int root_token, size_t vocab, int ssm_id)
+{
+    core::TokenTree tree(root_token);
+    std::vector<core::NodeId> frontier = {core::TokenTree::kRoot};
+    const size_t depth = 1 + rng.uniformInt(uint64_t{3});
+    for (size_t step = 0; step < depth; ++step) {
+        std::vector<core::NodeId> next;
+        for (core::NodeId u : frontier) {
+            const size_t k = 1 + rng.uniformInt(uint64_t{3});
+            for (size_t j = 0; j < k; ++j) {
+                // Small vocab on purpose: repeated samples and
+                // cross-tree collisions exercise the fold paths.
+                int token = static_cast<int>(
+                    rng.uniformInt(static_cast<uint64_t>(vocab)));
+                next.push_back(tree.addChild(u, token, ssm_id));
+            }
+        }
+        // Record a distribution at every frontier node so the
+        // merge's distribution-union property can be checked.
+        for (core::NodeId u : frontier) {
+            std::vector<float> dist(vocab);
+            float total = 0.0f;
+            for (float &v : dist) {
+                v = static_cast<float>(rng.uniform()) + 0.01f;
+                total += v;
+            }
+            for (float &v : dist)
+                v /= total;
+            tree.setSsmDistribution(u, ssm_id, std::move(dist));
+        }
+        frontier = std::move(next);
+    }
+    return tree;
+}
+
+std::set<std::vector<int>>
+pathSet(const core::TokenTree &tree)
+{
+    std::vector<std::vector<int>> paths = tree.allPaths();
+    return std::set<std::vector<int>>(paths.begin(), paths.end());
+}
+
+/** Structural invariants every TokenTree must satisfy. */
+bool
+checkTreeStructure(const core::TokenTree &tree, std::string *why)
+{
+    for (size_t i = 0; i < tree.size(); ++i) {
+        const core::TreeNode &n =
+            tree.node(static_cast<core::NodeId>(i));
+        if (i == 0) {
+            if (n.parent != -1 || n.depth != 0) {
+                *why = "root must have parent -1 and depth 0";
+                return false;
+            }
+            continue;
+        }
+        if (n.parent < 0 || static_cast<size_t>(n.parent) >= i) {
+            *why = "node order not topological at node " +
+                   std::to_string(i);
+            return false;
+        }
+        const core::TreeNode &p = tree.node(n.parent);
+        if (n.depth != p.depth + 1) {
+            *why = "depth mismatch at node " + std::to_string(i);
+            return false;
+        }
+        if (n.proposals.empty()) {
+            *why = "speculated node " + std::to_string(i) +
+                   " has no proposals";
+            return false;
+        }
+    }
+    // Children must carry distinct tokens (Def. 3.1: one node per
+    // sequence) and be reachable from their parent exactly once.
+    for (size_t i = 0; i < tree.size(); ++i) {
+        const core::TreeNode &n =
+            tree.node(static_cast<core::NodeId>(i));
+        std::set<int> tokens;
+        for (core::NodeId c : n.children) {
+            if (tree.node(c).parent != static_cast<core::NodeId>(i)) {
+                *why = "child/parent link mismatch";
+                return false;
+            }
+            if (!tokens.insert(tree.node(c).token).second) {
+                *why = "duplicate child token under node " +
+                       std::to_string(i);
+                return false;
+            }
+        }
+    }
+    // Chunk conversion preserves parents and topological order.
+    model::DecodeChunk chunk = tree.toChunk(-1);
+    for (size_t i = 0; i < tree.size(); ++i) {
+        const int32_t expect =
+            i == 0 ? -1 : tree.node(static_cast<core::NodeId>(i)).parent;
+        if (chunk.parents[i] != expect ||
+            chunk.tokens[i] !=
+                tree.node(static_cast<core::NodeId>(i)).token) {
+            *why = "toChunk() parent/token mismatch at " +
+                   std::to_string(i);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+TrialOutcome
+runGreedyTrial(uint64_t seed, bool verbose)
+{
+    TrialOutcome out;
+    util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x1234567ULL);
+
+    model::ModelConfig mc = drawModelConfig(rng);
+    model::Transformer llm = model::makeLlm(mc);
+
+    const size_t ssm_count = 1 + rng.uniformInt(uint64_t{2});
+    std::vector<model::Transformer> ssms;
+    std::ostringstream ssm_desc;
+    for (size_t s = 0; s < ssm_count; ++s) {
+        const size_t layers =
+            1 + rng.uniformInt(static_cast<uint64_t>(mc.nLayers - 1));
+        const float noise = rng.uniform() < 0.5 ? 0.0f : 0.1f;
+        ssms.push_back(model::makeEarlyExitSsm(llm, layers, noise,
+                                               rng.next()));
+        ssm_desc << (s ? "+" : "") << layers << "L";
+    }
+
+    core::ExpansionConfig expansion;
+    const size_t depth = rng.uniformInt(uint64_t{5}); // 0..4
+    for (size_t i = 0; i < depth; ++i)
+        expansion.widths.push_back(
+            1 + rng.uniformInt(i == 0 ? uint64_t{3} : uint64_t{2}));
+
+    core::EngineConfig cfg = core::EngineConfig::greedyDefault();
+    cfg.spec.expansion = expansion;
+    cfg.maxNewTokens = 6 + rng.uniformInt(uint64_t{15});
+    cfg.stopAtEos = rng.uniform() < 0.5;
+    cfg.seed = rng.next();
+    if (rng.uniform() < 0.35)
+        cfg.maxPrefillChunk = 4 + rng.uniformInt(uint64_t{8});
+    const bool want_stop = rng.uniform() < 0.4;
+
+    const size_t prompt_len = 3 + rng.uniformInt(uint64_t{30});
+    std::vector<int> prompt = drawPrompt(rng, prompt_len,
+                                         mc.vocabSize);
+
+    model::SamplingParams greedy;
+    greedy.temperature = 0.0f;
+
+    // Derive a stop sequence that actually fires: a window of the
+    // unconstrained reference output.
+    if (want_stop) {
+        util::Rng pre_rng(1);
+        core::GenerationResult pre = core::incrementalGenerate(
+            llm, prompt, greedy, cfg.maxNewTokens, pre_rng,
+            cfg.stopAtEos);
+        if (pre.tokens.size() >= 4) {
+            const size_t len = 1 + rng.uniformInt(uint64_t{2});
+            const size_t start = rng.uniformInt(
+                static_cast<uint64_t>(pre.tokens.size() - len));
+            cfg.stopSequences.push_back(std::vector<int>(
+                pre.tokens.begin() + static_cast<ptrdiff_t>(start),
+                pre.tokens.begin() +
+                    static_cast<ptrdiff_t>(start + len)));
+        }
+    }
+
+    {
+        std::ostringstream oss;
+        oss << "seed=" << seed << " vocab=" << mc.vocabSize
+            << " layers=" << mc.nLayers << " dModel=" << mc.dModel
+            << " ssms=" << ssm_desc.str()
+            << " expansion=" << expansion.toString()
+            << " maxNew=" << cfg.maxNewTokens
+            << " prefillChunk=" << cfg.maxPrefillChunk
+            << " eos=" << (cfg.stopAtEos ? 1 : 0) << " stops="
+            << (cfg.stopSequences.empty()
+                    ? std::string("-")
+                    : joinTokens(cfg.stopSequences.front()));
+        out.configLine = oss.str();
+    }
+
+    // Oracle: independent incremental greedy decoding.
+    util::Rng ref_rng(2);
+    core::GenerationResult ref = core::incrementalGenerate(
+        llm, prompt, greedy, cfg.maxNewTokens, ref_rng, cfg.stopAtEos,
+        cfg.stopSequences);
+
+    std::vector<const model::Transformer *> pool;
+    if (depth > 0)
+        for (const model::Transformer &ssm : ssms)
+            pool.push_back(&ssm);
+    core::SpecEngine engine(&llm, pool, cfg);
+    core::GenerationResult got = engine.generate(prompt, seed);
+
+    if (verbose) {
+        out.configLine += "\n  prompt: " + joinTokens(prompt) +
+                          "\n  oracle: " + joinTokens(ref.tokens) +
+                          "\n  engine: " + joinTokens(got.tokens);
+    }
+
+    if (got.tokens != ref.tokens) {
+        size_t diverge = 0;
+        while (diverge < got.tokens.size() &&
+               diverge < ref.tokens.size() &&
+               got.tokens[diverge] == ref.tokens[diverge])
+            ++diverge;
+        std::ostringstream oss;
+        oss << "token mismatch at position " << diverge << ": engine "
+            << got.tokens.size() << " tokens ["
+            << joinTokens(got.tokens) << "] vs oracle "
+            << ref.tokens.size() << " tokens ["
+            << joinTokens(ref.tokens) << "]";
+        out.ok = false;
+        out.detail = oss.str();
+        return out;
+    }
+    if (got.logProbs.size() != ref.logProbs.size()) {
+        out.ok = false;
+        out.detail = "log-prob count mismatch";
+        return out;
+    }
+    for (size_t i = 0; i < got.logProbs.size(); ++i) {
+        if (std::abs(got.logProbs[i] - ref.logProbs[i]) > 1.0e-4f) {
+            out.ok = false;
+            out.detail = "log-prob mismatch at token " +
+                         std::to_string(i);
+            return out;
+        }
+    }
+    if (got.stats.totalGenerated() != got.tokens.size()) {
+        out.ok = false;
+        out.detail = "stats.totalGenerated disagrees with output";
+        return out;
+    }
+    for (const core::StepRecord &s : got.stats.steps) {
+        if (s.prefill != (s.verifiedTokens == 0)) {
+            out.ok = false;
+            out.detail = "prefill flag inconsistent with emission";
+            return out;
+        }
+    }
+    return out;
+}
+
+TrialOutcome
+runTreeFuzzTrial(uint64_t seed)
+{
+    TrialOutcome out;
+    util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x7654321ULL);
+    const size_t vocab = 4 + rng.uniformInt(uint64_t{6}); // 4..9
+    const int root = static_cast<int>(
+        rng.uniformInt(static_cast<uint64_t>(vocab)));
+    const size_t ssm_count = 1 + rng.uniformInt(uint64_t{3});
+    out.configLine = "seed=" + std::to_string(seed) + " vocab=" +
+                     std::to_string(vocab) + " ssms=" +
+                     std::to_string(ssm_count);
+
+    std::vector<core::TokenTree> sources;
+    for (size_t s = 0; s < ssm_count; ++s)
+        sources.push_back(drawSsmTree(rng, root, vocab,
+                                      static_cast<int>(s)));
+
+    core::TokenTree merged = sources[0];
+    for (size_t s = 1; s < ssm_count; ++s)
+        merged.merge(sources[s]);
+
+    std::string why;
+    for (const core::TokenTree &t : sources) {
+        if (!checkTreeStructure(t, &why)) {
+            out.ok = false;
+            out.detail = "source tree: " + why;
+            return out;
+        }
+    }
+    if (!checkTreeStructure(merged, &why)) {
+        out.ok = false;
+        out.detail = "merged tree: " + why;
+        return out;
+    }
+
+    // Def. 3.2: the merged path set is the union of the sources'.
+    std::set<std::vector<int>> expect;
+    for (const core::TokenTree &t : sources) {
+        std::set<std::vector<int>> p = pathSet(t);
+        expect.insert(p.begin(), p.end());
+    }
+    if (pathSet(merged) != expect) {
+        out.ok = false;
+        out.detail = "merged path set is not the union of sources";
+        return out;
+    }
+
+    // Proposal-multiset union and distribution union: every source
+    // node must be found in the merged tree carrying exactly that
+    // source's proposal multiplicity (sources have disjoint ssm
+    // ids, so per-SSM max-union preserves each count verbatim) and
+    // its recorded distributions.
+    for (size_t s = 0; s < ssm_count; ++s) {
+        const core::TokenTree &t = sources[s];
+        for (size_t i = 1; i < t.size(); ++i) {
+            const core::NodeId id = static_cast<core::NodeId>(i);
+            core::NodeId here = findByPath(merged, t.pathTokens(id));
+            if (here < 0) {
+                out.ok = false;
+                out.detail = "source path missing after merge";
+                return out;
+            }
+            size_t want = 0;
+            for (int p : t.node(id).proposals)
+                if (p == static_cast<int>(s))
+                    ++want;
+            size_t copies = 0;
+            for (int p : merged.node(here).proposals)
+                if (p == static_cast<int>(s))
+                    ++copies;
+            if (copies != want) {
+                out.ok = false;
+                out.detail = "ssm " + std::to_string(s) +
+                             " multiplicity " + std::to_string(want) +
+                             " became " + std::to_string(copies) +
+                             " after merge";
+                return out;
+            }
+        }
+        for (size_t i = 0; i < t.size(); ++i) {
+            const core::NodeId id = static_cast<core::NodeId>(i);
+            const std::vector<float> *dist =
+                t.ssmDistribution(id, static_cast<int>(s));
+            if (dist == nullptr)
+                continue;
+            core::NodeId here = findByPath(merged, t.pathTokens(id));
+            const std::vector<float> *got =
+                here < 0 ? nullptr
+                         : merged.ssmDistribution(here,
+                                                  static_cast<int>(s));
+            if (got == nullptr || *got != *dist) {
+                out.ok = false;
+                out.detail = "SSM distribution lost in merge";
+                return out;
+            }
+        }
+    }
+
+    // Merge idempotence: self-merge changes nothing (node count,
+    // paths, and proposal sets — the per-SSM dedup guarantee).
+    core::TokenTree again = merged;
+    again.merge(merged);
+    if (again.size() != merged.size() ||
+        pathSet(again) != pathSet(merged)) {
+        out.ok = false;
+        out.detail = "self-merge is not idempotent (structure)";
+        return out;
+    }
+    for (size_t i = 0; i < merged.size(); ++i) {
+        const core::NodeId id = static_cast<core::NodeId>(i);
+        if (again.node(id).proposals != merged.node(id).proposals) {
+            out.ok = false;
+            out.detail = "self-merge duplicated proposals at node " +
+                         std::to_string(i);
+            return out;
+        }
+    }
+    return out;
+}
+
+TrialOutcome
+runKvRoundTripTrial(uint64_t seed)
+{
+    TrialOutcome out;
+    util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xabcdefULL);
+
+    model::ModelConfig mc = drawModelConfig(rng);
+    model::Transformer llm = model::makeLlm(mc);
+    const size_t vocab = mc.vocabSize;
+
+    std::vector<int> seq =
+        drawPrompt(rng, 3 + rng.uniformInt(uint64_t{10}), vocab);
+    core::TokenTree tree =
+        drawSsmTree(rng, seq.back(), vocab, /*ssm_id=*/0);
+
+    out.configLine = "seed=" + std::to_string(seed) + " vocab=" +
+                     std::to_string(vocab) + " seq=" +
+                     std::to_string(seq.size()) + " tree=" +
+                     std::to_string(tree.speculatedCount());
+
+    model::KvCache cache = llm.makeCache();
+    llm.forward(model::DecodeChunk::sequence(seq), cache);
+    const size_t base = cache.length();
+
+    // Decode the speculated nodes as one tree chunk; the root is the
+    // already-cached last verified token, so node i maps to chunk
+    // entry i - 1 and root children extend the cached prefix.
+    model::DecodeChunk chunk;
+    for (size_t n = 1; n < tree.size(); ++n) {
+        const core::TreeNode &node =
+            tree.node(static_cast<core::NodeId>(n));
+        chunk.tokens.push_back(node.token);
+        chunk.parents.push_back(node.parent - 1);
+    }
+    llm.forward(chunk, cache);
+
+    // Accept a random root-to-node path (possibly empty).
+    const core::NodeId accepted = static_cast<core::NodeId>(
+        rng.uniformInt(static_cast<uint64_t>(tree.size())));
+    std::vector<core::NodeId> path;
+    for (core::NodeId n = accepted; n > 0; n = tree.node(n).parent)
+        path.push_back(n);
+    std::reverse(path.begin(), path.end());
+
+    std::vector<size_t> keep;
+    for (size_t s = 0; s < base; ++s)
+        keep.push_back(s);
+    for (core::NodeId n : path)
+        keep.push_back(base + static_cast<size_t>(n) - 1);
+    cache.keepRows(keep);
+
+    std::vector<int> accepted_seq = seq;
+    for (core::NodeId n : path)
+        accepted_seq.push_back(tree.node(n).token);
+    model::KvCache fresh = llm.makeCache();
+    llm.forward(model::DecodeChunk::sequence(accepted_seq), fresh);
+
+    if (cache.length() != fresh.length()) {
+        out.ok = false;
+        out.detail = "compacted length != fresh prefill length";
+        return out;
+    }
+    const size_t row_bytes = cache.kvDim() * sizeof(float);
+    for (size_t layer = 0; layer < cache.layers(); ++layer) {
+        for (size_t slot = 0; slot < cache.length(); ++slot) {
+            if (std::memcmp(cache.keyRow(layer, slot),
+                            fresh.keyRow(layer, slot),
+                            row_bytes) != 0 ||
+                std::memcmp(cache.valueRow(layer, slot),
+                            fresh.valueRow(layer, slot),
+                            row_bytes) != 0) {
+                out.ok = false;
+                out.detail = "KV rows differ at layer " +
+                             std::to_string(layer) + " slot " +
+                             std::to_string(slot);
+                return out;
+            }
+        }
+    }
+
+    // Future decoding must agree bitwise as well.
+    const int probe = static_cast<int>(
+        rng.uniformInt(int64_t{1}, static_cast<int64_t>(vocab) - 1));
+    tensor::Tensor a =
+        llm.forward(model::DecodeChunk::single(probe), cache);
+    tensor::Tensor b =
+        llm.forward(model::DecodeChunk::single(probe), fresh);
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a.data()[i] != b.data()[i]) {
+            out.ok = false;
+            out.detail = "post-compaction logits diverge";
+            return out;
+        }
+    }
+    return out;
+}
+
+MssCheckResult
+runMssDistributionCheck(const MssCheckConfig &cfg)
+{
+    MssCheckResult res;
+    util::Rng rng(cfg.seed * 0x9e3779b97f4a7c15ULL + 0x5151ULL);
+
+    model::ModelConfig mc;
+    mc.name = "mss-tiny";
+    mc.vocabSize = 32;
+    mc.dModel = 16;
+    mc.nHeads = 2;
+    mc.dFf = 32;
+    mc.nLayers = 3;
+    mc.maxSeqLen = 96;
+    mc.seed = rng.next();
+    model::Transformer llm = model::makeLlm(mc);
+
+    std::vector<model::Transformer> ssms;
+    for (size_t s = 0; s < cfg.ssmCount; ++s)
+        ssms.push_back(model::makeEarlyExitSsm(
+            llm, 1 + s % 2, /*head_noise_std=*/0.1f, rng.next()));
+
+    core::EngineConfig engine_cfg =
+        core::EngineConfig::stochasticDefault(cfg.temperature);
+    engine_cfg.spec.expansion = core::ExpansionConfig::uniform(2, 2);
+    engine_cfg.maxNewTokens = 1;
+    engine_cfg.stopAtEos = false;
+    engine_cfg.seed = rng.next();
+
+    std::vector<int> prompt = drawPrompt(rng, 6, mc.vocabSize);
+
+    // Exact decoding distribution at the prefix.
+    std::vector<double> exact;
+    {
+        model::KvCache probe = llm.makeCache();
+        tensor::Tensor logits = llm.forward(
+            model::DecodeChunk::sequence(prompt), probe);
+        std::vector<float> p = model::logitsToProbs(
+            logits.row(prompt.size() - 1), mc.vocabSize,
+            engine_cfg.llmSampling);
+        exact.assign(p.begin(), p.end());
+    }
+
+    std::vector<const model::Transformer *> pool;
+    for (const model::Transformer &ssm : ssms)
+        pool.push_back(&ssm);
+    core::SpecEngine engine(&llm, pool, engine_cfg);
+
+    std::vector<size_t> spec_counts(mc.vocabSize, 0);
+    std::vector<size_t> incr_counts(mc.vocabSize, 0);
+    for (size_t s = 0; s < cfg.samples; ++s) {
+        core::GenerationResult got =
+            engine.generate(prompt, s + 1, 1);
+        SPECINFER_CHECK(got.tokens.size() == 1,
+                        "expected exactly one generated token");
+        ++spec_counts[static_cast<size_t>(got.tokens[0])];
+
+        util::Rng incr_rng(cfg.seed ^ (0x51ecULL + s * 2654435761ULL));
+        core::GenerationResult ref = core::incrementalGenerate(
+            llm, prompt, engine_cfg.llmSampling, 1, incr_rng, false);
+        ++incr_counts[static_cast<size_t>(ref.tokens[0])];
+    }
+
+    ChiSquare fit = chiSquareGoodnessOfFit(spec_counts, exact);
+    res.chiSquare = fit.stat;
+    res.df = fit.df;
+    res.critical = chiSquareCritical(fit.df, cfg.alpha);
+
+    ChiSquare homog = chiSquareTwoSample(spec_counts, incr_counts);
+    res.chiSquareTwoSample = homog.stat;
+    res.dfTwoSample = homog.df;
+    res.criticalTwoSample = chiSquareCritical(homog.df, cfg.alpha);
+
+    std::vector<double> emp(mc.vocabSize, 0.0);
+    for (size_t i = 0; i < spec_counts.size(); ++i)
+        emp[i] = static_cast<double>(spec_counts[i]) /
+                 static_cast<double>(cfg.samples);
+    res.tvd = totalVariation(emp, exact);
+
+    res.ok = res.chiSquare <= res.critical &&
+             res.chiSquareTwoSample <= res.criticalTwoSample;
+    if (!res.ok) {
+        std::ostringstream oss;
+        oss << "MSS distribution skew: chi2(spec vs exact)="
+            << res.chiSquare << " crit=" << res.critical << " df="
+            << res.df << "; chi2(spec vs incremental)="
+            << res.chiSquareTwoSample << " crit="
+            << res.criticalTwoSample << " df=" << res.dfTwoSample
+            << "; tvd=" << res.tvd;
+        res.detail = oss.str();
+    }
+    return res;
+}
+
+} // namespace verify
+} // namespace specinfer

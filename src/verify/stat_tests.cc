@@ -1,0 +1,171 @@
+#include "verify/stat_tests.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace verify {
+
+double
+totalVariation(const std::vector<double> &a,
+               const std::vector<double> &b)
+{
+    SPECINFER_CHECK(a.size() == b.size(),
+                    "distribution size mismatch");
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += std::abs(a[i] - b[i]);
+    return 0.5 * acc;
+}
+
+double
+normalQuantile(double p)
+{
+    SPECINFER_CHECK(p > 0.0 && p < 1.0,
+                    "quantile probability must be in (0, 1)");
+    // Acklam's rational approximation (|error| < 1.15e-9).
+    static const double a[] = {-3.969683028665376e+01,
+                               2.209460984245205e+02,
+                               -2.759285104469687e+02,
+                               1.383577518672690e+02,
+                               -3.066479806614716e+01,
+                               2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01,
+                               1.615858368580409e+02,
+                               -1.556989798598866e+02,
+                               6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03,
+                               -3.223964580411365e-01,
+                               -2.400758277161838e+00,
+                               -2.549732539343734e+00,
+                               4.374664141464968e+00,
+                               2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03,
+                               3.224671290700398e-01,
+                               2.445134137142996e+00,
+                               3.754408661907416e+00};
+    const double p_low = 0.02425;
+    if (p < p_low) {
+        double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                 c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p <= 1.0 - p_low) {
+        double q = p - 0.5;
+        double r = q * q;
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r +
+                 a[4]) * r + a[5]) * q /
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r +
+                 b[4]) * r + 1.0);
+    }
+    double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+              c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double
+chiSquareCritical(size_t df, double alpha)
+{
+    SPECINFER_CHECK(df > 0, "chi-square needs df > 0");
+    const double z = normalQuantile(1.0 - alpha);
+    const double n = static_cast<double>(df);
+    // Wilson-Hilferty: (chi2/df)^(1/3) ~ N(1 - 2/(9df), 2/(9df)).
+    const double h = 2.0 / (9.0 * n);
+    const double cube = 1.0 - h + z * std::sqrt(h);
+    return n * cube * cube * cube;
+}
+
+ChiSquare
+chiSquareGoodnessOfFit(const std::vector<size_t> &counts,
+                       const std::vector<double> &probs,
+                       double min_expected)
+{
+    SPECINFER_CHECK(counts.size() == probs.size(),
+                    "counts/probs size mismatch");
+    double trials = 0.0;
+    for (size_t c : counts)
+        trials += static_cast<double>(c);
+    SPECINFER_CHECK(trials > 0.0, "no observations");
+
+    ChiSquare result;
+    double pool_obs = 0.0;
+    double pool_exp = 0.0;
+    size_t bins = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        const double expect = probs[i] * trials;
+        const double obs = static_cast<double>(counts[i]);
+        if (expect < min_expected) {
+            pool_obs += obs;
+            pool_exp += expect;
+            continue;
+        }
+        const double diff = obs - expect;
+        result.stat += diff * diff / expect;
+        ++bins;
+    }
+    if (pool_exp >= min_expected) {
+        const double diff = pool_obs - pool_exp;
+        result.stat += diff * diff / pool_exp;
+        ++bins;
+    } else if (pool_obs > 0.0 && pool_exp <= 0.0) {
+        // Observed mass where the reference assigns none: certain
+        // mismatch regardless of significance level.
+        result.stat += 1.0e18;
+    } else if (pool_exp > 0.0) {
+        const double diff = pool_obs - pool_exp;
+        result.stat += diff * diff / pool_exp;
+        ++bins;
+    }
+    result.df = bins > 1 ? bins - 1 : 1;
+    return result;
+}
+
+ChiSquare
+chiSquareTwoSample(const std::vector<size_t> &a,
+                   const std::vector<size_t> &b, double min_expected)
+{
+    SPECINFER_CHECK(a.size() == b.size(), "bin count mismatch");
+    double na = 0.0;
+    double nb = 0.0;
+    for (size_t c : a)
+        na += static_cast<double>(c);
+    for (size_t c : b)
+        nb += static_cast<double>(c);
+    SPECINFER_CHECK(na > 0.0 && nb > 0.0, "no observations");
+    const double total = na + nb;
+
+    ChiSquare result;
+    double pool_a = 0.0;
+    double pool_b = 0.0;
+    size_t bins = 0;
+    auto fold = [&](double obs_a, double obs_b) {
+        const double row = obs_a + obs_b;
+        if (row <= 0.0)
+            return;
+        const double ea = row * na / total;
+        const double eb = row * nb / total;
+        result.stat += (obs_a - ea) * (obs_a - ea) / ea +
+                       (obs_b - eb) * (obs_b - eb) / eb;
+        ++bins;
+    };
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double obs_a = static_cast<double>(a[i]);
+        const double obs_b = static_cast<double>(b[i]);
+        if (obs_a + obs_b < min_expected) {
+            pool_a += obs_a;
+            pool_b += obs_b;
+            continue;
+        }
+        fold(obs_a, obs_b);
+    }
+    fold(pool_a, pool_b);
+    result.df = bins > 1 ? bins - 1 : 1;
+    return result;
+}
+
+} // namespace verify
+} // namespace specinfer

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Small statistics toolkit for the differential correctness
+ * harness: total variation distance and chi-square goodness-of-fit
+ * / homogeneity statistics over token counts, with deterministic
+ * critical values so CI verdicts never depend on ambient state.
+ */
+
+#ifndef SPECINFER_VERIFY_STAT_TESTS_H
+#define SPECINFER_VERIFY_STAT_TESTS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace specinfer {
+namespace verify {
+
+/** Total variation distance between two probability vectors. */
+double totalVariation(const std::vector<double> &a,
+                      const std::vector<double> &b);
+
+/** Standard normal quantile (Acklam's rational approximation). */
+double normalQuantile(double p);
+
+/**
+ * Upper critical value of the chi-square distribution with `df`
+ * degrees of freedom at significance `alpha` (Wilson-Hilferty
+ * approximation; exact enough for the df range the harness uses).
+ */
+double chiSquareCritical(size_t df, double alpha);
+
+/** A chi-square statistic with its degrees of freedom. */
+struct ChiSquare
+{
+    double stat = 0.0;
+    size_t df = 0;
+};
+
+/**
+ * One-sample chi-square of observed counts against expected
+ * probabilities. Bins whose expected count falls below
+ * `min_expected` are pooled into one bin (standard validity rule);
+ * observed mass on zero-probability bins makes the statistic
+ * effectively infinite.
+ */
+ChiSquare chiSquareGoodnessOfFit(const std::vector<size_t> &counts,
+                                 const std::vector<double> &probs,
+                                 double min_expected = 5.0);
+
+/**
+ * Two-sample chi-square test of homogeneity between two count
+ * vectors over the same bins (2 x K contingency table), pooling
+ * bins whose combined count is below `min_expected`.
+ */
+ChiSquare chiSquareTwoSample(const std::vector<size_t> &a,
+                             const std::vector<size_t> &b,
+                             double min_expected = 5.0);
+
+} // namespace verify
+} // namespace specinfer
+
+#endif // SPECINFER_VERIFY_STAT_TESTS_H

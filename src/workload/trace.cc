@@ -10,44 +10,51 @@ namespace workload {
 void
 TraceAggregator::add(const core::SpecStats &stats)
 {
+    // Per-step averages describe speculate+verify iterations;
+    // prefill-only steps absorb prompt tokens without emitting and
+    // would deflate them (Table 2's avg-verified metric).
     for (const core::StepRecord &s : stats.steps) {
+        if (s.prefill)
+            continue;
         sumVerified_ += static_cast<double>(s.verifiedTokens);
         sumLlmTokens_ += static_cast<double>(s.llmChunkTokens);
         sumSsmTokens_ += static_cast<double>(s.ssmTokensDecoded);
         sumTreeSize_ += static_cast<double>(s.treeSize);
     }
     totalSteps_ += stats.steps.size();
+    decodeSteps_ += stats.decodeSteps();
+    prefillSteps_ += stats.steps.size() - stats.decodeSteps();
     perRequestVerified_.push_back(stats.avgVerifiedPerStep());
 }
 
 double
 TraceAggregator::avgVerifiedPerStep() const
 {
-    return totalSteps_ == 0
+    return decodeSteps_ == 0
                ? 0.0
-               : sumVerified_ / static_cast<double>(totalSteps_);
+               : sumVerified_ / static_cast<double>(decodeSteps_);
 }
 
 double
 TraceAggregator::avgLlmTokensPerStep() const
 {
-    return totalSteps_ == 0
+    return decodeSteps_ == 0
                ? 0.0
-               : sumLlmTokens_ / static_cast<double>(totalSteps_);
+               : sumLlmTokens_ / static_cast<double>(decodeSteps_);
 }
 
 double
 TraceAggregator::avgSsmTokensPerStep() const
 {
-    return totalSteps_ == 0
+    return decodeSteps_ == 0
                ? 0.0
-               : sumSsmTokens_ / static_cast<double>(totalSteps_);
+               : sumSsmTokens_ / static_cast<double>(decodeSteps_);
 }
 
 simulator::SpeculationProfile
 TraceAggregator::profile(const core::ExpansionConfig &expansion) const
 {
-    SPECINFER_CHECK(totalSteps_ > 0, "empty trace");
+    SPECINFER_CHECK(decodeSteps_ > 0, "empty trace");
     simulator::SpeculationProfile p;
     p.avgVerifiedPerIter = std::max(1.0, avgVerifiedPerStep());
     p.avgLlmTokensPerIter = std::max(1.0, avgLlmTokensPerStep());
@@ -58,9 +65,9 @@ TraceAggregator::profile(const core::ExpansionConfig &expansion) const
     const double max_nodes =
         static_cast<double>(expansion.maxNodes());
     const double measured =
-        totalSteps_ == 0 ? max_nodes
-                         : sumTreeSize_ /
-                               static_cast<double>(totalSteps_);
+        decodeSteps_ == 0 ? max_nodes
+                          : sumTreeSize_ /
+                                static_cast<double>(decodeSteps_);
     const double deflate =
         max_nodes > 0.0 ? std::min(1.0, measured / max_nodes) : 1.0;
     p.ssmChunkSizes.clear();

@@ -30,13 +30,20 @@ class TraceAggregator
     size_t requests() const { return perRequestVerified_.size(); }
     size_t totalSteps() const { return totalSteps_; }
 
-    /** Mean verified tokens per LLM decoding step, across steps. */
+    /** Speculate+verify iterations (prefill-only steps excluded). */
+    size_t decodeSteps() const { return decodeSteps_; }
+
+    /** Chunked-prefill iterations that emitted no tokens. */
+    size_t prefillSteps() const { return prefillSteps_; }
+
+    /** Mean verified tokens per decode step, across requests;
+     *  prefill-only steps are excluded from the denominator. */
     double avgVerifiedPerStep() const;
 
-    /** Mean tokens decoded by the LLM per step (tree + catch-up). */
+    /** Mean tokens decoded by the LLM per decode step. */
     double avgLlmTokensPerStep() const;
 
-    /** Mean SSM token-forwards per step. */
+    /** Mean SSM token-forwards per decode step. */
     double avgSsmTokensPerStep() const;
 
     /** Per-request average verified-per-step samples (Figure 9's
@@ -57,6 +64,8 @@ class TraceAggregator
 
   private:
     size_t totalSteps_ = 0;
+    size_t decodeSteps_ = 0;
+    size_t prefillSteps_ = 0;
     double sumVerified_ = 0.0;
     double sumLlmTokens_ = 0.0;
     double sumSsmTokens_ = 0.0;

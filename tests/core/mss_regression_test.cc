@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Regression tests pinning the two MSS verifier bugfixes:
+ *
+ *  1. Residual exhaustion must not resurrect the full LLM
+ *     distribution. When q numerically dominates the residual,
+ *     resetting p to logitsToProbs() re-introduces mass already
+ *     consumed by earlier rejections, so tokens whose residual hit
+ *     zero could be emitted again. The fix keeps the last
+ *     strictly-positive residual instead.
+ *
+ *  2. merge() grafted one proposal per source entry unconditionally,
+ *     so re-merging a tree (or merging trees sharing an SSM's draws)
+ *     duplicated (node, ssm) pool entries and verifyStochastic()
+ *     subtracted that SSM's distribution from the residual twice for
+ *     a single draw, skewing the emitted law away from the LLM's
+ *     decoding distribution. merge() now unions proposal multisets
+ *     by per-SSM max multiplicity (idempotent); genuine repeated
+ *     samples inserted via addChild() keep their multiplicity, which
+ *     Theorem 4.2 exactness requires.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/token_tree.h"
+#include "core/verifier.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "verify/stat_tests.h"
+
+namespace specinfer {
+namespace core {
+namespace {
+
+/** Logit row whose decoding distribution (temp 1) equals `probs`. */
+tensor::Tensor
+logitsFor(const std::vector<float> &probs, size_t rows)
+{
+    tensor::Tensor logits(rows, probs.size());
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < probs.size(); ++c)
+            logits.at(r, c) = probs[c] > 0.0f
+                                  ? std::log(probs[c])
+                                  : -50.0f;
+    return logits;
+}
+
+/**
+ * Residual exhaustion: two forced-rejected candidates whose q
+ * distributions drain the residual to zero. The LLM decoding
+ * distribution is {0, 0, 0.5, 0.3, 0.2} (top-k 3 zeroes tokens 0 and
+ * 1); candidate token 0 (SSM 0) and candidate token 1 (SSM 1) both
+ * have p_x = 0 and q_x > 0, so they are rejected in either pick
+ * order. SSM 0's q consumes all of token 2's residual mass; SSM 1's
+ * q dominates everything. After both rejections the only valid
+ * emission law is the surviving residual {0, 0, 0, 0.6, 0.4} — the
+ * old reset-to-full-p branch instead emitted token 2 with
+ * probability 0.5 whenever the exhausting rejection came last.
+ */
+TEST(MssRegression, ResidualExhaustionKeepsConsumedMassAtZero)
+{
+    const size_t vocab = 5;
+    model::SamplingParams params;
+    params.temperature = 1.0f;
+    params.topK = 3;
+    Verifier verifier(VerifyMode::MultiStepSampling, params);
+
+    TokenTree tree(/*root_token=*/2);
+    tree.addChild(TokenTree::kRoot, /*token=*/0, /*ssm_id=*/0);
+    tree.addChild(TokenTree::kRoot, /*token=*/1, /*ssm_id=*/1);
+    tree.setSsmDistribution(TokenTree::kRoot, 0,
+                            {0.3f, 0.0f, 1.0f, 0.0f, 0.0f});
+    tree.setSsmDistribution(TokenTree::kRoot, 1,
+                            {0.0f, 0.3f, 1.0f, 1.0f, 1.0f});
+
+    tensor::Tensor logits =
+        logitsFor({0.0f, 0.0f, 0.5f, 0.3f, 0.2f}, tree.size());
+
+    std::vector<size_t> counts(vocab, 0);
+    const size_t trials = 400;
+    for (size_t seed = 1; seed <= trials; ++seed) {
+        util::Rng rng(seed);
+        VerifyResult res = verifier.verify(tree, logits, rng);
+        ASSERT_EQ(res.acceptedNodes.size(), 0u);
+        ASSERT_EQ(res.tokens.size(), 1u);
+        ++counts[static_cast<size_t>(res.tokens[0])];
+    }
+
+    // Tokens 0 and 1 have zero LLM probability; token 2's mass was
+    // fully consumed by the first rejection and must stay consumed.
+    EXPECT_EQ(counts[0], 0u);
+    EXPECT_EQ(counts[1], 0u);
+    EXPECT_EQ(counts[2], 0u)
+        << "exhaustion resurrected the full LLM distribution";
+
+    // The survivors follow the kept residual {_, _, _, 0.6, 0.4}.
+    const double frac3 =
+        static_cast<double>(counts[3]) / static_cast<double>(trials);
+    EXPECT_NEAR(frac3, 0.6, 0.08);
+}
+
+TEST(MssRegression, MergePreservesProposalMultiplicity)
+{
+    // addChild records one proposal per call — two calls are two
+    // independent draws and both entries must survive...
+    TokenTree tree(/*root_token=*/7);
+    NodeId a = tree.addChild(TokenTree::kRoot, 3, /*ssm_id=*/0);
+    NodeId b = tree.addChild(TokenTree::kRoot, 3, /*ssm_id=*/0);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(tree.node(a).proposals, (std::vector<int>{0, 0}));
+
+    // ...while merge() unions by per-SSM max multiplicity: grafting
+    // the same draws again must not inflate the multiset.
+    TokenTree copy = tree;
+    tree.merge(copy);
+    EXPECT_EQ(tree.node(a).proposals, (std::vector<int>{0, 0}));
+
+    // A distinct SSM proposing the same token unions in untouched.
+    TokenTree other(/*root_token=*/7);
+    other.addChild(TokenTree::kRoot, 3, /*ssm_id=*/1);
+    tree.merge(other);
+    EXPECT_EQ(tree.node(a).proposals, (std::vector<int>{0, 0, 1}));
+}
+
+TEST(MssRegression, MergeOfIdenticalSsmsKeepsOneProposalEach)
+{
+    // Two SSMs with identical weights propose identical trees; the
+    // merged tree must carry each node once with proposals {0, 1}.
+    TokenTree a(5);
+    a.addChild(TokenTree::kRoot, 1, 0);
+    NodeId a2 = a.addChild(TokenTree::kRoot, 2, 0);
+    a.addChild(a2, 3, 0);
+
+    TokenTree b(5);
+    b.addChild(TokenTree::kRoot, 1, 1);
+    NodeId b2 = b.addChild(TokenTree::kRoot, 2, 1);
+    b.addChild(b2, 3, 1);
+
+    a.merge(b);
+    EXPECT_EQ(a.size(), 4u);
+    for (size_t i = 1; i < a.size(); ++i) {
+        const std::vector<int> &props =
+            a.node(static_cast<NodeId>(i)).proposals;
+        ASSERT_EQ(props.size(), 2u) << "node " << i;
+        EXPECT_EQ(props[0], 0);
+        EXPECT_EQ(props[1], 1);
+    }
+
+    // Self-merge is now idempotent: no proposal duplication.
+    TokenTree before = a;
+    a.merge(before);
+    EXPECT_EQ(a.size(), before.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a.node(static_cast<NodeId>(i)).proposals,
+                  before.node(static_cast<NodeId>(i)).proposals);
+}
+
+/**
+ * Distribution-level regression for the double-subtraction bug: ONE
+ * sample x ~ q lives in two trees that get merged — exactly the
+ * re-graft the old merge() turned into duplicate (node, ssm) pool
+ * entries. The emitted first token must follow the LLM decoding
+ * distribution p exactly (single-candidate speculative sampling is
+ * lossless). With the duplicated entry the verifier subtracted q
+ * twice for that single draw, skewing the residual fallback law
+ * (exact TVD from p is ~0.071 for these p, q).
+ */
+TEST(MssRegression, RegraftedProposalDoesNotDoubleSubtract)
+{
+    const size_t vocab = 4;
+    const std::vector<float> p = {0.1f, 0.2f, 0.3f, 0.4f};
+    const std::vector<float> q = {0.4f, 0.3f, 0.2f, 0.1f};
+
+    model::SamplingParams params;
+    params.temperature = 1.0f;
+    Verifier verifier(VerifyMode::MultiStepSampling, params);
+
+    const size_t trials = 6000;
+    std::vector<size_t> counts(vocab, 0);
+    for (size_t seed = 1; seed <= trials; ++seed) {
+        util::Rng rng(seed * 0x9e3779b9ULL + 17);
+        const int draw = static_cast<int>(rng.categorical(q));
+        TokenTree tree(/*root_token=*/0);
+        tree.addChild(TokenTree::kRoot, draw, /*ssm_id=*/0);
+        tree.setSsmDistribution(TokenTree::kRoot, 0, q);
+        TokenTree regraft(/*root_token=*/0);
+        regraft.addChild(TokenTree::kRoot, draw, /*ssm_id=*/0);
+        regraft.setSsmDistribution(TokenTree::kRoot, 0, q);
+        tree.merge(regraft);
+        ASSERT_EQ(tree.node(1).proposals.size(), 1u);
+        tensor::Tensor logits = logitsFor(p, tree.size());
+        VerifyResult res = verifier.verify(tree, logits, rng);
+        ASSERT_GE(res.tokens.size(), 1u);
+        ++counts[static_cast<size_t>(res.tokens[0])];
+    }
+
+    std::vector<double> expect(p.begin(), p.end());
+    verify::ChiSquare fit =
+        verify::chiSquareGoodnessOfFit(counts, expect);
+    const double crit = verify::chiSquareCritical(fit.df, 1.0e-3);
+    EXPECT_LE(fit.stat, crit)
+        << "first-token law drifted from the LLM distribution: chi2="
+        << fit.stat << " df=" << fit.df;
+}
+
+} // namespace
+} // namespace core
+} // namespace specinfer
