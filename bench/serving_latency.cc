@@ -66,7 +66,10 @@ simulate(const core::SpecEngine &engine,
         }
     }
 
-    runtime::RequestManager manager(&engine, {8});
+    runtime::ServingConfig serving;
+    serving.maxBatchSize = 8;
+    serving.captureBatchTrace = true; // priced per-iteration below
+    runtime::RequestManager manager(&engine, serving);
     std::vector<double> submit_time(requests + 1, 0.0);
     double clock = 0.0;
     size_t submitted = 0;

@@ -13,6 +13,15 @@ ctest --test-dir build --output-on-failure
 # a seed-exact repro line on any failure.
 ./build/tools/diffcheck --trials 50
 
+# Fault-injection soak under ASan/UBSan: thousands of scheduling
+# iterations with random speculator/verifier/allocator/straggler
+# faults; checks liveness, request conservation, the spec-vs-
+# incremental oracle on every result, and that no KV block leaks.
+# Prints the injector's seed repro line on any failure.
+cmake --preset asan
+cmake --build --preset asan --target test_fault
+./build-asan/tests/test_fault
+
 for b in build/bench/*; do
     echo "=== $b ==="
     "$b"

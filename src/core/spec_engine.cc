@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace specinfer {
@@ -70,6 +71,16 @@ SpecStats::decodeSteps() const
     size_t total = 0;
     for (const StepRecord &s : steps)
         if (!s.prefill)
+            ++total;
+    return total;
+}
+
+size_t
+SpecStats::fallbackSteps() const
+{
+    size_t total = 0;
+    for (const StepRecord &s : steps)
+        if (s.fallback)
             ++total;
     return total;
 }
@@ -201,7 +212,7 @@ SpecSession::generated() const
 }
 
 void
-SpecSession::step()
+SpecSession::step(bool allow_speculation)
 {
     SPECINFER_CHECK(!done_, "step() on a finished session");
     const model::Transformer &llm = *engine_->llm_;
@@ -231,13 +242,23 @@ SpecSession::step()
     }
 
     // 1. Speculate a token tree rooted at the last verified token.
+    // An injected SSM fault (a crashed/slow speculator worker) or a
+    // runtime-disabled speculator degrades this step to a root-only
+    // tree: the decode/verify path below then behaves exactly like
+    // incremental decoding and still emits at least one token.
+    // Skipped steps are safe for the SSM caches — speculate()
+    // catches caches up from any verified prefix.
     StepRecord record;
     TokenTree tree(seq_.back());
-    if (engine_->speculator_) {
-        SpeculationCost cost;
-        tree = engine_->speculator_->speculate(seq_, ssmCaches_, rng_,
-                                               &cost);
-        record.ssmTokensDecoded = cost.ssmTokensDecoded;
+    if (engine_->speculator_ && allow_speculation) {
+        if (util::faultAt(util::FaultPoint::SsmStep)) {
+            record.fallback = true;
+        } else {
+            SpeculationCost cost;
+            tree = engine_->speculator_->speculate(seq_, ssmCaches_,
+                                                   rng_, &cost);
+            record.ssmTokensDecoded = cost.ssmTokensDecoded;
+        }
     }
     record.treeSize = tree.speculatedCount();
 
@@ -271,9 +292,24 @@ SpecSession::step()
                     chunk_logits.row(static_cast<size_t>(offset) + n),
                     chunk_logits.cols() * sizeof(float));
 
-    // 3. Verify.
-    VerifyResult verdict = engine_->verifier_.verify(tree, node_logits,
-                                                     rng_);
+    // 3. Verify. An injected verifier fault discards the speculated
+    // tree and re-verifies a root-only tree on the already-computed
+    // root logits — equivalent to rejecting every speculated node,
+    // so the step degrades to incremental output instead of
+    // aborting. Only consulted when there is a tree to lose.
+    VerifyResult verdict;
+    if (tree.speculatedCount() > 0 &&
+        util::faultAt(util::FaultPoint::Verify)) {
+        record.fallback = true;
+        TokenTree root_only(seq_.back());
+        tensor::Tensor root_logits(1, node_logits.cols());
+        std::memcpy(root_logits.row(0), node_logits.row(0),
+                    node_logits.cols() * sizeof(float));
+        verdict = engine_->verifier_.verify(root_only, root_logits,
+                                            rng_);
+    } else {
+        verdict = engine_->verifier_.verify(tree, node_logits, rng_);
+    }
 
     // Respect the generation budget and EOS.
     std::vector<int> appended = verdict.tokens;

@@ -79,6 +79,11 @@ struct StepRecord
     /** True for a chunked-prefill iteration that only absorbed
      *  prompt tokens (no speculation, no tokens emitted). */
     bool prefill = false;
+
+    /** True when an injected speculator/verifier fault degraded this
+     *  step to plain incremental decoding (util::FaultPoint::SsmStep
+     *  or Verify); the step still emits at least one token. */
+    bool fallback = false;
 };
 
 /** Accumulated per-request speculation statistics. */
@@ -90,6 +95,9 @@ struct SpecStats
 
     /** Speculate+verify iterations, excluding prefill-only steps. */
     size_t decodeSteps() const;
+
+    /** Steps degraded to incremental decoding by an injected fault. */
+    size_t fallbackSteps() const;
 
     size_t totalGenerated() const;
     size_t totalLlmTokens() const;
@@ -119,8 +127,17 @@ class SpecSession
   public:
     bool done() const { return done_; }
 
-    /** Run one speculate+verify iteration. @pre !done() */
-    void step();
+    /**
+     * Run one speculate+verify iteration. @pre !done()
+     *
+     * @param allow_speculation When false the step skips the
+     *        speculator entirely and decodes one plain incremental
+     *        token (the serving runtime's degradation ladder uses
+     *        this to disable speculation after repeated SSM faults;
+     *        speculation is an optimization, never a correctness
+     *        dependency).
+     */
+    void step(bool allow_speculation = true);
 
     /** Prompt + generated tokens. */
     const std::vector<int> &sequence() const { return seq_; }
@@ -130,7 +147,10 @@ class SpecSession
 
     const SpecStats &stats() const { return stats_; }
 
-    /** Why the session finished (valid once done()). */
+    /** Why the session finished (valid once done()). The engine
+     *  only ever sets the first five; the trailing outcomes are set
+     *  by the serving runtime when it terminates a request without
+     *  the session itself finishing. */
     enum class StopReason
     {
         None,
@@ -138,6 +158,10 @@ class SpecSession
         MaxTokens,
         CapacityLimit,
         StopSequence,
+        Deadline,   ///< iteration-budget deadline expired (runtime)
+        Cancelled,  ///< client cancellation (runtime)
+        Preempted,  ///< preemption/retry budget exhausted (runtime)
+        Shed,       ///< load-shed from a full pending queue (runtime)
     };
     StopReason stopReason() const { return stopReason_; }
 

@@ -1,2 +1,23 @@
-// Request types are header-only; this file anchors the library.
 #include "runtime/request.h"
+
+namespace specinfer {
+namespace runtime {
+
+const char *
+rejectReasonName(RejectReason reason)
+{
+    switch (reason) {
+      case RejectReason::None:
+        return "none";
+      case RejectReason::QueueFull:
+        return "queue-full";
+      case RejectReason::NeverFits:
+        return "never-fits";
+      case RejectReason::InvalidPrompt:
+        return "invalid-prompt";
+    }
+    return "unknown";
+}
+
+} // namespace runtime
+} // namespace specinfer

@@ -31,6 +31,49 @@ struct Request
     size_t arrivalIteration = 0;
     /** Per-request generation budget; 0 uses the engine default. */
     size_t maxNewTokens = 0;
+
+    /**
+     * Deadline as an iteration budget: the request fails with
+     * StopReason::Deadline once `deadlineIterations` scheduling
+     * iterations have elapsed since arrival without it finishing
+     * (0 = no deadline). Measured on the manager's iteration clock,
+     * which injected straggler faults advance faster.
+     */
+    size_t deadlineIterations = 0;
+
+    /** Times this request has been preempted (KV pressure). */
+    size_t preemptionCount = 0;
+
+    /** Earliest iteration at which a preempted request may be
+     *  re-admitted (exponential backoff keeps a thrashing request
+     *  from immediately re-stealing the memory it just lost). */
+    size_t earliestRestart = 0;
+};
+
+/** Why submit() refused a request (typed load shedding). */
+enum class RejectReason
+{
+    None,          ///< accepted
+    QueueFull,     ///< bounded pending queue is at capacity
+    NeverFits,     ///< worst case exceeds the whole KV pool
+    InvalidPrompt, ///< empty, or beyond the model's sequence budget
+};
+
+/** Printable reject reason. */
+const char *rejectReasonName(RejectReason reason);
+
+/**
+ * Outcome of submit(): an accepted request's id, or a typed
+ * rejection (id 0). Converts to the id so call sites that only
+ * track ids keep working.
+ */
+struct SubmitResult
+{
+    uint64_t id = 0;
+    RejectReason reject = RejectReason::None;
+
+    bool accepted() const { return reject == RejectReason::None; }
+    operator uint64_t() const { return id; }
 };
 
 /** Completed request with timing and speculation statistics. */
@@ -44,6 +87,8 @@ struct RequestResult
     size_t arrivalIteration = 0;
     size_t startIteration = 0;         ///< first iteration in a batch
     size_t finishIteration = 0;
+    /** Times the request was preempted over its lifetime. */
+    size_t preemptions = 0;
 
     /** Iterations spent queued before admission. */
     size_t queueIterations() const

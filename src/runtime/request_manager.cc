@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace specinfer {
@@ -18,25 +19,45 @@ RequestManager::RequestManager(const core::SpecEngine *engine,
             cfg_.kvPoolBlocks, cfg_.kvBlockTokens);
 }
 
-uint64_t
+SubmitResult
 RequestManager::submit(std::vector<int> prompt,
-                       size_t max_new_tokens)
+                       size_t max_new_tokens,
+                       size_t deadline_iterations)
 {
+    SubmitResult out;
+    // Unserveable requests are typed rejections, not aborts: an
+    // overloaded or misused serving pipeline must shed, never die.
+    if (prompt.empty() ||
+        prompt.size() + 2 >= engine_->llm().config().maxSeqLen) {
+        out.reject = RejectReason::InvalidPrompt;
+        ++stats_.rejectedNeverFits;
+        return out;
+    }
+    if (cfg_.maxPendingRequests > 0 &&
+        pending_.size() >= cfg_.maxPendingRequests) {
+        out.reject = RejectReason::QueueFull;
+        ++stats_.rejectedQueueFull;
+        return out;
+    }
     Request req;
-    req.id = nextId_++;
     req.prompt = std::move(prompt);
     req.arrivalIteration = stats_.iterations;
     req.maxNewTokens = max_new_tokens;
-    if (kvPool_) {
-        SPECINFER_CHECK(
-            kvPool_->blocksFor(worstCaseTokens(req)) <=
-                kvPool_->totalBlocks(),
-            "request can never fit in the KV pool; grow "
-            "kvPoolBlocks");
+    req.deadlineIterations = deadline_iterations > 0
+                                 ? deadline_iterations
+                                 : cfg_.defaultDeadlineIterations;
+    if (kvPool_ &&
+        kvPool_->blocksFor(worstCaseTokens(req)) >
+            kvPool_->totalBlocks()) {
+        out.reject = RejectReason::NeverFits;
+        ++stats_.rejectedNeverFits;
+        return out;
     }
+    req.id = nextId_++;
+    out.id = req.id;
     pending_.push_back(std::move(req));
     ++stats_.requestsSubmitted;
-    return pending_.back().id;
+    return out;
 }
 
 bool
@@ -52,6 +73,77 @@ RequestManager::worstCaseTokens(const Request &req) const
                               ? req.maxNewTokens
                               : engine_->config().maxNewTokens;
     return req.prompt.size() + budget + engine_->treeBudget() + 2;
+}
+
+bool
+RequestManager::tryReserve(uint64_t id, size_t tokens)
+{
+    // An injected allocation fault is indistinguishable from real
+    // pool pressure, so the same preempt/retry/backoff machinery
+    // absorbs both.
+    if (util::faultAt(util::FaultPoint::KvAlloc))
+        return false;
+    return kvPool_->reserve(id, tokens);
+}
+
+void
+RequestManager::finishAborted(Request &&req,
+                              const core::SpecSession *session,
+                              size_t start_iteration,
+                              core::SpecSession::StopReason reason)
+{
+    RequestResult res;
+    res.id = req.id;
+    if (session != nullptr) {
+        // Partial output: with deterministic per-request seeds this
+        // is always a prefix of the request's full output.
+        res.tokens = session->generated();
+        res.stats = session->stats();
+    }
+    res.stopReason = reason;
+    res.arrivalIteration = req.arrivalIteration;
+    res.startIteration =
+        session != nullptr ? start_iteration : stats_.iterations;
+    res.finishIteration = stats_.iterations;
+    res.preemptions = req.preemptionCount;
+    stats_.tokensGenerated += res.tokens.size();
+    ++stats_.requestsFinished;
+    finished_.push_back(std::move(res));
+}
+
+void
+RequestManager::requeuePreempted(Request &&req,
+                                 const core::SpecSession *session)
+{
+    ++req.preemptionCount;
+    if (cfg_.maxPreemptions > 0 &&
+        req.preemptionCount > cfg_.maxPreemptions) {
+        // Retry budget exhausted: fail cleanly instead of cycling
+        // through the pool forever.
+        ++stats_.preemptionAborts;
+        finishAborted(std::move(req), session, stats_.iterations,
+                      core::SpecSession::StopReason::Preempted);
+        return;
+    }
+    // Exponential backoff on re-admission: a request that keeps
+    // losing its memory waits out the contention instead of
+    // immediately re-stealing what it just lost.
+    const size_t shift =
+        std::min<size_t>(req.preemptionCount, size_t{16});
+    const size_t backoff =
+        std::min(size_t{1} << shift, cfg_.preemptBackoffCap);
+    req.earliestRestart = stats_.iterations + backoff;
+    pending_.push_front(std::move(req));
+    if (cfg_.maxPendingRequests > 0 &&
+        pending_.size() > cfg_.maxPendingRequests) {
+        // The requeue overflowed the bounded queue; shed the tail
+        // (latest arrival) to restore the bound.
+        Request shed = std::move(pending_.back());
+        pending_.pop_back();
+        ++stats_.shedRequests;
+        finishAborted(std::move(shed), nullptr, stats_.iterations,
+                      core::SpecSession::StopReason::Shed);
+    }
 }
 
 size_t
@@ -73,86 +165,234 @@ RequestManager::preemptLatestArrival(uint64_t requester)
     // Release memory and requeue for a fresh (recomputed) start;
     // seeding by request id keeps the eventual output identical.
     kvPool_->release(active_[victim].request.id);
-    pending_.push_front(std::move(active_[victim].request));
-    active_.erase(active_.begin() + static_cast<ptrdiff_t>(victim));
     ++stats_.preemptions;
+    requeuePreempted(std::move(active_[victim].request),
+                     &active_[victim].session);
+    active_.erase(active_.begin() + static_cast<ptrdiff_t>(victim));
     return victim;
+}
+
+void
+RequestManager::expirePendingDeadlines()
+{
+    for (size_t j = 0; j < pending_.size();) {
+        Request &req = pending_[j];
+        if (req.deadlineIterations > 0 &&
+            stats_.iterations >=
+                req.arrivalIteration + req.deadlineIterations) {
+            ++stats_.deadlineExpiries;
+            Request dead = std::move(req);
+            pending_.erase(pending_.begin() +
+                           static_cast<ptrdiff_t>(j));
+            finishAborted(std::move(dead), nullptr, stats_.iterations,
+                          core::SpecSession::StopReason::Deadline);
+        } else {
+            ++j;
+        }
+    }
+}
+
+bool
+RequestManager::cancel(uint64_t id)
+{
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->id != id)
+            continue;
+        Request req = std::move(*it);
+        pending_.erase(it);
+        ++stats_.cancellations;
+        finishAborted(std::move(req), nullptr, stats_.iterations,
+                      core::SpecSession::StopReason::Cancelled);
+        return true;
+    }
+    for (size_t i = 0; i < active_.size(); ++i) {
+        if (active_[i].request.id != id)
+            continue;
+        if (kvPool_)
+            kvPool_->release(id);
+        ++stats_.cancellations;
+        finishAborted(std::move(active_[i].request),
+                      &active_[i].session, active_[i].startIteration,
+                      core::SpecSession::StopReason::Cancelled);
+        active_.erase(active_.begin() + static_cast<ptrdiff_t>(i));
+        return true;
+    }
+    return false;
+}
+
+void
+RequestManager::updateDegradation(bool speculation_ran,
+                                  bool fault_seen)
+{
+    if (cfg_.degradeAfterConsecutiveFaults == 0 || !speculation_ran)
+        return;
+    if (fault_seen) {
+        degr_.cleanIterations = 0;
+        if (++degr_.consecutiveFaults <
+            cfg_.degradeAfterConsecutiveFaults)
+            return;
+        degr_.currentBackoff =
+            degr_.currentBackoff == 0
+                ? cfg_.degradeBackoffIterations
+                : std::min(degr_.currentBackoff * 2,
+                           cfg_.degradeBackoffMax);
+        degr_.reenableIteration =
+            stats_.iterations + degr_.currentBackoff;
+        degr_.speculationDisabled = true;
+        ++degr_.disableEpisodes;
+        degr_.consecutiveFaults = 0;
+        SPECINFER_WARN("degradation: speculation disabled for "
+                       << degr_.currentBackoff
+                       << " iterations after repeated SSM faults");
+    } else {
+        degr_.consecutiveFaults = 0;
+        // A fault-free stretch as long as the trigger resets the
+        // backoff ladder.
+        if (++degr_.cleanIterations >=
+            cfg_.degradeAfterConsecutiveFaults)
+            degr_.currentBackoff = 0;
+    }
 }
 
 void
 RequestManager::runIteration()
 {
+    // Degradation ladder: re-enable speculation when the backoff
+    // window has elapsed.
+    if (degr_.speculationDisabled &&
+        stats_.iterations >= degr_.reenableIteration) {
+        degr_.speculationDisabled = false;
+        SPECINFER_INFO("degradation: speculation re-enabled");
+    }
+
+    // Requests whose deadline expired while queued fail before
+    // consuming a batch slot.
+    expirePendingDeadlines();
+
     // Admit pending requests into the free batch slots. Static
     // batching only admits into an idle engine; continuous batching
     // admits whenever a slot is free. With a KV pool, admission
-    // additionally requires a memory reservation.
+    // additionally requires a memory reservation. Preempted
+    // requests in their backoff window are skipped (later arrivals
+    // may overtake them) but keep their FCFS eviction priority.
     const bool may_admit =
         cfg_.policy == SchedulingPolicy::Continuous ||
         active_.empty();
-    while (may_admit && active_.size() < cfg_.maxBatchSize &&
-           !pending_.empty()) {
-        Request &front = pending_.front();
-        if (kvPool_) {
-            const size_t need =
-                cfg_.kvPolicy == KvReservationPolicy::WorstCase
-                    ? worstCaseTokens(front)
-                    : front.prompt.size() + engine_->treeBudget() +
-                          2;
-            if (!kvPool_->reserve(front.id, need))
-                break; // pool exhausted; retry next iteration
+    if (may_admit) {
+        for (size_t j = 0;
+             active_.size() < cfg_.maxBatchSize &&
+             j < pending_.size();) {
+            Request &cand = pending_[j];
+            if (cand.earliestRestart > stats_.iterations) {
+                ++j;
+                continue;
+            }
+            if (kvPool_) {
+                const size_t need =
+                    cfg_.kvPolicy == KvReservationPolicy::WorstCase
+                        ? worstCaseTokens(cand)
+                        : cand.prompt.size() +
+                              engine_->treeBudget() + 2;
+                if (!tryReserve(cand.id, need))
+                    break; // pool exhausted; retry next iteration
+            }
+            Request req = std::move(cand);
+            pending_.erase(pending_.begin() +
+                           static_cast<ptrdiff_t>(j));
+            if (req.preemptionCount > 0)
+                ++stats_.preemptionRetries;
+            core::SpecSession session = engine_->makeSession(
+                req.prompt, req.id, req.maxNewTokens);
+            active_.push_back({std::move(req), std::move(session),
+                               stats_.iterations});
         }
-        Request req = std::move(front);
-        pending_.pop_front();
-        core::SpecSession session = engine_->makeSession(
-            req.prompt, req.id, req.maxNewTokens);
-        active_.push_back({std::move(req), std::move(session),
-                           stats_.iterations});
     }
     if (active_.empty()) {
         // Nothing runnable; still counts as a scheduling tick so
         // arrival bookkeeping stays monotone.
-        stats_.batchSizeTrace.push_back(0);
+        if (cfg_.captureBatchTrace)
+            stats_.batchSizeTrace.push_back(0);
         ++stats_.iterations;
         return;
     }
-    stats_.batchSizeTrace.push_back(active_.size());
+    if (cfg_.captureBatchTrace)
+        stats_.batchSizeTrace.push_back(active_.size());
+
+    // Injected straggler: the iteration clock jumps forward,
+    // consuming deadline budget exactly as a slow iteration would.
+    if (util::faultAt(util::FaultPoint::SlowIteration)) {
+        ++stats_.slowIterations;
+        stats_.iterations += cfg_.slowIterationPenalty;
+    }
 
     // One decoding iteration per active request (iteration-level
     // scheduling: requests at different progress advance together).
     // Under on-demand paging a request's growth may exhaust the
     // pool mid-flight; the youngest active request is then
-    // preempted and restarted later (vLLM-style recompute).
+    // preempted and restarted later (vLLM-style recompute), within
+    // its retry budget.
+    const bool allow_spec = !degr_.speculationDisabled;
+    bool speculation_ran = false;
+    bool fault_seen = false;
     for (size_t i = 0; i < active_.size();) {
-        const uint64_t id = active_[i].request.id;
+        Request &req = active_[i].request;
+        if (req.deadlineIterations > 0 &&
+            stats_.iterations >=
+                req.arrivalIteration + req.deadlineIterations) {
+            ++stats_.deadlineExpiries;
+            if (kvPool_)
+                kvPool_->release(req.id);
+            finishAborted(std::move(req), &active_[i].session,
+                          active_[i].startIteration,
+                          core::SpecSession::StopReason::Deadline);
+            active_.erase(active_.begin() +
+                          static_cast<ptrdiff_t>(i));
+            continue;
+        }
+        const uint64_t id = req.id;
         if (kvPool_ &&
             cfg_.kvPolicy == KvReservationPolicy::OnDemand) {
             const size_t need = active_[i].session.sequence().size() +
                                 engine_->treeBudget() + 2;
-            bool ok = kvPool_->reserve(id, need);
+            bool ok = tryReserve(id, need);
             while (!ok) {
                 size_t erased = preemptLatestArrival(id);
                 if (erased == kNoVictim)
                     break;
                 if (erased < i)
                     --i; // our element shifted left
-                ok = kvPool_->reserve(id, need);
+                ok = tryReserve(id, need);
             }
             if (!ok) {
                 // Last resort: preempt this request itself (it will
-                // restart when memory frees).
+                // restart when memory frees, or fail cleanly once
+                // its retry budget runs out).
                 kvPool_->release(id);
-                pending_.push_front(std::move(active_[i].request));
+                ++stats_.preemptions;
+                requeuePreempted(std::move(active_[i].request),
+                                 &active_[i].session);
                 active_.erase(active_.begin() +
                               static_cast<ptrdiff_t>(i));
-                ++stats_.preemptions;
                 continue;
             }
         }
-        active_[i].session.step();
+        active_[i].session.step(allow_spec);
         ++stats_.requestIterations;
+        const core::StepRecord &last =
+            active_[i].session.stats().steps.back();
+        if (!last.prefill && allow_spec) {
+            speculation_ran = true;
+            if (last.fallback) {
+                fault_seen = true;
+                ++stats_.fallbackSteps;
+            }
+        }
         ++i;
     }
+    if (!allow_spec)
+        ++stats_.degradedIterations;
     ++stats_.iterations;
+    updateDegradation(speculation_ran, fault_seen);
 
     // Retire finished requests; their slots free up immediately.
     for (size_t i = 0; i < active_.size();) {
@@ -169,6 +409,7 @@ RequestManager::runIteration()
         res.arrivalIteration = ar.request.arrivalIteration;
         res.startIteration = ar.startIteration;
         res.finishIteration = stats_.iterations - 1;
+        res.preemptions = ar.request.preemptionCount;
         stats_.tokensGenerated += res.tokens.size();
         ++stats_.requestsFinished;
         if (kvPool_)

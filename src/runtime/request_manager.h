@@ -71,6 +71,47 @@ struct ServingConfig
 
     /** Reservation policy when a pool is configured. */
     KvReservationPolicy kvPolicy = KvReservationPolicy::WorstCase;
+
+    // --- Robustness / graceful-degradation knobs ------------------
+
+    /** Bounded pending queue: submit() rejects with
+     *  RejectReason::QueueFull beyond this depth (0 = unbounded). */
+    size_t maxPendingRequests = 0;
+
+    /** Deadline applied to requests submitted without one
+     *  (iterations since arrival; 0 = no default deadline). */
+    size_t defaultDeadlineIterations = 0;
+
+    /** Preemption/retry budget: a request preempted more than this
+     *  many times fails cleanly with StopReason::Preempted instead
+     *  of retrying forever (0 = unlimited retries). */
+    size_t maxPreemptions = 0;
+
+    /** Cap on the exponential re-admission backoff applied after
+     *  each preemption (iterations). */
+    size_t preemptBackoffCap = 64;
+
+    /** Disable speculation after this many consecutive iterations
+     *  with an injected speculator fault (0 = never degrade). */
+    size_t degradeAfterConsecutiveFaults = 3;
+
+    /** Initial speculation-disable window (iterations); doubles on
+     *  each repeated degradation up to degradeBackoffMax. */
+    size_t degradeBackoffIterations = 8;
+
+    /** Upper bound on the degradation backoff window. */
+    size_t degradeBackoffMax = 256;
+
+    /** Iteration-clock penalty applied when an injected straggler
+     *  (FaultPoint::SlowIteration) fires: the clock advances this
+     *  many extra ticks, consuming deadline budget. */
+    size_t slowIterationPenalty = 4;
+
+    /** Record per-iteration batch sizes in
+     *  ServingStats::batchSizeTrace. Off by default: the trace
+     *  grows linearly with iterations, which long-running soaks
+     *  cannot afford. */
+    bool captureBatchTrace = false;
 };
 
 /** Aggregate serving metrics. */
@@ -86,8 +127,37 @@ struct ServingStats
     size_t preemptions = 0;
     /** Active batch size of every iteration, in order (0 = idle
      *  tick); lets callers price each iteration through a hardware
-     *  model. */
+     *  model. Only recorded when ServingConfig::captureBatchTrace
+     *  is set — the trace grows without bound otherwise. */
     std::vector<size_t> batchSizeTrace;
+
+    // --- Failure / degradation observability ----------------------
+
+    /** submit() rejections: bounded queue at capacity. */
+    size_t rejectedQueueFull = 0;
+    /** submit() rejections: request can never be served (pool too
+     *  small or invalid prompt). */
+    size_t rejectedNeverFits = 0;
+    /** Accepted-then-dropped pending requests (StopReason::Shed):
+     *  a preemption requeue overflowed the bounded queue. */
+    size_t shedRequests = 0;
+    /** Requests that failed their iteration deadline. */
+    size_t deadlineExpiries = 0;
+    /** Client cancellations honored. */
+    size_t cancellations = 0;
+    /** Decode steps degraded to incremental by an injected
+     *  speculator/verifier fault. */
+    size_t fallbackSteps = 0;
+    /** Iterations run with speculation disabled by the degradation
+     *  ladder. */
+    size_t degradedIterations = 0;
+    /** Re-admissions of previously preempted requests. */
+    size_t preemptionRetries = 0;
+    /** Requests that exhausted their preemption budget and failed
+     *  with StopReason::Preempted. */
+    size_t preemptionAborts = 0;
+    /** Injected straggler iterations (clock jumped forward). */
+    size_t slowIterations = 0;
 
     double avgBatchSize() const
     {
@@ -96,6 +166,30 @@ struct ServingStats
                    : static_cast<double>(requestIterations) /
                          static_cast<double>(iterations);
     }
+};
+
+/**
+ * Speculation-health state for the degradation ladder: repeated
+ * consecutive SSM faults disable speculation for a backoff window
+ * (doubling on each repeat); every iteration then decodes
+ * incrementally — slower, never wrong. A fault-free stretch of the
+ * same length resets the backoff to its initial value.
+ */
+struct DegradationState
+{
+    /** Speculation currently disabled (engine steps run with
+     *  allow_speculation = false). */
+    bool speculationDisabled = false;
+    /** Consecutive speculation-enabled iterations with a fault. */
+    size_t consecutiveFaults = 0;
+    /** Consecutive speculation-enabled iterations without one. */
+    size_t cleanIterations = 0;
+    /** Current disable window; doubles each repeated degradation. */
+    size_t currentBackoff = 0;
+    /** Iteration at which speculation re-enables. */
+    size_t reenableIteration = 0;
+    /** Times the ladder has disabled speculation. */
+    size_t disableEpisodes = 0;
 };
 
 /**
@@ -113,12 +207,29 @@ class RequestManager
     RequestManager(const core::SpecEngine *engine, ServingConfig cfg);
 
     /**
-     * Submit a request; returns its id.
+     * Submit a request.
+     *
+     * Never aborts on a bad or unserveable request: load shedding
+     * and unsatisfiable requests come back as a typed rejection
+     * (SubmitResult::reject) so clients can retry elsewhere.
+     *
      * @param max_new_tokens Per-request generation budget; 0 uses
      *        the engine default.
+     * @param deadline_iterations Iteration-budget deadline; 0 uses
+     *        ServingConfig::defaultDeadlineIterations (which may
+     *        itself be 0 = no deadline).
      */
-    uint64_t submit(std::vector<int> prompt,
-                    size_t max_new_tokens = 0);
+    SubmitResult submit(std::vector<int> prompt,
+                        size_t max_new_tokens = 0,
+                        size_t deadline_iterations = 0);
+
+    /**
+     * Cancel a pending or active request. The request finishes
+     * immediately with StopReason::Cancelled and whatever tokens it
+     * had generated (a prefix of its full output).
+     * @return false when the id is unknown (already finished).
+     */
+    bool cancel(uint64_t id);
 
     /** True while any request is pending or running. */
     bool busy() const;
@@ -136,6 +247,9 @@ class RequestManager
     size_t activeCount() const { return active_.size(); }
     size_t iterationCount() const { return stats_.iterations; }
     const ServingStats &stats() const { return stats_; }
+
+    /** Speculation-health state of the degradation ladder. */
+    const DegradationState &degradation() const { return degr_; }
 
     /** Results completed so far, in finish order. */
     const std::vector<RequestResult> &finished() const
@@ -155,21 +269,48 @@ class RequestManager
 
     static constexpr size_t kNoVictim = static_cast<size_t>(-1);
 
-    /**
-     * Preempt the latest-arrival active request that arrived after
-     * `requester` (FCFS priority: a request may only steal memory
-     * from strictly later arrivals, otherwise two requests could
-     * evict each other forever). Releases the victim's memory and
-     * requeues it for a fresh start.
-     * @return the erased index, or kNoVictim if none.
-     */
-    size_t preemptLatestArrival(uint64_t requester);
     struct ActiveRequest
     {
         Request request;
         core::SpecSession session;
         size_t startIteration;
     };
+
+    /**
+     * Preempt the latest-arrival active request that arrived after
+     * `requester` (FCFS priority: a request may only steal memory
+     * from strictly later arrivals, otherwise two requests could
+     * evict each other forever). Releases the victim's memory and
+     * requeues it for a fresh start — or, when the victim's
+     * preemption budget is exhausted, fails it with
+     * StopReason::Preempted.
+     * @return the erased index, or kNoVictim if none.
+     */
+    size_t preemptLatestArrival(uint64_t requester);
+
+    /** Reserve KV blocks, consulting the KvAlloc fault point; an
+     *  injected failure is indistinguishable from pool pressure. */
+    bool tryReserve(uint64_t id, size_t tokens);
+
+    /** Requeue a preempted request with exponential backoff, or
+     *  fail it cleanly when its retry budget is exhausted; sheds
+     *  the newest pending request if the requeue overflows a
+     *  bounded queue. */
+    void requeuePreempted(Request &&req,
+                          const core::SpecSession *session);
+
+    /** Record a terminal result for a request the engine did not
+     *  finish (deadline, cancel, shed, preemption budget). */
+    void finishAborted(Request &&req,
+                       const core::SpecSession *session,
+                       size_t start_iteration,
+                       core::SpecSession::StopReason reason);
+
+    /** Fail pending requests whose deadline already expired. */
+    void expirePendingDeadlines();
+
+    /** Update the degradation ladder after one stepping sweep. */
+    void updateDegradation(bool speculation_ran, bool fault_seen);
 
     const core::SpecEngine *engine_;
     ServingConfig cfg_;
@@ -178,6 +319,7 @@ class RequestManager
     std::vector<ActiveRequest> active_;
     std::vector<RequestResult> finished_;
     ServingStats stats_;
+    DegradationState degr_;
     std::unique_ptr<KvBlockAllocator> kvPool_;
 };
 

@@ -1,0 +1,122 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace util {
+
+namespace detail {
+FaultInjector *g_fault_injector = nullptr;
+} // namespace detail
+
+const char *
+faultPointName(FaultPoint point)
+{
+    switch (point) {
+      case FaultPoint::SsmStep:
+        return "ssm-step";
+      case FaultPoint::Verify:
+        return "verify";
+      case FaultPoint::KvAlloc:
+        return "kv-alloc";
+      case FaultPoint::SlowIteration:
+        return "slow-iteration";
+    }
+    return "unknown";
+}
+
+FaultInjector::FaultInjector(uint64_t seed) : seed_(seed), rng_(seed)
+{
+}
+
+void
+FaultInjector::setProbability(FaultPoint point, double probability)
+{
+    SPECINFER_CHECK(probability >= 0.0 && probability <= 1.0,
+                    "fault probability must be in [0, 1], got "
+                        << probability);
+    probability_[static_cast<size_t>(point)] = probability;
+}
+
+double
+FaultInjector::probability(FaultPoint point) const
+{
+    return probability_[static_cast<size_t>(point)];
+}
+
+void
+FaultInjector::armAt(FaultPoint point, uint64_t occurrence)
+{
+    SPECINFER_CHECK(occurrence > 0,
+                    "armed occurrences are 1-based");
+    armed_[static_cast<size_t>(point)].push_back(occurrence);
+}
+
+bool
+FaultInjector::fire(FaultPoint point)
+{
+    const size_t p = static_cast<size_t>(point);
+    const uint64_t occurrence = ++occurrences_[p];
+    bool fires = false;
+    // Armed one-shots fire regardless of the probability and do not
+    // consume an RNG draw, so surgical schedules replay exactly.
+    std::vector<uint64_t> &armed = armed_[p];
+    auto hit = std::find(armed.begin(), armed.end(), occurrence);
+    if (hit != armed.end()) {
+        armed.erase(hit);
+        fires = true;
+    } else if (probability_[p] > 0.0) {
+        fires = rng_.uniform() < probability_[p];
+    }
+    if (fires)
+        ++fired_[p];
+    return fires;
+}
+
+uint64_t
+FaultInjector::occurrences(FaultPoint point) const
+{
+    return occurrences_[static_cast<size_t>(point)];
+}
+
+uint64_t
+FaultInjector::fired(FaultPoint point) const
+{
+    return fired_[static_cast<size_t>(point)];
+}
+
+uint64_t
+FaultInjector::totalFired() const
+{
+    uint64_t total = 0;
+    for (size_t p = 0; p < kFaultPointCount; ++p)
+        total += fired_[p];
+    return total;
+}
+
+std::string
+FaultInjector::reproLine() const
+{
+    std::ostringstream oss;
+    oss << "fault repro: seed=" << seed_;
+    for (size_t p = 0; p < kFaultPointCount; ++p) {
+        if (probability_[p] > 0.0)
+            oss << " p(" << faultPointName(static_cast<FaultPoint>(p))
+                << ")=" << probability_[p];
+    }
+    return oss.str();
+}
+
+FaultInjector *
+setFaultInjector(FaultInjector *injector)
+{
+    FaultInjector *previous = detail::g_fault_injector;
+    detail::g_fault_injector = injector;
+    return previous;
+}
+
+} // namespace util
+} // namespace specinfer

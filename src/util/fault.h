@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Deterministic fault injection for the serving runtime.
+ *
+ * Production serving must survive component failures: an SSM worker
+ * that dies mid-speculation, a verifier that trips an internal
+ * error, KV allocation failing under pressure, a straggler
+ * iteration. This module gives library code *named fault points*
+ * that tests can arm with a seeded, fully deterministic schedule,
+ * so every degradation path is exercisable and any failure replays
+ * from a single 64-bit seed (the `diffcheck` repro style).
+ *
+ * Design constraints:
+ *  - Zero cost when disabled: a fault point is one pointer load and
+ *    a branch (`faultAt()` with no injector installed).
+ *  - Determinism: firing is a pure function of (seed, sequence of
+ *    consultations); the runtime is single-threaded per pipeline,
+ *    so consultation order is deterministic and a schedule replays
+ *    exactly.
+ *  - Library code never aborts on an injected fault; it degrades
+ *    (fall back to incremental decoding, preempt, retry, shed).
+ */
+
+#ifndef SPECINFER_UTIL_FAULT_H
+#define SPECINFER_UTIL_FAULT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace specinfer {
+namespace util {
+
+/** Named fault points consulted by library code. */
+enum class FaultPoint : int
+{
+    /** The speculator failed to produce a tree this step (models a
+     *  crashed/slow SSM worker); the engine falls back to plain
+     *  incremental decoding for the step. */
+    SsmStep = 0,
+
+    /** The verifier failed on the speculated tree; the engine
+     *  re-verifies a root-only tree (rejecting every speculated
+     *  node), which degrades to incremental output. */
+    Verify = 1,
+
+    /** A KV block reservation failed (models memory pressure or an
+     *  allocator error); the request manager preempts / retries. */
+    KvAlloc = 2,
+
+    /** A straggler iteration (models interference, paging, a slow
+     *  collective); the manager's iteration clock jumps forward,
+     *  pushing requests toward their deadlines. */
+    SlowIteration = 3,
+};
+
+/** Number of distinct fault points. */
+constexpr size_t kFaultPointCount = 4;
+
+/** Human-readable fault point name (for logs and repro lines). */
+const char *faultPointName(FaultPoint point);
+
+/**
+ * Seeded deterministic fault source.
+ *
+ * Each fault point has an independent firing probability plus an
+ * optional list of armed occurrence indices that fire exactly once
+ * each (1-based: armAt(p, 3) fires the third consultation of p).
+ * Probability draws consume one RNG value per consultation of a
+ * point with probability > 0; points left at probability 0 consume
+ * nothing, so arming one point never perturbs another's schedule.
+ *
+ * Not thread-safe: one injector serves one (single-threaded)
+ * serving pipeline, matching RequestManager's threading model.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(uint64_t seed = 0xfa017ULL);
+
+    uint64_t seed() const { return seed_; }
+
+    /** Set the per-consultation firing probability in [0, 1]. */
+    void setProbability(FaultPoint point, double probability);
+
+    double probability(FaultPoint point) const;
+
+    /** Arm the point to fire on its `occurrence`-th consultation
+     *  (1-based); may be called repeatedly for multiple shots. */
+    void armAt(FaultPoint point, uint64_t occurrence);
+
+    /**
+     * Consult the fault point: records the occurrence and returns
+     * true when the fault fires (armed occurrence hit, or a
+     * probability draw succeeds).
+     */
+    bool fire(FaultPoint point);
+
+    /** Times the point has been consulted. */
+    uint64_t occurrences(FaultPoint point) const;
+
+    /** Times the point actually fired. */
+    uint64_t fired(FaultPoint point) const;
+
+    /** Total fires across all points. */
+    uint64_t totalFired() const;
+
+    /** One-line reproduction recipe: seed + per-point probabilities
+     *  (diffcheck style; paste into a test to replay a schedule). */
+    std::string reproLine() const;
+
+  private:
+    uint64_t seed_;
+    Rng rng_;
+    double probability_[kFaultPointCount] = {};
+    std::vector<uint64_t> armed_[kFaultPointCount];
+    uint64_t occurrences_[kFaultPointCount] = {};
+    uint64_t fired_[kFaultPointCount] = {};
+};
+
+namespace detail {
+/** Global injector consulted by faultAt(); null = disabled. */
+extern FaultInjector *g_fault_injector;
+} // namespace detail
+
+/** Install (or clear, with nullptr) the global fault injector.
+ *  Returns the previously installed injector. */
+FaultInjector *setFaultInjector(FaultInjector *injector);
+
+/** Currently installed injector, or nullptr. */
+inline FaultInjector *
+faultInjector()
+{
+    return detail::g_fault_injector;
+}
+
+/**
+ * The lightweight hook library code calls at a fault point. With no
+ * injector installed this is a pointer load and a branch — the
+ * production fast path.
+ */
+inline bool
+faultAt(FaultPoint point)
+{
+    FaultInjector *injector = detail::g_fault_injector;
+    return injector != nullptr && injector->fire(point);
+}
+
+/**
+ * RAII installation of an injector for one scope (typically one
+ * test); restores the previous injector on destruction so schedules
+ * never leak across tests.
+ */
+class FaultScope
+{
+  public:
+    explicit FaultScope(FaultInjector *injector)
+        : previous_(setFaultInjector(injector))
+    {
+    }
+    ~FaultScope() { setFaultInjector(previous_); }
+
+    FaultScope(const FaultScope &) = delete;
+    FaultScope &operator=(const FaultScope &) = delete;
+
+  private:
+    FaultInjector *previous_;
+};
+
+} // namespace util
+} // namespace specinfer
+
+#endif // SPECINFER_UTIL_FAULT_H

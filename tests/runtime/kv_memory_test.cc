@@ -231,8 +231,11 @@ TEST(KvAdmissionTest, TightPoolTerminates)
 
 TEST(KvAdmissionTest, EarliestActiveIsNeverPreempted)
 {
-    // FCFS property: all preemptions hit later arrivals, so
-    // requests finish in arrival order under pressure.
+    // FCFS property: preemption only ever hits strictly later
+    // arrivals, so the earliest submitted request is never evicted
+    // and finishes first even under memory pressure. (Preempted
+    // later arrivals may be reordered among themselves by the
+    // re-admission backoff.)
     Fixture f;
     size_t per_request = f.engine.config().maxNewTokens + 4 +
                          f.engine.treeBudget() + 2;
@@ -243,23 +246,38 @@ TEST(KvAdmissionTest, EarliestActiveIsNeverPreempted)
     cfg.kvPoolBlocks = probe.blocksFor(per_request) * 3 / 2;
     cfg.kvPolicy = KvReservationPolicy::OnDemand;
     RequestManager manager(&f.engine, cfg);
+    std::vector<uint64_t> ids;
     for (int i = 0; i < 5; ++i)
-        manager.submit(promptFor(i));
+        ids.push_back(manager.submit(promptFor(i)));
     manager.runUntilDrained();
     ASSERT_EQ(manager.finished().size(), 5u);
-    for (size_t i = 1; i < manager.finished().size(); ++i)
-        EXPECT_LT(manager.finished()[i - 1].id,
-                  manager.finished()[i].id);
+    EXPECT_EQ(manager.finished()[0].id, ids[0]);
+    std::vector<uint64_t> finished_ids;
+    for (const RequestResult &res : manager.finished()) {
+        finished_ids.push_back(res.id);
+        EXPECT_NE(res.stopReason,
+                  core::SpecSession::StopReason::Preempted);
+    }
+    std::sort(finished_ids.begin(), finished_ids.end());
+    EXPECT_EQ(finished_ids, ids);
 }
 
-TEST(KvAdmissionDeathTest, ImpossibleRequestIsFatal)
+TEST(KvAdmissionTest, ImpossibleRequestIsRejected)
 {
+    // A request whose worst case exceeds the whole pool is shed
+    // with a typed reason instead of aborting the serving process.
     Fixture f;
     ServingConfig cfg;
     cfg.kvPoolBlocks = 1;
     cfg.kvBlockTokens = 4;
     RequestManager manager(&f.engine, cfg);
-    EXPECT_DEATH(manager.submit(promptFor(0)), "never fit");
+    SubmitResult res = manager.submit(promptFor(0));
+    EXPECT_FALSE(res.accepted());
+    EXPECT_EQ(res.reject, RejectReason::NeverFits);
+    EXPECT_EQ(res.id, 0u);
+    EXPECT_EQ(manager.stats().requestsSubmitted, 0u);
+    EXPECT_EQ(manager.stats().rejectedNeverFits, 1u);
+    EXPECT_FALSE(manager.busy());
 }
 
 } // namespace

@@ -1,0 +1,138 @@
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace specinfer {
+namespace util {
+namespace {
+
+TEST(FaultInjectorTest, DefaultNeverFires)
+{
+    FaultInjector fi(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(fi.fire(FaultPoint::SsmStep));
+    EXPECT_EQ(fi.occurrences(FaultPoint::SsmStep), 1000u);
+    EXPECT_EQ(fi.fired(FaultPoint::SsmStep), 0u);
+    EXPECT_EQ(fi.totalFired(), 0u);
+}
+
+TEST(FaultInjectorTest, ProbabilityOneAlwaysFires)
+{
+    FaultInjector fi(42);
+    fi.setProbability(FaultPoint::Verify, 1.0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(fi.fire(FaultPoint::Verify));
+    EXPECT_EQ(fi.fired(FaultPoint::Verify), 100u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule)
+{
+    // A schedule is a pure function of (seed, consultation order):
+    // the one-line repro property the runtime tests rely on.
+    std::vector<bool> a, b;
+    for (int run = 0; run < 2; ++run) {
+        FaultInjector fi(0xabcdef);
+        fi.setProbability(FaultPoint::SsmStep, 0.3);
+        fi.setProbability(FaultPoint::KvAlloc, 0.1);
+        std::vector<bool> &out = run == 0 ? a : b;
+        for (int i = 0; i < 500; ++i) {
+            out.push_back(fi.fire(FaultPoint::SsmStep));
+            out.push_back(fi.fire(FaultPoint::KvAlloc));
+        }
+    }
+    EXPECT_EQ(a, b);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiffer)
+{
+    FaultInjector a(1), b(2);
+    a.setProbability(FaultPoint::SsmStep, 0.5);
+    b.setProbability(FaultPoint::SsmStep, 0.5);
+    bool differ = false;
+    for (int i = 0; i < 200 && !differ; ++i)
+        differ = a.fire(FaultPoint::SsmStep) !=
+                 b.fire(FaultPoint::SsmStep);
+    EXPECT_TRUE(differ);
+}
+
+TEST(FaultInjectorTest, ZeroProbabilityPointConsumesNoRandomness)
+{
+    // Consulting a disabled point must not perturb another point's
+    // schedule, so adding instrumentation never changes a repro.
+    std::vector<bool> with, without;
+    for (int run = 0; run < 2; ++run) {
+        FaultInjector fi(7);
+        fi.setProbability(FaultPoint::KvAlloc, 0.4);
+        std::vector<bool> &out = run == 0 ? with : without;
+        for (int i = 0; i < 300; ++i) {
+            if (run == 0)
+                fi.fire(FaultPoint::SsmStep); // disabled point
+            out.push_back(fi.fire(FaultPoint::KvAlloc));
+        }
+    }
+    EXPECT_EQ(with, without);
+}
+
+TEST(FaultInjectorTest, ArmedOccurrenceFiresExactlyOnce)
+{
+    FaultInjector fi(9);
+    fi.armAt(FaultPoint::SlowIteration, 3);
+    fi.armAt(FaultPoint::SlowIteration, 5);
+    std::vector<uint64_t> fired_at;
+    for (uint64_t i = 1; i <= 10; ++i)
+        if (fi.fire(FaultPoint::SlowIteration))
+            fired_at.push_back(i);
+    EXPECT_EQ(fired_at, (std::vector<uint64_t>{3, 5}));
+}
+
+TEST(FaultInjectorTest, ReproLineNamesSeedAndPoints)
+{
+    FaultInjector fi(1234);
+    fi.setProbability(FaultPoint::SsmStep, 0.25);
+    std::string line = fi.reproLine();
+    EXPECT_NE(line.find("1234"), std::string::npos);
+    EXPECT_NE(line.find("ssm-step"), std::string::npos);
+    EXPECT_EQ(line.find("kv-alloc"), std::string::npos);
+}
+
+TEST(FaultInjectorDeathTest, RejectsBadProbability)
+{
+    FaultInjector fi(1);
+    EXPECT_DEATH(fi.setProbability(FaultPoint::SsmStep, 1.5),
+                 "probability");
+}
+
+TEST(FaultHookTest, NoInjectorMeansNoFault)
+{
+    ASSERT_EQ(faultInjector(), nullptr);
+    EXPECT_FALSE(faultAt(FaultPoint::SsmStep));
+    EXPECT_FALSE(faultAt(FaultPoint::KvAlloc));
+}
+
+TEST(FaultHookTest, ScopeInstallsAndRestores)
+{
+    ASSERT_EQ(faultInjector(), nullptr);
+    {
+        FaultInjector fi(3);
+        fi.setProbability(FaultPoint::Verify, 1.0);
+        FaultScope scope(&fi);
+        EXPECT_EQ(faultInjector(), &fi);
+        EXPECT_TRUE(faultAt(FaultPoint::Verify));
+        {
+            // Nested scope: inner injector wins, outer restored.
+            FaultInjector inner(4);
+            FaultScope nested(&inner);
+            EXPECT_EQ(faultInjector(), &inner);
+            EXPECT_FALSE(faultAt(FaultPoint::Verify));
+        }
+        EXPECT_EQ(faultInjector(), &fi);
+    }
+    EXPECT_EQ(faultInjector(), nullptr);
+}
+
+} // namespace
+} // namespace util
+} // namespace specinfer
