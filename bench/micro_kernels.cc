@@ -17,6 +17,67 @@ namespace {
 
 using namespace specinfer;
 
+/**
+ * Batched linear layer as one GEMM call: out[m x n] = act[m x k] *
+ * w[n x k]^T. This is the shape of every projection in the batched
+ * tree-attention forward path (m = token-tree size).
+ */
+void
+BM_BatchedGemmTransposedB(benchmark::State &state)
+{
+    const size_t m = static_cast<size_t>(state.range(0));
+    const size_t k = static_cast<size_t>(state.range(1));
+    const size_t n = static_cast<size_t>(state.range(2));
+    tensor::Tensor act(m, k), w(n, k), out(m, n);
+    util::Rng rng(7);
+    for (size_t i = 0; i < act.size(); ++i)
+        act.data()[i] = static_cast<float>(rng.normal());
+    for (size_t i = 0; i < w.size(); ++i)
+        w.data()[i] = static_cast<float>(rng.normal());
+    for (auto _ : state) {
+        tensor::matmulTransposedB(act, w, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(m * k * n));
+}
+BENCHMARK(BM_BatchedGemmTransposedB)
+    ->Args({16, 64, 512})
+    ->Args({16, 64, 176})
+    ->Args({64, 64, 512});
+
+/**
+ * The same batched linear computed the scalar way: one matvec sweep
+ * per activation row, exactly how the pre-batching forward path
+ * walked a chunk token by token.
+ */
+void
+BM_ScalarMatvecLoop(benchmark::State &state)
+{
+    const size_t m = static_cast<size_t>(state.range(0));
+    const size_t k = static_cast<size_t>(state.range(1));
+    const size_t n = static_cast<size_t>(state.range(2));
+    tensor::Tensor act(m, k), w(n, k), out(m, n);
+    util::Rng rng(7);
+    for (size_t i = 0; i < act.size(); ++i)
+        act.data()[i] = static_cast<float>(rng.normal());
+    for (size_t i = 0; i < w.size(); ++i)
+        w.data()[i] = static_cast<float>(rng.normal());
+    for (auto _ : state) {
+        for (size_t i = 0; i < m; ++i)
+            tensor::matvecTransposed(act.row(i), w, out.row(i));
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(m * k * n));
+}
+BENCHMARK(BM_ScalarMatvecLoop)
+    ->Args({16, 64, 512})
+    ->Args({16, 64, 176})
+    ->Args({64, 64, 512});
+
 void
 BM_MatvecTransposed(benchmark::State &state)
 {
@@ -105,6 +166,37 @@ BM_TreeParallelDecode(benchmark::State &state)
         state.range(0));
 }
 BENCHMARK(BM_TreeParallelDecode)->Arg(7)->Arg(15);
+
+/**
+ * The whole-chunk forward pass over an m-token tree against a cached
+ * prefix — the verifier's hot loop. This is the headline before/after
+ * number for the batched (GEMM-ified) forward path; scripts/
+ * bench_json.sh records it into BENCH_kernels.json per git rev.
+ */
+void
+BM_BatchedTreeForward(benchmark::State &state)
+{
+    model::Transformer &llm = benchLlm();
+    model::KvCache cache = llm.makeCache();
+    util::Rng rng(3);
+    std::vector<int> prefix;
+    for (int i = 0; i < 64; ++i)
+        prefix.push_back(static_cast<int>(
+            rng.uniformInt(int64_t{1}, int64_t{400})));
+    llm.forward(model::DecodeChunk::sequence(prefix), cache);
+    model::DecodeChunk chunk =
+        treeChunk(static_cast<size_t>(state.range(0)));
+    const size_t base = cache.length();
+    for (auto _ : state) {
+        tensor::Tensor logits = llm.forward(chunk, cache);
+        benchmark::DoNotOptimize(logits.data());
+        cache.truncate(base);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_BatchedTreeForward)->Arg(16)->Arg(32)->Arg(64);
 
 void
 BM_SequenceParallelDecode(benchmark::State &state)

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Google-benchmark harness for the serving-level hot paths: full
+ * speculative generation, the incremental baseline, and one
+ * continuous-batching scheduler iteration. scripts/bench_json.sh
+ * records these into BENCH_serving.json per git rev so the serving
+ * perf trajectory is tracked alongside the kernel one.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/spec_engine.h"
+#include "model/model_factory.h"
+#include "runtime/request_manager.h"
+#include "util/rng.h"
+#include "workload/datasets.h"
+
+namespace {
+
+using namespace specinfer;
+
+struct ServingFixture
+{
+    model::Transformer llm;
+    model::Transformer ssm;
+    core::SpecEngine spec;
+    core::SpecEngine incr;
+    workload::PromptDataset dataset;
+
+    ServingFixture()
+        : llm(model::makeLlm(model::llmPreset("llama-7b-sim"))),
+          ssm(model::makeEarlyExitSsm(llm, 2)),
+          spec(&llm, {&ssm}, engineConfig(true)),
+          incr(&llm, {}, engineConfig(false)),
+          dataset(workload::PromptDataset::named(
+              "Alpaca", llm.config().vocabSize))
+    {
+    }
+
+    static core::EngineConfig engineConfig(bool speculative)
+    {
+        core::EngineConfig cfg = core::EngineConfig::greedyDefault();
+        if (!speculative)
+            cfg.spec.expansion = core::ExpansionConfig::none();
+        cfg.maxNewTokens = 16;
+        cfg.stopAtEos = false;
+        return cfg;
+    }
+};
+
+ServingFixture &
+fixture()
+{
+    static ServingFixture f;
+    return f;
+}
+
+void
+BM_SpecGenerate(benchmark::State &state)
+{
+    ServingFixture &f = fixture();
+    const std::vector<int> prompt = f.dataset.prompt(0);
+    size_t tokens = 0;
+    for (auto _ : state) {
+        core::GenerationResult out = f.spec.generate(prompt, 1);
+        benchmark::DoNotOptimize(out.tokens.data());
+        tokens += out.tokens.size();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(tokens));
+}
+BENCHMARK(BM_SpecGenerate)->Unit(benchmark::kMillisecond);
+
+void
+BM_IncrementalGenerate(benchmark::State &state)
+{
+    ServingFixture &f = fixture();
+    const std::vector<int> prompt = f.dataset.prompt(0);
+    size_t tokens = 0;
+    for (auto _ : state) {
+        core::GenerationResult out = f.incr.generate(prompt, 1);
+        benchmark::DoNotOptimize(out.tokens.data());
+        tokens += out.tokens.size();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(tokens));
+}
+BENCHMARK(BM_IncrementalGenerate)->Unit(benchmark::kMillisecond);
+
+/**
+ * One run of a small continuous batch to completion: 4 requests
+ * admitted together, scheduler iterations until drained.
+ */
+void
+BM_ContinuousBatchDrain(benchmark::State &state)
+{
+    ServingFixture &f = fixture();
+    runtime::ServingConfig serving;
+    serving.maxBatchSize = 4;
+    size_t iterations = 0;
+    for (auto _ : state) {
+        runtime::RequestManager manager(&f.spec, serving);
+        for (size_t p = 0; p < 4; ++p)
+            manager.submit(f.dataset.prompt(p));
+        while (manager.busy()) {
+            manager.runIteration();
+            ++iterations;
+        }
+        benchmark::DoNotOptimize(manager.stats().requestsFinished);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(iterations));
+}
+BENCHMARK(BM_ContinuousBatchDrain)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();
