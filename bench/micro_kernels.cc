@@ -12,6 +12,7 @@
 #include "model/sequence_parallel.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
+#include "util/threadpool.h"
 
 namespace {
 
@@ -197,6 +198,41 @@ BM_BatchedTreeForward(benchmark::State &state)
         state.range(0));
 }
 BENCHMARK(BM_BatchedTreeForward)->Arg(16)->Arg(32)->Arg(64);
+
+/**
+ * Thread-scaling sweep of the batched forward: same workload as
+ * BM_BatchedTreeForward (m = 32), with the global pool resized to
+ * the argument. Logits are bit-identical at every thread count —
+ * only the wall clock moves. On a single-core host the >1 settings
+ * measure oversubscription overhead rather than speedup.
+ */
+void
+BM_BatchedTreeForwardThreads(benchmark::State &state)
+{
+    const size_t threads = static_cast<size_t>(state.range(0));
+    util::ThreadPool &pool = util::ThreadPool::global();
+    const size_t restore = pool.threads();
+    pool.setThreads(threads);
+    model::Transformer &llm = benchLlm();
+    model::KvCache cache = llm.makeCache();
+    util::Rng rng(3);
+    std::vector<int> prefix;
+    for (int i = 0; i < 64; ++i)
+        prefix.push_back(static_cast<int>(
+            rng.uniformInt(int64_t{1}, int64_t{400})));
+    llm.forward(model::DecodeChunk::sequence(prefix), cache);
+    model::DecodeChunk chunk = treeChunk(32);
+    const size_t base = cache.length();
+    for (auto _ : state) {
+        tensor::Tensor logits = llm.forward(chunk, cache);
+        benchmark::DoNotOptimize(logits.data());
+        cache.truncate(base);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 32);
+    pool.setThreads(restore);
+}
+BENCHMARK(BM_BatchedTreeForwardThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void
 BM_SequenceParallelDecode(benchmark::State &state)

@@ -52,7 +52,14 @@ class KvCache
      */
     size_t allocate(size_t m);
 
-    /** Mutable key row for (layer, slot). @pre slot < length(). */
+    /**
+     * Mutable key row for (layer, slot). @pre slot < length().
+     *
+     * Within one layer, rows are contiguous with stride kvDim():
+     * slots [s, s + m) form an [m x kvDim] matrix starting at
+     * keyRow(layer, s) — the batched forward path writes a whole
+     * chunk's K/V through one strided GEMM on this guarantee.
+     */
     float *keyRow(size_t layer, size_t slot);
     const float *keyRow(size_t layer, size_t slot) const;
 

@@ -5,6 +5,7 @@
 
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/threadpool.h"
 
 namespace specinfer {
 namespace model {
@@ -82,7 +83,7 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
     SPECINFER_CHECK(prefix <= entry_len,
                     "chunk prefixLen exceeds cache length");
     const size_t base = cache.allocate(m);
-    ++kernelLaunches_;
+    kernelLaunches_.fetch_add(1, std::memory_order_relaxed);
 
     static const std::vector<size_t> no_extras;
     auto extras_of = [&](size_t i) -> const std::vector<size_t> & {
@@ -135,99 +136,147 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
             h[c] = emb[c];
     }
 
-    std::vector<float> normed(d);
-    std::vector<float> q(d);
-    std::vector<float> attn_out(d);
-    std::vector<float> proj(d);
-    std::vector<float> scores;
-    std::vector<float> gate(cfg_.dFf);
-    std::vector<float> up(cfg_.dFf);
+    // Chunk-wide [m x *] activation buffers. The whole layer runs as
+    // batched phases over these: one GEMM per projection instead of
+    // m matvec sweeps, with the shared pool splitting rows. Each
+    // phase below is a barrier — e.g. every K/V row is written
+    // before any token's attention reads ancestor slots.
+    util::ThreadPool &pool = util::ThreadPool::global();
+    tensor::Tensor normed(m, d);
+    tensor::Tensor q_all(m, d);
+    tensor::Tensor attn_out(m, d);
+    tensor::Tensor proj(m, d);
+    tensor::Tensor gate(m, cfg_.dFf);
+    tensor::Tensor up(m, cfg_.dFf);
+    std::vector<std::vector<float>> scores_scratch(pool.threads());
+
+    // Per-token RoPE rotation tables, hoisted out of the layer loop:
+    // a token's position (and thus its cos/sin pairs) is the same in
+    // every layer and for both K and Q.
+    tensor::Tensor rope_tab(m, d_head);
+    pool.parallelFor(0, m, [&](size_t i) {
+        tensor::ropeCosSin(d_head, positions[i], cfg_.ropeTheta,
+                           rope_tab.row(i));
+    });
 
     for (size_t layer = 0; layer < cfg_.nLayers; ++layer) {
         const LayerWeights &lw = weights_->layers[layer];
 
-        // Phase 1: write post-RoPE K and V for the whole chunk so
-        // that attention below can read any ancestor's slot. This is
-        // the fused single-kernel layout of §4.2.
-        for (size_t i = 0; i < m; ++i) {
+        // Attention RMSNorm, once per (layer, token); both the K/V
+        // and Q projections read this buffer.
+        pool.parallelFor(0, m, [&](size_t i) {
             tensor::rmsnormRow(hidden.row(i), lw.attnNorm.data(), d,
-                               normed.data());
-            float *k_row = cache.keyRow(layer, base + i);
-            float *v_row = cache.valueRow(layer, base + i);
-            tensor::matvecTransposed(normed.data(), lw.wk, k_row);
-            tensor::matvecTransposed(normed.data(), lw.wv, v_row);
-            tensor::ropeRow(k_row, n_heads, d_head, positions[i],
-                            cfg_.ropeTheta);
-        }
+                               normed.row(i));
+        });
 
-        // Phase 2: attention under the topology-aware causal mask.
-        for (size_t i = 0; i < m; ++i) {
-            tensor::rmsnormRow(hidden.row(i), lw.attnNorm.data(), d,
-                               normed.data());
-            tensor::matvecTransposed(normed.data(), lw.wq, q.data());
-            tensor::ropeRow(q.data(), n_heads, d_head, positions[i],
-                            cfg_.ropeTheta);
+        // Phase 1: post-RoPE K and V for the whole chunk so that
+        // attention below can read any ancestor's slot. This is the
+        // fused single-kernel layout of §4.2; chunk slots are
+        // contiguous rows [base, base + m) of the per-layer cache
+        // tensors, so one strided GEMM writes them all.
+        tensor::matmulTransposedBInto(normed, lw.wk,
+                                      cache.keyRow(layer, base),
+                                      cache.kvDim());
+        tensor::matmulTransposedBInto(normed, lw.wv,
+                                      cache.valueRow(layer, base),
+                                      cache.kvDim());
+        pool.parallelFor(0, m, [&](size_t i) {
+            tensor::ropeRowCached(cache.keyRow(layer, base + i),
+                                  n_heads, d_head, rope_tab.row(i));
+        });
 
+        // Phase 2a: batched Q projection + RoPE.
+        tensor::matmulTransposedB(normed, lw.wq, q_all);
+        pool.parallelFor(0, m, [&](size_t i) {
+            tensor::ropeRowCached(q_all.row(i), n_heads, d_head,
+                                  rope_tab.row(i));
+        });
+
+        // Phase 2b: attention under the topology-aware causal mask,
+        // parallel over tokens. Loops run context-slot-outer /
+        // head-inner so each cached K/V row is loaded once for all
+        // heads; for any fixed output element the accumulation order
+        // over slots is unchanged (prefix ascending, then ancestor
+        // slots), so logits stay bit-identical to the per-head walk.
+        // Raw per-layer K/V base pointers (rows are contiguous with
+        // stride kvDim()): the slot loops below index them directly
+        // instead of paying a bounds-checked call per (token, slot).
+        const float *k_base = cache.keyRow(layer, 0);
+        const float *v_base = cache.valueRow(layer, 0);
+        const size_t kv_stride = cache.kvDim();
+        pool.parallelForWorker(0, m, [&](size_t i, size_t worker) {
             const std::vector<size_t> &vis = slots[i];
             const size_t n_ctx = prefix + vis.size();
-            scores.resize(n_ctx);
-            for (size_t h = 0; h < n_heads; ++h) {
-                const float *qh = q.data() + h * d_head;
-                const size_t off = h * d_head;
-                for (size_t s = 0; s < prefix; ++s)
-                    scores[s] = attn_scale *
-                        tensor::dotRow(qh, cache.keyRow(layer, s) + off,
-                                       d_head);
-                for (size_t a = 0; a < vis.size(); ++a)
-                    scores[prefix + a] = attn_scale *
-                        tensor::dotRow(qh,
-                                       cache.keyRow(layer, vis[a]) + off,
-                                       d_head);
-                tensor::softmaxRow(scores.data(), n_ctx);
-                float *out_h = attn_out.data() + h * d_head;
-                std::fill(out_h, out_h + d_head, 0.0f);
-                for (size_t s = 0; s < prefix; ++s) {
-                    const float *vh = cache.valueRow(layer, s) + off;
-                    const float wgt = scores[s];
-                    for (size_t c = 0; c < d_head; ++c)
-                        out_h[c] += wgt * vh[c];
-                }
-                for (size_t a = 0; a < vis.size(); ++a) {
-                    const float *vh =
-                        cache.valueRow(layer, vis[a]) + off;
-                    const float wgt = scores[prefix + a];
-                    for (size_t c = 0; c < d_head; ++c)
-                        out_h[c] += wgt * vh[c];
-                }
-            }
-            tensor::matvecTransposed(attn_out.data(), lw.wo,
-                                     proj.data());
-            tensor::addRow(hidden.row(i), proj.data(), d);
+            const float *q_row = q_all.row(i);
+            // scores[h * n_ctx + s]: per-head rows of the score
+            // matrix for this token.
+            std::vector<float> &scores = scores_scratch[worker];
+            scores.resize(n_heads * n_ctx);
+            auto score_slot = [&](size_t idx, const float *k_row) {
+                for (size_t h = 0; h < n_heads; ++h)
+                    scores[h * n_ctx + idx] = attn_scale *
+                        tensor::dotRow(q_row + h * d_head,
+                                       k_row + h * d_head, d_head);
+            };
+            for (size_t s = 0; s < prefix; ++s)
+                score_slot(s, k_base + s * kv_stride);
+            for (size_t a = 0; a < vis.size(); ++a)
+                score_slot(prefix + a, k_base + vis[a] * kv_stride);
+            for (size_t h = 0; h < n_heads; ++h)
+                tensor::softmaxRow(scores.data() + h * n_ctx, n_ctx);
 
-            // SwiGLU MLP.
+            float *out_row = attn_out.row(i);
+            std::fill(out_row, out_row + d, 0.0f);
+            auto mix_slot = [&](size_t idx, const float *v_row) {
+                for (size_t h = 0; h < n_heads; ++h) {
+                    const float wgt = scores[h * n_ctx + idx];
+                    const float *vh = v_row + h * d_head;
+                    float *out_h = out_row + h * d_head;
+                    for (size_t c = 0; c < d_head; ++c)
+                        out_h[c] += wgt * vh[c];
+                }
+            };
+            for (size_t s = 0; s < prefix; ++s)
+                mix_slot(s, v_base + s * kv_stride);
+            for (size_t a = 0; a < vis.size(); ++a)
+                mix_slot(prefix + a, v_base + vis[a] * kv_stride);
+        });
+
+        // Phase 2c: batched output projection + residual.
+        tensor::matmulTransposedB(attn_out, lw.wo, proj);
+        pool.parallelFor(0, m, [&](size_t i) {
+            tensor::addRow(hidden.row(i), proj.row(i), d);
+        });
+
+        // Phase 3: SwiGLU MLP, batched.
+        pool.parallelFor(0, m, [&](size_t i) {
             tensor::rmsnormRow(hidden.row(i), lw.ffnNorm.data(), d,
-                               normed.data());
-            tensor::matvecTransposed(normed.data(), lw.wGate,
-                                     gate.data());
-            tensor::matvecTransposed(normed.data(), lw.wUp, up.data());
-            tensor::siluRow(gate.data(), cfg_.dFf);
-            tensor::mulRows(gate.data(), gate.data(), up.data(),
+                               normed.row(i));
+        });
+        tensor::matmulTransposedB(normed, lw.wGate, gate);
+        tensor::matmulTransposedB(normed, lw.wUp, up);
+        pool.parallelFor(0, m, [&](size_t i) {
+            tensor::siluRow(gate.row(i), cfg_.dFf);
+            tensor::mulRows(gate.row(i), gate.row(i), up.row(i),
                             cfg_.dFf);
-            tensor::matvecTransposed(gate.data(), lw.wDown,
-                                     proj.data());
-            tensor::addRow(hidden.row(i), proj.data(), d);
-        }
+        });
+        tensor::matmulTransposedB(gate, lw.wDown, proj);
+        pool.parallelFor(0, m, [&](size_t i) {
+            tensor::addRow(hidden.row(i), proj.row(i), d);
+        });
     }
 
-    // Final norm + LM head.
+    // Final norm + LM head, batched.
     tensor::Tensor logits(m, cfg_.vocabSize);
-    for (size_t i = 0; i < m; ++i) {
-        tensor::rmsnormRow(hidden.row(i), weights_->finalNorm.data(), d,
-                           normed.data());
-        tensor::matvecTransposed(normed.data(), weights_->lmHead,
-                                 logits.row(i));
-        tensor::scaleRow(logits.row(i), cfg_.vocabSize, cfg_.logitScale);
-    }
+    pool.parallelFor(0, m, [&](size_t i) {
+        tensor::rmsnormRow(hidden.row(i), weights_->finalNorm.data(),
+                           d, normed.row(i));
+    });
+    tensor::matmulTransposedB(normed, weights_->lmHead, logits);
+    pool.parallelFor(0, m, [&](size_t i) {
+        tensor::scaleRow(logits.row(i), cfg_.vocabSize,
+                         cfg_.logitScale);
+    });
     return logits;
 }
 

@@ -16,6 +16,7 @@
 #ifndef SPECINFER_MODEL_TRANSFORMER_H
 #define SPECINFER_MODEL_TRANSFORMER_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -112,14 +113,49 @@ class Transformer
     /**
      * Count of fused attention "kernels" launched so far (one per
      * forward() call); the sequence-based baseline launches one per
-     * sequence, which is the contrast drawn by Figure 4.
+     * sequence, which is the contrast drawn by Figure 4. Atomic so
+     * concurrent forward() calls on shared weights count exactly.
      */
-    uint64_t kernelLaunches() const { return kernelLaunches_; }
+    uint64_t kernelLaunches() const
+    {
+        return kernelLaunches_.load(std::memory_order_relaxed);
+    }
 
   private:
+    /**
+     * Movable/copyable relaxed atomic counter (std::atomic itself
+     * would delete Transformer's move constructor, which factories
+     * and benches rely on). A snapshot copy is fine: instances are
+     * only moved during construction, never mid-forward.
+     */
+    struct LaunchCounter
+    {
+        std::atomic<uint64_t> value{0};
+
+        LaunchCounter() = default;
+        LaunchCounter(const LaunchCounter &other)
+            : value(other.load())
+        {
+        }
+        LaunchCounter &operator=(const LaunchCounter &other)
+        {
+            value.store(other.load(), std::memory_order_relaxed);
+            return *this;
+        }
+        uint64_t load(std::memory_order order =
+                          std::memory_order_relaxed) const
+        {
+            return value.load(order);
+        }
+        void fetch_add(uint64_t n, std::memory_order order)
+        {
+            value.fetch_add(n, order);
+        }
+    };
+
     ModelConfig cfg_;
     std::shared_ptr<const ModelWeights> weights_;
-    mutable uint64_t kernelLaunches_ = 0;
+    mutable LaunchCounter kernelLaunches_;
 };
 
 } // namespace model

@@ -4,9 +4,131 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/threadpool.h"
 
 namespace specinfer {
 namespace tensor {
+
+namespace {
+
+/**
+ * Rows of the B (weight) matrix processed per block in the
+ * transposed-B GEMMs. 32 rows x 512 floats (the largest k in the
+ * model zoo) is 64 KiB — the block B rows stay L1/L2-resident while
+ * being reused across every activation row, which is where batching
+ * an m-token chunk beats m independent matvec sweeps.
+ */
+constexpr size_t kGemmRowBlock = 32;
+
+/**
+ * One GEMM tile: out rows [i_lo, i_hi) x weight rows [jb, j_hi) of
+ * a * b^T over raw base pointers (the j loop is a dot per ~10 ns,
+ * so even a bounds-checked row() call per iteration is measurable).
+ * Element values are dotRow() over full k — tiling only reorders
+ * which elements are computed when, never how one is reduced.
+ */
+void
+gemmBlockGeneric(const float *a_base, const float *b_base, float *out,
+                 size_t out_stride, size_t k, size_t i_lo, size_t i_hi,
+                 size_t jb, size_t j_hi)
+{
+    for (size_t i = i_lo; i < i_hi; ++i) {
+        const float *a_row = a_base + i * k;
+        float *out_row = out + i * out_stride;
+        for (size_t j = jb; j < j_hi; ++j)
+            out_row[j] = dotRow(a_row, b_base + j * k, k);
+    }
+}
+
+using GemmBlockFn = void (*)(const float *, const float *, float *,
+                             size_t, size_t, size_t, size_t, size_t,
+                             size_t);
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+/**
+ * dotRow() recompiled for AVX2. The body is a literal restatement of
+ * the header kernel: the eight named accumulators become the eight
+ * lanes of one 256-bit vector and the explicit reduction tree is
+ * preserved, so the instruction selection changes but the IEEE
+ * operation DAG — and therefore every output bit — does not.
+ * (FMA is deliberately left off the target: contraction would fuse
+ * mul+add and change results.)
+ */
+__attribute__((target("avx2"), always_inline)) inline float
+dotRowAvx2(const float *a, const float *b, size_t n)
+{
+    float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+    float a4 = 0.0f, a5 = 0.0f, a6 = 0.0f, a7 = 0.0f;
+    size_t i = 0;
+    const size_t n8 = n & ~size_t{7};
+    for (; i < n8; i += 8) {
+        a0 += a[i] * b[i];
+        a1 += a[i + 1] * b[i + 1];
+        a2 += a[i + 2] * b[i + 2];
+        a3 += a[i + 3] * b[i + 3];
+        a4 += a[i + 4] * b[i + 4];
+        a5 += a[i + 5] * b[i + 5];
+        a6 += a[i + 6] * b[i + 6];
+        a7 += a[i + 7] * b[i + 7];
+    }
+    float acc = ((a0 + a1) + (a2 + a3)) + ((a4 + a5) + (a6 + a7));
+    for (; i < n; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+__attribute__((target("avx2"))) void
+gemmBlockAvx2(const float *a_base, const float *b_base, float *out,
+              size_t out_stride, size_t k, size_t i_lo, size_t i_hi,
+              size_t jb, size_t j_hi)
+{
+    for (size_t i = i_lo; i < i_hi; ++i) {
+        const float *a_row = a_base + i * k;
+        float *out_row = out + i * out_stride;
+        for (size_t j = jb; j < j_hi; ++j)
+            out_row[j] = dotRowAvx2(a_row, b_base + j * k, k);
+    }
+}
+
+#endif // x86_64 && GNUC
+
+/**
+ * Dispatch once per process: the AVX2 tile computes bit-identical
+ * results (see dotRowAvx2), so the choice of ISA never changes
+ * output, only throughput.
+ */
+GemmBlockFn
+gemmBlock()
+{
+#if defined(__x86_64__) && defined(__GNUC__)
+    static const GemmBlockFn fn = __builtin_cpu_supports("avx2")
+                                      ? gemmBlockAvx2
+                                      : gemmBlockGeneric;
+#else
+    static const GemmBlockFn fn = gemmBlockGeneric;
+#endif
+    return fn;
+}
+
+/**
+ * out rows [i_lo, i_hi) of a * b^T, blocked over b rows so a block
+ * of weights is reused across all activation rows before moving on.
+ */
+void
+gemmTransposedBRows(const Tensor &a, const Tensor &b, float *out,
+                    size_t out_stride, size_t i_lo, size_t i_hi)
+{
+    const size_t k = a.cols(), n = b.rows();
+    const GemmBlockFn block = gemmBlock();
+    for (size_t jb = 0; jb < n; jb += kGemmRowBlock) {
+        const size_t j_hi = std::min(jb + kGemmRowBlock, n);
+        block(a.data(), b.data(), out, out_stride, k, i_lo, i_hi,
+              jb, j_hi);
+    }
+}
+
+} // namespace
 
 void
 matmul(const Tensor &a, const Tensor &b, Tensor &out)
@@ -16,41 +138,73 @@ matmul(const Tensor &a, const Tensor &b, Tensor &out)
                                              << b.shapeString());
     SPECINFER_CHECK(out.rows() == a.rows() && out.cols() == b.cols(),
                     "matmul output shape mismatch");
-    const size_t m = a.rows(), k = a.cols(), n = b.cols();
-    for (size_t i = 0; i < m; ++i) {
-        float *out_row = out.row(i);
-        std::fill(out_row, out_row + n, 0.0f);
-        const float *a_row = a.row(i);
-        for (size_t kk = 0; kk < k; ++kk) {
-            const float av = a_row[kk];
-            const float *b_row = b.row(kk);
-            for (size_t j = 0; j < n; ++j)
-                out_row[j] += av * b_row[j];
-        }
+    const size_t k = a.cols(), n = b.cols();
+    // Row-parallel; per-element accumulation stays in ascending kk
+    // order, so results match the serial kernel bit for bit.
+    util::ThreadPool::global().parallelFor(
+        0, a.rows(), [&](size_t i) {
+            float *out_row = out.row(i);
+            std::fill(out_row, out_row + n, 0.0f);
+            const float *a_row = a.row(i);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const float av = a_row[kk];
+                const float *b_row = b.row(kk);
+                for (size_t j = 0; j < n; ++j)
+                    out_row[j] += av * b_row[j];
+            }
+        });
+}
+
+void
+matmulTransposedBInto(const Tensor &a, const Tensor &b, float *out,
+                      size_t out_stride)
+{
+    SPECINFER_CHECK(a.cols() == b.cols(),
+                    "matmulT shape mismatch " << a.shapeString() << " * "
+                                              << b.shapeString() << "^T");
+    SPECINFER_CHECK(out_stride >= b.rows(),
+                    "matmulT output stride " << out_stride
+                                             << " narrower than "
+                                             << b.rows() << " columns");
+    const size_t m = a.rows(), n = b.rows();
+    util::ThreadPool &pool = util::ThreadPool::global();
+    if (m >= pool.threads()) {
+        // Enough activation rows to split: one contiguous row range
+        // per worker, weight blocks reused within each range.
+        pool.parallelFor(0, pool.threads(), [&](size_t w) {
+            const size_t i_lo = w * m / pool.threads();
+            const size_t i_hi = (w + 1) * m / pool.threads();
+            gemmTransposedBRows(a, b, out, out_stride, i_lo, i_hi);
+        });
+        return;
     }
+    // Thin activations (down to the m=1 matvec): split the weight
+    // rows across workers instead.
+    const size_t n_blocks = (n + kGemmRowBlock - 1) / kGemmRowBlock;
+    const GemmBlockFn block = gemmBlock();
+    pool.parallelFor(0, n_blocks, [&](size_t blk) {
+        const size_t jb = blk * kGemmRowBlock;
+        const size_t j_hi = std::min(jb + kGemmRowBlock, n);
+        block(a.data(), b.data(), out, out_stride, a.cols(), 0, m,
+              jb, j_hi);
+    });
 }
 
 void
 matmulTransposedB(const Tensor &a, const Tensor &b, Tensor &out)
 {
-    SPECINFER_CHECK(a.cols() == b.cols(),
-                    "matmulT shape mismatch " << a.shapeString() << " * "
-                                              << b.shapeString() << "^T");
     SPECINFER_CHECK(out.rows() == a.rows() && out.cols() == b.rows(),
                     "matmulT output shape mismatch");
-    for (size_t i = 0; i < a.rows(); ++i) {
-        const float *a_row = a.row(i);
-        float *out_row = out.row(i);
-        for (size_t j = 0; j < b.rows(); ++j)
-            out_row[j] = dotRow(a_row, b.row(j), a.cols());
-    }
+    matmulTransposedBInto(a, b, out.data(), out.cols());
 }
 
 void
 matvecTransposed(const float *x, const Tensor &w, float *out)
 {
-    for (size_t j = 0; j < w.rows(); ++j)
-        out[j] = dotRow(x, w.row(j), w.cols());
+    const size_t k = w.cols(), n = w.rows();
+    const float *w_base = w.data();
+    for (size_t j = 0; j < n; ++j)
+        out[j] = dotRow(x, w_base + j * k, k);
 }
 
 void
@@ -138,13 +292,34 @@ mulRows(float *out, const float *a, const float *b, size_t n)
         out[i] = a[i] * b[i];
 }
 
-float
-dotRow(const float *a, const float *b, size_t n)
+void
+ropeCosSin(size_t d_head, size_t position, float theta,
+           float *cos_sin)
 {
-    float acc = 0.0f;
-    for (size_t i = 0; i < n; ++i)
-        acc += a[i] * b[i];
-    return acc;
+    SPECINFER_CHECK(d_head % 2 == 0, "RoPE requires even head dim");
+    for (size_t i = 0; i < d_head; i += 2) {
+        float freq = std::pow(
+            theta, -static_cast<float>(i) /
+                   static_cast<float>(d_head));
+        float angle = static_cast<float>(position) * freq;
+        cos_sin[i] = std::cos(angle);
+        cos_sin[i + 1] = std::sin(angle);
+    }
+}
+
+void
+ropeRowCached(float *row, size_t n_heads, size_t d_head,
+              const float *cos_sin)
+{
+    for (size_t h = 0; h < n_heads; ++h) {
+        float *head = row + h * d_head;
+        for (size_t i = 0; i < d_head; i += 2) {
+            const float c = cos_sin[i], s = cos_sin[i + 1];
+            float x0 = head[i], x1 = head[i + 1];
+            head[i] = x0 * c - x1 * s;
+            head[i + 1] = x0 * s + x1 * c;
+        }
+    }
 }
 
 void

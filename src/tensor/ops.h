@@ -34,6 +34,24 @@ void matmul(const Tensor &a, const Tensor &b, Tensor &out);
 void matmulTransposedB(const Tensor &a, const Tensor &b, Tensor &out);
 
 /**
+ * Batched bias-free linear layer into caller-owned storage:
+ * out[i * out_stride + j] = dot(a.row(i), b.row(j)) for an [m x k]
+ * activation matrix a and [n x k] weight matrix b. The strided
+ * destination lets one GEMM write rows that live inside a larger
+ * buffer (KV-cache rows, logits), fusing the per-token projection
+ * loop of tree-based parallel decoding into a single cache-blocked,
+ * row-parallel kernel.
+ *
+ * Bit-exactness contract: every output element is computed as
+ * dotRow(a.row(i), b.row(j), k) regardless of blocking or thread
+ * count, so results are identical to the scalar matvec path.
+ *
+ * @pre out_stride >= b.rows(); out does not alias a or b.
+ */
+void matmulTransposedBInto(const Tensor &a, const Tensor &b,
+                           float *out, size_t out_stride);
+
+/**
  * out_row = x_row * w^T for one row: y[j] = sum_i x[i] * w[j][i].
  * @param x Input vector of length w.cols().
  * @param w Weight matrix [out_dim x in_dim].
@@ -72,8 +90,39 @@ void scaleRow(float *row, size_t n, float s);
 /** out[i] = a[i] * b[i] for a length-n row. */
 void mulRows(float *out, const float *a, const float *b, size_t n);
 
-/** Dot product of two length-n rows. */
-float dotRow(const float *a, const float *b, size_t n);
+/**
+ * Dot product of two length-n rows.
+ *
+ * Eight independent accumulators break the serial fadd dependency
+ * chain (and give the compiler vectorizable lanes without
+ * -ffast-math). The reduction order is a pure function of n, so
+ * every caller — batched GEMM, scalar matvec, attention scores —
+ * produces identical bits for identical inputs. Inline because the
+ * tree-attention score loop issues tens of thousands of short
+ * (d_head-long) dots per forward pass.
+ */
+inline float
+dotRow(const float *a, const float *b, size_t n)
+{
+    float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+    float a4 = 0.0f, a5 = 0.0f, a6 = 0.0f, a7 = 0.0f;
+    size_t i = 0;
+    const size_t n8 = n & ~size_t{7};
+    for (; i < n8; i += 8) {
+        a0 += a[i] * b[i];
+        a1 += a[i + 1] * b[i + 1];
+        a2 += a[i + 2] * b[i + 2];
+        a3 += a[i + 3] * b[i + 3];
+        a4 += a[i + 4] * b[i + 4];
+        a5 += a[i + 5] * b[i + 5];
+        a6 += a[i + 6] * b[i + 6];
+        a7 += a[i + 7] * b[i + 7];
+    }
+    float acc = ((a0 + a1) + (a2 + a3)) + ((a4 + a5) + (a6 + a7));
+    for (; i < n; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
 
 /**
  * Apply rotary position embeddings (RoPE) in place to a row of
@@ -87,6 +136,21 @@ float dotRow(const float *a, const float *b, size_t n);
  */
 void ropeRow(float *row, size_t n_heads, size_t d_head, size_t position,
              float theta = 10000.0f);
+
+/**
+ * Precompute the RoPE rotation table for one position: cos_sin holds
+ * d_head floats, interleaved (cos, sin) per even/odd pair, shared by
+ * every head. Computed with exactly the ropeRow() formula, so
+ * ropeRowCached(row, table) is bit-identical to ropeRow(row, pos) —
+ * the batched forward path hoists the table per token because
+ * positions do not change across layers or between K and Q.
+ */
+void ropeCosSin(size_t d_head, size_t position, float theta,
+                float *cos_sin);
+
+/** Apply RoPE from a precomputed ropeCosSin() table, in place. */
+void ropeRowCached(float *row, size_t n_heads, size_t d_head,
+                   const float *cos_sin);
 
 /** Index of the maximum element (first on ties). @pre n > 0 */
 size_t argmaxRow(const float *row, size_t n);

@@ -1,0 +1,167 @@
+#include "util/threadpool.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace util {
+
+namespace {
+
+size_t
+defaultThreads()
+{
+    const char *env = std::getenv("SPECINFER_THREADS");
+    if (env != nullptr) {
+        long parsed = std::atol(env);
+        if (parsed > 0)
+            return static_cast<size_t>(parsed);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<size_t>(hw) : 1;
+}
+
+/** True while this thread is executing a parallelFor slice. */
+thread_local bool tls_in_parallel = false;
+
+} // namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    start(threads == 0 ? defaultThreads() : threads);
+}
+
+ThreadPool::~ThreadPool()
+{
+    stop();
+}
+
+void
+ThreadPool::start(size_t threads)
+{
+    SPECINFER_CHECK(threads >= 1, "thread pool needs >= 1 worker");
+    threads_ = threads;
+    shutdown_ = false;
+    workers_.reserve(threads_ - 1);
+    // generation_ survives setThreads(); respawned workers must
+    // treat the current value as "no job yet" or they would chase a
+    // job that already completed (and a job_ long since nulled).
+    const uint64_t seen = generation_;
+    for (size_t w = 1; w < threads_; ++w)
+        workers_.emplace_back([this, w, seen] { workerMain(w, seen); });
+}
+
+void
+ThreadPool::stop()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+    workers_.clear();
+}
+
+void
+ThreadPool::setThreads(size_t threads)
+{
+    stop();
+    start(threads == 0 ? defaultThreads() : threads);
+}
+
+std::pair<size_t, size_t>
+ThreadPool::slice(size_t worker) const
+{
+    const size_t len = end_ - begin_;
+    const size_t lo = begin_ + worker * len / threads_;
+    const size_t hi = begin_ + (worker + 1) * len / threads_;
+    return {lo, hi};
+}
+
+void
+ThreadPool::workerMain(size_t worker, uint64_t seen)
+{
+    for (;;) {
+        const std::function<void(size_t, size_t)> *job = nullptr;
+        size_t lo = 0, hi = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return shutdown_ || generation_ != seen;
+            });
+            if (shutdown_)
+                return;
+            seen = generation_;
+            job = job_;
+            std::tie(lo, hi) = slice(worker);
+        }
+        tls_in_parallel = true;
+        for (size_t i = lo; i < hi; ++i)
+            (*job)(i, worker);
+        tls_in_parallel = false;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (--pending_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelForWorker(
+    size_t begin, size_t end,
+    const std::function<void(size_t, size_t)> &body)
+{
+    if (begin >= end)
+        return;
+    // Serial pool, nested call, or a range too small to split:
+    // run inline on the caller. Worker index 0 keeps scratch-buffer
+    // indexing valid in every case.
+    if (threads_ == 1 || tls_in_parallel || end - begin == 1) {
+        for (size_t i = begin; i < end; ++i)
+            body(i, 0);
+        return;
+    }
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        begin_ = begin;
+        end_ = end;
+        job_ = &body;
+        pending_ = threads_ - 1;
+        ++generation_;
+    }
+    wake_.notify_all();
+    // The caller is worker 0.
+    const size_t len = end - begin;
+    const size_t hi = begin + len / threads_;
+    tls_in_parallel = true;
+    for (size_t i = begin; i < hi; ++i)
+        body(i, 0);
+    tls_in_parallel = false;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return pending_ == 0; });
+        job_ = nullptr;
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end,
+                        const std::function<void(size_t)> &body)
+{
+    parallelForWorker(begin, end,
+                      [&body](size_t i, size_t) { body(i); });
+}
+
+} // namespace util
+} // namespace specinfer

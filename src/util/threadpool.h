@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Persistent shared thread pool for the CPU kernels.
+ *
+ * Design constraints (DESIGN.md, "CPU execution model"):
+ *
+ *  - Determinism: parallelFor() statically partitions the index
+ *    range into one contiguous slice per worker. Every index is
+ *    processed by exactly one invocation of the body, and all
+ *    cross-index reductions stay inside the body, so results are
+ *    bit-identical at any thread count. The differential oracle
+ *    (src/verify) and the fault soak rely on exact token equality
+ *    across SPECINFER_THREADS settings.
+ *
+ *  - One pool per process: kernels grab ThreadPool::global(), whose
+ *    size comes from the SPECINFER_THREADS environment variable
+ *    (default: hardware_concurrency; 1 = fully serial, no worker
+ *    threads exist and the caller runs every index inline).
+ *
+ *  - Reentrancy: a parallelFor() issued from inside a worker (or
+ *    while another parallelFor is in flight) degrades to a serial
+ *    inline loop instead of deadlocking.
+ *
+ * Bodies must not throw: kernels report errors via SPECINFER_CHECK
+ * (abort), never via exceptions.
+ */
+
+#ifndef SPECINFER_UTIL_THREADPOOL_H
+#define SPECINFER_UTIL_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace specinfer {
+namespace util {
+
+/**
+ * Fixed-size pool of persistent worker threads with a fork-join
+ * parallelFor. The calling thread acts as worker 0 and always
+ * participates, so a pool of size 1 owns no threads at all.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Process-wide pool, lazily constructed. Initial size is the
+     * SPECINFER_THREADS environment variable when set and positive,
+     * else std::thread::hardware_concurrency().
+     */
+    static ThreadPool &global();
+
+    /** @param threads Worker count including the caller; 0 = auto. */
+    explicit ThreadPool(size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Current worker count including the caller (always >= 1). */
+    size_t threads() const { return threads_; }
+
+    /**
+     * Resize the pool (joins and respawns workers). Used by tests
+     * and benchmarks to sweep thread counts at runtime; not safe
+     * concurrently with parallelFor.
+     * @param threads New count including the caller; 0 = auto.
+     */
+    void setThreads(size_t threads);
+
+    /**
+     * Run body(i) for every i in [begin, end).
+     *
+     * The range is split into threads() contiguous slices; slice w
+     * runs entirely on worker w (the caller is worker 0). Distinct
+     * indices must touch disjoint output state; the partition is a
+     * pure function of (begin, end, threads()), never of timing.
+     */
+    void parallelFor(size_t begin, size_t end,
+                     const std::function<void(size_t)> &body);
+
+    /**
+     * parallelFor variant passing the worker index (in [0,
+     * threads())) so bodies can use preallocated per-worker scratch
+     * buffers. Scratch contents must be fully overwritten before
+     * use — which slice lands on which worker is fixed, but scratch
+     * carries garbage from previous calls.
+     */
+    void parallelForWorker(
+        size_t begin, size_t end,
+        const std::function<void(size_t, size_t)> &body);
+
+  private:
+    void start(size_t threads);
+    void stop();
+
+    /** @param seen Value of generation_ when this worker spawned. */
+    void workerMain(size_t worker, uint64_t seen);
+
+    /** Slice of [begin_, end_) owned by worker w. */
+    std::pair<size_t, size_t> slice(size_t worker) const;
+
+    size_t threads_ = 1;
+    std::vector<std::thread> workers_; ///< threads_ - 1 entries
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    uint64_t generation_ = 0;  ///< bumped per job; workers wait on it
+    size_t pending_ = 0;       ///< workers still running the job
+    bool shutdown_ = false;
+    size_t begin_ = 0, end_ = 0;
+    const std::function<void(size_t, size_t)> *job_ = nullptr;
+};
+
+} // namespace util
+} // namespace specinfer
+
+#endif // SPECINFER_UTIL_THREADPOOL_H

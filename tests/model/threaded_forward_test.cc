@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Determinism tests for the batched, pooled forward path: logits
+ * must be bit-identical across SPECINFER_THREADS settings, the
+ * kernel-launch counter must survive the threaded phases, and the
+ * PR-1 differential oracle must stay green while the global pool is
+ * oversubscribed.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/transformer.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/threadpool.h"
+#include "verify/diff_harness.h"
+
+#include "test_models.h"
+
+namespace {
+
+using namespace specinfer;
+using specinfer::util::ThreadPool;
+namespace spectest = specinfer::testing;
+
+/** Prefix prefill + one tree chunk; returns the chunk's logits. */
+tensor::Tensor
+runForward(model::Transformer &llm)
+{
+    model::KvCache cache = llm.makeCache();
+    util::Rng rng(17);
+    std::vector<int> prefix = spectest::randomPrompt(
+        rng, 24, llm.config().vocabSize);
+    llm.forward(model::DecodeChunk::sequence(prefix), cache);
+    model::DecodeChunk chunk = spectest::randomTreeChunk(
+        rng, 16, llm.config().vocabSize);
+    return llm.forward(chunk, cache);
+}
+
+TEST(ThreadedForwardTest, LogitsBitIdenticalAcrossThreadCounts)
+{
+    ThreadPool &pool = ThreadPool::global();
+    const size_t restore = pool.threads();
+    model::Transformer llm = spectest::tinyLlm();
+
+    pool.setThreads(1);
+    tensor::Tensor ref = runForward(llm);
+
+    for (size_t threads : {2u, 8u}) {
+        pool.setThreads(threads);
+        tensor::Tensor got = runForward(llm);
+        ASSERT_EQ(got.rows(), ref.rows());
+        ASSERT_EQ(got.cols(), ref.cols());
+        EXPECT_EQ(std::memcmp(got.data(), ref.data(),
+                              ref.size() * sizeof(float)),
+                  0)
+            << "forward logits differ at threads=" << threads;
+    }
+    pool.setThreads(restore);
+}
+
+TEST(ThreadedForwardTest, KernelLaunchCounterCountsOnePerForward)
+{
+    ThreadPool &pool = ThreadPool::global();
+    const size_t restore = pool.threads();
+    pool.setThreads(4);
+    model::Transformer llm = spectest::tinyLlm();
+    model::KvCache cache = llm.makeCache();
+    EXPECT_EQ(llm.kernelLaunches(), 0u);
+    util::Rng rng(5);
+    for (uint64_t n = 1; n <= 8; ++n) {
+        llm.forward(spectest::randomTreeChunk(
+                        rng, 4, llm.config().vocabSize),
+                    cache);
+        EXPECT_EQ(llm.kernelLaunches(), n);
+    }
+    pool.setThreads(restore);
+}
+
+TEST(ThreadedForwardTest, DiffOracleGreenUnderPool)
+{
+    ThreadPool &pool = ThreadPool::global();
+    const size_t restore = pool.threads();
+    pool.setThreads(4);
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        verify::TrialOutcome greedy = verify::runGreedyTrial(seed);
+        EXPECT_TRUE(greedy.ok) << greedy.detail;
+        verify::TrialOutcome fuzz = verify::runTreeFuzzTrial(seed);
+        EXPECT_TRUE(fuzz.ok) << fuzz.detail;
+        verify::TrialOutcome kv = verify::runKvRoundTripTrial(seed);
+        EXPECT_TRUE(kv.ok) << kv.detail;
+    }
+    pool.setThreads(restore);
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the shared fork-join thread pool: exactly-once
+ * index coverage, deterministic static partitioning, worker-id
+ * bounds, nested-call degradation, and runtime resizing.
+ */
+
+#include "util/threadpool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using specinfer::util::ThreadPool;
+
+TEST(ThreadPoolTest, SerialPoolRunsEveryIndexInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1u);
+    std::vector<int> hits(100, 0);
+    pool.parallelFor(0, hits.size(),
+                     [&](size_t i) { hits[i] += 1; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, EachIndexRunsExactlyOnce)
+{
+    for (size_t threads : {2u, 3u, 8u}) {
+        ThreadPool pool(threads);
+        std::vector<std::atomic<int>> hits(1000);
+        pool.parallelFor(0, hits.size(), [&](size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1) << "threads=" << threads;
+    }
+}
+
+TEST(ThreadPoolTest, NonZeroBeginAndEmptyRange)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(20);
+    pool.parallelFor(5, 15, [&](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), (i >= 5 && i < 15) ? 1 : 0);
+    bool ran = false;
+    pool.parallelFor(7, 7, [&](size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreInRangeAndSlicesContiguous)
+{
+    ThreadPool pool(4);
+    const size_t n = 101;
+    std::vector<std::atomic<size_t>> owner(n);
+    pool.parallelForWorker(0, n, [&](size_t i, size_t worker) {
+        ASSERT_LT(worker, pool.threads());
+        owner[i].store(worker, std::memory_order_relaxed);
+    });
+    // Static partitioning: worker ids must be non-decreasing across
+    // the range (one contiguous slice per worker).
+    for (size_t i = 1; i < n; ++i)
+        EXPECT_LE(owner[i - 1].load(), owner[i].load()) << "i=" << i;
+    EXPECT_EQ(owner[0].load(), 0u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDegradesToSerial)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(64);
+    pool.parallelFor(0, 8, [&](size_t outer) {
+        // Must not deadlock; inner call runs inline on this worker.
+        pool.parallelFor(0, 8, [&](size_t inner) {
+            hits[outer * 8 + inner].fetch_add(
+                1, std::memory_order_relaxed);
+        });
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SetThreadsResizesAndKeepsWorking)
+{
+    ThreadPool pool(1);
+    pool.setThreads(3);
+    EXPECT_EQ(pool.threads(), 3u);
+    std::vector<std::atomic<int>> hits(50);
+    pool.parallelFor(0, hits.size(), [&](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+    pool.setThreads(1);
+    EXPECT_EQ(pool.threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ResultsIdenticalAcrossThreadCounts)
+{
+    // A reduction written the parallelFor way (per-index slots,
+    // combined serially afterwards) must be bit-identical at any
+    // pool size.
+    const size_t n = 977;
+    std::vector<double> in(n);
+    for (size_t i = 0; i < n; ++i)
+        in[i] = 1.0 / static_cast<double>(i + 1);
+    auto run = [&](size_t threads) {
+        ThreadPool pool(threads);
+        std::vector<double> out(n);
+        pool.parallelFor(0, n,
+                         [&](size_t i) { out[i] = in[i] * in[i]; });
+        return std::accumulate(out.begin(), out.end(), 0.0);
+    };
+    const double serial = run(1);
+    EXPECT_EQ(serial, run(2));
+    EXPECT_EQ(serial, run(8));
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsASingleton)
+{
+    ThreadPool &a = ThreadPool::global();
+    ThreadPool &b = ThreadPool::global();
+    EXPECT_EQ(&a, &b);
+    EXPECT_GE(a.threads(), 1u);
+}
+
+} // namespace
