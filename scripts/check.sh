@@ -22,6 +22,21 @@ cmake --preset asan
 cmake --build --preset asan --target test_fault
 ./build-asan/tests/test_fault
 
+# Crash-recovery oracle under ASan/UBSan: seeded workloads crashed
+# at random points (torn journal records included) must recover to
+# bit-identical outputs with no KV leak.
+cmake --build --preset asan --target test_recovery
+SPECINFER_RECOVERY_TRIALS=300 ./build-asan/tests/test_recovery
+
+# Data-race sweep: thread pool, batched forward, fault injection,
+# and recovery machinery under ThreadSanitizer.
+cmake --preset tsan
+cmake --build --preset tsan
+SPECINFER_SOAK_ITERATIONS=1500 SPECINFER_RECOVERY_TRIALS=60 \
+SPECINFER_RECOVERY_SOAK_ITERATIONS=800 \
+ctest --preset tsan \
+      -R 'ThreadPool|ThreadedForward|Fault|Recovery|Journal|Crc32'
+
 for b in build/bench/*; do
     echo "=== $b ==="
     "$b"

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <istream>
+#include <ostream>
 
+#include "model/serialization.h"
 #include "util/fault.h"
 #include "util/logging.h"
 
@@ -209,6 +212,156 @@ SpecSession::generated() const
     return std::vector<int>(seq_.begin() +
                             static_cast<ptrdiff_t>(promptLen_),
                             seq_.end());
+}
+
+namespace {
+
+// Session snapshot framing (version 1). RngState is written field
+// by field (never as a raw struct) so padding bytes can't leak into
+// the format.
+constexpr uint32_t kSessionVersion = 1;
+
+void
+writeRngState(std::ostream &out, const util::RngState &state)
+{
+    for (uint64_t word : state.s)
+        model::io::writePod<uint64_t>(out, word);
+    model::io::writePod<uint8_t>(out, state.hasCachedNormal ? 1 : 0);
+    model::io::writePod<double>(out, state.cachedNormal);
+}
+
+util::RngState
+readRngState(std::istream &in)
+{
+    util::RngState state;
+    for (uint64_t &word : state.s)
+        word = model::io::readPod<uint64_t>(in);
+    state.hasCachedNormal = model::io::readPod<uint8_t>(in) != 0;
+    state.cachedNormal = model::io::readPod<double>(in);
+    return state;
+}
+
+void
+writeStepRecord(std::ostream &out, const StepRecord &record)
+{
+    model::io::writePod<uint64_t>(out, record.treeSize);
+    model::io::writePod<uint64_t>(out, record.verifiedTokens);
+    model::io::writePod<uint64_t>(out, record.llmChunkTokens);
+    model::io::writePod<uint64_t>(out, record.ssmTokensDecoded);
+    model::io::writePod<uint8_t>(out, record.prefill ? 1 : 0);
+    model::io::writePod<uint8_t>(out, record.fallback ? 1 : 0);
+}
+
+StepRecord
+readStepRecord(std::istream &in)
+{
+    StepRecord record;
+    record.treeSize = model::io::readPod<uint64_t>(in);
+    record.verifiedTokens = model::io::readPod<uint64_t>(in);
+    record.llmChunkTokens = model::io::readPod<uint64_t>(in);
+    record.ssmTokensDecoded = model::io::readPod<uint64_t>(in);
+    record.prefill = model::io::readPod<uint8_t>(in) != 0;
+    record.fallback = model::io::readPod<uint8_t>(in) != 0;
+    return record;
+}
+
+} // namespace
+
+void
+SpecSession::save(std::ostream &out) const
+{
+    using model::io::writePod;
+    writePod<uint32_t>(out, kSessionVersion);
+    writePod<uint64_t>(out, promptLen_);
+    model::io::writePodVector<int>(out, seq_);
+    writePod<uint64_t>(out, maxNewTokens_);
+    model::io::writePodVector<float>(out, logProbs_);
+    writeRngState(out, rng_.state());
+    writePod<uint8_t>(out, done_ ? 1 : 0);
+    writePod<uint8_t>(out, static_cast<uint8_t>(stopReason_));
+    writePod<uint64_t>(out, stats_.steps.size());
+    for (const StepRecord &record : stats_.steps)
+        writeStepRecord(out, record);
+    model::saveKvCache(out, llmCache_);
+    writePod<uint64_t>(out, ssmCaches_.size());
+    for (const model::KvCache &cache : ssmCaches_)
+        model::saveKvCache(out, cache);
+    SPECINFER_CHECK(out.good(), "session write failed");
+}
+
+void
+SpecSession::restoreStep(const std::vector<int> &tokens,
+                         const std::vector<float> &log_probs,
+                         const StepRecord &record,
+                         const util::RngState &rng_after, bool done,
+                         StopReason stop_reason)
+{
+    SPECINFER_CHECK(!done_, "restoreStep on a finished session");
+    seq_.insert(seq_.end(), tokens.begin(), tokens.end());
+    logProbs_.insert(logProbs_.end(), log_probs.begin(),
+                     log_probs.end());
+    stats_.steps.push_back(record);
+    rng_.setState(rng_after);
+    done_ = done;
+    stopReason_ = stop_reason;
+}
+
+SpecSession
+SpecEngine::loadSession(std::istream &in) const
+{
+    using model::io::readPod;
+    uint32_t version = readPod<uint32_t>(in);
+    SPECINFER_CHECK(version == kSessionVersion,
+                    "unsupported session version " << version);
+    uint64_t prompt_len = readPod<uint64_t>(in);
+    std::vector<int> seq = model::io::readPodVector<int>(in);
+    SPECINFER_CHECK(prompt_len > 0 && prompt_len <= seq.size(),
+                    "corrupt session prompt length");
+    uint64_t max_new = readPod<uint64_t>(in);
+
+    // Reconstruct through the normal constructor (prompt checks,
+    // cache shells), then overwrite the mutable decoding state.
+    SpecSession session(
+        this,
+        std::vector<int>(seq.begin(),
+                         seq.begin() +
+                             static_cast<ptrdiff_t>(prompt_len)),
+        0, max_new);
+    session.seq_ = std::move(seq);
+    session.logProbs_ = model::io::readPodVector<float>(in);
+    session.rng_.setState(readRngState(in));
+    session.done_ = readPod<uint8_t>(in) != 0;
+    session.stopReason_ =
+        static_cast<SpecSession::StopReason>(readPod<uint8_t>(in));
+    uint64_t n_steps = readPod<uint64_t>(in);
+    SPECINFER_CHECK(n_steps < (1ull << 32),
+                    "implausible session step count");
+    session.stats_.steps.clear();
+    session.stats_.steps.reserve(n_steps);
+    for (uint64_t i = 0; i < n_steps; ++i)
+        session.stats_.steps.push_back(readStepRecord(in));
+
+    model::KvCache llm_cache = model::loadKvCache(in);
+    SPECINFER_CHECK(llm_cache.layers() == llm_->config().nLayers &&
+                    llm_cache.kvDim() == session.llmCache_.kvDim() &&
+                    llm_cache.capacity() == cacheCapacity_,
+                    "session KV cache does not match this engine");
+    session.llmCache_ = std::move(llm_cache);
+
+    uint64_t n_ssm = readPod<uint64_t>(in);
+    SPECINFER_CHECK(n_ssm == session.ssmCaches_.size(),
+                    "session SSM cache count does not match engine");
+    for (uint64_t i = 0; i < n_ssm; ++i) {
+        model::KvCache cache = model::loadKvCache(in);
+        SPECINFER_CHECK(
+            cache.layers() == session.ssmCaches_[i].layers() &&
+                cache.kvDim() == session.ssmCaches_[i].kvDim() &&
+                cache.capacity() ==
+                    session.ssmCaches_[i].capacity(),
+            "session SSM cache does not match this engine");
+        session.ssmCaches_[i] = std::move(cache);
+    }
+    return session;
 }
 
 void

@@ -24,6 +24,7 @@
 #ifndef SPECINFER_CORE_SPEC_ENGINE_H
 #define SPECINFER_CORE_SPEC_ENGINE_H
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -172,6 +173,35 @@ class SpecSession
      */
     const std::vector<float> &logProbs() const { return logProbs_; }
 
+    /**
+     * Serialize the full decoding state (sequence, log-probs, RNG,
+     * stats, stop state, LLM + SSM KV caches) so a serving snapshot
+     * can reconstruct the session bit-exactly via
+     * SpecEngine::loadSession().
+     */
+    void save(std::ostream &out) const;
+
+    /** Current sampler/RNG state — the "RNG cursor" journaled after
+     *  every step so replay resumes the exact random stream. */
+    util::RngState rngCursor() const { return rng_.state(); }
+
+    /**
+     * Re-apply one journaled step without recomputing it: append the
+     * step's verified tokens and log-probs, record its StepRecord,
+     * and jump the RNG to the journaled post-step cursor.
+     *
+     * KV caches are intentionally left behind: step() already
+     * decodes any verified-but-uncached tokens as catch-up in its
+     * next chunk (the chunked-prefill machinery), and chunk layout
+     * does not affect outputs, so the caches rebuild lazily and the
+     * token stream stays bit-identical.
+     */
+    void restoreStep(const std::vector<int> &tokens,
+                     const std::vector<float> &log_probs,
+                     const StepRecord &record,
+                     const util::RngState &rng_after, bool done,
+                     StopReason stop_reason);
+
   private:
     friend class SpecEngine;
     SpecSession(const SpecEngine *engine, std::vector<int> prompt,
@@ -232,6 +262,15 @@ class SpecEngine
     GenerationResult generate(const std::vector<int> &prompt,
                               uint64_t request_seed = 0,
                               size_t max_new_tokens = 0) const;
+
+    /**
+     * Reconstruct a session saved with SpecSession::save(). The
+     * engine must be configured identically to the saving engine
+     * (model dims and tree budget are validated; sampling/seed
+     * configuration is the caller's responsibility — the serving
+     * snapshot carries the engine identity implicitly).
+     */
+    SpecSession loadSession(std::istream &in) const;
 
   private:
     friend class SpecSession;

@@ -1,0 +1,347 @@
+#include "runtime/journal.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace runtime {
+
+namespace {
+
+/** Table-driven CRC-32 (IEEE 802.3, reflected 0xEDB88320). */
+struct Crc32Table
+{
+    uint32_t entries[256];
+
+    Crc32Table()
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            entries[i] = c;
+        }
+    }
+};
+
+const Crc32Table &
+crcTable()
+{
+    static const Crc32Table table;
+    return table;
+}
+
+/** Little-endian append-only payload buffer. */
+class ByteWriter
+{
+  public:
+    template <typename T>
+    void pod(T value)
+    {
+        const char *raw = reinterpret_cast<const char *>(&value);
+        buf_.append(raw, sizeof(T));
+    }
+
+    template <typename T>
+    void podVector(const std::vector<T> &v)
+    {
+        pod<uint64_t>(v.size());
+        buf_.append(reinterpret_cast<const char *>(v.data()),
+                    v.size() * sizeof(T));
+    }
+
+    const std::string &bytes() const { return buf_; }
+
+  private:
+    std::string buf_;
+};
+
+/**
+ * Bounds-checked payload cursor. Reads past the end (a torn or
+ * corrupt payload) flip ok() to false and return zeros instead of
+ * aborting — journal damage is an expected condition, not a bug.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::string &buf) : buf_(buf) {}
+
+    template <typename T>
+    T pod()
+    {
+        T value{};
+        if (pos_ + sizeof(T) > buf_.size()) {
+            ok_ = false;
+            return value;
+        }
+        std::memcpy(&value, buf_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return value;
+    }
+
+    template <typename T>
+    std::vector<T> podVector()
+    {
+        uint64_t len = pod<uint64_t>();
+        if (!ok_ || len > (buf_.size() - pos_) / sizeof(T)) {
+            ok_ = false;
+            return {};
+        }
+        std::vector<T> v(len);
+        std::memcpy(v.data(), buf_.data() + pos_, len * sizeof(T));
+        pos_ += len * sizeof(T);
+        return v;
+    }
+
+    bool ok() const { return ok_; }
+    bool exhausted() const { return pos_ == buf_.size(); }
+
+  private:
+    const std::string &buf_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+void
+writeRng(ByteWriter &w, const util::RngState &state)
+{
+    for (uint64_t word : state.s)
+        w.pod<uint64_t>(word);
+    w.pod<uint8_t>(state.hasCachedNormal ? 1 : 0);
+    w.pod<double>(state.cachedNormal);
+}
+
+util::RngState
+readRng(ByteReader &r)
+{
+    util::RngState state;
+    for (uint64_t &word : state.s)
+        word = r.pod<uint64_t>();
+    state.hasCachedNormal = r.pod<uint8_t>() != 0;
+    state.cachedNormal = r.pod<double>();
+    return state;
+}
+
+std::string
+serializePayload(const JournalRecord &rec)
+{
+    ByteWriter w;
+    w.pod<uint8_t>(static_cast<uint8_t>(rec.type));
+    switch (rec.type) {
+      case RecordType::Submit:
+        w.pod<uint64_t>(rec.id);
+        w.pod<uint64_t>(rec.arrivalIteration);
+        w.pod<uint64_t>(rec.maxNewTokens);
+        w.pod<uint64_t>(rec.deadlineIterations);
+        w.podVector<int>(rec.prompt);
+        break;
+      case RecordType::Step:
+        w.pod<uint64_t>(rec.id);
+        w.podVector<int>(rec.tokens);
+        w.podVector<float>(rec.logProbs);
+        w.pod<uint64_t>(rec.step.treeSize);
+        w.pod<uint64_t>(rec.step.verifiedTokens);
+        w.pod<uint64_t>(rec.step.llmChunkTokens);
+        w.pod<uint64_t>(rec.step.ssmTokensDecoded);
+        w.pod<uint8_t>(rec.step.prefill ? 1 : 0);
+        w.pod<uint8_t>(rec.step.fallback ? 1 : 0);
+        writeRng(w, rec.rngAfter);
+        w.pod<uint8_t>(rec.sessionDone ? 1 : 0);
+        w.pod<uint8_t>(rec.stopReason);
+        break;
+      case RecordType::Preempt:
+        w.pod<uint64_t>(rec.id);
+        w.pod<uint64_t>(rec.preemptionCount);
+        w.pod<uint64_t>(rec.earliestRestart);
+        break;
+      case RecordType::Finish:
+        w.pod<uint64_t>(rec.id);
+        w.pod<uint8_t>(rec.stopReason);
+        w.pod<uint64_t>(rec.arrivalIteration);
+        w.pod<uint64_t>(rec.startIteration);
+        w.pod<uint64_t>(rec.finishIteration);
+        w.pod<uint64_t>(rec.preemptions);
+        break;
+      case RecordType::Iteration:
+        w.pod<uint64_t>(rec.iteration);
+        w.pod<uint8_t>(rec.iterDegraded);
+        w.pod<uint8_t>(rec.iterSlow);
+        w.pod<uint8_t>(rec.degrSpeculationDisabled);
+        w.pod<uint64_t>(rec.degrConsecutiveFaults);
+        w.pod<uint64_t>(rec.degrCleanIterations);
+        w.pod<uint64_t>(rec.degrCurrentBackoff);
+        w.pod<uint64_t>(rec.degrReenableIteration);
+        w.pod<uint64_t>(rec.degrDisableEpisodes);
+        break;
+    }
+    return w.bytes();
+}
+
+bool
+parsePayload(const std::string &payload, JournalRecord &rec)
+{
+    ByteReader r(payload);
+    uint8_t raw_type = r.pod<uint8_t>();
+    if (!r.ok() || raw_type < 1 ||
+        raw_type > static_cast<uint8_t>(RecordType::Iteration))
+        return false;
+    rec = JournalRecord();
+    rec.type = static_cast<RecordType>(raw_type);
+    switch (rec.type) {
+      case RecordType::Submit:
+        rec.id = r.pod<uint64_t>();
+        rec.arrivalIteration = r.pod<uint64_t>();
+        rec.maxNewTokens = r.pod<uint64_t>();
+        rec.deadlineIterations = r.pod<uint64_t>();
+        rec.prompt = r.podVector<int>();
+        break;
+      case RecordType::Step:
+        rec.id = r.pod<uint64_t>();
+        rec.tokens = r.podVector<int>();
+        rec.logProbs = r.podVector<float>();
+        rec.step.treeSize = r.pod<uint64_t>();
+        rec.step.verifiedTokens = r.pod<uint64_t>();
+        rec.step.llmChunkTokens = r.pod<uint64_t>();
+        rec.step.ssmTokensDecoded = r.pod<uint64_t>();
+        rec.step.prefill = r.pod<uint8_t>() != 0;
+        rec.step.fallback = r.pod<uint8_t>() != 0;
+        rec.rngAfter = readRng(r);
+        rec.sessionDone = r.pod<uint8_t>() != 0;
+        rec.stopReason = r.pod<uint8_t>();
+        break;
+      case RecordType::Preempt:
+        rec.id = r.pod<uint64_t>();
+        rec.preemptionCount = r.pod<uint64_t>();
+        rec.earliestRestart = r.pod<uint64_t>();
+        break;
+      case RecordType::Finish:
+        rec.id = r.pod<uint64_t>();
+        rec.stopReason = r.pod<uint8_t>();
+        rec.arrivalIteration = r.pod<uint64_t>();
+        rec.startIteration = r.pod<uint64_t>();
+        rec.finishIteration = r.pod<uint64_t>();
+        rec.preemptions = r.pod<uint64_t>();
+        break;
+      case RecordType::Iteration:
+        rec.iteration = r.pod<uint64_t>();
+        rec.iterDegraded = r.pod<uint8_t>();
+        rec.iterSlow = r.pod<uint8_t>();
+        rec.degrSpeculationDisabled = r.pod<uint8_t>();
+        rec.degrConsecutiveFaults = r.pod<uint64_t>();
+        rec.degrCleanIterations = r.pod<uint64_t>();
+        rec.degrCurrentBackoff = r.pod<uint64_t>();
+        rec.degrReenableIteration = r.pod<uint64_t>();
+        rec.degrDisableEpisodes = r.pod<uint64_t>();
+        break;
+    }
+    // A valid payload is consumed exactly: trailing garbage means a
+    // framing bug or corruption that happened to pass the CRC of a
+    // different record — reject either way.
+    return r.ok() && r.exhausted();
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t size)
+{
+    const uint8_t *bytes = static_cast<const uint8_t *>(data);
+    const Crc32Table &table = crcTable();
+    uint32_t c = 0xFFFFFFFFu;
+    for (size_t i = 0; i < size; ++i)
+        c = table.entries[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+const char *
+recordTypeName(RecordType type)
+{
+    switch (type) {
+      case RecordType::Submit:
+        return "submit";
+      case RecordType::Step:
+        return "step";
+      case RecordType::Preempt:
+        return "preempt";
+      case RecordType::Finish:
+        return "finish";
+      case RecordType::Iteration:
+        return "iteration";
+    }
+    return "unknown";
+}
+
+JournalWriter::JournalWriter(std::ostream &out) : out_(&out)
+{
+}
+
+void
+JournalWriter::append(const JournalRecord &record)
+{
+    if (closed_)
+        return;
+    const std::string payload = serializePayload(record);
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    const uint32_t crc =
+        crc32(payload.data(), payload.size());
+    out_->write(reinterpret_cast<const char *>(&len), sizeof(len));
+    out_->write(reinterpret_cast<const char *>(&crc), sizeof(crc));
+    if (tearNext_) {
+        // Simulated crash mid-append: half the payload reaches the
+        // stream, then the "process" is gone.
+        out_->write(payload.data(),
+                    static_cast<std::streamsize>(payload.size() / 2));
+        out_->flush();
+        closed_ = true;
+        return;
+    }
+    out_->write(payload.data(),
+                static_cast<std::streamsize>(payload.size()));
+    out_->flush();
+    SPECINFER_CHECK(out_->good(), "journal append failed");
+    bytes_ += sizeof(len) + sizeof(crc) + payload.size();
+}
+
+JournalReader::JournalReader(std::istream &in) : in_(&in)
+{
+}
+
+bool
+JournalReader::next(JournalRecord &record)
+{
+    if (done_)
+        return false;
+    // Clean EOF: no more bytes at a record boundary.
+    if (in_->peek() == std::char_traits<char>::eof()) {
+        done_ = true;
+        return false;
+    }
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    in_->read(reinterpret_cast<char *>(&len), sizeof(len));
+    if (in_->gcount() != sizeof(len)) {
+        done_ = tornTail_ = true;
+        return false;
+    }
+    in_->read(reinterpret_cast<char *>(&crc), sizeof(crc));
+    if (in_->gcount() != sizeof(crc) || len > (1u << 28)) {
+        done_ = tornTail_ = true;
+        return false;
+    }
+    std::string payload(len, '\0');
+    in_->read(payload.data(), static_cast<std::streamsize>(len));
+    if (static_cast<uint32_t>(in_->gcount()) != len ||
+        crc32(payload.data(), payload.size()) != crc ||
+        !parsePayload(payload, record)) {
+        done_ = tornTail_ = true;
+        return false;
+    }
+    bytes_ += sizeof(len) + sizeof(crc) + len;
+    return true;
+}
+
+} // namespace runtime
+} // namespace specinfer

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Write-ahead token journal for crash-safe serving.
+ *
+ * The RequestManager appends one record per scheduling event —
+ * request accepted, one decode step committed (with the verified
+ * tokens and the post-step sampler/RNG cursor), request preempted,
+ * request finished, iteration committed — so that a crash at any
+ * point loses at most the record being written. Recovery loads the
+ * most recent snapshot and replays the journal tail on top of it
+ * (RequestManager::recover), reconstructing the exact pre-crash
+ * scheduling state; the KV caches rebuild lazily through the
+ * engine's catch-up path, which is output-invariant.
+ *
+ * On-disk format: a bare stream of records, each framed as
+ *
+ *   u32 payloadLength | u32 crc32(payload) | payload bytes
+ *
+ * little-endian, no file header. The reader is truncation-tolerant
+ * by design: a torn tail (short header, short payload, or CRC
+ * mismatch — what a crash mid-append leaves behind) terminates the
+ * stream cleanly at the last fully valid record, and
+ * bytesConsumed() reports the valid prefix length so the caller can
+ * truncate the file before resuming appends.
+ *
+ * Records deliberately carry *events*, not state: a Step record
+ * holds the tokens the verifier committed and the RNG cursor after
+ * the step, never model activations or KV rows. This keeps the
+ * journal tiny (the snapshot holds the bulky state) and makes
+ * replay a pure bookkeeping pass — no model execution.
+ */
+
+#ifndef SPECINFER_RUNTIME_JOURNAL_H
+#define SPECINFER_RUNTIME_JOURNAL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/spec_engine.h"
+#include "util/rng.h"
+
+namespace specinfer {
+namespace runtime {
+
+/** CRC-32 (IEEE 802.3 polynomial) over a byte range. */
+uint32_t crc32(const void *data, size_t size);
+
+/** Journal record kinds, in the order the manager emits them. */
+enum class RecordType : uint8_t
+{
+    /** A request was accepted into the pending queue. */
+    Submit = 1,
+    /** One decode step committed for an active request. */
+    Step = 2,
+    /** An active request was preempted and requeued. */
+    Preempt = 3,
+    /** A request finished (normally or aborted). */
+    Finish = 4,
+    /** One scheduling iteration committed (clock + degradation). */
+    Iteration = 5,
+};
+
+/** Printable record type name (logs and tests). */
+const char *recordTypeName(RecordType type);
+
+/**
+ * One journal record. A flat union-of-fields struct: `type` selects
+ * which fields are meaningful (listed per type below); the rest stay
+ * default-initialized and are not serialized.
+ */
+struct JournalRecord
+{
+    RecordType type = RecordType::Submit;
+
+    /** Request id (all types except Iteration). */
+    uint64_t id = 0;
+
+    // --- Submit ---------------------------------------------------
+    uint64_t arrivalIteration = 0;
+    uint64_t maxNewTokens = 0;
+    uint64_t deadlineIterations = 0;
+    std::vector<int> prompt;
+
+    // --- Step -----------------------------------------------------
+    /** Tokens the verifier committed this step (possibly empty for
+     *  a chunked-prefill iteration). */
+    std::vector<int> tokens;
+    std::vector<float> logProbs;
+    core::StepRecord step;
+    /** Sampler/RNG cursor *after* the step — replay jumps straight
+     *  to it instead of recomputing the step. */
+    util::RngState rngAfter;
+    bool sessionDone = false;
+    /** core::SpecSession::StopReason (Step and Finish). */
+    uint8_t stopReason = 0;
+
+    // --- Preempt --------------------------------------------------
+    uint64_t preemptionCount = 0;
+    uint64_t earliestRestart = 0;
+
+    // --- Finish (tokens/stats are rebuilt from replayed Steps) ----
+    uint64_t startIteration = 0;
+    uint64_t finishIteration = 0;
+    uint64_t preemptions = 0;
+
+    // --- Iteration ------------------------------------------------
+    /** Manager iteration clock after the iteration committed. */
+    uint64_t iteration = 0;
+    /** This iteration ran with speculation disabled. */
+    uint8_t iterDegraded = 0;
+    /** An injected straggler advanced the clock this iteration. */
+    uint8_t iterSlow = 0;
+    /** runtime::DegradationState, flattened (journal.h must not
+     *  depend on request_manager.h). */
+    uint8_t degrSpeculationDisabled = 0;
+    uint64_t degrConsecutiveFaults = 0;
+    uint64_t degrCleanIterations = 0;
+    uint64_t degrCurrentBackoff = 0;
+    uint64_t degrReenableIteration = 0;
+    uint64_t degrDisableEpisodes = 0;
+};
+
+/**
+ * Appends CRC-framed records to a stream. Not thread-safe: the
+ * RequestManager journals from its single scheduling thread.
+ */
+class JournalWriter
+{
+  public:
+    /** @param out Destination stream (non-owning; must outlive the
+     *         writer). Appends start at the current position. */
+    explicit JournalWriter(std::ostream &out);
+
+    /** Append one record (no-op once closed()). */
+    void append(const JournalRecord &record);
+
+    /** Bytes of fully written records (excludes a torn tail). */
+    uint64_t bytesWritten() const { return bytes_; }
+
+    /**
+     * Crash-simulation hook: the next append() writes the frame
+     * header but only about half of the payload, then closes the
+     * writer — exactly the torn record a process crash mid-append
+     * leaves on disk. Subsequent appends are dropped.
+     */
+    void tearNextAppend() { tearNext_ = true; }
+
+    /** True once a torn append has been simulated. */
+    bool closed() const { return closed_; }
+
+  private:
+    std::ostream *out_;
+    uint64_t bytes_ = 0;
+    bool tearNext_ = false;
+    bool closed_ = false;
+};
+
+/**
+ * Truncation-tolerant journal reader: yields records until clean
+ * EOF or the first damaged frame (short header, short payload, CRC
+ * mismatch, or unparseable payload), which it treats as the torn
+ * tail of a crash — never an error.
+ */
+class JournalReader
+{
+  public:
+    /** @param in Source stream (non-owning), positioned at the
+     *         first record to read. */
+    explicit JournalReader(std::istream &in);
+
+    /** Read the next record into `record`.
+     *  @return false at clean EOF or at a damaged tail (check
+     *          tornTail() to distinguish). */
+    bool next(JournalRecord &record);
+
+    /** True when reading stopped at a damaged frame rather than
+     *  clean EOF. */
+    bool tornTail() const { return tornTail_; }
+
+    /** Bytes of valid records consumed so far — the length callers
+     *  should truncate a torn journal to before appending again. */
+    uint64_t bytesConsumed() const { return bytes_; }
+
+  private:
+    std::istream *in_;
+    uint64_t bytes_ = 0;
+    bool tornTail_ = false;
+    bool done_ = false;
+};
+
+} // namespace runtime
+} // namespace specinfer
+
+#endif // SPECINFER_RUNTIME_JOURNAL_H

@@ -55,8 +55,13 @@ void
 KvBlockAllocator::release(uint64_t request)
 {
     auto it = held_.find(request);
-    if (it == held_.end())
+    if (it == held_.end()) {
+        // Double release / unknown id: a well-defined no-op rather
+        // than silent corruption, but observable via stats so leak
+        // hunts can assert it never happens on the hot paths.
+        ++stats_.redundantReleases;
         return;
+    }
     SPECINFER_CHECK(usedBlocks_ >= it->second,
                     "KV pool accounting underflow");
     usedBlocks_ -= it->second;

@@ -28,6 +28,11 @@ struct KvMemoryStats
     size_t peakUsedBlocks = 0;    ///< high-water mark
     size_t failedReservations = 0;///< reserve() calls that failed
     size_t totalReservations = 0; ///< successful reserve() calls
+    /** release() calls for a request holding nothing (double
+     *  release, or an id that never reserved). Well-defined no-ops,
+     *  but counted: a nonzero value in a path that should release
+     *  exactly once flags an accounting bug upstream. */
+    size_t redundantReleases = 0;
 };
 
 /**

@@ -1,12 +1,117 @@
 #include "runtime/request_manager.h"
 
 #include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
 
+#include "model/serialization.h"
 #include "util/fault.h"
 #include "util/logging.h"
 
 namespace specinfer {
 namespace runtime {
+
+namespace {
+
+// Serving-snapshot framing (version 1). The snapshot is the bulky
+// half of crash safety: full sessions (KV caches included) plus
+// scheduler bookkeeping; the journal holds only per-event records.
+constexpr char kSnapMagic[4] = {'S', 'P', 'S', 'N'};
+constexpr uint32_t kSnapVersion = 1;
+
+using model::io::readPod;
+using model::io::readPodVector;
+using model::io::writePod;
+using model::io::writePodVector;
+
+void
+writeRequest(std::ostream &out, const Request &req)
+{
+    writePod<uint64_t>(out, req.id);
+    writePodVector<int>(out, req.prompt);
+    writePod<uint64_t>(out, req.arrivalIteration);
+    writePod<uint64_t>(out, req.maxNewTokens);
+    writePod<uint64_t>(out, req.deadlineIterations);
+    writePod<uint64_t>(out, req.preemptionCount);
+    writePod<uint64_t>(out, req.earliestRestart);
+}
+
+Request
+readRequest(std::istream &in)
+{
+    Request req;
+    req.id = readPod<uint64_t>(in);
+    req.prompt = readPodVector<int>(in);
+    req.arrivalIteration = readPod<uint64_t>(in);
+    req.maxNewTokens = readPod<uint64_t>(in);
+    req.deadlineIterations = readPod<uint64_t>(in);
+    req.preemptionCount = readPod<uint64_t>(in);
+    req.earliestRestart = readPod<uint64_t>(in);
+    return req;
+}
+
+void
+writeStepRecord(std::ostream &out, const core::StepRecord &s)
+{
+    writePod<uint64_t>(out, s.treeSize);
+    writePod<uint64_t>(out, s.verifiedTokens);
+    writePod<uint64_t>(out, s.llmChunkTokens);
+    writePod<uint64_t>(out, s.ssmTokensDecoded);
+    writePod<uint8_t>(out, s.prefill ? 1 : 0);
+    writePod<uint8_t>(out, s.fallback ? 1 : 0);
+}
+
+core::StepRecord
+readStepRecord(std::istream &in)
+{
+    core::StepRecord s;
+    s.treeSize = readPod<uint64_t>(in);
+    s.verifiedTokens = readPod<uint64_t>(in);
+    s.llmChunkTokens = readPod<uint64_t>(in);
+    s.ssmTokensDecoded = readPod<uint64_t>(in);
+    s.prefill = readPod<uint8_t>(in) != 0;
+    s.fallback = readPod<uint8_t>(in) != 0;
+    return s;
+}
+
+void
+writeResult(std::ostream &out, const RequestResult &res)
+{
+    writePod<uint64_t>(out, res.id);
+    writePodVector<int>(out, res.tokens);
+    writePod<uint64_t>(out, res.stats.steps.size());
+    for (const core::StepRecord &s : res.stats.steps)
+        writeStepRecord(out, s);
+    writePod<uint8_t>(out, static_cast<uint8_t>(res.stopReason));
+    writePod<uint64_t>(out, res.arrivalIteration);
+    writePod<uint64_t>(out, res.startIteration);
+    writePod<uint64_t>(out, res.finishIteration);
+    writePod<uint64_t>(out, res.preemptions);
+}
+
+RequestResult
+readResult(std::istream &in)
+{
+    RequestResult res;
+    res.id = readPod<uint64_t>(in);
+    res.tokens = readPodVector<int>(in);
+    uint64_t n_steps = readPod<uint64_t>(in);
+    SPECINFER_CHECK(n_steps < (1ull << 32),
+                    "implausible snapshot step count");
+    res.stats.steps.reserve(n_steps);
+    for (uint64_t i = 0; i < n_steps; ++i)
+        res.stats.steps.push_back(readStepRecord(in));
+    res.stopReason = static_cast<core::SpecSession::StopReason>(
+        readPod<uint8_t>(in));
+    res.arrivalIteration = readPod<uint64_t>(in);
+    res.startIteration = readPod<uint64_t>(in);
+    res.finishIteration = readPod<uint64_t>(in);
+    res.preemptions = readPod<uint64_t>(in);
+    return res;
+}
+
+} // namespace
 
 RequestManager::RequestManager(const core::SpecEngine *engine,
                                ServingConfig cfg)
@@ -55,6 +160,16 @@ RequestManager::submit(std::vector<int> prompt,
     }
     req.id = nextId_++;
     out.id = req.id;
+    if (journal_) {
+        JournalRecord rec;
+        rec.type = RecordType::Submit;
+        rec.id = req.id;
+        rec.arrivalIteration = req.arrivalIteration;
+        rec.maxNewTokens = req.maxNewTokens;
+        rec.deadlineIterations = req.deadlineIterations;
+        rec.prompt = req.prompt;
+        journal_->append(rec);
+    }
     pending_.push_back(std::move(req));
     ++stats_.requestsSubmitted;
     return out;
@@ -108,6 +223,8 @@ RequestManager::finishAborted(Request &&req,
     res.preemptions = req.preemptionCount;
     stats_.tokensGenerated += res.tokens.size();
     ++stats_.requestsFinished;
+    if (journal_)
+        journalFinish(res);
     finished_.push_back(std::move(res));
 }
 
@@ -133,6 +250,14 @@ RequestManager::requeuePreempted(Request &&req,
     const size_t backoff =
         std::min(size_t{1} << shift, cfg_.preemptBackoffCap);
     req.earliestRestart = stats_.iterations + backoff;
+    if (journal_) {
+        JournalRecord rec;
+        rec.type = RecordType::Preempt;
+        rec.id = req.id;
+        rec.preemptionCount = req.preemptionCount;
+        rec.earliestRestart = req.earliestRestart;
+        journal_->append(rec);
+    }
     pending_.push_front(std::move(req));
     if (cfg_.maxPendingRequests > 0 &&
         pending_.size() > cfg_.maxPendingRequests) {
@@ -257,6 +382,17 @@ RequestManager::updateDegradation(bool speculation_ran,
 void
 RequestManager::runIteration()
 {
+    if (crashed_)
+        return;
+    // Crash point: a clean crash at an iteration boundary (all
+    // journal records of the previous iteration committed). Only
+    // live with a journal attached — a crash without one is
+    // unrecoverable and outside the model.
+    if (journal_ && util::faultAt(util::FaultPoint::Crash)) {
+        crashed_ = true;
+        return;
+    }
+
     // Degradation ladder: re-enable speculation when the backoff
     // window has elapsed.
     if (degr_.speculationDisabled &&
@@ -313,6 +449,8 @@ RequestManager::runIteration()
         if (cfg_.captureBatchTrace)
             stats_.batchSizeTrace.push_back(0);
         ++stats_.iterations;
+        if (journal_)
+            journalIteration(false, false);
         return;
     }
     if (cfg_.captureBatchTrace)
@@ -320,7 +458,9 @@ RequestManager::runIteration()
 
     // Injected straggler: the iteration clock jumps forward,
     // consuming deadline budget exactly as a slow iteration would.
+    bool slow_iteration = false;
     if (util::faultAt(util::FaultPoint::SlowIteration)) {
+        slow_iteration = true;
         ++stats_.slowIterations;
         stats_.iterations += cfg_.slowIterationPenalty;
     }
@@ -376,6 +516,8 @@ RequestManager::runIteration()
                 continue;
             }
         }
+        const size_t seq_before = active_[i].session.sequence().size();
+        const size_t lp_before = active_[i].session.logProbs().size();
         active_[i].session.step(allow_spec);
         ++stats_.requestIterations;
         const core::StepRecord &last =
@@ -385,6 +527,22 @@ RequestManager::runIteration()
             if (last.fallback) {
                 fault_seen = true;
                 ++stats_.fallbackSteps;
+            }
+        }
+        if (journal_) {
+            // Crash points around the write-ahead append. Before:
+            // the process dies *during* the append, leaving a torn
+            // record (the step is lost and will recompute
+            // deterministically after recovery). After: the record
+            // is durable but nothing past it is — the worst case
+            // for replay, the step committed to the journal only.
+            const bool torn = util::faultAt(util::FaultPoint::Crash);
+            if (torn)
+                journal_->tearNextAppend();
+            journalStep(i, seq_before, lp_before);
+            if (torn || util::faultAt(util::FaultPoint::Crash)) {
+                crashed_ = true;
+                return;
             }
         }
         ++i;
@@ -414,15 +572,29 @@ RequestManager::runIteration()
         ++stats_.requestsFinished;
         if (kvPool_)
             kvPool_->release(res.id);
+        if (journal_)
+            journalFinish(res);
         finished_.push_back(std::move(res));
         active_.erase(active_.begin() + static_cast<ptrdiff_t>(i));
+    }
+
+    if (journal_) {
+        // Crash point: everything this iteration journaled but the
+        // iteration commit itself lost — recovery re-runs the
+        // iteration clock one tick behind, which per-request
+        // determinism makes output-invariant.
+        if (util::faultAt(util::FaultPoint::Crash)) {
+            crashed_ = true;
+            return;
+        }
+        journalIteration(!allow_spec, slow_iteration);
     }
 }
 
 void
 RequestManager::runUntilDrained()
 {
-    while (busy())
+    while (busy() && !crashed_)
         runIteration();
 }
 
@@ -432,6 +604,418 @@ RequestManager::takeFinished()
     std::vector<RequestResult> out = std::move(finished_);
     finished_.clear();
     return out;
+}
+
+void
+RequestManager::journalStep(size_t index, size_t seq_before,
+                            size_t log_probs_before)
+{
+    const ActiveRequest &ar = active_[index];
+    const std::vector<int> &seq = ar.session.sequence();
+    const std::vector<float> &lps = ar.session.logProbs();
+    JournalRecord rec;
+    rec.type = RecordType::Step;
+    rec.id = ar.request.id;
+    rec.tokens.assign(seq.begin() +
+                          static_cast<ptrdiff_t>(seq_before),
+                      seq.end());
+    rec.logProbs.assign(lps.begin() +
+                            static_cast<ptrdiff_t>(log_probs_before),
+                        lps.end());
+    rec.step = ar.session.stats().steps.back();
+    rec.rngAfter = ar.session.rngCursor();
+    rec.sessionDone = ar.session.done();
+    rec.stopReason = static_cast<uint8_t>(ar.session.stopReason());
+    journal_->append(rec);
+}
+
+void
+RequestManager::journalFinish(const RequestResult &res)
+{
+    JournalRecord rec;
+    rec.type = RecordType::Finish;
+    rec.id = res.id;
+    rec.stopReason = static_cast<uint8_t>(res.stopReason);
+    rec.arrivalIteration = res.arrivalIteration;
+    rec.startIteration = res.startIteration;
+    rec.finishIteration = res.finishIteration;
+    rec.preemptions = res.preemptions;
+    journal_->append(rec);
+}
+
+void
+RequestManager::journalIteration(bool degraded, bool slow)
+{
+    JournalRecord rec;
+    rec.type = RecordType::Iteration;
+    rec.iteration = stats_.iterations;
+    rec.iterDegraded = degraded ? 1 : 0;
+    rec.iterSlow = slow ? 1 : 0;
+    rec.degrSpeculationDisabled = degr_.speculationDisabled ? 1 : 0;
+    rec.degrConsecutiveFaults = degr_.consecutiveFaults;
+    rec.degrCleanIterations = degr_.cleanIterations;
+    rec.degrCurrentBackoff = degr_.currentBackoff;
+    rec.degrReenableIteration = degr_.reenableIteration;
+    rec.degrDisableEpisodes = degr_.disableEpisodes;
+    journal_->append(rec);
+}
+
+void
+RequestManager::writeSnapshot(std::ostream &out) const
+{
+    out.write(kSnapMagic, 4);
+    writePod<uint32_t>(out, kSnapVersion);
+    writePod<uint64_t>(out,
+                       journal_ ? journal_->bytesWritten() : 0);
+    writePod<uint64_t>(out, nextId_);
+
+    writePod<uint64_t>(out, stats_.iterations);
+    writePod<uint64_t>(out, stats_.requestsSubmitted);
+    writePod<uint64_t>(out, stats_.requestsFinished);
+    writePod<uint64_t>(out, stats_.tokensGenerated);
+    writePod<uint64_t>(out, stats_.requestIterations);
+    writePod<uint64_t>(out, stats_.preemptions);
+    writePod<uint64_t>(out, stats_.rejectedQueueFull);
+    writePod<uint64_t>(out, stats_.rejectedNeverFits);
+    writePod<uint64_t>(out, stats_.shedRequests);
+    writePod<uint64_t>(out, stats_.deadlineExpiries);
+    writePod<uint64_t>(out, stats_.cancellations);
+    writePod<uint64_t>(out, stats_.fallbackSteps);
+    writePod<uint64_t>(out, stats_.degradedIterations);
+    writePod<uint64_t>(out, stats_.preemptionRetries);
+    writePod<uint64_t>(out, stats_.preemptionAborts);
+    writePod<uint64_t>(out, stats_.slowIterations);
+    writePod<uint64_t>(out, stats_.batchSizeTrace.size());
+    for (size_t b : stats_.batchSizeTrace)
+        writePod<uint64_t>(out, b);
+
+    writePod<uint8_t>(out, degr_.speculationDisabled ? 1 : 0);
+    writePod<uint64_t>(out, degr_.consecutiveFaults);
+    writePod<uint64_t>(out, degr_.cleanIterations);
+    writePod<uint64_t>(out, degr_.currentBackoff);
+    writePod<uint64_t>(out, degr_.reenableIteration);
+    writePod<uint64_t>(out, degr_.disableEpisodes);
+
+    writePod<uint64_t>(out, pending_.size());
+    for (const Request &req : pending_)
+        writeRequest(out, req);
+
+    writePod<uint64_t>(out, active_.size());
+    for (const ActiveRequest &ar : active_) {
+        writeRequest(out, ar.request);
+        writePod<uint64_t>(out, ar.startIteration);
+        // Exact pool holding, not a recomputed need: the restore
+        // must reproduce live occupancy block-for-block.
+        writePod<uint64_t>(out,
+                           kvPool_ ? kvPool_->requestBlocks(
+                                         ar.request.id)
+                                   : 0);
+        ar.session.save(out);
+    }
+
+    writePod<uint64_t>(out, finished_.size());
+    for (const RequestResult &res : finished_)
+        writeResult(out, res);
+    SPECINFER_CHECK(out.good(), "snapshot write failed");
+}
+
+void
+RequestManager::applyRecord(const JournalRecord &rec)
+{
+    auto findActive = [this](uint64_t id) {
+        for (size_t i = 0; i < active_.size(); ++i)
+            if (active_[i].request.id == id)
+                return i;
+        return active_.size();
+    };
+    auto takePending = [this](uint64_t id, Request &out) {
+        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+            if (it->id != id)
+                continue;
+            out = std::move(*it);
+            pending_.erase(it);
+            return true;
+        }
+        return false;
+    };
+
+    switch (rec.type) {
+      case RecordType::Submit: {
+        Request req;
+        req.id = rec.id;
+        req.prompt = rec.prompt;
+        req.arrivalIteration = rec.arrivalIteration;
+        req.maxNewTokens = rec.maxNewTokens;
+        req.deadlineIterations = rec.deadlineIterations;
+        nextId_ = std::max(nextId_, rec.id + 1);
+        pending_.push_back(std::move(req));
+        ++stats_.requestsSubmitted;
+        break;
+      }
+
+      case RecordType::Step: {
+        size_t idx = findActive(rec.id);
+        if (idx == active_.size()) {
+            // First journaled step ⇒ the request was admitted this
+            // iteration: move it out of pending and reserve its
+            // admission memory, exactly as live admission did.
+            Request req;
+            SPECINFER_CHECK(takePending(rec.id, req),
+                            "journal step for unknown request "
+                                << rec.id);
+            if (kvPool_) {
+                const size_t need =
+                    cfg_.kvPolicy == KvReservationPolicy::WorstCase
+                        ? worstCaseTokens(req)
+                        : req.prompt.size() +
+                              engine_->treeBudget() + 2;
+                // Replay reserves no earlier than live did (and all
+                // journaled releases have already been applied), so
+                // this cannot fail where the live run succeeded.
+                SPECINFER_CHECK(kvPool_->reserve(req.id, need),
+                                "replay KV reservation failed for "
+                                    << req.id);
+            }
+            if (req.preemptionCount > 0)
+                ++stats_.preemptionRetries;
+            core::SpecSession session = engine_->makeSession(
+                req.prompt, req.id, req.maxNewTokens);
+            active_.push_back({std::move(req), std::move(session),
+                               stats_.iterations});
+            idx = active_.size() - 1;
+        }
+        ActiveRequest &ar = active_[idx];
+        if (kvPool_ &&
+            cfg_.kvPolicy == KvReservationPolicy::OnDemand) {
+            const size_t need = ar.session.sequence().size() +
+                                engine_->treeBudget() + 2;
+            SPECINFER_CHECK(kvPool_->reserve(ar.request.id, need),
+                            "replay KV growth failed for "
+                                << ar.request.id);
+        }
+        ar.session.restoreStep(
+            rec.tokens, rec.logProbs, rec.step, rec.rngAfter,
+            rec.sessionDone,
+            static_cast<core::SpecSession::StopReason>(
+                rec.stopReason));
+        ++stats_.requestIterations;
+        if (!rec.step.prefill && rec.step.fallback)
+            ++stats_.fallbackSteps;
+        break;
+      }
+
+      case RecordType::Preempt: {
+        Request req;
+        size_t idx = findActive(rec.id);
+        if (idx != active_.size()) {
+            req = std::move(active_[idx].request);
+            active_.erase(active_.begin() +
+                          static_cast<ptrdiff_t>(idx));
+        } else {
+            // Preempted before its first step was journaled: the
+            // request never left replay's pending queue.
+            SPECINFER_CHECK(takePending(rec.id, req),
+                            "journal preempt for unknown request "
+                                << rec.id);
+        }
+        if (kvPool_ && kvPool_->requestBlocks(rec.id) > 0)
+            kvPool_->release(rec.id);
+        req.preemptionCount = rec.preemptionCount;
+        req.earliestRestart = rec.earliestRestart;
+        pending_.push_front(std::move(req));
+        ++stats_.preemptions;
+        break;
+      }
+
+      case RecordType::Finish: {
+        RequestResult res;
+        res.id = rec.id;
+        res.stopReason =
+            static_cast<core::SpecSession::StopReason>(
+                rec.stopReason);
+        res.arrivalIteration = rec.arrivalIteration;
+        res.startIteration = rec.startIteration;
+        res.finishIteration = rec.finishIteration;
+        res.preemptions = rec.preemptions;
+        size_t idx = findActive(rec.id);
+        if (idx != active_.size()) {
+            res.tokens = active_[idx].session.generated();
+            res.stats = active_[idx].session.stats();
+            active_.erase(active_.begin() +
+                          static_cast<ptrdiff_t>(idx));
+        } else {
+            Request req;
+            SPECINFER_CHECK(takePending(rec.id, req),
+                            "journal finish for unknown request "
+                                << rec.id);
+        }
+        if (kvPool_ && kvPool_->requestBlocks(rec.id) > 0)
+            kvPool_->release(rec.id);
+        stats_.tokensGenerated += res.tokens.size();
+        ++stats_.requestsFinished;
+        switch (res.stopReason) {
+          case core::SpecSession::StopReason::Cancelled:
+            ++stats_.cancellations;
+            break;
+          case core::SpecSession::StopReason::Deadline:
+            ++stats_.deadlineExpiries;
+            break;
+          case core::SpecSession::StopReason::Shed:
+            ++stats_.shedRequests;
+            break;
+          case core::SpecSession::StopReason::Preempted:
+            ++stats_.preemptionAborts;
+            ++stats_.preemptions;
+            break;
+          default:
+            break;
+        }
+        finished_.push_back(std::move(res));
+        break;
+      }
+
+      case RecordType::Iteration: {
+        stats_.iterations = rec.iteration;
+        if (rec.iterDegraded)
+            ++stats_.degradedIterations;
+        if (rec.iterSlow)
+            ++stats_.slowIterations;
+        degr_.speculationDisabled =
+            rec.degrSpeculationDisabled != 0;
+        degr_.consecutiveFaults = rec.degrConsecutiveFaults;
+        degr_.cleanIterations = rec.degrCleanIterations;
+        degr_.currentBackoff = rec.degrCurrentBackoff;
+        degr_.reenableIteration = rec.degrReenableIteration;
+        degr_.disableEpisodes = rec.degrDisableEpisodes;
+        break;
+      }
+    }
+}
+
+uint64_t
+RequestManager::recover(std::istream *snapshot, std::istream *journal)
+{
+    SPECINFER_CHECK(!crashed_ && stats_.iterations == 0 &&
+                    pending_.empty() && active_.empty() &&
+                    finished_.empty() && nextId_ == 1,
+                    "recover() requires a freshly constructed "
+                    "manager");
+    uint64_t skip = 0;
+    if (snapshot != nullptr) {
+        char magic[4];
+        snapshot->read(magic, 4);
+        SPECINFER_CHECK(snapshot->good() &&
+                        std::memcmp(magic, kSnapMagic, 4) == 0,
+                        "not a SpecInfer serving snapshot");
+        uint32_t version = readPod<uint32_t>(*snapshot);
+        SPECINFER_CHECK(version == kSnapVersion,
+                        "unsupported snapshot version " << version);
+        skip = readPod<uint64_t>(*snapshot);
+        nextId_ = readPod<uint64_t>(*snapshot);
+
+        stats_.iterations = readPod<uint64_t>(*snapshot);
+        stats_.requestsSubmitted = readPod<uint64_t>(*snapshot);
+        stats_.requestsFinished = readPod<uint64_t>(*snapshot);
+        stats_.tokensGenerated = readPod<uint64_t>(*snapshot);
+        stats_.requestIterations = readPod<uint64_t>(*snapshot);
+        stats_.preemptions = readPod<uint64_t>(*snapshot);
+        stats_.rejectedQueueFull = readPod<uint64_t>(*snapshot);
+        stats_.rejectedNeverFits = readPod<uint64_t>(*snapshot);
+        stats_.shedRequests = readPod<uint64_t>(*snapshot);
+        stats_.deadlineExpiries = readPod<uint64_t>(*snapshot);
+        stats_.cancellations = readPod<uint64_t>(*snapshot);
+        stats_.fallbackSteps = readPod<uint64_t>(*snapshot);
+        stats_.degradedIterations = readPod<uint64_t>(*snapshot);
+        stats_.preemptionRetries = readPod<uint64_t>(*snapshot);
+        stats_.preemptionAborts = readPod<uint64_t>(*snapshot);
+        stats_.slowIterations = readPod<uint64_t>(*snapshot);
+        uint64_t trace_len = readPod<uint64_t>(*snapshot);
+        SPECINFER_CHECK(trace_len < (1ull << 32),
+                        "implausible snapshot trace length");
+        stats_.batchSizeTrace.resize(trace_len);
+        for (uint64_t i = 0; i < trace_len; ++i)
+            stats_.batchSizeTrace[i] = readPod<uint64_t>(*snapshot);
+
+        degr_.speculationDisabled =
+            readPod<uint8_t>(*snapshot) != 0;
+        degr_.consecutiveFaults = readPod<uint64_t>(*snapshot);
+        degr_.cleanIterations = readPod<uint64_t>(*snapshot);
+        degr_.currentBackoff = readPod<uint64_t>(*snapshot);
+        degr_.reenableIteration = readPod<uint64_t>(*snapshot);
+        degr_.disableEpisodes = readPod<uint64_t>(*snapshot);
+
+        uint64_t n_pending = readPod<uint64_t>(*snapshot);
+        SPECINFER_CHECK(n_pending < (1ull << 32),
+                        "implausible snapshot pending count");
+        for (uint64_t i = 0; i < n_pending; ++i)
+            pending_.push_back(readRequest(*snapshot));
+
+        uint64_t n_active = readPod<uint64_t>(*snapshot);
+        SPECINFER_CHECK(n_active < (1ull << 20),
+                        "implausible snapshot active count");
+        for (uint64_t i = 0; i < n_active; ++i) {
+            Request req = readRequest(*snapshot);
+            uint64_t start_iter = readPod<uint64_t>(*snapshot);
+            uint64_t held_blocks = readPod<uint64_t>(*snapshot);
+            core::SpecSession session =
+                engine_->loadSession(*snapshot);
+            if (kvPool_ && held_blocks > 0)
+                SPECINFER_CHECK(
+                    kvPool_->reserve(req.id,
+                                     held_blocks *
+                                         kvPool_->blockTokens()),
+                    "snapshot KV restore failed for " << req.id);
+            active_.push_back(
+                {std::move(req), std::move(session), start_iter});
+        }
+
+        uint64_t n_finished = readPod<uint64_t>(*snapshot);
+        SPECINFER_CHECK(n_finished < (1ull << 32),
+                        "implausible snapshot finished count");
+        for (uint64_t i = 0; i < n_finished; ++i)
+            finished_.push_back(readResult(*snapshot));
+    }
+
+    uint64_t replayed = 0;
+    if (journal != nullptr) {
+        if (skip > 0)
+            journal->seekg(static_cast<std::streamoff>(skip),
+                           std::ios::cur);
+        JournalReader reader(*journal);
+        JournalRecord rec;
+        while (reader.next(rec))
+            applyRecord(rec);
+        replayed = reader.bytesConsumed();
+    }
+
+    // Sessions that finished in the crash iteration, after their
+    // Step record but before their Finish record: retire them now
+    // (journaled to the attached post-recovery journal, if any).
+    for (size_t i = 0; i < active_.size();) {
+        if (!active_[i].session.done()) {
+            ++i;
+            continue;
+        }
+        ActiveRequest &ar = active_[i];
+        RequestResult res;
+        res.id = ar.request.id;
+        res.tokens = ar.session.generated();
+        res.stats = ar.session.stats();
+        res.stopReason = ar.session.stopReason();
+        res.arrivalIteration = ar.request.arrivalIteration;
+        res.startIteration = ar.startIteration;
+        res.finishIteration = stats_.iterations;
+        res.preemptions = ar.request.preemptionCount;
+        stats_.tokensGenerated += res.tokens.size();
+        ++stats_.requestsFinished;
+        if (kvPool_ && kvPool_->requestBlocks(res.id) > 0)
+            kvPool_->release(res.id);
+        if (journal_)
+            journalFinish(res);
+        finished_.push_back(std::move(res));
+        active_.erase(active_.begin() + static_cast<ptrdiff_t>(i));
+    }
+    return skip + replayed;
 }
 
 } // namespace runtime

@@ -15,11 +15,13 @@
 
 #include <cstddef>
 #include <deque>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/spec_engine.h"
+#include "runtime/journal.h"
 #include "runtime/kv_memory.h"
 #include "runtime/request.h"
 
@@ -263,6 +265,59 @@ class RequestManager
     /** KV memory pool, or nullptr when admission is unbounded. */
     const KvBlockAllocator *kvPool() const { return kvPool_.get(); }
 
+    // --- Crash safety: write-ahead journal + snapshot/recover -----
+
+    /**
+     * Attach a write-ahead journal (non-owning; nullptr detaches).
+     * Once attached, every scheduling event — accepted submit,
+     * committed decode step (verified tokens + post-step RNG
+     * cursor), preemption, finish, committed iteration — is
+     * appended before the manager moves on, and the Crash fault
+     * point becomes live inside runIteration() (see crashed()).
+     */
+    void attachJournal(JournalWriter *journal) { journal_ = journal; }
+
+    /**
+     * Serialize the full scheduling state: iteration clock, stats,
+     * degradation ladder, pending queue, active requests with their
+     * complete sessions (sequence, RNG, KV caches), per-request KV
+     * pool holdings, and finished results. The snapshot records the
+     * attached journal's current byte offset, so recover() replays
+     * exactly the journal tail written after this snapshot.
+     */
+    void writeSnapshot(std::ostream &out) const;
+
+    /**
+     * Rebuild pre-crash state on a *fresh* manager (same engine and
+     * config as the crashed one — the caller's responsibility):
+     * load the snapshot (if any), then replay the journal tail on
+     * top of it. Replay is pure bookkeeping — journaled steps are
+     * re-applied token-for-token with their stored RNG cursors, and
+     * KV caches rebuild lazily through the engine's catch-up path,
+     * so recovered outputs are bit-identical to an uninterrupted
+     * run. FCFS order, verified prefixes, preemption/backoff state,
+     * and KV pool holdings are all preserved; a torn tail record
+     * (crash mid-append) is discarded, and the lost step simply
+     * recomputes deterministically.
+     *
+     * Attach the post-recovery journal *before* calling recover()
+     * (or snapshot immediately after): results retired during
+     * replay are journaled to the attached writer.
+     *
+     * @param snapshot Snapshot stream, or nullptr to replay the
+     *        whole journal from an empty manager.
+     * @param journal Journal stream positioned at its first record,
+     *        or nullptr to restore the snapshot alone.
+     * @return Length in bytes of the valid journal prefix (skip +
+     *         replayed records); callers resuming appends into the
+     *         same file should truncate it to this length first.
+     */
+    uint64_t recover(std::istream *snapshot, std::istream *journal);
+
+    /** True once an injected Crash fault halted runIteration();
+     *  the manager must be abandoned and rebuilt via recover(). */
+    bool crashed() const { return crashed_; }
+
   private:
     /** Worst-case cached tokens for a request over its lifetime. */
     size_t worstCaseTokens(const Request &req) const;
@@ -312,6 +367,20 @@ class RequestManager
     /** Update the degradation ladder after one stepping sweep. */
     void updateDegradation(bool speculation_ran, bool fault_seen);
 
+    /** Journal one committed decode step of active_[index] (the
+     *  tokens/log-probs appended beyond the given pre-step sizes). */
+    void journalStep(size_t index, size_t seq_before,
+                     size_t log_probs_before);
+
+    /** Journal a Finish record mirroring a RequestResult. */
+    void journalFinish(const RequestResult &res);
+
+    /** Journal the end-of-iteration commit (clock + degradation). */
+    void journalIteration(bool degraded, bool slow);
+
+    /** Apply one replayed journal record (recover() body). */
+    void applyRecord(const JournalRecord &rec);
+
     const core::SpecEngine *engine_;
     ServingConfig cfg_;
     uint64_t nextId_ = 1;
@@ -321,6 +390,8 @@ class RequestManager
     ServingStats stats_;
     DegradationState degr_;
     std::unique_ptr<KvBlockAllocator> kvPool_;
+    JournalWriter *journal_ = nullptr;
+    bool crashed_ = false;
 };
 
 } // namespace runtime

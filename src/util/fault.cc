@@ -24,6 +24,8 @@ faultPointName(FaultPoint point)
         return "kv-alloc";
       case FaultPoint::SlowIteration:
         return "slow-iteration";
+      case FaultPoint::Crash:
+        return "crash";
     }
     return "unknown";
 }
@@ -38,12 +40,14 @@ FaultInjector::setProbability(FaultPoint point, double probability)
     SPECINFER_CHECK(probability >= 0.0 && probability <= 1.0,
                     "fault probability must be in [0, 1], got "
                         << probability);
+    std::lock_guard<std::mutex> lock(mu_);
     probability_[static_cast<size_t>(point)] = probability;
 }
 
 double
 FaultInjector::probability(FaultPoint point) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     return probability_[static_cast<size_t>(point)];
 }
 
@@ -52,6 +56,7 @@ FaultInjector::armAt(FaultPoint point, uint64_t occurrence)
 {
     SPECINFER_CHECK(occurrence > 0,
                     "armed occurrences are 1-based");
+    std::lock_guard<std::mutex> lock(mu_);
     armed_[static_cast<size_t>(point)].push_back(occurrence);
 }
 
@@ -59,33 +64,43 @@ bool
 FaultInjector::fire(FaultPoint point)
 {
     const size_t p = static_cast<size_t>(point);
-    const uint64_t occurrence = ++occurrences_[p];
+    // The occurrence number is claimed atomically, so concurrent
+    // consultations from ThreadPool workers each get a distinct
+    // index and armed one-shots fire exactly once.
+    const uint64_t occurrence =
+        occurrences_[p].fetch_add(1, std::memory_order_relaxed) + 1;
     bool fires = false;
-    // Armed one-shots fire regardless of the probability and do not
-    // consume an RNG draw, so surgical schedules replay exactly.
-    std::vector<uint64_t> &armed = armed_[p];
-    auto hit = std::find(armed.begin(), armed.end(), occurrence);
-    if (hit != armed.end()) {
-        armed.erase(hit);
-        fires = true;
-    } else if (probability_[p] > 0.0) {
-        fires = rng_.uniform() < probability_[p];
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Armed one-shots fire regardless of the probability and do
+        // not consume an RNG draw, so surgical schedules replay
+        // exactly.
+        std::vector<uint64_t> &armed = armed_[p];
+        auto hit = std::find(armed.begin(), armed.end(), occurrence);
+        if (hit != armed.end()) {
+            armed.erase(hit);
+            fires = true;
+        } else if (probability_[p] > 0.0) {
+            fires = rng_.uniform() < probability_[p];
+        }
     }
     if (fires)
-        ++fired_[p];
+        fired_[p].fetch_add(1, std::memory_order_relaxed);
     return fires;
 }
 
 uint64_t
 FaultInjector::occurrences(FaultPoint point) const
 {
-    return occurrences_[static_cast<size_t>(point)];
+    return occurrences_[static_cast<size_t>(point)].load(
+        std::memory_order_relaxed);
 }
 
 uint64_t
 FaultInjector::fired(FaultPoint point) const
 {
-    return fired_[static_cast<size_t>(point)];
+    return fired_[static_cast<size_t>(point)].load(
+        std::memory_order_relaxed);
 }
 
 uint64_t
@@ -93,7 +108,7 @@ FaultInjector::totalFired() const
 {
     uint64_t total = 0;
     for (size_t p = 0; p < kFaultPointCount; ++p)
-        total += fired_[p];
+        total += fired_[p].load(std::memory_order_relaxed);
     return total;
 }
 
@@ -102,6 +117,7 @@ FaultInjector::reproLine() const
 {
     std::ostringstream oss;
     oss << "fault repro: seed=" << seed_;
+    std::lock_guard<std::mutex> lock(mu_);
     for (size_t p = 0; p < kFaultPointCount; ++p) {
         if (probability_[p] > 0.0)
             oss << " p(" << faultPointName(static_cast<FaultPoint>(p))

@@ -5,27 +5,34 @@
  * Production serving must survive component failures: an SSM worker
  * that dies mid-speculation, a verifier that trips an internal
  * error, KV allocation failing under pressure, a straggler
- * iteration. This module gives library code *named fault points*
- * that tests can arm with a seeded, fully deterministic schedule,
- * so every degradation path is exercisable and any failure replays
- * from a single 64-bit seed (the `diffcheck` repro style).
+ * iteration, a whole process crash. This module gives library code
+ * *named fault points* that tests can arm with a seeded, fully
+ * deterministic schedule, so every degradation path is exercisable
+ * and any failure replays from a single 64-bit seed (the `diffcheck`
+ * repro style).
  *
  * Design constraints:
  *  - Zero cost when disabled: a fault point is one pointer load and
  *    a branch (`faultAt()` with no injector installed).
  *  - Determinism: firing is a pure function of (seed, sequence of
- *    consultations); the runtime is single-threaded per pipeline,
- *    so consultation order is deterministic and a schedule replays
- *    exactly.
+ *    consultations); the serving pipeline consults points in a
+ *    deterministic order, so a schedule replays exactly.
+ *  - Thread safety: faultAt() is reachable from ThreadPool workers
+ *    (the batched forward path), so counters are atomics and the
+ *    armed/probability draw is mutex-guarded. Single-threaded
+ *    consultation order (the replay contract) is unchanged.
  *  - Library code never aborts on an injected fault; it degrades
- *    (fall back to incremental decoding, preempt, retry, shed).
+ *    (fall back to incremental decoding, preempt, retry, shed,
+ *    recover from the journal).
  */
 
 #ifndef SPECINFER_UTIL_FAULT_H
 #define SPECINFER_UTIL_FAULT_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,10 +62,17 @@ enum class FaultPoint : int
      *  collective); the manager's iteration clock jumps forward,
      *  pushing requests toward their deadlines. */
     SlowIteration = 3,
+
+    /** A process crash mid-iteration: the RequestManager halts on
+     *  the spot (including between a journal append and the
+     *  iteration commit, tearing the in-flight journal record) and
+     *  all in-memory state is considered lost. Recovery replays the
+     *  write-ahead journal on top of the last snapshot. */
+    Crash = 4,
 };
 
 /** Number of distinct fault points. */
-constexpr size_t kFaultPointCount = 4;
+constexpr size_t kFaultPointCount = 5;
 
 /** Human-readable fault point name (for logs and repro lines). */
 const char *faultPointName(FaultPoint point);
@@ -73,8 +87,12 @@ const char *faultPointName(FaultPoint point);
  * point with probability > 0; points left at probability 0 consume
  * nothing, so arming one point never perturbs another's schedule.
  *
- * Not thread-safe: one injector serves one (single-threaded)
- * serving pipeline, matching RequestManager's threading model.
+ * Thread-safe: fire() may be consulted concurrently from ThreadPool
+ * workers. Occurrence/fired counters are atomics; the armed lists
+ * and the probability RNG are mutex-guarded. Determinism holds
+ * whenever consultations of a given point are ordered (the serving
+ * pipeline consults serially; concurrent consultations of the same
+ * point get an arbitrary but complete occurrence numbering).
  */
 class FaultInjector
 {
@@ -114,11 +132,12 @@ class FaultInjector
 
   private:
     uint64_t seed_;
-    Rng rng_;
+    Rng rng_;                 // guarded by mu_
     double probability_[kFaultPointCount] = {};
-    std::vector<uint64_t> armed_[kFaultPointCount];
-    uint64_t occurrences_[kFaultPointCount] = {};
-    uint64_t fired_[kFaultPointCount] = {};
+    std::vector<uint64_t> armed_[kFaultPointCount]; // guarded by mu_
+    std::atomic<uint64_t> occurrences_[kFaultPointCount] = {};
+    std::atomic<uint64_t> fired_[kFaultPointCount] = {};
+    mutable std::mutex mu_;
 };
 
 namespace detail {

@@ -142,6 +142,26 @@ Rng::categorical(const std::vector<float> &weights)
     return weights.size() - 1;
 }
 
+RngState
+Rng::state() const
+{
+    RngState st;
+    for (int i = 0; i < 4; ++i)
+        st.s[i] = state_[i];
+    st.hasCachedNormal = hasCachedNormal_;
+    st.cachedNormal = cachedNormal_;
+    return st;
+}
+
+void
+Rng::setState(const RngState &state)
+{
+    for (int i = 0; i < 4; ++i)
+        state_[i] = state.s[i];
+    hasCachedNormal_ = state.hasCachedNormal;
+    cachedNormal_ = state.cachedNormal;
+}
+
 Rng
 Rng::fork()
 {

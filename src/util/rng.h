@@ -20,6 +20,30 @@ namespace specinfer {
 namespace util {
 
 /**
+ * Complete serializable state of an Rng stream.
+ *
+ * Capturing the state mid-stream and restoring it later resumes the
+ * stream bit-identically (including the cached Box-Muller pair), so
+ * a generator can be checkpointed across a crash and the replayed
+ * tail of draws matches the original exactly. This is the "RNG
+ * cursor" the serving runtime journals per decode step.
+ */
+struct RngState
+{
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool hasCachedNormal = false;
+    double cachedNormal = 0.0;
+
+    bool operator==(const RngState &o) const
+    {
+        return s[0] == o.s[0] && s[1] == o.s[1] && s[2] == o.s[2] &&
+               s[3] == o.s[3] &&
+               hasCachedNormal == o.hasCachedNormal &&
+               cachedNormal == o.cachedNormal;
+    }
+};
+
+/**
  * Deterministic random number generator (xoshiro256**).
  *
  * Not thread-safe; use one instance per logical stream. Child streams
@@ -63,6 +87,13 @@ class Rng
 
     /** Derive an independent child generator. */
     Rng fork();
+
+    /** Snapshot the complete generator state (see RngState). */
+    RngState state() const;
+
+    /** Resume from a snapshot; subsequent draws replay the original
+     *  stream bit-identically. */
+    void setState(const RngState &state);
 
     /** In-place Fisher-Yates shuffle of an index vector. */
     template <typename T>

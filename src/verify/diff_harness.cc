@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 
 #include "core/spec_engine.h"
 #include "model/model_factory.h"
+#include "runtime/journal.h"
+#include "runtime/request_manager.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "verify/stat_tests.h"
@@ -540,6 +545,338 @@ runKvRoundTripTrial(uint64_t seed)
             out.detail = "post-compaction logits diverge";
             return out;
         }
+    }
+    return out;
+}
+
+TrialOutcome
+runRecoveryTrial(uint64_t seed, bool verbose)
+{
+    TrialOutcome out;
+    util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xc4a54ULL);
+
+    // Tiny-but-real serving stack: model pair, engine, scheduler.
+    model::ModelConfig mc;
+    mc.name = "recovery-tiny";
+    mc.vocabSize = 24 + rng.uniformInt(uint64_t{41}); // 24..64
+    mc.nHeads = 2;
+    mc.dModel = 8;
+    mc.dFf = 32;
+    mc.nLayers = 2 + rng.uniformInt(uint64_t{2}); // 2..3
+    mc.maxSeqLen = 96;
+    mc.seed = rng.next();
+    model::Transformer llm = model::makeLlm(mc);
+
+    const size_t ssm_count = 1 + rng.uniformInt(uint64_t{2});
+    std::vector<model::Transformer> ssms;
+    for (size_t s = 0; s < ssm_count; ++s)
+        ssms.push_back(model::makeEarlyExitSsm(llm, 1, 0.0f,
+                                               rng.next()));
+
+    // Half the trials use stochastic (MSS) decoding so the journaled
+    // RNG cursor carries real weight: replay must land every
+    // residual-sampling draw bit-exactly.
+    const bool stochastic = rng.uniform() < 0.5;
+    core::EngineConfig ecfg =
+        stochastic ? core::EngineConfig::stochasticDefault(
+                         0.7f + 0.3f * static_cast<float>(
+                                           rng.uniform()))
+                   : core::EngineConfig::greedyDefault();
+    ecfg.spec.expansion = core::ExpansionConfig::uniform(
+        2, 1 + rng.uniformInt(uint64_t{2})); // <2> or <2,2>
+    ecfg.maxNewTokens = 6 + rng.uniformInt(uint64_t{7}); // 6..12
+    ecfg.stopAtEos = true;
+    ecfg.seed = rng.next();
+    if (rng.uniform() < 0.3)
+        ecfg.maxPrefillChunk = 3 + rng.uniformInt(uint64_t{5});
+
+    std::vector<const model::Transformer *> pool;
+    for (const model::Transformer &ssm : ssms)
+        pool.push_back(&ssm);
+    core::SpecEngine engine(&llm, pool, ecfg);
+
+    // Arrival script: prompts with staggered driver-side arrivals.
+    struct Arrival
+    {
+        std::vector<int> prompt;
+        size_t maxNew;
+        size_t driverIter;
+    };
+    std::vector<Arrival> script;
+    const size_t n_req = 2 + rng.uniformInt(uint64_t{3}); // 2..4
+    size_t worst_tokens = 0;
+    for (size_t i = 0; i < n_req; ++i) {
+        Arrival a;
+        a.prompt = drawPrompt(rng, 3 + rng.uniformInt(uint64_t{13}),
+                              mc.vocabSize);
+        a.maxNew = rng.uniform() < 0.5
+                       ? 0
+                       : 4 + rng.uniformInt(uint64_t{7});
+        a.driverIter = rng.uniformInt(uint64_t{7});
+        const size_t budget =
+            a.maxNew > 0 ? a.maxNew : ecfg.maxNewTokens;
+        worst_tokens =
+            std::max(worst_tokens, a.prompt.size() + budget +
+                                       engine.treeBudget() + 2);
+        script.push_back(std::move(a));
+    }
+    std::sort(script.begin(), script.end(),
+              [](const Arrival &a, const Arrival &b) {
+                  return a.driverIter < b.driverIter;
+              });
+
+    runtime::ServingConfig scfg;
+    scfg.maxBatchSize = 2 + rng.uniformInt(uint64_t{3}); // 2..4
+    scfg.kvBlockTokens = 8;
+    if (rng.uniform() < 0.8) {
+        // Pool between 1x and 3x one worst-case request: tight
+        // enough that on-demand paging preempts under load, while
+        // FCFS guarantees forward progress. No deadlines, no retry
+        // or queue bounds: aborts depend on the iteration clock,
+        // which recovery may legitimately shift by one tick.
+        const size_t per_req =
+            (worst_tokens + scfg.kvBlockTokens - 1) /
+            scfg.kvBlockTokens;
+        scfg.kvPoolBlocks =
+            per_req * (1 + rng.uniformInt(uint64_t{3}));
+        scfg.kvPolicy =
+            rng.uniform() < 0.6
+                ? runtime::KvReservationPolicy::OnDemand
+                : runtime::KvReservationPolicy::WorstCase;
+    }
+
+    const size_t snap_every = 1 + rng.uniformInt(uint64_t{8});
+    const size_t crash_budget = rng.uniform() < 0.3 ? 2 : 1;
+    const bool kv_faults = rng.uniform() < 0.4;
+    const double kv_fault_prob = 0.02 + 0.05 * rng.uniform();
+
+    {
+        std::ostringstream oss;
+        oss << "seed=" << seed << " vocab=" << mc.vocabSize
+            << " layers=" << mc.nLayers
+            << (stochastic ? " mss" : " greedy")
+            << " reqs=" << n_req << " batch=" << scfg.maxBatchSize
+            << " pool=" << scfg.kvPoolBlocks
+            << (scfg.kvPolicy ==
+                        runtime::KvReservationPolicy::OnDemand
+                    ? "/ondemand"
+                    : "/worstcase")
+            << " snapEvery=" << snap_every
+            << " crashes<=" << crash_budget
+            << " kvFaults=" << (kv_faults ? 1 : 0);
+        out.configLine = oss.str();
+    }
+
+    // --- Reference: the same workload, never interrupted. ---------
+    std::vector<runtime::RequestResult> baseline;
+    {
+        runtime::RequestManager mgr(&engine, scfg);
+        size_t it = 0, next = 0, guard = 0;
+        while (next < script.size() || mgr.busy()) {
+            while (next < script.size() &&
+                   script[next].driverIter <= it) {
+                runtime::SubmitResult sr = mgr.submit(
+                    script[next].prompt, script[next].maxNew);
+                SPECINFER_CHECK(sr.accepted(),
+                                "recovery trial baseline reject");
+                ++next;
+            }
+            mgr.runIteration();
+            ++it;
+            if (++guard > 20000) {
+                out.ok = false;
+                out.detail = "baseline failed to drain";
+                return out;
+            }
+        }
+        if (mgr.kvPool() && (mgr.kvPool()->usedBlocks() != 0 ||
+                             mgr.kvPool()->stats()
+                                     .redundantReleases != 0)) {
+            out.ok = false;
+            out.detail = "baseline leaked KV blocks";
+            return out;
+        }
+        baseline = mgr.takeFinished();
+    }
+
+    // --- Count crash-point consultations for this workload. -------
+    // The crash must land uniformly *inside* the run; arming at a
+    // fixed-range occurrence would overshoot short workloads and
+    // never crash them. A dry run with the identical injector seed
+    // (crash unarmed — armed points and zero-probability points
+    // consume no randomness, so the KvAlloc schedule replays
+    // bit-exactly in the real run) counts the consultations.
+    uint64_t crash_consultations = 0;
+    {
+        util::FaultInjector counter(seed ^ 0xc7a5d1ULL);
+        util::FaultScope count_scope(&counter);
+        if (kv_faults)
+            counter.setProbability(util::FaultPoint::KvAlloc,
+                                   kv_fault_prob);
+        std::stringstream count_buf;
+        runtime::JournalWriter count_writer(count_buf);
+        runtime::RequestManager count_mgr(&engine, scfg);
+        count_mgr.attachJournal(&count_writer);
+        size_t cit = 0, cnext = 0, cguard = 0;
+        while (cnext < script.size() || count_mgr.busy()) {
+            while (cnext < script.size() &&
+                   script[cnext].driverIter <= cit) {
+                count_mgr.submit(script[cnext].prompt,
+                                 script[cnext].maxNew);
+                ++cnext;
+            }
+            count_mgr.runIteration();
+            ++cit;
+            if (++cguard > 20000) {
+                out.ok = false;
+                out.detail = "counting run failed to drain";
+                return out;
+            }
+        }
+        crash_consultations =
+            counter.occurrences(util::FaultPoint::Crash);
+    }
+    const uint64_t first_crash =
+        1 + rng.uniformInt(
+                std::max<uint64_t>(crash_consultations, 1));
+    out.configLine +=
+        " crashAt=" + std::to_string(first_crash) + "/" +
+        std::to_string(crash_consultations);
+
+    // --- Crash run: journal + snapshots + injected crashes. -------
+    util::FaultInjector injector(seed ^ 0xc7a5d1ULL);
+    util::FaultScope scope(&injector);
+    if (kv_faults)
+        injector.setProbability(util::FaultPoint::KvAlloc,
+                                kv_fault_prob);
+    injector.armAt(util::FaultPoint::Crash, first_crash);
+
+    auto journal_buf = std::make_unique<std::stringstream>();
+    auto writer = std::make_unique<runtime::JournalWriter>(
+        *journal_buf);
+    auto mgr = std::make_unique<runtime::RequestManager>(&engine,
+                                                         scfg);
+    mgr->attachJournal(writer.get());
+    std::string snap_bytes; // empty until the first snapshot
+    size_t crashes = 0;
+
+    size_t it = 0, next = 0, guard = 0;
+    while (next < script.size() || mgr->busy()) {
+        while (next < script.size() &&
+               script[next].driverIter <= it) {
+            runtime::SubmitResult sr = mgr->submit(
+                script[next].prompt, script[next].maxNew);
+            SPECINFER_CHECK(sr.accepted(),
+                            "recovery trial crash-run reject");
+            ++next;
+        }
+        mgr->runIteration();
+        if (mgr->crashed()) {
+            ++crashes;
+            // Process death: everything in memory is gone. Rebuild
+            // purely from the persisted snapshot + journal bytes.
+            auto recovered =
+                std::make_unique<runtime::RequestManager>(&engine,
+                                                          scfg);
+            auto new_buf = std::make_unique<std::stringstream>();
+            auto new_writer =
+                std::make_unique<runtime::JournalWriter>(*new_buf);
+            recovered->attachJournal(new_writer.get());
+            std::stringstream snap_in(snap_bytes);
+            std::stringstream journal_in(journal_buf->str());
+            recovered->recover(
+                snap_bytes.empty() ? nullptr : &snap_in,
+                &journal_in);
+            mgr = std::move(recovered);
+            journal_buf = std::move(new_buf);
+            writer = std::move(new_writer);
+            // Start a fresh journal epoch: snapshot now so a second
+            // crash recovers from this point.
+            std::stringstream snap_out;
+            mgr->writeSnapshot(snap_out);
+            snap_bytes = snap_out.str();
+            if (crashes < crash_budget)
+                injector.armAt(
+                    util::FaultPoint::Crash,
+                    injector.occurrences(util::FaultPoint::Crash) +
+                        1 + rng.uniformInt(uint64_t{60}));
+            // Retry the same driver iteration (arrivals already
+            // submitted this tick were journaled and recovered).
+            continue;
+        }
+        ++it;
+        if (it % snap_every == 0) {
+            std::stringstream snap_out;
+            mgr->writeSnapshot(snap_out);
+            snap_bytes = snap_out.str();
+        }
+        if (++guard > 20000) {
+            out.ok = false;
+            out.detail = "crash run failed to drain (crashes=" +
+                         std::to_string(crashes) + ")";
+            return out;
+        }
+    }
+    out.configLine += " firedCrashes=" + std::to_string(crashes);
+
+    if (mgr->kvPool() && (mgr->kvPool()->usedBlocks() != 0 ||
+                          mgr->kvPool()->stats().redundantReleases !=
+                              0)) {
+        out.ok = false;
+        out.detail = "crash run leaked KV blocks (used=" +
+                     std::to_string(mgr->kvPool()->usedBlocks()) +
+                     " redundant=" +
+                     std::to_string(mgr->kvPool()
+                                        ->stats()
+                                        .redundantReleases) +
+                     ")";
+        return out;
+    }
+    std::vector<runtime::RequestResult> recovered_results =
+        mgr->takeFinished();
+
+    // --- Equivalence: token-for-token identical outputs. ----------
+    if (baseline.size() != script.size() ||
+        recovered_results.size() != script.size()) {
+        out.ok = false;
+        out.detail = "request conservation violated: baseline " +
+                     std::to_string(baseline.size()) +
+                     ", recovered " +
+                     std::to_string(recovered_results.size()) +
+                     ", submitted " + std::to_string(script.size());
+        return out;
+    }
+    std::map<uint64_t, const runtime::RequestResult *> by_id;
+    for (const runtime::RequestResult &res : baseline)
+        by_id[res.id] = &res;
+    for (const runtime::RequestResult &res : recovered_results) {
+        auto ref = by_id.find(res.id);
+        if (ref == by_id.end()) {
+            out.ok = false;
+            out.detail = "request " + std::to_string(res.id) +
+                         " exists only after recovery";
+            return out;
+        }
+        if (res.tokens != ref->second->tokens) {
+            std::ostringstream oss;
+            oss << "request " << res.id
+                << " output diverged after recovery: baseline ["
+                << joinTokens(ref->second->tokens)
+                << "] vs recovered [" << joinTokens(res.tokens)
+                << "]";
+            out.ok = false;
+            out.detail = oss.str();
+            return out;
+        }
+        if (res.stopReason != ref->second->stopReason) {
+            out.ok = false;
+            out.detail = "request " + std::to_string(res.id) +
+                         " stop reason diverged after recovery";
+            return out;
+        }
+        if (verbose)
+            out.configLine += "\n  id=" + std::to_string(res.id) +
+                              ": " + joinTokens(res.tokens);
     }
     return out;
 }

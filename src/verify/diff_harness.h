@@ -79,6 +79,24 @@ TrialOutcome runTreeFuzzTrial(uint64_t seed);
  */
 TrialOutcome runKvRoundTripTrial(uint64_t seed);
 
+/**
+ * Crash/recovery equivalence trial: run a seeded serving workload
+ * (continuous batching, optional KV pool pressure and injected
+ * allocation faults, greedy or stochastic engine) twice — once
+ * uninterrupted, once with write-ahead journaling, periodic
+ * snapshots, and a process crash injected at a random point inside
+ * runIteration() (including mid-append, leaving a torn journal
+ * record). The crashed manager is discarded and rebuilt purely from
+ * the persisted snapshot + journal bytes, then driven to
+ * completion; some trials crash and recover twice.
+ *
+ * Passes when every request's final output is token-for-token
+ * identical between the two runs, stop reasons agree, no request is
+ * lost or duplicated, and the KV pool ends empty with zero
+ * redundant releases.
+ */
+TrialOutcome runRecoveryTrial(uint64_t seed, bool verbose = false);
+
 /** Configuration of the MSS distribution check. */
 struct MssCheckConfig
 {

@@ -73,6 +73,29 @@ TEST(KvBlockAllocatorTest, PeakAndFragmentation)
     EXPECT_DOUBLE_EQ(pool.fragmentation(0), 0.0);
 }
 
+TEST(KvBlockAllocatorTest, RedundantReleaseIsCountedNoop)
+{
+    // Abort paths (cancel, shed, deadline, preempt) may race the
+    // retirement path to release; a second release must not corrupt
+    // the free list — it is a counted no-op, and the counter is the
+    // test hook proving no double-release happens in practice.
+    KvBlockAllocator pool(4, 16);
+    ASSERT_TRUE(pool.reserve(1, 20));
+    pool.release(1);
+    EXPECT_EQ(pool.usedBlocks(), 0u);
+    EXPECT_EQ(pool.stats().redundantReleases, 0u);
+    pool.release(1); // double release
+    pool.release(99); // never-reserved id
+    EXPECT_EQ(pool.stats().redundantReleases, 2u);
+    EXPECT_EQ(pool.usedBlocks(), 0u);
+    // The pool is still fully usable.
+    EXPECT_TRUE(pool.reserve(2, 64));
+    EXPECT_EQ(pool.usedBlocks(), 4u);
+    pool.release(2);
+    EXPECT_EQ(pool.usedBlocks(), 0u);
+    EXPECT_EQ(pool.stats().redundantReleases, 2u);
+}
+
 TEST(KvBlockAllocatorDeathTest, RejectsDegeneratePool)
 {
     EXPECT_DEATH(KvBlockAllocator(0, 16), "empty");
@@ -278,6 +301,35 @@ TEST(KvAdmissionTest, ImpossibleRequestIsRejected)
     EXPECT_EQ(manager.stats().requestsSubmitted, 0u);
     EXPECT_EQ(manager.stats().rejectedNeverFits, 1u);
     EXPECT_FALSE(manager.busy());
+}
+
+TEST(KvAdmissionTest, AbortPathsNeverDoubleRelease)
+{
+    // Drive cancellation + preemption + shedding through the
+    // manager under a tight pool and require zero redundant
+    // releases and an empty pool at the end.
+    Fixture f;
+    size_t per_request = f.engine.config().maxNewTokens + 4 +
+                         f.engine.treeBudget() + 2;
+    ServingConfig cfg;
+    cfg.maxBatchSize = 4;
+    cfg.kvBlockTokens = 8;
+    KvBlockAllocator probe(1000, 8);
+    cfg.kvPoolBlocks = probe.blocksFor(per_request) * 3 / 2;
+    cfg.kvPolicy = KvReservationPolicy::OnDemand;
+    cfg.maxPreemptions = 1; // force preemption aborts too
+    RequestManager manager(&f.engine, cfg);
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < 6; ++i)
+        ids.push_back(manager.submit(promptFor(i)).id);
+    manager.runIteration();
+    manager.cancel(ids[1]); // active or pending, either way
+    manager.cancel(ids[5]);
+    manager.cancel(ids[5]); // second cancel: already gone
+    manager.runUntilDrained();
+    EXPECT_EQ(manager.finished().size(), 6u);
+    EXPECT_EQ(manager.kvPool()->usedBlocks(), 0u);
+    EXPECT_EQ(manager.kvPool()->stats().redundantReleases, 0u);
 }
 
 } // namespace

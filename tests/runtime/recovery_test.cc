@@ -1,0 +1,468 @@
+/**
+ * @file
+ * Crash-safe serving tests.
+ *
+ *  - Session snapshot fidelity: a SpecSession saved mid-generation
+ *    and reloaded continues bit-identically to the original.
+ *  - Deterministic snapshot+journal recovery at a clean iteration
+ *    boundary (with and without a snapshot).
+ *  - The randomized recovery-equivalence oracle
+ *    (verify::runRecoveryTrial): seeded workloads crashed at a
+ *    random point inside runIteration() — including mid-append,
+ *    leaving a torn journal record — must recover to outputs
+ *    token-for-token identical to an uninterrupted run. Override
+ *    the count with SPECINFER_RECOVERY_TRIALS=<n> and the base seed
+ *    with SPECINFER_RECOVERY_SEED=<n>.
+ *  - A crash-recovery soak: continuous batching under all fault
+ *    points *plus* probabilistic crashes, recovering every time and
+ *    holding the fault-soak invariants (conservation, exact or
+ *    prefix outputs, zero KV leaks) to the end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "../model/test_models.h"
+#include "model/model_factory.h"
+#include "runtime/journal.h"
+#include "runtime/request_manager.h"
+#include "util/fault.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "verify/diff_harness.h"
+
+namespace specinfer {
+namespace runtime {
+namespace {
+
+using core::SpecSession;
+using specinfer::testing::tinyLlm;
+using util::FaultInjector;
+using util::FaultPoint;
+using util::FaultScope;
+
+uint64_t
+envOr(const char *name, uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    return value != nullptr ? std::strtoull(value, nullptr, 10)
+                            : fallback;
+}
+
+// ----------------------------------------------------------------
+// Session snapshot fidelity.
+
+struct EngineFixture
+{
+    EngineFixture(bool stochastic = false)
+        : llm(tinyLlm()), ssm(model::makeEarlyExitSsm(llm, 2))
+    {
+        core::EngineConfig cfg =
+            stochastic ? core::EngineConfig::stochasticDefault(0.8f)
+                       : core::EngineConfig::greedyDefault();
+        cfg.spec.expansion = core::ExpansionConfig::uniform(2, 3);
+        cfg.maxNewTokens = 14;
+        cfg.stopAtEos = false;
+        engine.reset(new core::SpecEngine(&llm, {&ssm}, cfg));
+    }
+
+    model::Transformer llm;
+    model::Transformer ssm;
+    std::unique_ptr<core::SpecEngine> engine;
+};
+
+void
+runSessionRoundTrip(bool stochastic)
+{
+    EngineFixture f(stochastic);
+    std::vector<int> prompt = {5, 41, 3, 77, 12};
+    SpecSession original =
+        f.engine->makeSession(prompt, /*request_seed=*/9);
+    for (int i = 0; i < 3 && !original.done(); ++i)
+        original.step();
+
+    std::stringstream buf;
+    original.save(buf);
+    SpecSession restored = f.engine->loadSession(buf);
+
+    EXPECT_EQ(restored.sequence(), original.sequence());
+    EXPECT_EQ(restored.logProbs(), original.logProbs());
+    EXPECT_EQ(restored.done(), original.done());
+    EXPECT_EQ(restored.stats().steps.size(),
+              original.stats().steps.size());
+
+    // The restored session must continue *bit-identically*: same
+    // tokens, same log-probs, same per-step stats — the sampler
+    // cursor and KV state survived the round trip exactly.
+    while (!original.done()) {
+        ASSERT_FALSE(restored.done());
+        original.step();
+        restored.step();
+        ASSERT_EQ(restored.sequence(), original.sequence());
+    }
+    EXPECT_TRUE(restored.done());
+    EXPECT_EQ(restored.stopReason(), original.stopReason());
+    EXPECT_EQ(restored.logProbs(), original.logProbs());
+    EXPECT_EQ(restored.generated(), original.generated());
+}
+
+TEST(SessionSnapshotTest, GreedySessionContinuesBitIdentically)
+{
+    runSessionRoundTrip(false);
+}
+
+TEST(SessionSnapshotTest, StochasticSessionContinuesBitIdentically)
+{
+    // The stochastic path additionally exercises the RNG cursor
+    // (multi-step speculative sampling draws per step).
+    runSessionRoundTrip(true);
+}
+
+// ----------------------------------------------------------------
+// Deterministic recovery at a clean iteration boundary.
+
+std::map<uint64_t, std::vector<int>>
+finishedMap(const RequestManager &manager)
+{
+    std::map<uint64_t, std::vector<int>> out;
+    for (const RequestResult &res : manager.finished())
+        out[res.id] = res.tokens;
+    return out;
+}
+
+void
+runBoundaryRecovery(bool with_snapshot)
+{
+    EngineFixture f;
+    ServingConfig cfg;
+    cfg.maxBatchSize = 3;
+
+    RequestManager live(f.engine.get(), cfg);
+    std::stringstream journal_buf;
+    JournalWriter journal(journal_buf);
+    live.attachJournal(&journal);
+    std::vector<std::vector<int>> prompts = {
+        {3, 9, 27}, {8, 1, 5, 44}, {60, 2}, {7, 7, 7, 7, 7}};
+    for (size_t i = 0; i < 2; ++i)
+        ASSERT_TRUE(live.submit(prompts[i]).accepted());
+    for (int it = 0; it < 4; ++it)
+        live.runIteration();
+
+    // Capture the persistent state as of this boundary...
+    std::stringstream snapshot;
+    if (with_snapshot)
+        live.writeSnapshot(snapshot);
+    std::string journal_bytes = journal_buf.str();
+
+    // ...then let the live manager finish (late arrivals included).
+    for (size_t i = 2; i < prompts.size(); ++i)
+        ASSERT_TRUE(live.submit(prompts[i]).accepted());
+    live.runUntilDrained();
+
+    // Rebuild from the captured bytes and replay the same tail.
+    RequestManager recovered(f.engine.get(), cfg);
+    std::stringstream journal2_buf;
+    JournalWriter journal2(journal2_buf);
+    recovered.attachJournal(&journal2);
+    std::stringstream journal_in(journal_bytes);
+    uint64_t valid = recovered.recover(
+        with_snapshot ? &snapshot : nullptr, &journal_in);
+    EXPECT_EQ(valid, journal_bytes.size());
+    EXPECT_EQ(recovered.stats().iterations, 4u);
+    for (size_t i = 2; i < prompts.size(); ++i)
+        ASSERT_TRUE(recovered.submit(prompts[i]).accepted());
+    recovered.runUntilDrained();
+
+    EXPECT_EQ(finishedMap(recovered), finishedMap(live));
+    EXPECT_EQ(recovered.stats().requestsFinished,
+              live.stats().requestsFinished);
+    EXPECT_EQ(recovered.stats().tokensGenerated,
+              live.stats().tokensGenerated);
+}
+
+TEST(RecoveryTest, JournalOnlyReplayMatchesLiveRun)
+{
+    runBoundaryRecovery(false);
+}
+
+TEST(RecoveryTest, SnapshotPlusJournalTailMatchesLiveRun)
+{
+    runBoundaryRecovery(true);
+}
+
+TEST(RecoveryTest, RecoveredManagerKeepsJournalingForNextCrash)
+{
+    // The journal attached before recover() must receive the
+    // post-recovery records, so a *second* crash can recover from
+    // the fresh epoch (snapshot right after recovery + new journal).
+    EngineFixture f;
+    ServingConfig cfg;
+    cfg.maxBatchSize = 2;
+
+    RequestManager first(f.engine.get(), cfg);
+    std::stringstream buf1;
+    JournalWriter j1(buf1);
+    first.attachJournal(&j1);
+    ASSERT_TRUE(first.submit({4, 8, 15}).accepted());
+    ASSERT_TRUE(first.submit({16, 23, 42}).accepted());
+    for (int it = 0; it < 3; ++it)
+        first.runIteration();
+
+    RequestManager second(f.engine.get(), cfg);
+    std::stringstream buf2;
+    JournalWriter j2(buf2);
+    second.attachJournal(&j2);
+    std::stringstream in1(buf1.str());
+    second.recover(nullptr, &in1);
+    std::stringstream snap2;
+    second.writeSnapshot(snap2);
+    for (int it = 0; it < 2; ++it)
+        second.runIteration();
+    EXPECT_GT(j2.bytesWritten(), 0u);
+
+    RequestManager third(f.engine.get(), cfg);
+    std::stringstream in2(buf2.str());
+    // The epoch snapshot recorded offset 0 of the *new* journal.
+    snap2.seekg(0);
+    third.recover(&snap2, &in2);
+    third.runUntilDrained();
+
+    RequestManager reference(f.engine.get(), cfg);
+    ASSERT_TRUE(reference.submit({4, 8, 15}).accepted());
+    ASSERT_TRUE(reference.submit({16, 23, 42}).accepted());
+    reference.runUntilDrained();
+    EXPECT_EQ(finishedMap(third), finishedMap(reference));
+}
+
+// ----------------------------------------------------------------
+// The randomized recovery-equivalence oracle.
+
+TEST(RecoveryTest, SeededCrashTrialsRecoverBitIdentically)
+{
+    const uint64_t base = envOr("SPECINFER_RECOVERY_SEED", 8062026);
+    const uint64_t trials = envOr("SPECINFER_RECOVERY_TRIALS", 1000);
+    for (uint64_t i = 0; i < trials; ++i) {
+        verify::TrialOutcome out =
+            verify::runRecoveryTrial(base + i);
+        ASSERT_TRUE(out.ok)
+            << "seed " << (base + i) << ": " << out.detail << "\n"
+            << out.configLine;
+    }
+}
+
+// ----------------------------------------------------------------
+// Crash-recovery soak: crashes layered on the full fault soak.
+
+TEST(RecoverySoakTest, CrashesUnderFaultLoadKeepEveryInvariant)
+{
+    const uint64_t seed = envOr("SPECINFER_RECOVERY_SEED", 8062026);
+    const size_t soak_iterations =
+        envOr("SPECINFER_RECOVERY_SOAK_ITERATIONS", 2500);
+    const size_t snapshot_every = 16;
+
+    model::Transformer llm = tinyLlm();
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    core::EngineConfig ecfg = core::EngineConfig::greedyDefault();
+    ecfg.spec.expansion = core::ExpansionConfig::uniform(2, 4);
+    ecfg.maxNewTokens = 16;
+    ecfg.stopAtEos = false;
+    core::SpecEngine engine(&llm, {&ssm}, ecfg);
+
+    ServingConfig cfg;
+    cfg.maxBatchSize = 4;
+    cfg.kvBlockTokens = 8;
+    size_t per_request =
+        6 + ecfg.maxNewTokens + engine.treeBudget() + 2;
+    KvBlockAllocator probe(1000, 8);
+    cfg.kvPoolBlocks = probe.blocksFor(per_request) * 5 / 2;
+    cfg.kvPolicy = KvReservationPolicy::OnDemand;
+    cfg.maxPendingRequests = 8;
+    cfg.maxPreemptions = 4;
+    cfg.defaultDeadlineIterations = 400;
+    cfg.degradeAfterConsecutiveFaults = 3;
+    cfg.degradeBackoffIterations = 8;
+
+    FaultInjector fi(seed);
+    fi.setProbability(FaultPoint::SsmStep, 0.08);
+    fi.setProbability(FaultPoint::Verify, 0.04);
+    fi.setProbability(FaultPoint::KvAlloc, 0.04);
+    fi.setProbability(FaultPoint::SlowIteration, 0.02);
+    fi.setProbability(FaultPoint::Crash, 0.004);
+
+    util::Rng workload(seed ^ 0x50a4ULL);
+
+    struct Submitted
+    {
+        std::vector<int> prompt;
+        size_t maxNewTokens;
+    };
+    std::map<uint64_t, Submitted> accepted;
+    std::vector<uint64_t> live;
+    size_t rejected = 0, crashes = 0;
+
+    auto manager = std::unique_ptr<RequestManager>(
+        new RequestManager(&engine, cfg));
+    auto journal_buf =
+        std::unique_ptr<std::stringstream>(new std::stringstream);
+    auto journal = std::unique_ptr<JournalWriter>(
+        new JournalWriter(*journal_buf));
+    manager->attachJournal(journal.get());
+    std::string snap_bytes; // empty = no snapshot yet
+
+    // Discard the crashed manager and rebuild purely from the
+    // persisted bytes; start a fresh journal epoch (new journal +
+    // immediate snapshot) so the *next* crash recovers too.
+    auto recoverNow = [&]() {
+        ++crashes;
+        auto buf2 = std::unique_ptr<std::stringstream>(
+            new std::stringstream);
+        auto journal2 = std::unique_ptr<JournalWriter>(
+            new JournalWriter(*buf2));
+        auto fresh = std::unique_ptr<RequestManager>(
+            new RequestManager(&engine, cfg));
+        fresh->attachJournal(journal2.get());
+        std::stringstream journal_in(journal_buf->str());
+        std::unique_ptr<std::stringstream> snap_in;
+        if (!snap_bytes.empty())
+            snap_in.reset(new std::stringstream(snap_bytes));
+        fresh->recover(snap_in.get(), &journal_in);
+        manager = std::move(fresh);
+        journal = std::move(journal2);
+        journal_buf = std::move(buf2);
+        std::stringstream snap_out;
+        manager->writeSnapshot(snap_out);
+        snap_bytes = snap_out.str();
+    };
+
+    {
+        FaultScope scope(&fi);
+        for (size_t it = 0; it < soak_iterations; ++it) {
+            if (workload.uniform() < 0.22) {
+                Submitted sub;
+                size_t len = 3 + size_t(workload.uniform() * 4);
+                for (size_t t = 0; t < len; ++t)
+                    sub.prompt.push_back(
+                        1 + int(workload.uniform() * 90));
+                sub.maxNewTokens =
+                    8 + size_t(workload.uniform() * 9);
+                size_t deadline = 0;
+                if (workload.uniform() < 0.2)
+                    deadline = 30 + size_t(workload.uniform() * 31);
+                SubmitResult sr = manager->submit(
+                    sub.prompt, sub.maxNewTokens, deadline);
+                if (sr.accepted()) {
+                    accepted.emplace(sr.id, std::move(sub));
+                    live.push_back(sr.id);
+                } else {
+                    ASSERT_EQ(sr.reject, RejectReason::QueueFull)
+                        << fi.reproLine();
+                    ++rejected;
+                }
+            }
+            if (!live.empty() && workload.uniform() < 0.01) {
+                size_t pick =
+                    size_t(workload.uniform() * double(live.size()));
+                pick = std::min(pick, live.size() - 1);
+                manager->cancel(live[pick]);
+            }
+            manager->runIteration();
+            if (manager->crashed()) {
+                recoverNow();
+                continue; // the iteration was lost; re-run it
+            }
+            if ((it + 1) % snapshot_every == 0) {
+                std::stringstream snap_out;
+                manager->writeSnapshot(snap_out);
+                snap_bytes = snap_out.str();
+            }
+            if (live.size() > 64 || it + 1 == soak_iterations) {
+                std::map<uint64_t, bool> done;
+                for (const RequestResult &res : manager->finished())
+                    done[res.id] = true;
+                std::vector<uint64_t> still;
+                for (uint64_t id : live)
+                    if (!done.count(id))
+                        still.push_back(id);
+                live.swap(still);
+            }
+        }
+        size_t guard = 0;
+        while (manager->busy()) {
+            manager->runIteration();
+            if (manager->crashed())
+                recoverNow();
+            ASSERT_LT(++guard, 20000u)
+                << "soak livelock: " << fi.reproLine();
+        }
+    }
+
+    // Conservation across every crash: exactly one result per
+    // accepted request, none invented, none lost.
+    ASSERT_EQ(manager->finished().size(), accepted.size())
+        << fi.reproLine();
+    std::map<uint64_t, const RequestResult *> results;
+    for (const RequestResult &res : manager->finished()) {
+        ASSERT_TRUE(accepted.count(res.id)) << fi.reproLine();
+        ASSERT_TRUE(results.emplace(res.id, &res).second)
+            << "duplicate result for id " << res.id;
+    }
+
+    // The differential oracle still holds through crashes: finished
+    // requests are token-identical to the fault-free engine output,
+    // aborted ones are a prefix of it.
+    size_t normal = 0, aborted = 0;
+    for (const auto &entry : results) {
+        const RequestResult &res = *entry.second;
+        const Submitted &sub = accepted.at(res.id);
+        std::vector<int> want =
+            engine.generate(sub.prompt, res.id, sub.maxNewTokens)
+                .tokens;
+        switch (res.stopReason) {
+        case SpecSession::StopReason::MaxTokens:
+        case SpecSession::StopReason::Eos:
+        case SpecSession::StopReason::StopSequence:
+        case SpecSession::StopReason::CapacityLimit:
+            ++normal;
+            EXPECT_EQ(res.tokens, want)
+                << "id " << res.id << ": " << fi.reproLine();
+            break;
+        case SpecSession::StopReason::Deadline:
+        case SpecSession::StopReason::Cancelled:
+        case SpecSession::StopReason::Preempted:
+        case SpecSession::StopReason::Shed:
+            ++aborted;
+            ASSERT_LE(res.tokens.size(), want.size())
+                << fi.reproLine();
+            EXPECT_TRUE(std::equal(res.tokens.begin(),
+                                   res.tokens.end(), want.begin()))
+                << "id " << res.id
+                << " partial output is not a prefix: "
+                << fi.reproLine();
+            break;
+        case SpecSession::StopReason::None:
+            FAIL() << "id " << res.id << " finished without a "
+                   << "stop reason: " << fi.reproLine();
+        }
+    }
+
+    EXPECT_GT(crashes, 0u) << fi.reproLine();
+    EXPECT_GT(normal, 0u) << fi.reproLine();
+    EXPECT_EQ(manager->kvPool()->usedBlocks(), 0u)
+        << fi.reproLine();
+    EXPECT_EQ(manager->kvPool()->stats().redundantReleases, 0u)
+        << fi.reproLine();
+
+    SPECINFER_INFO("recovery soak: " << crashes << " crashes, "
+                                     << normal << " exact, "
+                                     << aborted << " aborted-prefix; "
+                                     << fi.reproLine());
+}
+
+} // namespace
+} // namespace runtime
+} // namespace specinfer

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace specinfer {
@@ -86,6 +88,60 @@ TEST(FaultInjectorTest, ArmedOccurrenceFiresExactlyOnce)
         if (fi.fire(FaultPoint::SlowIteration))
             fired_at.push_back(i);
     EXPECT_EQ(fired_at, (std::vector<uint64_t>{3, 5}));
+}
+
+TEST(FaultInjectorTest, ConcurrentConsultationIsExactlyCounted)
+{
+    // The batched forward path consults fire() from pool workers;
+    // counters must not drop updates under contention (they are
+    // atomics, verified under TSan by the build-tsan preset).
+    const int kThreads = 8;
+    const int kPerThread = 5000;
+    FaultInjector fi(31337);
+    fi.setProbability(FaultPoint::SsmStep, 0.25);
+    std::atomic<uint64_t> observed{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back([&]() {
+            uint64_t mine = 0;
+            for (int i = 0; i < kPerThread; ++i)
+                mine += fi.fire(FaultPoint::SsmStep) ? 1 : 0;
+            observed.fetch_add(mine);
+        });
+    for (std::thread &w : workers)
+        w.join();
+    const uint64_t total =
+        uint64_t(kThreads) * uint64_t(kPerThread);
+    EXPECT_EQ(fi.occurrences(FaultPoint::SsmStep), total);
+    EXPECT_EQ(fi.fired(FaultPoint::SsmStep), observed.load());
+    EXPECT_EQ(fi.totalFired(), observed.load());
+    // Sanity: p=0.25 over 40k draws lands well inside [0.2, 0.3].
+    EXPECT_GT(observed.load(), total / 5);
+    EXPECT_LT(observed.load(), (total * 3) / 10);
+}
+
+TEST(FaultInjectorTest, ConcurrentArmedOccurrenceFiresOnce)
+{
+    // An armed one-shot must fire exactly once even when the firing
+    // occurrence is racing with consultations from other threads.
+    const int kThreads = 8;
+    const int kPerThread = 1000;
+    FaultInjector fi(7);
+    fi.armAt(FaultPoint::Crash, 1234);
+    std::atomic<uint64_t> hits{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back([&]() {
+            for (int i = 0; i < kPerThread; ++i)
+                if (fi.fire(FaultPoint::Crash))
+                    hits.fetch_add(1);
+        });
+    for (std::thread &w : workers)
+        w.join();
+    EXPECT_EQ(hits.load(), 1u);
+    EXPECT_EQ(fi.fired(FaultPoint::Crash), 1u);
+    EXPECT_EQ(fi.occurrences(FaultPoint::Crash),
+              uint64_t(kThreads) * uint64_t(kPerThread));
 }
 
 TEST(FaultInjectorTest, ReproLineNamesSeedAndPoints)

@@ -27,6 +27,9 @@ commonFlagNames()
         "llm",        "ssm-layers", "dataset",   "num-prompts",
         "max-tokens", "temperature", "expansion", "seed",
         "verbose",
+        // Crash-safe serving (spec_infer --journal mode).
+        "batch",      "journal",    "snapshot-every",
+        "crash-after", "recover",
     };
     return names;
 }

@@ -6,8 +6,9 @@
  *
  * Usage:
  *   diffcheck [--trials N] [--fuzz-trials N] [--kv-trials N]
- *             [--mss-samples N] [--seed S] [--alpha A]
- *             [--replay SEED --kind greedy|fuzz|kv]
+ *             [--recovery-trials N] [--mss-samples N] [--seed S]
+ *             [--alpha A]
+ *             [--replay SEED --kind greedy|fuzz|kv|recovery]
  *
  * Exit status is 0 iff every check passes. On failure the tool
  * prints `diffcheck --replay <seed> --kind <kind>`, which re-runs
@@ -52,6 +53,12 @@ greedyTrialThunk(uint64_t seed)
     return specinfer::verify::runGreedyTrial(seed);
 }
 
+specinfer::verify::TrialOutcome
+recoveryTrialThunk(uint64_t seed)
+{
+    return specinfer::verify::runRecoveryTrial(seed);
+}
+
 } // namespace
 
 int
@@ -60,8 +67,8 @@ main(int argc, char **argv)
     using namespace specinfer;
     util::Flags flags(argc, argv);
     flags.allowOnly({"trials", "fuzz-trials", "kv-trials",
-                     "mss-samples", "mss-ssms", "seed", "alpha",
-                     "replay", "kind"});
+                     "recovery-trials", "mss-samples", "mss-ssms",
+                     "seed", "alpha", "replay", "kind"});
 
     const uint64_t seed0 =
         static_cast<uint64_t>(flags.getInt("seed", 1));
@@ -77,8 +84,11 @@ main(int argc, char **argv)
             out = verify::runTreeFuzzTrial(seed);
         else if (kind == "kv")
             out = verify::runKvRoundTripTrial(seed);
+        else if (kind == "recovery")
+            out = verify::runRecoveryTrial(seed, /*verbose=*/true);
         else {
-            std::printf("unknown --kind '%s' (greedy|fuzz|kv)\n",
+            std::printf("unknown --kind '%s' "
+                        "(greedy|fuzz|kv|recovery)\n",
                         kind.c_str());
             return 2;
         }
@@ -95,6 +105,8 @@ main(int argc, char **argv)
         static_cast<size_t>(flags.getInt("fuzz-trials", 200));
     const size_t kv_trials =
         static_cast<size_t>(flags.getInt("kv-trials", 50));
+    const size_t recovery_trials =
+        static_cast<size_t>(flags.getInt("recovery-trials", 100));
 
     size_t failures = 0;
     failures += runFamily("greedy", greedyTrialThunk, seed0, trials);
@@ -102,6 +114,8 @@ main(int argc, char **argv)
                           seed0, fuzz_trials);
     failures += runFamily("kv", verify::runKvRoundTripTrial,
                           seed0, kv_trials);
+    failures += runFamily("recovery", recoveryTrialThunk, seed0,
+                          recovery_trials);
 
     verify::MssCheckConfig mss;
     mss.seed = seed0 + 0x515151ULL;

@@ -9,13 +9,139 @@
  *              [--dataset Alpaca] [--num-prompts 4]
  *              [--max-tokens 64] [--temperature 0]
  *              [--expansion 1,1,3,1,1,1,1,1] [--seed 1] [--verbose]
+ *              [--batch 4] [--journal serve.wal]
+ *              [--snapshot-every 32] [--crash-after N] [--recover]
  *
  * temperature 0 = greedy decoding (lossless vs incremental);
  * temperature > 0 = stochastic decoding via multi-step speculative
  * sampling.
+ *
+ * Crash safety: with --journal the prompts are served through the
+ * continuous-batching RequestManager with a write-ahead token
+ * journal at the given path and a state snapshot at
+ * `<journal>.snap` refreshed every --snapshot-every iterations.
+ * --crash-after N kills the process mid-serve after N iterations
+ * (simulating a crash); a subsequent run with --recover rebuilds
+ * the scheduler from snapshot + journal tail and finishes the
+ * interrupted requests — with outputs token-identical to an
+ * uninterrupted run.
  */
 
 #include "cli_common.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "runtime/journal.h"
+#include "runtime/request_manager.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace specinfer;
+
+/** Serve through the journaled RequestManager (--journal mode). */
+int
+serveJournaled(core::SpecEngine &engine,
+               const workload::PromptDataset &dataset,
+               size_t num_prompts, size_t batch,
+               const std::string &journal_path, size_t snap_every,
+               int64_t crash_after, bool recover_mode, bool verbose)
+{
+    const std::string snap_path = journal_path + ".snap";
+    runtime::ServingConfig scfg;
+    scfg.maxBatchSize = batch;
+    runtime::RequestManager manager(&engine, scfg);
+
+    size_t next_prompt = 0;
+    if (recover_mode) {
+        // Rebuild from the persisted bytes: snapshot (if any) plus
+        // the journal tail, tolerating a torn final record.
+        std::stringstream journal_in;
+        {
+            std::ifstream in(journal_path, std::ios::binary);
+            SPECINFER_CHECK(in.good(), "cannot read journal '"
+                                           << journal_path << "'");
+            journal_in << in.rdbuf();
+        }
+        std::ifstream snap_in(snap_path, std::ios::binary);
+        uint64_t valid = manager.recover(
+            snap_in.good() ? &snap_in : nullptr, &journal_in);
+        std::printf("recover: %llu valid journal bytes, "
+                    "%zu finished, %zu active, %zu pending at "
+                    "iteration %zu\n",
+                    static_cast<unsigned long long>(valid),
+                    manager.finished().size(),
+                    manager.activeCount(), manager.pendingCount(),
+                    static_cast<size_t>(manager.stats().iterations));
+        // Every submitted prompt is journaled; only the tail of the
+        // dataset never reached submit() before the crash.
+        next_prompt = manager.finished().size() +
+                      manager.activeCount() +
+                      manager.pendingCount();
+    }
+
+    // Start a fresh journal epoch: snapshot the recovered (or
+    // empty) state, then truncate the journal and append from zero.
+    std::ofstream journal_out(journal_path,
+                              std::ios::binary | std::ios::trunc);
+    SPECINFER_CHECK(journal_out.good(),
+                    "cannot write journal '" << journal_path << "'");
+    runtime::JournalWriter journal(journal_out);
+    manager.attachJournal(&journal);
+    auto snapshot = [&]() {
+        std::ofstream snap_out(snap_path,
+                               std::ios::binary | std::ios::trunc);
+        manager.writeSnapshot(snap_out);
+        journal_out.flush();
+    };
+    snapshot();
+
+    for (size_t i = next_prompt; i < num_prompts; ++i)
+        manager.submit(dataset.prompt(i), 0);
+
+    size_t it = 0;
+    while (manager.busy()) {
+        manager.runIteration();
+        ++it;
+        if (it % snap_every == 0)
+            snapshot();
+        if (crash_after >= 0 &&
+            it >= static_cast<size_t>(crash_after) &&
+            manager.busy()) {
+            // Simulated process death: no snapshot, no drain — the
+            // journal's flushed prefix is all a restart gets.
+            journal_out.flush();
+            std::printf("crash-after: dying at iteration %zu with "
+                        "%zu requests in flight (rerun with "
+                        "--recover)\n",
+                        it,
+                        manager.activeCount() +
+                            manager.pendingCount());
+            std::exit(3);
+        }
+    }
+    snapshot();
+
+    double steps = 0.0, tokens = 0.0;
+    for (const runtime::RequestResult &res : manager.finished()) {
+        core::GenerationResult gen;
+        gen.tokens = res.tokens;
+        gen.stats = res.stats;
+        tools::printResult(res.id, dataset.prompt(res.id - 1), gen,
+                           verbose);
+        steps += static_cast<double>(res.stats.llmSteps());
+        tokens += static_cast<double>(res.tokens.size());
+    }
+    std::printf("total: %.0f tokens in %.0f LLM decoding steps "
+                "(%.2f tokens/step) over %zu iterations\n",
+                tokens, steps, tokens / steps,
+                static_cast<size_t>(manager.stats().iterations));
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -59,6 +185,17 @@ main(int argc, char **argv)
 
     workload::PromptDataset dataset = workload::PromptDataset::named(
         dataset_name, llm.config().vocabSize);
+
+    const std::string journal_path = flags.get("journal", "");
+    if (!journal_path.empty())
+        return serveJournaled(
+            engine, dataset, num_prompts,
+            static_cast<size_t>(flags.getInt("batch", 4)),
+            journal_path,
+            static_cast<size_t>(flags.getInt("snapshot-every", 32)),
+            flags.getInt("crash-after", -1),
+            flags.getBool("recover"), verbose);
+
     double steps = 0.0, tokens = 0.0;
     for (size_t i = 0; i < num_prompts; ++i) {
         std::vector<int> prompt = dataset.prompt(i);
