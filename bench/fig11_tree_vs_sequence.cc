@@ -16,24 +16,33 @@
  *     to ~1.8x at large BS).
  */
 
-#include <chrono>
 #include <cstdio>
 
 #include "bench_common.h"
 #include "model/sequence_parallel.h"
+#include "obs/clock.h"
 #include "simulator/system_model.h"
 #include "util/table.h"
 
 namespace {
 
 using namespace specinfer;
-using Clock = std::chrono::steady_clock;
+
+/** Injectable time source (obs::SteadyClock in this binary); the
+ *  bench shares the serving stack's clock abstraction instead of
+ *  calling std::chrono directly. */
+const obs::Clock &
+benchClock()
+{
+    return obs::SteadyClock::instance();
+}
 
 double
-secondsSince(Clock::time_point start)
+secondsSince(uint64_t start_nanos)
 {
-    return std::chrono::duration<double>(Clock::now() - start)
-        .count();
+    return static_cast<double>(benchClock().nowNanos() -
+                               start_nanos) *
+           1.0e-9;
 }
 
 } // namespace
@@ -99,14 +108,14 @@ main()
         double tree_s = 0.0, seq_s = 0.0;
         size_t tree_fwds = 0, seq_fwds = 0, seq_kern = 0;
         for (size_t rep = 0; rep < reps; ++rep) {
-            Clock::time_point t0 = Clock::now();
+            uint64_t t0 = benchClock().nowNanos();
             for (size_t r = 0; r < bs; ++r) {
                 size_t base = caches[r].length();
                 llm.forward(chunks[r], caches[r]);
                 caches[r].truncate(base);
             }
             tree_s += secondsSince(t0);
-            t0 = Clock::now();
+            t0 = benchClock().nowNanos();
             for (size_t r = 0; r < bs; ++r) {
                 size_t base = caches[r].length();
                 model::SequenceParallelStats stats;

@@ -5,12 +5,25 @@
  * continuous-batching scheduler iteration. scripts/bench_json.sh
  * records these into BENCH_serving.json per git rev so the serving
  * perf trajectory is tracked alongside the kernel one.
+ *
+ * Observability smoke: setting SPECINFER_METRICS_OUT and/or
+ * SPECINFER_TRACE_OUT installs a process-global ObsContext for the
+ * whole run and writes a Prometheus snapshot / Chrome trace on exit
+ * (tracing is enabled only when a trace path is requested). CI runs
+ * the drain benchmark this way and validates both artifacts with
+ * obs_check.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+
 #include "core/spec_engine.h"
 #include "model/model_factory.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "runtime/request_manager.h"
 #include "util/rng.h"
 #include "workload/datasets.h"
@@ -112,4 +125,33 @@ BENCHMARK(BM_ContinuousBatchDrain)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const char *metrics_path = std::getenv("SPECINFER_METRICS_OUT");
+    const char *trace_path = std::getenv("SPECINFER_TRACE_OUT");
+    std::unique_ptr<obs::ObsContext> ctx;
+    if (metrics_path != nullptr || trace_path != nullptr) {
+        ctx = std::make_unique<obs::ObsContext>(
+            &obs::SteadyClock::instance(),
+            /*tracing_enabled=*/trace_path != nullptr);
+        obs::setGlobalObs(ctx.get());
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (ctx != nullptr) {
+        if (metrics_path != nullptr) {
+            std::ofstream out(metrics_path);
+            obs::writePrometheus(ctx->metrics().snapshot(), out);
+        }
+        if (trace_path != nullptr) {
+            std::ofstream out(trace_path);
+            ctx->tracer().writeChromeTrace(out);
+        }
+        obs::setGlobalObs(nullptr);
+    }
+    return 0;
+}

@@ -13,6 +13,28 @@ ctest --test-dir build --output-on-failure
 # a seed-exact repro line on any failure.
 ./build/tools/diffcheck --trials 50
 
+# Observability smoke: a short serving run under the exporters, then
+# obs_check validates the Prometheus exposition (pinning the serving
+# metric catalog) and the Chrome trace JSON. CI uploads build/obs/
+# as artifacts.
+mkdir -p build/obs
+SPECINFER_METRICS_OUT=build/obs/micro_serving.prom \
+SPECINFER_TRACE_OUT=build/obs/micro_serving.trace.json \
+./build/bench/micro_serving \
+    --benchmark_filter='BM_ContinuousBatchDrain' \
+    --benchmark_min_time=0.01
+./build/tools/obs_check \
+    --metrics build/obs/micro_serving.prom \
+    --trace build/obs/micro_serving.trace.json \
+    --require-metric serving_iterations,serving_requests_finished,serving_tokens_generated,serving_iteration_millis,engine_tokens_verified,pool_jobs_dispatched
+./build/tools/spec_infer --num-prompts 2 --max-tokens 8 \
+    --metrics-out build/obs/spec_infer.prom \
+    --trace-out build/obs/spec_infer.trace.json
+./build/tools/obs_check \
+    --metrics build/obs/spec_infer.prom \
+    --trace build/obs/spec_infer.trace.json \
+    --require-metric engine_tokens_proposed,engine_tokens_accepted,model_kernel_launches
+
 # Fault-injection soak under ASan/UBSan: thousands of scheduling
 # iterations with random speculator/verifier/allocator/straggler
 # faults; checks liveness, request conservation, the spec-vs-
@@ -29,13 +51,14 @@ cmake --build --preset asan --target test_recovery
 SPECINFER_RECOVERY_TRIALS=300 ./build-asan/tests/test_recovery
 
 # Data-race sweep: thread pool, batched forward, fault injection,
-# and recovery machinery under ThreadSanitizer.
+# recovery machinery, and the metrics/tracing instruments (hammered
+# from pool workers) under ThreadSanitizer.
 cmake --preset tsan
 cmake --build --preset tsan
 SPECINFER_SOAK_ITERATIONS=1500 SPECINFER_RECOVERY_TRIALS=60 \
 SPECINFER_RECOVERY_SOAK_ITERATIONS=800 \
 ctest --preset tsan \
-      -R 'ThreadPool|ThreadedForward|Fault|Recovery|Journal|Crc32'
+      -R 'ThreadPool|ThreadedForward|Fault|Recovery|Journal|Crc32|Concurrency|Tracer|WorkloadTrace|OverheadGuard'
 
 for b in build/bench/*; do
     echo "=== $b ==="

@@ -7,11 +7,26 @@
 #include <ostream>
 
 #include "model/serialization.h"
+#include "obs/obs.h"
 #include "util/fault.h"
 #include "util/logging.h"
 
 namespace specinfer {
 namespace core {
+
+namespace {
+
+/** Accepted speculation depth per decode step, bucketed per depth
+ *  so the exposition yields an acceptance-rate-by-depth curve. */
+obs::HistogramMetric *
+acceptDepthHistogram(obs::ObsContext *o)
+{
+    return o->metrics().histogram(
+        "engine_accept_depth",
+        {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0});
+}
+
+} // namespace
 
 EngineConfig
 EngineConfig::greedyDefault()
@@ -103,7 +118,8 @@ SpecEngine::SpecEngine(const model::Transformer *llm,
                        EngineConfig cfg)
     : llm_(llm),
       verifier_(cfg.verify, cfg.llmSampling),
-      cfg_(cfg)
+      cfg_(cfg),
+      obs_(obs::resolveObs(cfg.obs))
 {
     SPECINFER_CHECK(llm_ != nullptr, "null LLM");
     cfg_.spec.expansion.validate();
@@ -135,7 +151,8 @@ SpecEngine::makeSession(std::vector<int> prompt,
     return SpecSession(this, std::move(prompt),
                        cfg_.seed ^ (request_seed * 0x9e3779b9ULL),
                        max_new_tokens == 0 ? cfg_.maxNewTokens
-                                           : max_new_tokens);
+                                           : max_new_tokens,
+                       request_seed);
 }
 
 GenerationResult
@@ -156,13 +173,15 @@ SpecEngine::generate(const std::vector<int> &prompt,
 
 SpecSession::SpecSession(const SpecEngine *engine,
                          std::vector<int> prompt,
-                         uint64_t request_seed, size_t max_new_tokens)
+                         uint64_t request_seed, size_t max_new_tokens,
+                         uint64_t track)
     : engine_(engine),
       seq_(std::move(prompt)),
       promptLen_(seq_.size()),
       maxNewTokens_(max_new_tokens),
       llmCache_(engine->llm_->makeCache(engine->cacheCapacity_)),
-      rng_(request_seed)
+      rng_(request_seed),
+      track_(track)
 {
     SPECINFER_CHECK(!seq_.empty(), "empty prompt");
     SPECINFER_CHECK(seq_.size() + 2 < engine->llm_->config().maxSeqLen,
@@ -326,7 +345,7 @@ SpecEngine::loadSession(std::istream &in) const
         std::vector<int>(seq.begin(),
                          seq.begin() +
                              static_cast<ptrdiff_t>(prompt_len)),
-        0, max_new);
+        0, max_new, 0);
     session.seq_ = std::move(seq);
     session.logProbs_ = model::io::readPodVector<float>(in);
     session.rng_.setState(readRngState(in));
@@ -370,6 +389,12 @@ SpecSession::step(bool allow_speculation)
     SPECINFER_CHECK(!done_, "step() on a finished session");
     const model::Transformer &llm = *engine_->llm_;
     const EngineConfig &cfg = engine_->cfg_;
+    obs::ObsContext *o = engine_->obs_;
+    // Spans are gated on the tracer so a metrics-only context never
+    // reads the clock on the decode path.
+    obs::Tracer *tr = (o != nullptr && o->tracer().enabled())
+                          ? &o->tracer()
+                          : nullptr;
 
     // 0. Chunked prefill: if more uncached tokens remain than the
     // per-iteration cap allows, absorb one plain chunk and return
@@ -384,8 +409,16 @@ SpecSession::step(bool allow_speculation)
                 seq_.begin() +
                     static_cast<ptrdiff_t>(llmCache_.length() +
                                            cfg.maxPrefillChunk));
+            const uint64_t t0 = tr != nullptr ? tr->nowNanos() : 0;
             llm.forward(model::DecodeChunk::sequence(part),
                         llmCache_);
+            if (tr != nullptr)
+                tr->span(track_, "engine", "prefill", t0,
+                         tr->nowNanos(),
+                         {{"tokens",
+                           static_cast<int64_t>(part.size())}});
+            if (o != nullptr)
+                o->metrics().counter("engine_prefill_chunks")->inc();
             StepRecord prefill;
             prefill.llmChunkTokens = part.size();
             prefill.prefill = true;
@@ -407,10 +440,19 @@ SpecSession::step(bool allow_speculation)
         if (util::faultAt(util::FaultPoint::SsmStep)) {
             record.fallback = true;
         } else {
+            const uint64_t t0 = tr != nullptr ? tr->nowNanos() : 0;
             SpeculationCost cost;
             tree = engine_->speculator_->speculate(seq_, ssmCaches_,
                                                    rng_, &cost);
             record.ssmTokensDecoded = cost.ssmTokensDecoded;
+            if (tr != nullptr)
+                tr->span(track_, "engine", "speculate", t0,
+                         tr->nowNanos(),
+                         {{"tree", static_cast<int64_t>(
+                                       tree.speculatedCount())},
+                          {"ssm_tokens",
+                           static_cast<int64_t>(
+                               cost.ssmTokensDecoded)}});
         }
     }
     record.treeSize = tree.speculatedCount();
@@ -435,7 +477,12 @@ SpecSession::step(bool allow_speculation)
         chunk.parents.push_back(node.parent + offset);
     }
     const size_t base = llmCache_.length();
+    const uint64_t t_decode = tr != nullptr ? tr->nowNanos() : 0;
     tensor::Tensor chunk_logits = llm.forward(chunk, llmCache_);
+    if (tr != nullptr)
+        tr->span(track_, "engine", "tree_decode", t_decode,
+                 tr->nowNanos(),
+                 {{"chunk", static_cast<int64_t>(chunk.size())}});
     record.llmChunkTokens = chunk.size();
 
     // Re-index logits by tree node id (root = catch-up row offset).
@@ -451,6 +498,7 @@ SpecSession::step(bool allow_speculation)
     // so the step degrades to incremental output instead of
     // aborting. Only consulted when there is a tree to lose.
     VerifyResult verdict;
+    const uint64_t t_verify = tr != nullptr ? tr->nowNanos() : 0;
     if (tree.speculatedCount() > 0 &&
         util::faultAt(util::FaultPoint::Verify)) {
         record.fallback = true;
@@ -463,6 +511,12 @@ SpecSession::step(bool allow_speculation)
     } else {
         verdict = engine_->verifier_.verify(tree, node_logits, rng_);
     }
+    if (tr != nullptr)
+        tr->span(track_, "engine", "verify", t_verify, tr->nowNanos(),
+                 {{"accepted", static_cast<int64_t>(
+                                   verdict.acceptedNodes.size())},
+                  {"emitted", static_cast<int64_t>(
+                                  verdict.tokens.size())}});
 
     // Respect the generation budget and EOS.
     std::vector<int> appended = verdict.tokens;
@@ -506,6 +560,30 @@ SpecSession::step(bool allow_speculation)
     seq_.insert(seq_.end(), appended.begin(), appended.end());
     record.verifiedTokens = appended.size();
     stats_.steps.push_back(record);
+
+    if (o != nullptr) {
+        // Accepted = tokens drawn from accepted tree nodes; anything
+        // beyond that is the bonus token from the last distribution.
+        const size_t accepted = std::min(
+            appended.size(), verdict.acceptedNodes.size());
+        obs::MetricsRegistry &reg = o->metrics();
+        reg.counter("engine_tokens_proposed")->inc(record.treeSize);
+        reg.counter("engine_tokens_verified")->inc(appended.size());
+        reg.counter("engine_tokens_accepted")->inc(accepted);
+        reg.counter("engine_bonus_tokens")
+            ->inc(appended.size() - accepted);
+        reg.counter("engine_ssm_tokens")
+            ->inc(record.ssmTokensDecoded);
+        if (record.fallback) {
+            reg.counter("engine_fallback_steps")->inc();
+            if (tr != nullptr)
+                tr->instant(track_, "engine", "fallback",
+                            tr->nowNanos());
+        }
+        if (record.treeSize > 0)
+            acceptDepthHistogram(o)->observe(
+                static_cast<double>(accepted));
+    }
 
     // 4. KV-cache compaction: keep the prefix, the catch-up tokens
     // (including the root), and the accepted nodes that survived the

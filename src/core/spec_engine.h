@@ -34,6 +34,9 @@
 #include "util/rng.h"
 
 namespace specinfer {
+namespace obs {
+class ObsContext;
+}
 namespace core {
 
 /** Full engine configuration. */
@@ -61,6 +64,15 @@ struct EngineConfig
      * in the output, like EOS). Empty entries are ignored.
      */
     std::vector<std::vector<int>> stopSequences;
+
+    /**
+     * Observability context (non-owning). The engine resolves this
+     * against the process-global context at construction
+     * (obs::resolveObs); when both are null every instrumentation
+     * site is a single skipped branch and outputs are bit-identical
+     * to an uninstrumented build.
+     */
+    obs::ObsContext *obs = nullptr;
 
     /** Convenience: greedy engine with the paper's expansion. */
     static EngineConfig greedyDefault();
@@ -205,7 +217,8 @@ class SpecSession
   private:
     friend class SpecEngine;
     SpecSession(const SpecEngine *engine, std::vector<int> prompt,
-                uint64_t request_seed, size_t max_new_tokens);
+                uint64_t request_seed, size_t max_new_tokens,
+                uint64_t track);
 
     /** Truncate at a stop-sequence match inside `appended` and set
      *  the stop state; returns the (possibly shortened) list. */
@@ -222,6 +235,9 @@ class SpecSession
     SpecStats stats_;
     bool done_ = false;
     StopReason stopReason_ = StopReason::None;
+    /** Trace track (request id under the request manager; 0 for
+     *  bare generate() sessions and reloaded snapshots). */
+    uint64_t track_ = 0;
 };
 
 /**
@@ -281,6 +297,7 @@ class SpecEngine
     EngineConfig cfg_;
     size_t cacheCapacity_;
     size_t treeBudget_; ///< max speculated nodes in a merged tree
+    obs::ObsContext *obs_; ///< resolved cfg.obs ?: global (may be null)
 };
 
 /**

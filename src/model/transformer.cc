@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/threadpool.h"
@@ -84,6 +85,17 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
                     "chunk prefixLen exceeds cache length");
     const size_t base = cache.allocate(m);
     kernelLaunches_.fetch_add(1, std::memory_order_relaxed);
+
+    // Models are constructed by factories that never see an
+    // ObsContext, so the kernel layer reports through the process-
+    // global context. Null context = one branch per phase boundary
+    // and zero clock reads (observation only — no program state is
+    // ever touched).
+    obs::ObsContext *o = obs::globalObs();
+    uint64_t t_kv = 0, t_q = 0, t_attn = 0, t_proj = 0, t_mlp = 0;
+    auto now = [&]() -> uint64_t {
+        return o != nullptr ? o->nowNanos() : 0;
+    };
 
     static const std::vector<size_t> no_extras;
     auto extras_of = [&](size_t i) -> const std::vector<size_t> & {
@@ -174,6 +186,7 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
         // fused single-kernel layout of §4.2; chunk slots are
         // contiguous rows [base, base + m) of the per-layer cache
         // tensors, so one strided GEMM writes them all.
+        uint64_t t0 = now();
         tensor::matmulTransposedBInto(normed, lw.wk,
                                       cache.keyRow(layer, base),
                                       cache.kvDim());
@@ -184,6 +197,8 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
             tensor::ropeRowCached(cache.keyRow(layer, base + i),
                                   n_heads, d_head, rope_tab.row(i));
         });
+        uint64_t t1 = now();
+        t_kv += t1 - t0;
 
         // Phase 2a: batched Q projection + RoPE.
         tensor::matmulTransposedB(normed, lw.wq, q_all);
@@ -191,6 +206,8 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
             tensor::ropeRowCached(q_all.row(i), n_heads, d_head,
                                   rope_tab.row(i));
         });
+        uint64_t t2 = now();
+        t_q += t2 - t1;
 
         // Phase 2b: attention under the topology-aware causal mask,
         // parallel over tokens. Loops run context-slot-outer /
@@ -241,12 +258,16 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
             for (size_t a = 0; a < vis.size(); ++a)
                 mix_slot(prefix + a, v_base + vis[a] * kv_stride);
         });
+        uint64_t t3 = now();
+        t_attn += t3 - t2;
 
         // Phase 2c: batched output projection + residual.
         tensor::matmulTransposedB(attn_out, lw.wo, proj);
         pool.parallelFor(0, m, [&](size_t i) {
             tensor::addRow(hidden.row(i), proj.row(i), d);
         });
+        uint64_t t4 = now();
+        t_proj += t4 - t3;
 
         // Phase 3: SwiGLU MLP, batched.
         pool.parallelFor(0, m, [&](size_t i) {
@@ -264,9 +285,11 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
         pool.parallelFor(0, m, [&](size_t i) {
             tensor::addRow(hidden.row(i), proj.row(i), d);
         });
+        t_mlp += now() - t4;
     }
 
     // Final norm + LM head, batched.
+    const uint64_t t_head_start = now();
     tensor::Tensor logits(m, cfg_.vocabSize);
     pool.parallelFor(0, m, [&](size_t i) {
         tensor::rmsnormRow(hidden.row(i), weights_->finalNorm.data(),
@@ -277,6 +300,18 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
         tensor::scaleRow(logits.row(i), cfg_.vocabSize,
                          cfg_.logitScale);
     });
+    if (o != nullptr) {
+        obs::MetricsRegistry &reg = o->metrics();
+        reg.counter("model_kernel_launches")->inc();
+        reg.counter("model_chunk_tokens")->inc(m);
+        reg.counter("model_kv_gemm_nanos")->inc(t_kv);
+        reg.counter("model_q_gemm_nanos")->inc(t_q);
+        reg.counter("model_attention_nanos")->inc(t_attn);
+        reg.counter("model_out_proj_nanos")->inc(t_proj);
+        reg.counter("model_mlp_gemm_nanos")->inc(t_mlp);
+        reg.counter("model_lm_head_nanos")
+            ->inc(now() - t_head_start);
+    }
     return logits;
 }
 

@@ -1,0 +1,75 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace obs {
+
+namespace {
+
+uint64_t
+steadyNanos()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+SteadyClock::SteadyClock() : epoch_(steadyNanos()) {}
+
+uint64_t
+SteadyClock::nowNanos() const
+{
+    return steadyNanos() - epoch_;
+}
+
+SteadyClock &
+SteadyClock::instance()
+{
+    static SteadyClock clock;
+    return clock;
+}
+
+ManualClock::ManualClock(uint64_t start_nanos, uint64_t auto_step)
+    : now_(start_nanos), autoStep_(auto_step)
+{
+}
+
+uint64_t
+ManualClock::nowNanos() const
+{
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    if (autoStep_ == 0)
+        return now_.load(std::memory_order_relaxed);
+    // fetch_add returns the pre-step reading, so the first read sees
+    // start_nanos exactly and each subsequent read is one step later.
+    return now_.fetch_add(autoStep_, std::memory_order_relaxed);
+}
+
+void
+ManualClock::advance(uint64_t nanos)
+{
+    now_.fetch_add(nanos, std::memory_order_relaxed);
+}
+
+void
+ManualClock::set(uint64_t nanos)
+{
+    SPECINFER_CHECK(nanos >= now_.load(std::memory_order_relaxed),
+                    "ManualClock must not move backwards");
+    now_.store(nanos, std::memory_order_relaxed);
+}
+
+uint64_t
+ManualClock::reads() const
+{
+    return reads_.load(std::memory_order_relaxed);
+}
+
+} // namespace obs
+} // namespace specinfer

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Injectable time source for the observability layer.
+ *
+ * Every latency-bearing code path (iteration timing, span
+ * timestamps, per-phase kernel timers) reads time through this
+ * interface instead of calling std::chrono directly, so tests can
+ * substitute a ManualClock and assert on *exact* durations: a trace
+ * produced under ManualClock is byte-stable, and timing-dependent
+ * tests stop depending on wall time.
+ */
+
+#ifndef SPECINFER_OBS_CLOCK_H
+#define SPECINFER_OBS_CLOCK_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace specinfer {
+namespace obs {
+
+/**
+ * Monotonic nanosecond time source. Implementations must be
+ * thread-safe: instrumented code reads the clock from pool workers
+ * as well as the scheduling thread.
+ */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+
+    /** Nanoseconds since an arbitrary fixed epoch; monotone
+     *  non-decreasing across calls (per implementation contract). */
+    virtual uint64_t nowNanos() const = 0;
+};
+
+/**
+ * Production clock: std::chrono::steady_clock rebased to the first
+ * call, so traces start near t=0 instead of at machine uptime.
+ */
+class SteadyClock : public Clock
+{
+  public:
+    SteadyClock();
+
+    uint64_t nowNanos() const override;
+
+    /** Process-wide shared instance. */
+    static SteadyClock &instance();
+
+  private:
+    uint64_t epoch_;
+};
+
+/**
+ * Deterministic test clock. Time only moves when the test says so:
+ * either explicitly via advance()/set(), or by a fixed `auto_step`
+ * added after every nowNanos() read — which makes every span in a
+ * deterministic workload have an exact, reproducible duration
+ * (nowNanos() call counts are a pure function of the workload).
+ */
+class ManualClock : public Clock
+{
+  public:
+    /**
+     * @param start_nanos Initial reading.
+     * @param auto_step Nanoseconds the clock advances *after* each
+     *        nowNanos() call (0 = frozen until advance()).
+     */
+    explicit ManualClock(uint64_t start_nanos = 0,
+                         uint64_t auto_step = 0);
+
+    uint64_t nowNanos() const override;
+
+    /** Move time forward by `nanos`. */
+    void advance(uint64_t nanos);
+
+    /** Jump to an absolute reading (must not move backwards). */
+    void set(uint64_t nanos);
+
+    /** Number of nowNanos() reads so far (test introspection). */
+    uint64_t reads() const;
+
+  private:
+    mutable std::atomic<uint64_t> now_;
+    mutable std::atomic<uint64_t> reads_{0};
+    uint64_t autoStep_;
+};
+
+} // namespace obs
+} // namespace specinfer
+
+#endif // SPECINFER_OBS_CLOCK_H

@@ -1,0 +1,417 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+namespace specinfer {
+namespace obs {
+
+namespace {
+
+/** Compact deterministic double formatting: integers without a
+ *  decimal point, everything else via %.9g. */
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    if (std::isfinite(v) && v == std::floor(v) &&
+        std::fabs(v) < 1.0e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+    }
+    return buf;
+}
+
+} // namespace
+
+void
+writePrometheus(const MetricsSnapshot &snapshot, std::ostream &out)
+{
+    for (const SnapshotCounter &c : snapshot.counters) {
+        out << "# TYPE " << c.name << " counter\n";
+        out << c.name << " " << c.value << "\n";
+    }
+    for (const SnapshotGauge &g : snapshot.gauges) {
+        out << "# TYPE " << g.name << " gauge\n";
+        out << g.name << " " << g.value << "\n";
+    }
+    for (const SnapshotHistogram &h : snapshot.histograms) {
+        out << "# TYPE " << h.name << " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < h.bounds.size(); ++b) {
+            cumulative += h.counts[b];
+            out << h.name << "_bucket{le=\""
+                << formatDouble(h.bounds[b]) << "\"} " << cumulative
+                << "\n";
+        }
+        cumulative += h.counts.empty() ? 0 : h.counts.back();
+        out << h.name << "_bucket{le=\"+Inf\"} " << cumulative
+            << "\n";
+        out << h.name << "_sum " << formatDouble(h.sum) << "\n";
+        out << h.name << "_count " << h.count << "\n";
+    }
+}
+
+std::vector<PrometheusSample>
+parsePrometheus(std::istream &in, std::string *error)
+{
+    std::vector<PrometheusSample> samples;
+    if (error != nullptr)
+        error->clear();
+    std::string line;
+    size_t line_no = 0;
+    auto fail = [&](const std::string &what) {
+        if (error != nullptr)
+            *error = "line " + std::to_string(line_no) + ": " + what;
+        return std::vector<PrometheusSample>();
+    };
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        PrometheusSample sample;
+        size_t pos = 0;
+        while (pos < line.size() && line[pos] != '{' &&
+               line[pos] != ' ')
+            ++pos;
+        sample.name = line.substr(0, pos);
+        if (sample.name.empty())
+            return fail("missing metric name");
+        for (char c : sample.name) {
+            if (!(std::isalnum(static_cast<unsigned char>(c)) ||
+                  c == '_' || c == ':'))
+                return fail("invalid metric name '" + sample.name +
+                            "'");
+        }
+        if (pos < line.size() && line[pos] == '{') {
+            size_t close = line.find('}', pos);
+            if (close == std::string::npos)
+                return fail("unterminated label block");
+            sample.labels = line.substr(pos + 1, close - pos - 1);
+            pos = close + 1;
+        }
+        if (pos >= line.size() || line[pos] != ' ')
+            return fail("expected space before value");
+        ++pos;
+        const char *start = line.c_str() + pos;
+        char *end = nullptr;
+        sample.value = std::strtod(start, &end);
+        if (end == start || *end != '\0')
+            return fail("malformed value '" + line.substr(pos) +
+                        "'");
+        samples.push_back(std::move(sample));
+    }
+    return samples;
+}
+
+// --- Minimal JSON parser (validation + trace schema checks) -------
+
+namespace {
+
+struct JsonValue;
+
+/** Parsed JSON node. Only what the trace validator needs: type tags
+ *  plus object member and array element access. */
+struct JsonValue
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Type type = Type::Null;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> elements;
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    const JsonValue *find(const std::string &key) const
+    {
+        for (const auto &[k, v] : members)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool parse(JsonValue &out)
+    {
+        skipSpace();
+        if (!parseValue(out))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing garbage after JSON value");
+        return true;
+    }
+
+  private:
+    bool fail(const std::string &what)
+    {
+        if (error_ != nullptr && error_->empty())
+            *error_ = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool parseValue(JsonValue &out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.type = JsonValue::Type::String;
+            return parseString(out.string);
+        }
+        if (c == 't' || c == 'f')
+            return parseKeyword(out);
+        if (c == 'n')
+            return parseKeyword(out);
+        return parseNumber(out);
+    }
+
+    bool parseKeyword(JsonValue &out)
+    {
+        auto match = [&](const char *kw) {
+            const size_t n = std::string(kw).size();
+            if (text_.compare(pos_, n, kw) == 0) {
+                pos_ += n;
+                return true;
+            }
+            return false;
+        };
+        if (match("true")) {
+            out.type = JsonValue::Type::Bool;
+            out.number = 1.0;
+            return true;
+        }
+        if (match("false")) {
+            out.type = JsonValue::Type::Bool;
+            return true;
+        }
+        if (match("null")) {
+            out.type = JsonValue::Type::Null;
+            return true;
+        }
+        return fail("invalid keyword");
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        out.number = std::strtod(start, &end);
+        if (end == start)
+            return fail("invalid number");
+        pos_ += static_cast<size_t>(end - start);
+        out.type = JsonValue::Type::Number;
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return fail("unterminated escape");
+                char esc = text_[pos_++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail("short \\u escape");
+                    for (size_t i = 0; i < 4; ++i)
+                        if (!std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_ + i])))
+                            return fail("bad \\u escape");
+                    // Validation only: keep the escape verbatim.
+                    out += "\\u" + text_.substr(pos_, 4);
+                    pos_ += 4;
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseArray(JsonValue &out)
+    {
+        consume('[');
+        out.type = JsonValue::Type::Array;
+        skipSpace();
+        if (consume(']'))
+            return true;
+        while (true) {
+            JsonValue element;
+            skipSpace();
+            if (!parseValue(element))
+                return false;
+            out.elements.push_back(std::move(element));
+            skipSpace();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool parseObject(JsonValue &out)
+    {
+        consume('{');
+        out.type = JsonValue::Type::Object;
+        skipSpace();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipSpace();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipSpace();
+            if (!consume(':'))
+                return fail("expected ':' in object");
+            JsonValue value;
+            skipSpace();
+            if (!parseValue(value))
+                return false;
+            out.members.emplace_back(std::move(key),
+                                     std::move(value));
+            skipSpace();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or '}' in object");
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+validateJson(const std::string &text, std::string *error)
+{
+    if (error != nullptr)
+        error->clear();
+    JsonValue root;
+    JsonParser parser(text, error);
+    return parser.parse(root);
+}
+
+bool
+validateChromeTrace(const std::string &text, std::string *error,
+                    size_t *event_count)
+{
+    if (error != nullptr)
+        error->clear();
+    if (event_count != nullptr)
+        *event_count = 0;
+    JsonValue root;
+    JsonParser parser(text, error);
+    if (!parser.parse(root))
+        return false;
+    auto fail = [&](const std::string &what) {
+        if (error != nullptr)
+            *error = what;
+        return false;
+    };
+    if (root.type != JsonValue::Type::Object)
+        return fail("top level is not an object");
+    const JsonValue *events = root.find("traceEvents");
+    if (events == nullptr ||
+        events->type != JsonValue::Type::Array)
+        return fail("missing traceEvents array");
+    size_t spans = 0;
+    for (size_t i = 0; i < events->elements.size(); ++i) {
+        const JsonValue &ev = events->elements[i];
+        const std::string at = " in event " + std::to_string(i);
+        if (ev.type != JsonValue::Type::Object)
+            return fail("non-object event" + at);
+        const JsonValue *name = ev.find("name");
+        const JsonValue *ph = ev.find("ph");
+        if (name == nullptr ||
+            name->type != JsonValue::Type::String)
+            return fail("missing name" + at);
+        if (ph == nullptr || ph->type != JsonValue::Type::String)
+            return fail("missing ph" + at);
+        if (ph->string == "M")
+            continue; // metadata events carry no timestamp
+        const JsonValue *ts = ev.find("ts");
+        if (ts == nullptr || ts->type != JsonValue::Type::Number)
+            return fail("missing ts" + at);
+        if (ph->string == "X") {
+            const JsonValue *dur = ev.find("dur");
+            if (dur == nullptr ||
+                dur->type != JsonValue::Type::Number)
+                return fail("span without dur" + at);
+            ++spans;
+        }
+    }
+    if (event_count != nullptr)
+        *event_count = events->elements.size();
+    (void)spans;
+    return true;
+}
+
+} // namespace obs
+} // namespace specinfer

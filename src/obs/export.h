@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Metric/trace export formats and their validators.
+ *
+ *  - writePrometheus(): Prometheus text exposition (version 0.0.4)
+ *    of a MetricsSnapshot — counters as `name value`, gauges
+ *    likewise, histograms as cumulative `name_bucket{le="..."}`
+ *    series plus `_sum`/`_count`, with `# TYPE` headers. Output is
+ *    sorted by metric name and byte-stable for a fixed snapshot.
+ *  - parsePrometheus(): minimal parser for the same subset, used by
+ *    the round-trip test and the obs_check CLI validator.
+ *  - validateJson() / validateChromeTrace(): a small recursive-
+ *    descent JSON well-formedness checker plus Chrome trace_event
+ *    schema checks (traceEvents array; each event has name/ph/ts;
+ *    spans carry dur), so CI can reject a malformed trace without a
+ *    browser in the loop.
+ */
+
+#ifndef SPECINFER_OBS_EXPORT_H
+#define SPECINFER_OBS_EXPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace specinfer {
+namespace obs {
+
+/** Write the text exposition format. */
+void writePrometheus(const MetricsSnapshot &snapshot,
+                     std::ostream &out);
+
+/** One parsed exposition sample. */
+struct PrometheusSample
+{
+    /** Full series name including suffixes (`foo_bucket`). */
+    std::string name;
+    /** Raw label block without braces (`le="0.5"`), or empty. */
+    std::string labels;
+    double value = 0.0;
+};
+
+/**
+ * Parse a text exposition produced by writePrometheus (comments and
+ * blank lines skipped).
+ * @param error Set to a description of the first malformed line;
+ *        empty on success.
+ * @return The samples, in file order (empty on error).
+ */
+std::vector<PrometheusSample>
+parsePrometheus(std::istream &in, std::string *error);
+
+/**
+ * JSON well-formedness check (objects, arrays, strings with
+ * escapes, numbers, true/false/null; rejects trailing garbage).
+ * @param error First syntax error, or empty.
+ */
+bool validateJson(const std::string &text, std::string *error);
+
+/**
+ * Chrome trace_event schema check: well-formed JSON whose top level
+ * is an object with a "traceEvents" array in which every event
+ * object has string "name"/"ph" and a numeric "ts", and every "X"
+ * event also has a numeric "dur".
+ * @param event_count Set to the number of events when non-null.
+ */
+bool validateChromeTrace(const std::string &text, std::string *error,
+                         size_t *event_count = nullptr);
+
+} // namespace obs
+} // namespace specinfer
+
+#endif // SPECINFER_OBS_EXPORT_H

@@ -1,0 +1,187 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace obs {
+
+HistogramMetric::HistogramMetric(std::vector<double> bounds)
+    : bounds_(std::move(bounds))
+{
+    for (size_t i = 1; i < bounds_.size(); ++i)
+        SPECINFER_CHECK(bounds_[i - 1] < bounds_[i],
+                        "histogram bounds must strictly ascend");
+    counts_ = std::make_unique<std::atomic<uint64_t>[]>(
+        bounds_.size() + 1);
+    for (size_t i = 0; i < bounds_.size() + 1; ++i)
+        counts_[i].store(0, std::memory_order_relaxed);
+}
+
+size_t
+HistogramMetric::bucketFor(double v) const
+{
+    // First bucket whose upper bound is >= v: a value exactly on an
+    // edge lands in the bucket it bounds (le semantics), never in
+    // two and never nondeterministically.
+    return static_cast<size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+        bounds_.begin());
+}
+
+void
+HistogramMetric::observe(double v)
+{
+    counts_[bucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double expected = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(expected, expected + v,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+uint64_t
+HistogramMetric::bucketValue(size_t bucket) const
+{
+    SPECINFER_CHECK(bucket < bucketCount(),
+                    "histogram bucket index out of range");
+    return counts_[bucket].load(std::memory_order_relaxed);
+}
+
+const SnapshotCounter *
+MetricsSnapshot::findCounter(const std::string &name) const
+{
+    for (const SnapshotCounter &c : counters)
+        if (c.name == name)
+            return &c;
+    return nullptr;
+}
+
+const SnapshotGauge *
+MetricsSnapshot::findGauge(const std::string &name) const
+{
+    for (const SnapshotGauge &g : gauges)
+        if (g.name == name)
+            return &g;
+    return nullptr;
+}
+
+const SnapshotHistogram *
+MetricsSnapshot::findHistogram(const std::string &name) const
+{
+    for (const SnapshotHistogram &h : histograms)
+        if (h.name == name)
+            return &h;
+    return nullptr;
+}
+
+Counter *
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+        SPECINFER_CHECK(it->second.kind == Kind::Counter,
+                        "metric '" << name
+                                   << "' already registered with a "
+                                      "different kind");
+        return it->second.counter.get();
+    }
+    Entry entry;
+    entry.kind = Kind::Counter;
+    entry.counter = std::make_unique<Counter>();
+    Counter *out = entry.counter.get();
+    entries_.emplace(name, std::move(entry));
+    return out;
+}
+
+Gauge *
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+        SPECINFER_CHECK(it->second.kind == Kind::Gauge,
+                        "metric '" << name
+                                   << "' already registered with a "
+                                      "different kind");
+        return it->second.gauge.get();
+    }
+    Entry entry;
+    entry.kind = Kind::Gauge;
+    entry.gauge = std::make_unique<Gauge>();
+    Gauge *out = entry.gauge.get();
+    entries_.emplace(name, std::move(entry));
+    return out;
+}
+
+HistogramMetric *
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+        SPECINFER_CHECK(it->second.kind == Kind::Histogram,
+                        "metric '" << name
+                                   << "' already registered with a "
+                                      "different kind");
+        SPECINFER_CHECK(it->second.histogram->bounds() == bounds,
+                        "metric '" << name
+                                   << "' re-registered with "
+                                      "different bucket bounds");
+        return it->second.histogram.get();
+    }
+    Entry entry;
+    entry.kind = Kind::Histogram;
+    entry.histogram =
+        std::make_unique<HistogramMetric>(std::move(bounds));
+    HistogramMetric *out = entry.histogram.get();
+    entries_.emplace(name, std::move(entry));
+    return out;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    // entries_ is an ordered map, so the snapshot (and therefore the
+    // Prometheus exposition) is sorted by name without extra work.
+    for (const auto &[name, entry] : entries_) {
+        switch (entry.kind) {
+          case Kind::Counter:
+            snap.counters.push_back({name, entry.counter->value()});
+            break;
+          case Kind::Gauge:
+            snap.gauges.push_back({name, entry.gauge->value()});
+            break;
+          case Kind::Histogram: {
+            const HistogramMetric &h = *entry.histogram;
+            SnapshotHistogram out;
+            out.name = name;
+            out.bounds = h.bounds();
+            out.counts.resize(h.bucketCount());
+            for (size_t b = 0; b < h.bucketCount(); ++b)
+                out.counts[b] = h.bucketValue(b);
+            out.sum = h.sum();
+            out.count = h.count();
+            snap.histograms.push_back(std::move(out));
+            break;
+          }
+        }
+    }
+    return snap;
+}
+
+size_t
+MetricsRegistry::instrumentCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace obs
+} // namespace specinfer

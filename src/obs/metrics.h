@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Lock-cheap metrics registry: named counters, gauges, and
+ * fixed-bucket histograms.
+ *
+ * Design:
+ *  - Registration (name -> instrument) takes a mutex, but happens
+ *    once per call site: instrumented code resolves its instruments
+ *    up front and then only touches std::atomic fields on the hot
+ *    path (relaxed ordering — metrics never synchronize program
+ *    state).
+ *  - Instruments are owned by the registry and pointer-stable for
+ *    its lifetime, so cached instrument pointers never dangle while
+ *    the registry lives.
+ *  - snapshot() produces an isolated copy: later increments never
+ *    mutate an already-taken snapshot. Within one snapshot each
+ *    field is read atomically; cross-field exactness is guaranteed
+ *    only once writers have quiesced (which is when the exporters
+ *    run).
+ *  - Disabled mode is represented by *absence*: instrumented layers
+ *    hold a nullable ObsContext pointer and skip every metrics call
+ *    when it is null, so a build serving without observability pays
+ *    one predictable branch per call site and nothing else. Nothing
+ *    in this module ever touches RNG streams, KV layout, or any
+ *    other decode state — instrumentation is observation only.
+ *
+ * Histogram bucket semantics (Prometheus-compatible): bucket i
+ * covers values v with bounds[i-1] < v <= bounds[i]; a value exactly
+ * equal to a boundary lands in the bucket whose upper bound it is —
+ * one deterministic bucket, asserted by the property tests. Values
+ * above the last bound land in the implicit +Inf overflow bucket.
+ */
+
+#ifndef SPECINFER_OBS_METRICS_H
+#define SPECINFER_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace specinfer {
+namespace obs {
+
+/** Monotone event counter. */
+class Counter
+{
+  public:
+    void inc(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Instantaneous signed level (queue depth, blocks in use, ...). */
+class Gauge
+{
+  public:
+    void set(int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    void add(int64_t n)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    void sub(int64_t n)
+    {
+        value_.fetch_sub(n, std::memory_order_relaxed);
+    }
+
+    int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/**
+ * Fixed-bucket histogram with strictly ascending upper bounds plus
+ * an implicit +Inf overflow bucket. observe() is wait-free (one
+ * atomic add on the bucket, one CAS loop on the sum).
+ */
+class HistogramMetric
+{
+  public:
+    /** @param bounds Strictly ascending bucket upper bounds; may be
+     *         empty (everything lands in the overflow bucket). */
+    explicit HistogramMetric(std::vector<double> bounds);
+
+    void observe(double v);
+
+    /**
+     * Deterministic bucket index for a value: the first bucket whose
+     * upper bound is >= v (so v == bounds[i] lands in bucket i), or
+     * bounds().size() for the +Inf overflow bucket.
+     */
+    size_t bucketFor(double v) const;
+
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /** Number of buckets including the overflow bucket. */
+    size_t bucketCount() const { return bounds_.size() + 1; }
+
+    uint64_t bucketValue(size_t bucket) const;
+
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    double sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/** Point-in-time copy of one counter. */
+struct SnapshotCounter
+{
+    std::string name;
+    uint64_t value = 0;
+
+    bool operator==(const SnapshotCounter &o) const = default;
+};
+
+/** Point-in-time copy of one gauge. */
+struct SnapshotGauge
+{
+    std::string name;
+    int64_t value = 0;
+
+    bool operator==(const SnapshotGauge &o) const = default;
+};
+
+/** Point-in-time copy of one histogram. */
+struct SnapshotHistogram
+{
+    std::string name;
+    std::vector<double> bounds;
+    /** Per-bucket (non-cumulative) counts; bounds.size() + 1 long,
+     *  last entry = +Inf overflow. */
+    std::vector<uint64_t> counts;
+    double sum = 0.0;
+    uint64_t count = 0;
+
+    bool operator==(const SnapshotHistogram &o) const = default;
+};
+
+/** Isolated, comparable copy of the whole registry, sorted by
+ *  instrument name within each kind. */
+struct MetricsSnapshot
+{
+    std::vector<SnapshotCounter> counters;
+    std::vector<SnapshotGauge> gauges;
+    std::vector<SnapshotHistogram> histograms;
+
+    bool operator==(const MetricsSnapshot &o) const = default;
+
+    const SnapshotCounter *findCounter(const std::string &name) const;
+    const SnapshotGauge *findGauge(const std::string &name) const;
+    const SnapshotHistogram *
+    findHistogram(const std::string &name) const;
+};
+
+/**
+ * Named instrument registry. Thread-safe: registration is mutex-
+ * guarded, returned instruments are atomics. Requesting an existing
+ * name with the same kind returns the same instrument (so wiring the
+ * same registry through several layers aggregates naturally);
+ * requesting it with a different kind aborts.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    Counter *counter(const std::string &name);
+    Gauge *gauge(const std::string &name);
+
+    /** @param bounds Strictly ascending upper bounds; must match the
+     *         existing bounds when the name is already registered. */
+    HistogramMetric *histogram(const std::string &name,
+                               std::vector<double> bounds);
+
+    MetricsSnapshot snapshot() const;
+
+    size_t instrumentCount() const;
+
+  private:
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Histogram
+    };
+
+    struct Entry
+    {
+        Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<HistogramMetric> histogram;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace obs
+} // namespace specinfer
+
+#endif // SPECINFER_OBS_METRICS_H

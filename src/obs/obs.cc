@@ -1,0 +1,25 @@
+#include "obs/obs.h"
+
+#include <atomic>
+
+namespace specinfer {
+namespace obs {
+
+namespace {
+std::atomic<ObsContext *> g_obs{nullptr};
+} // namespace
+
+ObsContext *
+globalObs()
+{
+    return g_obs.load(std::memory_order_acquire);
+}
+
+ObsContext *
+setGlobalObs(ObsContext *ctx)
+{
+    return g_obs.exchange(ctx, std::memory_order_acq_rel);
+}
+
+} // namespace obs
+} // namespace specinfer

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * ObsContext: the bundle instrumented layers carry around.
+ *
+ * One context owns a MetricsRegistry, a Tracer, and a (non-owning)
+ * Clock. Layers take a nullable `ObsContext *`: null means
+ * observability is disabled and every instrumentation site reduces
+ * to a single pointer test — no atomics touched, no events built.
+ * That absence-based design is how the bit-identical guarantees from
+ * earlier PRs survive: instrumentation can only read program state,
+ * and when disabled it does not even do that.
+ *
+ * A process-global context (setGlobalObs()/globalObs()) lets deep
+ * construction paths — the verification harness builds its engines
+ * internally — pick up observability without threading a pointer
+ * through every factory signature. Layers resolve an explicitly
+ * configured context first and fall back to the global one.
+ */
+
+#ifndef SPECINFER_OBS_OBS_H
+#define SPECINFER_OBS_OBS_H
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace specinfer {
+namespace obs {
+
+/** Metrics + tracing + clock, wired through the serving stack. */
+class ObsContext
+{
+  public:
+    /**
+     * @param clock Time source (non-owning; must outlive the
+     *        context). Defaults to the shared SteadyClock.
+     * @param tracing_enabled Record trace events; metrics are always
+     *        live on a non-null context.
+     */
+    explicit ObsContext(const Clock *clock = &SteadyClock::instance(),
+                        bool tracing_enabled = true)
+        : clock_(clock), tracer_(clock, tracing_enabled)
+    {
+    }
+
+    ObsContext(const ObsContext &) = delete;
+    ObsContext &operator=(const ObsContext &) = delete;
+
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    Tracer &tracer() { return tracer_; }
+    const Tracer &tracer() const { return tracer_; }
+
+    const Clock &clock() const { return *clock_; }
+
+    uint64_t nowNanos() const { return clock_->nowNanos(); }
+
+  private:
+    const Clock *clock_;
+    MetricsRegistry metrics_;
+    Tracer tracer_;
+};
+
+/** Current process-global context; null when none installed. */
+ObsContext *globalObs();
+
+/**
+ * Install (or clear, with null) the process-global context. The
+ * caller keeps ownership and must keep it alive until replaced.
+ * @return The previous global context.
+ */
+ObsContext *setGlobalObs(ObsContext *ctx);
+
+/** `explicit_ctx` if non-null, else the global context (may be
+ *  null). The one-line resolution rule every layer uses. */
+inline ObsContext *
+resolveObs(ObsContext *explicit_ctx)
+{
+    return explicit_ctx != nullptr ? explicit_ctx : globalObs();
+}
+
+} // namespace obs
+} // namespace specinfer
+
+#endif // SPECINFER_OBS_OBS_H

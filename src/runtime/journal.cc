@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "obs/obs.h"
 #include "util/logging.h"
 
 namespace specinfer {
@@ -303,6 +304,15 @@ JournalWriter::append(const JournalRecord &record)
     out_->flush();
     SPECINFER_CHECK(out_->good(), "journal append failed");
     bytes_ += sizeof(len) + sizeof(crc) + payload.size();
+    // Journals are created by callers that never see an ObsContext
+    // (tools and tests hand the manager a bare stream), so the
+    // writer reports through the process-global context when one is
+    // installed.
+    if (obs::ObsContext *o = obs::globalObs()) {
+        o->metrics().counter("journal_appends")->inc();
+        o->metrics().gauge("journal_bytes_written")
+            ->set(static_cast<int64_t>(bytes_));
+    }
 }
 
 JournalReader::JournalReader(std::istream &in) : in_(&in)
@@ -324,11 +334,15 @@ JournalReader::next(JournalRecord &record)
     in_->read(reinterpret_cast<char *>(&len), sizeof(len));
     if (in_->gcount() != sizeof(len)) {
         done_ = tornTail_ = true;
+        if (obs::ObsContext *o = obs::globalObs())
+            o->metrics().counter("journal_torn_tails")->inc();
         return false;
     }
     in_->read(reinterpret_cast<char *>(&crc), sizeof(crc));
     if (in_->gcount() != sizeof(crc) || len > (1u << 28)) {
         done_ = tornTail_ = true;
+        if (obs::ObsContext *o = obs::globalObs())
+            o->metrics().counter("journal_torn_tails")->inc();
         return false;
     }
     std::string payload(len, '\0');
@@ -337,9 +351,13 @@ JournalReader::next(JournalRecord &record)
         crc32(payload.data(), payload.size()) != crc ||
         !parsePayload(payload, record)) {
         done_ = tornTail_ = true;
+        if (obs::ObsContext *o = obs::globalObs())
+            o->metrics().counter("journal_torn_tails")->inc();
         return false;
     }
     bytes_ += sizeof(len) + sizeof(crc) + len;
+    if (obs::ObsContext *o = obs::globalObs())
+        o->metrics().counter("journal_records_replayed")->inc();
     return true;
 }
 

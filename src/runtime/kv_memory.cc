@@ -2,17 +2,37 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/logging.h"
 
 namespace specinfer {
 namespace runtime {
 
 KvBlockAllocator::KvBlockAllocator(size_t total_blocks,
-                                   size_t block_tokens)
+                                   size_t block_tokens,
+                                   obs::ObsContext *obs)
     : totalBlocks_(total_blocks), blockTokens_(block_tokens)
 {
     SPECINFER_CHECK(total_blocks > 0, "empty KV pool");
     SPECINFER_CHECK(block_tokens > 0, "degenerate KV block size");
+    if (obs != nullptr) {
+        obs::MetricsRegistry &reg = obs->metrics();
+        reg.gauge("kv_blocks_total")
+            ->set(static_cast<int64_t>(totalBlocks_));
+        gBlocksInUse_ = reg.gauge("kv_blocks_in_use");
+        gActiveRequests_ = reg.gauge("kv_active_requests");
+        cAllocFailures_ = reg.counter("kv_alloc_failures");
+        publishUsage();
+    }
+}
+
+void
+KvBlockAllocator::publishUsage()
+{
+    if (gBlocksInUse_ == nullptr)
+        return;
+    gBlocksInUse_->set(static_cast<int64_t>(usedBlocks_));
+    gActiveRequests_->set(static_cast<int64_t>(held_.size()));
 }
 
 size_t
@@ -41,6 +61,8 @@ KvBlockAllocator::reserve(uint64_t request, size_t tokens)
     size_t grow = want - have;
     if (grow > freeBlocks()) {
         ++stats_.failedReservations;
+        if (cAllocFailures_ != nullptr)
+            cAllocFailures_->inc();
         return false;
     }
     held_[request] = want;
@@ -48,6 +70,7 @@ KvBlockAllocator::reserve(uint64_t request, size_t tokens)
     stats_.peakUsedBlocks =
         std::max(stats_.peakUsedBlocks, usedBlocks_);
     ++stats_.totalReservations;
+    publishUsage();
     return true;
 }
 
@@ -66,6 +89,7 @@ KvBlockAllocator::release(uint64_t request)
                     "KV pool accounting underflow");
     usedBlocks_ -= it->second;
     held_.erase(it);
+    publishUsage();
 }
 
 size_t

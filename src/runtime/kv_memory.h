@@ -20,6 +20,11 @@
 #include <map>
 
 namespace specinfer {
+namespace obs {
+class Counter;
+class Gauge;
+class ObsContext;
+}
 namespace runtime {
 
 /** Aggregate pool statistics. */
@@ -49,8 +54,12 @@ class KvBlockAllocator
     /**
      * @param total_blocks Pool capacity in blocks.
      * @param block_tokens Tokens per block (vLLM default: 16).
+     * @param obs Optional observability context (non-owning): the
+     *        allocator keeps a blocks-in-use gauge and an
+     *        allocation-failure counter live. Null = no-op.
      */
-    KvBlockAllocator(size_t total_blocks, size_t block_tokens);
+    KvBlockAllocator(size_t total_blocks, size_t block_tokens,
+                     obs::ObsContext *obs = nullptr);
 
     size_t totalBlocks() const { return totalBlocks_; }
     size_t usedBlocks() const { return usedBlocks_; }
@@ -89,12 +98,20 @@ class KvBlockAllocator
 
     const KvMemoryStats &stats() const { return stats_; }
 
+    /** Push the current pool level into the obs gauges (no-op
+     *  without a context). Reserve/release already publish; this is
+     *  for an explicit resync, e.g. after crash recovery. */
+    void publishUsage();
+
   private:
     size_t totalBlocks_;
     size_t blockTokens_;
     size_t usedBlocks_ = 0;
     std::map<uint64_t, size_t> held_; ///< request -> blocks
     KvMemoryStats stats_;
+    obs::Gauge *gBlocksInUse_ = nullptr;
+    obs::Gauge *gActiveRequests_ = nullptr;
+    obs::Counter *cAllocFailures_ = nullptr;
 };
 
 } // namespace runtime

@@ -48,6 +48,10 @@ struct Request
      *  re-admitted (exponential backoff keeps a thrashing request
      *  from immediately re-stealing the memory it just lost). */
     size_t earliestRestart = 0;
+
+    /** Wall-clock submit timestamp for tracing (transient: not
+     *  journaled or snapshotted; 0 when observability is off). */
+    uint64_t submitNanos = 0;
 };
 
 /** Why submit() refused a request (typed load shedding). */

@@ -6,8 +6,10 @@
 #include <ostream>
 
 #include "model/serialization.h"
+#include "obs/obs.h"
 #include "util/fault.h"
 #include "util/logging.h"
+#include "util/threadpool.h"
 
 namespace specinfer {
 namespace runtime {
@@ -115,13 +117,25 @@ readResult(std::istream &in)
 
 RequestManager::RequestManager(const core::SpecEngine *engine,
                                ServingConfig cfg)
-    : engine_(engine), cfg_(cfg)
+    : engine_(engine), cfg_(cfg), obs_(obs::resolveObs(cfg.obs))
 {
     SPECINFER_CHECK(engine_ != nullptr, "null engine");
     SPECINFER_CHECK(cfg_.maxBatchSize > 0, "batch size must be >= 1");
     if (cfg_.kvPoolBlocks > 0)
         kvPool_ = std::make_unique<KvBlockAllocator>(
-            cfg_.kvPoolBlocks, cfg_.kvBlockTokens);
+            cfg_.kvPoolBlocks, cfg_.kvBlockTokens, obs_);
+    if (obs_ != nullptr)
+        // Millisecond buckets spanning sub-kernel ticks (ManualClock
+        // tests) through multi-second straggler iterations.
+        hIterMillis_ = obs_->metrics().histogram(
+            "serving_iteration_millis",
+            {0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+             500.0, 1000.0});
+    // Baseline for pool_jobs_dispatched: the shared pool predates
+    // the manager (and outlives it), so publish jobs dispatched
+    // *during this serving run* rather than process lifetime —
+    // keeping the gauge reproducible for identical workloads.
+    poolJobsBaseline_ = util::ThreadPool::global().jobsDispatched();
 }
 
 SubmitResult
@@ -160,6 +174,13 @@ RequestManager::submit(std::vector<int> prompt,
     }
     req.id = nextId_++;
     out.id = req.id;
+    if (obs_ != nullptr && obs_->tracer().enabled()) {
+        req.submitNanos = obs_->nowNanos();
+        obs_->tracer().instant(
+            req.id, "serving", "submit", req.submitNanos,
+            {{"prompt_tokens",
+              static_cast<int64_t>(req.prompt.size())}});
+    }
     if (journal_) {
         JournalRecord rec;
         rec.type = RecordType::Submit;
@@ -223,6 +244,11 @@ RequestManager::finishAborted(Request &&req,
     res.preemptions = req.preemptionCount;
     stats_.tokensGenerated += res.tokens.size();
     ++stats_.requestsFinished;
+    if (obs_ != nullptr && obs_->tracer().enabled())
+        obs_->tracer().instant(
+            res.id, "serving", "finish", obs_->nowNanos(),
+            {{"stop", static_cast<int64_t>(res.stopReason)},
+             {"tokens", static_cast<int64_t>(res.tokens.size())}});
     if (journal_)
         journalFinish(res);
     finished_.push_back(std::move(res));
@@ -250,6 +276,15 @@ RequestManager::requeuePreempted(Request &&req,
     const size_t backoff =
         std::min(size_t{1} << shift, cfg_.preemptBackoffCap);
     req.earliestRestart = stats_.iterations + backoff;
+    if (obs_ != nullptr && obs_->tracer().enabled()) {
+        // Restart the queue-wait clock: the next queue span covers
+        // the backoff wait, not the request's whole lifetime.
+        req.submitNanos = obs_->nowNanos();
+        obs_->tracer().instant(
+            req.id, "serving", "preempt", req.submitNanos,
+            {{"count", static_cast<int64_t>(req.preemptionCount)},
+             {"backoff", static_cast<int64_t>(backoff)}});
+    }
     if (journal_) {
         JournalRecord rec;
         rec.type = RecordType::Preempt;
@@ -389,9 +424,26 @@ RequestManager::runIteration()
     // live with a journal attached — a crash without one is
     // unrecoverable and outside the model.
     if (journal_ && util::faultAt(util::FaultPoint::Crash)) {
-        crashed_ = true;
+        noteCrash();
         return;
     }
+
+    const uint64_t iter_start =
+        obs_ != nullptr ? obs_->nowNanos() : 0;
+    auto obsIterationEnd = [&](size_t batch) {
+        if (obs_ == nullptr)
+            return;
+        const uint64_t end = obs_->nowNanos();
+        hIterMillis_->observe(
+            static_cast<double>(end - iter_start) / 1.0e6);
+        if (obs_->tracer().enabled())
+            obs_->tracer().span(
+                0, "serving", "iteration", iter_start, end,
+                {{"batch", static_cast<int64_t>(batch)},
+                 {"iteration",
+                  static_cast<int64_t>(stats_.iterations)}});
+        publishMetrics();
+    };
 
     // Degradation ladder: re-enable speculation when the backoff
     // window has elapsed.
@@ -437,6 +489,15 @@ RequestManager::runIteration()
                            static_cast<ptrdiff_t>(j));
             if (req.preemptionCount > 0)
                 ++stats_.preemptionRetries;
+            if (obs_ != nullptr && obs_->tracer().enabled() &&
+                req.submitNanos != 0)
+                // Queue wait ends at admission; re-admissions after
+                // a preemption produce a second queue span.
+                obs_->tracer().span(
+                    req.id, "serving", "queue", req.submitNanos,
+                    obs_->nowNanos(),
+                    {{"preemptions", static_cast<int64_t>(
+                                         req.preemptionCount)}});
             core::SpecSession session = engine_->makeSession(
                 req.prompt, req.id, req.maxNewTokens);
             active_.push_back({std::move(req), std::move(session),
@@ -451,10 +512,12 @@ RequestManager::runIteration()
         ++stats_.iterations;
         if (journal_)
             journalIteration(false, false);
+        obsIterationEnd(0);
         return;
     }
     if (cfg_.captureBatchTrace)
         stats_.batchSizeTrace.push_back(active_.size());
+    const size_t batch_size = active_.size();
 
     // Injected straggler: the iteration clock jumps forward,
     // consuming deadline budget exactly as a slow iteration would.
@@ -541,7 +604,7 @@ RequestManager::runIteration()
                 journal_->tearNextAppend();
             journalStep(i, seq_before, lp_before);
             if (torn || util::faultAt(util::FaultPoint::Crash)) {
-                crashed_ = true;
+                noteCrash();
                 return;
             }
         }
@@ -572,6 +635,12 @@ RequestManager::runIteration()
         ++stats_.requestsFinished;
         if (kvPool_)
             kvPool_->release(res.id);
+        if (obs_ != nullptr && obs_->tracer().enabled())
+            obs_->tracer().instant(
+                res.id, "serving", "finish", obs_->nowNanos(),
+                {{"stop", static_cast<int64_t>(res.stopReason)},
+                 {"tokens",
+                  static_cast<int64_t>(res.tokens.size())}});
         if (journal_)
             journalFinish(res);
         finished_.push_back(std::move(res));
@@ -584,11 +653,12 @@ RequestManager::runIteration()
         // iteration clock one tick behind, which per-request
         // determinism makes output-invariant.
         if (util::faultAt(util::FaultPoint::Crash)) {
-            crashed_ = true;
+            noteCrash();
             return;
         }
         journalIteration(!allow_spec, slow_iteration);
     }
+    obsIterationEnd(batch_size);
 }
 
 void
@@ -604,6 +674,62 @@ RequestManager::takeFinished()
     std::vector<RequestResult> out = std::move(finished_);
     finished_.clear();
     return out;
+}
+
+void
+RequestManager::noteCrash()
+{
+    crashed_ = true;
+    if (obs_ == nullptr)
+        return;
+    // Crashes are event-time counters, never gauge-synced: a
+    // recovered manager has no memory of dying, so the count must
+    // survive in the registry, not in ServingStats.
+    obs_->metrics().counter("serving_crashes")->inc();
+    if (obs_->tracer().enabled())
+        obs_->tracer().instant(0, "serving", "crash",
+                               obs_->nowNanos());
+    publishMetrics();
+}
+
+void
+RequestManager::publishMetrics()
+{
+    if (obs_ == nullptr)
+        return;
+    obs::MetricsRegistry &reg = obs_->metrics();
+    auto set = [&reg](const char *name, size_t value) {
+        reg.gauge(name)->set(static_cast<int64_t>(value));
+    };
+    set("serving_pending_requests", pending_.size());
+    set("serving_active_requests", active_.size());
+    set("serving_iterations", stats_.iterations);
+    set("serving_requests_submitted", stats_.requestsSubmitted);
+    set("serving_requests_finished", stats_.requestsFinished);
+    set("serving_tokens_generated", stats_.tokensGenerated);
+    set("serving_request_iterations", stats_.requestIterations);
+    set("serving_preemptions", stats_.preemptions);
+    set("serving_preemption_retries", stats_.preemptionRetries);
+    set("serving_preemption_aborts", stats_.preemptionAborts);
+    set("serving_rejected_queue_full", stats_.rejectedQueueFull);
+    set("serving_rejected_never_fits", stats_.rejectedNeverFits);
+    set("serving_shed_requests", stats_.shedRequests);
+    set("serving_deadline_expiries", stats_.deadlineExpiries);
+    set("serving_cancellations", stats_.cancellations);
+    set("serving_fallback_steps", stats_.fallbackSteps);
+    set("serving_degraded_iterations", stats_.degradedIterations);
+    set("serving_slow_iterations", stats_.slowIterations);
+    set("serving_speculation_disabled",
+        degr_.speculationDisabled ? 1 : 0);
+    // The util layer is obs-free by design; the pool self-counts
+    // its jobs and the manager publishes the count here.
+    util::ThreadPool &pool = util::ThreadPool::global();
+    set("pool_threads", pool.threads());
+    set("pool_jobs_dispatched",
+        static_cast<size_t>(pool.jobsDispatched() -
+                            poolJobsBaseline_));
+    if (kvPool_)
+        kvPool_->publishUsage();
 }
 
 void
@@ -1014,6 +1140,16 @@ RequestManager::recover(std::istream *snapshot, std::istream *journal)
             journalFinish(res);
         finished_.push_back(std::move(res));
         active_.erase(active_.begin() + static_cast<ptrdiff_t>(i));
+    }
+    if (obs_ != nullptr) {
+        obs_->metrics().counter("serving_recoveries")->inc();
+        if (obs_->tracer().enabled())
+            obs_->tracer().instant(
+                0, "serving", "recovered", obs_->nowNanos(),
+                {{"snapshot_bytes", static_cast<int64_t>(skip)},
+                 {"replayed_bytes",
+                  static_cast<int64_t>(replayed)}});
+        publishMetrics();
     }
     return skip + replayed;
 }

@@ -26,6 +26,10 @@
 #include "runtime/request.h"
 
 namespace specinfer {
+namespace obs {
+class HistogramMetric;
+class ObsContext;
+}
 namespace runtime {
 
 /** Batch admission policy. */
@@ -114,6 +118,15 @@ struct ServingConfig
      *  grows linearly with iterations, which long-running soaks
      *  cannot afford. */
     bool captureBatchTrace = false;
+
+    /**
+     * Observability context (non-owning). Resolved against the
+     * process-global context at construction (obs::resolveObs); when
+     * both are null the manager runs fully uninstrumented — no
+     * clock reads, no atomics — and its outputs are bit-identical
+     * to earlier PRs.
+     */
+    obs::ObsContext *obs = nullptr;
 };
 
 /** Aggregate serving metrics. */
@@ -262,6 +275,17 @@ class RequestManager
     /** Move out the finished results (clients draining output). */
     std::vector<RequestResult> takeFinished();
 
+    /**
+     * Sync ServingStats, queue depths, and thread-pool job counts
+     * into the serving_* / pool_* gauges. Gauge-sync (rather than
+     * event-time increments) keeps metrics idempotent under journal
+     * replay: a recovered manager republishes the same values an
+     * uninterrupted run would. Called automatically at the end of
+     * every runIteration() and recover(); safe to call any time.
+     * No-op without an ObsContext.
+     */
+    void publishMetrics();
+
     /** KV memory pool, or nullptr when admission is unbounded. */
     const KvBlockAllocator *kvPool() const { return kvPool_.get(); }
 
@@ -381,8 +405,17 @@ class RequestManager
     /** Apply one replayed journal record (recover() body). */
     void applyRecord(const JournalRecord &rec);
 
+    /** Record an injected crash: serving_crashes counter plus a
+     *  scheduler-track instant annotation. */
+    void noteCrash();
+
     const core::SpecEngine *engine_;
     ServingConfig cfg_;
+    obs::ObsContext *obs_;             ///< resolved; may be null
+    obs::HistogramMetric *hIterMillis_ = nullptr;
+    /** Shared-pool job count at construction; pool_jobs_dispatched
+     *  publishes the delta (jobs during this serving run). */
+    uint64_t poolJobsBaseline_ = 0;
     uint64_t nextId_ = 1;
     std::deque<Request> pending_;
     std::vector<ActiveRequest> active_;

@@ -124,6 +124,7 @@ ThreadPool::parallelForWorker(
 {
     if (begin >= end)
         return;
+    jobs_.fetch_add(1, std::memory_order_relaxed);
     // Serial pool, nested call, or a range too small to split:
     // run inline on the caller. Worker index 0 keeps scratch-buffer
     // indexing valid in every case.

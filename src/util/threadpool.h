@@ -28,8 +28,10 @@
 #ifndef SPECINFER_UTIL_THREADPOOL_H
 #define SPECINFER_UTIL_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -62,6 +64,17 @@ class ThreadPool
 
     /** Current worker count including the caller (always >= 1). */
     size_t threads() const { return threads_; }
+
+    /**
+     * Total parallelFor/parallelForWorker jobs run so far (including
+     * inline and nested ones). The util layer stays free of any
+     * observability dependency; the serving runtime publishes this
+     * count as a pool-occupancy metric instead.
+     */
+    uint64_t jobsDispatched() const
+    {
+        return jobs_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Resize the pool (joins and respawns workers). Used by tests
@@ -105,6 +118,7 @@ class ThreadPool
 
     size_t threads_ = 1;
     std::vector<std::thread> workers_; ///< threads_ - 1 entries
+    std::atomic<uint64_t> jobs_{0};    ///< jobs run (see jobsDispatched)
 
     std::mutex mutex_;
     std::condition_variable wake_;

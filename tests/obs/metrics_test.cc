@@ -1,0 +1,227 @@
+/**
+ * @file
+ * MetricsRegistry unit and property tests: counter/gauge semantics,
+ * histogram bucket-edge determinism, snapshot isolation, and a
+ * concurrency hammer driven from ThreadPool workers with exact
+ * expected totals (run under the TSan preset in CI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.h"
+#include "util/threadpool.h"
+
+namespace specinfer {
+namespace obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates)
+{
+    MetricsRegistry reg;
+    Counter *c = reg.counter("events");
+    EXPECT_EQ(c->value(), 0u);
+    c->inc();
+    c->inc(41);
+    EXPECT_EQ(c->value(), 42u);
+}
+
+TEST(CounterTest, SameNameSameInstrument)
+{
+    MetricsRegistry reg;
+    Counter *a = reg.counter("shared");
+    Counter *b = reg.counter("shared");
+    EXPECT_EQ(a, b);
+    a->inc(3);
+    EXPECT_EQ(b->value(), 3u);
+    EXPECT_EQ(reg.instrumentCount(), 1u);
+}
+
+TEST(GaugeTest, SetAddSub)
+{
+    MetricsRegistry reg;
+    Gauge *g = reg.gauge("depth");
+    EXPECT_EQ(g->value(), 0);
+    g->set(10);
+    g->add(5);
+    g->sub(7);
+    EXPECT_EQ(g->value(), 8);
+    g->set(-3); // gauges are signed levels
+    EXPECT_EQ(g->value(), -3);
+}
+
+TEST(HistogramTest, BucketEdgeIsDeterministic)
+{
+    HistogramMetric h({1.0, 2.0, 5.0});
+    // Prometheus le-semantics: v == bound lands in the bucket whose
+    // upper bound it is, never the next one.
+    EXPECT_EQ(h.bucketFor(0.5), 0u);
+    EXPECT_EQ(h.bucketFor(1.0), 0u);
+    EXPECT_EQ(h.bucketFor(1.0000001), 1u);
+    EXPECT_EQ(h.bucketFor(2.0), 1u);
+    EXPECT_EQ(h.bucketFor(5.0), 2u);
+    EXPECT_EQ(h.bucketFor(5.0000001), 3u); // overflow bucket
+    EXPECT_EQ(h.bucketCount(), 4u);
+}
+
+TEST(HistogramTest, EdgePropertySweep)
+{
+    // Property: for every bound b, observing exactly b and the next
+    // representable double above b land in adjacent buckets.
+    const std::vector<double> bounds = {0.01, 0.1, 1.0, 10.0, 100.0};
+    HistogramMetric h(bounds);
+    for (size_t i = 0; i < bounds.size(); ++i) {
+        const double b = bounds[i];
+        const double above =
+            std::nextafter(b, std::numeric_limits<double>::infinity());
+        EXPECT_EQ(h.bucketFor(b), i) << "bound " << b;
+        EXPECT_EQ(h.bucketFor(above), i + 1) << "above bound " << b;
+    }
+}
+
+TEST(HistogramTest, ObserveCountsAndSum)
+{
+    MetricsRegistry reg;
+    HistogramMetric *h = reg.histogram("lat", {1.0, 10.0});
+    h->observe(0.5);
+    h->observe(1.0);
+    h->observe(7.0);
+    h->observe(100.0);
+    EXPECT_EQ(h->bucketValue(0), 2u); // 0.5, 1.0
+    EXPECT_EQ(h->bucketValue(1), 1u); // 7.0
+    EXPECT_EQ(h->bucketValue(2), 1u); // 100.0 (overflow)
+    EXPECT_EQ(h->count(), 4u);
+    EXPECT_DOUBLE_EQ(h->sum(), 108.5);
+}
+
+TEST(HistogramTest, EmptyBoundsAllOverflow)
+{
+    HistogramMetric h({});
+    h.observe(1.0);
+    h.observe(-1.0);
+    EXPECT_EQ(h.bucketCount(), 1u);
+    EXPECT_EQ(h.bucketValue(0), 2u);
+}
+
+TEST(RegistryTest, HistogramBoundsMustMatch)
+{
+    MetricsRegistry reg;
+    HistogramMetric *h = reg.histogram("lat", {1.0, 2.0});
+    EXPECT_EQ(reg.histogram("lat", {1.0, 2.0}), h);
+    EXPECT_DEATH(reg.histogram("lat", {1.0, 3.0}), "bounds");
+}
+
+TEST(RegistryTest, KindMismatchAborts)
+{
+    MetricsRegistry reg;
+    reg.counter("x");
+    EXPECT_DEATH(reg.gauge("x"), "kind");
+}
+
+TEST(SnapshotTest, IsolatedFromLaterWrites)
+{
+    MetricsRegistry reg;
+    Counter *c = reg.counter("c");
+    Gauge *g = reg.gauge("g");
+    HistogramMetric *h = reg.histogram("h", {1.0});
+    c->inc(5);
+    g->set(7);
+    h->observe(0.5);
+
+    MetricsSnapshot snap = reg.snapshot();
+    // Mutate everything after the snapshot.
+    c->inc(100);
+    g->set(-1);
+    h->observe(2.0);
+
+    ASSERT_NE(snap.findCounter("c"), nullptr);
+    EXPECT_EQ(snap.findCounter("c")->value, 5u);
+    ASSERT_NE(snap.findGauge("g"), nullptr);
+    EXPECT_EQ(snap.findGauge("g")->value, 7);
+    const SnapshotHistogram *sh = snap.findHistogram("h");
+    ASSERT_NE(sh, nullptr);
+    EXPECT_EQ(sh->count, 1u);
+    ASSERT_EQ(sh->counts.size(), 2u);
+    EXPECT_EQ(sh->counts[0], 1u);
+    EXPECT_EQ(sh->counts[1], 0u);
+
+    // A second snapshot sees the later writes; the first does not
+    // change (deep copy, no aliasing).
+    MetricsSnapshot snap2 = reg.snapshot();
+    EXPECT_EQ(snap2.findCounter("c")->value, 105u);
+    EXPECT_EQ(snap.findCounter("c")->value, 5u);
+    EXPECT_FALSE(snap == snap2);
+    EXPECT_TRUE(snap == snap); // reflexive equality
+}
+
+TEST(SnapshotTest, SortedByNameWithinKind)
+{
+    MetricsRegistry reg;
+    reg.counter("zeta");
+    reg.counter("alpha");
+    reg.gauge("mid");
+    MetricsSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].name, "alpha");
+    EXPECT_EQ(snap.counters[1].name, "zeta");
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_EQ(snap.gauges[0].name, "mid");
+}
+
+/**
+ * Concurrency hammer: every ThreadPool worker slams the same
+ * counter, gauge, and histogram; the totals must be exact (no lost
+ * updates). TSan runs this too — the instruments must be race-free
+ * by construction, not by luck.
+ */
+TEST(ConcurrencyTest, PoolHammerExactTotals)
+{
+    MetricsRegistry reg;
+    Counter *c = reg.counter("hammer_c");
+    Gauge *g = reg.gauge("hammer_g");
+    HistogramMetric *h =
+        reg.histogram("hammer_h", {10.0, 100.0, 1000.0});
+
+    util::ThreadPool pool(4);
+    const size_t kIters = 50'000;
+    pool.parallelFor(0, kIters, [&](size_t i) {
+        c->inc(2);
+        g->add(1);
+        h->observe(static_cast<double>(i % 2000));
+    });
+
+    EXPECT_EQ(c->value(), 2 * kIters);
+    EXPECT_EQ(g->value(), static_cast<int64_t>(kIters));
+    EXPECT_EQ(h->count(), kIters);
+    // i % 2000 sweep: 0..10 -> bucket 0 (11 values per cycle),
+    // 11..100 -> bucket 1 (90), 101..1000 -> bucket 2 (900),
+    // 1001..1999 -> overflow (999). 25 full cycles of 2000.
+    const uint64_t cycles = kIters / 2000;
+    EXPECT_EQ(h->bucketValue(0), 11 * cycles);
+    EXPECT_EQ(h->bucketValue(1), 90 * cycles);
+    EXPECT_EQ(h->bucketValue(2), 900 * cycles);
+    EXPECT_EQ(h->bucketValue(3), 999 * cycles);
+    // Sum of 0..1999 per cycle, exact in double.
+    EXPECT_DOUBLE_EQ(h->sum(),
+                     static_cast<double>(cycles) *
+                         (1999.0 * 2000.0 / 2.0));
+}
+
+/** Registration itself raced from workers: same name from every
+ *  thread must converge on one instrument. */
+TEST(ConcurrencyTest, ConcurrentRegistrationConverges)
+{
+    MetricsRegistry reg;
+    util::ThreadPool pool(4);
+    pool.parallelFor(0, 1000, [&](size_t) {
+        reg.counter("same_name")->inc();
+    });
+    EXPECT_EQ(reg.instrumentCount(), 1u);
+    EXPECT_EQ(reg.counter("same_name")->value(), 1000u);
+}
+
+} // namespace
+} // namespace obs
+} // namespace specinfer

@@ -10,6 +10,7 @@
 
 #include "../model/test_models.h"
 #include "model/model_factory.h"
+#include "obs/obs.h"
 #include "runtime/request_manager.h"
 
 namespace specinfer {
@@ -43,6 +44,14 @@ TEST(PreemptionFcfsTest, TwoStarvedRequestsNeverLivelock)
     KvBlockAllocator probe(1000, 8);
     cfg.kvPoolBlocks = probe.blocksFor(per_request) * 3 / 2;
     cfg.kvPolicy = KvReservationPolicy::OnDemand;
+    // Latency assertions run against an injected ManualClock, not
+    // wall time: every runIteration() reads the clock exactly twice
+    // (start/end of the iteration timer), so iteration latency is
+    // exactly one auto-step and the assertions below cannot flake
+    // on a loaded machine.
+    obs::ManualClock clock(0, 1000);
+    obs::ObsContext obs_ctx(&clock, /*tracing_enabled=*/false);
+    cfg.obs = &obs_ctx;
     RequestManager manager(&engine, cfg);
     uint64_t id1 = manager.submit(p1);
     uint64_t id2 = manager.submit(p2);
@@ -73,6 +82,19 @@ TEST(PreemptionFcfsTest, TwoStarvedRequestsNeverLivelock)
     EXPECT_GT(manager.stats().preemptions, 0u);
     EXPECT_EQ(manager.stats().preemptionAborts, 0u);
     EXPECT_EQ(manager.kvPool()->usedBlocks(), 0u);
+
+    // Deterministic timing: with a 1us auto-step every iteration
+    // lasted exactly 0.001ms, so the latency histogram has every
+    // observation in its lowest bucket and the clock was read a
+    // number of times that is a pure function of the workload.
+    EXPECT_EQ(clock.reads(), 2 * iterations);
+    obs::MetricsSnapshot snap = obs_ctx.metrics().snapshot();
+    const obs::SnapshotHistogram *lat =
+        snap.findHistogram("serving_iteration_millis");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->count, iterations);
+    ASSERT_FALSE(lat->counts.empty());
+    EXPECT_EQ(lat->counts[0], iterations); // all <= 0.01ms exactly
 }
 
 } // namespace

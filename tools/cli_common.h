@@ -8,12 +8,17 @@
 #define SPECINFER_TOOLS_CLI_COMMON_H
 
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/spec_engine.h"
 #include "model/model_factory.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "workload/datasets.h"
 
 namespace specinfer {
@@ -30,8 +35,55 @@ commonFlagNames()
         // Crash-safe serving (spec_infer --journal mode).
         "batch",      "journal",    "snapshot-every",
         "crash-after", "recover",
+        // Observability exporters.
+        "metrics-out", "trace-out",
     };
     return names;
+}
+
+/**
+ * Install a process-global ObsContext when either exporter path is
+ * requested (tracing only when a trace path is). Returns the owning
+ * pointer (null = observability off, zero overhead).
+ */
+inline std::unique_ptr<obs::ObsContext>
+makeObsFromFlags(const std::string &metrics_path,
+                 const std::string &trace_path)
+{
+    if (metrics_path.empty() && trace_path.empty())
+        return nullptr;
+    auto ctx = std::make_unique<obs::ObsContext>(
+        &obs::SteadyClock::instance(),
+        /*tracing_enabled=*/!trace_path.empty());
+    obs::setGlobalObs(ctx.get());
+    return ctx;
+}
+
+/** Write the Prometheus/Chrome-trace exports requested by flags. */
+inline void
+writeObsOutputs(obs::ObsContext *ctx,
+                const std::string &metrics_path,
+                const std::string &trace_path)
+{
+    if (ctx == nullptr)
+        return;
+    if (!metrics_path.empty()) {
+        std::ofstream out(metrics_path);
+        SPECINFER_CHECK(out.good(), "cannot write metrics '"
+                                        << metrics_path << "'");
+        obs::writePrometheus(ctx->metrics().snapshot(), out);
+        std::printf("metrics: wrote %zu instruments to %s\n",
+                    ctx->metrics().instrumentCount(),
+                    metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        SPECINFER_CHECK(out.good(), "cannot write trace '"
+                                        << trace_path << "'");
+        ctx->tracer().writeChromeTrace(out);
+        std::printf("trace: wrote %zu events to %s\n",
+                    ctx->tracer().eventCount(), trace_path.c_str());
+    }
 }
 
 /** Parse the expansion flag "k1,k2,..." into a config. */

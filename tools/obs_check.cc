@@ -1,0 +1,147 @@
+/**
+ * @file
+ * obs_check — validate observability artifacts.
+ *
+ * Usage:
+ *   obs_check [--metrics metrics.prom] [--trace trace.json]
+ *             [--require-metric name]...
+ *
+ * --metrics parses a Prometheus text-exposition file (format 0.0.4)
+ * and fails on any malformed line; --trace validates a Chrome
+ * trace_event JSON file (well-formed JSON, traceEvents array, per-
+ * event schema). --require-metric (repeatable via a comma-separated
+ * list) additionally fails unless a sample with that metric name is
+ * present — CI uses this to pin the serving metric catalog.
+ *
+ * Exit status: 0 = all artifacts valid, 1 = validation failure.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace specinfer;
+
+/** Base metric name of a sample ("_bucket"/"_sum"/"_count"
+ *  suffixes strip to the histogram name). */
+std::string
+baseName(const std::string &name)
+{
+    for (const char *suffix : {"_bucket", "_sum", "_count"}) {
+        const std::string s(suffix);
+        if (name.size() > s.size() &&
+            name.compare(name.size() - s.size(), s.size(), s) == 0)
+            return name.substr(0, name.size() - s.size());
+    }
+    return name;
+}
+
+bool
+checkMetrics(const std::string &path,
+             const std::vector<std::string> &required)
+{
+    std::ifstream in(path);
+    if (!in.good()) {
+        std::fprintf(stderr, "obs_check: cannot read metrics '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    std::string error;
+    std::vector<obs::PrometheusSample> samples =
+        obs::parsePrometheus(in, &error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "obs_check: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    bool ok = true;
+    for (const std::string &want : required) {
+        bool found = false;
+        for (const obs::PrometheusSample &s : samples)
+            if (s.name == want || baseName(s.name) == want) {
+                found = true;
+                break;
+            }
+        if (!found) {
+            std::fprintf(stderr,
+                         "obs_check: %s: required metric '%s' "
+                         "missing\n",
+                         path.c_str(), want.c_str());
+            ok = false;
+        }
+    }
+    if (ok)
+        std::printf("obs_check: %s: %zu samples OK\n", path.c_str(),
+                    samples.size());
+    return ok;
+}
+
+bool
+checkTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in.good()) {
+        std::fprintf(stderr, "obs_check: cannot read trace '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::string error;
+    size_t events = 0;
+    if (!obs::validateChromeTrace(text, &error, &events)) {
+        std::fprintf(stderr, "obs_check: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    std::printf("obs_check: %s: %zu events OK\n", path.c_str(),
+                events);
+    return true;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        if (comma > pos)
+            out.push_back(text.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::Flags flags(argc, argv);
+    flags.allowOnly({"metrics", "trace", "require-metric"});
+    const std::string metrics = flags.get("metrics", "");
+    const std::string trace = flags.get("trace", "");
+    if (metrics.empty() && trace.empty()) {
+        std::fprintf(stderr,
+                     "usage: obs_check [--metrics FILE] "
+                     "[--trace FILE] [--require-metric a,b,...]\n");
+        return 1;
+    }
+    bool ok = true;
+    if (!metrics.empty())
+        ok = checkMetrics(metrics, splitCommas(flags.get(
+                                       "require-metric", ""))) &&
+             ok;
+    if (!trace.empty())
+        ok = checkTrace(trace) && ok;
+    return ok ? 0 : 1;
+}

@@ -11,6 +11,13 @@
  *              [--expansion 1,1,3,1,1,1,1,1] [--seed 1] [--verbose]
  *              [--batch 4] [--journal serve.wal]
  *              [--snapshot-every 32] [--crash-after N] [--recover]
+ *              [--metrics-out metrics.prom] [--trace-out trace.json]
+ *
+ * Observability: --metrics-out writes a Prometheus text-exposition
+ * snapshot of every counter/gauge/histogram at exit; --trace-out
+ * writes a Chrome trace_event JSON (load in Perfetto/about:tracing —
+ * one swimlane per request). Neither flag = zero instrumentation
+ * overhead and bit-identical outputs.
  *
  * temperature 0 = greedy decoding (lossless vs incremental);
  * temperature > 0 = stochastic decoding via multi-step speculative
@@ -161,6 +168,12 @@ main(int argc, char **argv)
     const float temperature =
         static_cast<float>(flags.getDouble("temperature", 0.0));
     const bool verbose = flags.getBool("verbose");
+    const std::string metrics_out = flags.get("metrics-out", "");
+    const std::string trace_out = flags.get("trace-out", "");
+    // Installed as the process-global context before any engine or
+    // manager is constructed, so every layer resolves it.
+    std::unique_ptr<obs::ObsContext> obs_ctx =
+        tools::makeObsFromFlags(metrics_out, trace_out);
 
     model::Transformer llm =
         model::makeLlm(model::llmPreset(llm_name));
@@ -187,14 +200,18 @@ main(int argc, char **argv)
         dataset_name, llm.config().vocabSize);
 
     const std::string journal_path = flags.get("journal", "");
-    if (!journal_path.empty())
-        return serveJournaled(
+    if (!journal_path.empty()) {
+        int rc = serveJournaled(
             engine, dataset, num_prompts,
             static_cast<size_t>(flags.getInt("batch", 4)),
             journal_path,
             static_cast<size_t>(flags.getInt("snapshot-every", 32)),
             flags.getInt("crash-after", -1),
             flags.getBool("recover"), verbose);
+        tools::writeObsOutputs(obs_ctx.get(), metrics_out,
+                               trace_out);
+        return rc;
+    }
 
     double steps = 0.0, tokens = 0.0;
     for (size_t i = 0; i < num_prompts; ++i) {
@@ -207,5 +224,6 @@ main(int argc, char **argv)
     std::printf("total: %.0f tokens in %.0f LLM decoding steps "
                 "(%.2f tokens/step)\n",
                 tokens, steps, tokens / steps);
+    tools::writeObsOutputs(obs_ctx.get(), metrics_out, trace_out);
     return 0;
 }
