@@ -29,7 +29,7 @@ if [[ "${SPECINFER_NATIVE:-0}" == "1" ]]; then
 fi
 cmake --preset release -DSPECINFER_NATIVE="${native}" >/dev/null
 cmake --build --preset release --target micro_kernels micro_serving \
-    >/dev/null
+    ablation_prefix_sharing >/dev/null
 
 rev="$(git rev-parse --short HEAD)"
 if ! git diff --quiet HEAD -- ':!BENCH_kernels.json' \
@@ -65,6 +65,19 @@ for b in raw.get("benchmarks", []):
     entry = {"ns_per_op": round(b["real_time"] * scale, 2)}
     if "items_per_second" in b:
         entry["items_per_s"] = round(b["items_per_second"], 2)
+    # User counters (e.g. peak_kv_blocks, prefill_tokens from the
+    # prefix-sharing ablation) appear as extra numeric keys.
+    standard = {
+        "name", "family_index", "per_family_instance_index",
+        "run_name", "run_type", "repetitions", "repetition_index",
+        "threads", "iterations", "real_time", "cpu_time",
+        "time_unit", "items_per_second", "bytes_per_second",
+        "label", "aggregate_name", "aggregate_unit",
+        "error_occurred", "error_message",
+    }
+    for key, value in b.items():
+        if key not in standard and isinstance(value, (int, float)):
+            entry[key] = round(value, 2)
     benchmarks[b["name"]] = entry
 
 try:
@@ -90,3 +103,4 @@ PY
 
 run_one micro_kernels BENCH_kernels.json
 run_one micro_serving BENCH_serving.json
+run_one ablation_prefix_sharing BENCH_serving.json

@@ -27,6 +27,18 @@ SPECINFER_TRACE_OUT=build/obs/micro_serving.trace.json \
     --metrics build/obs/micro_serving.prom \
     --trace build/obs/micro_serving.trace.json \
     --require-metric serving_iterations,serving_requests_finished,serving_tokens_generated,serving_iteration_millis,engine_tokens_verified,pool_jobs_dispatched
+# Shared-prefix scenario: the multi-tenant sharing ablation under
+# the exporters (it also asserts sharing-vs-plain token identity
+# before reporting), then obs_check pins the prefix-sharing metric
+# catalog — pool occupancy/sharing gauges, hit/miss/COW counters,
+# and the engine-side prefill-skip counter.
+SPECINFER_METRICS_OUT=build/obs/prefix_sharing.prom \
+SPECINFER_BENCH_TOKENS=8 \
+./build/bench/ablation_prefix_sharing \
+    --benchmark_filter='sharing:1' --benchmark_min_time=0.01
+./build/tools/obs_check \
+    --metrics build/obs/prefix_sharing.prom \
+    --require-metric kv_blocks_in_use,kv_shared_blocks,kv_alloc_failures,kv_prefix_hits,kv_prefix_misses,kv_cow_copies,engine_prefill_skipped_tokens
 ./build/tools/spec_infer --num-prompts 2 --max-tokens 8 \
     --metrics-out build/obs/spec_infer.prom \
     --trace-out build/obs/spec_infer.trace.json
@@ -51,14 +63,15 @@ cmake --build --preset asan --target test_recovery
 SPECINFER_RECOVERY_TRIALS=300 ./build-asan/tests/test_recovery
 
 # Data-race sweep: thread pool, batched forward, fault injection,
-# recovery machinery, and the metrics/tracing instruments (hammered
-# from pool workers) under ThreadSanitizer.
+# recovery machinery, the prefix-sharing soak + serving equivalence
+# suites, and the metrics/tracing instruments (hammered from pool
+# workers) under ThreadSanitizer.
 cmake --preset tsan
 cmake --build --preset tsan
 SPECINFER_SOAK_ITERATIONS=1500 SPECINFER_RECOVERY_TRIALS=60 \
 SPECINFER_RECOVERY_SOAK_ITERATIONS=800 \
 ctest --preset tsan \
-      -R 'ThreadPool|ThreadedForward|Fault|Recovery|Journal|Crc32|Concurrency|Tracer|WorkloadTrace|OverheadGuard'
+      -R 'ThreadPool|ThreadedForward|Fault|Recovery|Journal|Crc32|Concurrency|Tracer|WorkloadTrace|OverheadGuard|KvSharing|PrefixSharing'
 
 for b in build/bench/*; do
     echo "=== $b ==="

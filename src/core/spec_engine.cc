@@ -6,9 +6,11 @@
 #include <istream>
 #include <ostream>
 
+#include "model/prefix_store.h"
 #include "model/serialization.h"
 #include "obs/obs.h"
 #include "util/fault.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace specinfer {
@@ -225,6 +227,84 @@ SpecSession::applyStopSequences(std::vector<int> appended)
     return appended;
 }
 
+void
+SpecSession::enablePrefixSharing(model::PrefixKvStore *store)
+{
+    SPECINFER_CHECK(store != nullptr, "null prefix store");
+    SPECINFER_CHECK(store->layers() == llmCache_.layers() &&
+                        store->kvDim() == llmCache_.kvDim(),
+                    "prefix store does not match the LLM geometry");
+    prefixStore_ = store;
+    promptHashes_.clear();
+    const size_t bt = store->blockTokens();
+    uint64_t chain = util::kHashChainSeed;
+    for (size_t at = 0; (at + 1) * bt <= promptLen_; ++at) {
+        chain = util::hashTokenBlock(chain, seq_.data() + at * bt, bt);
+        promptHashes_.push_back(chain);
+    }
+}
+
+size_t
+SpecSession::adoptPrefix(const std::vector<uint64_t> &full_hashes,
+                         uint64_t partial_hash, size_t partial_tokens)
+{
+    SPECINFER_CHECK(prefixStore_ != nullptr,
+                    "adoptPrefix without enablePrefixSharing");
+    SPECINFER_CHECK(llmCache_.length() == 0,
+                    "adoptPrefix after prefill started");
+    SPECINFER_CHECK(full_hashes.size() <= promptHashes_.size(),
+                    "more shared blocks than the prompt has");
+    const size_t bt = prefixStore_->blockTokens();
+    // step() needs at least the tree root uncached.
+    const size_t cap = promptLen_ - 1;
+    size_t adopted = 0;
+    bool contiguous = true;
+    for (size_t k = 0; k < full_hashes.size() && contiguous; ++k) {
+        SPECINFER_CHECK(full_hashes[k] == promptHashes_[k],
+                        "adopted block does not match the prompt");
+        const size_t rows = std::min(bt, cap - adopted);
+        if (rows == 0)
+            break;
+        const size_t got =
+            prefixStore_->adoptInto(full_hashes[k], rows, &llmCache_);
+        adopted += got;
+        // A short (capped) adoption still counts as contiguous up to
+        // the rows taken; a cold block ends adoption here.
+        contiguous = got == rows && rows == bt;
+    }
+    // The partial block extends the match immediately after the
+    // contiguous full-block chain; adopting it needs every one of
+    // those blocks warm and uncapped.
+    if (contiguous && partial_hash != 0 && partial_tokens > 0 &&
+        adopted == full_hashes.size() * bt) {
+        const size_t rows =
+            std::min(partial_tokens, cap - adopted);
+        adopted += prefixStore_->adoptInto(partial_hash, rows,
+                                           &llmCache_);
+    }
+    publishedBlocks_ = llmCache_.length() / bt;
+    if (adopted > 0 && engine_->obs_ != nullptr)
+        engine_->obs_->metrics()
+            .counter("engine_prefill_skipped_tokens")
+            ->inc(adopted);
+    return adopted;
+}
+
+void
+SpecSession::publishPromptBlocks()
+{
+    if (prefixStore_ == nullptr)
+        return;
+    const size_t bt = prefixStore_->blockTokens();
+    const size_t resident =
+        std::min(llmCache_.length(), promptLen_) / bt;
+    for (size_t k = publishedBlocks_;
+         k < resident && k < promptHashes_.size(); ++k)
+        prefixStore_->fill(promptHashes_[k], llmCache_, k * bt);
+    publishedBlocks_ = std::max(
+        publishedBlocks_, std::min(resident, promptHashes_.size()));
+}
+
 std::vector<int>
 SpecSession::generated() const
 {
@@ -423,6 +503,7 @@ SpecSession::step(bool allow_speculation)
             prefill.llmChunkTokens = part.size();
             prefill.prefill = true;
             stats_.steps.push_back(prefill);
+            publishPromptBlocks();
             return;
         }
     }
@@ -601,6 +682,7 @@ SpecSession::step(bool allow_speculation)
         keep.push_back(base + static_cast<size_t>(offset) +
                        static_cast<size_t>(verdict.acceptedNodes[i]));
     llmCache_.keepRows(keep);
+    publishPromptBlocks();
 
     if (done_)
         return;

@@ -37,6 +37,9 @@ namespace specinfer {
 namespace obs {
 class ObsContext;
 }
+namespace model {
+class PrefixKvStore;
+}
 namespace core {
 
 /** Full engine configuration. */
@@ -198,6 +201,32 @@ class SpecSession
     util::RngState rngCursor() const { return rng_.state(); }
 
     /**
+     * Attach the serving runtime's prefix-block payload store. Once
+     * attached the session publishes every full prompt block it has
+     * resident (fill is a no-op for blocks the allocator never
+     * interned) and may adopt blocks via adoptPrefix(). Purely a
+     * performance channel: chunk-layout invariance keeps outputs
+     * bit-identical whether rows are adopted or recomputed.
+     */
+    void enablePrefixSharing(model::PrefixKvStore *store);
+
+    /**
+     * Adopt already-computed KV rows for a prompt prefix instead of
+     * prefilling them. `full_hashes` are leading full prompt-block
+     * hashes (each must match this prompt's own chain); `partial_hash`
+     * optionally names an interned block whose first `partial_tokens`
+     * tokens extend the match past the last full block. Adoption is
+     * contiguous, stops at the first cold (unfilled) block, and is
+     * capped at promptLen - 1 so step() always has at least the tree
+     * root left to decode.
+     *
+     * @pre enablePrefixSharing() was called and no step has run.
+     * @return Prompt tokens whose prefill was skipped.
+     */
+    size_t adoptPrefix(const std::vector<uint64_t> &full_hashes,
+                       uint64_t partial_hash, size_t partial_tokens);
+
+    /**
      * Re-apply one journaled step without recomputing it: append the
      * step's verified tokens and log-probs, record its StepRecord,
      * and jump the RNG to the journaled post-step cursor.
@@ -224,6 +253,10 @@ class SpecSession
      *  the stop state; returns the (possibly shortened) list. */
     std::vector<int> applyStopSequences(std::vector<int> appended);
 
+    /** Capture newly resident full prompt blocks into the prefix
+     *  store (no-op for blocks the allocator never declared). */
+    void publishPromptBlocks();
+
     const SpecEngine *engine_;
     std::vector<int> seq_;
     size_t promptLen_;
@@ -238,6 +271,14 @@ class SpecSession
     /** Trace track (request id under the request manager; 0 for
      *  bare generate() sessions and reloaded snapshots). */
     uint64_t track_ = 0;
+
+    /** Prefix-sharing payload store (non-owning; null when the
+     *  serving runtime has sharing disabled). */
+    model::PrefixKvStore *prefixStore_ = nullptr;
+    /** Chained hashes of this prompt's full blocks. */
+    std::vector<uint64_t> promptHashes_;
+    /** Prompt blocks already captured into the store. */
+    size_t publishedBlocks_ = 0;
 };
 
 /**

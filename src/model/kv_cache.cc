@@ -59,6 +59,23 @@ KvCache::valueRow(size_t layer, size_t slot) const
     return values_[layer].row(slot);
 }
 
+size_t
+KvCache::adoptRows(size_t rows,
+                   const std::vector<const float *> &layer_keys,
+                   const std::vector<const float *> &layer_values)
+{
+    SPECINFER_CHECK(layer_keys.size() == keys_.size() &&
+                        layer_values.size() == keys_.size(),
+                    "adoptRows layer count mismatch");
+    size_t base = allocate(rows);
+    const size_t bytes = rows * kvDim_ * sizeof(float);
+    for (size_t layer = 0; layer < keys_.size(); ++layer) {
+        std::memcpy(keys_[layer].row(base), layer_keys[layer], bytes);
+        std::memcpy(values_[layer].row(base), layer_values[layer], bytes);
+    }
+    return base;
+}
+
 void
 KvCache::truncate(size_t new_length)
 {

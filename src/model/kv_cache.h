@@ -67,6 +67,18 @@ class KvCache
     float *valueRow(size_t layer, size_t slot);
     const float *valueRow(size_t layer, size_t slot) const;
 
+    /**
+     * Append externally computed post-RoPE rows (one pointer per
+     * layer, each holding rows * kvDim() contiguous floats). Used by
+     * prefix sharing to adopt already-resident prompt blocks instead
+     * of recomputing them; chunk-layout invariance (DESIGN.md §5c)
+     * makes the adopted rows bitwise identical to a local prefill.
+     * @return The first slot the rows were placed in.
+     */
+    size_t adoptRows(size_t rows,
+                     const std::vector<const float *> &layer_keys,
+                     const std::vector<const float *> &layer_values);
+
     /** Drop all slots >= new_length (speculation rollback). */
     void truncate(size_t new_length);
 

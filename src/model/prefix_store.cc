@@ -1,0 +1,91 @@
+#include "model/prefix_store.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace specinfer {
+namespace model {
+
+PrefixKvStore::PrefixKvStore(size_t n_layers, size_t kv_dim,
+                             size_t block_tokens)
+    : nLayers_(n_layers), kvDim_(kv_dim), blockTokens_(block_tokens)
+{
+    SPECINFER_CHECK(n_layers > 0 && kv_dim > 0 && block_tokens > 0,
+                    "degenerate prefix store");
+}
+
+void
+PrefixKvStore::declare(uint64_t hash)
+{
+    SPECINFER_CHECK(hash != 0, "hash 0 is the no-block sentinel");
+    blocks_.emplace(hash, Block{});
+}
+
+bool
+PrefixKvStore::filled(uint64_t hash) const
+{
+    auto it = blocks_.find(hash);
+    return it != blocks_.end() && it->second.filled;
+}
+
+void
+PrefixKvStore::fill(uint64_t hash, const KvCache &cache, size_t first_row)
+{
+    auto it = blocks_.find(hash);
+    if (it == blocks_.end() || it->second.filled)
+        return;
+    SPECINFER_CHECK(cache.layers() == nLayers_ && cache.kvDim() == kvDim_,
+                    "prefix store geometry mismatch");
+    SPECINFER_CHECK(first_row + blockTokens_ <= cache.length(),
+                    "fill rows exceed the source cache");
+    Block &b = it->second;
+    const size_t plane = blockTokens_ * kvDim_;
+    b.keys.resize(nLayers_ * plane);
+    b.values.resize(nLayers_ * plane);
+    const size_t bytes = plane * sizeof(float);
+    for (size_t layer = 0; layer < nLayers_; ++layer) {
+        // Rows [first_row, first_row + blockTokens_) are contiguous
+        // within a layer (KvCache stride guarantee).
+        std::memcpy(&b.keys[layer * plane], cache.keyRow(layer, first_row),
+                    bytes);
+        std::memcpy(&b.values[layer * plane],
+                    cache.valueRow(layer, first_row), bytes);
+    }
+    b.filled = true;
+}
+
+size_t
+PrefixKvStore::adoptInto(uint64_t hash, size_t rows, KvCache *cache) const
+{
+    SPECINFER_CHECK(cache != nullptr, "adoptInto needs a target cache");
+    SPECINFER_CHECK(rows <= blockTokens_,
+                    "cannot adopt more rows than a block holds");
+    auto it = blocks_.find(hash);
+    if (it == blocks_.end() || !it->second.filled || rows == 0)
+        return 0;
+    SPECINFER_CHECK(cache->layers() == nLayers_ && cache->kvDim() == kvDim_,
+                    "prefix store geometry mismatch");
+    const Block &b = it->second;
+    const size_t plane = blockTokens_ * kvDim_;
+    std::vector<const float *> lk(nLayers_), lv(nLayers_);
+    for (size_t layer = 0; layer < nLayers_; ++layer) {
+        lk[layer] = &b.keys[layer * plane];
+        lv[layer] = &b.values[layer * plane];
+    }
+    cache->adoptRows(rows, lk, lv);
+    return rows;
+}
+
+size_t
+PrefixKvStore::filledCount() const
+{
+    size_t n = 0;
+    for (const auto &kv : blocks_)
+        if (kv.second.filled)
+            ++n;
+    return n;
+}
+
+} // namespace model
+} // namespace specinfer

@@ -9,7 +9,23 @@
  * system (as popularized by vLLM's PagedAttention, cited as a
  * baseline in §6): requests reserve fixed-size token blocks as
  * their sequences grow, and the request manager admits a request
- * only when its worst-case footprint fits.
+ * only when its footprint fits.
+ *
+ * Beyond private reservations the allocator maintains a *block
+ * table* of hash-consed prefix blocks for multi-tenant traffic:
+ * full blocks of a prompt prefix are content-hashed (chained, see
+ * util/hash.h) and interned with refcounts, so requests sharing a
+ * system prompt or RAG context hold one physical block many times.
+ * A request holding a shared block pays 1/refcount of it in
+ * admission fairness accounting (effectiveBlocks()); its first
+ * write past the divergence point releases the shared reference in
+ * favor of the private block charged at admission — copy-on-write
+ * at block granularity (cowShared()). Zero-reference blocks stay
+ * resident as a prefix cache and are reclaimed under pressure by a
+ * *deterministic* eviction policy (deepest chain first, largest
+ * hash as tie-break): eviction is a pure function of the resident
+ * set, so crash-recovery journal replay evicts exactly the blocks
+ * the live run evicted.
  */
 
 #ifndef SPECINFER_RUNTIME_KV_MEMORY_H
@@ -17,7 +33,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <vector>
 
 namespace specinfer {
 namespace obs {
@@ -38,30 +56,80 @@ struct KvMemoryStats
      *  but counted: a nonzero value in a path that should release
      *  exactly once flags an accounting bug upstream. */
     size_t redundantReleases = 0;
+
+    // --- Prefix sharing -------------------------------------------
+
+    /** Shared-block acquisitions that found the block resident. */
+    size_t prefixHits = 0;
+    /** Shared-block acquisitions that interned a fresh block. */
+    size_t prefixMisses = 0;
+    /** Copy-on-write events: a partially-shared block reference
+     *  released on the holder's first write past the divergence. */
+    size_t cowCopies = 0;
+    /** Zero-reference resident blocks reclaimed under pressure. */
+    size_t sharedEvictions = 0;
+};
+
+/** Result of matching a prompt against the resident block table. */
+struct PrefixMatch
+{
+    /** Resident full-block chain matching the prompt, in chain
+     *  order (block 0 first). */
+    std::vector<uint64_t> hashes;
+    /** Resident block matching a strict prefix of the first
+     *  unmatched prompt block (0 = none). A holder of a partial
+     *  match diverges from the block mid-way, so its first write
+     *  there is a copy-on-write event. */
+    uint64_t partialHash = 0;
+    /** Matched tokens inside partialHash (0 when partialHash is 0). */
+    size_t partialTokens = 0;
+    /** Chain hashes of *all* full blocks of the prompt (matched
+     *  prefix first); admission interns the unmatched tail. */
+    std::vector<uint64_t> ownHashes;
+
+    /** Tokens covered by the fully matched chain. */
+    size_t fullTokens(size_t block_tokens) const
+    {
+        return hashes.size() * block_tokens;
+    }
 };
 
 /**
  * Block-granular KV memory pool shared by all requests of one
  * serving pipeline.
  *
- * A request's reservation is expressed in tokens and rounded up to
- * blocks; reservations only grow (sequences never shrink) until the
- * request releases everything at completion.
+ * A request's private reservation is expressed in tokens and
+ * rounded up to blocks; reservations only grow (sequences never
+ * shrink) until the request releases everything at completion.
+ * Shared prefix blocks enter a holding via admit() and leave via
+ * cowShared() or release().
  */
 class KvBlockAllocator
 {
   public:
+    /** One interned prefix block. */
+    struct SharedBlock
+    {
+        std::vector<int> tokens; ///< full block content
+        uint64_t parent = 0;     ///< predecessor chain hash (0 = first)
+        size_t depth = 0;        ///< chain position (0 = first block)
+        size_t refs = 0;         ///< holders; 0 = evictable resident
+    };
+
     /**
      * @param total_blocks Pool capacity in blocks.
      * @param block_tokens Tokens per block (vLLM default: 16).
      * @param obs Optional observability context (non-owning): the
-     *        allocator keeps a blocks-in-use gauge and an
-     *        allocation-failure counter live. Null = no-op.
+     *        allocator keeps blocks-in-use / shared-blocks gauges
+     *        and allocation-failure / sharing counters live.
+     *        Null = no-op.
      */
     KvBlockAllocator(size_t total_blocks, size_t block_tokens,
                      obs::ObsContext *obs = nullptr);
 
     size_t totalBlocks() const { return totalBlocks_; }
+    /** Physically occupied blocks: private + resident shared (each
+     *  shared block counted once regardless of refcount). */
     size_t usedBlocks() const { return usedBlocks_; }
     size_t freeBlocks() const { return totalBlocks_ - usedBlocks_; }
     size_t blockTokens() const { return blockTokens_; }
@@ -70,31 +138,144 @@ class KvBlockAllocator
     size_t blocksFor(size_t tokens) const;
 
     /** True when a reservation of `tokens` for `request` would
-     *  succeed (accounting for its current holding). */
+     *  succeed (accounting for its current holding and for
+     *  zero-reference resident blocks, which reserve() reclaims on
+     *  demand). */
     bool canReserve(uint64_t request, size_t tokens) const;
 
     /**
-     * Grow request's reservation to cover `tokens` tokens.
+     * Grow request's reservation to cover `tokens` tokens in total
+     * (shared blocks already held count toward the total, so growth
+     * only adds private blocks past what sharing covers).
      * @return false (and change nothing) when the pool is exhausted;
      *         shrinking requests is a no-op returning true.
      */
     bool reserve(uint64_t request, size_t tokens);
 
-    /** Release all blocks held by the request. */
+    /** Release all blocks held by the request: private blocks
+     *  return to the pool; shared references are dropped, leaving
+     *  the blocks resident (zero-ref) for future admissions. */
     void release(uint64_t request);
 
-    /** Blocks currently held by the request (0 if unknown). */
+    /** Blocks currently accounted to the request: private plus
+     *  fully-held shared chain blocks (a partial reference is
+     *  payload-only and excluded — the private reservation already
+     *  covers those positions). 0 if unknown. */
     size_t requestBlocks(uint64_t request) const;
 
     /** Number of requests currently holding blocks. */
     size_t activeRequests() const { return held_.size(); }
 
+    // --- Prefix sharing -------------------------------------------
+
+    /** Walk the prompt's chained block hashes against the resident
+     *  table: longest resident full-block chain, plus at most one
+     *  partially-matching resident block past it. Read-only. */
+    PrefixMatch matchPrefix(const std::vector<int> &prompt) const;
+
     /**
-     * Internal fragmentation: fraction of reserved token capacity
-     * that is not backed by actual tokens, given the actual token
-     * total (callers track actual tokens themselves).
+     * True when admit() for this request would succeed: the
+     * unmatched full blocks plus the private remainder of
+     * `total_tokens` fit into free blocks plus evictable
+     * zero-reference residents (excluding the blocks the admission
+     * itself would re-reference).
      */
-    double fragmentation(size_t actual_tokens) const;
+    bool canAdmit(uint64_t request, const std::vector<int> &prompt,
+                  size_t total_tokens, bool share) const;
+
+    /**
+     * Admit a request in one atomic step: reference the resident
+     * prefix chain (and partial block, if any), intern the prompt's
+     * unmatched full blocks, and reserve private blocks so the
+     * holding covers `total_tokens`. With share == false this is
+     * exactly reserve(request, total_tokens).
+     *
+     * Gate on canAdmit() — a failed admit changes nothing but
+     * counts a failed reservation.
+     *
+     * @param out_match Filled with the match used (own hashes
+     *        included) so callers can adopt payload rows and
+     *        declare store entries. May be null.
+     */
+    bool admit(uint64_t request, const std::vector<int> &prompt,
+               size_t total_tokens, bool share,
+               PrefixMatch *out_match);
+
+    /**
+     * Copy-on-write: the request wrote past its divergence point
+     * inside `hash`, which it held as a partial match. Drops the
+     * shared reference (the private block charged at admission owns
+     * those positions now) and counts the event. Aborts if the
+     * request does not hold `hash` as its partial block.
+     */
+    void cowShared(uint64_t request, uint64_t hash);
+
+    /** True when the hash is interned and resident. */
+    bool sharedResident(uint64_t hash) const;
+
+    /** Current reference count of a resident block (0 if absent). */
+    size_t sharedRefs(uint64_t hash) const;
+
+    /** Resident shared blocks (any refcount). */
+    size_t residentSharedBlocks() const { return shared_.size(); }
+
+    /** Fair-share footprint: private blocks plus 1/refcount of
+     *  every shared block held (partial included). Multi-tenant
+     *  accounting divides a shared block's cost across holders. */
+    double effectiveBlocks(uint64_t request) const;
+
+    /** Resident intern table, for snapshots. */
+    const std::map<uint64_t, SharedBlock> &sharedTable() const
+    {
+        return shared_;
+    }
+
+    /** Shared chain hashes held by the request (empty if none). */
+    std::vector<uint64_t> requestSharedHashes(uint64_t request) const;
+
+    /** The request's partial-match block hash (0 = none). */
+    uint64_t requestPartial(uint64_t request) const;
+
+    /** Re-create one interned block from a snapshot, resident with
+     *  zero references; holders re-reference via restoreAcquire.
+     *  Depth is persisted (not derived) so restore order does not
+     *  matter. */
+    void restoreSharedBlock(uint64_t hash, uint64_t parent,
+                            size_t depth, std::vector<int> tokens);
+
+    /** Re-reference a resident block for a recovering holder
+     *  (partial == true restores a partial-match reference). */
+    void restoreAcquire(uint64_t request, uint64_t hash,
+                        bool partial);
+
+    /** Hook invoked with each evicted block hash (the payload
+     *  store drops its rows); null disables. */
+    void setEvictionHook(std::function<void(uint64_t)> hook)
+    {
+        evictionHook_ = std::move(hook);
+    }
+
+    // --- Fragmentation ---------------------------------------------
+
+    /**
+     * Pool-level internal fragmentation: fraction of *physical*
+     * token capacity (each resident shared block counted once) not
+     * backed by actual tokens. Shared blocks are full by
+     * construction, so waste lives in private blocks; callers pass
+     * the actual token total behind private reservations. Without
+     * sharing this is the classic reserved-minus-actual ratio.
+     */
+    double fragmentation(size_t actual_private_tokens) const;
+
+    /**
+     * Per-request internal fragmentation: fraction of the request's
+     * *held* capacity (private + fully-shared blocks — shared
+     * capacity counted once per holder, which is the point: summing
+     * this across holders double-counts physical blocks, so it
+     * measures a request's own over-reservation, never pool waste).
+     */
+    double requestFragmentation(uint64_t request,
+                                size_t actual_tokens) const;
 
     const KvMemoryStats &stats() const { return stats_; }
 
@@ -104,14 +285,42 @@ class KvBlockAllocator
     void publishUsage();
 
   private:
+    struct Holding
+    {
+        size_t privateBlocks = 0;
+        std::vector<uint64_t> shared; ///< full chain hashes, in order
+        uint64_t partial = 0;         ///< partial-match hash (0 = none)
+    };
+
+    /** Reference a resident block (refs 0 -> 1 leaves the
+     *  evictable count). */
+    void refShared(uint64_t hash);
+    /** Drop one reference; the block stays resident. */
+    void unrefShared(uint64_t hash);
+    /** Reclaim the deterministically-chosen zero-ref resident
+     *  block; false when none exists. */
+    bool evictOneShared();
+    /** Zero-ref residents minus those `match` would re-reference
+     *  (they cannot double as eviction fodder for that admission). */
+    size_t evictableFor(const PrefixMatch &match) const;
+
     size_t totalBlocks_;
     size_t blockTokens_;
     size_t usedBlocks_ = 0;
-    std::map<uint64_t, size_t> held_; ///< request -> blocks
+    size_t zeroRefShared_ = 0; ///< resident blocks with refs == 0
+    std::map<uint64_t, Holding> held_;       ///< request -> holding
+    std::map<uint64_t, SharedBlock> shared_; ///< hash -> block
+    std::multimap<uint64_t, uint64_t> children_; ///< parent -> child
+    std::function<void(uint64_t)> evictionHook_;
     KvMemoryStats stats_;
     obs::Gauge *gBlocksInUse_ = nullptr;
     obs::Gauge *gActiveRequests_ = nullptr;
+    obs::Gauge *gSharedBlocks_ = nullptr;
     obs::Counter *cAllocFailures_ = nullptr;
+    obs::Counter *cPrefixHits_ = nullptr;
+    obs::Counter *cPrefixMisses_ = nullptr;
+    obs::Counter *cCowCopies_ = nullptr;
+    obs::Counter *cSharedEvictions_ = nullptr;
 };
 
 } // namespace runtime

@@ -20,7 +20,9 @@ namespace {
 // half of crash safety: full sessions (KV caches included) plus
 // scheduler bookkeeping; the journal holds only per-event records.
 constexpr char kSnapMagic[4] = {'S', 'P', 'S', 'N'};
-constexpr uint32_t kSnapVersion = 1;
+// v2: resident shared-block intern table + per-request shared
+// holdings (prefix sharing).
+constexpr uint32_t kSnapVersion = 2;
 
 using model::io::readPod;
 using model::io::readPodVector;
@@ -124,6 +126,16 @@ RequestManager::RequestManager(const core::SpecEngine *engine,
     if (cfg_.kvPoolBlocks > 0)
         kvPool_ = std::make_unique<KvBlockAllocator>(
             cfg_.kvPoolBlocks, cfg_.kvBlockTokens, obs_);
+    if (kvPool_ && cfg_.kvPrefixSharing) {
+        const model::ModelConfig &mc = engine_->llm().config();
+        prefixStore_ = std::make_unique<model::PrefixKvStore>(
+            mc.nLayers, mc.dModel, cfg_.kvBlockTokens);
+        // Accounting eviction drops the payload too — residency in
+        // the store never outlives residency in the block table.
+        kvPool_->setEvictionHook([this](uint64_t hash) {
+            prefixStore_->evict(hash);
+        });
+    }
     if (obs_ != nullptr)
         // Millisecond buckets spanning sub-kernel ticks (ManualClock
         // tests) through multi-second straggler iterations.
@@ -165,12 +177,22 @@ RequestManager::submit(std::vector<int> prompt,
     req.deadlineIterations = deadline_iterations > 0
                                  ? deadline_iterations
                                  : cfg_.defaultDeadlineIterations;
-    if (kvPool_ &&
-        kvPool_->blocksFor(worstCaseTokens(req)) >
+    if (kvPool_) {
+        // Consistent with the active policy: OnDemand admits with
+        // one iteration's footprint, so judge feasibility by that,
+        // not the worst case — under prefix sharing this is what
+        // keeps a request with a large shared prefix and a small
+        // unique suffix serveable. No resident-prefix credit
+        // beyond that: a sequence of T tokens needs ceil(T/block)
+        // *distinct* resident blocks no matter how many holders
+        // share them, so anything past totalBlocks() can never be
+        // admitted and crediting it would strand it in pending.
+        if (kvPool_->blocksFor(admissionTokens(req)) >
             kvPool_->totalBlocks()) {
-        out.reject = RejectReason::NeverFits;
-        ++stats_.rejectedNeverFits;
-        return out;
+            out.reject = RejectReason::NeverFits;
+            ++stats_.rejectedNeverFits;
+            return out;
+        }
     }
     req.id = nextId_++;
     out.id = req.id;
@@ -202,6 +224,22 @@ RequestManager::busy() const
     return !pending_.empty() || !active_.empty();
 }
 
+double
+RequestManager::kvFragmentation() const
+{
+    if (kvPool_ == nullptr)
+        return 0.0;
+    const size_t bt = cfg_.kvBlockTokens;
+    size_t actual_private = 0;
+    for (const ActiveRequest &ar : active_) {
+        const size_t total = ar.session.sequence().size();
+        const size_t shared =
+            kvPool_->requestSharedHashes(ar.request.id).size() * bt;
+        actual_private += total > shared ? total - shared : 0;
+    }
+    return kvPool_->fragmentation(actual_private);
+}
+
 size_t
 RequestManager::worstCaseTokens(const Request &req) const
 {
@@ -209,6 +247,51 @@ RequestManager::worstCaseTokens(const Request &req) const
                               ? req.maxNewTokens
                               : engine_->config().maxNewTokens;
     return req.prompt.size() + budget + engine_->treeBudget() + 2;
+}
+
+size_t
+RequestManager::admissionTokens(const Request &req) const
+{
+    return cfg_.kvPolicy == KvReservationPolicy::WorstCase
+               ? worstCaseTokens(req)
+               : req.prompt.size() + engine_->treeBudget() + 2;
+}
+
+uint64_t
+RequestManager::admitKv(const Request &req,
+                        core::SpecSession *session)
+{
+    PrefixMatch match;
+    SPECINFER_CHECK(kvPool_->admit(req.id, req.prompt,
+                                   admissionTokens(req),
+                                   cfg_.kvPrefixSharing, &match),
+                    "KV admission failed after canAdmit for "
+                        << req.id);
+    if (!prefixStore_)
+        return 0;
+    // Declare every own block so whichever session first has the
+    // rows resident captures the payload (declare is idempotent).
+    for (uint64_t hash : match.ownHashes)
+        prefixStore_->declare(hash);
+    session->enablePrefixSharing(prefixStore_.get());
+    const size_t adopted = session->adoptPrefix(
+        match.hashes, match.partialHash, match.partialTokens);
+    if (adopted > 0 && obs_ != nullptr && obs_->tracer().enabled())
+        obs_->tracer().instant(
+            req.id, "serving", "prefix_adopt", obs_->nowNanos(),
+            {{"tokens", static_cast<int64_t>(adopted)},
+             {"blocks",
+              static_cast<int64_t>(match.hashes.size())}});
+    return match.partialHash;
+}
+
+void
+RequestManager::settleCow(ActiveRequest &ar)
+{
+    if (ar.cowPending == 0 || !kvPool_)
+        return;
+    kvPool_->cowShared(ar.request.id, ar.cowPending);
+    ar.cowPending = 0;
 }
 
 bool
@@ -476,13 +559,19 @@ RequestManager::runIteration()
                 continue;
             }
             if (kvPool_) {
-                const size_t need =
-                    cfg_.kvPolicy == KvReservationPolicy::WorstCase
-                        ? worstCaseTokens(cand)
-                        : cand.prompt.size() +
-                              engine_->treeBudget() + 2;
-                if (!tryReserve(cand.id, need))
-                    break; // pool exhausted; retry next iteration
+                // A full pool at the admission probe is routine
+                // backpressure, not an allocation failure: gate on
+                // the read-only check so kv_alloc_failures counts
+                // genuine exhaustion events (see the on-demand
+                // growth path), never head-of-line waiting.
+                if (!kvPool_->canAdmit(cand.id, cand.prompt,
+                                       admissionTokens(cand),
+                                       cfg_.kvPrefixSharing))
+                    break; // pool full; retry next iteration
+                // An injected allocation fault still delays
+                // admission exactly like pool pressure would.
+                if (util::faultAt(util::FaultPoint::KvAlloc))
+                    break;
             }
             Request req = std::move(cand);
             pending_.erase(pending_.begin() +
@@ -500,8 +589,11 @@ RequestManager::runIteration()
                                          req.preemptionCount)}});
             core::SpecSession session = engine_->makeSession(
                 req.prompt, req.id, req.maxNewTokens);
+            uint64_t cow_pending = 0;
+            if (kvPool_)
+                cow_pending = admitKv(req, &session);
             active_.push_back({std::move(req), std::move(session),
-                               stats_.iterations});
+                               stats_.iterations, cow_pending});
         }
     }
     if (active_.empty()) {
@@ -557,16 +649,27 @@ RequestManager::runIteration()
             cfg_.kvPolicy == KvReservationPolicy::OnDemand) {
             const size_t need = active_[i].session.sequence().size() +
                                 engine_->treeBudget() + 2;
-            bool ok = tryReserve(id, need);
+            // canReserve gates the fallible call so backpressure
+            // resolved by preemption never counts as an allocation
+            // failure; tryReserve still interposes the fault point.
+            bool ok = kvPool_->canReserve(id, need) &&
+                      tryReserve(id, need);
             while (!ok) {
                 size_t erased = preemptLatestArrival(id);
                 if (erased == kNoVictim)
                     break;
                 if (erased < i)
                     --i; // our element shifted left
-                ok = tryReserve(id, need);
+                ok = kvPool_->canReserve(id, need) &&
+                     tryReserve(id, need);
             }
             if (!ok) {
+                // Genuine exhaustion: no victim left to preempt and
+                // the pool still cannot grow this request. Count the
+                // failure exactly once (an injected fault with a
+                // non-exhausted pool counts nothing).
+                if (!kvPool_->canReserve(id, need))
+                    (void)kvPool_->reserve(id, need);
                 // Last resort: preempt this request itself (it will
                 // restart when memory frees, or fail cleanly once
                 // its retry budget runs out).
@@ -582,6 +685,10 @@ RequestManager::runIteration()
         const size_t seq_before = active_[i].session.sequence().size();
         const size_t lp_before = active_[i].session.logProbs().size();
         active_[i].session.step(allow_spec);
+        // First write past the divergence point of a partially
+        // shared block: release the shared reference — the private
+        // block charged at admission owns those positions now.
+        settleCow(active_[i]);
         ++stats_.requestIterations;
         const core::StepRecord &last =
             active_[i].session.stats().steps.back();
@@ -826,6 +933,22 @@ RequestManager::writeSnapshot(std::ostream &out) const
     for (const Request &req : pending_)
         writeRequest(out, req);
 
+    // Resident shared-block table, in hash order. Chain depth is
+    // persisted (not re-derived) so restore order never matters —
+    // eviction gaps can leave a child resident without its parent.
+    if (kvPool_) {
+        const auto &table = kvPool_->sharedTable();
+        writePod<uint64_t>(out, table.size());
+        for (const auto &entry : table) {
+            writePod<uint64_t>(out, entry.first);
+            writePod<uint64_t>(out, entry.second.parent);
+            writePod<uint64_t>(out, entry.second.depth);
+            writePodVector<int>(out, entry.second.tokens);
+        }
+    } else {
+        writePod<uint64_t>(out, 0);
+    }
+
     writePod<uint64_t>(out, active_.size());
     for (const ActiveRequest &ar : active_) {
         writeRequest(out, ar.request);
@@ -836,6 +959,15 @@ RequestManager::writeSnapshot(std::ostream &out) const
                            kvPool_ ? kvPool_->requestBlocks(
                                          ar.request.id)
                                    : 0);
+        writePodVector<uint64_t>(
+            out, kvPool_ ? kvPool_->requestSharedHashes(
+                               ar.request.id)
+                         : std::vector<uint64_t>{});
+        writePod<uint64_t>(out,
+                           kvPool_ ? kvPool_->requestPartial(
+                                         ar.request.id)
+                                   : 0);
+        writePod<uint64_t>(out, ar.cowPending);
         ar.session.save(out);
     }
 
@@ -889,25 +1021,20 @@ RequestManager::applyRecord(const JournalRecord &rec)
             SPECINFER_CHECK(takePending(rec.id, req),
                             "journal step for unknown request "
                                 << rec.id);
-            if (kvPool_) {
-                const size_t need =
-                    cfg_.kvPolicy == KvReservationPolicy::WorstCase
-                        ? worstCaseTokens(req)
-                        : req.prompt.size() +
-                              engine_->treeBudget() + 2;
-                // Replay reserves no earlier than live did (and all
-                // journaled releases have already been applied), so
-                // this cannot fail where the live run succeeded.
-                SPECINFER_CHECK(kvPool_->reserve(req.id, need),
-                                "replay KV reservation failed for "
-                                    << req.id);
-            }
             if (req.preemptionCount > 0)
                 ++stats_.preemptionRetries;
             core::SpecSession session = engine_->makeSession(
                 req.prompt, req.id, req.maxNewTokens);
+            uint64_t cow_pending = 0;
+            // Replay re-runs the same admit (intern + reference +
+            // reserve) the live run performed; deterministic
+            // eviction means it cannot fail where live succeeded.
+            // Adoption is best-effort as always — a cold store just
+            // leaves the rows for the catch-up decode.
+            if (kvPool_)
+                cow_pending = admitKv(req, &session);
             active_.push_back({std::move(req), std::move(session),
-                               stats_.iterations});
+                               stats_.iterations, cow_pending});
             idx = active_.size() - 1;
         }
         ActiveRequest &ar = active_[idx];
@@ -924,6 +1051,8 @@ RequestManager::applyRecord(const JournalRecord &rec)
             rec.sessionDone,
             static_cast<core::SpecSession::StopReason>(
                 rec.stopReason));
+        // Mirror the live post-step copy-on-write release.
+        settleCow(ar);
         ++stats_.requestIterations;
         if (!rec.step.prefill && rec.step.fallback)
             ++stats_.fallbackSteps;
@@ -1076,6 +1205,25 @@ RequestManager::recover(std::istream *snapshot, std::istream *journal)
         for (uint64_t i = 0; i < n_pending; ++i)
             pending_.push_back(readRequest(*snapshot));
 
+        uint64_t n_shared = readPod<uint64_t>(*snapshot);
+        SPECINFER_CHECK(n_shared < (1ull << 32),
+                        "implausible snapshot shared-block count");
+        SPECINFER_CHECK(n_shared == 0 || kvPool_ != nullptr,
+                        "snapshot has shared blocks but this "
+                        "manager has no KV pool");
+        for (uint64_t i = 0; i < n_shared; ++i) {
+            uint64_t hash = readPod<uint64_t>(*snapshot);
+            uint64_t parent = readPod<uint64_t>(*snapshot);
+            uint64_t depth = readPod<uint64_t>(*snapshot);
+            std::vector<int> tokens = readPodVector<int>(*snapshot);
+            kvPool_->restoreSharedBlock(hash, parent, depth,
+                                        std::move(tokens));
+            // Declared but cold: payload rows are not persisted, so
+            // adoption misses until some session republishes them.
+            if (prefixStore_)
+                prefixStore_->declare(hash);
+        }
+
         uint64_t n_active = readPod<uint64_t>(*snapshot);
         SPECINFER_CHECK(n_active < (1ull << 20),
                         "implausible snapshot active count");
@@ -1083,16 +1231,31 @@ RequestManager::recover(std::istream *snapshot, std::istream *journal)
             Request req = readRequest(*snapshot);
             uint64_t start_iter = readPod<uint64_t>(*snapshot);
             uint64_t held_blocks = readPod<uint64_t>(*snapshot);
+            std::vector<uint64_t> shared_hashes =
+                readPodVector<uint64_t>(*snapshot);
+            uint64_t partial = readPod<uint64_t>(*snapshot);
+            uint64_t cow_pending = readPod<uint64_t>(*snapshot);
             core::SpecSession session =
                 engine_->loadSession(*snapshot);
-            if (kvPool_ && held_blocks > 0)
-                SPECINFER_CHECK(
-                    kvPool_->reserve(req.id,
-                                     held_blocks *
-                                         kvPool_->blockTokens()),
-                    "snapshot KV restore failed for " << req.id);
-            active_.push_back(
-                {std::move(req), std::move(session), start_iter});
+            if (kvPool_) {
+                for (uint64_t hash : shared_hashes)
+                    kvPool_->restoreAcquire(req.id, hash, false);
+                if (partial != 0)
+                    kvPool_->restoreAcquire(req.id, partial, true);
+                // reserve() counts the re-acquired shared blocks
+                // toward the total, so this grows the holding by
+                // exactly the snapshotted private blocks.
+                if (held_blocks > 0)
+                    SPECINFER_CHECK(
+                        kvPool_->reserve(req.id,
+                                         held_blocks *
+                                             kvPool_->blockTokens()),
+                        "snapshot KV restore failed for " << req.id);
+            }
+            if (prefixStore_)
+                session.enablePrefixSharing(prefixStore_.get());
+            active_.push_back({std::move(req), std::move(session),
+                               start_iter, cow_pending});
         }
 
         uint64_t n_finished = readPod<uint64_t>(*snapshot);

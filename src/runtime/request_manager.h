@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/spec_engine.h"
+#include "model/prefix_store.h"
 #include "runtime/journal.h"
 #include "runtime/kv_memory.h"
 #include "runtime/request.h"
@@ -77,6 +78,16 @@ struct ServingConfig
 
     /** Reservation policy when a pool is configured. */
     KvReservationPolicy kvPolicy = KvReservationPolicy::WorstCase;
+
+    /**
+     * Prefix sharing: intern full prompt blocks in the KV pool so
+     * requests with a common prefix (system prompt, RAG context)
+     * hold one physical block many times, and adopt already-computed
+     * KV rows at admission instead of re-running prefill. Purely an
+     * occupancy/latency optimization — outputs stay bit-identical
+     * (chunk-layout invariance). Requires a KV pool.
+     */
+    bool kvPrefixSharing = false;
 
     // --- Robustness / graceful-degradation knobs ------------------
 
@@ -289,6 +300,22 @@ class RequestManager
     /** KV memory pool, or nullptr when admission is unbounded. */
     const KvBlockAllocator *kvPool() const { return kvPool_.get(); }
 
+    /**
+     * Pool-level internal fragmentation right now: the fraction of
+     * physical block capacity (each shared block counted once) not
+     * backed by materialized tokens. Tokens covered by a request's
+     * fully-shared blocks are excluded from its private total —
+     * partial-match tokens are not, since their positions live in
+     * private blocks. 0 without a pool.
+     */
+    double kvFragmentation() const;
+
+    /** Prefix-block payload store, or nullptr when sharing is off. */
+    const model::PrefixKvStore *prefixStore() const
+    {
+        return prefixStore_.get();
+    }
+
     // --- Crash safety: write-ahead journal + snapshot/recover -----
 
     /**
@@ -346,6 +373,17 @@ class RequestManager
     /** Worst-case cached tokens for a request over its lifetime. */
     size_t worstCaseTokens(const Request &req) const;
 
+    /** Tokens the active reservation policy requires at admission:
+     *  the full lifetime footprint under WorstCase, one iteration's
+     *  worth (prompt + tree + bonus) under OnDemand. */
+    size_t admissionTokens(const Request &req) const;
+
+    /** Admit the request's KV holding (shared chain + private
+     *  blocks) and wire prefix adoption into the session. The
+     *  caller must have checked canAdmit; aborts on failure. Returns
+     *  the partial-match hash to release at first write (0 = none). */
+    uint64_t admitKv(const Request &req, core::SpecSession *session);
+
     static constexpr size_t kNoVictim = static_cast<size_t>(-1);
 
     struct ActiveRequest
@@ -353,7 +391,15 @@ class RequestManager
         Request request;
         core::SpecSession session;
         size_t startIteration;
+        /** Partial-match block awaiting copy-on-write: released after
+         *  the request's first step writes past the divergence
+         *  point (0 = none pending). */
+        uint64_t cowPending = 0;
     };
+
+    /** Release a pending copy-on-write reference after the
+     *  request's first step wrote past its divergence point. */
+    void settleCow(ActiveRequest &ar);
 
     /**
      * Preempt the latest-arrival active request that arrived after
@@ -423,6 +469,9 @@ class RequestManager
     ServingStats stats_;
     DegradationState degr_;
     std::unique_ptr<KvBlockAllocator> kvPool_;
+    /** Payload rows for shared prefix blocks (see model/
+     *  prefix_store.h); non-null iff pool + kvPrefixSharing. */
+    std::unique_ptr<model::PrefixKvStore> prefixStore_;
     JournalWriter *journal_ = nullptr;
     bool crashed_ = false;
 };

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Content hashing for KV prefix blocks.
+ *
+ * Prefix sharing interns full KV blocks by the hash of their token
+ * content *chained through every preceding block*: block i's hash
+ * mixes block i-1's hash before its own tokens, so equal hashes at
+ * block i imply (modulo collisions) equal token prefixes of length
+ * (i+1) * block_tokens. A single hash comparison then stands in for
+ * a whole-prefix comparison, which is what makes the intern table's
+ * match walk O(prefix blocks) instead of O(prefix tokens squared).
+ *
+ * FNV-1a over the 64-bit widening of each token, seeded by the
+ * parent hash. Deterministic across platforms and runs — the hash
+ * participates in crash snapshots and journal replay.
+ */
+
+#ifndef SPECINFER_UTIL_HASH_H
+#define SPECINFER_UTIL_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace specinfer {
+namespace util {
+
+/** Chain seed for the first block of a prefix (no parent). */
+constexpr uint64_t kHashChainSeed = 0xcbf29ce484222325ULL;
+
+/**
+ * Hash of one token block given its predecessor's chain hash
+ * (kHashChainSeed for the first block).
+ */
+inline uint64_t
+hashTokenBlock(uint64_t parent, const int *tokens, size_t count)
+{
+    uint64_t h = parent ^ 0x9e3779b97f4a7c15ULL;
+    for (size_t i = 0; i < count; ++i) {
+        h ^= static_cast<uint64_t>(static_cast<int64_t>(tokens[i]));
+        h *= 0x100000001b3ULL;
+        // One round of splitmix-style finalization per token keeps
+        // single-token differences from cancelling under FNV's
+        // multiply alone.
+        h ^= h >> 29;
+    }
+    h ^= h >> 32;
+    // Hash 0 is the "no block" sentinel throughout the allocator.
+    return h == 0 ? 0x9e3779b9ULL : h;
+}
+
+} // namespace util
+} // namespace specinfer
+
+#endif // SPECINFER_UTIL_HASH_H

@@ -609,6 +609,26 @@ runRecoveryTrial(uint64_t seed, bool verbose)
         Arrival a;
         a.prompt = drawPrompt(rng, 3 + rng.uniformInt(uint64_t{13}),
                               mc.vocabSize);
+        if (i > 0 && rng.uniform() < 0.5) {
+            // Multi-tenant shape: this prompt rides an earlier
+            // prompt's prefix, so prefix-sharing trials exercise
+            // interning, COW, and deterministic eviction under
+            // crashes torn anywhere in the admission sequence.
+            const std::vector<int> &prev =
+                script[rng.uniformInt(static_cast<uint64_t>(i))]
+                    .prompt;
+            const size_t keep =
+                1 + rng.uniformInt(
+                        static_cast<uint64_t>(prev.size()));
+            std::vector<int> mixed(prev.begin(),
+                                   prev.begin() +
+                                       static_cast<long>(keep));
+            const std::vector<int> tail = drawPrompt(
+                rng, 2 + rng.uniformInt(uint64_t{7}),
+                mc.vocabSize);
+            mixed.insert(mixed.end(), tail.begin(), tail.end());
+            a.prompt = std::move(mixed);
+        }
         a.maxNew = rng.uniform() < 0.5
                        ? 0
                        : 4 + rng.uniformInt(uint64_t{7});
@@ -643,6 +663,7 @@ runRecoveryTrial(uint64_t seed, bool verbose)
             rng.uniform() < 0.6
                 ? runtime::KvReservationPolicy::OnDemand
                 : runtime::KvReservationPolicy::WorstCase;
+        scfg.kvPrefixSharing = rng.uniform() < 0.6;
     }
 
     const size_t snap_every = 1 + rng.uniformInt(uint64_t{8});
@@ -663,7 +684,8 @@ runRecoveryTrial(uint64_t seed, bool verbose)
                     : "/worstcase")
             << " snapEvery=" << snap_every
             << " crashes<=" << crash_budget
-            << " kvFaults=" << (kv_faults ? 1 : 0);
+            << " kvFaults=" << (kv_faults ? 1 : 0)
+            << " sharing=" << (scfg.kvPrefixSharing ? 1 : 0);
         out.configLine = oss.str();
     }
 
@@ -689,9 +711,13 @@ runRecoveryTrial(uint64_t seed, bool verbose)
                 return out;
             }
         }
-        if (mgr.kvPool() && (mgr.kvPool()->usedBlocks() != 0 ||
-                             mgr.kvPool()->stats()
-                                     .redundantReleases != 0)) {
+        // At drain, zero-ref shared blocks legitimately stay
+        // resident (they are the prefix cache); anything beyond
+        // that is a leak.
+        if (mgr.kvPool() &&
+            (mgr.kvPool()->usedBlocks() !=
+                 mgr.kvPool()->residentSharedBlocks() ||
+             mgr.kvPool()->stats().redundantReleases != 0)) {
             out.ok = false;
             out.detail = "baseline leaked KV blocks";
             return out;
@@ -819,9 +845,10 @@ runRecoveryTrial(uint64_t seed, bool verbose)
     }
     out.configLine += " firedCrashes=" + std::to_string(crashes);
 
-    if (mgr->kvPool() && (mgr->kvPool()->usedBlocks() != 0 ||
-                          mgr->kvPool()->stats().redundantReleases !=
-                              0)) {
+    if (mgr->kvPool() &&
+        (mgr->kvPool()->usedBlocks() !=
+             mgr->kvPool()->residentSharedBlocks() ||
+         mgr->kvPool()->stats().redundantReleases != 0)) {
         out.ok = false;
         out.detail = "crash run leaked KV blocks (used=" +
                      std::to_string(mgr->kvPool()->usedBlocks()) +

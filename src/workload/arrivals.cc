@@ -47,5 +47,40 @@ burstArrivals(size_t count)
     return std::vector<size_t>(count, 0);
 }
 
+std::vector<TenantArrival>
+burstyMultiTenantArrivals(size_t count, size_t tenants,
+                          double mean_gap_iterations,
+                          double mean_burst_size, uint64_t seed)
+{
+    SPECINFER_CHECK(tenants > 0, "need at least one tenant");
+    SPECINFER_CHECK(mean_gap_iterations > 0.0,
+                    "mean burst gap must be positive");
+    SPECINFER_CHECK(mean_burst_size >= 1.0,
+                    "bursts hold at least one request");
+    util::Rng rng(seed ^ 0xb0257u);
+    std::vector<TenantArrival> arrivals;
+    arrivals.reserve(count);
+    double t = 0.0;
+    while (arrivals.size() < count) {
+        double u;
+        do {
+            u = rng.uniform();
+        } while (u <= 0.0);
+        t += -mean_gap_iterations * std::log(u);
+        const size_t tenant = static_cast<size_t>(
+            rng.uniformInt(static_cast<uint64_t>(tenants)));
+        double v;
+        do {
+            v = rng.uniform();
+        } while (v <= 0.0);
+        size_t burst =
+            1 + static_cast<size_t>(-(mean_burst_size - 1.0) *
+                                    std::log(v));
+        for (size_t i = 0; i < burst && arrivals.size() < count; ++i)
+            arrivals.push_back({static_cast<size_t>(t), tenant});
+    }
+    return arrivals;
+}
+
 } // namespace workload
 } // namespace specinfer

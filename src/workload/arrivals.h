@@ -39,6 +39,32 @@ std::vector<size_t> uniformArrivals(size_t count, double gap);
 /** All requests arrive at iteration 0 (closed-loop burst). */
 std::vector<size_t> burstArrivals(size_t count);
 
+/** One arrival of a multi-tenant trace: when, and which tenant. */
+struct TenantArrival
+{
+    size_t iteration = 0;
+    size_t tenant = 0;
+};
+
+/**
+ * Bursty multi-tenant arrivals, the traffic shape prefix sharing
+ * targets: tenants wake in bursts (a fleet of users behind one
+ * system prompt hitting the service together). Burst start times
+ * follow a Poisson process with the given mean gap; each burst
+ * belongs to one uniformly drawn tenant and lands
+ * 1 + Exp(mean_burst_size - 1) requests on the same iteration.
+ *
+ * @param count Total arrivals generated.
+ * @param tenants Number of tenants to draw bursts from.
+ * @param mean_gap_iterations Mean gap between burst starts.
+ * @param mean_burst_size Mean requests per burst (>= 1).
+ * @param seed RNG seed.
+ * @return `count` arrivals with non-decreasing iterations.
+ */
+std::vector<TenantArrival> burstyMultiTenantArrivals(
+    size_t count, size_t tenants, double mean_gap_iterations,
+    double mean_burst_size, uint64_t seed);
+
 } // namespace workload
 } // namespace specinfer
 

@@ -81,5 +81,99 @@ PromptDataset::prompt(size_t index) const
     return tokens;
 }
 
+namespace {
+
+/** Fixed-length deterministic token run for a shared segment. */
+std::vector<int>
+sharedTokens(uint64_t seed, size_t count, size_t vocab_size)
+{
+    util::Rng rng(seed);
+    std::vector<int> tokens;
+    tokens.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        tokens.push_back(static_cast<int>(
+            rng.uniformInt(static_cast<uint64_t>(vocab_size - 1)) +
+            1));
+    return tokens;
+}
+
+} // namespace
+
+SharedPrefixDataset::SharedPrefixDataset(std::string name,
+                                         size_t vocab_size,
+                                         size_t tenants,
+                                         size_t common_tokens,
+                                         size_t tenant_tokens,
+                                         double suffix_mean,
+                                         double suffix_stddev)
+    : name_(std::move(name)),
+      suffixes_(name_ + "-suffix", vocab_size, suffix_mean,
+                suffix_stddev, 1.05),
+      seed_(util::hashString(name_.c_str()) ^ (vocab_size * 0x51ULL))
+{
+    SPECINFER_CHECK(tenants > 0, "need at least one tenant");
+    SPECINFER_CHECK(vocab_size >= 4, "vocabulary too small");
+    common_ = sharedTokens(seed_ ^ 0xc033u, common_tokens, vocab_size);
+    tenantPrefixes_.reserve(tenants);
+    for (size_t t = 0; t < tenants; ++t)
+        tenantPrefixes_.push_back(sharedTokens(
+            seed_ ^ (0x7e4a7ULL * (t + 1)), tenant_tokens,
+            vocab_size));
+}
+
+SharedPrefixDataset
+SharedPrefixDataset::chat(size_t vocab_size, size_t tenants,
+                          size_t prefix_tokens)
+{
+    // System-prompt chat: the whole shared prefix is per-tenant,
+    // user turns are short (CIP-like statistics).
+    return SharedPrefixDataset("chat", vocab_size, tenants, 0,
+                               prefix_tokens, 15.0, 6.0);
+}
+
+SharedPrefixDataset
+SharedPrefixDataset::rag(size_t vocab_size, size_t tenants,
+                         size_t context_tokens)
+{
+    // RAG with a common corpus context: three quarters of the shared
+    // tokens are the context every tenant retrieves, the rest a
+    // per-tenant slice; questions are WebQA-short.
+    const size_t tenant_slice = context_tokens / 4;
+    return SharedPrefixDataset("rag", vocab_size, tenants,
+                               context_tokens - tenant_slice,
+                               tenant_slice, 9.0, 3.0);
+}
+
+size_t
+SharedPrefixDataset::tenantOf(size_t index) const
+{
+    // splitmix-style mix so tenant runs do not alias request order.
+    uint64_t x = seed_ ^ (index * 0x9e3779b97f4a7c15ULL);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    return static_cast<size_t>(x % tenantPrefixes_.size());
+}
+
+std::vector<int>
+SharedPrefixDataset::tenantPrefix(size_t tenant) const
+{
+    SPECINFER_CHECK(tenant < tenantPrefixes_.size(),
+                    "tenant out of range");
+    std::vector<int> prefix = common_;
+    prefix.insert(prefix.end(), tenantPrefixes_[tenant].begin(),
+                  tenantPrefixes_[tenant].end());
+    return prefix;
+}
+
+std::vector<int>
+SharedPrefixDataset::prompt(size_t index) const
+{
+    std::vector<int> tokens = tenantPrefix(tenantOf(index));
+    const std::vector<int> suffix = suffixes_.prompt(index);
+    tokens.insert(tokens.end(), suffix.begin(), suffix.end());
+    return tokens;
+}
+
 } // namespace workload
 } // namespace specinfer

@@ -63,6 +63,70 @@ class PromptDataset
     uint64_t seed_;
 };
 
+/**
+ * Multi-tenant prompt generator with shared prefixes, for the
+ * prefix-sharing KV experiments: every prompt is
+ * [common context][tenant prefix][unique suffix]. Requests from the
+ * same tenant share their whole prefix (common + tenant); requests
+ * from different tenants still share the common context. Both
+ * shared parts have fixed token counts so callers can align them to
+ * the KV pool's block size.
+ */
+class SharedPrefixDataset
+{
+  public:
+    /**
+     * @param name Workload label (seeds the token streams).
+     * @param vocab_size Token ids in [1, vocab_size).
+     * @param tenants Number of distinct tenant prefixes.
+     * @param common_tokens Context tokens shared by every tenant.
+     * @param tenant_tokens Additional per-tenant prefix tokens.
+     * @param suffix_mean / suffix_stddev Unique-suffix length
+     *        distribution (PromptDataset statistics).
+     */
+    SharedPrefixDataset(std::string name, size_t vocab_size,
+                        size_t tenants, size_t common_tokens,
+                        size_t tenant_tokens, double suffix_mean,
+                        double suffix_stddev);
+
+    /** Chat preset: no common context, one system prompt of
+     *  `prefix_tokens` tokens per tenant, short user turns. */
+    static SharedPrefixDataset chat(size_t vocab_size, size_t tenants,
+                                    size_t prefix_tokens);
+
+    /** RAG preset: a `context_tokens` corpus context shared by all
+     *  tenants, a short per-tenant retrieval slice, and a question
+     *  suffix. */
+    static SharedPrefixDataset rag(size_t vocab_size, size_t tenants,
+                                   size_t context_tokens);
+
+    const std::string &name() const { return name_; }
+    size_t tenants() const { return tenantPrefixes_.size(); }
+    size_t prefixTokens() const
+    {
+        return common_.size() +
+               (tenantPrefixes_.empty() ? 0
+                                        : tenantPrefixes_[0].size());
+    }
+
+    /** Deterministic tenant assignment for a request index. */
+    size_t tenantOf(size_t index) const;
+
+    /** The full shared prefix of one tenant (common + tenant). */
+    std::vector<int> tenantPrefix(size_t tenant) const;
+
+    /** Prompt for request `index`: tenantPrefix(tenantOf(index))
+     *  followed by a unique suffix (suffix length >= 2). */
+    std::vector<int> prompt(size_t index) const;
+
+  private:
+    std::string name_;
+    std::vector<int> common_;
+    std::vector<std::vector<int>> tenantPrefixes_;
+    PromptDataset suffixes_;
+    uint64_t seed_;
+};
+
 } // namespace workload
 } // namespace specinfer
 

@@ -7,6 +7,7 @@
 #include "../model/test_models.h"
 #include "model/model_factory.h"
 #include "runtime/request_manager.h"
+#include "util/rng.h"
 
 namespace specinfer {
 namespace runtime {
@@ -100,6 +101,265 @@ TEST(KvBlockAllocatorDeathTest, RejectsDegeneratePool)
 {
     EXPECT_DEATH(KvBlockAllocator(0, 16), "empty");
     EXPECT_DEATH(KvBlockAllocator(4, 0), "block");
+}
+
+TEST(KvBlockAllocatorTest, ProbesDoNotCountFailures)
+{
+    // Regression (admission-loop bugfix): canReserve / canAdmit are
+    // read-only probes — backpressure polling must not inflate the
+    // failure statistics. Only a genuine reserve() attempt counts,
+    // and it counts once.
+    KvBlockAllocator pool(2, 16);
+    ASSERT_TRUE(pool.reserve(1, 32));
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_FALSE(pool.canReserve(2, 1));
+        EXPECT_FALSE(pool.canAdmit(2, {1, 2, 3}, 4, true));
+    }
+    EXPECT_EQ(pool.stats().failedReservations, 0u);
+    EXPECT_FALSE(pool.reserve(2, 1));
+    EXPECT_EQ(pool.stats().failedReservations, 1u);
+}
+
+// ---------------------------------------------------------------
+// Prefix sharing: interning, refcounts, copy-on-write,
+// deterministic eviction, fair-share accounting.
+
+std::vector<int>
+countedTokens(int first, size_t count)
+{
+    std::vector<int> tokens;
+    tokens.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        tokens.push_back(first + static_cast<int>(i));
+    return tokens;
+}
+
+TEST(KvSharingTest, InterningRefcountsAndFairShare)
+{
+    KvBlockAllocator pool(16, 4);
+    const std::vector<int> prompt = countedTokens(1, 10); // 2 full
+    PrefixMatch m1;
+    ASSERT_TRUE(pool.canAdmit(1, prompt, 12, true));
+    ASSERT_TRUE(pool.admit(1, prompt, 12, true, &m1));
+    EXPECT_TRUE(m1.hashes.empty()); // nothing was resident
+    ASSERT_EQ(m1.ownHashes.size(), 2u);
+    EXPECT_EQ(pool.stats().prefixMisses, 2u);
+    EXPECT_EQ(pool.usedBlocks(), 3u); // 2 shared + 1 private
+    EXPECT_EQ(pool.requestBlocks(1), 3u);
+    EXPECT_EQ(pool.residentSharedBlocks(), 2u);
+    EXPECT_EQ(pool.sharedRefs(m1.ownHashes[0]), 1u);
+    EXPECT_DOUBLE_EQ(pool.effectiveBlocks(1), 3.0);
+
+    // Second holder of the same prompt: hits, one shared copy.
+    PrefixMatch m2;
+    ASSERT_TRUE(pool.admit(2, prompt, 12, true, &m2));
+    EXPECT_EQ(m2.hashes, m1.ownHashes);
+    EXPECT_EQ(pool.stats().prefixHits, 2u);
+    EXPECT_EQ(pool.usedBlocks(), 4u); // shared counted once
+    EXPECT_EQ(pool.sharedRefs(m1.ownHashes[1]), 2u);
+    // Fair share: 1 private + 2 * (1/2) shared each.
+    EXPECT_DOUBLE_EQ(pool.effectiveBlocks(1), 2.0);
+    EXPECT_DOUBLE_EQ(pool.effectiveBlocks(2), 2.0);
+
+    // Release drops references but leaves blocks resident.
+    pool.release(1);
+    EXPECT_EQ(pool.usedBlocks(), 3u);
+    EXPECT_EQ(pool.sharedRefs(m1.ownHashes[0]), 1u);
+    pool.release(2);
+    EXPECT_EQ(pool.usedBlocks(), 2u);
+    EXPECT_EQ(pool.residentSharedBlocks(), 2u);
+    EXPECT_EQ(pool.sharedRefs(m1.ownHashes[0]), 0u);
+
+    // Re-admission rewarms the resident chain: hits, no misses.
+    PrefixMatch m3;
+    ASSERT_TRUE(pool.admit(3, prompt, 12, true, &m3));
+    EXPECT_EQ(m3.hashes.size(), 2u);
+    EXPECT_EQ(pool.stats().prefixHits, 4u);
+    EXPECT_EQ(pool.stats().prefixMisses, 2u);
+    pool.release(3);
+    EXPECT_EQ(pool.stats().redundantReleases, 0u);
+}
+
+TEST(KvSharingTest, PartialMatchCopyOnWrite)
+{
+    KvBlockAllocator pool(16, 8);
+    const std::vector<int> a = countedTokens(1, 16); // 2 full blocks
+    ASSERT_TRUE(pool.admit(1, a, 18, true, nullptr));
+
+    // b shares block 0 and the first 3 tokens of block 1, then
+    // diverges: a partial match with copy-on-write pending.
+    std::vector<int> b = countedTokens(1, 11);
+    b.push_back(77);
+    b.push_back(78);
+    PrefixMatch m;
+    ASSERT_TRUE(pool.admit(2, b, 15, true, &m));
+    ASSERT_EQ(m.hashes.size(), 1u);
+    ASSERT_NE(m.partialHash, 0u);
+    EXPECT_EQ(m.partialTokens, 3u);
+    EXPECT_EQ(pool.requestPartial(2), m.partialHash);
+    EXPECT_EQ(pool.sharedRefs(m.partialHash), 2u);
+    // Partial is payload-only: blocks = 1 private + 1 full shared.
+    EXPECT_EQ(pool.requestBlocks(2), 2u);
+    EXPECT_DOUBLE_EQ(pool.effectiveBlocks(2), 2.0);
+
+    // First write past the divergence point releases the partial.
+    pool.cowShared(2, m.partialHash);
+    EXPECT_EQ(pool.stats().cowCopies, 1u);
+    EXPECT_EQ(pool.requestPartial(2), 0u);
+    EXPECT_EQ(pool.sharedRefs(m.partialHash), 1u);
+    EXPECT_EQ(pool.requestBlocks(2), 2u);
+
+    pool.release(2);
+    pool.release(1);
+    EXPECT_EQ(pool.usedBlocks(), pool.residentSharedBlocks());
+    EXPECT_EQ(pool.stats().redundantReleases, 0u);
+}
+
+TEST(KvSharingTest, EvictionIsDeterministicDeepestFirst)
+{
+    KvBlockAllocator pool(6, 4);
+    const std::vector<int> prompt = countedTokens(1, 13); // 3 full
+    PrefixMatch m;
+    ASSERT_TRUE(pool.admit(1, prompt, 14, true, &m));
+    ASSERT_EQ(m.ownHashes.size(), 3u);
+    pool.release(1);
+    EXPECT_EQ(pool.usedBlocks(), 3u); // zero-ref residents
+
+    std::vector<uint64_t> evicted;
+    pool.setEvictionHook([&](uint64_t h) { evicted.push_back(h); });
+    // A 24-token private reservation needs the whole pool: the
+    // residents are reclaimed deepest-chain-first.
+    EXPECT_TRUE(pool.canReserve(2, 24));
+    ASSERT_TRUE(pool.reserve(2, 24));
+    EXPECT_EQ(pool.usedBlocks(), 6u);
+    EXPECT_EQ(pool.residentSharedBlocks(), 0u);
+    ASSERT_EQ(evicted.size(), 3u);
+    EXPECT_EQ(evicted[0], m.ownHashes[2]);
+    EXPECT_EQ(evicted[1], m.ownHashes[1]);
+    EXPECT_EQ(evicted[2], m.ownHashes[0]);
+    EXPECT_EQ(pool.stats().sharedEvictions, 3u);
+}
+
+TEST(KvSharingTest, FragmentationCountsSharedBlocksOnce)
+{
+    // Pool-level fragmentation is measured against *physical*
+    // capacity: a shared block held by N requests contributes its
+    // tokens once, not N times (the pre-sharing formula would
+    // understate waste as refcounts grow the denominator).
+    KvBlockAllocator pool(16, 8);
+    const std::vector<int> prompt = countedTokens(1, 16);
+    ASSERT_TRUE(pool.admit(1, prompt, 20, true, nullptr));
+    // 2 shared (full) blocks + 1 private block with 4 live tokens.
+    EXPECT_NEAR(pool.fragmentation(4), 4.0 / 24.0, 1e-12);
+    EXPECT_NEAR(pool.requestFragmentation(1, 20), 4.0 / 24.0,
+                1e-12);
+    ASSERT_TRUE(pool.admit(2, prompt, 20, true, nullptr));
+    // Physical capacity is 4 blocks (shared counted once); the two
+    // private blocks hold 8 of 16 reserved tokens.
+    EXPECT_NEAR(pool.fragmentation(8), 8.0 / 32.0, 1e-12);
+    // The per-request view is per holder and unchanged.
+    EXPECT_NEAR(pool.requestFragmentation(2, 20), 4.0 / 24.0,
+                1e-12);
+}
+
+TEST(KvSharingTest, RandomizedSharingSoak)
+{
+    // Random admissions / growth / COW / releases across three
+    // tenants, checking the global accounting invariant every
+    // step: the fair-share footprints of all holders must sum to
+    // exactly the referenced physical blocks.
+    util::Rng rng(20260807);
+    KvBlockAllocator pool(32, 4);
+    auto tenantPrompt = [](size_t tenant, size_t len) {
+        std::vector<int> p;
+        p.reserve(len);
+        for (size_t i = 0; i < len; ++i)
+            p.push_back(static_cast<int>(1 + tenant * 100 + i));
+        return p;
+    };
+    std::map<uint64_t, size_t> admitted; // id -> reserved tokens
+    uint64_t next_id = 1;
+    auto randomHeld = [&]() {
+        auto it = admitted.begin();
+        std::advance(it, static_cast<long>(rng.uniformInt(
+                             static_cast<uint64_t>(
+                                 admitted.size()))));
+        return it->first;
+    };
+    for (int step = 0; step < 2000; ++step) {
+        const double r = rng.uniform();
+        if (r < 0.45) {
+            const size_t tenant = rng.uniformInt(uint64_t{3});
+            const size_t len = 4 + rng.uniformInt(uint64_t{17});
+            const std::vector<int> prompt =
+                tenantPrompt(tenant, len);
+            const size_t total = len + rng.uniformInt(uint64_t{9});
+            if (pool.canAdmit(next_id, prompt, total, true)) {
+                ASSERT_TRUE(pool.admit(next_id, prompt, total,
+                                       true, nullptr));
+                admitted[next_id++] = total;
+            }
+        } else if (r < 0.6 && !admitted.empty()) {
+            const uint64_t id = randomHeld();
+            const size_t more =
+                admitted[id] + rng.uniformInt(uint64_t{6});
+            if (pool.canReserve(id, more)) {
+                ASSERT_TRUE(pool.reserve(id, more));
+                admitted[id] = more;
+            }
+        } else if (r < 0.75 && !admitted.empty()) {
+            const uint64_t id = randomHeld();
+            const uint64_t partial = pool.requestPartial(id);
+            if (partial != 0)
+                pool.cowShared(id, partial);
+        } else if (!admitted.empty()) {
+            const uint64_t id = randomHeld();
+            pool.release(id);
+            admitted.erase(id);
+        }
+        // Invariants.
+        ASSERT_LE(pool.usedBlocks(), pool.totalBlocks());
+        ASSERT_GE(pool.usedBlocks(), pool.residentSharedBlocks());
+        ASSERT_EQ(pool.activeRequests(), admitted.size());
+        double fair = 0.0;
+        for (const auto &entry : admitted)
+            fair += pool.effectiveBlocks(entry.first);
+        size_t zero_ref = 0;
+        for (const auto &entry : pool.sharedTable())
+            if (entry.second.refs == 0)
+                ++zero_ref;
+        ASSERT_NEAR(fair,
+                    static_cast<double>(pool.usedBlocks() -
+                                        zero_ref),
+                    1e-9)
+            << "fair-share accounting diverged at step " << step;
+    }
+    for (const auto &entry : admitted)
+        pool.release(entry.first);
+    EXPECT_EQ(pool.usedBlocks(), pool.residentSharedBlocks());
+    EXPECT_EQ(pool.stats().redundantReleases, 0u);
+}
+
+TEST(KvSharingDeathTest, CowRefcountUnderflowDies)
+{
+    KvBlockAllocator pool(16, 8);
+    const std::vector<int> a = countedTokens(1, 16);
+    ASSERT_TRUE(pool.admit(1, a, 18, true, nullptr));
+    std::vector<int> b = countedTokens(1, 11);
+    b.push_back(90);
+    PrefixMatch m;
+    ASSERT_TRUE(pool.admit(2, b, 13, true, &m));
+    ASSERT_NE(m.partialHash, 0u);
+    // COW for a block the request does not hold as partial dies.
+    EXPECT_DEATH(pool.cowShared(2, m.hashes[0]),
+                 "not held as partial");
+    EXPECT_DEATH(pool.cowShared(1, m.partialHash),
+                 "not held as partial");
+    // Settling twice would underflow the refcount: fatal, not
+    // silent corruption.
+    pool.cowShared(2, m.partialHash);
+    EXPECT_DEATH(pool.cowShared(2, m.partialHash),
+                 "not held as partial");
 }
 
 // ---------------------------------------------------------------
@@ -330,6 +590,75 @@ TEST(KvAdmissionTest, AbortPathsNeverDoubleRelease)
     EXPECT_EQ(manager.finished().size(), 6u);
     EXPECT_EQ(manager.kvPool()->usedBlocks(), 0u);
     EXPECT_EQ(manager.kvPool()->stats().redundantReleases, 0u);
+}
+
+TEST(KvAdmissionTest, FullPoolBackpressureCountsNoFailures)
+{
+    // Regression: the admission loop used to probe the head-of-line
+    // candidate with tryReserve, so every iteration with a full
+    // pool bumped failedReservations (and kv_alloc_failures) —
+    // routine backpressure was indistinguishable from real
+    // allocation failure. Waiting must count nothing.
+    Fixture f;
+    size_t per_request = f.engine.config().maxNewTokens + 4 +
+                         f.engine.treeBudget() + 2;
+    ServingConfig cfg;
+    cfg.maxBatchSize = 4;
+    cfg.kvBlockTokens = 8;
+    KvBlockAllocator probe(1000, 8);
+    // Room for exactly one worst-case request: everyone else waits.
+    cfg.kvPoolBlocks = probe.blocksFor(per_request);
+    RequestManager manager(&f.engine, cfg);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(manager.submit(promptFor(i)).accepted());
+    for (int i = 0; i < 10; ++i)
+        manager.runIteration();
+    EXPECT_LE(manager.activeCount(), 1u);
+    EXPECT_EQ(manager.kvPool()->stats().failedReservations, 0u);
+    manager.runUntilDrained();
+    EXPECT_EQ(manager.finished().size(), 4u);
+    EXPECT_EQ(manager.kvPool()->stats().failedReservations, 0u);
+    EXPECT_EQ(manager.kvPool()->usedBlocks(), 0u);
+}
+
+TEST(KvAdmissionTest, NeverFitsIsPolicyConsistent)
+{
+    // Regression: submit() used to judge feasibility by the worst
+    // case even under OnDemand, whose admission path only needs
+    // prompt + treeBudget + 2 — rejecting requests the policy
+    // could actually start (and, with sharing, serve cheaply).
+    Fixture f;
+    const std::vector<int> prompt = promptFor(0); // 4 tokens
+    const size_t admit_tokens =
+        prompt.size() + f.engine.treeBudget() + 2;
+    const size_t worst = prompt.size() +
+                         f.engine.config().maxNewTokens +
+                         f.engine.treeBudget() + 2;
+    ServingConfig cfg;
+    cfg.kvBlockTokens = 8;
+    KvBlockAllocator probe(1000, 8);
+    cfg.kvPoolBlocks = probe.blocksFor(admit_tokens);
+    ASSERT_LT(cfg.kvPoolBlocks, probe.blocksFor(worst));
+
+    cfg.kvPolicy = KvReservationPolicy::WorstCase;
+    RequestManager worst_mgr(&f.engine, cfg);
+    SubmitResult r1 = worst_mgr.submit(prompt);
+    EXPECT_FALSE(r1.accepted());
+    EXPECT_EQ(r1.reject, RejectReason::NeverFits);
+
+    cfg.kvPolicy = KvReservationPolicy::OnDemand;
+    cfg.maxPreemptions = 2; // outgrowing the pool fails cleanly
+    RequestManager od_mgr(&f.engine, cfg);
+    SubmitResult r2 = od_mgr.submit(prompt);
+    ASSERT_TRUE(r2.accepted());
+    od_mgr.runUntilDrained();
+    ASSERT_EQ(od_mgr.finished().size(), 1u);
+    // The request genuinely outgrows the pool, alone: that *is* a
+    // real exhaustion event, counted by the growth path.
+    EXPECT_EQ(od_mgr.finished()[0].stopReason,
+              core::SpecSession::StopReason::Preempted);
+    EXPECT_GT(od_mgr.kvPool()->stats().failedReservations, 0u);
+    EXPECT_EQ(od_mgr.kvPool()->usedBlocks(), 0u);
 }
 
 } // namespace

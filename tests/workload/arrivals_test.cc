@@ -41,10 +41,52 @@ TEST(ArrivalsTest, BurstAllAtZero)
     EXPECT_EQ(arrivals, (std::vector<size_t>{0, 0, 0}));
 }
 
+TEST(ArrivalsTest, BurstyMultiTenantIsDeterministicAndOrdered)
+{
+    auto a = burstyMultiTenantArrivals(200, 4, 6.0, 3.0, 7);
+    auto b = burstyMultiTenantArrivals(200, 4, 6.0, 3.0, 7);
+    ASSERT_EQ(a.size(), 200u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].iteration, b[i].iteration);
+        EXPECT_EQ(a[i].tenant, b[i].tenant);
+        ASSERT_LT(a[i].tenant, 4u);
+        if (i > 0) {
+            ASSERT_GE(a[i].iteration, a[i - 1].iteration);
+        }
+    }
+}
+
+TEST(ArrivalsTest, BurstyArrivalsActuallyBurst)
+{
+    // Bursts land several same-tenant requests on one iteration, so
+    // with mean burst 4 there must be adjacent same-iteration
+    // same-tenant pairs — the shape prefix sharing exploits.
+    auto arrivals = burstyMultiTenantArrivals(300, 4, 8.0, 4.0, 11);
+    size_t same = 0;
+    for (size_t i = 1; i < arrivals.size(); ++i) {
+        if (arrivals[i].iteration == arrivals[i - 1].iteration &&
+            arrivals[i].tenant == arrivals[i - 1].tenant)
+            ++same;
+    }
+    EXPECT_GT(same, 50u);
+}
+
+TEST(ArrivalsTest, BurstSizeOneDegeneratesToPoisson)
+{
+    auto arrivals = burstyMultiTenantArrivals(100, 2, 5.0, 1.0, 3);
+    ASSERT_EQ(arrivals.size(), 100u);
+    for (size_t i = 1; i < arrivals.size(); ++i)
+        ASSERT_GE(arrivals[i].iteration, arrivals[i - 1].iteration);
+}
+
 TEST(ArrivalsDeathTest, RejectsBadGap)
 {
     EXPECT_DEATH(poissonArrivals(3, 0.0, 1), "positive");
     EXPECT_DEATH(uniformArrivals(3, -1.0), "non-negative");
+    EXPECT_DEATH(burstyMultiTenantArrivals(3, 0, 5.0, 2.0, 1),
+                 "tenant");
+    EXPECT_DEATH(burstyMultiTenantArrivals(3, 2, 5.0, 0.5, 1),
+                 "at least one");
 }
 
 } // namespace

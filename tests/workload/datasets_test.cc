@@ -92,6 +92,69 @@ TEST(DatasetsTest, TokenFrequenciesAreSkewed)
     EXPECT_GT(static_cast<double>(peak) / total, 0.02);
 }
 
+TEST(SharedPrefixDatasetTest, SameTenantSharesWholePrefix)
+{
+    SharedPrefixDataset ds("tenants", kVocab, 4, 32, 32, 12.0, 4.0);
+    EXPECT_EQ(ds.prefixTokens(), 64u);
+    // Find two request indices landing on the same tenant.
+    size_t i = 0, j = 1;
+    while (ds.tenantOf(j) != ds.tenantOf(i))
+        ++j;
+    std::vector<int> a = ds.prompt(i);
+    std::vector<int> b = ds.prompt(j);
+    ASSERT_GE(a.size(), 64u + 2u);
+    EXPECT_TRUE(std::equal(a.begin(), a.begin() + 64, b.begin()));
+    // Suffixes stay unique per request.
+    EXPECT_NE(a, b);
+}
+
+TEST(SharedPrefixDatasetTest, CrossTenantSharesOnlyCommonContext)
+{
+    SharedPrefixDataset ds = SharedPrefixDataset::rag(kVocab, 4, 64);
+    // rag: 48 common tokens + 16 per-tenant tokens.
+    EXPECT_EQ(ds.prefixTokens(), 64u);
+    std::vector<int> p0 = ds.tenantPrefix(0);
+    std::vector<int> p1 = ds.tenantPrefix(1);
+    ASSERT_EQ(p0.size(), 64u);
+    EXPECT_TRUE(std::equal(p0.begin(), p0.begin() + 48, p1.begin()));
+    EXPECT_NE(p0, p1);
+}
+
+TEST(SharedPrefixDatasetTest, ChatHasNoCommonContext)
+{
+    SharedPrefixDataset ds = SharedPrefixDataset::chat(kVocab, 3, 40);
+    EXPECT_EQ(ds.prefixTokens(), 40u);
+    std::vector<int> p0 = ds.tenantPrefix(0);
+    std::vector<int> p1 = ds.tenantPrefix(1);
+    EXPECT_NE(std::vector<int>(p0.begin(), p0.begin() + 8),
+              std::vector<int>(p1.begin(), p1.begin() + 8));
+}
+
+TEST(SharedPrefixDatasetTest, DeterministicAndInRange)
+{
+    SharedPrefixDataset a = SharedPrefixDataset::chat(kVocab, 4, 32);
+    SharedPrefixDataset b = SharedPrefixDataset::chat(kVocab, 4, 32);
+    for (size_t i = 0; i < 16; ++i) {
+        std::vector<int> prompt = a.prompt(i);
+        EXPECT_EQ(prompt, b.prompt(i));
+        EXPECT_EQ(a.tenantOf(i), b.tenantOf(i));
+        for (int tok : prompt) {
+            ASSERT_GT(tok, 0);
+            ASSERT_LT(tok, static_cast<int>(kVocab));
+        }
+    }
+}
+
+TEST(SharedPrefixDatasetTest, AllTenantsReachable)
+{
+    SharedPrefixDataset ds = SharedPrefixDataset::chat(kVocab, 4, 16);
+    std::vector<bool> seen(ds.tenants(), false);
+    for (size_t i = 0; i < 64; ++i)
+        seen[ds.tenantOf(i)] = true;
+    for (size_t t = 0; t < seen.size(); ++t)
+        EXPECT_TRUE(seen[t]) << "tenant " << t << " never drawn";
+}
+
 TEST(DatasetsDeathTest, UnknownNameIsFatal)
 {
     EXPECT_EXIT(PromptDataset::named("MMLU", kVocab),
