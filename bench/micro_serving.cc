@@ -16,6 +16,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
@@ -123,6 +124,39 @@ BM_ContinuousBatchDrain(benchmark::State &state)
 }
 BENCHMARK(BM_ContinuousBatchDrain)->Unit(benchmark::kMillisecond);
 
+// --- Interrupt handling ------------------------------------------
+//
+// CI drives this binary under a watchdog; if the run is cut short
+// with SIGINT/SIGTERM the observability artifacts must still land
+// on disk (partial numbers beat none). The handler writes them
+// directly — a sig_atomic_t guard collapses re-entrant delivery —
+// and exits with the conventional 128+signo code.
+
+volatile std::sig_atomic_t g_signal_fired = 0;
+obs::ObsContext *g_signal_ctx = nullptr;
+const char *g_signal_metrics = nullptr;
+const char *g_signal_trace = nullptr;
+
+void
+onFlushSignal(int signo)
+{
+    if (g_signal_fired != 0)
+        std::_Exit(128 + signo);
+    g_signal_fired = 1;
+    if (g_signal_ctx != nullptr) {
+        if (g_signal_metrics != nullptr) {
+            std::ofstream out(g_signal_metrics);
+            obs::writePrometheus(
+                g_signal_ctx->metrics().snapshot(), out);
+        }
+        if (g_signal_trace != nullptr) {
+            std::ofstream out(g_signal_trace);
+            g_signal_ctx->tracer().writeChromeTrace(out);
+        }
+    }
+    std::_Exit(128 + signo);
+}
+
 } // namespace
 
 int
@@ -136,6 +170,11 @@ main(int argc, char **argv)
             &obs::SteadyClock::instance(),
             /*tracing_enabled=*/trace_path != nullptr);
         obs::setGlobalObs(ctx.get());
+        g_signal_ctx = ctx.get();
+        g_signal_metrics = metrics_path;
+        g_signal_trace = trace_path;
+        std::signal(SIGINT, onFlushSignal);
+        std::signal(SIGTERM, onFlushSignal);
     }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

@@ -47,6 +47,13 @@ SPECINFER_BENCH_TOKENS=8 \
     --trace build/obs/spec_infer.trace.json \
     --require-metric engine_tokens_proposed,engine_tokens_accepted,model_kernel_launches
 
+# Daemon smoke: specinferd + three real client processes over the
+# shared-memory plane, one killed mid-stream. Asserts the lease
+# reap, survivors token-identical to the in-process oracle, a clean
+# drain with no leaked segments, record replay, and the pinned
+# ipc_*/daemon_* metric catalog (the script runs obs_check itself).
+./scripts/daemon_smoke.sh
+
 # Fault-injection soak under ASan/UBSan: thousands of scheduling
 # iterations with random speculator/verifier/allocator/straggler
 # faults; checks liveness, request conservation, the spec-vs-
@@ -71,7 +78,7 @@ cmake --build --preset tsan
 SPECINFER_SOAK_ITERATIONS=1500 SPECINFER_RECOVERY_TRIALS=60 \
 SPECINFER_RECOVERY_SOAK_ITERATIONS=800 \
 ctest --preset tsan \
-      -R 'ThreadPool|ThreadedForward|Fault|Recovery|Journal|Crc32|Concurrency|Tracer|WorkloadTrace|OverheadGuard|KvSharing|PrefixSharing'
+      -R 'ThreadPool|ThreadedForward|Fault|Recovery|Journal|Crc32|Concurrency|Tracer|WorkloadTrace|OverheadGuard|KvSharing|PrefixSharing|Ring'
 
 for b in build/bench/*; do
     echo "=== $b ==="

@@ -63,6 +63,32 @@ ExpansionConfig::toString() const
     return oss.str();
 }
 
+ExpansionConfig
+ExpansionConfig::parse(const std::string &text)
+{
+    std::string body = text;
+    if (!body.empty() && body.front() == '<' && body.back() == '>')
+        body = body.substr(1, body.size() - 2);
+    ExpansionConfig cfg;
+    size_t pos = 0;
+    while (pos < body.size()) {
+        size_t comma = body.find(',', pos);
+        if (comma == std::string::npos)
+            comma = body.size();
+        const std::string piece = body.substr(pos, comma - pos);
+        SPECINFER_CHECK(!piece.empty() &&
+                            piece.find_first_not_of("0123456789") ==
+                                std::string::npos,
+                        "bad expansion width '" << piece << "' in '"
+                                                << text << "'");
+        cfg.widths.push_back(
+            static_cast<size_t>(std::stoul(piece)));
+        pos = comma + 1;
+    }
+    cfg.validate();
+    return cfg;
+}
+
 void
 ExpansionConfig::validate() const
 {

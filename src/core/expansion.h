@@ -48,6 +48,13 @@ struct ExpansionConfig
     /** e.g. "<1,1,3,1,1,1,1,1>". */
     std::string toString() const;
 
+    /**
+     * Parse "1,1,3,1" (optionally wrapped in <>, the toString()
+     * form). An empty list means none() — incremental mode. Aborts
+     * on malformed input (CLI/recording surface, fail fast).
+     */
+    static ExpansionConfig parse(const std::string &text);
+
     /** Abort if any width is zero. */
     void validate() const;
 };

@@ -1,0 +1,146 @@
+#include "ipc/channel.h"
+
+#include <atomic>
+
+namespace specinfer {
+namespace ipc {
+
+namespace {
+
+/** 64-byte-align an offset so ring control blocks never share a
+ *  cache line with the header or each other. */
+inline size_t
+align64(size_t n)
+{
+    return (n + 63) & ~size_t{63};
+}
+
+} // namespace
+
+std::string
+Board::path(const std::string &dir)
+{
+    return dir + "/" + kBoardName;
+}
+
+bool
+Board::create(const std::string &dir, uint64_t epoch)
+{
+    // Reuse a leftover board in place rather than truncating: a
+    // surviving client still holds a mapping of this inode, and
+    // rewriting the same pages is exactly how it observes the new
+    // epoch; truncation would instead fault its next access.
+    if (!seg_.open(path(dir)) || seg_.size() < sizeof(BoardShared)) {
+        seg_.close();
+        if (!seg_.create(path(dir), sizeof(BoardShared)))
+            return false;
+    }
+    BoardShared *s = static_cast<BoardShared *>(seg_.data());
+    s->version = 1;
+    s->epoch.store(epoch, std::memory_order_relaxed);
+    s->heartbeat.store(0, std::memory_order_relaxed);
+    s->accepting.store(1, std::memory_order_relaxed);
+    s->draining.store(0, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    s->magic = kBoardMagic;
+    shared_ = s;
+    return true;
+}
+
+bool
+Board::open(const std::string &dir)
+{
+    if (!seg_.open(path(dir)) || seg_.size() < sizeof(BoardShared))
+        return false;
+    BoardShared *s = static_cast<BoardShared *>(seg_.data());
+    if (s->magic != kBoardMagic) {
+        seg_.close();
+        return false;
+    }
+    shared_ = s;
+    return true;
+}
+
+bool
+Channel::mapRings(bool init)
+{
+    uint8_t *base = static_cast<uint8_t *>(seg_.data());
+    const size_t req_cap =
+        static_cast<size_t>(header_->requestRingBytes);
+    const size_t resp_cap =
+        static_cast<size_t>(header_->responseRingBytes);
+    const size_t req_off = align64(sizeof(ClientHeader));
+    const size_t resp_off =
+        align64(req_off + ShmRing::footprint(req_cap));
+    const size_t total =
+        resp_off + ShmRing::footprint(resp_cap);
+    if (seg_.size() < total)
+        return false;
+    return request_.attach(base + req_off, req_cap, init) &&
+           response_.attach(base + resp_off, resp_cap, init);
+}
+
+bool
+Channel::create(const std::string &dir, uint64_t pid, uint64_t nonce,
+                size_t request_ring_bytes, size_t response_ring_bytes)
+{
+    const size_t req_off = align64(sizeof(ClientHeader));
+    const size_t resp_off =
+        align64(req_off + ShmRing::footprint(request_ring_bytes));
+    const size_t total =
+        resp_off + ShmRing::footprint(response_ring_bytes);
+    const std::string path = dir + "/" + kClientPrefix +
+                             std::to_string(pid) + "." +
+                             std::to_string(nonce);
+    if (!seg_.create(path, total))
+        return false;
+    ClientHeader *h = static_cast<ClientHeader *>(seg_.data());
+    h->version = 1;
+    h->clientPid = pid;
+    h->clientNonce = nonce;
+    h->requestRingBytes = request_ring_bytes;
+    h->responseRingBytes = response_ring_bytes;
+    h->magic = kChannelMagic;
+    header_ = h;
+    if (!mapRings(/*init=*/true)) {
+        seg_.unlink();
+        seg_.close();
+        header_ = nullptr;
+        return false;
+    }
+    // Publish: the daemon's scan skips channels until ready.
+    h->ready.store(1, std::memory_order_release);
+    return true;
+}
+
+bool
+Channel::attach(const std::string &path)
+{
+    if (!seg_.open(path) || seg_.size() < sizeof(ClientHeader))
+        return false;
+    ClientHeader *h = static_cast<ClientHeader *>(seg_.data());
+    if (h->magic != kChannelMagic ||
+        h->ready.load(std::memory_order_acquire) != 1) {
+        seg_.close();
+        return false;
+    }
+    header_ = h;
+    if (!mapRings(/*init=*/false)) {
+        seg_.close();
+        header_ = nullptr;
+        return false;
+    }
+    return true;
+}
+
+void
+Channel::close()
+{
+    seg_.close();
+    header_ = nullptr;
+    request_ = ShmRing();
+    response_ = ShmRing();
+}
+
+} // namespace ipc
+} // namespace specinfer

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Shared-memory segment layouts: the daemon board and per-client
+ * channels.
+ *
+ * Connection topology (one daemon, N clients):
+ *
+ *   <dir>/specinferd.board            — daemon liveness + epoch
+ *   <dir>/specinferd.client.<pid>.<nonce>
+ *       [ ClientHeader | request ring (client → daemon)
+ *                      | response ring (daemon → client) ]
+ *
+ * A client *creates* its own channel segment, formats both rings,
+ * then release-stores `ready`; the daemon discovers channels by
+ * scanning the directory each few ticks and attaches any ready
+ * segment it has not seen. There is no connect syscall and no
+ * accept queue — the filesystem is the rendezvous, every data-path
+ * exchange after that is lock-free ring traffic.
+ *
+ * The board is how clients answer "is anybody home?": the daemon
+ * bumps `heartbeat` every tick and bumps `epoch` once per process
+ * start, so a client can distinguish daemon-gone (heartbeat stalls)
+ * from daemon-restart (epoch changed — reconnect and resume).
+ */
+
+#ifndef SPECINFER_IPC_CHANNEL_H
+#define SPECINFER_IPC_CHANNEL_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "ipc/ring.h"
+#include "ipc/shm.h"
+
+namespace specinfer {
+namespace ipc {
+
+/** Board segment name inside the IPC directory. */
+constexpr const char *kBoardName = "specinferd.board";
+/** Client channel name prefix inside the IPC directory. */
+constexpr const char *kClientPrefix = "specinferd.client.";
+
+/** Daemon liveness board (one page). */
+struct BoardShared
+{
+    uint64_t magic;
+    uint32_t version;
+    uint32_t pad0;
+    /** Bumped once per daemon start; clients detect restarts. */
+    std::atomic<uint64_t> epoch;
+    /** Bumped every daemon tick; clients detect daemon-gone. */
+    alignas(64) std::atomic<uint64_t> heartbeat;
+    /** 0 while draining/stopped: submits will be rejected. */
+    alignas(64) std::atomic<uint32_t> accepting;
+    std::atomic<uint32_t> draining;
+};
+
+constexpr uint64_t kBoardMagic = 0x5350454342524430ULL;
+constexpr uint64_t kChannelMagic = 0x53504543434e4c31ULL;
+
+/** Header of a client channel segment. */
+struct ClientHeader
+{
+    uint64_t magic;
+    uint32_t version;
+    /** Release-stored 1 by the client once both rings are
+     *  formatted; the daemon ignores channels until then. */
+    std::atomic<uint32_t> ready;
+    uint64_t clientPid;
+    uint64_t clientNonce;
+    uint64_t requestRingBytes;  ///< ring *capacities* (data bytes)
+    uint64_t responseRingBytes;
+};
+
+/** Daemon board view (creator = daemon, opener = client). */
+class Board
+{
+  public:
+    bool create(const std::string &dir, uint64_t epoch);
+    bool open(const std::string &dir);
+    bool valid() const { return shared_ != nullptr; }
+
+    BoardShared *shared() { return shared_; }
+    const BoardShared *shared() const { return shared_; }
+    bool unlink() { return seg_.unlink(); }
+
+    static std::string path(const std::string &dir);
+
+  private:
+    ShmSegment seg_;
+    BoardShared *shared_ = nullptr;
+};
+
+/**
+ * One client ↔ daemon channel: the segment plus attached ring
+ * views. Which ring is "inbound" depends on the side; use
+ * requestRing() (client → daemon) and responseRing() explicitly.
+ */
+class Channel
+{
+  public:
+    /** Client side: create + format a fresh channel segment. */
+    bool create(const std::string &dir, uint64_t pid, uint64_t nonce,
+                size_t request_ring_bytes, size_t response_ring_bytes);
+
+    /** Daemon side: attach an existing, ready channel. */
+    bool attach(const std::string &path);
+
+    bool valid() const { return header_ != nullptr; }
+    const ClientHeader *header() const { return header_; }
+
+    ShmRing &requestRing() { return request_; }
+    ShmRing &responseRing() { return response_; }
+
+    const std::string &path() const { return seg_.path(); }
+    bool unlink() { return seg_.unlink(); }
+    void close();
+
+  private:
+    bool mapRings(bool init);
+
+    ShmSegment seg_;
+    ClientHeader *header_ = nullptr;
+    ShmRing request_;
+    ShmRing response_;
+};
+
+} // namespace ipc
+} // namespace specinfer
+
+#endif // SPECINFER_IPC_CHANNEL_H

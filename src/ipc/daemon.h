@@ -1,0 +1,192 @@
+/**
+ * @file
+ * specinferd core: the daemon side of the shared-memory serving
+ * plane, factored out of the binary so in-process tests can drive
+ * daemon and clients cooperatively (tick-by-tick, deterministic,
+ * sanitizer-friendly) while tools/specinferd.cc just wraps a signal
+ * loop around it.
+ *
+ * One Daemon owns one engine-backed RequestManager (journal +
+ * snapshot + metrics wiring included) and serves N client channels:
+ *
+ *  - tick(): bump the board heartbeat, scan the IPC directory for
+ *    new client channels, drain every request ring (Hello /
+ *    Heartbeat / Submit / Cancel / Resume / Goodbye), reap expired
+ *    leases, run one scheduling iteration when work is pending,
+ *    stream fresh tokens + finishes, and flush per-client outboxes.
+ *
+ *  - Leases are measured in daemon ticks: a client that misses
+ *    `leaseTicks` consecutive ticks — crashed, hung, or kill -9'd —
+ *    is reaped deterministically: its in-flight requests are
+ *    cancelled through RequestManager::cancel, a best-effort
+ *    Revoked frame is left in its response ring (valid even after
+ *    unlink, POSIX mapping semantics), and its segment is unlinked.
+ *    The `client-reap` fault point injects spurious reaps of live
+ *    clients, which must survive by reconnecting.
+ *
+ *  - Crash isolation: destroying a Daemon without drain() is the
+ *    crash model — segments and persistence files are left behind,
+ *    exactly like kill -9. A new Daemon over the same paths
+ *    recovers the manager from snapshot + journal tail, re-attaches
+ *    surviving channels, truncates the recording to its valid
+ *    prefix and re-emits in-flight submits — clients notice the
+ *    epoch bump and resume their token streams idempotently.
+ */
+
+#ifndef SPECINFER_IPC_DAEMON_H
+#define SPECINFER_IPC_DAEMON_H
+
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ipc/channel.h"
+#include "ipc/recorder.h"
+#include "ipc/wire.h"
+#include "runtime/request_manager.h"
+
+namespace specinfer {
+namespace ipc {
+
+/** Daemon configuration. */
+struct DaemonConfig
+{
+    /** IPC directory; empty = defaultIpcDir(). */
+    std::string dir;
+
+    /** Lease length: a client missing this many consecutive ticks
+     *  without a frame or heartbeat is reaped. */
+    uint64_t leaseTicks = 64;
+
+    /** Directory-scan cadence (every N ticks). */
+    uint64_t scanEvery = 4;
+
+    /** Write-ahead journal path (empty = no crash safety). The
+     *  snapshot lives at `<journalPath>.snap`, spec_infer idiom. */
+    std::string journalPath;
+
+    /** Snapshot refresh cadence in manager iterations. */
+    size_t snapshotEvery = 64;
+
+    /** Request-stream recording path (empty = no recording). */
+    std::string recordPath;
+
+    /** Engine identity stamped into the recording header (the
+     *  fields replayRecording() rebuilds the engine from);
+     *  maxBatchSize is filled in from the serving config. */
+    RecordedEvent recordHeader;
+
+    /** Observability context (resolved like ServingConfig::obs). */
+    obs::ObsContext *obs = nullptr;
+};
+
+/** The serving daemon core. Single-threaded; drive with tick(). */
+class Daemon
+{
+  public:
+    Daemon(const core::SpecEngine *engine,
+           runtime::ServingConfig serving, DaemonConfig cfg);
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /**
+     * Create the board, recover persisted state (journal + snapshot
+     * + recording, when configured and present), and open a fresh
+     * journal/recording epoch.
+     * @return false on any shm/file error (daemon cannot serve).
+     */
+    bool start();
+
+    /** One scheduling tick (see file header). */
+    void tick();
+
+    /**
+     * Graceful shutdown (SIGTERM path): stop admitting, finish and
+     * stream every in-flight request, say Goodbye, snapshot, and
+     * unlink every segment including the board.
+     */
+    void drain();
+
+    // --- Introspection (tests, tools) -----------------------------
+
+    uint64_t epoch() const { return epoch_; }
+    uint64_t ticks() const { return tick_; }
+    size_t clientCount() const { return conns_.size(); }
+    uint64_t reapCount() const { return reaps_; }
+    bool accepting() const { return accepting_; }
+    const std::string &dir() const { return cfg_.dir; }
+    runtime::RequestManager &manager() { return *manager_; }
+    const runtime::RequestManager &manager() const
+    {
+        return *manager_;
+    }
+
+  private:
+    struct Conn
+    {
+        enum class State
+        {
+            Live,    ///< serving normally
+            Corrupt, ///< poisoned ring; reap next sweep
+            Bye,     ///< orderly Goodbye; unlink without Revoked
+        };
+
+        Channel channel;
+        std::string name;       ///< segment file name (scan key)
+        uint64_t lastSeen = 0;  ///< tick of the last inbound frame
+        uint64_t pid = 0;
+        State state = State::Live;
+        std::deque<Message> outbox;
+    };
+
+    void scanForClients();
+    void pumpConn(Conn &conn);
+    void handleMessage(Conn &conn, const Message &msg);
+    void reapExpired();
+    void reapConn(size_t index, const char *why);
+    void streamFinished();
+    void flushOutboxes();
+    void publishGauges();
+    void record(const RecordedEvent &event);
+    void snapshot();
+    void preregisterMetrics();
+
+    Conn *ownerOf(uint64_t id);
+
+    const core::SpecEngine *engine_;
+    runtime::ServingConfig serving_;
+    DaemonConfig cfg_;
+    obs::ObsContext *obs_;
+
+    std::unique_ptr<runtime::RequestManager> manager_;
+    Board board_;
+    uint64_t epoch_ = 0;
+    uint64_t tick_ = 0;
+    uint64_t reaps_ = 0;
+    bool accepting_ = true;
+    bool started_ = false;
+
+    std::vector<std::unique_ptr<Conn>> conns_;
+    /** Request id → owning connection (reap/disconnect detaches). */
+    std::map<uint64_t, Conn *> owner_;
+    /** Finished-result ids already streamed/recorded. */
+    std::set<uint64_t> streamed_;
+
+    std::ofstream journalOut_;
+    std::unique_ptr<runtime::JournalWriter> journal_;
+    std::ofstream recordOut_;
+    std::unique_ptr<RecordWriter> recorder_;
+    size_t lastSnapshotIteration_ = 0;
+};
+
+} // namespace ipc
+} // namespace specinfer
+
+#endif // SPECINFER_IPC_DAEMON_H

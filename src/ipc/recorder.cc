@@ -1,0 +1,220 @@
+#include "ipc/recorder.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "runtime/journal.h" // crc32
+
+namespace specinfer {
+namespace ipc {
+
+namespace {
+
+template <typename T>
+void
+put(std::vector<uint8_t> &out, T value)
+{
+    const size_t at = out.size();
+    out.resize(at + sizeof(T));
+    std::memcpy(out.data() + at, &value, sizeof(T));
+}
+
+void
+putString(std::vector<uint8_t> &out, const std::string &s)
+{
+    put<uint32_t>(out, static_cast<uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+void
+putTokens(std::vector<uint8_t> &out, const std::vector<int> &toks)
+{
+    put<uint32_t>(out, static_cast<uint32_t>(toks.size()));
+    for (int t : toks)
+        put<int32_t>(out, t);
+}
+
+template <typename T>
+bool
+take(const std::vector<uint8_t> &in, size_t *pos, T *value)
+{
+    if (in.size() - *pos < sizeof(T))
+        return false;
+    std::memcpy(value, in.data() + *pos, sizeof(T));
+    *pos += sizeof(T);
+    return true;
+}
+
+bool
+takeString(const std::vector<uint8_t> &in, size_t *pos,
+           std::string *s)
+{
+    uint32_t len = 0;
+    if (!take(in, pos, &len) || in.size() - *pos < len)
+        return false;
+    s->assign(reinterpret_cast<const char *>(in.data() + *pos), len);
+    *pos += len;
+    return true;
+}
+
+bool
+takeTokens(const std::vector<uint8_t> &in, size_t *pos,
+           std::vector<int> *toks)
+{
+    uint32_t count = 0;
+    if (!take(in, pos, &count) ||
+        in.size() - *pos < count * sizeof(int32_t))
+        return false;
+    toks->resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        int32_t t = 0;
+        take(in, pos, &t);
+        (*toks)[i] = t;
+    }
+    return true;
+}
+
+std::vector<uint8_t>
+encodeEvent(const RecordedEvent &ev)
+{
+    std::vector<uint8_t> out;
+    put<uint8_t>(out, static_cast<uint8_t>(ev.type));
+    switch (ev.type) {
+      case EventType::Header:
+        putString(out, ev.llm);
+        put<uint64_t>(out, ev.ssmLayers);
+        putString(out, ev.expansion);
+        put<uint64_t>(out, ev.seed);
+        put<uint64_t>(out, ev.engineMaxNewTokens);
+        put<double>(out, ev.temperature);
+        put<uint64_t>(out, ev.maxBatchSize);
+        break;
+      case EventType::Submit:
+        put<uint64_t>(out, ev.iteration);
+        put<uint64_t>(out, ev.id);
+        put<uint64_t>(out, ev.maxNewTokens);
+        putTokens(out, ev.prompt);
+        break;
+      case EventType::Cancel:
+        put<uint64_t>(out, ev.iteration);
+        put<uint64_t>(out, ev.id);
+        break;
+      case EventType::Finish:
+        put<uint64_t>(out, ev.iteration);
+        put<uint64_t>(out, ev.id);
+        put<uint8_t>(out, ev.stopReason);
+        putTokens(out, ev.tokens);
+        break;
+    }
+    return out;
+}
+
+bool
+decodeEvent(const std::vector<uint8_t> &bytes, RecordedEvent *ev)
+{
+    size_t pos = 0;
+    uint8_t type = 0;
+    if (!take(bytes, &pos, &type) ||
+        type < static_cast<uint8_t>(EventType::Header) ||
+        type > static_cast<uint8_t>(EventType::Finish))
+        return false;
+    ev->type = static_cast<EventType>(type);
+    switch (ev->type) {
+      case EventType::Header:
+        return takeString(bytes, &pos, &ev->llm) &&
+               take(bytes, &pos, &ev->ssmLayers) &&
+               takeString(bytes, &pos, &ev->expansion) &&
+               take(bytes, &pos, &ev->seed) &&
+               take(bytes, &pos, &ev->engineMaxNewTokens) &&
+               take(bytes, &pos, &ev->temperature) &&
+               take(bytes, &pos, &ev->maxBatchSize) &&
+               pos == bytes.size();
+      case EventType::Submit:
+        return take(bytes, &pos, &ev->iteration) &&
+               take(bytes, &pos, &ev->id) &&
+               take(bytes, &pos, &ev->maxNewTokens) &&
+               takeTokens(bytes, &pos, &ev->prompt) &&
+               pos == bytes.size();
+      case EventType::Cancel:
+        return take(bytes, &pos, &ev->iteration) &&
+               take(bytes, &pos, &ev->id) && pos == bytes.size();
+      case EventType::Finish:
+        return take(bytes, &pos, &ev->iteration) &&
+               take(bytes, &pos, &ev->id) &&
+               take(bytes, &pos, &ev->stopReason) &&
+               takeTokens(bytes, &pos, &ev->tokens) &&
+               pos == bytes.size();
+    }
+    return false;
+}
+
+} // namespace
+
+const char *
+eventTypeName(EventType type)
+{
+    switch (type) {
+      case EventType::Header: return "header";
+      case EventType::Submit: return "submit";
+      case EventType::Cancel: return "cancel";
+      case EventType::Finish: return "finish";
+    }
+    return "unknown";
+}
+
+RecordWriter::RecordWriter(std::ostream &out) : out_(&out)
+{
+}
+
+void
+RecordWriter::append(const RecordedEvent &event)
+{
+    const std::vector<uint8_t> payload = encodeEvent(event);
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    const uint32_t crc = runtime::crc32(payload.data(), payload.size());
+    out_->write(reinterpret_cast<const char *>(&len), sizeof(len));
+    out_->write(reinterpret_cast<const char *>(&crc), sizeof(crc));
+    out_->write(reinterpret_cast<const char *>(payload.data()),
+                static_cast<std::streamsize>(payload.size()));
+    bytes_ += sizeof(len) + sizeof(crc) + payload.size();
+}
+
+RecordReader::RecordReader(std::istream &in) : in_(&in)
+{
+}
+
+bool
+RecordReader::next(RecordedEvent &event)
+{
+    if (done_)
+        return false;
+    uint32_t len = 0, crc = 0;
+    in_->read(reinterpret_cast<char *>(&len), sizeof(len));
+    if (in_->gcount() == 0) {
+        done_ = true;
+        return false; // clean EOF
+    }
+    if (in_->gcount() != sizeof(len)) {
+        done_ = tornTail_ = true;
+        return false;
+    }
+    in_->read(reinterpret_cast<char *>(&crc), sizeof(crc));
+    if (in_->gcount() != sizeof(crc)) {
+        done_ = tornTail_ = true;
+        return false;
+    }
+    std::vector<uint8_t> payload(len);
+    in_->read(reinterpret_cast<char *>(payload.data()), len);
+    if (in_->gcount() != static_cast<std::streamsize>(len) ||
+        runtime::crc32(payload.data(), payload.size()) != crc ||
+        !decodeEvent(payload, &event)) {
+        done_ = tornTail_ = true;
+        return false;
+    }
+    bytes_ += sizeof(len) + sizeof(crc) + len;
+    return true;
+}
+
+} // namespace ipc
+} // namespace specinfer

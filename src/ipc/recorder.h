@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Binary record/replay of the daemon's live request stream.
+ *
+ * Every inbound request the daemon admits — plus every cancel it
+ * honors and every result it streams back — is appended to a
+ * replayable log, so any live incident can be re-driven offline
+ * (`diffcheck --replay`) and checked for token-identical
+ * reproduction without the clients, the shared-memory plane, or
+ * the original process being alive.
+ *
+ * Framing is the journal's CRC scheme (u32 len | u32 crc |
+ * payload): the reader is truncation-tolerant, so a daemon crash
+ * mid-append costs at most the torn tail record. A restarting
+ * daemon reads the file, truncates to the valid prefix, re-emits
+ * Submit events for the requests its recovered manager still
+ * carries (ids repeat; replay dedups by id), and appends onward —
+ * one file records the stream across daemon generations.
+ *
+ * The replay oracle (replay.h) compares per-request token streams:
+ * exact equality for normally finished requests, prefix consistency
+ * for aborted ones (a cancel or deadline truncates at a timing-
+ * dependent point; the content up to the cut must still match).
+ */
+
+#ifndef SPECINFER_IPC_RECORDER_H
+#define SPECINFER_IPC_RECORDER_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace specinfer {
+namespace ipc {
+
+/** Recorded event kinds. */
+enum class EventType : uint8_t
+{
+    /** Engine/serving identity — enough to rebuild the exact
+     *  engine offline. First record of every file. */
+    Header = 1,
+    /** A request was admitted (manager id assigned). */
+    Submit = 2,
+    /** A client cancel was honored. */
+    Cancel = 3,
+    /** A result was streamed back (full token list + stop reason). */
+    Finish = 4,
+};
+
+const char *eventTypeName(EventType type);
+
+/** One recorded event; `type` selects the live fields. */
+struct RecordedEvent
+{
+    EventType type = EventType::Submit;
+
+    // --- Header ---------------------------------------------------
+    std::string llm;
+    uint64_t ssmLayers = 0;
+    std::string expansion; ///< "k1,k2,..." textual form
+    uint64_t seed = 0;
+    uint64_t engineMaxNewTokens = 0;
+    double temperature = 0.0;
+    uint64_t maxBatchSize = 0;
+
+    // --- Submit / Cancel / Finish --------------------------------
+    /** Manager iteration clock when the event was applied. */
+    uint64_t iteration = 0;
+    uint64_t id = 0;
+    std::vector<int> prompt;     ///< Submit
+    uint64_t maxNewTokens = 0;   ///< Submit (per-request budget)
+    uint8_t stopReason = 0;      ///< Finish
+    std::vector<int> tokens;     ///< Finish (streamed tokens)
+};
+
+/** Appends CRC-framed events. Single-threaded (daemon loop). */
+class RecordWriter
+{
+  public:
+    explicit RecordWriter(std::ostream &out);
+
+    void append(const RecordedEvent &event);
+
+    uint64_t bytesWritten() const { return bytes_; }
+
+  private:
+    std::ostream *out_;
+    uint64_t bytes_ = 0;
+};
+
+/** Truncation-tolerant event reader (journal semantics). */
+class RecordReader
+{
+  public:
+    explicit RecordReader(std::istream &in);
+
+    /** @return false at clean EOF or the first damaged frame. */
+    bool next(RecordedEvent &event);
+
+    bool tornTail() const { return tornTail_; }
+    uint64_t bytesConsumed() const { return bytes_; }
+
+  private:
+    std::istream *in_;
+    uint64_t bytes_ = 0;
+    bool tornTail_ = false;
+    bool done_ = false;
+};
+
+} // namespace ipc
+} // namespace specinfer
+
+#endif // SPECINFER_IPC_RECORDER_H

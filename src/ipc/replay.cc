@@ -1,0 +1,173 @@
+#include "ipc/replay.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "core/spec_engine.h"
+#include "ipc/recorder.h"
+#include "model/model_factory.h"
+#include "runtime/request_manager.h"
+
+namespace specinfer {
+namespace ipc {
+
+namespace {
+
+bool
+abortedReason(uint8_t stop)
+{
+    using SR = core::SpecSession::StopReason;
+    switch (static_cast<SR>(stop)) {
+      case SR::Deadline:
+      case SR::Cancelled:
+      case SR::Preempted:
+      case SR::Shed:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+ReplayResult
+replayRecording(std::istream &in, std::ostream &log, bool verbose)
+{
+    ReplayResult result;
+    RecordReader reader(in);
+
+    RecordedEvent header;
+    if (!reader.next(header) || header.type != EventType::Header) {
+        result.error = "recording has no valid header record";
+        return result;
+    }
+
+    // Rebuild the recorded engine identity.
+    model::Transformer llm =
+        model::makeLlm(model::llmPreset(header.llm));
+    model::Transformer ssm =
+        model::makeEarlyExitSsm(llm,
+                                static_cast<size_t>(header.ssmLayers));
+    core::EngineConfig cfg =
+        header.temperature > 0.0
+            ? core::EngineConfig::stochasticDefault(
+                  static_cast<float>(header.temperature))
+            : core::EngineConfig::greedyDefault();
+    cfg.spec.expansion = core::ExpansionConfig::parse(header.expansion);
+    cfg.maxNewTokens = static_cast<size_t>(header.engineMaxNewTokens);
+    cfg.seed = header.seed;
+    std::vector<const model::Transformer *> ssms;
+    if (!cfg.spec.expansion.widths.empty())
+        ssms.push_back(&ssm);
+    core::SpecEngine engine(&llm, ssms, cfg);
+
+    runtime::ServingConfig scfg;
+    scfg.maxBatchSize = static_cast<size_t>(header.maxBatchSize);
+    runtime::RequestManager manager(&engine, scfg);
+
+    // First pass structures: unique submits in first-appearance
+    // order (a restarting daemon re-emits in-flight submits with
+    // their original ids) and the recorded results to check.
+    struct Recorded
+    {
+        uint8_t stopReason = 0;
+        std::vector<int> tokens;
+        bool finished = false;
+    };
+    std::map<uint64_t, Recorded> byId;
+    std::vector<RecordedEvent> submits;
+
+    RecordedEvent ev;
+    while (reader.next(ev)) {
+        switch (ev.type) {
+          case EventType::Submit:
+            if (byId.find(ev.id) == byId.end()) {
+                byId[ev.id] = Recorded{};
+                submits.push_back(ev);
+            }
+            break;
+          case EventType::Finish: {
+            Recorded &rec = byId[ev.id];
+            rec.stopReason = ev.stopReason;
+            rec.tokens = ev.tokens;
+            rec.finished = true;
+            break;
+          }
+          case EventType::Cancel:
+          case EventType::Header:
+            break; // pacing/audit only
+        }
+    }
+    result.tornTail = reader.tornTail();
+
+    // Re-drive with the recorded iteration pacing: submission
+    // iteration gaps reproduce batching shape, which is what makes
+    // the replay a serving-stack re-drive and not a bare generate()
+    // sweep. Deadlines/cancels are not re-applied — aborted
+    // requests run to completion and are checked by prefix.
+    for (const RecordedEvent &sub : submits) {
+        while (manager.stats().iterations < sub.iteration)
+            manager.runIteration();
+        runtime::SubmitResult res = manager.submit(
+            sub.prompt, static_cast<size_t>(sub.maxNewTokens));
+        ++result.submits;
+        if (!res.accepted() || res.id != sub.id) {
+            ++result.mismatches;
+            log << "replay: submit for recorded id " << sub.id
+                << " got "
+                << (res.accepted() ? "id" : "rejected")
+                << " " << res.id << "\n";
+        }
+    }
+    manager.runUntilDrained();
+
+    std::map<uint64_t, const runtime::RequestResult *> replayed;
+    for (const runtime::RequestResult &res : manager.finished())
+        replayed[res.id] = &res;
+
+    for (const auto &entry : byId) {
+        if (!entry.second.finished)
+            continue; // still in flight when the recording stopped
+        ++result.finishesChecked;
+        auto it = replayed.find(entry.first);
+        if (it == replayed.end()) {
+            ++result.mismatches;
+            log << "replay: recorded id " << entry.first
+                << " never finished in replay\n";
+            continue;
+        }
+        const std::vector<int> &got = it->second->tokens;
+        const std::vector<int> &want = entry.second.tokens;
+        const bool aborted = abortedReason(entry.second.stopReason);
+        bool match;
+        if (aborted) {
+            match = want.size() <= got.size() &&
+                    std::equal(want.begin(), want.end(), got.begin());
+        } else {
+            match = want == got;
+        }
+        if (!match) {
+            ++result.mismatches;
+            log << "replay: id " << entry.first << " diverged ("
+                << (aborted ? "prefix" : "exact") << " check, "
+                << want.size() << " recorded vs " << got.size()
+                << " replayed tokens)\n";
+        } else if (verbose) {
+            log << "replay: id " << entry.first << " ok ("
+                << want.size() << " tokens"
+                << (aborted ? ", aborted prefix" : "") << ")\n";
+        }
+    }
+
+    result.ok = result.mismatches == 0;
+    log << "replay: " << result.submits << " requests, "
+        << result.finishesChecked << " results checked, "
+        << result.mismatches << " mismatches"
+        << (result.tornTail ? " (torn tail tolerated)" : "") << "\n";
+    return result;
+}
+
+} // namespace ipc
+} // namespace specinfer

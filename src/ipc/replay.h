@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Offline re-drive of a daemon recording (recorder.h) through a
+ * fresh engine + RequestManager, checking token-identical
+ * reproduction — the `diffcheck --replay` oracle.
+ */
+
+#ifndef SPECINFER_IPC_REPLAY_H
+#define SPECINFER_IPC_REPLAY_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace specinfer {
+namespace ipc {
+
+/** Outcome of replaying one recording. */
+struct ReplayResult
+{
+    bool ok = false;
+    /** Recording unreadable / no header. */
+    std::string error;
+    size_t submits = 0;        ///< unique requests replayed
+    size_t finishesChecked = 0;///< recorded results compared
+    size_t mismatches = 0;
+    bool tornTail = false;     ///< recording ended in a torn frame
+};
+
+/**
+ * Rebuild the recorded engine, re-submit the recorded request
+ * stream with its original iteration pacing, drain, and compare
+ * per-request token streams against the recorded results: exact
+ * equality for normally finished requests; recorded-is-a-prefix
+ * for aborted ones (cancel/deadline/shed cut at a timing-dependent
+ * point, so only content up to the cut is invariant).
+ *
+ * @param log Human-readable progress/mismatch report.
+ */
+ReplayResult replayRecording(std::istream &in, std::ostream &log,
+                             bool verbose = false);
+
+} // namespace ipc
+} // namespace specinfer
+
+#endif // SPECINFER_IPC_REPLAY_H

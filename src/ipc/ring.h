@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Lock-free SPSC ring buffer over shared memory, the daemon's hot
+ * path (ROADMAP: tpib-writer → /dev/shm ring → consumer idiom).
+ *
+ * One producer process, one consumer process, no locks: the
+ * producer owns `head` (bytes ever written), the consumer owns
+ * `tail` (bytes ever read), and each side reads the other's cursor
+ * with acquire ordering and publishes its own with release
+ * ordering. Cursors are monotonically increasing 64-bit byte
+ * counts; `cursor & (capacity - 1)` is the physical offset, so
+ * wrap-around needs no modular arithmetic on the fast path and the
+ * full/empty ambiguity never arises.
+ *
+ * Frames are CRC-guarded:
+ *
+ *   u32 payloadLength | u32 crc32(payload) | payload | pad to 8
+ *
+ * The CRC is not for transport errors (shared memory does not
+ * corrupt bytes) — it is the *crash barrier*. A producer that dies
+ * mid-frame has not yet published `head`, so the consumer never
+ * sees the torn bytes; but a buggy or compromised producer that
+ * published garbage, or a partial write observed through a stale
+ * mapping, is caught by the CRC and surfaces as PopStatus::Corrupt,
+ * at which point the consumer poisons the ring and the daemon
+ * reaps the peer instead of decoding garbage into the engine.
+ *
+ * The ring lives *inside* a caller-provided memory region (a
+ * ShmSegment slice); attach() never allocates. Both processes
+ * attach the same region; exactly one passes `init = true`.
+ */
+
+#ifndef SPECINFER_IPC_RING_H
+#define SPECINFER_IPC_RING_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace specinfer {
+namespace ipc {
+
+/** Outcome of ShmRing::pop(). */
+enum class PopStatus
+{
+    Empty,   ///< no published frame
+    Ok,      ///< one frame delivered
+    Corrupt, ///< CRC/framing violation; ring is poisoned
+};
+
+/**
+ * The shared control block + data bytes. Alignment/padding keep the
+ * producer and consumer cursors on separate cache lines (no false
+ * sharing between processes).
+ */
+struct RingShared
+{
+    uint64_t magic;
+    uint64_t capacity; ///< data bytes, power of two
+    alignas(64) std::atomic<uint64_t> head; ///< producer cursor
+    alignas(64) std::atomic<uint64_t> tail; ///< consumer cursor
+    alignas(64) std::atomic<uint32_t> poisoned; ///< sticky corrupt
+    alignas(64) uint8_t data[1]; ///< `capacity` bytes follow
+};
+
+/**
+ * SPSC ring view over a shared region. The view itself is a plain
+ * local object (cheap to copy); all shared state lives in the
+ * region.
+ */
+class ShmRing
+{
+  public:
+    ShmRing() = default;
+
+    /** Region bytes needed for a ring with `capacity` data bytes
+     *  (capacity must be a power of two). */
+    static size_t footprint(size_t capacity);
+
+    /**
+     * Attach to (and with `init`, format) a ring inside `mem`,
+     * which must hold footprint(capacity) bytes and be 64-byte
+     * aligned (mmap pages are).
+     * @return false when a non-init attach finds no valid ring.
+     */
+    bool attach(void *mem, size_t capacity, bool init);
+
+    bool valid() const { return shared_ != nullptr; }
+
+    /**
+     * Publish one frame. Returns false — and writes nothing — when
+     * the free space cannot hold the frame (producer backpressure;
+     * retry after the consumer drains) or when the payload can
+     * never fit (larger than capacity - 8) or the ring is poisoned.
+     */
+    bool push(const void *payload, size_t len);
+
+    /**
+     * Consume the next frame into `out` (replaced, not appended).
+     * Corrupt framing (bad length or CRC mismatch) poisons the ring:
+     * every later pop also reports Corrupt and pushes are refused —
+     * fail-stop, never deliver garbage.
+     */
+    PopStatus pop(std::vector<uint8_t> &out);
+
+    /** Published-but-unread bytes (framing included). */
+    size_t usedBytes() const;
+
+    /** Bytes push() can currently accept (framing included). */
+    size_t freeBytes() const;
+
+    size_t capacity() const
+    {
+        return shared_ != nullptr
+                   ? static_cast<size_t>(shared_->capacity)
+                   : 0;
+    }
+
+    bool poisoned() const;
+
+  private:
+    RingShared *shared_ = nullptr;
+
+    void copyIn(uint64_t at, const void *src, size_t len);
+    void copyOut(uint64_t at, void *dst, size_t len) const;
+};
+
+} // namespace ipc
+} // namespace specinfer
+
+#endif // SPECINFER_IPC_RING_H

@@ -1,0 +1,138 @@
+#include "ipc/shm.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace specinfer {
+namespace ipc {
+
+std::string
+defaultIpcDir()
+{
+    const char *env = std::getenv("SPECINFER_IPC_DIR");
+    if (env != nullptr && env[0] != '\0')
+        return env;
+    return "/dev/shm";
+}
+
+ShmSegment::~ShmSegment()
+{
+    close();
+}
+
+ShmSegment::ShmSegment(ShmSegment &&other) noexcept
+    : data_(other.data_), size_(other.size_),
+      path_(std::move(other.path_))
+{
+    other.data_ = nullptr;
+    other.size_ = 0;
+}
+
+ShmSegment &
+ShmSegment::operator=(ShmSegment &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        data_ = other.data_;
+        size_ = other.size_;
+        path_ = std::move(other.path_);
+        other.data_ = nullptr;
+        other.size_ = 0;
+    }
+    return *this;
+}
+
+bool
+ShmSegment::create(const std::string &path, size_t bytes)
+{
+    close();
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+    if (fd < 0)
+        return false;
+    if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+        ::close(fd);
+        ::unlink(path.c_str());
+        return false;
+    }
+    void *mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                       MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (mem == MAP_FAILED) {
+        ::unlink(path.c_str());
+        return false;
+    }
+    std::memset(mem, 0, bytes);
+    data_ = mem;
+    size_ = bytes;
+    path_ = path;
+    return true;
+}
+
+bool
+ShmSegment::open(const std::string &path)
+{
+    close();
+    int fd = ::open(path.c_str(), O_RDWR);
+    if (fd < 0)
+        return false;
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+        ::close(fd);
+        return false;
+    }
+    void *mem = ::mmap(nullptr, static_cast<size_t>(st.st_size),
+                       PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (mem == MAP_FAILED)
+        return false;
+    data_ = mem;
+    size_ = static_cast<size_t>(st.st_size);
+    path_ = path;
+    return true;
+}
+
+void
+ShmSegment::close()
+{
+    if (data_ != nullptr) {
+        ::munmap(data_, size_);
+        data_ = nullptr;
+        size_ = 0;
+    }
+}
+
+bool
+ShmSegment::unlink()
+{
+    if (path_.empty())
+        return false;
+    return ::unlink(path_.c_str()) == 0;
+}
+
+std::vector<std::string>
+listSegments(const std::string &dir, const std::string &prefix)
+{
+    std::vector<std::string> names;
+    DIR *d = ::opendir(dir.c_str());
+    if (d == nullptr)
+        return names;
+    while (struct dirent *ent = ::readdir(d)) {
+        std::string name = ent->d_name;
+        if (name.size() >= prefix.size() &&
+            name.compare(0, prefix.size(), prefix) == 0)
+            names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+} // namespace ipc
+} // namespace specinfer

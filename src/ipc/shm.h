@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared-memory segments for the serving daemon's IPC plane.
+ *
+ * A segment is a file-backed mmap: by default the backing files
+ * live in /dev/shm (POSIX shared memory via the tmpfs mount, the
+ * tt9024 trading-stack idiom), but any directory works — tests
+ * point SPECINFER_IPC_DIR at a scratch dir so leak checks can
+ * enumerate leftover segments with plain readdir and sandboxed
+ * runs never touch the system shm namespace.
+ *
+ * Lifecycle contract: the *creator* sizes and zero-fills the
+ * segment; attachers map it read-write but never resize. Unlinking
+ * removes the name while live mappings stay valid (standard POSIX
+ * semantics) — that is what lets the daemon reap a crashed client's
+ * segment while the client, if it is merely hung, still holds a
+ * valid mapping and can discover the revocation.
+ */
+
+#ifndef SPECINFER_IPC_SHM_H
+#define SPECINFER_IPC_SHM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specinfer {
+namespace ipc {
+
+/** IPC directory: $SPECINFER_IPC_DIR, or /dev/shm/. */
+std::string defaultIpcDir();
+
+/**
+ * One file-backed shared mapping. Movable, not copyable; the
+ * mapping is released on destruction (the file persists until
+ * unlinked).
+ */
+class ShmSegment
+{
+  public:
+    ShmSegment() = default;
+    ~ShmSegment();
+
+    ShmSegment(ShmSegment &&other) noexcept;
+    ShmSegment &operator=(ShmSegment &&other) noexcept;
+    ShmSegment(const ShmSegment &) = delete;
+    ShmSegment &operator=(const ShmSegment &) = delete;
+
+    /**
+     * Create (or truncate) the backing file at `path`, size it to
+     * `bytes`, and map it zero-filled.
+     * @return false on any OS error (path unwritable, no space).
+     */
+    bool create(const std::string &path, size_t bytes);
+
+    /**
+     * Map an existing segment read-write at its current size.
+     * @return false when the file is missing, empty, or unmappable.
+     */
+    bool open(const std::string &path);
+
+    /** Unmap (keeps the backing file). Safe to call twice. */
+    void close();
+
+    /** Remove the backing file; live mappings stay valid. */
+    bool unlink();
+
+    bool valid() const { return data_ != nullptr; }
+    void *data() const { return data_; }
+    size_t size() const { return size_; }
+    const std::string &path() const { return path_; }
+
+  private:
+    void *data_ = nullptr;
+    size_t size_ = 0;
+    std::string path_;
+};
+
+/** Names (not paths) of directory entries starting with `prefix`,
+ *  sorted for deterministic scan order. */
+std::vector<std::string> listSegments(const std::string &dir,
+                                      const std::string &prefix);
+
+} // namespace ipc
+} // namespace specinfer
+
+#endif // SPECINFER_IPC_SHM_H

@@ -1,0 +1,180 @@
+#include "ipc/wire.h"
+
+#include <cstring>
+
+#include "obs/obs.h"
+#include "util/fault.h"
+
+namespace specinfer {
+namespace ipc {
+
+namespace {
+
+template <typename T>
+void
+put(std::vector<uint8_t> &out, T value)
+{
+    const size_t at = out.size();
+    out.resize(at + sizeof(T));
+    std::memcpy(out.data() + at, &value, sizeof(T));
+}
+
+template <typename T>
+bool
+take(const std::vector<uint8_t> &in, size_t *pos, T *value)
+{
+    if (in.size() - *pos < sizeof(T))
+        return false;
+    std::memcpy(value, in.data() + *pos, sizeof(T));
+    *pos += sizeof(T);
+    return true;
+}
+
+} // namespace
+
+const char *
+msgTypeName(MsgType type)
+{
+    switch (type) {
+      case MsgType::Hello:     return "hello";
+      case MsgType::HelloAck:  return "hello-ack";
+      case MsgType::Heartbeat: return "heartbeat";
+      case MsgType::Submit:    return "submit";
+      case MsgType::SubmitAck: return "submit-ack";
+      case MsgType::Reject:    return "reject";
+      case MsgType::Cancel:    return "cancel";
+      case MsgType::Resume:    return "resume";
+      case MsgType::Tokens:    return "tokens";
+      case MsgType::Finished:  return "finished";
+      case MsgType::Revoked:   return "revoked";
+      case MsgType::Goodbye:   return "goodbye";
+    }
+    return "unknown";
+}
+
+const char *
+wireRejectName(WireReject reason)
+{
+    switch (reason) {
+      case WireReject::None:          return "none";
+      case WireReject::QueueFull:     return "queue-full";
+      case WireReject::NeverFits:     return "never-fits";
+      case WireReject::InvalidPrompt: return "invalid-prompt";
+      case WireReject::Draining:      return "draining";
+    }
+    return "unknown";
+}
+
+std::vector<uint8_t>
+encodeMessage(const Message &msg)
+{
+    std::vector<uint8_t> out;
+    out.reserve(64 + msg.tokens.size() * sizeof(int));
+    put<uint32_t>(out, kWireVersion);
+    put<uint8_t>(out, static_cast<uint8_t>(msg.type));
+    put<uint64_t>(out, msg.id);
+    put<uint64_t>(out, msg.tag);
+    put<uint64_t>(out, msg.start);
+    put<uint64_t>(out, msg.epoch);
+    put<uint64_t>(out, msg.leaseTicks);
+    put<uint64_t>(out, msg.maxNewTokens);
+    put<uint8_t>(out, static_cast<uint8_t>(msg.reject));
+    put<uint8_t>(out, msg.stopReason);
+    put<uint32_t>(out, static_cast<uint32_t>(msg.tokens.size()));
+    for (int tok : msg.tokens)
+        put<int32_t>(out, tok);
+    return out;
+}
+
+bool
+decodeMessage(const std::vector<uint8_t> &bytes, Message *msg)
+{
+    size_t pos = 0;
+    uint32_t version = 0;
+    if (!take(bytes, &pos, &version) || version != kWireVersion)
+        return false;
+    uint8_t type = 0, reject = 0;
+    uint32_t count = 0;
+    if (!take(bytes, &pos, &type) || !take(bytes, &pos, &msg->id) ||
+        !take(bytes, &pos, &msg->tag) ||
+        !take(bytes, &pos, &msg->start) ||
+        !take(bytes, &pos, &msg->epoch) ||
+        !take(bytes, &pos, &msg->leaseTicks) ||
+        !take(bytes, &pos, &msg->maxNewTokens) ||
+        !take(bytes, &pos, &reject) ||
+        !take(bytes, &pos, &msg->stopReason) ||
+        !take(bytes, &pos, &count))
+        return false;
+    if (type < static_cast<uint8_t>(MsgType::Hello) ||
+        type > static_cast<uint8_t>(MsgType::Goodbye))
+        return false;
+    if (bytes.size() - pos != count * sizeof(int32_t))
+        return false;
+    msg->type = static_cast<MsgType>(type);
+    msg->reject = static_cast<WireReject>(reject);
+    msg->tokens.resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        int32_t tok = 0;
+        take(bytes, &pos, &tok);
+        msg->tokens[i] = tok;
+    }
+    return true;
+}
+
+bool
+ipcSend(ShmRing &ring, const Message &msg, obs::ObsContext *obs)
+{
+    // Injected transient send failure: the caller's retry loop
+    // absorbs it exactly like ring backpressure.
+    if (util::faultAt(util::FaultPoint::IpcSend)) {
+        if (obs != nullptr)
+            obs->metrics().counter("ipc_ring_full_retries")->inc();
+        return false;
+    }
+    const std::vector<uint8_t> bytes = encodeMessage(msg);
+    if (!ring.push(bytes.data(), bytes.size())) {
+        if (obs != nullptr)
+            obs->metrics().counter("ipc_ring_full_retries")->inc();
+        return false;
+    }
+    if (obs != nullptr) {
+        obs->metrics().counter("ipc_frames_sent")->inc();
+        obs->metrics().counter("ipc_bytes_sent")->inc(bytes.size());
+    }
+    return true;
+}
+
+RecvStatus
+ipcRecv(ShmRing &ring, Message *msg, obs::ObsContext *obs)
+{
+    // Injected consumer-side delay: the frame stays published and
+    // is delivered intact on a later poll.
+    if (util::faultAt(util::FaultPoint::IpcRecv))
+        return RecvStatus::Empty;
+    std::vector<uint8_t> bytes;
+    switch (ring.pop(bytes)) {
+      case PopStatus::Empty:
+        return RecvStatus::Empty;
+      case PopStatus::Corrupt:
+        if (obs != nullptr)
+            obs->metrics().counter("ipc_crc_rejects")->inc();
+        return RecvStatus::Corrupt;
+      case PopStatus::Ok:
+        break;
+    }
+    if (!decodeMessage(bytes, msg)) {
+        if (obs != nullptr)
+            obs->metrics().counter("ipc_crc_rejects")->inc();
+        return RecvStatus::Corrupt;
+    }
+    if (obs != nullptr) {
+        obs->metrics().counter("ipc_frames_received")->inc();
+        obs->metrics()
+            .counter("ipc_bytes_received")
+            ->inc(bytes.size());
+    }
+    return RecvStatus::Ok;
+}
+
+} // namespace ipc
+} // namespace specinfer

@@ -22,7 +22,7 @@ namespace {
 constexpr char kSnapMagic[4] = {'S', 'P', 'S', 'N'};
 // v2: resident shared-block intern table + per-request shared
 // holdings (prefix sharing).
-constexpr uint32_t kSnapVersion = 2;
+constexpr uint32_t kSnapVersion = 3;
 
 using model::io::readPod;
 using model::io::readPodVector;
@@ -119,7 +119,8 @@ readResult(std::istream &in)
 
 RequestManager::RequestManager(const core::SpecEngine *engine,
                                ServingConfig cfg)
-    : engine_(engine), cfg_(cfg), obs_(obs::resolveObs(cfg.obs))
+    : engine_(engine), cfg_(cfg), obs_(obs::resolveObs(cfg.obs)),
+      backoffRng_(cfg.backoffJitterSeed)
 {
     SPECINFER_CHECK(engine_ != nullptr, "null engine");
     SPECINFER_CHECK(cfg_.maxBatchSize > 0, "batch size must be >= 1");
@@ -294,6 +295,59 @@ RequestManager::settleCow(ActiveRequest &ar)
     ar.cowPending = 0;
 }
 
+size_t
+RequestManager::jitteredBackoff(size_t preemption_count)
+{
+    const size_t shift = std::min<size_t>(preemption_count, 16);
+    const size_t base =
+        std::min(size_t{1} << shift, cfg_.preemptBackoffCap);
+    // One draw per preemption, live or replayed, keeps the RNG
+    // cursor aligned across recovery.
+    const size_t jitter = static_cast<size_t>(
+        backoffRng_.uniformInt(static_cast<uint64_t>(base / 2 + 1)));
+    return base + jitter;
+}
+
+RequestManager::RequestPhase
+RequestManager::phase(uint64_t id) const
+{
+    for (const ActiveRequest &ar : active_)
+        if (ar.request.id == id)
+            return RequestPhase::Active;
+    for (const Request &req : pending_)
+        if (req.id == id)
+            return RequestPhase::Pending;
+    for (const RequestResult &res : finished_)
+        if (res.id == id)
+            return RequestPhase::Finished;
+    return RequestPhase::Unknown;
+}
+
+std::vector<int>
+RequestManager::generatedSoFar(uint64_t id) const
+{
+    for (const ActiveRequest &ar : active_)
+        if (ar.request.id == id)
+            return ar.session.generated();
+    for (const RequestResult &res : finished_)
+        if (res.id == id)
+            return res.tokens;
+    return {};
+}
+
+std::vector<RequestManager::InflightInfo>
+RequestManager::inflight() const
+{
+    std::vector<InflightInfo> out;
+    out.reserve(pending_.size() + active_.size());
+    for (const Request &req : pending_)
+        out.push_back({req.id, req.prompt, req.maxNewTokens});
+    for (const ActiveRequest &ar : active_)
+        out.push_back({ar.request.id, ar.request.prompt,
+                       ar.request.maxNewTokens});
+    return out;
+}
+
 bool
 RequestManager::tryReserve(uint64_t id, size_t tokens)
 {
@@ -351,13 +405,12 @@ RequestManager::requeuePreempted(Request &&req,
                       core::SpecSession::StopReason::Preempted);
         return;
     }
-    // Exponential backoff on re-admission: a request that keeps
-    // losing its memory waits out the contention instead of
-    // immediately re-stealing what it just lost.
-    const size_t shift =
-        std::min<size_t>(req.preemptionCount, size_t{16});
-    const size_t backoff =
-        std::min(size_t{1} << shift, cfg_.preemptBackoffCap);
+    // Jittered exponential backoff on re-admission: a request that
+    // keeps losing its memory waits out the contention instead of
+    // immediately re-stealing what it just lost, and the seeded
+    // jitter keeps a cohort of preempted requests from re-colliding
+    // in lockstep when their identical windows expire together.
+    const size_t backoff = jitteredBackoff(req.preemptionCount);
     req.earliestRestart = stats_.iterations + backoff;
     if (obs_ != nullptr && obs_->tracer().enabled()) {
         // Restart the queue-wait clock: the next queue span covers
@@ -689,6 +742,20 @@ RequestManager::runIteration()
         // shared block: release the shared reference — the private
         // block charged at admission owns those positions now.
         settleCow(active_[i]);
+        if (stepObserver_) {
+            // logProbs() is parallel to generated(), so lp_before is
+            // the pre-step generated length: everything past it is
+            // this step's freshly committed tokens.
+            const std::vector<int> gen =
+                active_[i].session.generated();
+            if (gen.size() > lp_before)
+                stepObserver_(active_[i].request.id, lp_before,
+                              std::vector<int>(
+                                  gen.begin() +
+                                      static_cast<ptrdiff_t>(
+                                          lp_before),
+                                  gen.end()));
+        }
         ++stats_.requestIterations;
         const core::StepRecord &last =
             active_[i].session.stats().steps.back();
@@ -929,6 +996,14 @@ RequestManager::writeSnapshot(std::ostream &out) const
     writePod<uint64_t>(out, degr_.reenableIteration);
     writePod<uint64_t>(out, degr_.disableEpisodes);
 
+    // Backoff-jitter RNG cursor: recovery must resume with the same
+    // draw sequence an uninterrupted run would have used, or
+    // post-crash preemption windows (and thus token-identity)
+    // diverge.
+    const util::RngState rng_state = backoffRng_.state();
+    for (uint64_t word : rng_state.s)
+        writePod<uint64_t>(out, word);
+
     writePod<uint64_t>(out, pending_.size());
     for (const Request &req : pending_)
         writeRequest(out, req);
@@ -1075,6 +1150,10 @@ RequestManager::applyRecord(const JournalRecord &rec)
         }
         if (kvPool_ && kvPool_->requestBlocks(rec.id) > 0)
             kvPool_->release(rec.id);
+        // Consume the jitter draw the live run made so the RNG
+        // cursor stays aligned; the journaled restart window is
+        // authoritative.
+        (void)jitteredBackoff(rec.preemptionCount);
         req.preemptionCount = rec.preemptionCount;
         req.earliestRestart = rec.earliestRestart;
         pending_.push_front(std::move(req));
@@ -1198,6 +1277,11 @@ RequestManager::recover(std::istream *snapshot, std::istream *journal)
         degr_.currentBackoff = readPod<uint64_t>(*snapshot);
         degr_.reenableIteration = readPod<uint64_t>(*snapshot);
         degr_.disableEpisodes = readPod<uint64_t>(*snapshot);
+
+        util::RngState rng_state;
+        for (uint64_t &word : rng_state.s)
+            word = readPod<uint64_t>(*snapshot);
+        backoffRng_.setState(rng_state);
 
         uint64_t n_pending = readPod<uint64_t>(*snapshot);
         SPECINFER_CHECK(n_pending < (1ull << 32),

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <optional>
@@ -107,6 +108,16 @@ struct ServingConfig
     /** Cap on the exponential re-admission backoff applied after
      *  each preemption (iterations). */
     size_t preemptBackoffCap = 64;
+
+    /**
+     * Seed of the RNG that jitters the preemption re-admission
+     * backoff. Deterministic backoff makes every preempted request
+     * re-collide in lockstep (they all wait exactly 2^k and storm
+     * the pool together); a seeded jitter of up to half the base
+     * window de-synchronizes them while keeping every test and
+     * journal replay reproducible from the seed.
+     */
+    uint64_t backoffJitterSeed = 0x6a177e5ULL;
 
     /** Disable speculation after this many consecutive iterations
      *  with an injected speculator fault (0 = never degrade). */
@@ -286,6 +297,50 @@ class RequestManager
     /** Move out the finished results (clients draining output). */
     std::vector<RequestResult> takeFinished();
 
+    // --- Streaming / daemon integration ---------------------------
+
+    /**
+     * Per-step token stream observer: called once per committed
+     * decode step that produced tokens, with the request id, the
+     * index of the first new generated token, and the new tokens
+     * themselves — the hook the serving daemon streams responses
+     * from. Fires only for live decode steps, never during journal
+     * replay (a recovering daemon re-streams from generatedSoFar()
+     * instead, which keeps the stream idempotent). Pass nullptr to
+     * detach.
+     */
+    using StepObserver = std::function<void(
+        uint64_t id, size_t start, const std::vector<int> &tokens)>;
+    void setStepObserver(StepObserver observer)
+    {
+        stepObserver_ = std::move(observer);
+    }
+
+    /** Where a request currently lives. */
+    enum class RequestPhase
+    {
+        Unknown,  ///< never submitted or already taken out
+        Pending,  ///< queued
+        Active,   ///< decoding
+        Finished, ///< result available in finished()
+    };
+    RequestPhase phase(uint64_t id) const;
+
+    /** Generated tokens so far for an active or finished request
+     *  (empty for pending/unknown) — the resume path for clients
+     *  reconnecting after a daemon restart. */
+    std::vector<int> generatedSoFar(uint64_t id) const;
+
+    /** Identity of every pending or active request (a restarting
+     *  daemon re-records its recovered in-flight stream). */
+    struct InflightInfo
+    {
+        uint64_t id = 0;
+        std::vector<int> prompt;
+        size_t maxNewTokens = 0;
+    };
+    std::vector<InflightInfo> inflight() const;
+
     /**
      * Sync ServingStats, queue depths, and thread-pool job counts
      * into the serving_* / pool_* gauges. Gauge-sync (rather than
@@ -417,6 +472,12 @@ class RequestManager
      *  injected failure is indistinguishable from pool pressure. */
     bool tryReserve(uint64_t id, size_t tokens);
 
+    /** Jittered exponential re-admission backoff for the given
+     *  preemption count: base 2^count capped at preemptBackoffCap,
+     *  plus a seeded uniform jitter in [0, base/2]. Consumes one
+     *  draw from backoffRng_ (replay consumes the same draw). */
+    size_t jitteredBackoff(size_t preemption_count);
+
     /** Requeue a preempted request with exponential backoff, or
      *  fail it cleanly when its retry budget is exhausted; sheds
      *  the newest pending request if the requeue overflows a
@@ -474,6 +535,10 @@ class RequestManager
     std::unique_ptr<model::PrefixKvStore> prefixStore_;
     JournalWriter *journal_ = nullptr;
     bool crashed_ = false;
+    StepObserver stepObserver_;
+    /** Preemption-backoff jitter source; state is snapshotted and
+     *  replay re-draws, so recovery stays bit-identical. */
+    util::Rng backoffRng_;
 };
 
 } // namespace runtime

@@ -26,6 +26,12 @@ faultPointName(FaultPoint point)
         return "slow-iteration";
       case FaultPoint::Crash:
         return "crash";
+      case FaultPoint::IpcSend:
+        return "ipc-send";
+      case FaultPoint::IpcRecv:
+        return "ipc-recv";
+      case FaultPoint::ClientReap:
+        return "client-reap";
     }
     return "unknown";
 }

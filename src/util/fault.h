@@ -69,10 +69,26 @@ enum class FaultPoint : int
      *  all in-memory state is considered lost. Recovery replays the
      *  write-ahead journal on top of the last snapshot. */
     Crash = 4,
+
+    /** A shared-memory ring push failed transiently (models a
+     *  paused peer, an overloaded bus, a ring momentarily full);
+     *  the sender keeps the frame queued and retries next tick —
+     *  never drops or reorders. */
+    IpcSend = 5,
+
+    /** A shared-memory ring pop is delayed one poll (models
+     *  scheduling jitter on the consumer side); the frame is
+     *  delivered intact on a later poll. */
+    IpcRecv = 6,
+
+    /** A spurious client-lease expiry: the daemon reaps a live,
+     *  heartbeating client exactly as if it had crashed. The client
+     *  library must detect the revocation and reconnect. */
+    ClientReap = 7,
 };
 
 /** Number of distinct fault points. */
-constexpr size_t kFaultPointCount = 5;
+constexpr size_t kFaultPointCount = 8;
 
 /** Human-readable fault point name (for logs and repro lines). */
 const char *faultPointName(FaultPoint point);

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Chaos soak for the specinferd serving plane (the ISSUE acceptance
+ * gate): ≥1000 co-op rounds of random client submits, kill -9
+ * abandons, daemon crash + journal recovery, and armed ipc-send /
+ * ipc-recv / client-reap fault points — all from one seed.
+ *
+ * Invariants checked at the end:
+ *  - every surviving client's request resolves, token-identical to
+ *    the standalone engine (exact for normal finishes, prefix for
+ *    reap/cancel aborts);
+ *  - zero leaked KV blocks once the daemon is idle;
+ *  - zero leaked shared-memory segments after drain;
+ *  - the cross-generation recording replays token-identically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "../model/test_models.h"
+#include "ipc/client.h"
+#include "ipc/daemon.h"
+#include "ipc/replay.h"
+#include "runtime/kv_memory.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+#include "ipc_test_util.h"
+
+namespace specinfer {
+namespace ipc {
+namespace {
+
+using StopReason = core::SpecSession::StopReason;
+using testutil::Fixture;
+
+struct TrackedRequest
+{
+    uint64_t tag = 0;
+    std::vector<int> prompt;
+    size_t maxNewTokens = 0;
+};
+
+struct LiveClient
+{
+    std::unique_ptr<Client> client;
+    std::vector<TrackedRequest> requests;
+};
+
+bool
+abortedStop(uint8_t stop)
+{
+    switch (static_cast<StopReason>(stop)) {
+      case StopReason::Deadline:
+      case StopReason::Cancelled:
+      case StopReason::Preempted:
+      case StopReason::Shed:
+        return true;
+      default:
+        return false;
+    }
+}
+
+TEST(DaemonSoakTest, ChaosSoakKeepsEveryInvariant)
+{
+    constexpr size_t kChaosRounds = 1100;
+    constexpr size_t kMaxClients = 4;
+    constexpr size_t kMaxCrashes = 5;
+    constexpr size_t kMaxKills = 8;
+
+    Fixture f;
+    util::Rng chaos(0x50a4ca05ULL);
+
+    runtime::ServingConfig scfg;
+    scfg.maxBatchSize = 3;
+    scfg.kvPoolBlocks = 64; // exercises the leak assertion
+    scfg.kvBlockTokens = 16;
+
+    DaemonConfig dcfg = f.daemonConfig();
+    dcfg.journalPath = f.dir + "/soak.wal";
+    dcfg.recordPath = f.dir + "/soak.rec";
+    dcfg.snapshotEvery = 8;
+    dcfg.leaseTicks = 16;
+
+    auto daemon =
+        std::make_unique<Daemon>(&f.engine, scfg, dcfg);
+    ASSERT_TRUE(daemon->start());
+
+    // Widely spaced nonces: reconnects bump by one, and in-process
+    // clients share a pid, so blocks of 1000 can never collide.
+    uint64_t next_nonce = 1000;
+    std::vector<LiveClient> clients;
+    auto spawn = [&]() {
+        LiveClient lc;
+        lc.client =
+            std::make_unique<Client>(f.clientConfig(next_nonce));
+        next_nonce += 1000;
+        ASSERT_EQ(lc.client->connect(), ClientStatus::Pending);
+        clients.push_back(std::move(lc));
+    };
+    for (int i = 0; i < 3; ++i)
+        spawn();
+
+    size_t crashes = 0, kills = 0, submits = 0, reconnects = 0;
+    {
+        util::FaultInjector injector(0xfa177ab1e5ULL);
+        injector.setProbability(util::FaultPoint::IpcSend, 0.05);
+        injector.setProbability(util::FaultPoint::IpcRecv, 0.05);
+        injector.setProbability(util::FaultPoint::ClientReap,
+                                0.001);
+        util::FaultScope scope(&injector);
+
+        for (size_t round = 0; round < kChaosRounds; ++round) {
+            // Replace fallen clients (up to the cap).
+            if (clients.size() < kMaxClients &&
+                chaos.uniformInt(100) < 4)
+                spawn();
+
+            // Random submit on a random client.
+            if (!clients.empty() && chaos.uniformInt(100) < 15) {
+                LiveClient &lc = clients[static_cast<size_t>(
+                    chaos.uniformInt(clients.size()))];
+                TrackedRequest req;
+                req.prompt = specinfer::testing::randomPrompt(
+                    chaos, 2 + static_cast<size_t>(
+                                   chaos.uniformInt(5)),
+                    64);
+                req.maxNewTokens =
+                    4 + static_cast<size_t>(chaos.uniformInt(7));
+                req.tag = lc.client->submit(req.prompt,
+                                            req.maxNewTokens);
+                lc.requests.push_back(std::move(req));
+                ++submits;
+            }
+
+            // kill -9 a random client: no goodbye, no unlink.
+            if (kills < kMaxKills && clients.size() > 1 &&
+                chaos.uniformInt(1000) < 8) {
+                const size_t victim = static_cast<size_t>(
+                    chaos.uniformInt(clients.size()));
+                clients[victim].client->abandon();
+                clients.erase(clients.begin() +
+                              static_cast<ptrdiff_t>(victim));
+                ++kills;
+            }
+
+            // Crash the daemon (destructor, no drain) and restart
+            // over the same journal/recording/segments.
+            if (crashes < kMaxCrashes &&
+                chaos.uniformInt(1000) < 5) {
+                daemon.reset();
+                daemon = std::make_unique<Daemon>(&f.engine, scfg,
+                                                  dcfg);
+                ASSERT_TRUE(daemon->start());
+                ++crashes;
+            }
+
+            for (LiveClient &lc : clients) {
+                const ClientStatus status = lc.client->poll();
+                ASSERT_NE(status, ClientStatus::Corrupt)
+                    << "round " << round;
+                ASSERT_NE(status, ClientStatus::DaemonGone)
+                    << "round " << round;
+                if (status == ClientStatus::LeaseRevoked) {
+                    ASSERT_EQ(lc.client->reconnect(),
+                              ClientStatus::Pending);
+                    ++reconnects;
+                }
+            }
+            daemon->tick();
+        }
+    } // faults disarmed; the settle phase runs clean
+
+    // Settle: reap every abandoned segment, then finish all work.
+    for (size_t r = 0; r < dcfg.leaseTicks + 8; ++r) {
+        for (LiveClient &lc : clients) {
+            if (lc.client->poll() == ClientStatus::LeaseRevoked) {
+                ASSERT_EQ(lc.client->reconnect(),
+                          ClientStatus::Pending);
+            }
+        }
+        daemon->tick();
+    }
+    for (size_t r = 0; r < 8000; ++r) {
+        size_t inflight = 0;
+        for (LiveClient &lc : clients) {
+            if (lc.client->poll() == ClientStatus::LeaseRevoked) {
+                ASSERT_EQ(lc.client->reconnect(),
+                          ClientStatus::Pending);
+            }
+            inflight += lc.client->inflightCount();
+        }
+        daemon->tick();
+        if (inflight == 0 && !daemon->manager().busy())
+            break;
+    }
+
+    SCOPED_TRACE("submits=" + std::to_string(submits) +
+                 " kills=" + std::to_string(kills) +
+                 " crashes=" + std::to_string(crashes) +
+                 " reconnects=" + std::to_string(reconnects) +
+                 " reaps=" + std::to_string(daemon->reapCount()));
+    ASSERT_GT(submits, 50u) << "chaos schedule degenerated";
+
+    // Every surviving client's request resolved token-identically:
+    // exact for normal finishes, oracle-prefix for aborts (greedy
+    // decoding is request-seed-independent, so resubmitted tags
+    // match the same oracle).
+    for (LiveClient &lc : clients) {
+        for (const TrackedRequest &tracked : lc.requests) {
+            const ClientRequest *req =
+                lc.client->request(tracked.tag);
+            ASSERT_NE(req, nullptr);
+            ASSERT_TRUE(req->finished ||
+                        req->reject != WireReject::None)
+                << "tag " << tracked.tag << " never resolved";
+            if (!req->finished)
+                continue; // typed rejection is a clean outcome
+            const std::vector<int> full = f.oracle(
+                tracked.prompt, req->id, tracked.maxNewTokens);
+            if (abortedStop(req->stopReason)) {
+                ASSERT_LE(req->tokens.size(), full.size());
+                EXPECT_TRUE(std::equal(req->tokens.begin(),
+                                       req->tokens.end(),
+                                       full.begin()))
+                    << "tag " << tracked.tag;
+            } else {
+                EXPECT_EQ(req->tokens, full)
+                    << "tag " << tracked.tag;
+            }
+        }
+    }
+
+    // Idle daemon holds zero KV blocks — nothing leaked across
+    // preemptions, cancels, reaps, or crash recovery.
+    ASSERT_FALSE(daemon->manager().busy());
+    ASSERT_NE(daemon->manager().kvPool(), nullptr);
+    EXPECT_EQ(daemon->manager().kvPool()->usedBlocks(), 0u);
+
+    daemon->drain();
+    for (LiveClient &lc : clients)
+        lc.client->disconnect();
+    EXPECT_TRUE(listSegments(f.dir, "specinferd").empty())
+        << "leaked shared-memory segments";
+
+    // The recording spans every daemon generation and replays
+    // token-identically offline.
+    std::ifstream rec(dcfg.recordPath, std::ios::binary);
+    ASSERT_TRUE(rec.good());
+    std::ostringstream log;
+    ReplayResult res = replayRecording(rec, log);
+    EXPECT_TRUE(res.ok) << log.str();
+    EXPECT_EQ(res.mismatches, 0u) << log.str();
+    EXPECT_GT(res.finishesChecked, 0u);
+}
+
+} // namespace
+} // namespace ipc
+} // namespace specinfer

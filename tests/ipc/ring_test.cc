@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Edge-case tests for the SPSC shared-memory ring: wrap-around at
+ * capacity, producer backpressure, torn/corrupt frame handling
+ * (sticky poisoning), dual-view attachment, and a two-thread
+ * producer/consumer hammer for the sanitizer sweeps.
+ */
+
+#include "ipc/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace specinfer {
+namespace ipc {
+namespace {
+
+/** 64-byte-aligned backing region for a ring (mmap stand-in). */
+struct RingMemory
+{
+    explicit RingMemory(size_t capacity)
+    {
+        size_t bytes = ShmRing::footprint(capacity);
+        bytes = (bytes + 63) & ~size_t{63};
+        mem = std::aligned_alloc(64, bytes);
+        std::memset(mem, 0, bytes);
+    }
+    ~RingMemory() { std::free(mem); }
+
+    RingMemory(const RingMemory &) = delete;
+    RingMemory &operator=(const RingMemory &) = delete;
+
+    RingShared *shared() { return static_cast<RingShared *>(mem); }
+
+    void *mem = nullptr;
+};
+
+std::vector<uint8_t>
+payloadFor(uint64_t i, size_t len)
+{
+    std::vector<uint8_t> bytes(len);
+    for (size_t k = 0; k < len; ++k)
+        bytes[k] = static_cast<uint8_t>((i * 131 + k * 7) & 0xff);
+    return bytes;
+}
+
+TEST(ShmRingTest, RoundTripPreservesFrames)
+{
+    RingMemory mem(256);
+    ShmRing ring;
+    ASSERT_TRUE(ring.attach(mem.mem, 256, /*init=*/true));
+
+    for (uint64_t i = 0; i < 8; ++i) {
+        const std::vector<uint8_t> payload = payloadFor(i, 5 + i);
+        ASSERT_TRUE(ring.push(payload.data(), payload.size()));
+    }
+    std::vector<uint8_t> out;
+    for (uint64_t i = 0; i < 8; ++i) {
+        ASSERT_EQ(ring.pop(out), PopStatus::Ok);
+        EXPECT_EQ(out, payloadFor(i, 5 + i));
+    }
+    EXPECT_EQ(ring.pop(out), PopStatus::Empty);
+}
+
+TEST(ShmRingTest, ZeroLengthFrameIsLegal)
+{
+    RingMemory mem(64);
+    ShmRing ring;
+    ASSERT_TRUE(ring.attach(mem.mem, 64, true));
+    ASSERT_TRUE(ring.push(nullptr, 0));
+    std::vector<uint8_t> out{1, 2, 3};
+    ASSERT_EQ(ring.pop(out), PopStatus::Ok);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(ShmRingTest, WrapAroundManyFramesOnTinyRing)
+{
+    // A 128-byte ring forced through thousands of wrap-arounds with
+    // varying frame lengths: every frame must come back intact no
+    // matter where it straddles the physical boundary.
+    RingMemory mem(128);
+    ShmRing ring;
+    ASSERT_TRUE(ring.attach(mem.mem, 128, true));
+
+    std::vector<uint8_t> out;
+    for (uint64_t i = 0; i < 5000; ++i) {
+        const size_t len = 1 + static_cast<size_t>(i % 61);
+        const std::vector<uint8_t> payload = payloadFor(i, len);
+        ASSERT_TRUE(ring.push(payload.data(), payload.size()))
+            << "push " << i;
+        ASSERT_EQ(ring.pop(out), PopStatus::Ok) << "pop " << i;
+        ASSERT_EQ(out, payload) << "frame " << i;
+    }
+    EXPECT_FALSE(ring.poisoned());
+}
+
+TEST(ShmRingTest, BackpressureRefusesThenRecovers)
+{
+    RingMemory mem(128);
+    ShmRing ring;
+    ASSERT_TRUE(ring.attach(mem.mem, 128, true));
+
+    // Fill to the brim (16-byte frames: 8 header + 8 payload).
+    const std::vector<uint8_t> payload = payloadFor(7, 8);
+    size_t pushed = 0;
+    while (ring.push(payload.data(), payload.size()))
+        ++pushed;
+    EXPECT_EQ(pushed, 8u);
+    EXPECT_EQ(ring.freeBytes(), 0u);
+
+    // Full ring: push refuses without writing anything...
+    EXPECT_FALSE(ring.push(payload.data(), payload.size()));
+    EXPECT_FALSE(ring.poisoned());
+
+    // ...and one drained frame is exactly one frame of headroom.
+    std::vector<uint8_t> out;
+    ASSERT_EQ(ring.pop(out), PopStatus::Ok);
+    EXPECT_TRUE(ring.push(payload.data(), payload.size()));
+    EXPECT_FALSE(ring.push(payload.data(), payload.size()));
+
+    for (size_t i = 0; i < pushed; ++i)
+        ASSERT_EQ(ring.pop(out), PopStatus::Ok);
+    EXPECT_EQ(ring.pop(out), PopStatus::Empty);
+}
+
+TEST(ShmRingTest, OversizedPayloadNeverFits)
+{
+    RingMemory mem(64);
+    ShmRing ring;
+    ASSERT_TRUE(ring.attach(mem.mem, 64, true));
+    std::vector<uint8_t> huge(64, 0xab); // 64 + 8 header > capacity
+    EXPECT_FALSE(ring.push(huge.data(), huge.size()));
+    // The refusal is stateless: small frames still flow.
+    EXPECT_TRUE(ring.push(huge.data(), 8));
+}
+
+TEST(ShmRingTest, CorruptPayloadPoisonsStickily)
+{
+    RingMemory mem(256);
+    ShmRing ring;
+    ASSERT_TRUE(ring.attach(mem.mem, 256, true));
+
+    const std::vector<uint8_t> payload = payloadFor(3, 16);
+    ASSERT_TRUE(ring.push(payload.data(), payload.size()));
+    ASSERT_TRUE(ring.push(payload.data(), payload.size()));
+
+    // A compromised producer flips one published payload byte; the
+    // frame starts at offset 0, payload after the 8-byte header.
+    mem.shared()->data[8] ^= 0x01;
+
+    std::vector<uint8_t> out;
+    EXPECT_EQ(ring.pop(out), PopStatus::Corrupt);
+    EXPECT_TRUE(ring.poisoned());
+
+    // Fail-stop: the poison is sticky in both directions, even for
+    // the second (undamaged) frame.
+    EXPECT_EQ(ring.pop(out), PopStatus::Corrupt);
+    EXPECT_FALSE(ring.push(payload.data(), payload.size()));
+}
+
+TEST(ShmRingTest, TornFrameIsInvisibleUntilPublished)
+{
+    RingMemory mem(128);
+    ShmRing ring;
+    ASSERT_TRUE(ring.attach(mem.mem, 128, true));
+
+    // A producer that died mid-frame wrote bytes but never advanced
+    // head: the consumer must see an empty ring, not garbage.
+    std::memset(mem.shared()->data, 0xee, 24);
+    std::vector<uint8_t> out;
+    EXPECT_EQ(ring.pop(out), PopStatus::Empty);
+    EXPECT_FALSE(ring.poisoned());
+}
+
+TEST(ShmRingTest, PublishedGarbageLengthIsCorrupt)
+{
+    RingMemory mem(128);
+    ShmRing ring;
+    ASSERT_TRUE(ring.attach(mem.mem, 128, true));
+
+    // A buggy producer publishes head over an impossible frame
+    // length; the consumer must fail-stop instead of reading past
+    // the published extent.
+    uint32_t bogus_len = 0xffffffffu;
+    std::memcpy(mem.shared()->data, &bogus_len, sizeof(bogus_len));
+    mem.shared()->head.store(16, std::memory_order_release);
+
+    std::vector<uint8_t> out;
+    EXPECT_EQ(ring.pop(out), PopStatus::Corrupt);
+    EXPECT_TRUE(ring.poisoned());
+}
+
+TEST(ShmRingTest, SecondViewAttachesAndConsumes)
+{
+    // Producer and consumer sides hold independent views over the
+    // same region, the cross-process topology in miniature.
+    RingMemory mem(256);
+    ShmRing producer;
+    ASSERT_TRUE(producer.attach(mem.mem, 256, /*init=*/true));
+    ShmRing consumer;
+    ASSERT_TRUE(consumer.attach(mem.mem, 256, /*init=*/false));
+
+    const std::vector<uint8_t> payload = payloadFor(9, 12);
+    ASSERT_TRUE(producer.push(payload.data(), payload.size()));
+    std::vector<uint8_t> out;
+    ASSERT_EQ(consumer.pop(out), PopStatus::Ok);
+    EXPECT_EQ(out, payload);
+
+    // Cursors are shared: the producer's view sees the drain.
+    EXPECT_EQ(producer.usedBytes(), 0u);
+}
+
+TEST(ShmRingTest, AttachRejectsUnformattedMemory)
+{
+    RingMemory mem(256);
+    ShmRing ring;
+    EXPECT_FALSE(ring.attach(mem.mem, 256, /*init=*/false));
+    EXPECT_FALSE(ring.attach(nullptr, 256, true));
+    EXPECT_FALSE(ring.attach(mem.mem, 100, true)); // not a power of 2
+}
+
+TEST(ShmRingTest, TwoThreadHammer)
+{
+    // SPSC hammer under the sanitizers: one producer thread, one
+    // consumer thread, a deliberately tiny ring so both sides spin
+    // on full/empty constantly. Any missing barrier shows up as a
+    // TSan race or a payload mismatch.
+    constexpr uint64_t kFrames = 20000;
+    RingMemory mem(512);
+    ShmRing producer;
+    ASSERT_TRUE(producer.attach(mem.mem, 512, true));
+    ShmRing consumer;
+    ASSERT_TRUE(consumer.attach(mem.mem, 512, false));
+
+    std::thread feeder([&producer]() {
+        for (uint64_t i = 0; i < kFrames; ++i) {
+            const size_t len = 1 + static_cast<size_t>(i % 97);
+            const std::vector<uint8_t> payload = payloadFor(i, len);
+            while (!producer.push(payload.data(), payload.size()))
+                std::this_thread::yield();
+        }
+    });
+
+    std::vector<uint8_t> out;
+    for (uint64_t i = 0; i < kFrames; ++i) {
+        PopStatus status;
+        while ((status = consumer.pop(out)) == PopStatus::Empty)
+            std::this_thread::yield();
+        ASSERT_EQ(status, PopStatus::Ok) << "frame " << i;
+        const size_t len = 1 + static_cast<size_t>(i % 97);
+        ASSERT_EQ(out, payloadFor(i, len)) << "frame " << i;
+    }
+    feeder.join();
+    EXPECT_EQ(consumer.pop(out), PopStatus::Empty);
+    EXPECT_FALSE(consumer.poisoned());
+}
+
+} // namespace
+} // namespace ipc
+} // namespace specinfer

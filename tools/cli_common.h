@@ -7,8 +7,11 @@
 #ifndef SPECINFER_TOOLS_CLI_COMMON_H
 #define SPECINFER_TOOLS_CLI_COMMON_H
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -90,18 +93,64 @@ writeObsOutputs(obs::ObsContext *ctx,
 inline core::ExpansionConfig
 parseExpansion(const std::string &text)
 {
-    core::ExpansionConfig cfg;
-    size_t pos = 0;
-    while (pos < text.size()) {
-        size_t comma = text.find(',', pos);
-        if (comma == std::string::npos)
-            comma = text.size();
-        cfg.widths.push_back(static_cast<size_t>(
-            std::stoul(text.substr(pos, comma - pos))));
-        pos = comma + 1;
-    }
-    cfg.validate();
-    return cfg;
+    return core::ExpansionConfig::parse(text);
+}
+
+// --- Signal-flush handling (SIGINT/SIGTERM) ----------------------
+//
+// Long-running tools install these so an operator interrupt still
+// produces the requested observability artifacts (and, via the
+// hook, a flushed journal) instead of a silently truncated run.
+// The process exits with the conventional 128+signo code, which is
+// how scripts distinguish an interrupted run from a clean one.
+
+namespace detail {
+inline volatile std::sig_atomic_t g_signal_fired = 0;
+inline obs::ObsContext *g_signal_obs = nullptr;
+inline std::string g_signal_metrics;
+inline std::string g_signal_trace;
+
+inline std::function<void()> &
+signalFlushHook()
+{
+    static std::function<void()> hook;
+    return hook;
+}
+
+inline void
+onFlushSignal(int signo)
+{
+    // Re-entrant delivery (second ^C) skips straight to exit.
+    if (g_signal_fired != 0)
+        std::_Exit(128 + signo);
+    g_signal_fired = 1;
+    if (signalFlushHook())
+        signalFlushHook()();
+    writeObsOutputs(g_signal_obs, g_signal_metrics, g_signal_trace);
+    std::_Exit(128 + signo);
+}
+} // namespace detail
+
+/** Install SIGINT/SIGTERM handlers that run the registered flush
+ *  hook, write the obs exports, and exit 128+signo. */
+inline void
+installSignalFlush(obs::ObsContext *ctx,
+                   const std::string &metrics_path,
+                   const std::string &trace_path)
+{
+    detail::g_signal_obs = ctx;
+    detail::g_signal_metrics = metrics_path;
+    detail::g_signal_trace = trace_path;
+    std::signal(SIGINT, detail::onFlushSignal);
+    std::signal(SIGTERM, detail::onFlushSignal);
+}
+
+/** Extra work (journal flush, snapshot) run before the obs export
+ *  when a flush signal arrives; replaces any previous hook. */
+inline void
+setSignalFlushHook(std::function<void()> hook)
+{
+    detail::signalFlushHook() = std::move(hook);
 }
 
 /** Print one request's outcome. */

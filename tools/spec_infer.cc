@@ -97,6 +97,12 @@ serveJournaled(core::SpecEngine &engine,
                     "cannot write journal '" << journal_path << "'");
     runtime::JournalWriter journal(journal_out);
     manager.attachJournal(&journal);
+    // An operator interrupt mid-serve still leaves a recoverable
+    // journal prefix on disk (satellite of the daemon work: every
+    // serving entry point flushes state on SIGINT/SIGTERM).
+    tools::setSignalFlushHook([&journal_out]() {
+        journal_out.flush();
+    });
     auto snapshot = [&]() {
         std::ofstream snap_out(snap_path,
                                std::ios::binary | std::ios::trunc);
@@ -145,6 +151,7 @@ serveJournaled(core::SpecEngine &engine,
                 "(%.2f tokens/step) over %zu iterations\n",
                 tokens, steps, tokens / steps,
                 static_cast<size_t>(manager.stats().iterations));
+    tools::setSignalFlushHook(nullptr); // journal_out leaves scope
     return 0;
 }
 
@@ -174,6 +181,8 @@ main(int argc, char **argv)
     // manager is constructed, so every layer resolves it.
     std::unique_ptr<obs::ObsContext> obs_ctx =
         tools::makeObsFromFlags(metrics_out, trace_out);
+    tools::installSignalFlush(obs_ctx.get(), metrics_out,
+                              trace_out);
 
     model::Transformer llm =
         model::makeLlm(model::llmPreset(llm_name));

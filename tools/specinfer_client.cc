@@ -1,0 +1,169 @@
+/**
+ * @file
+ * specinfer_client — drive requests through a running specinferd.
+ *
+ * Submits dataset prompts over the shared-memory plane, streams the
+ * responses, and prints each finished request's tokens in the exact
+ * `  tokens: ...` format of `spec_infer --verbose`, so the daemon
+ * smoke test can diff a multi-process run against the in-process
+ * oracle line-for-line.
+ *
+ * Usage:
+ *   specinfer_client [--dir DIR] [--llm llama-7b-sim]
+ *                    [--dataset Alpaca] [--num-prompts 3]
+ *                    [--prompt-start 0] [--max-tokens 32]
+ *                    [--poll-micros 500] [--max-polls 400000]
+ *                    [--stall-polls 4000]
+ *                    [--abandon-after-tokens N] [--verbose]
+ *
+ * --abandon-after-tokens simulates a crashing client from inside:
+ * once N tokens have streamed in, the process abandons its channel
+ * (no goodbye, no unlink — kill -9 semantics) and exits 7; the
+ * daemon's lease reaper must clean up.
+ *
+ * Exit codes: 0 all finished, 2 a submit was rejected, 4 daemon
+ * gone, 5 timed out, 6 corrupt channel, 7 abandoned on purpose.
+ */
+
+#include "cli_common.h"
+
+#include <chrono>
+#include <thread>
+
+#include "ipc/client.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace specinfer;
+    util::Flags flags(argc, argv);
+    flags.allowOnly({"dir", "llm", "dataset", "num-prompts",
+                     "prompt-start", "max-tokens", "poll-micros",
+                     "max-polls", "stall-polls",
+                     "abandon-after-tokens", "verbose"});
+
+    const std::string llm_name = flags.get("llm", "llama-7b-sim");
+    const std::string dataset_name = flags.get("dataset", "Alpaca");
+    const size_t num_prompts =
+        static_cast<size_t>(flags.getInt("num-prompts", 3));
+    const size_t prompt_start =
+        static_cast<size_t>(flags.getInt("prompt-start", 0));
+    const size_t max_tokens =
+        static_cast<size_t>(flags.getInt("max-tokens", 32));
+    const bool verbose = flags.getBool("verbose");
+    const int64_t abandon_after =
+        flags.getInt("abandon-after-tokens", -1);
+    const auto poll_sleep = std::chrono::microseconds(
+        static_cast<long>(flags.getInt("poll-micros", 500)));
+    const size_t max_polls =
+        static_cast<size_t>(flags.getInt("max-polls", 400000));
+
+    // Prompts only need the model's vocab size, not its weights.
+    workload::PromptDataset dataset = workload::PromptDataset::named(
+        dataset_name, model::llmPreset(llm_name).vocabSize);
+
+    ipc::ClientConfig ccfg;
+    ccfg.dir = flags.get("dir", "");
+    ccfg.backoffUnitMicros = 200;
+    ccfg.stallPollLimit =
+        static_cast<size_t>(flags.getInt("stall-polls", 4000));
+    ipc::Client client(ccfg);
+
+    ipc::ClientStatus status = client.connect();
+    if (status != ipc::ClientStatus::Pending) {
+        std::fprintf(stderr, "specinfer_client: connect: %s\n",
+                     ipc::clientStatusName(status));
+        return 4;
+    }
+    status = client.waitConnected(max_polls);
+    if (status != ipc::ClientStatus::Ok) {
+        std::fprintf(stderr, "specinfer_client: handshake: %s\n",
+                     ipc::clientStatusName(status));
+        return status == ipc::ClientStatus::Timeout ? 5 : 4;
+    }
+
+    std::vector<uint64_t> tags;
+    for (size_t i = 0; i < num_prompts; ++i)
+        tags.push_back(client.submit(
+            dataset.prompt(prompt_start + i), max_tokens));
+
+    size_t polls = 0;
+    bool abandoned = false;
+    while (client.inflightCount() > 0 && polls < max_polls) {
+        ++polls;
+        status = client.poll();
+        switch (status) {
+          case ipc::ClientStatus::DaemonRestarted:
+            if (verbose)
+                std::printf("client: daemon restarted (epoch "
+                            "%llu); resuming\n",
+                            static_cast<unsigned long long>(
+                                client.daemonEpoch()));
+            break;
+          case ipc::ClientStatus::LeaseRevoked:
+            if (verbose)
+                std::printf("client: lease revoked; "
+                            "reconnecting\n");
+            client.reconnect();
+            break;
+          case ipc::ClientStatus::DaemonGone:
+            std::fprintf(stderr,
+                         "specinfer_client: daemon gone\n");
+            return 4;
+          case ipc::ClientStatus::Corrupt:
+            std::fprintf(stderr,
+                         "specinfer_client: corrupt channel\n");
+            return 6;
+          default:
+            break;
+        }
+        if (abandon_after >= 0 && !abandoned) {
+            size_t streamed = 0;
+            for (uint64_t tag : tags)
+                streamed += client.request(tag)->tokens.size();
+            if (streamed >=
+                static_cast<size_t>(abandon_after)) {
+                client.abandon();
+                std::printf("client: abandoning with %zu tokens "
+                            "streamed\n",
+                            streamed);
+                return 7;
+            }
+        }
+        if (poll_sleep.count() > 0)
+            std::this_thread::sleep_for(poll_sleep);
+    }
+
+    int rc = 0;
+    if (client.inflightCount() > 0) {
+        std::fprintf(stderr,
+                     "specinfer_client: timed out with %zu "
+                     "requests unfinished\n",
+                     client.inflightCount());
+        rc = 5;
+    }
+    for (size_t i = 0; i < tags.size(); ++i) {
+        const ipc::ClientRequest *req = client.request(tags[i]);
+        if (req->reject != ipc::WireReject::None) {
+            std::printf("[prompt %zu] rejected: %s\n",
+                        prompt_start + i,
+                        ipc::wireRejectName(req->reject));
+            rc = rc == 0 ? 2 : rc;
+            continue;
+        }
+        if (!req->finished)
+            continue;
+        std::printf("[prompt %zu] %zu prompt tokens -> %zu "
+                    "generated (stop %u)\n",
+                    prompt_start + i,
+                    dataset.prompt(prompt_start + i).size(),
+                    req->tokens.size(),
+                    static_cast<unsigned>(req->stopReason));
+        std::printf("  tokens:");
+        for (int tok : req->tokens)
+            std::printf(" %d", tok);
+        std::printf("\n");
+    }
+    client.disconnect();
+    return rc;
+}

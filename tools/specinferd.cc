@@ -1,0 +1,178 @@
+/**
+ * @file
+ * specinferd — the crash-isolated serving daemon.
+ *
+ * Owns one speculative engine + RequestManager and serves any
+ * number of client processes over per-client shared-memory ring
+ * pairs (see src/ipc/). Clients are held to heartbeat leases; a
+ * client that dies or hangs is reaped and its in-flight requests
+ * cancelled, without disturbing anyone else.
+ *
+ * Usage:
+ *   specinferd [--llm llama-7b-sim] [--ssm-layers 2]
+ *              [--expansion 1,1,3,1,1,1,1,1] [--seed 1]
+ *              [--max-tokens 64] [--temperature 0] [--batch 4]
+ *              [--dir DIR]            IPC dir ($SPECINFER_IPC_DIR,
+ *                                     then /dev/shm)
+ *              [--lease-ticks 64] [--scan-every 4]
+ *              [--tick-micros 1000]   wall-clock tick cadence
+ *              [--max-ticks 0]        stop after N ticks (CI; 0 =
+ *                                     run until signalled)
+ *              [--journal PATH]       write-ahead journal (crash
+ *                                     recovery; snapshot at .snap)
+ *              [--record PATH]        request-stream recording
+ *                                     (diffcheck --replay-record)
+ *              [--metrics-out F] [--trace-out F] [--verbose]
+ *
+ * SIGTERM/SIGINT triggers a graceful drain: admission stops
+ * (submits come back Rejected(Draining)), in-flight requests finish
+ * and stream out, every segment is unlinked, and the process exits
+ * 0. kill -9 is the crash path: segments and journal survive, and
+ * the next specinferd over the same --dir/--journal recovers and
+ * resumes every stream.
+ */
+
+#include "cli_common.h"
+
+#include <chrono>
+#include <csignal>
+#include <thread>
+
+#include "ipc/daemon.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onStopSignal(int)
+{
+    // Drain must run on the main loop, not in signal context; the
+    // handler only raises the flag (second delivery exits hard so
+    // a wedged drain can still be killed politely).
+    if (g_stop != 0)
+        std::_Exit(130);
+    g_stop = 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace specinfer;
+    util::Flags flags(argc, argv);
+    flags.allowOnly({"llm", "ssm-layers", "expansion", "seed",
+                     "max-tokens", "temperature", "batch", "dir",
+                     "lease-ticks", "scan-every", "tick-micros",
+                     "max-ticks", "journal", "snapshot-every",
+                     "record", "metrics-out", "trace-out",
+                     "verbose"});
+
+    const std::string llm_name = flags.get("llm", "llama-7b-sim");
+    const size_t ssm_layers =
+        static_cast<size_t>(flags.getInt("ssm-layers", 2));
+    const std::string expansion_text =
+        flags.get("expansion", "1,1,3,1,1,1,1,1");
+    const size_t max_tokens =
+        static_cast<size_t>(flags.getInt("max-tokens", 64));
+    const float temperature =
+        static_cast<float>(flags.getDouble("temperature", 0.0));
+    const uint64_t seed =
+        static_cast<uint64_t>(flags.getInt("seed", 1));
+    const bool verbose = flags.getBool("verbose");
+    const std::string metrics_out = flags.get("metrics-out", "");
+    const std::string trace_out = flags.get("trace-out", "");
+
+    std::unique_ptr<obs::ObsContext> obs_ctx =
+        tools::makeObsFromFlags(metrics_out, trace_out);
+
+    model::Transformer llm =
+        model::makeLlm(model::llmPreset(llm_name));
+    model::Transformer ssm =
+        model::makeEarlyExitSsm(llm, ssm_layers);
+
+    core::EngineConfig cfg =
+        temperature > 0.0f
+            ? core::EngineConfig::stochasticDefault(temperature)
+            : core::EngineConfig::greedyDefault();
+    cfg.spec.expansion = tools::parseExpansion(expansion_text);
+    cfg.maxNewTokens = max_tokens;
+    cfg.seed = seed;
+    std::vector<const model::Transformer *> ssms;
+    if (!cfg.spec.expansion.widths.empty())
+        ssms.push_back(&ssm);
+    core::SpecEngine engine(&llm, ssms, cfg);
+
+    runtime::ServingConfig serving;
+    serving.maxBatchSize =
+        static_cast<size_t>(flags.getInt("batch", 4));
+    serving.obs = obs_ctx.get();
+
+    ipc::DaemonConfig dcfg;
+    dcfg.dir = flags.get("dir", "");
+    dcfg.leaseTicks =
+        static_cast<uint64_t>(flags.getInt("lease-ticks", 64));
+    dcfg.scanEvery =
+        static_cast<uint64_t>(flags.getInt("scan-every", 4));
+    dcfg.journalPath = flags.get("journal", "");
+    dcfg.snapshotEvery =
+        static_cast<size_t>(flags.getInt("snapshot-every", 64));
+    dcfg.recordPath = flags.get("record", "");
+    dcfg.recordHeader.llm = llm_name;
+    dcfg.recordHeader.ssmLayers = ssm_layers;
+    dcfg.recordHeader.expansion =
+        cfg.spec.expansion.toString();
+    dcfg.recordHeader.seed = seed;
+    dcfg.recordHeader.engineMaxNewTokens = max_tokens;
+    dcfg.recordHeader.temperature =
+        static_cast<double>(temperature);
+    dcfg.obs = obs_ctx.get();
+
+    ipc::Daemon daemon(&engine, serving, dcfg);
+    if (!daemon.start()) {
+        std::fprintf(stderr,
+                     "specinferd: cannot start (dir '%s')\n",
+                     daemon.dir().c_str());
+        return 1;
+    }
+    std::printf("specinferd: epoch %llu serving in %s "
+                "(lease %llu ticks%s%s)\n",
+                static_cast<unsigned long long>(daemon.epoch()),
+                daemon.dir().c_str(),
+                static_cast<unsigned long long>(dcfg.leaseTicks),
+                dcfg.journalPath.empty() ? "" : ", journaled",
+                dcfg.recordPath.empty() ? "" : ", recorded");
+    std::fflush(stdout);
+
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+
+    const auto tick_sleep = std::chrono::microseconds(
+        static_cast<long>(flags.getInt("tick-micros", 1000)));
+    const uint64_t max_ticks =
+        static_cast<uint64_t>(flags.getInt("max-ticks", 0));
+
+    while (g_stop == 0 &&
+           (max_ticks == 0 || daemon.ticks() < max_ticks)) {
+        daemon.tick();
+        if (tick_sleep.count() > 0)
+            std::this_thread::sleep_for(tick_sleep);
+    }
+
+    std::printf("specinferd: draining (%zu clients, %zu requests "
+                "in flight)\n",
+                daemon.clientCount(),
+                daemon.manager().pendingCount() +
+                    daemon.manager().activeCount());
+    daemon.drain();
+    if (verbose)
+        std::printf("specinferd: served %zu requests over %llu "
+                    "ticks, %llu reaps\n",
+                    daemon.manager().stats().requestsFinished,
+                    static_cast<unsigned long long>(daemon.ticks()),
+                    static_cast<unsigned long long>(
+                        daemon.reapCount()));
+    tools::writeObsOutputs(obs_ctx.get(), metrics_out, trace_out);
+    return 0;
+}
