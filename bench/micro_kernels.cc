@@ -49,6 +49,94 @@ BENCHMARK(BM_BatchedGemmTransposedB)
     ->Args({64, 64, 512});
 
 /**
+ * The int8 tile at identical shapes, both operands pre-quantized:
+ * the pure integer-GEMM vs float-GEMM comparison. The >= 2x
+ * single-thread bar over BM_BatchedGemmTransposedB at equal Args
+ * reads straight out of this pair in BENCH_kernels.json.
+ */
+void
+BM_Int8GemmTransposedB(benchmark::State &state)
+{
+    const size_t m = static_cast<size_t>(state.range(0));
+    const size_t k = static_cast<size_t>(state.range(1));
+    const size_t n = static_cast<size_t>(state.range(2));
+    tensor::Tensor act(m, k), w(n, k), out(m, n);
+    util::Rng rng(7);
+    for (size_t i = 0; i < act.size(); ++i)
+        act.data()[i] = static_cast<float>(rng.normal());
+    for (size_t i = 0; i < w.size(); ++i)
+        w.data()[i] = static_cast<float>(rng.normal());
+    tensor::QTensor qw, qact;
+    tensor::quantizeRows(w, qw);
+    tensor::quantizeRows(act, qact);
+    for (auto _ : state) {
+        tensor::matmulTransposedB(qact, qw, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(m * k * n));
+}
+BENCHMARK(BM_Int8GemmTransposedB)
+    ->Args({16, 64, 512})
+    ->Args({16, 64, 176})
+    ->Args({64, 64, 512});
+
+/**
+ * What Transformer::forward actually pays per projection: per-row
+ * activation quantization inside the timed loop (weights are
+ * quantized once at load), then the integer GEMM.
+ */
+void
+BM_Int8GemmWithActQuant(benchmark::State &state)
+{
+    const size_t m = static_cast<size_t>(state.range(0));
+    const size_t k = static_cast<size_t>(state.range(1));
+    const size_t n = static_cast<size_t>(state.range(2));
+    tensor::Tensor act(m, k), w(n, k), out(m, n);
+    util::Rng rng(7);
+    for (size_t i = 0; i < act.size(); ++i)
+        act.data()[i] = static_cast<float>(rng.normal());
+    for (size_t i = 0; i < w.size(); ++i)
+        w.data()[i] = static_cast<float>(rng.normal());
+    tensor::QTensor qw, qact;
+    tensor::quantizeRows(w, qw);
+    for (auto _ : state) {
+        tensor::quantizeRows(act, qact);
+        tensor::matmulTransposedB(qact, qw, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(m * k * n));
+}
+BENCHMARK(BM_Int8GemmWithActQuant)
+    ->Args({16, 64, 512})
+    ->Args({16, 64, 176})
+    ->Args({64, 64, 512});
+
+/** Per-row activation quantization alone (the int8 path's tax). */
+void
+BM_QuantizeRows(benchmark::State &state)
+{
+    const size_t m = static_cast<size_t>(state.range(0));
+    const size_t k = static_cast<size_t>(state.range(1));
+    tensor::Tensor act(m, k);
+    util::Rng rng(7);
+    for (size_t i = 0; i < act.size(); ++i)
+        act.data()[i] = static_cast<float>(rng.normal());
+    tensor::QTensor q;
+    for (auto _ : state) {
+        tensor::quantizeRows(act, q);
+        benchmark::DoNotOptimize(q.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(m * k));
+}
+BENCHMARK(BM_QuantizeRows)->Args({16, 64})->Args({64, 64});
+
+/**
  * The same batched linear computed the scalar way: one matvec sweep
  * per activation row, exactly how the pre-batching forward path
  * walked a chunk token by token.

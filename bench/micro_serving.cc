@@ -33,18 +33,39 @@ namespace {
 
 using namespace specinfer;
 
+/**
+ * SPECINFER_SSM_PRECISION=int8 switches the shared fixture's SSM to
+ * the real-int8 path, so the whole suite (and BENCH_serving.json)
+ * can be re-recorded under a quantized drafter without recompiling.
+ * The always-int8 BM_SpecGenerateInt8 below measures the contrast
+ * within one run.
+ */
+model::Precision
+fixturePrecision()
+{
+    const char *env = std::getenv("SPECINFER_SSM_PRECISION");
+    return env != nullptr ? model::parsePrecision(env)
+                          : model::Precision::Fp32;
+}
+
 struct ServingFixture
 {
     model::Transformer llm;
     model::Transformer ssm;
+    model::Transformer ssmInt8;
     core::SpecEngine spec;
+    core::SpecEngine specInt8;
     core::SpecEngine incr;
     workload::PromptDataset dataset;
 
     ServingFixture()
         : llm(model::makeLlm(model::llmPreset("llama-7b-sim"))),
-          ssm(model::makeEarlyExitSsm(llm, 2)),
+          ssm(fixturePrecision() == model::Precision::Int8
+                  ? model::makeInt8Ssm(llm, 2)
+                  : model::makeEarlyExitSsm(llm, 2)),
+          ssmInt8(model::makeInt8Ssm(llm, 2)),
           spec(&llm, {&ssm}, engineConfig(true)),
+          specInt8(&llm, {&ssmInt8}, engineConfig(true)),
           incr(&llm, {}, engineConfig(false)),
           dataset(workload::PromptDataset::named(
               "Alpaca", llm.config().vocabSize))
@@ -83,6 +104,22 @@ BM_SpecGenerate(benchmark::State &state)
     state.SetItemsProcessed(static_cast<int64_t>(tokens));
 }
 BENCHMARK(BM_SpecGenerate)->Unit(benchmark::kMillisecond);
+
+/** Speculative generation with a real-int8 drafter (LLM fp32). */
+void
+BM_SpecGenerateInt8(benchmark::State &state)
+{
+    ServingFixture &f = fixture();
+    const std::vector<int> prompt = f.dataset.prompt(0);
+    size_t tokens = 0;
+    for (auto _ : state) {
+        core::GenerationResult out = f.specInt8.generate(prompt, 1);
+        benchmark::DoNotOptimize(out.tokens.data());
+        tokens += out.tokens.size();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(tokens));
+}
+BENCHMARK(BM_SpecGenerateInt8)->Unit(benchmark::kMillisecond);
 
 void
 BM_IncrementalGenerate(benchmark::State &state)

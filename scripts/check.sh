@@ -46,6 +46,18 @@ SPECINFER_BENCH_TOKENS=8 \
     --metrics build/obs/spec_infer.prom \
     --trace build/obs/spec_infer.trace.json \
     --require-metric engine_tokens_proposed,engine_tokens_accepted,model_kernel_launches
+# Same run with real-int8 SSM drafting: pins the quantized-path
+# counter catalog (kernel launches plus the quantize/int8-GEMM
+# sub-phase timers) so the integer kernels can't silently stop
+# being exercised.
+./build/tools/spec_infer --num-prompts 2 --max-tokens 8 \
+    --ssm-precision int8 \
+    --metrics-out build/obs/spec_infer_int8.prom \
+    --trace-out build/obs/spec_infer_int8.trace.json
+./build/tools/obs_check \
+    --metrics build/obs/spec_infer_int8.prom \
+    --trace build/obs/spec_infer_int8.trace.json \
+    --require-metric model_int8_kernel_launches,model_quantize_nanos,model_int8_gemm_nanos
 
 # Daemon smoke: specinferd + three real client processes over the
 # shared-memory plane, one killed mid-stream. Asserts the lease
@@ -63,6 +75,13 @@ cmake --preset asan
 cmake --build --preset asan --target test_fault
 ./build-asan/tests/test_fault
 
+# Int8 kernel + model suites under ASan/UBSan: quantization, the
+# integer GEMM tiles (scalar and AVX2 dispatch), and the int8 SSM
+# forward/serialization paths.
+cmake --build --preset asan --target test_tensor test_model
+./build-asan/tests/test_tensor --gtest_filter='Int8*'
+./build-asan/tests/test_model --gtest_filter='*Int8*'
+
 # Crash-recovery oracle under ASan/UBSan: seeded workloads crashed
 # at random points (torn journal records included) must recover to
 # bit-identical outputs with no KV leak.
@@ -71,14 +90,15 @@ SPECINFER_RECOVERY_TRIALS=300 ./build-asan/tests/test_recovery
 
 # Data-race sweep: thread pool, batched forward, fault injection,
 # recovery machinery, the prefix-sharing soak + serving equivalence
-# suites, and the metrics/tracing instruments (hammered from pool
-# workers) under ThreadSanitizer.
+# suites, the int8 quantize/GEMM/forward suites (row-parallel via
+# the pool), and the metrics/tracing instruments (hammered from
+# pool workers) under ThreadSanitizer.
 cmake --preset tsan
 cmake --build --preset tsan
 SPECINFER_SOAK_ITERATIONS=1500 SPECINFER_RECOVERY_TRIALS=60 \
 SPECINFER_RECOVERY_SOAK_ITERATIONS=800 \
 ctest --preset tsan \
-      -R 'ThreadPool|ThreadedForward|Fault|Recovery|Journal|Crc32|Concurrency|Tracer|WorkloadTrace|OverheadGuard|KvSharing|PrefixSharing|Ring'
+      -R 'ThreadPool|ThreadedForward|Fault|Recovery|Journal|Crc32|Concurrency|Tracer|WorkloadTrace|OverheadGuard|KvSharing|PrefixSharing|Ring|Int8'
 
 for b in build/bench/*; do
     echo "=== $b ==="

@@ -89,6 +89,7 @@ encodeEvent(const RecordedEvent &ev)
         put<uint64_t>(out, ev.engineMaxNewTokens);
         put<double>(out, ev.temperature);
         put<uint64_t>(out, ev.maxBatchSize);
+        put<uint8_t>(out, ev.ssmPrecision);
         break;
       case EventType::Submit:
         put<uint64_t>(out, ev.iteration);
@@ -129,6 +130,7 @@ decodeEvent(const std::vector<uint8_t> &bytes, RecordedEvent *ev)
                take(bytes, &pos, &ev->engineMaxNewTokens) &&
                take(bytes, &pos, &ev->temperature) &&
                take(bytes, &pos, &ev->maxBatchSize) &&
+               take(bytes, &pos, &ev->ssmPrecision) &&
                pos == bytes.size();
       case EventType::Submit:
         return take(bytes, &pos, &ev->iteration) &&

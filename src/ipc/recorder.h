@@ -63,6 +63,9 @@ struct RecordedEvent
     uint64_t engineMaxNewTokens = 0;
     double temperature = 0.0;
     uint64_t maxBatchSize = 0;
+    /** Raw model::Precision of the daemon's SSM; replay rebuilds
+     *  the draft model at the recorded precision. */
+    uint8_t ssmPrecision = 0;
 
     // --- Submit / Cancel / Finish --------------------------------
     /** Manager iteration clock when the event was applied. */

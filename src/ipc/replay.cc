@@ -44,12 +44,18 @@ replayRecording(std::istream &in, std::ostream &log, bool verbose)
         return result;
     }
 
-    // Rebuild the recorded engine identity.
+    // Rebuild the recorded engine identity, SSM precision included:
+    // an int8 daemon's drafts must be re-drafted in int8 (greedy
+    // replays would pass either way, but stochastic ones sample from
+    // the draft distribution).
     model::Transformer llm =
         model::makeLlm(model::llmPreset(header.llm));
+    const size_t ssm_layers = static_cast<size_t>(header.ssmLayers);
     model::Transformer ssm =
-        model::makeEarlyExitSsm(llm,
-                                static_cast<size_t>(header.ssmLayers));
+        static_cast<model::Precision>(header.ssmPrecision) ==
+                model::Precision::Int8
+            ? model::makeInt8Ssm(llm, ssm_layers)
+            : model::makeEarlyExitSsm(llm, ssm_layers);
     core::EngineConfig cfg =
         header.temperature > 0.0
             ? core::EngineConfig::stochasticDefault(

@@ -6,6 +6,23 @@
 namespace specinfer {
 namespace model {
 
+const char *
+precisionName(Precision p)
+{
+    return p == Precision::Int8 ? "int8" : "fp32";
+}
+
+Precision
+parsePrecision(const std::string &s)
+{
+    if (s == "fp32")
+        return Precision::Fp32;
+    if (s == "int8")
+        return Precision::Int8;
+    SPECINFER_FATAL("unknown precision '" << s
+                    << "' (expected fp32 or int8)");
+}
+
 size_t
 ModelConfig::paramCount() const
 {

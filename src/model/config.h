@@ -15,6 +15,27 @@ namespace specinfer {
 namespace model {
 
 /**
+ * Numeric precision of a model's linear layers. Fp32 runs the float
+ * GEMM path; Int8 stores projection weights as int8 + per-row scales
+ * (the fakeQuantizeRows(·, 8) grid) and runs the integer GEMM path
+ * with on-the-fly activation quantization. Attention, norms, RoPE,
+ * and the embedding stay fp32 either way. Int8 is meant for SSMs:
+ * greedy verification is lossless for any draft model, so a
+ * quantized speculator buys speed without changing emitted tokens.
+ */
+enum class Precision : uint8_t
+{
+    Fp32 = 0,
+    Int8 = 1,
+};
+
+/** "fp32" / "int8". */
+const char *precisionName(Precision p);
+
+/** Parse "fp32" / "int8"; aborts on anything else. */
+Precision parsePrecision(const std::string &s);
+
+/**
  * Hyperparameters of one decoder-only transformer (LLaMA-style:
  * RMSNorm, RoPE, SwiGLU MLP, tied embedding / LM head option).
  *
@@ -67,6 +88,9 @@ struct ModelConfig
 
     /** Reserved token id signalling end of sequence. */
     int eosToken = 0;
+
+    /** Linear-layer precision (see Precision). */
+    Precision precision = Precision::Fp32;
 
     /** Per-head dimension. */
     size_t dHead() const { return dModel / nHeads; }

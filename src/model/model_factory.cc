@@ -101,6 +101,29 @@ makeQuantizedSsm(const Transformer &llm, size_t n_layers, int bits)
 }
 
 Transformer
+makeInt8Ssm(const Transformer &llm, size_t n_layers)
+{
+    const ModelConfig &llm_cfg = llm.config();
+    SPECINFER_CHECK(n_layers > 0 && n_layers <= llm_cfg.nLayers,
+                    "int8-SSM depth " << n_layers << " outside [1, "
+                                      << llm_cfg.nLayers << "]");
+    ModelConfig cfg = llm_cfg;
+    cfg.nLayers = n_layers;
+    cfg.precision = Precision::Int8;
+    std::ostringstream name;
+    name << llm_cfg.name << "-ee" << n_layers << "-int8";
+    cfg.name = name.str();
+
+    // Quantize from the LLM's ORIGINAL weights, never from an
+    // already-dequantized mirror: round-tripping the grid twice can
+    // shift a row scale by 1 ulp and break the fake-quant identity.
+    auto w = std::make_shared<ModelWeights>(*llm.weights());
+    w->layers.resize(n_layers);
+    quantizeModelWeights(*w);
+    return Transformer(cfg, std::move(w));
+}
+
+Transformer
 makePrunedSsm(const Transformer &llm, size_t n_layers,
               double sparsity)
 {

@@ -52,6 +52,17 @@ Transformer makeQuantizedSsm(const Transformer &llm, size_t n_layers,
                              int bits);
 
 /**
+ * Build a *real int8* SSM: the first n_layers of the LLM with every
+ * projection quantized to int8 storage (per-row scales, the same
+ * grid makeQuantizedSsm(llm, n, 8) fake-quantizes onto) and
+ * Precision::Int8 set, so Transformer::forward runs the integer GEMM
+ * path. Numerically identical weights to the 8-bit fake-quant SSM —
+ * acceptance rates match — but the projections actually execute in
+ * int8.
+ */
+Transformer makeInt8Ssm(const Transformer &llm, size_t n_layers);
+
+/**
  * Build a *pruned* SSM: the first n_layers of the LLM with the
  * given fraction of smallest-magnitude weights zeroed per matrix
  * (paper §1: SSMs as pruned variants of the LLM).

@@ -13,7 +13,7 @@ namespace model {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'P', 'I', 'N'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
 
 constexpr char kKvMagic[4] = {'S', 'P', 'K', 'V'};
 constexpr uint32_t kKvVersion = 1;
@@ -82,6 +82,40 @@ readVector(std::istream &in)
     return v;
 }
 
+/**
+ * QTensor format: u64 rows, u64 cols, rows f32 scales, rows*cols
+ * int8. The int8 payload is serialized explicitly (not re-quantized
+ * from the fp32 mirror on load): round-tripping the grid twice can
+ * shift a row scale by 1 ulp, and the bit-identity contracts demand
+ * the loaded model compute with exactly the saved integers.
+ */
+void
+writeQTensor(std::ostream &out, const tensor::QTensor &q)
+{
+    writePod<uint64_t>(out, q.rows());
+    writePod<uint64_t>(out, q.cols());
+    out.write(reinterpret_cast<const char *>(q.scales()),
+              static_cast<std::streamsize>(q.rows() * sizeof(float)));
+    out.write(reinterpret_cast<const char *>(q.data()),
+              static_cast<std::streamsize>(q.size()));
+}
+
+tensor::QTensor
+readQTensor(std::istream &in)
+{
+    uint64_t rows = readPod<uint64_t>(in);
+    uint64_t cols = readPod<uint64_t>(in);
+    SPECINFER_CHECK(rows * cols < (1ull << 32),
+                    "implausible quantized tensor size");
+    tensor::QTensor q(rows, cols);
+    in.read(reinterpret_cast<char *>(q.scales()),
+            static_cast<std::streamsize>(rows * sizeof(float)));
+    in.read(reinterpret_cast<char *>(q.data()),
+            static_cast<std::streamsize>(q.size()));
+    SPECINFER_CHECK(in.good(), "truncated model stream");
+    return q;
+}
+
 } // namespace
 
 void
@@ -102,6 +136,7 @@ saveModel(std::ostream &out, const ModelConfig &cfg,
     writePod<float>(out, cfg.logitScale);
     writePod<uint64_t>(out, cfg.seed);
     writePod<int32_t>(out, cfg.eosToken);
+    writePod<uint8_t>(out, static_cast<uint8_t>(cfg.precision));
 
     writeTensor(out, weights.embedding);
     writePod<uint64_t>(out, weights.layers.size());
@@ -118,6 +153,19 @@ saveModel(std::ostream &out, const ModelConfig &cfg,
     }
     writeVector(out, weights.finalNorm);
     writeTensor(out, weights.lmHead);
+    if (cfg.precision == Precision::Int8) {
+        writePod<uint64_t>(out, weights.qLayers.size());
+        for (const QuantizedLayer &ql : weights.qLayers) {
+            writeQTensor(out, ql.wq);
+            writeQTensor(out, ql.wk);
+            writeQTensor(out, ql.wv);
+            writeQTensor(out, ql.wo);
+            writeQTensor(out, ql.wGate);
+            writeQTensor(out, ql.wUp);
+            writeQTensor(out, ql.wDown);
+        }
+        writeQTensor(out, weights.qLmHead);
+    }
     SPECINFER_CHECK(out.good(), "model write failed");
 }
 
@@ -130,7 +178,9 @@ loadModel(std::istream &in)
                     std::memcmp(magic, kMagic, 4) == 0,
                     "not a SpecInfer model stream");
     uint32_t version = readPod<uint32_t>(in);
-    SPECINFER_CHECK(version == kVersion,
+    // Version 1 predates the precision field and quantized payload;
+    // such streams are always fp32 and remain loadable.
+    SPECINFER_CHECK(version == 1 || version == kVersion,
                     "unsupported model version " << version);
 
     ModelConfig cfg;
@@ -146,6 +196,11 @@ loadModel(std::istream &in)
     cfg.logitScale = readPod<float>(in);
     cfg.seed = readPod<uint64_t>(in);
     cfg.eosToken = readPod<int32_t>(in);
+    if (version >= 2) {
+        uint8_t p = readPod<uint8_t>(in);
+        SPECINFER_CHECK(p <= 1, "bad precision byte " << unsigned(p));
+        cfg.precision = static_cast<Precision>(p);
+    }
     cfg.validate();
 
     auto weights = std::make_shared<ModelWeights>();
@@ -168,6 +223,24 @@ loadModel(std::istream &in)
     }
     weights->finalNorm = readVector(in);
     weights->lmHead = readTensor(in);
+    if (cfg.precision == Precision::Int8) {
+        uint64_t n_qlayers = readPod<uint64_t>(in);
+        SPECINFER_CHECK(n_qlayers >= cfg.nLayers,
+                        "stream holds fewer quantized layers than "
+                        "the config uses");
+        weights->qLayers.resize(n_qlayers);
+        for (uint64_t i = 0; i < n_qlayers; ++i) {
+            QuantizedLayer &ql = weights->qLayers[i];
+            ql.wq = readQTensor(in);
+            ql.wk = readQTensor(in);
+            ql.wv = readQTensor(in);
+            ql.wo = readQTensor(in);
+            ql.wGate = readQTensor(in);
+            ql.wUp = readQTensor(in);
+            ql.wDown = readQTensor(in);
+        }
+        weights->qLmHead = readQTensor(in);
+    }
     return Transformer(cfg, std::move(weights));
 }
 

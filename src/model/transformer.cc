@@ -57,6 +57,15 @@ Transformer::Transformer(ModelConfig cfg,
                     "config uses " << cfg_.nLayers
                                    << " layers but weights have "
                                    << weights_->layers.size());
+    if (cfg_.precision == Precision::Int8) {
+        SPECINFER_CHECK(cfg_.nLayers <= weights_->qLayers.size(),
+                        "int8 model uses " << cfg_.nLayers
+                                           << " layers but only "
+                                           << weights_->qLayers.size()
+                                           << " are quantized");
+        SPECINFER_CHECK(!weights_->qLmHead.empty(),
+                        "int8 model without quantized LM head");
+    }
 }
 
 KvCache
@@ -95,6 +104,33 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
     uint64_t t_kv = 0, t_q = 0, t_attn = 0, t_proj = 0, t_mlp = 0;
     auto now = [&]() -> uint64_t {
         return o != nullptr ? o->nowNanos() : 0;
+    };
+
+    // Int8 path: projections run the integer GEMM against the
+    // quantized weight mirrors, with activations quantized per row
+    // on the fly. Attention, norms, RoPE, residuals, and the
+    // embedding stay fp32 — they are bandwidth-cheap and their
+    // precision anchors the residual stream. The two scratch
+    // QTensors are reused across phases and layers so the chunk
+    // allocates exactly two int8 buffers per forward. t_quant and
+    // t_i8gemm are sub-phase breakdowns: the existing phase timers
+    // (t_kv, ...) still cover the whole phase either way.
+    const bool int8 = cfg_.precision == Precision::Int8;
+    tensor::QTensor q_act_d;  // [m x dModel] activation scratch
+    tensor::QTensor q_act_ff; // [m x dFf] activation scratch
+    uint64_t t_quant = 0, t_i8gemm = 0;
+    auto quantizeInto = [&](const tensor::Tensor &src,
+                            tensor::QTensor &dst) {
+        const uint64_t q0 = now();
+        tensor::quantizeRows(src, dst);
+        t_quant += now() - q0;
+    };
+    auto gemmI8 = [&](const tensor::QTensor &a,
+                      const tensor::QTensor &b, float *out,
+                      size_t stride) {
+        const uint64_t g0 = now();
+        tensor::matmulTransposedBInto(a, b, out, stride);
+        t_i8gemm += now() - g0;
     };
 
     static const std::vector<size_t> no_extras;
@@ -173,6 +209,8 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
 
     for (size_t layer = 0; layer < cfg_.nLayers; ++layer) {
         const LayerWeights &lw = weights_->layers[layer];
+        const QuantizedLayer *ql =
+            int8 ? &weights_->qLayers[layer] : nullptr;
 
         // Attention RMSNorm, once per (layer, token); both the K/V
         // and Q projections read this buffer.
@@ -187,12 +225,22 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
         // contiguous rows [base, base + m) of the per-layer cache
         // tensors, so one strided GEMM writes them all.
         uint64_t t0 = now();
-        tensor::matmulTransposedBInto(normed, lw.wk,
-                                      cache.keyRow(layer, base),
-                                      cache.kvDim());
-        tensor::matmulTransposedBInto(normed, lw.wv,
-                                      cache.valueRow(layer, base),
-                                      cache.kvDim());
+        if (int8) {
+            // One activation quantization of `normed` serves the K,
+            // V, and Q projections below.
+            quantizeInto(normed, q_act_d);
+            gemmI8(q_act_d, ql->wk, cache.keyRow(layer, base),
+                   cache.kvDim());
+            gemmI8(q_act_d, ql->wv, cache.valueRow(layer, base),
+                   cache.kvDim());
+        } else {
+            tensor::matmulTransposedBInto(normed, lw.wk,
+                                          cache.keyRow(layer, base),
+                                          cache.kvDim());
+            tensor::matmulTransposedBInto(normed, lw.wv,
+                                          cache.valueRow(layer, base),
+                                          cache.kvDim());
+        }
         pool.parallelFor(0, m, [&](size_t i) {
             tensor::ropeRowCached(cache.keyRow(layer, base + i),
                                   n_heads, d_head, rope_tab.row(i));
@@ -201,7 +249,10 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
         t_kv += t1 - t0;
 
         // Phase 2a: batched Q projection + RoPE.
-        tensor::matmulTransposedB(normed, lw.wq, q_all);
+        if (int8)
+            gemmI8(q_act_d, ql->wq, q_all.data(), q_all.cols());
+        else
+            tensor::matmulTransposedB(normed, lw.wq, q_all);
         pool.parallelFor(0, m, [&](size_t i) {
             tensor::ropeRowCached(q_all.row(i), n_heads, d_head,
                                   rope_tab.row(i));
@@ -262,7 +313,12 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
         t_attn += t3 - t2;
 
         // Phase 2c: batched output projection + residual.
-        tensor::matmulTransposedB(attn_out, lw.wo, proj);
+        if (int8) {
+            quantizeInto(attn_out, q_act_d);
+            gemmI8(q_act_d, ql->wo, proj.data(), proj.cols());
+        } else {
+            tensor::matmulTransposedB(attn_out, lw.wo, proj);
+        }
         pool.parallelFor(0, m, [&](size_t i) {
             tensor::addRow(hidden.row(i), proj.row(i), d);
         });
@@ -274,14 +330,25 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
             tensor::rmsnormRow(hidden.row(i), lw.ffnNorm.data(), d,
                                normed.row(i));
         });
-        tensor::matmulTransposedB(normed, lw.wGate, gate);
-        tensor::matmulTransposedB(normed, lw.wUp, up);
+        if (int8) {
+            quantizeInto(normed, q_act_d);
+            gemmI8(q_act_d, ql->wGate, gate.data(), gate.cols());
+            gemmI8(q_act_d, ql->wUp, up.data(), up.cols());
+        } else {
+            tensor::matmulTransposedB(normed, lw.wGate, gate);
+            tensor::matmulTransposedB(normed, lw.wUp, up);
+        }
         pool.parallelFor(0, m, [&](size_t i) {
             tensor::siluRow(gate.row(i), cfg_.dFf);
             tensor::mulRows(gate.row(i), gate.row(i), up.row(i),
                             cfg_.dFf);
         });
-        tensor::matmulTransposedB(gate, lw.wDown, proj);
+        if (int8) {
+            quantizeInto(gate, q_act_ff);
+            gemmI8(q_act_ff, ql->wDown, proj.data(), proj.cols());
+        } else {
+            tensor::matmulTransposedB(gate, lw.wDown, proj);
+        }
         pool.parallelFor(0, m, [&](size_t i) {
             tensor::addRow(hidden.row(i), proj.row(i), d);
         });
@@ -295,7 +362,13 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
         tensor::rmsnormRow(hidden.row(i), weights_->finalNorm.data(),
                            d, normed.row(i));
     });
-    tensor::matmulTransposedB(normed, weights_->lmHead, logits);
+    if (int8) {
+        quantizeInto(normed, q_act_d);
+        gemmI8(q_act_d, weights_->qLmHead, logits.data(),
+               logits.cols());
+    } else {
+        tensor::matmulTransposedB(normed, weights_->lmHead, logits);
+    }
     pool.parallelFor(0, m, [&](size_t i) {
         tensor::scaleRow(logits.row(i), cfg_.vocabSize,
                          cfg_.logitScale);
@@ -304,6 +377,11 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
         obs::MetricsRegistry &reg = o->metrics();
         reg.counter("model_kernel_launches")->inc();
         reg.counter("model_chunk_tokens")->inc(m);
+        if (int8) {
+            reg.counter("model_int8_kernel_launches")->inc();
+            reg.counter("model_quantize_nanos")->inc(t_quant);
+            reg.counter("model_int8_gemm_nanos")->inc(t_i8gemm);
+        }
         reg.counter("model_kv_gemm_nanos")->inc(t_kv);
         reg.counter("model_q_gemm_nanos")->inc(t_q);
         reg.counter("model_attention_nanos")->inc(t_attn);

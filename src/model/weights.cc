@@ -75,5 +75,27 @@ initWeights(const ModelConfig &cfg)
     return w;
 }
 
+void
+quantizeModelWeights(ModelWeights &w)
+{
+    auto quantize = [](tensor::Tensor &t, tensor::QTensor &q) {
+        tensor::quantizeRows(t, q);
+        t = tensor::dequantize(q);
+    };
+    w.qLayers.resize(w.layers.size());
+    for (size_t i = 0; i < w.layers.size(); ++i) {
+        LayerWeights &lw = w.layers[i];
+        QuantizedLayer &ql = w.qLayers[i];
+        quantize(lw.wq, ql.wq);
+        quantize(lw.wk, ql.wk);
+        quantize(lw.wv, ql.wv);
+        quantize(lw.wo, ql.wo);
+        quantize(lw.wGate, ql.wGate);
+        quantize(lw.wUp, ql.wUp);
+        quantize(lw.wDown, ql.wDown);
+    }
+    quantize(w.lmHead, w.qLmHead);
+}
+
 } // namespace model
 } // namespace specinfer

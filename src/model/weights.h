@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "model/config.h"
+#include "tensor/qtensor.h"
 #include "tensor/tensor.h"
 
 namespace specinfer {
@@ -26,6 +27,13 @@ struct LayerWeights
     std::vector<float> ffnNorm;           ///< pre-MLP RMSNorm gain
 };
 
+/** Int8 mirrors of one block's linear layers (Precision::Int8). */
+struct QuantizedLayer
+{
+    tensor::QTensor wq, wk, wv, wo;
+    tensor::QTensor wGate, wUp, wDown;
+};
+
 /** Full model weights. */
 struct ModelWeights
 {
@@ -33,6 +41,12 @@ struct ModelWeights
     std::vector<LayerWeights> layers;
     std::vector<float> finalNorm;         ///< final RMSNorm gain
     tensor::Tensor lmHead;                ///< [vocab x dModel]
+
+    /** Int8 projection mirrors, one per layer; empty unless the
+     *  owning model runs Precision::Int8 (see quantizeModelWeights).
+     *  Norm gains and the embedding have no quantized form. */
+    std::vector<QuantizedLayer> qLayers;
+    tensor::QTensor qLmHead;              ///< int8 LM head mirror
 };
 
 /**
@@ -46,6 +60,18 @@ struct ModelWeights
  * and early exits remain aligned with the full model.
  */
 std::shared_ptr<ModelWeights> initWeights(const ModelConfig &cfg);
+
+/**
+ * Populate w's int8 mirrors (qLayers, qLmHead) from its current
+ * float projections, then rewrite those float projections from the
+ * quantized values. Afterwards the fp32 tensors equal
+ * fakeQuantizeRows(original, 8) bit for bit, so the float and int8
+ * GEMM paths see the *same* weights and any fp32 fallback (or
+ * serialization of the mirror) stays on the int8 grid. Quantization
+ * must run against original weights — re-quantizing an already
+ * dequantized mirror can shift a scale by 1 ulp.
+ */
+void quantizeModelWeights(ModelWeights &w);
 
 } // namespace model
 } // namespace specinfer

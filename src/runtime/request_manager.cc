@@ -22,7 +22,9 @@ namespace {
 constexpr char kSnapMagic[4] = {'S', 'P', 'S', 'N'};
 // v2: resident shared-block intern table + per-request shared
 // holdings (prefix sharing).
-constexpr uint32_t kSnapVersion = 3;
+// v4: SSM precision byte, so recovery replays the journal under the
+// same draft-model numerics the crashed process ran.
+constexpr uint32_t kSnapVersion = 4;
 
 using model::io::readPod;
 using model::io::readPodVector;
@@ -968,6 +970,7 @@ RequestManager::writeSnapshot(std::ostream &out) const
     writePod<uint64_t>(out,
                        journal_ ? journal_->bytesWritten() : 0);
     writePod<uint64_t>(out, nextId_);
+    writePod<uint8_t>(out, cfg_.ssmPrecision);
 
     writePod<uint64_t>(out, stats_.iterations);
     writePod<uint64_t>(out, stats_.requestsSubmitted);
@@ -1246,6 +1249,14 @@ RequestManager::recover(std::istream *snapshot, std::istream *journal)
                         "unsupported snapshot version " << version);
         skip = readPod<uint64_t>(*snapshot);
         nextId_ = readPod<uint64_t>(*snapshot);
+        const uint8_t snap_precision = readPod<uint8_t>(*snapshot);
+        SPECINFER_CHECK(snap_precision == cfg_.ssmPrecision,
+                        "snapshot was taken with SSM precision "
+                            << unsigned(snap_precision)
+                            << " but this manager is configured for "
+                            << unsigned(cfg_.ssmPrecision)
+                            << "; recovery must replay under the "
+                               "same draft-model numerics");
 
         stats_.iterations = readPod<uint64_t>(*snapshot);
         stats_.requestsSubmitted = readPod<uint64_t>(*snapshot);

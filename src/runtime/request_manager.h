@@ -90,6 +90,18 @@ struct ServingConfig
      */
     bool kvPrefixSharing = false;
 
+    /**
+     * Precision the serving engine's SSMs run at (raw
+     * model::Precision value). Recorded in snapshots: crash recovery
+     * replays the journal through the same engine the crashed
+     * process used, and an SSM precision switch mid-recovery would
+     * silently replay under different draft numerics. Greedy
+     * verification makes final tokens independent of SSM precision,
+     * but recover() still refuses the mismatch — recovery is defined
+     * as reproducing the crashed process, not a near miss of it.
+     */
+    uint8_t ssmPrecision = 0;
+
     // --- Robustness / graceful-degradation knobs ------------------
 
     /** Bounded pending queue: submit() rejects with

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#endif
+
 #include "util/logging.h"
 #include "util/threadpool.h"
 
@@ -112,6 +116,176 @@ gemmBlock()
 }
 
 /**
+ * One int8 GEMM tile, scalar reference. Every element is the exact
+ * int32 dot dotRowI8() scaled by the two per-row fp32 scales — the
+ * single float expression all int8 tiles share. Because the integer
+ * dot is exact, tiling and threading can never change a bit.
+ */
+void
+gemmBlockI8Generic(const int8_t *a_base, const float *a_scales,
+                   const int8_t *b_base, const float *b_scales,
+                   float *out, size_t out_stride, size_t k,
+                   size_t i_lo, size_t i_hi, size_t jb, size_t j_hi)
+{
+    for (size_t i = i_lo; i < i_hi; ++i) {
+        const int8_t *a_row = a_base + i * k;
+        const float sa = a_scales[i];
+        float *out_row = out + i * out_stride;
+        for (size_t j = jb; j < j_hi; ++j) {
+            const int32_t acc = dotRowI8(a_row, b_base + j * k, k);
+            out_row[j] = static_cast<float>(acc) * (sa * b_scales[j]);
+        }
+    }
+}
+
+using GemmBlockI8Fn = void (*)(const int8_t *, const float *,
+                               const int8_t *, const float *, float *,
+                               size_t, size_t, size_t, size_t, size_t,
+                               size_t);
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+/**
+ * dotRowI8() on AVX2: per 32 bytes, maddubs(|a|, sign(b, a)) forms
+ * the 16 pairwise i16 sums of a[i]*b[i] — quants are in [-127, 127],
+ * so each pair sum is at most 2 * 127 * 127 = 32258 < 32767 and the
+ * saturating maddubs cannot actually saturate — then madd(., 1)
+ * widens to i32 and accumulates. Integer adds are associative, so
+ * any horizontal-sum order equals the scalar loop exactly; the
+ * shuffle reduction here needs no memory round trip.
+ */
+__attribute__((target("avx2"), always_inline)) inline __m256i
+fmaI8Avx2(__m256i acc, __m256i abs_a, __m256i va, const int8_t *b)
+{
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(b));
+    const __m256i sb = _mm256_sign_epi8(vb, va);
+    const __m256i prod16 = _mm256_maddubs_epi16(abs_a, sb);
+    return _mm256_add_epi32(
+        acc, _mm256_madd_epi16(prod16, _mm256_set1_epi16(1)));
+}
+
+__attribute__((target("avx2"), always_inline)) inline int32_t
+hsumI8Avx2(__m256i acc)
+{
+    const __m128i s2 =
+        _mm_add_epi32(_mm256_castsi256_si128(acc),
+                      _mm256_extracti128_si256(acc, 1));
+    const __m128i s1 = _mm_add_epi32(s2, _mm_shuffle_epi32(s2, 0x4E));
+    const __m128i s0 = _mm_add_epi32(s1, _mm_shuffle_epi32(s1, 0xB1));
+    return _mm_cvtsi128_si32(s0);
+}
+
+__attribute__((target("avx2"), always_inline)) inline int32_t
+dotRowI8Avx2(const int8_t *a, const int8_t *b, size_t n)
+{
+    __m256i acc = _mm256_setzero_si256();
+    size_t i = 0;
+    const size_t n32 = n & ~size_t{31};
+    for (; i < n32; i += 32) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        acc = fmaI8Avx2(acc, _mm256_abs_epi8(va), va, b + i);
+    }
+    int32_t total = hsumI8Avx2(acc);
+    for (; i < n; ++i)
+        total += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+    return total;
+}
+
+/**
+ * The throughput shape: four weight rows per pass so each activation
+ * load (and its abs) is amortized 4x, with four independent integer
+ * accumulators. The final element expression is the same
+ * float(acc) * (sa * sb) every int8 tile shares; everything upstream
+ * of it is exact integer math, so this blocking is bit-identical to
+ * the scalar reference by construction.
+ */
+__attribute__((target("avx2"))) void
+gemmBlockI8Avx2(const int8_t *a_base, const float *a_scales,
+                const int8_t *b_base, const float *b_scales,
+                float *out, size_t out_stride, size_t k,
+                size_t i_lo, size_t i_hi, size_t jb, size_t j_hi)
+{
+    for (size_t i = i_lo; i < i_hi; ++i) {
+        const int8_t *a_row = a_base + i * k;
+        const float sa = a_scales[i];
+        float *out_row = out + i * out_stride;
+        const size_t k32 = k & ~size_t{31};
+        size_t j = jb;
+        for (; j + 4 <= j_hi; j += 4) {
+            const int8_t *b0 = b_base + j * k;
+            const int8_t *b1 = b0 + k;
+            const int8_t *b2 = b1 + k;
+            const int8_t *b3 = b2 + k;
+            __m256i acc0 = _mm256_setzero_si256();
+            __m256i acc1 = _mm256_setzero_si256();
+            __m256i acc2 = _mm256_setzero_si256();
+            __m256i acc3 = _mm256_setzero_si256();
+            size_t kk = 0;
+            for (; kk < k32; kk += 32) {
+                const __m256i va = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(a_row + kk));
+                const __m256i abs_a = _mm256_abs_epi8(va);
+                acc0 = fmaI8Avx2(acc0, abs_a, va, b0 + kk);
+                acc1 = fmaI8Avx2(acc1, abs_a, va, b1 + kk);
+                acc2 = fmaI8Avx2(acc2, abs_a, va, b2 + kk);
+                acc3 = fmaI8Avx2(acc3, abs_a, va, b3 + kk);
+            }
+            // hadd tree: all four accumulators reduce to one
+            // [t0 t1 t2 t3] vector in 5 integer ops (exact, so
+            // still bit-identical to the scalar reference).
+            const __m256i h01 = _mm256_hadd_epi32(acc0, acc1);
+            const __m256i h23 = _mm256_hadd_epi32(acc2, acc3);
+            const __m256i h = _mm256_hadd_epi32(h01, h23);
+            __m128i t4 =
+                _mm_add_epi32(_mm256_castsi256_si128(h),
+                              _mm256_extracti128_si256(h, 1));
+            if (kk < k) {
+                alignas(16) int32_t t[4];
+                _mm_store_si128(reinterpret_cast<__m128i *>(t), t4);
+                for (; kk < k; ++kk) {
+                    const int32_t av = a_row[kk];
+                    t[0] += av * static_cast<int32_t>(b0[kk]);
+                    t[1] += av * static_cast<int32_t>(b1[kk]);
+                    t[2] += av * static_cast<int32_t>(b2[kk]);
+                    t[3] += av * static_cast<int32_t>(b3[kk]);
+                }
+                t4 = _mm_load_si128(
+                    reinterpret_cast<const __m128i *>(t));
+            }
+            // Per lane this is exactly float(acc) * (sa * sb):
+            // cvtepi32->ps is the scalar int->float conversion and
+            // the two muls match the scalar expression's order.
+            const __m128 scales = _mm_mul_ps(
+                _mm_set1_ps(sa), _mm_loadu_ps(b_scales + j));
+            _mm_storeu_ps(out_row + j,
+                          _mm_mul_ps(_mm_cvtepi32_ps(t4), scales));
+        }
+        for (; j < j_hi; ++j) {
+            const int32_t acc = dotRowI8Avx2(a_row, b_base + j * k, k);
+            out_row[j] = static_cast<float>(acc) * (sa * b_scales[j]);
+        }
+    }
+}
+
+#endif // x86_64 && GNUC
+
+/** One-time int8 tile dispatch, mirroring gemmBlock(). */
+GemmBlockI8Fn
+gemmBlockI8()
+{
+#if defined(__x86_64__) && defined(__GNUC__)
+    static const GemmBlockI8Fn fn = __builtin_cpu_supports("avx2")
+                                        ? gemmBlockI8Avx2
+                                        : gemmBlockI8Generic;
+#else
+    static const GemmBlockI8Fn fn = gemmBlockI8Generic;
+#endif
+    return fn;
+}
+
+/**
  * out rows [i_lo, i_hi) of a * b^T, blocked over b rows so a block
  * of weights is reused across all activation rows before moving on.
  */
@@ -125,6 +299,19 @@ gemmTransposedBRows(const Tensor &a, const Tensor &b, float *out,
         const size_t j_hi = std::min(jb + kGemmRowBlock, n);
         block(a.data(), b.data(), out, out_stride, k, i_lo, i_hi,
               jb, j_hi);
+    }
+}
+
+void
+gemmTransposedBRowsI8(const QTensor &a, const QTensor &b, float *out,
+                      size_t out_stride, size_t i_lo, size_t i_hi)
+{
+    const size_t k = a.cols(), n = b.rows();
+    const GemmBlockI8Fn block = gemmBlockI8();
+    for (size_t jb = 0; jb < n; jb += kGemmRowBlock) {
+        const size_t j_hi = std::min(jb + kGemmRowBlock, n);
+        block(a.data(), a.scales(), b.data(), b.scales(), out,
+              out_stride, k, i_lo, i_hi, jb, j_hi);
     }
 }
 
@@ -195,6 +382,46 @@ matmulTransposedB(const Tensor &a, const Tensor &b, Tensor &out)
 {
     SPECINFER_CHECK(out.rows() == a.rows() && out.cols() == b.rows(),
                     "matmulT output shape mismatch");
+    matmulTransposedBInto(a, b, out.data(), out.cols());
+}
+
+void
+matmulTransposedBInto(const QTensor &a, const QTensor &b, float *out,
+                      size_t out_stride)
+{
+    SPECINFER_CHECK(a.cols() == b.cols(),
+                    "int8 matmulT shape mismatch ["
+                        << a.rows() << " x " << a.cols() << "] * ["
+                        << b.rows() << " x " << b.cols() << "]^T");
+    SPECINFER_CHECK(out_stride >= b.rows(),
+                    "int8 matmulT output stride "
+                        << out_stride << " narrower than " << b.rows()
+                        << " columns");
+    const size_t m = a.rows(), n = b.rows();
+    util::ThreadPool &pool = util::ThreadPool::global();
+    if (m >= pool.threads()) {
+        pool.parallelFor(0, pool.threads(), [&](size_t w) {
+            const size_t i_lo = w * m / pool.threads();
+            const size_t i_hi = (w + 1) * m / pool.threads();
+            gemmTransposedBRowsI8(a, b, out, out_stride, i_lo, i_hi);
+        });
+        return;
+    }
+    const size_t n_blocks = (n + kGemmRowBlock - 1) / kGemmRowBlock;
+    const GemmBlockI8Fn block = gemmBlockI8();
+    pool.parallelFor(0, n_blocks, [&](size_t blk) {
+        const size_t jb = blk * kGemmRowBlock;
+        const size_t j_hi = std::min(jb + kGemmRowBlock, n);
+        block(a.data(), a.scales(), b.data(), b.scales(), out,
+              out_stride, a.cols(), 0, m, jb, j_hi);
+    });
+}
+
+void
+matmulTransposedB(const QTensor &a, const QTensor &b, Tensor &out)
+{
+    SPECINFER_CHECK(out.rows() == a.rows() && out.cols() == b.rows(),
+                    "int8 matmulT output shape mismatch");
     matmulTransposedBInto(a, b, out.data(), out.cols());
 }
 

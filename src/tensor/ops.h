@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "tensor/qtensor.h"
 #include "tensor/tensor.h"
 
 namespace specinfer {
@@ -50,6 +51,26 @@ void matmulTransposedB(const Tensor &a, const Tensor &b, Tensor &out);
  */
 void matmulTransposedBInto(const Tensor &a, const Tensor &b,
                            float *out, size_t out_stride);
+
+/**
+ * Integer variant of matmulTransposedBInto: both operands are int8
+ * with per-row scales, and out[i * out_stride + j] =
+ * float(dotRowI8(a.row(i), b.row(j), k)) * (a.scale(i) * b.scale(j)).
+ *
+ * Bit-exactness contract, stronger than the float kernels': the
+ * int32 dot is exact, so any blocking, thread split, or ISA (scalar
+ * vs the AVX2 maddubs tile) yields identical integers, and the one
+ * float expression above is fixed — results are bit-identical across
+ * SPECINFER_THREADS and dispatch by construction.
+ *
+ * @pre a.cols() == b.cols(); out_stride >= b.rows(); out does not
+ *      alias a or b.
+ */
+void matmulTransposedBInto(const QTensor &a, const QTensor &b,
+                           float *out, size_t out_stride);
+
+/** Dense-output wrapper. @pre out has shape [a.rows() x b.rows()]. */
+void matmulTransposedB(const QTensor &a, const QTensor &b, Tensor &out);
 
 /**
  * out_row = x_row * w^T for one row: y[j] = sum_i x[i] * w[j][i].

@@ -1,0 +1,82 @@
+#include "tensor/qtensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/threadpool.h"
+
+namespace specinfer {
+namespace tensor {
+
+QTensor::QTensor(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0),
+      scales_(rows, 0.0f)
+{
+}
+
+void
+QTensor::reset(size_t rows, size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0);
+    scales_.assign(rows, 0.0f);
+}
+
+void
+quantizeRow(const float *row, size_t n, int8_t *q, float *scale)
+{
+    float peak = 0.0f;
+    for (size_t c = 0; c < n; ++c)
+        peak = std::max(peak, std::abs(row[c]));
+    if (peak == 0.0f) {
+        std::fill(q, q + n, int8_t{0});
+        *scale = 0.0f;
+        return;
+    }
+    // fakeQuantizeRows' grid verbatim: q_max = 127, scale computed
+    // as one fp32 divide. |row[c] / scale| <= 127 * (1 + eps), so
+    // round() never reaches 128; the clamp is pure defence and
+    // cannot change a value the fake-quant grid would produce.
+    const float s = peak / 127.0f;
+    for (size_t c = 0; c < n; ++c) {
+        const float r = std::round(row[c] / s);
+        q[c] = static_cast<int8_t>(
+            std::clamp(r, -127.0f, 127.0f));
+    }
+    *scale = s;
+}
+
+void
+quantizeRows(const Tensor &t, QTensor &out)
+{
+    if (out.rows() != t.rows() || out.cols() != t.cols())
+        out.reset(t.rows(), t.cols());
+    util::ThreadPool::global().parallelFor(
+        0, t.rows(), [&](size_t r) {
+            quantizeRow(t.row(r), t.cols(), out.row(r),
+                        out.scales() + r);
+        });
+}
+
+Tensor
+dequantize(const QTensor &q)
+{
+    Tensor out(q.rows(), q.cols());
+    for (size_t r = 0; r < q.rows(); ++r) {
+        const int8_t *src = q.row(r);
+        const float s = q.scale(r);
+        float *dst = out.row(r);
+        // static_cast<float>(q) * s is the same fp32 product
+        // fakeQuantizeRows computes as round(v / s) * s: the
+        // rounded value is an exactly representable small integer,
+        // so the int8 round trip loses nothing.
+        for (size_t c = 0; c < q.cols(); ++c)
+            dst[c] = static_cast<float>(src[c]) * s;
+    }
+    return out;
+}
+
+} // namespace tensor
+} // namespace specinfer

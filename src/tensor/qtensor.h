@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Quantized tensor storage: int8 rows with per-row fp32 scales.
+ *
+ * This is the *real* counterpart of quant.h's fake quantization:
+ * the same symmetric per-row grid ([-127, 127], scale = peak / 127),
+ * but stored as integers so the GEMM kernels in ops.cc can run
+ * integer arithmetic at a quarter of fp32's memory bandwidth.
+ *
+ * Reproducibility contract: quantizeRows() lands every weight on
+ * exactly the grid fakeQuantizeRows(t, 8) uses, and dequantize()
+ * reproduces the fake-quantized float matrix bit for bit — so the
+ * acceptance-rate studies built on fake quantization describe the
+ * int8 execution path's weights verbatim.
+ *
+ * Determinism contract: the integer dot product is exact (int32
+ * accumulation never rounds at these sizes), so int8 GEMM results
+ * are bit-identical across scalar/AVX2 dispatch and any thread
+ * count — stronger than the float kernels' fixed-reduction-order
+ * guarantee, and relied on by the spec-vs-incremental oracle.
+ */
+
+#ifndef SPECINFER_TENSOR_QTENSOR_H
+#define SPECINFER_TENSOR_QTENSOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace specinfer {
+namespace tensor {
+
+/**
+ * Dense row-major int8 matrix with one fp32 scale per row.
+ * Row r dequantizes as data[r][c] * scale[r].
+ */
+class QTensor
+{
+  public:
+    /** Empty 0x0 tensor. */
+    QTensor() = default;
+
+    /** Allocate a rows x cols tensor, zero-initialized, scales 0. */
+    QTensor(size_t rows, size_t cols);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    int8_t *row(size_t r) { return data_.data() + r * cols_; }
+    const int8_t *row(size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    int8_t *data() { return data_.data(); }
+    const int8_t *data() const { return data_.data(); }
+
+    float *scales() { return scales_.data(); }
+    const float *scales() const { return scales_.data(); }
+    float scale(size_t r) const { return scales_[r]; }
+
+    /** Resize (contents are discarded and zeroed). */
+    void reset(size_t rows, size_t cols);
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<int8_t> data_;
+    std::vector<float> scales_;
+};
+
+/**
+ * Quantize one float row to the symmetric int8 grid. Exactly
+ * fakeQuantizeRows' arithmetic: scale = peak / 127 (computed in
+ * fp32), q[c] = round(row[c] / scale). An all-zero row gets scale 0
+ * and all-zero quants (its dot contribution is zero either way).
+ */
+void quantizeRow(const float *row, size_t n, int8_t *q, float *scale);
+
+/**
+ * Quantize every row of t into out (resized to t's shape).
+ * Row-parallel over the global ThreadPool; rows are independent so
+ * the result is identical at any thread count.
+ */
+void quantizeRows(const Tensor &t, QTensor &out);
+
+/** Dequantize back to float: out[r][c] = q[r][c] * scale[r],
+ *  bit-identical to fakeQuantizeRows(t, 8) applied to the source. */
+Tensor dequantize(const QTensor &q);
+
+/**
+ * Exact int32 dot product of two int8 rows — the scalar reference
+ * every int8 GEMM tile must reproduce bit for bit. Products are at
+ * most 127 * 127 and n stays far below 2^17 in this codebase, so
+ * the int32 accumulator cannot overflow (hard bound: n < 2^24).
+ */
+inline int32_t
+dotRowI8(const int8_t *a, const int8_t *b, size_t n)
+{
+    int32_t acc = 0;
+    for (size_t i = 0; i < n; ++i)
+        acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+    return acc;
+}
+
+} // namespace tensor
+} // namespace specinfer
+
+#endif // SPECINFER_TENSOR_QTENSOR_H

@@ -24,8 +24,13 @@ fakeQuantizeRows(Tensor &t, int bits)
         if (peak == 0.0f)
             continue;
         const float scale = peak / q_max;
-        for (size_t c = 0; c < t.cols(); ++c)
-            row[c] = std::round(row[c] / scale) * scale;
+        for (size_t c = 0; c < t.cols(); ++c) {
+            const float v = std::round(row[c] / scale) * scale;
+            // Canonicalize -0.0 to +0.0: integer storage has no
+            // signed zero, and the real-int8 path promises a
+            // bit-identical grid to this one.
+            row[c] = v == 0.0f ? 0.0f : v;
+        }
     }
 }
 

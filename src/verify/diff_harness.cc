@@ -207,6 +207,15 @@ runGreedyTrial(uint64_t seed, bool verbose)
     for (size_t s = 0; s < ssm_count; ++s) {
         const size_t layers =
             1 + rng.uniformInt(static_cast<uint64_t>(mc.nLayers - 1));
+        // ~1/4 of draws run the real-int8 SSM path, so the oracle
+        // continuously fuzzes the integer GEMM kernels end to end
+        // (greedy verification is lossless for ANY draft model, so
+        // the equivalence contract is unchanged).
+        if (rng.uniform() < 0.25) {
+            ssms.push_back(model::makeInt8Ssm(llm, layers));
+            ssm_desc << (s ? "+" : "") << layers << "Li8";
+            continue;
+        }
         const float noise = rng.uniform() < 0.5 ? 0.0f : 0.1f;
         ssms.push_back(model::makeEarlyExitSsm(llm, layers, noise,
                                                rng.next()));

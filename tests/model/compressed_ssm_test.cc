@@ -7,10 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "core/spec_engine.h"
 #include "model/model_factory.h"
 #include "tensor/quant.h"
 #include "test_models.h"
+#include "util/threadpool.h"
 
 namespace specinfer {
 namespace model {
@@ -104,11 +107,100 @@ TEST(CompressedSsmTest, GreedyLosslessWithCompressedSsms)
     EXPECT_EQ(got.tokens, ref.tokens);
 }
 
+TEST(CompressedSsmTest, Int8SsmMirrorsFakeQuantWeightsBitwise)
+{
+    // The real-int8 SSM's fp32 weight mirror must equal the 8-bit
+    // fake-quant SSM's weights bit for bit: same grid, same scales,
+    // so accept-rate studies on fake quantization transfer verbatim.
+    Transformer llm = tinyLlm();
+    Transformer fake = makeQuantizedSsm(llm, 2, 8);
+    Transformer real = makeInt8Ssm(llm, 2);
+    EXPECT_EQ(real.config().precision, Precision::Int8);
+    ASSERT_EQ(real.weights()->qLayers.size(), 2u);
+    for (size_t l = 0; l < 2; ++l) {
+        const LayerWeights &fw = fake.weights()->layers[l];
+        const LayerWeights &rw = real.weights()->layers[l];
+        const tensor::Tensor *fake_mats[] = {&fw.wq, &fw.wk, &fw.wv,
+                                             &fw.wo, &fw.wGate,
+                                             &fw.wUp, &fw.wDown};
+        const tensor::Tensor *real_mats[] = {&rw.wq, &rw.wk, &rw.wv,
+                                             &rw.wo, &rw.wGate,
+                                             &rw.wUp, &rw.wDown};
+        for (size_t t = 0; t < 7; ++t) {
+            ASSERT_EQ(fake_mats[t]->size(), real_mats[t]->size());
+            EXPECT_EQ(std::memcmp(fake_mats[t]->data(),
+                                  real_mats[t]->data(),
+                                  fake_mats[t]->size() *
+                                      sizeof(float)),
+                      0)
+                << "layer " << l << " matrix " << t;
+        }
+    }
+    EXPECT_EQ(std::memcmp(fake.weights()->lmHead.data(),
+                          real.weights()->lmHead.data(),
+                          fake.weights()->lmHead.size() *
+                              sizeof(float)),
+              0);
+    // The source LLM is untouched.
+    EXPECT_EQ(llm.config().precision, Precision::Fp32);
+    EXPECT_TRUE(llm.weights()->qLayers.empty());
+}
+
+TEST(CompressedSsmTest, GreedyLosslessWithInt8Ssm)
+{
+    // Greedy verification is exact for ANY draft model — including
+    // one whose projections actually execute in int8.
+    Transformer llm = tinyLlm();
+    Transformer int8 = makeInt8Ssm(llm, 2);
+    std::vector<int> prompt = {11, 22, 33};
+
+    SamplingParams greedy;
+    greedy.temperature = 0.0f;
+    util::Rng rng(1);
+    core::GenerationResult ref = core::incrementalGenerate(
+        llm, prompt, greedy, 16, rng, false);
+
+    core::EngineConfig cfg = core::EngineConfig::greedyDefault();
+    cfg.maxNewTokens = 16;
+    cfg.stopAtEos = false;
+    core::SpecEngine engine(&llm, {&int8}, cfg);
+    core::GenerationResult got = engine.generate(prompt);
+    EXPECT_EQ(got.tokens, ref.tokens);
+}
+
+TEST(CompressedSsmTest, Int8ForwardBitIdenticalAcrossThreadCounts)
+{
+    // The int8 forward's determinism contract, end to end through
+    // the transformer (name carries "Int8" so the TSan sweep regex
+    // picks this suite up).
+    Transformer llm = tinyLlm();
+    Transformer int8 = makeInt8Ssm(llm, 2);
+    DecodeChunk chunk = DecodeChunk::sequence({3, 9, 27, 5, 14});
+
+    util::ThreadPool &pool = util::ThreadPool::global();
+    const size_t restore = pool.threads();
+    pool.setThreads(1);
+    KvCache ref_cache = int8.makeCache();
+    tensor::Tensor ref = int8.forward(chunk, ref_cache);
+    for (size_t threads : {2u, 8u}) {
+        pool.setThreads(threads);
+        KvCache cache = int8.makeCache();
+        tensor::Tensor got = int8.forward(chunk, cache);
+        ASSERT_EQ(got.size(), ref.size());
+        EXPECT_EQ(std::memcmp(got.data(), ref.data(),
+                              ref.size() * sizeof(float)),
+                  0)
+            << "int8 forward differs at threads=" << threads;
+    }
+    pool.setThreads(restore);
+}
+
 TEST(CompressedSsmDeathTest, ValidatesDepth)
 {
     Transformer llm = tinyLlm();
     EXPECT_DEATH(makeQuantizedSsm(llm, 0, 8), "depth");
     EXPECT_DEATH(makePrunedSsm(llm, 99, 0.5), "depth");
+    EXPECT_DEATH(makeInt8Ssm(llm, 0), "depth");
 }
 
 } // namespace

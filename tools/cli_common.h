@@ -32,7 +32,8 @@ inline const std::vector<std::string> &
 commonFlagNames()
 {
     static const std::vector<std::string> names = {
-        "llm",        "ssm-layers", "dataset",   "num-prompts",
+        "llm",        "ssm-layers", "ssm-precision",
+        "dataset",    "num-prompts",
         "max-tokens", "temperature", "expansion", "seed",
         "verbose",
         // Crash-safe serving (spec_infer --journal mode).

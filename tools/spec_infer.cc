@@ -6,6 +6,7 @@
  *
  * Usage:
  *   spec_infer [--llm llama-7b-sim] [--ssm-layers 2]
+ *              [--ssm-precision fp32|int8]
  *              [--dataset Alpaca] [--num-prompts 4]
  *              [--max-tokens 64] [--temperature 0]
  *              [--expansion 1,1,3,1,1,1,1,1] [--seed 1] [--verbose]
@@ -53,12 +54,16 @@ int
 serveJournaled(core::SpecEngine &engine,
                const workload::PromptDataset &dataset,
                size_t num_prompts, size_t batch,
+               model::Precision ssm_precision,
                const std::string &journal_path, size_t snap_every,
                int64_t crash_after, bool recover_mode, bool verbose)
 {
     const std::string snap_path = journal_path + ".snap";
     runtime::ServingConfig scfg;
     scfg.maxBatchSize = batch;
+    // Persisted in every snapshot: recovery refuses to resume a run
+    // under a different SSM precision than it crashed with.
+    scfg.ssmPrecision = static_cast<uint8_t>(ssm_precision);
     runtime::RequestManager manager(&engine, scfg);
 
     size_t next_prompt = 0;
@@ -186,7 +191,12 @@ main(int argc, char **argv)
 
     model::Transformer llm =
         model::makeLlm(model::llmPreset(llm_name));
-    model::Transformer ssm = model::makeEarlyExitSsm(llm, ssm_layers);
+    const model::Precision ssm_precision =
+        model::parsePrecision(flags.get("ssm-precision", "fp32"));
+    model::Transformer ssm =
+        ssm_precision == model::Precision::Int8
+            ? model::makeInt8Ssm(llm, ssm_layers)
+            : model::makeEarlyExitSsm(llm, ssm_layers);
 
     core::EngineConfig cfg =
         temperature > 0.0f
@@ -213,7 +223,7 @@ main(int argc, char **argv)
         int rc = serveJournaled(
             engine, dataset, num_prompts,
             static_cast<size_t>(flags.getInt("batch", 4)),
-            journal_path,
+            ssm_precision, journal_path,
             static_cast<size_t>(flags.getInt("snapshot-every", 32)),
             flags.getInt("crash-after", -1),
             flags.getBool("recover"), verbose);

@@ -10,6 +10,7 @@
  *
  * Usage:
  *   specinferd [--llm llama-7b-sim] [--ssm-layers 2]
+ *              [--ssm-precision fp32|int8]
  *              [--expansion 1,1,3,1,1,1,1,1] [--seed 1]
  *              [--max-tokens 64] [--temperature 0] [--batch 4]
  *              [--dir DIR]            IPC dir ($SPECINFER_IPC_DIR,
@@ -62,7 +63,8 @@ main(int argc, char **argv)
 {
     using namespace specinfer;
     util::Flags flags(argc, argv);
-    flags.allowOnly({"llm", "ssm-layers", "expansion", "seed",
+    flags.allowOnly({"llm", "ssm-layers", "ssm-precision",
+                     "expansion", "seed",
                      "max-tokens", "temperature", "batch", "dir",
                      "lease-ticks", "scan-every", "tick-micros",
                      "max-ticks", "journal", "snapshot-every",
@@ -89,8 +91,12 @@ main(int argc, char **argv)
 
     model::Transformer llm =
         model::makeLlm(model::llmPreset(llm_name));
+    const model::Precision ssm_precision = model::parsePrecision(
+        flags.get("ssm-precision", "fp32"));
     model::Transformer ssm =
-        model::makeEarlyExitSsm(llm, ssm_layers);
+        ssm_precision == model::Precision::Int8
+            ? model::makeInt8Ssm(llm, ssm_layers)
+            : model::makeEarlyExitSsm(llm, ssm_layers);
 
     core::EngineConfig cfg =
         temperature > 0.0f
@@ -107,6 +113,7 @@ main(int argc, char **argv)
     runtime::ServingConfig serving;
     serving.maxBatchSize =
         static_cast<size_t>(flags.getInt("batch", 4));
+    serving.ssmPrecision = static_cast<uint8_t>(ssm_precision);
     serving.obs = obs_ctx.get();
 
     ipc::DaemonConfig dcfg;
@@ -127,6 +134,8 @@ main(int argc, char **argv)
     dcfg.recordHeader.engineMaxNewTokens = max_tokens;
     dcfg.recordHeader.temperature =
         static_cast<double>(temperature);
+    dcfg.recordHeader.ssmPrecision =
+        static_cast<uint8_t>(ssm_precision);
     dcfg.obs = obs_ctx.get();
 
     ipc::Daemon daemon(&engine, serving, dcfg);
