@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Ablation: QoS overload control under an offered-load sweep.
+ *
+ * A bursty mixed-class trace (interactive/standard trickle, batch
+ * shards slamming the queue — workload::classedBurstyArrivals)
+ * drains through the request manager at rising offered load: the
+ * mean arrival gap shrinks while the engine's capacity stays fixed.
+ * Per-class token buckets meter ingress and the bounded queue sheds
+ * under pressure, in priority order. Each load point records what
+ * the overload layer is supposed to protect:
+ *
+ *   p99_interactive / p99_standard / p99_batch — per-class p99
+ *     completion latency (iterations, arrival -> finish) over
+ *     requests that actually finished their tokens;
+ *   shed_rate — fraction of offered requests rejected (Overloaded /
+ *     QueueFull) or accepted-then-shed;
+ *   shed_interactive — interactive-class sheds (the invariant the
+ *     priority order buys: this stays 0 while batch load is shed);
+ *   goodput — generated tokens per iteration from finished requests.
+ *
+ * scripts/bench_json.sh appends the counters to BENCH_serving.json
+ * next to the timing, so the latency/shed trajectory under overload
+ * is tracked per git rev like every other serving number.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "runtime/request_manager.h"
+#include "util/stats.h"
+#include "workload/arrivals.h"
+
+namespace {
+
+using namespace specinfer;
+
+constexpr size_t kBatchSlots = 4;
+/** Offered-load sweep: mean iterations between arrival events.
+ *  Capacity is ~kBatchSlots concurrent decodes, so the last points
+ *  are deeply oversubscribed and must shed. */
+constexpr double kGapSweep[] = {4.0, 2.0, 1.0, 0.5};
+/** Mix: mostly interactive/standard singles, rare batch events that
+ *  land whole shards (mean 6 requests) at once. */
+constexpr double kClassMix[3] = {0.45, 0.35, 0.20};
+constexpr double kBatchBurst = 6.0;
+
+struct OverloadBench
+{
+    bench::BenchModels models = bench::makeBenchModels();
+    core::EngineConfig engineCfg = bench::benchEngineConfig(
+        false, core::ExpansionConfig::paperDefault());
+    workload::PromptDataset dataset = workload::PromptDataset::named(
+        "CIP", models.llm.config().vocabSize);
+    size_t requests = bench::benchPrompts() * 4;
+};
+
+OverloadBench &
+fixture()
+{
+    static OverloadBench bench;
+    return bench;
+}
+
+runtime::ServingConfig
+overloadServingConfig()
+{
+    runtime::ServingConfig cfg;
+    cfg.maxBatchSize = kBatchSlots;
+    cfg.maxPendingRequests = 2 * kBatchSlots;
+    // Interactive is effectively unmetered at these loads; batch is
+    // throttled hard, so overload lands on the class built for it.
+    cfg.classBucketCapacity[0] = 16;
+    cfg.classBucketCapacity[1] = 8;
+    cfg.classBucketCapacity[2] = 4;
+    cfg.classRefillEveryIterations[0] = 1;
+    cfg.classRefillEveryIterations[1] = 2;
+    cfg.classRefillEveryIterations[2] = 8;
+    return cfg;
+}
+
+void
+BM_OfferedLoadSweep(benchmark::State &state)
+{
+    OverloadBench &f = fixture();
+    const double gap =
+        kGapSweep[static_cast<size_t>(state.range(0))];
+    core::SpecEngine engine(&f.models.llm, {&f.models.ssm},
+                            f.engineCfg);
+    const std::vector<workload::ClassedArrival> trace =
+        workload::classedBurstyArrivals(f.requests, kClassMix, gap,
+                                        kBatchBurst, 23);
+
+    double p99[runtime::kPriorityCount] = {0, 0, 0};
+    double shed_rate = 0.0, shed_interactive = 0.0, goodput = 0.0;
+    for (auto _ : state) {
+        runtime::RequestManager manager(&engine,
+                                        overloadServingConfig());
+        size_t submitted = 0, rejected = 0;
+        while (submitted < f.requests || manager.busy()) {
+            while (submitted < f.requests &&
+                   trace[submitted].iteration <=
+                       manager.iterationCount()) {
+                const runtime::SubmitResult res = manager.submit(
+                    f.dataset.prompt(submitted), 0, 0,
+                    static_cast<runtime::Priority>(
+                        trace[submitted].priority));
+                if (!res.accepted())
+                    ++rejected;
+                ++submitted;
+            }
+            manager.runIteration();
+        }
+
+        std::vector<double> lat[runtime::kPriorityCount];
+        size_t shed = 0, tokens = 0;
+        for (const runtime::RequestResult &res :
+             manager.finished()) {
+            if (res.stopReason ==
+                core::SpecSession::StopReason::Shed) {
+                ++shed;
+                continue;
+            }
+            lat[static_cast<size_t>(res.priority)].push_back(
+                static_cast<double>(res.finishIteration -
+                                    res.arrivalIteration + 1));
+            tokens += res.tokens.size();
+        }
+        for (size_t c = 0; c < runtime::kPriorityCount; ++c)
+            p99[c] = lat[c].empty()
+                         ? 0.0
+                         : util::percentile(lat[c], 99);
+        shed_rate = static_cast<double>(rejected + shed) /
+                    static_cast<double>(f.requests);
+        shed_interactive = static_cast<double>(
+            manager.stats().shedByClass[0]);
+        goodput = static_cast<double>(tokens) /
+                  static_cast<double>(manager.iterationCount());
+    }
+
+    state.counters["offered_gap"] = gap;
+    state.counters["p99_interactive"] = p99[0];
+    state.counters["p99_standard"] = p99[1];
+    state.counters["p99_batch"] = p99[2];
+    state.counters["shed_rate"] = shed_rate;
+    state.counters["shed_interactive"] = shed_interactive;
+    state.counters["goodput"] = goodput;
+}
+BENCHMARK(BM_OfferedLoadSweep)
+    ->ArgName("load")
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

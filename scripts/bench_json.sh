@@ -104,3 +104,4 @@ PY
 run_one micro_kernels BENCH_kernels.json
 run_one micro_serving BENCH_serving.json
 run_one ablation_prefix_sharing BENCH_serving.json
+run_one ablation_overload BENCH_serving.json

@@ -26,7 +26,7 @@ SPECINFER_TRACE_OUT=build/obs/micro_serving.trace.json \
 ./build/tools/obs_check \
     --metrics build/obs/micro_serving.prom \
     --trace build/obs/micro_serving.trace.json \
-    --require-metric serving_iterations,serving_requests_finished,serving_tokens_generated,serving_iteration_millis,engine_tokens_verified,pool_jobs_dispatched
+    --require-metric serving_iterations,serving_requests_finished,serving_tokens_generated,serving_iteration_millis,engine_tokens_verified,pool_jobs_dispatched,serving_rejected_overloaded,serving_deadline_expiries,serving_shed_by_class_interactive,serving_shed_by_class_standard,serving_shed_by_class_batch
 # Shared-prefix scenario: the multi-tenant sharing ablation under
 # the exporters (it also asserts sharing-vs-plain token identity
 # before reporting), then obs_check pins the prefix-sharing metric
@@ -66,6 +66,13 @@ SPECINFER_BENCH_TOKENS=8 \
 # ipc_*/daemon_* metric catalog (the script runs obs_check itself).
 ./scripts/daemon_smoke.sh
 
+# Supervisor smoke: specinferd under specinferd_supervisor crashing
+# repeatedly mid-stream (--crash-after). Asserts >= 2 journal-
+# recovered restarts, streams oracle-identical across the crashes,
+# a graceful SIGTERM drain with no leaked segments, and the pinned
+# supervisor_* metric catalog.
+./scripts/supervisor_smoke.sh
+
 # Fault-injection soak under ASan/UBSan: thousands of scheduling
 # iterations with random speculator/verifier/allocator/straggler
 # faults; checks liveness, request conservation, the spec-vs-
@@ -74,6 +81,18 @@ SPECINFER_BENCH_TOKENS=8 \
 cmake --preset asan
 cmake --build --preset asan --target test_fault
 ./build-asan/tests/test_fault
+
+# Overload-resilience suites under ASan/UBSan: watchdog arm/fire,
+# supervisor backoff/crash-loop schedules, QoS priority scheduling +
+# shed/deadline policies, per-class token buckets, and the daemon
+# hang/wedge chaos soak (injected stalls, frozen heartbeats, and
+# supervisor-style kill/restart cycles over one journal).
+cmake --build --preset asan --target test_util test_runtime \
+      test_ipc_soak
+./build-asan/tests/test_util \
+    --gtest_filter='Watchdog*:SupervisorPolicy*'
+./build-asan/tests/test_runtime --gtest_filter='Priority*:Overload*'
+./build-asan/tests/test_ipc_soak --gtest_filter='*WatchdogHangWedge*'
 
 # Int8 kernel + model suites under ASan/UBSan: quantization, the
 # integer GEMM tiles (scalar and AVX2 dispatch), and the int8 SSM
@@ -98,7 +117,7 @@ cmake --build --preset tsan
 SPECINFER_SOAK_ITERATIONS=1500 SPECINFER_RECOVERY_TRIALS=60 \
 SPECINFER_RECOVERY_SOAK_ITERATIONS=800 \
 ctest --preset tsan \
-      -R 'ThreadPool|ThreadedForward|Fault|Recovery|Journal|Crc32|Concurrency|Tracer|WorkloadTrace|OverheadGuard|KvSharing|PrefixSharing|Ring|Int8'
+      -R 'ThreadPool|ThreadedForward|Fault|Recovery|Journal|Crc32|Concurrency|Tracer|WorkloadTrace|OverheadGuard|KvSharing|PrefixSharing|Ring|Int8|Watchdog|SupervisorPolicy|Priority|Overload'
 
 for b in build/bench/*; do
     echo "=== $b ==="

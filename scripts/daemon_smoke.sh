@@ -117,7 +117,7 @@ leftover=$(ls "$IPCDIR" | grep -c '^specinferd' || true)
 # Pinned serving-plane metric catalog, and the reap actually
 # happened (daemon_reaps >= 1 in the exposition).
 "$BUILD/tools/obs_check" --metrics "$WORK/daemon.prom" \
-    --require-metric ipc_frames_sent,ipc_frames_received,ipc_bytes_sent,ipc_bytes_received,ipc_ring_full_retries,ipc_crc_rejects,daemon_reaps,daemon_requests_admitted,daemon_requests_rejected,daemon_cancels,daemon_tokens_streamed,daemon_ticks,daemon_clients_connected
+    --require-metric ipc_frames_sent,ipc_frames_received,ipc_bytes_sent,ipc_bytes_received,ipc_ring_full_retries,ipc_crc_rejects,daemon_reaps,daemon_requests_admitted,daemon_requests_rejected,daemon_cancels,daemon_tokens_streamed,daemon_ticks,daemon_clients_connected,watchdog_stalls,watchdog_wedges
 awk '$1 == "daemon_reaps" { reaps = $2 }
      END { exit (reaps >= 1 ? 0 : 1) }' "$WORK/daemon.prom" || {
     echo "daemon_smoke: daemon_reaps never incremented"

@@ -405,6 +405,21 @@ SpecSession::restoreStep(const std::vector<int> &tokens,
     stopReason_ = stop_reason;
 }
 
+void
+SpecSession::hydrateKv(size_t target_len)
+{
+    SPECINFER_CHECK(target_len <= seq_.size(),
+                    "hydration target beyond the sequence");
+    if (target_len <= llmCache_.length())
+        return;
+    std::vector<int> part(
+        seq_.begin() + static_cast<ptrdiff_t>(llmCache_.length()),
+        seq_.begin() + static_cast<ptrdiff_t>(target_len));
+    engine_->llm_->forward(model::DecodeChunk::sequence(part),
+                           llmCache_);
+    publishPromptBlocks();
+}
+
 SpecSession
 SpecEngine::loadSession(std::istream &in) const
 {

@@ -243,6 +243,28 @@ class SpecSession
                      const util::RngState &rng_after, bool done,
                      StopReason stop_reason);
 
+    /** LLM KV rows currently resident (the chunked-prefill cursor:
+     *  step() prefills from here). */
+    size_t cachedTokens() const { return llmCache_.length(); }
+
+    /**
+     * Redo-recovery companion to restoreStep(): recompute LLM KV
+     * rows for seq_[cachedTokens(), target_len) with plain
+     * sequential forwards (bit-identical to what the crashed
+     * process held — chunk layout never affects values), and
+     * republish any prompt blocks that become resident.
+     *
+     * restoreStep() alone leaves the cache behind and relies on
+     * step()'s lazy catch-up — output-invariant, but the catch-up
+     * repeats prefill *iterations*, which wall-clock deadlines can
+     * observe. Replay calls this after each restored record to keep
+     * the cache at exactly the live run's level, so a recovered
+     * session spends the same number of iterations per token as an
+     * uninterrupted one. No-op when target_len is already resident;
+     * consumes no session RNG and records no step.
+     */
+    void hydrateKv(size_t target_len);
+
   private:
     friend class SpecEngine;
     SpecSession(const SpecEngine *engine, std::vector<int> prompt,

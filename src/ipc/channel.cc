@@ -17,6 +17,18 @@ align64(size_t n)
 
 } // namespace
 
+const char *
+boardHealthName(BoardHealth health)
+{
+    switch (health) {
+      case BoardHealth::Healthy:    return "healthy";
+      case BoardHealth::Degraded:   return "degraded";
+      case BoardHealth::Overloaded: return "overloaded";
+      case BoardHealth::Draining:   return "draining";
+    }
+    return "unknown";
+}
+
 std::string
 Board::path(const std::string &dir)
 {
@@ -41,6 +53,9 @@ Board::create(const std::string &dir, uint64_t epoch)
     s->heartbeat.store(0, std::memory_order_relaxed);
     s->accepting.store(1, std::memory_order_relaxed);
     s->draining.store(0, std::memory_order_relaxed);
+    s->health.store(
+        static_cast<uint32_t>(BoardHealth::Healthy),
+        std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_release);
     s->magic = kBoardMagic;
     shared_ = s;

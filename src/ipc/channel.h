@@ -41,6 +41,24 @@ constexpr const char *kBoardName = "specinferd.board";
 /** Client channel name prefix inside the IPC directory. */
 constexpr const char *kClientPrefix = "specinferd.client.";
 
+/**
+ * Daemon health, published on the board for clients and the
+ * supervisor — nobody needs a round-trip to learn the daemon is
+ * sick.
+ */
+enum class BoardHealth : uint32_t
+{
+    Healthy = 0,
+    /** Watchdog saw an iteration stall; speculation disabled. */
+    Degraded = 1,
+    /** Ingress shedding active (class buckets rejecting). */
+    Overloaded = 2,
+    /** Graceful shutdown in progress; submits rejected. */
+    Draining = 3,
+};
+
+const char *boardHealthName(BoardHealth health);
+
 /** Daemon liveness board (one page). */
 struct BoardShared
 {
@@ -54,6 +72,8 @@ struct BoardShared
     /** 0 while draining/stopped: submits will be rejected. */
     alignas(64) std::atomic<uint32_t> accepting;
     std::atomic<uint32_t> draining;
+    /** BoardHealth word; clients bias backoff, supervisor logs. */
+    std::atomic<uint32_t> health;
 };
 
 constexpr uint64_t kBoardMagic = 0x5350454342524430ULL;

@@ -78,6 +78,7 @@ Client::queueHelloAndResumes()
             sub.type = MsgType::Submit;
             sub.tag = req.tag;
             sub.maxNewTokens = req.maxNewTokens;
+            sub.priority = static_cast<uint8_t>(req.priority);
             sub.tokens = req.prompt;
             outbox_.push_back(std::move(sub));
         }
@@ -160,6 +161,24 @@ Client::handleMessage(const Message &msg, ClientStatus *status)
         if (it == requests_.end())
             break;
         it->second.reject = msg.reject;
+        if (msg.reject == WireReject::Overloaded) {
+            it->second.retryAfterPolls = msg.retryAfterPolls;
+            // Class-aware backoff: scale the daemon's advice by the
+            // class weight so that when the bucket refills the most
+            // urgent traffic retries first and Batch yields.
+            static const uint64_t kClassWeight[runtime::
+                                                   kPriorityCount] =
+                {1, 2, 4};
+            const uint64_t advised =
+                msg.retryAfterPolls > 0 ? msg.retryAfterPolls : 1;
+            overloadBackoffPolls_ =
+                advised *
+                kClassWeight[static_cast<size_t>(
+                    it->second.priority)];
+            if (cfg_.backoffUnitMicros > 0)
+                backoffSleep(std::min<size_t>(
+                    overloadBackoffPolls_, 10));
+        }
         *status = ClientStatus::Rejected;
         break;
       }
@@ -323,21 +342,32 @@ Client::waitConnected(size_t max_polls)
 
 uint64_t
 Client::submit(const std::vector<int> &prompt,
-               size_t max_new_tokens)
+               size_t max_new_tokens, runtime::Priority priority)
 {
     const uint64_t tag = nextTag_++;
     ClientRequest req;
     req.tag = tag;
     req.prompt = prompt;
     req.maxNewTokens = max_new_tokens;
+    req.priority = priority;
     requests_[tag] = std::move(req);
     Message msg;
     msg.type = MsgType::Submit;
     msg.tag = tag;
     msg.maxNewTokens = max_new_tokens;
+    msg.priority = static_cast<uint8_t>(priority);
     msg.tokens = prompt;
     outbox_.push_back(std::move(msg));
     return tag;
+}
+
+BoardHealth
+Client::boardHealth() const
+{
+    if (!board_.valid())
+        return BoardHealth::Healthy;
+    return static_cast<BoardHealth>(
+        board_.shared()->health.load(std::memory_order_acquire));
 }
 
 bool

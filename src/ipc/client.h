@@ -43,6 +43,7 @@
 
 #include "ipc/channel.h"
 #include "ipc/wire.h"
+#include "runtime/request.h"
 #include "util/rng.h"
 
 namespace specinfer {
@@ -119,6 +120,11 @@ struct ClientRequest
     std::vector<int> tokens;
     std::vector<int> prompt;   ///< kept for re-submit after loss
     uint64_t maxNewTokens = 0;
+    /** QoS class this request was submitted under. */
+    runtime::Priority priority = runtime::Priority::Standard;
+    /** Daemon's retry advice from an Overloaded rejection (polls,
+     *  unscaled). */
+    uint64_t retryAfterPolls = 0;
 };
 
 /** One connection to specinferd. Single-threaded; drive with
@@ -160,7 +166,9 @@ class Client
 
     /** Queue a request; returns the local tag. */
     uint64_t submit(const std::vector<int> &prompt,
-                    size_t max_new_tokens);
+                    size_t max_new_tokens,
+                    runtime::Priority priority =
+                        runtime::Priority::Standard);
 
     /** Queue a cancel (needs the ack to have arrived). */
     bool cancel(uint64_t tag);
@@ -184,6 +192,22 @@ class Client
     uint64_t daemonEpoch() const { return daemonEpoch_; }
     ClientStatus lastStatus() const { return lastStatus_; }
 
+    /**
+     * Class-scaled backoff advice from the most recent Overloaded
+     * rejection: the daemon's retry-after, multiplied by the
+     * rejected request's class weight (Interactive 1×, Standard 2×,
+     * Batch 4×) so when the bucket refills the most urgent traffic
+     * retries first. poll() also sleeps one backoff unit per
+     * advised poll when real sleeping is enabled.
+     */
+    uint64_t overloadBackoffPolls() const
+    {
+        return overloadBackoffPolls_;
+    }
+
+    /** Daemon health word from the board (Healthy when unknown). */
+    BoardHealth boardHealth() const;
+
   private:
     void queueHelloAndResumes();
     void handleMessage(const Message &msg, ClientStatus *status);
@@ -206,6 +230,7 @@ class Client
     size_t stallPolls_ = 0;
     size_t quietPolls_ = 0;
     size_t sendFailures_ = 0;
+    uint64_t overloadBackoffPolls_ = 0;
     ClientStatus lastStatus_ = ClientStatus::Ok;
 
     uint64_t nextTag_ = 1;

@@ -1,13 +1,16 @@
 #include "ipc/daemon.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <sstream>
 
 #include "obs/obs.h"
 #include "util/fault.h"
+#include "util/logging.h"
 
 namespace specinfer {
 namespace ipc {
@@ -38,9 +41,15 @@ toWire(runtime::RejectReason reason)
         return WireReject::NeverFits;
       case runtime::RejectReason::InvalidPrompt:
         return WireReject::InvalidPrompt;
+      case runtime::RejectReason::Overloaded:
+        return WireReject::Overloaded;
     }
     return WireReject::None;
 }
+
+/** Health decays from Overloaded back to Healthy after this many
+ *  shed-free ticks. */
+constexpr uint64_t kOverloadStickyTicks = 16;
 
 } // namespace
 
@@ -54,7 +63,11 @@ Daemon::Daemon(const core::SpecEngine *engine,
     serving_.obs = obs_;
 }
 
-Daemon::~Daemon() = default;
+Daemon::~Daemon()
+{
+    if (journalSyncFd_ >= 0)
+        ::close(journalSyncFd_);
+}
 
 void
 Daemon::preregisterMetrics()
@@ -68,11 +81,13 @@ Daemon::preregisterMetrics()
           "ipc_bytes_received", "ipc_ring_full_retries",
           "ipc_crc_rejects", "daemon_reaps",
           "daemon_requests_admitted", "daemon_requests_rejected",
-          "daemon_cancels", "daemon_tokens_streamed"})
+          "daemon_cancels", "daemon_tokens_streamed",
+          "watchdog_stalls", "watchdog_wedges"})
         obs_->metrics().counter(name)->inc(0);
     for (const char *name :
          {"daemon_ticks", "daemon_epoch", "daemon_clients_connected",
-          "daemon_requests_inflight"})
+          "daemon_requests_inflight", "daemon_health",
+          "watchdog_last_overrun_nanos"})
         obs_->metrics().gauge(name)->set(0);
 }
 
@@ -103,6 +118,15 @@ Daemon::start()
             return false;
         journal_ =
             std::make_unique<runtime::JournalWriter>(journalOut_);
+        if (serving_.journalFsync) {
+            // Second descriptor on the same file: appends flush the
+            // stream per record, so fdatasync here makes every
+            // committed frame power-loss durable (DESIGN.md §5d).
+            journalSyncFd_ =
+                ::open(cfg_.journalPath.c_str(), O_WRONLY);
+            if (journalSyncFd_ >= 0)
+                journal_->setSyncFd(journalSyncFd_);
+        }
         manager_->attachJournal(journal_.get());
         snapshot();
     }
@@ -149,6 +173,7 @@ Daemon::start()
             sub.id = info.id;
             sub.prompt = info.prompt;
             sub.maxNewTokens = info.maxNewTokens;
+            sub.priority = static_cast<uint8_t>(info.priority);
             record(sub);
         }
         // Results retired during journal replay finished after the
@@ -192,10 +217,23 @@ Daemon::start()
                     ->inc(tokens.size());
         });
 
+    // Watchdog over the scheduling iteration, on the daemon's obs
+    // clock (tests inject a ManualClock via DaemonConfig::obs).
+    watchdog_ = std::make_unique<util::Watchdog>(
+        cfg_.watchdogBudgetNanos,
+        [this]() { return obs_ != nullptr ? obs_->nowNanos() : 0; });
+    iterationsAtStart_ = manager_->stats().iterations;
+
     if (!board_.create(cfg_.dir, epoch_))
         return false;
     started_ = true;
     return true;
+}
+
+uint64_t
+Daemon::stallCount() const
+{
+    return watchdog_ ? watchdog_->stallCount() : 0;
 }
 
 Daemon::Conn *
@@ -256,9 +294,15 @@ Daemon::handleMessage(Conn &conn, const Message &msg)
                     .counter("daemon_requests_rejected")
                     ->inc();
         } else {
+            // Unknown class bytes from a newer/hostile client map
+            // to Standard instead of poisoning an array index.
+            const runtime::Priority cls =
+                msg.priority < runtime::kPriorityCount
+                    ? static_cast<runtime::Priority>(msg.priority)
+                    : runtime::Priority::Standard;
             runtime::SubmitResult res = manager_->submit(
                 msg.tokens,
-                static_cast<size_t>(msg.maxNewTokens));
+                static_cast<size_t>(msg.maxNewTokens), 0, cls);
             if (res.accepted()) {
                 owner_[res.id] = &conn;
                 reply.type = MsgType::SubmitAck;
@@ -269,6 +313,7 @@ Daemon::handleMessage(Conn &conn, const Message &msg)
                 sub.id = res.id;
                 sub.prompt = msg.tokens;
                 sub.maxNewTokens = msg.maxNewTokens;
+                sub.priority = static_cast<uint8_t>(cls);
                 record(sub);
                 if (obs_ != nullptr)
                     obs_->metrics()
@@ -277,6 +322,12 @@ Daemon::handleMessage(Conn &conn, const Message &msg)
             } else {
                 reply.type = MsgType::Reject;
                 reply.reject = toWire(res.reject);
+                if (res.reject ==
+                    runtime::RejectReason::Overloaded) {
+                    reply.retryAfterPolls =
+                        res.retryAfterIterations;
+                    lastOverloadTick_ = tick_;
+                }
                 if (obs_ != nullptr)
                     obs_->metrics()
                         .counter("daemon_requests_rejected")
@@ -492,6 +543,77 @@ Daemon::flushOutboxes()
 }
 
 void
+Daemon::runGuardedIteration()
+{
+    // Wedge: the iteration never returns. In-process we model the
+    // never-returns by freezing the daemon — every later tick()
+    // no-ops and the board heartbeat stops advancing, which is
+    // exactly the signal the external supervisor kills on. Recovery
+    // then replays the journal like any other crash.
+    if (util::faultAt(util::FaultPoint::Wedge)) {
+        wedged_ = true;
+        SPECINFER_WARN("daemon: wedge fault injected; heartbeat "
+                       "frozen (supervisor will kill)");
+        if (obs_ != nullptr)
+            obs_->metrics().counter("watchdog_wedges")->inc();
+        return;
+    }
+    watchdog_->arm();
+    // Hang: the iteration eventually returns, but far past its
+    // budget. Simulated by burning the watchdog window before the
+    // real work — under a SteadyClock this spins for the budget,
+    // under an auto-stepping ManualClock it is instant and exact.
+    if (watchdog_->armed() &&
+        util::faultAt(util::FaultPoint::Hang)) {
+        while (!watchdog_->expired()) {
+        }
+    }
+    manager_->runIteration();
+    if (watchdog_->disarm()) {
+        // Stall: publish degraded health (via publishHealth seeing
+        // the disabled ladder) and drop to incremental decoding —
+        // slower, never wrong, and each iteration stays short
+        // enough to keep servicing the rings.
+        manager_->forceDegrade(cfg_.stallDegradeIterations);
+        SPECINFER_WARN("daemon: iteration stalled "
+                       << watchdog_->lastOverrunNanos()
+                       << "ns past its "
+                       << watchdog_->budgetNanos()
+                       << "ns budget; speculation disabled for "
+                       << cfg_.stallDegradeIterations
+                       << " iterations");
+        if (obs_ != nullptr) {
+            obs_->metrics().counter("watchdog_stalls")->inc();
+            obs_->metrics()
+                .gauge("watchdog_last_overrun_nanos")
+                ->set(static_cast<int64_t>(
+                    watchdog_->lastOverrunNanos()));
+        }
+    }
+}
+
+void
+Daemon::publishHealth()
+{
+    BoardHealth next = BoardHealth::Healthy;
+    if (!accepting_)
+        next = BoardHealth::Draining;
+    else if (manager_->degradation().speculationDisabled)
+        next = BoardHealth::Degraded;
+    else if (lastOverloadTick_ != 0 &&
+             tick_ - lastOverloadTick_ < kOverloadStickyTicks)
+        next = BoardHealth::Overloaded;
+    health_ = next;
+    if (board_.valid())
+        board_.shared()->health.store(
+            static_cast<uint32_t>(next),
+            std::memory_order_release);
+    if (obs_ != nullptr)
+        obs_->metrics().gauge("daemon_health")->set(
+            static_cast<int64_t>(next));
+}
+
+void
 Daemon::publishGauges()
 {
     if (obs_ == nullptr)
@@ -528,13 +650,14 @@ Daemon::snapshot()
                        std::ios::binary | std::ios::trunc);
     manager_->writeSnapshot(snap);
     journalOut_.flush();
+    journal_->sync(); // no-op unless journalFsync armed a fd
     lastSnapshotIteration_ = manager_->stats().iterations;
 }
 
 void
 Daemon::tick()
 {
-    if (!started_)
+    if (!started_ || wedged_)
         return;
     ++tick_;
     board_.shared()->heartbeat.fetch_add(1,
@@ -546,12 +669,26 @@ Daemon::tick()
         pumpConn(*conn);
     reapExpired();
     if (manager_->busy())
-        manager_->runIteration();
+        runGuardedIteration();
+    if (wedged_)
+        return; // frozen mid-tick: no streaming, no heartbeat
+    // Crash-after: simulate an abrupt death (kill -9 semantics) for
+    // supervisor smokes. Journal/recording streams flush per append,
+    // so _Exit loses at most the torn tail both are built to absorb.
+    if (cfg_.crashAfterIterations > 0 &&
+        manager_->stats().iterations - iterationsAtStart_ >=
+            cfg_.crashAfterIterations) {
+        SPECINFER_WARN("daemon: --crash-after "
+                       << cfg_.crashAfterIterations
+                       << " iterations reached; simulating crash");
+        std::_Exit(134);
+    }
     streamFinished();
     flushOutboxes();
     if (journal_ && manager_->stats().iterations >=
                         lastSnapshotIteration_ + cfg_.snapshotEvery)
         snapshot();
+    publishHealth();
     publishGauges();
 }
 
@@ -563,6 +700,7 @@ Daemon::drain()
     accepting_ = false;
     board_.shared()->accepting.store(0, std::memory_order_release);
     board_.shared()->draining.store(1, std::memory_order_release);
+    publishHealth();
     // Finish and stream every in-flight request; new submits come
     // back Rejected(Draining) via the normal tick path.
     while (manager_->busy())

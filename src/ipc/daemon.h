@@ -49,6 +49,7 @@
 #include "ipc/recorder.h"
 #include "ipc/wire.h"
 #include "runtime/request_manager.h"
+#include "util/watchdog.h"
 
 namespace specinfer {
 namespace ipc {
@@ -83,6 +84,22 @@ struct DaemonConfig
 
     /** Observability context (resolved like ServingConfig::obs). */
     obs::ObsContext *obs = nullptr;
+
+    /** Watchdog budget per scheduling iteration on the obs clock
+     *  (0 = watchdog off). An iteration overrunning it is a stall:
+     *  the board health goes Degraded and speculation is disabled
+     *  via the degradation ladder. */
+    uint64_t watchdogBudgetNanos = 0;
+
+    /** Iterations speculation stays disabled after a stall. */
+    size_t stallDegradeIterations = 64;
+
+    /** Simulate a crash (immediate _Exit, like kill -9) once this
+     *  many scheduling iterations have run *in this process* —
+     *  replayed recovery iterations don't count, so each restarted
+     *  incarnation makes progress before crashing again. 0 = never.
+     *  Supervisor smoke tests drive this via `--crash-after`. */
+    uint64_t crashAfterIterations = 0;
 };
 
 /** The serving daemon core. Single-threaded; drive with tick(). */
@@ -121,6 +138,17 @@ class Daemon
     size_t clientCount() const { return conns_.size(); }
     uint64_t reapCount() const { return reaps_; }
     bool accepting() const { return accepting_; }
+
+    /** True after a Wedge fault froze the daemon: ticks no-op and
+     *  the heartbeat stops, exactly what the supervisor watches
+     *  for. Tests treat a wedged daemon like a crashed one. */
+    bool wedged() const { return wedged_; }
+
+    /** Watchdog stalls observed (late iterations). */
+    uint64_t stallCount() const;
+
+    /** Current published health word. */
+    BoardHealth health() const { return health_; }
     const std::string &dir() const { return cfg_.dir; }
     runtime::RequestManager &manager() { return *manager_; }
     const runtime::RequestManager &manager() const
@@ -153,6 +181,8 @@ class Daemon
     void reapConn(size_t index, const char *why);
     void streamFinished();
     void flushOutboxes();
+    void runGuardedIteration();
+    void publishHealth();
     void publishGauges();
     void record(const RecordedEvent &event);
     void snapshot();
@@ -172,6 +202,15 @@ class Daemon
     uint64_t reaps_ = 0;
     bool accepting_ = true;
     bool started_ = false;
+    bool wedged_ = false;
+    BoardHealth health_ = BoardHealth::Healthy;
+    /** Last tick an ingress Overloaded reject fired (health decays
+     *  back to Healthy kOverloadStickyTicks later). */
+    uint64_t lastOverloadTick_ = 0;
+    /** stats().iterations at this process's start; crash-after
+     *  counts live iterations only. */
+    size_t iterationsAtStart_ = 0;
+    std::unique_ptr<util::Watchdog> watchdog_;
 
     std::vector<std::unique_ptr<Conn>> conns_;
     /** Request id → owning connection (reap/disconnect detaches). */
@@ -181,6 +220,8 @@ class Daemon
 
     std::ofstream journalOut_;
     std::unique_ptr<runtime::JournalWriter> journal_;
+    /** Raw descriptor for fdatasync when journalFsync is on. */
+    int journalSyncFd_ = -1;
     std::ofstream recordOut_;
     std::unique_ptr<RecordWriter> recorder_;
     size_t lastSnapshotIteration_ = 0;

@@ -95,6 +95,7 @@ encodeEvent(const RecordedEvent &ev)
         put<uint64_t>(out, ev.iteration);
         put<uint64_t>(out, ev.id);
         put<uint64_t>(out, ev.maxNewTokens);
+        put<uint8_t>(out, ev.priority);
         putTokens(out, ev.prompt);
         break;
       case EventType::Cancel:
@@ -136,6 +137,7 @@ decodeEvent(const std::vector<uint8_t> &bytes, RecordedEvent *ev)
         return take(bytes, &pos, &ev->iteration) &&
                take(bytes, &pos, &ev->id) &&
                take(bytes, &pos, &ev->maxNewTokens) &&
+               take(bytes, &pos, &ev->priority) &&
                takeTokens(bytes, &pos, &ev->prompt) &&
                pos == bytes.size();
       case EventType::Cancel:

@@ -73,6 +73,7 @@ struct RecordedEvent
     uint64_t id = 0;
     std::vector<int> prompt;     ///< Submit
     uint64_t maxNewTokens = 0;   ///< Submit (per-request budget)
+    uint8_t priority = 1;        ///< Submit (runtime::Priority)
     uint8_t stopReason = 0;      ///< Finish
     std::vector<int> tokens;     ///< Finish (streamed tokens)
 };

@@ -117,7 +117,11 @@ replayRecording(std::istream &in, std::ostream &log, bool verbose)
         while (manager.stats().iterations < sub.iteration)
             manager.runIteration();
         runtime::SubmitResult res = manager.submit(
-            sub.prompt, static_cast<size_t>(sub.maxNewTokens));
+            sub.prompt, static_cast<size_t>(sub.maxNewTokens), 0,
+            static_cast<runtime::Priority>(
+                sub.priority < runtime::kPriorityCount
+                    ? sub.priority
+                    : 1));
         ++result.submits;
         if (!res.accepted() || res.id != sub.id) {
             ++result.mismatches;

@@ -61,6 +61,7 @@ wireRejectName(WireReject reason)
       case WireReject::NeverFits:     return "never-fits";
       case WireReject::InvalidPrompt: return "invalid-prompt";
       case WireReject::Draining:      return "draining";
+      case WireReject::Overloaded:    return "overloaded";
     }
     return "unknown";
 }
@@ -80,6 +81,8 @@ encodeMessage(const Message &msg)
     put<uint64_t>(out, msg.maxNewTokens);
     put<uint8_t>(out, static_cast<uint8_t>(msg.reject));
     put<uint8_t>(out, msg.stopReason);
+    put<uint8_t>(out, msg.priority);
+    put<uint64_t>(out, msg.retryAfterPolls);
     put<uint32_t>(out, static_cast<uint32_t>(msg.tokens.size()));
     for (int tok : msg.tokens)
         put<int32_t>(out, tok);
@@ -103,6 +106,8 @@ decodeMessage(const std::vector<uint8_t> &bytes, Message *msg)
         !take(bytes, &pos, &msg->maxNewTokens) ||
         !take(bytes, &pos, &reject) ||
         !take(bytes, &pos, &msg->stopReason) ||
+        !take(bytes, &pos, &msg->priority) ||
+        !take(bytes, &pos, &msg->retryAfterPolls) ||
         !take(bytes, &pos, &count))
         return false;
     if (type < static_cast<uint8_t>(MsgType::Hello) ||

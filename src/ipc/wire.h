@@ -30,8 +30,10 @@ class ObsContext;
 }
 namespace ipc {
 
-/** Protocol version; bumped on any wire-format change. */
-constexpr uint32_t kWireVersion = 1;
+/** Protocol version; bumped on any wire-format change.
+ *  v2: Submit carries a priority class; Reject carries
+ *  retryAfterPolls for Overloaded backpressure. */
+constexpr uint32_t kWireVersion = 2;
 
 /** Message kinds. */
 enum class MsgType : uint8_t
@@ -77,6 +79,7 @@ enum class WireReject : uint8_t
     NeverFits = 2,     ///< request can never be served
     InvalidPrompt = 3, ///< empty / over the model's budget
     Draining = 4,      ///< daemon is shutting down, not admitting
+    Overloaded = 5,    ///< class token bucket empty; retry later
 };
 
 const char *wireRejectName(WireReject reason);
@@ -102,6 +105,10 @@ struct Message
     WireReject reject = WireReject::None;
     /** core::SpecSession::StopReason, flattened (Finished). */
     uint8_t stopReason = 0;
+    /** QoS class, runtime::Priority flattened (Submit). */
+    uint8_t priority = 1;
+    /** Client polls to wait before retrying (Overloaded Reject). */
+    uint64_t retryAfterPolls = 0;
     /** Prompt (Submit) or generated tokens (Tokens). */
     std::vector<int> tokens;
 };

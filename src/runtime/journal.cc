@@ -4,6 +4,10 @@
 #include <istream>
 #include <ostream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "obs/obs.h"
 #include "util/logging.h"
 
@@ -137,6 +141,8 @@ serializePayload(const JournalRecord &rec)
         w.pod<uint64_t>(rec.arrivalIteration);
         w.pod<uint64_t>(rec.maxNewTokens);
         w.pod<uint64_t>(rec.deadlineIterations);
+        w.pod<uint64_t>(rec.deadlineNanos);
+        w.pod<uint8_t>(rec.priority);
         w.podVector<int>(rec.prompt);
         break;
       case RecordType::Step:
@@ -177,6 +183,14 @@ serializePayload(const JournalRecord &rec)
         w.pod<uint64_t>(rec.degrReenableIteration);
         w.pod<uint64_t>(rec.degrDisableEpisodes);
         break;
+      case RecordType::Begin:
+        w.pod<uint64_t>(rec.iteration);
+        w.pod<uint64_t>(rec.iterNanos);
+        break;
+      case RecordType::Admit:
+        w.pod<uint64_t>(rec.id);
+        w.pod<uint64_t>(rec.adoptedTokens);
+        break;
     }
     return w.bytes();
 }
@@ -187,7 +201,7 @@ parsePayload(const std::string &payload, JournalRecord &rec)
     ByteReader r(payload);
     uint8_t raw_type = r.pod<uint8_t>();
     if (!r.ok() || raw_type < 1 ||
-        raw_type > static_cast<uint8_t>(RecordType::Iteration))
+        raw_type > static_cast<uint8_t>(RecordType::Admit))
         return false;
     rec = JournalRecord();
     rec.type = static_cast<RecordType>(raw_type);
@@ -197,6 +211,8 @@ parsePayload(const std::string &payload, JournalRecord &rec)
         rec.arrivalIteration = r.pod<uint64_t>();
         rec.maxNewTokens = r.pod<uint64_t>();
         rec.deadlineIterations = r.pod<uint64_t>();
+        rec.deadlineNanos = r.pod<uint64_t>();
+        rec.priority = r.pod<uint8_t>();
         rec.prompt = r.podVector<int>();
         break;
       case RecordType::Step:
@@ -237,6 +253,14 @@ parsePayload(const std::string &payload, JournalRecord &rec)
         rec.degrReenableIteration = r.pod<uint64_t>();
         rec.degrDisableEpisodes = r.pod<uint64_t>();
         break;
+      case RecordType::Begin:
+        rec.iteration = r.pod<uint64_t>();
+        rec.iterNanos = r.pod<uint64_t>();
+        break;
+      case RecordType::Admit:
+        rec.id = r.pod<uint64_t>();
+        rec.adoptedTokens = r.pod<uint64_t>();
+        break;
     }
     // A valid payload is consumed exactly: trailing garbage means a
     // framing bug or corruption that happened to pass the CRC of a
@@ -271,12 +295,32 @@ recordTypeName(RecordType type)
         return "finish";
       case RecordType::Iteration:
         return "iteration";
+      case RecordType::Begin:
+        return "begin";
+      case RecordType::Admit:
+        return "admit";
     }
     return "unknown";
 }
 
 JournalWriter::JournalWriter(std::ostream &out) : out_(&out)
 {
+}
+
+void
+JournalWriter::sync() const
+{
+    if (syncFd_ < 0)
+        return;
+#if defined(__linux__)
+    ::fdatasync(syncFd_);
+#elif defined(__unix__) || defined(__APPLE__)
+    ::fsync(syncFd_);
+#else
+    return;
+#endif
+    if (obs::ObsContext *o = obs::globalObs())
+        o->metrics().counter("journal_fsyncs")->inc();
 }
 
 void

@@ -61,6 +61,25 @@ enum class RecordType : uint8_t
     Finish = 4,
     /** One scheduling iteration committed (clock + degradation). */
     Iteration = 5,
+    /**
+     * An iteration began: the iteration index and the wall-clock
+     * reading every deadline decision inside it will use. Written
+     * before any step, so a crash anywhere inside the iteration
+     * leaves recovery the exact timestamp needed to *resume* the
+     * half-journaled iteration (skipping already-replayed steps)
+     * instead of re-running it one clock tick out of phase —
+     * without this, wall-clock deadline expiries could land one
+     * step off after a mid-iteration crash.
+     */
+    Begin = 6,
+    /**
+     * A pending request was admitted into a batch slot. Replay
+     * re-admits exactly the crashed process's batch, so resuming a
+     * half-journaled iteration never admits into slots that only
+     * freed up mid-iteration (which would let a request start one
+     * clock tick earlier than the uninterrupted run).
+     */
+    Admit = 7,
 };
 
 /** Printable record type name (logs and tests). */
@@ -82,6 +101,10 @@ struct JournalRecord
     uint64_t arrivalIteration = 0;
     uint64_t maxNewTokens = 0;
     uint64_t deadlineIterations = 0;
+    /** Absolute wall-clock deadline in obs::Clock nanos (0 = none). */
+    uint64_t deadlineNanos = 0;
+    /** runtime::Priority, flattened. */
+    uint8_t priority = 1;
     std::vector<int> prompt;
 
     // --- Step -----------------------------------------------------
@@ -106,9 +129,19 @@ struct JournalRecord
     uint64_t finishIteration = 0;
     uint64_t preemptions = 0;
 
-    // --- Iteration ------------------------------------------------
-    /** Manager iteration clock after the iteration committed. */
+    // --- Iteration / Begin ----------------------------------------
+    /** Manager iteration clock after the iteration committed
+     *  (Iteration) or when it began (Begin). */
     uint64_t iteration = 0;
+    /** Wall-clock reading (obs::Clock nanos) the iteration's
+     *  deadline checks use (Begin). */
+    uint64_t iterNanos = 0;
+    /** KV rows resident right after admission — the prefix-store
+     *  adoption level (Admit). The crashed process's store was warm
+     *  with blocks a cold recovering store cannot adopt; replay
+     *  re-hydrates to this level so the recovered session spends
+     *  exactly as many prefill iterations as the live one did. */
+    uint64_t adoptedTokens = 0;
     /** This iteration ran with speculation disabled. */
     uint8_t iterDegraded = 0;
     /** An injected straggler advanced the clock this iteration. */
@@ -151,11 +184,25 @@ class JournalWriter
     /** True once a torn append has been simulated. */
     bool closed() const { return closed_; }
 
+    /**
+     * Durability hook (opt-in, see ServingConfig::journalFsync):
+     * hand the writer a file descriptor open on the same file as
+     * the output stream; sync() then issues fdatasync on it. The
+     * stream is flushed per append, so the descriptor sees every
+     * framed byte; without this the journal survives process
+     * crashes (the kernel holds the pages) but not power loss.
+     */
+    void setSyncFd(int fd) { syncFd_ = fd; }
+
+    /** fdatasync the journal file (no-op without setSyncFd). */
+    void sync() const;
+
   private:
     std::ostream *out_;
     uint64_t bytes_ = 0;
     bool tearNext_ = false;
     bool closed_ = false;
+    int syncFd_ = -1;
 };
 
 /**

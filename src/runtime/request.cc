@@ -15,6 +15,22 @@ rejectReasonName(RejectReason reason)
         return "never-fits";
       case RejectReason::InvalidPrompt:
         return "invalid-prompt";
+      case RejectReason::Overloaded:
+        return "overloaded";
+    }
+    return "unknown";
+}
+
+const char *
+priorityName(Priority priority)
+{
+    switch (priority) {
+      case Priority::Interactive:
+        return "interactive";
+      case Priority::Standard:
+        return "standard";
+      case Priority::Batch:
+        return "batch";
     }
     return "unknown";
 }

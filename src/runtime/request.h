@@ -22,6 +22,25 @@ enum class RequestStatus
     Finished,  ///< generation complete; result available
 };
 
+/**
+ * QoS class of a request. Lower numeric value = more important.
+ * Admission sheds Batch first under pressure, preemption victimizes
+ * the lowest class first, and per-class token buckets meter ingress
+ * independently so a Batch burst cannot starve Interactive traffic.
+ */
+enum class Priority : uint8_t
+{
+    Interactive = 0, ///< latency-sensitive; shed last, preempt last
+    Standard = 1,    ///< default class
+    Batch = 2,       ///< throughput traffic; first to shed or evict
+};
+
+/** Number of priority classes (array sizing). */
+constexpr size_t kPriorityCount = 3;
+
+/** Printable priority class name. */
+const char *priorityName(Priority priority);
+
 /** A serving request as submitted by a client. */
 struct Request
 {
@@ -32,6 +51,9 @@ struct Request
     /** Per-request generation budget; 0 uses the engine default. */
     size_t maxNewTokens = 0;
 
+    /** QoS class (scheduling, shedding, and preemption order). */
+    Priority priority = Priority::Standard;
+
     /**
      * Deadline as an iteration budget: the request fails with
      * StopReason::Deadline once `deadlineIterations` scheduling
@@ -40,6 +62,17 @@ struct Request
      * which injected straggler faults advance faster.
      */
     size_t deadlineIterations = 0;
+
+    /**
+     * Absolute wall-clock deadline in nanoseconds on the manager's
+     * injectable obs::Clock (0 = none). Complements the iteration
+     * budget: iteration deadlines bound scheduling work, wall-clock
+     * deadlines bound real latency (stalls included). Persisted in
+     * the journal and snapshot so recovery replays expiries
+     * identically — the recovered manager must run on a clock that
+     * reproduces the original readings (tests inject ManualClock).
+     */
+    uint64_t deadlineNanos = 0;
 
     /** Times this request has been preempted (KV pressure). */
     size_t preemptionCount = 0;
@@ -61,6 +94,7 @@ enum class RejectReason
     QueueFull,     ///< bounded pending queue is at capacity
     NeverFits,     ///< worst case exceeds the whole KV pool
     InvalidPrompt, ///< empty, or beyond the model's sequence budget
+    Overloaded,    ///< class token bucket empty; retry after backoff
 };
 
 /** Printable reject reason. */
@@ -75,6 +109,10 @@ struct SubmitResult
 {
     uint64_t id = 0;
     RejectReason reject = RejectReason::None;
+
+    /** For Overloaded rejects: iterations until the class token
+     *  bucket refills enough to admit a request (retry hint). */
+    uint64_t retryAfterIterations = 0;
 
     bool accepted() const { return reject == RejectReason::None; }
     operator uint64_t() const { return id; }
@@ -91,6 +129,8 @@ struct RequestResult
     size_t arrivalIteration = 0;
     size_t startIteration = 0;         ///< first iteration in a batch
     size_t finishIteration = 0;
+    /** QoS class the request ran under. */
+    Priority priority = Priority::Standard;
     /** Times the request was preempted over its lifetime. */
     size_t preemptions = 0;
 

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "model/serialization.h"
 #include "obs/obs.h"
@@ -24,7 +25,13 @@ constexpr char kSnapMagic[4] = {'S', 'P', 'S', 'N'};
 // holdings (prefix sharing).
 // v4: SSM precision byte, so recovery replays the journal under the
 // same draft-model numerics the crashed process ran.
-constexpr uint32_t kSnapVersion = 4;
+// v5: QoS — per-request priority class + wall-clock deadline,
+// per-class ingress bucket state, overload/shed-by-class stats.
+// v6: resumable iterations — open-iteration flag + journaled clock
+// reading + replayed degradation evidence, and a per-active
+// stepped-this-iteration mark, so a snapshot taken right after a
+// mid-iteration recovery carries the resume state.
+constexpr uint32_t kSnapVersion = 6;
 
 using model::io::readPod;
 using model::io::readPodVector;
@@ -39,6 +46,8 @@ writeRequest(std::ostream &out, const Request &req)
     writePod<uint64_t>(out, req.arrivalIteration);
     writePod<uint64_t>(out, req.maxNewTokens);
     writePod<uint64_t>(out, req.deadlineIterations);
+    writePod<uint64_t>(out, req.deadlineNanos);
+    writePod<uint8_t>(out, static_cast<uint8_t>(req.priority));
     writePod<uint64_t>(out, req.preemptionCount);
     writePod<uint64_t>(out, req.earliestRestart);
 }
@@ -52,6 +61,8 @@ readRequest(std::istream &in)
     req.arrivalIteration = readPod<uint64_t>(in);
     req.maxNewTokens = readPod<uint64_t>(in);
     req.deadlineIterations = readPod<uint64_t>(in);
+    req.deadlineNanos = readPod<uint64_t>(in);
+    req.priority = static_cast<Priority>(readPod<uint8_t>(in));
     req.preemptionCount = readPod<uint64_t>(in);
     req.earliestRestart = readPod<uint64_t>(in);
     return req;
@@ -94,6 +105,7 @@ writeResult(std::ostream &out, const RequestResult &res)
     writePod<uint64_t>(out, res.startIteration);
     writePod<uint64_t>(out, res.finishIteration);
     writePod<uint64_t>(out, res.preemptions);
+    writePod<uint8_t>(out, static_cast<uint8_t>(res.priority));
 }
 
 RequestResult
@@ -114,6 +126,7 @@ readResult(std::istream &in)
     res.startIteration = readPod<uint64_t>(in);
     res.finishIteration = readPod<uint64_t>(in);
     res.preemptions = readPod<uint64_t>(in);
+    res.priority = static_cast<Priority>(readPod<uint8_t>(in));
     return res;
 }
 
@@ -151,12 +164,93 @@ RequestManager::RequestManager(const core::SpecEngine *engine,
     // *during this serving run* rather than process lifetime —
     // keeping the gauge reproducible for identical workloads.
     poolJobsBaseline_ = util::ThreadPool::global().jobsDispatched();
+    for (size_t cls = 0; cls < kPriorityCount; ++cls) {
+        SPECINFER_CHECK(cfg_.classRefillEveryIterations[cls] > 0,
+                        "class refill period must be >= 1");
+        bucketLevel_[cls] = cfg_.classBucketCapacity[cls];
+    }
+}
+
+void
+RequestManager::refillBucket(size_t cls)
+{
+    const uint64_t every = cfg_.classRefillEveryIterations[cls];
+    const uint64_t elapsed =
+        stats_.iterations - bucketRefillIteration_[cls];
+    const uint64_t periods = elapsed / every;
+    if (periods == 0)
+        return;
+    bucketLevel_[cls] =
+        std::min<uint64_t>(bucketLevel_[cls] + periods,
+                           cfg_.classBucketCapacity[cls]);
+    // Advance by whole periods only, so chunked refills compose to
+    // exactly the single-shot refill (replay at arbitrary points
+    // lands on the same level).
+    bucketRefillIteration_[cls] += periods * every;
+}
+
+bool
+RequestManager::bucketAdmit(Priority priority, uint64_t &retry_after)
+{
+    const size_t cls = static_cast<size_t>(priority);
+    if (cfg_.classBucketCapacity[cls] == 0)
+        return true; // unmetered class
+    refillBucket(cls);
+    if (bucketLevel_[cls] == 0) {
+        const uint64_t every = cfg_.classRefillEveryIterations[cls];
+        retry_after = bucketRefillIteration_[cls] + every -
+                      stats_.iterations;
+        return false;
+    }
+    return true;
+}
+
+void
+RequestManager::consumeBucketToken(Priority priority)
+{
+    const size_t cls = static_cast<size_t>(priority);
+    if (cfg_.classBucketCapacity[cls] == 0)
+        return;
+    refillBucket(cls);
+    if (bucketLevel_[cls] > 0)
+        --bucketLevel_[cls];
+}
+
+size_t
+RequestManager::shedVictimIndex() const
+{
+    // Lowest class first (Batch before Standard before
+    // Interactive), latest arrival within a class: an Interactive
+    // request is never shed while any Batch request remains.
+    size_t victim = pending_.size();
+    for (size_t j = 0; j < pending_.size(); ++j) {
+        if (victim == pending_.size() ||
+            pending_[j].priority > pending_[victim].priority ||
+            (pending_[j].priority == pending_[victim].priority &&
+             pending_[j].id > pending_[victim].id))
+            victim = j;
+    }
+    return victim;
+}
+
+void
+RequestManager::shedPending(size_t index)
+{
+    Request shed = std::move(pending_[index]);
+    pending_.erase(pending_.begin() +
+                   static_cast<ptrdiff_t>(index));
+    ++stats_.shedRequests;
+    ++stats_.shedByClass[static_cast<size_t>(shed.priority)];
+    finishAborted(std::move(shed), nullptr, stats_.iterations,
+                  core::SpecSession::StopReason::Shed);
 }
 
 SubmitResult
 RequestManager::submit(std::vector<int> prompt,
                        size_t max_new_tokens,
-                       size_t deadline_iterations)
+                       size_t deadline_iterations,
+                       Priority priority,
+                       uint64_t deadline_nanos)
 {
     SubmitResult out;
     // Unserveable requests are typed rejections, not aborts: an
@@ -167,36 +261,65 @@ RequestManager::submit(std::vector<int> prompt,
         ++stats_.rejectedNeverFits;
         return out;
     }
-    if (cfg_.maxPendingRequests > 0 &&
-        pending_.size() >= cfg_.maxPendingRequests) {
-        out.reject = RejectReason::QueueFull;
-        ++stats_.rejectedQueueFull;
+    // Per-class ingress metering: an empty bucket is overload for
+    // this class specifically — other classes keep their own
+    // budget, so a Batch burst cannot drain Interactive ingress.
+    // The token is only *consumed* at acceptance below: rejected
+    // submits are not journaled, so they must not mutate bucket
+    // state replay cannot reconstruct.
+    if (!bucketAdmit(priority, out.retryAfterIterations)) {
+        out.reject = RejectReason::Overloaded;
+        ++stats_.rejectedOverloaded;
         return out;
     }
     Request req;
     req.prompt = std::move(prompt);
-    req.arrivalIteration = stats_.iterations;
     req.maxNewTokens = max_new_tokens;
+    // Consistent with the active policy: OnDemand admits with
+    // one iteration's footprint, so judge feasibility by that,
+    // not the worst case — under prefix sharing this is what
+    // keeps a request with a large shared prefix and a small
+    // unique suffix serveable. No resident-prefix credit
+    // beyond that: a sequence of T tokens needs ceil(T/block)
+    // *distinct* resident blocks no matter how many holders
+    // share them, so anything past totalBlocks() can never be
+    // admitted and crediting it would strand it in pending.
+    const bool never_fits =
+        kvPool_ != nullptr &&
+        kvPool_->blocksFor(admissionTokens(req)) >
+            kvPool_->totalBlocks();
+    if (cfg_.maxPendingRequests > 0 &&
+        pending_.size() >= cfg_.maxPendingRequests) {
+        // Shed-under-pressure: a full queue yields to a
+        // higher-class arrival by shedding the lowest-class
+        // (latest-arrival) pending request; equal-or-higher-class
+        // arrivals (and unserveable ones — no point displacing a
+        // viable request for them) are rejected as before.
+        const size_t victim = shedVictimIndex();
+        if (never_fits || victim == pending_.size() ||
+            pending_[victim].priority <= priority) {
+            out.reject = RejectReason::QueueFull;
+            ++stats_.rejectedQueueFull;
+            return out;
+        }
+        shedPending(victim);
+    }
+    if (never_fits) {
+        out.reject = RejectReason::NeverFits;
+        ++stats_.rejectedNeverFits;
+        return out;
+    }
+    req.arrivalIteration = stats_.iterations;
+    req.priority = priority;
     req.deadlineIterations = deadline_iterations > 0
                                  ? deadline_iterations
                                  : cfg_.defaultDeadlineIterations;
-    if (kvPool_) {
-        // Consistent with the active policy: OnDemand admits with
-        // one iteration's footprint, so judge feasibility by that,
-        // not the worst case — under prefix sharing this is what
-        // keeps a request with a large shared prefix and a small
-        // unique suffix serveable. No resident-prefix credit
-        // beyond that: a sequence of T tokens needs ceil(T/block)
-        // *distinct* resident blocks no matter how many holders
-        // share them, so anything past totalBlocks() can never be
-        // admitted and crediting it would strand it in pending.
-        if (kvPool_->blocksFor(admissionTokens(req)) >
-            kvPool_->totalBlocks()) {
-            out.reject = RejectReason::NeverFits;
-            ++stats_.rejectedNeverFits;
-            return out;
-        }
-    }
+    req.deadlineNanos = deadline_nanos;
+    if (req.deadlineNanos == 0 &&
+        cfg_.defaultWallDeadlineNanos > 0 && obs_ != nullptr)
+        req.deadlineNanos =
+            obs_->nowNanos() + cfg_.defaultWallDeadlineNanos;
+    consumeBucketToken(priority);
     req.id = nextId_++;
     out.id = req.id;
     if (obs_ != nullptr && obs_->tracer().enabled()) {
@@ -213,6 +336,8 @@ RequestManager::submit(std::vector<int> prompt,
         rec.arrivalIteration = req.arrivalIteration;
         rec.maxNewTokens = req.maxNewTokens;
         rec.deadlineIterations = req.deadlineIterations;
+        rec.deadlineNanos = req.deadlineNanos;
+        rec.priority = static_cast<uint8_t>(req.priority);
         rec.prompt = req.prompt;
         journal_->append(rec);
     }
@@ -343,12 +468,31 @@ RequestManager::inflight() const
     std::vector<InflightInfo> out;
     out.reserve(pending_.size() + active_.size());
     for (const Request &req : pending_)
-        out.push_back({req.id, req.prompt, req.maxNewTokens});
+        out.push_back({req.id, req.prompt, req.maxNewTokens,
+                       req.priority});
     for (const ActiveRequest &ar : active_)
         out.push_back({ar.request.id, ar.request.prompt,
-                       ar.request.maxNewTokens});
+                       ar.request.maxNewTokens,
+                       ar.request.priority});
     return out;
 }
+
+namespace {
+
+/** KvAlloc fault key: one decision window per (request, iteration).
+ *  Keyed (not stream-drawn) so the schedule is replay-stable — a
+ *  recovered process re-running a torn step re-consults the same
+ *  (id, iteration) and gets the same answer, and replayed steps
+ *  that skip the consult cannot shift later decisions. Repeats
+ *  within one iteration deliberately agree: allocation pressure is
+ *  temporally correlated, not per-call coin flips. */
+uint64_t
+kvFaultKey(uint64_t id, uint64_t iteration)
+{
+    return (id + 1) * 0x9e3779b97f4a7c15ULL + iteration;
+}
+
+} // namespace
 
 bool
 RequestManager::tryReserve(uint64_t id, size_t tokens)
@@ -356,7 +500,8 @@ RequestManager::tryReserve(uint64_t id, size_t tokens)
     // An injected allocation fault is indistinguishable from real
     // pool pressure, so the same preempt/retry/backoff machinery
     // absorbs both.
-    if (util::faultAt(util::FaultPoint::KvAlloc))
+    if (util::faultAtKeyed(util::FaultPoint::KvAlloc,
+                           kvFaultKey(id, stats_.iterations)))
         return false;
     return kvPool_->reserve(id, tokens);
 }
@@ -381,6 +526,7 @@ RequestManager::finishAborted(Request &&req,
         session != nullptr ? start_iteration : stats_.iterations;
     res.finishIteration = stats_.iterations;
     res.preemptions = req.preemptionCount;
+    res.priority = req.priority;
     stats_.tokensGenerated += res.tokens.size();
     ++stats_.requestsFinished;
     if (obs_ != nullptr && obs_->tracer().enabled())
@@ -434,28 +580,35 @@ RequestManager::requeuePreempted(Request &&req,
     pending_.push_front(std::move(req));
     if (cfg_.maxPendingRequests > 0 &&
         pending_.size() > cfg_.maxPendingRequests) {
-        // The requeue overflowed the bounded queue; shed the tail
-        // (latest arrival) to restore the bound.
-        Request shed = std::move(pending_.back());
-        pending_.pop_back();
-        ++stats_.shedRequests;
-        finishAborted(std::move(shed), nullptr, stats_.iterations,
-                      core::SpecSession::StopReason::Shed);
+        // The requeue overflowed the bounded queue; shed the
+        // lowest-class latest-arrival request to restore the bound.
+        shedPending(shedVictimIndex());
     }
 }
 
 size_t
-RequestManager::preemptLatestArrival(uint64_t requester)
+RequestManager::preemptLowestClass(uint64_t requester_id,
+                                   Priority requester_priority)
 {
-    // Request ids increase with submission order, so the id is the
-    // arrival priority: only strictly later arrivals are eligible
-    // victims, and among them the latest goes first.
+    // Request ids increase with submission order, so (class, id) is
+    // a total victimization order: a requester may steal from a
+    // strictly lower class, or from a strictly later arrival of its
+    // own class — never the reverse, so two requests cannot evict
+    // each other forever. Among eligible victims the lowest class
+    // goes first, then the latest arrival within that class.
     size_t victim = active_.size();
     for (size_t i = 0; i < active_.size(); ++i) {
-        if (active_[i].request.id <= requester)
+        const Request &cand = active_[i].request;
+        const bool eligible =
+            cand.priority > requester_priority ||
+            (cand.priority == requester_priority &&
+             cand.id > requester_id);
+        if (!eligible)
             continue;
         if (victim == active_.size() ||
-            active_[i].request.id > active_[victim].request.id)
+            cand.priority > active_[victim].request.priority ||
+            (cand.priority == active_[victim].request.priority &&
+             cand.id > active_[victim].request.id))
             victim = i;
     }
     if (victim == active_.size())
@@ -470,14 +623,26 @@ RequestManager::preemptLatestArrival(uint64_t requester)
     return victim;
 }
 
+bool
+RequestManager::deadlineExpired(const Request &req) const
+{
+    if (req.deadlineIterations > 0 &&
+        stats_.iterations >=
+            req.arrivalIteration + req.deadlineIterations)
+        return true;
+    // Wall-clock budget on the injectable clock, checked against
+    // the once-per-iteration cached reading: real stalls consume it
+    // even while the iteration clock stands still.
+    return req.deadlineNanos > 0 && obs_ != nullptr &&
+           nowNanos_ >= req.deadlineNanos;
+}
+
 void
 RequestManager::expirePendingDeadlines()
 {
     for (size_t j = 0; j < pending_.size();) {
         Request &req = pending_[j];
-        if (req.deadlineIterations > 0 &&
-            stats_.iterations >=
-                req.arrivalIteration + req.deadlineIterations) {
+        if (deadlineExpired(req)) {
             ++stats_.deadlineExpiries;
             Request dead = std::move(req);
             pending_.erase(pending_.begin() +
@@ -553,6 +718,20 @@ RequestManager::updateDegradation(bool speculation_ran,
 }
 
 void
+RequestManager::forceDegrade(size_t backoff_iterations)
+{
+    if (backoff_iterations == 0)
+        return;
+    degr_.speculationDisabled = true;
+    degr_.reenableIteration =
+        std::max(degr_.reenableIteration,
+                 stats_.iterations + backoff_iterations);
+    ++degr_.disableEpisodes;
+    degr_.consecutiveFaults = 0;
+    degr_.cleanIterations = 0;
+}
+
+void
 RequestManager::runIteration()
 {
     if (crashed_)
@@ -566,8 +745,22 @@ RequestManager::runIteration()
         return;
     }
 
+    // Resuming a half-journaled iteration after recovery: reuse the
+    // clock reading the crashed process journaled in its Begin
+    // record, so every deadline decision in the resumed half sees
+    // the same timestamp the uninterrupted run would have.
+    const bool resuming = resumeIteration_;
+    resumeIteration_ = false;
     const uint64_t iter_start =
-        obs_ != nullptr ? obs_->nowNanos() : 0;
+        resuming ? nowNanos_
+                 : (obs_ != nullptr ? obs_->nowNanos() : 0);
+    // One wall-clock reading per iteration: every wall-deadline
+    // decision this iteration compares against it, keeping the
+    // number of clock reads independent of queue contents (a
+    // ManualClock schedule stays aligned across recovery).
+    nowNanos_ = iter_start;
+    if (journal_)
+        journalBegin();
     auto obsIterationEnd = [&](size_t batch) {
         if (obs_ == nullptr)
             return;
@@ -604,15 +797,31 @@ RequestManager::runIteration()
     const bool may_admit =
         cfg_.policy == SchedulingPolicy::Continuous ||
         active_.empty();
-    if (may_admit) {
-        for (size_t j = 0;
-             active_.size() < cfg_.maxBatchSize &&
-             j < pending_.size();) {
-            Request &cand = pending_[j];
-            if (cand.earliestRestart > stats_.iterations) {
-                ++j;
-                continue;
+    // When resuming, Admit replay already rebuilt exactly the batch
+    // the crashed process admitted; running admission again here
+    // would fill slots that only freed up mid-iteration (retired
+    // requests), starting those requests one clock tick earlier
+    // than the uninterrupted run would have.
+    if (may_admit && !resuming) {
+        while (active_.size() < cfg_.maxBatchSize) {
+            // Priority-aware head-of-line: the highest class admits
+            // first (queue order within a class), so an Interactive
+            // arrival overtakes queued Batch work. Preempted
+            // requests in their backoff window are skipped (later
+            // arrivals may overtake them) but keep their eviction
+            // priority; with every request in the default class
+            // this degenerates to the original FCFS scan.
+            size_t j = pending_.size();
+            for (size_t k = 0; k < pending_.size(); ++k) {
+                if (pending_[k].earliestRestart > stats_.iterations)
+                    continue;
+                if (j == pending_.size() ||
+                    pending_[k].priority < pending_[j].priority)
+                    j = k;
             }
+            if (j == pending_.size())
+                break;
+            Request &cand = pending_[j];
             if (kvPool_) {
                 // A full pool at the admission probe is routine
                 // backpressure, not an allocation failure: gate on
@@ -625,7 +834,9 @@ RequestManager::runIteration()
                     break; // pool full; retry next iteration
                 // An injected allocation fault still delays
                 // admission exactly like pool pressure would.
-                if (util::faultAt(util::FaultPoint::KvAlloc))
+                if (util::faultAtKeyed(
+                        util::FaultPoint::KvAlloc,
+                        kvFaultKey(cand.id, stats_.iterations)))
                     break;
             }
             Request req = std::move(cand);
@@ -649,6 +860,9 @@ RequestManager::runIteration()
                 cow_pending = admitKv(req, &session);
             active_.push_back({std::move(req), std::move(session),
                                stats_.iterations, cow_pending});
+            if (journal_)
+                journalAdmit(active_.back().request.id,
+                             active_.back().session.cachedTokens());
         }
     }
     if (active_.empty()) {
@@ -682,13 +896,24 @@ RequestManager::runIteration()
     // preempted and restarted later (vLLM-style recompute), within
     // its retry budget.
     const bool allow_spec = !degr_.speculationDisabled;
-    bool speculation_ran = false;
-    bool fault_seen = false;
+    // A resumed iteration seeds the degradation evidence with what
+    // replay saw in the already-journaled steps, so the commit feeds
+    // updateDegradation the same signals the crashed process had.
+    bool speculation_ran = resuming && resumeSpecRan_;
+    bool fault_seen = resuming && resumeFaultSeen_;
+    resumeSpecRan_ = false;
+    resumeFaultSeen_ = false;
     for (size_t i = 0; i < active_.size();) {
+        // Replay already applied this request's step for the
+        // iteration being resumed (its Step record was durable);
+        // re-running it would double-step the session.
+        if (active_[i].steppedThisIteration) {
+            active_[i].steppedThisIteration = false;
+            ++i;
+            continue;
+        }
         Request &req = active_[i].request;
-        if (req.deadlineIterations > 0 &&
-            stats_.iterations >=
-                req.arrivalIteration + req.deadlineIterations) {
+        if (deadlineExpired(req)) {
             ++stats_.deadlineExpiries;
             if (kvPool_)
                 kvPool_->release(req.id);
@@ -700,6 +925,7 @@ RequestManager::runIteration()
             continue;
         }
         const uint64_t id = req.id;
+        const Priority cls = req.priority;
         if (kvPool_ &&
             cfg_.kvPolicy == KvReservationPolicy::OnDemand) {
             const size_t need = active_[i].session.sequence().size() +
@@ -710,7 +936,7 @@ RequestManager::runIteration()
             bool ok = kvPool_->canReserve(id, need) &&
                       tryReserve(id, need);
             while (!ok) {
-                size_t erased = preemptLatestArrival(id);
+                size_t erased = preemptLowestClass(id, cls);
                 if (erased == kNoVictim)
                     break;
                 if (erased < i)
@@ -807,6 +1033,7 @@ RequestManager::runIteration()
         res.startIteration = ar.startIteration;
         res.finishIteration = stats_.iterations - 1;
         res.preemptions = ar.request.preemptionCount;
+        res.priority = ar.request.priority;
         stats_.tokensGenerated += res.tokens.size();
         ++stats_.requestsFinished;
         if (kvPool_)
@@ -825,9 +1052,10 @@ RequestManager::runIteration()
 
     if (journal_) {
         // Crash point: everything this iteration journaled but the
-        // iteration commit itself lost — recovery re-runs the
-        // iteration clock one tick behind, which per-request
-        // determinism makes output-invariant.
+        // iteration commit itself lost — recovery resumes the
+        // iteration (Begin record), skips the already-replayed
+        // steps, and commits, so even wall-clock deadlines land at
+        // the same session progress as the uninterrupted run.
         if (util::faultAt(util::FaultPoint::Crash)) {
             noteCrash();
             return;
@@ -890,6 +1118,14 @@ RequestManager::publishMetrics()
     set("serving_rejected_queue_full", stats_.rejectedQueueFull);
     set("serving_rejected_never_fits", stats_.rejectedNeverFits);
     set("serving_shed_requests", stats_.shedRequests);
+    set("serving_rejected_overloaded", stats_.rejectedOverloaded);
+    set("serving_shed_by_class_interactive",
+        stats_.shedByClass[static_cast<size_t>(
+            Priority::Interactive)]);
+    set("serving_shed_by_class_standard",
+        stats_.shedByClass[static_cast<size_t>(Priority::Standard)]);
+    set("serving_shed_by_class_batch",
+        stats_.shedByClass[static_cast<size_t>(Priority::Batch)]);
     set("serving_deadline_expiries", stats_.deadlineExpiries);
     set("serving_cancellations", stats_.cancellations);
     set("serving_fallback_steps", stats_.fallbackSteps);
@@ -960,6 +1196,31 @@ RequestManager::journalIteration(bool degraded, bool slow)
     rec.degrReenableIteration = degr_.reenableIteration;
     rec.degrDisableEpisodes = degr_.disableEpisodes;
     journal_->append(rec);
+    // Opt-in durability: harden the whole iteration's records at
+    // the commit boundary (one fdatasync per iteration, not per
+    // record — see ServingConfig::journalFsync).
+    if (cfg_.journalFsync)
+        journal_->sync();
+}
+
+void
+RequestManager::journalBegin()
+{
+    JournalRecord rec;
+    rec.type = RecordType::Begin;
+    rec.iteration = stats_.iterations;
+    rec.iterNanos = nowNanos_;
+    journal_->append(rec);
+}
+
+void
+RequestManager::journalAdmit(uint64_t id, uint64_t adopted_tokens)
+{
+    JournalRecord rec;
+    rec.type = RecordType::Admit;
+    rec.id = id;
+    rec.adoptedTokens = adopted_tokens;
+    journal_->append(rec);
 }
 
 void
@@ -988,6 +1249,16 @@ RequestManager::writeSnapshot(std::ostream &out) const
     writePod<uint64_t>(out, stats_.preemptionRetries);
     writePod<uint64_t>(out, stats_.preemptionAborts);
     writePod<uint64_t>(out, stats_.slowIterations);
+    writePod<uint64_t>(out, stats_.rejectedOverloaded);
+    for (size_t cls = 0; cls < kPriorityCount; ++cls)
+        writePod<uint64_t>(out, stats_.shedByClass[cls]);
+    // Per-class ingress buckets: levels and refill cursors, so a
+    // recovered manager meters exactly where the crashed one left
+    // off (replayed Submits then re-consume on top).
+    for (size_t cls = 0; cls < kPriorityCount; ++cls) {
+        writePod<uint64_t>(out, bucketLevel_[cls]);
+        writePod<uint64_t>(out, bucketRefillIteration_[cls]);
+    }
     writePod<uint64_t>(out, stats_.batchSizeTrace.size());
     for (size_t b : stats_.batchSizeTrace)
         writePod<uint64_t>(out, b);
@@ -998,6 +1269,14 @@ RequestManager::writeSnapshot(std::ostream &out) const
     writePod<uint64_t>(out, degr_.currentBackoff);
     writePod<uint64_t>(out, degr_.reenableIteration);
     writePod<uint64_t>(out, degr_.disableEpisodes);
+
+    // Resume state (v6): a snapshot taken between a mid-iteration
+    // recovery and the next runIteration must hand the resumed
+    // iteration its journaled clock reading and step evidence.
+    writePod<uint8_t>(out, resumeIteration_ ? 1 : 0);
+    writePod<uint64_t>(out, nowNanos_);
+    writePod<uint8_t>(out, resumeSpecRan_ ? 1 : 0);
+    writePod<uint8_t>(out, resumeFaultSeen_ ? 1 : 0);
 
     // Backoff-jitter RNG cursor: recovery must resume with the same
     // draw sequence an uninterrupted run would have used, or
@@ -1046,6 +1325,7 @@ RequestManager::writeSnapshot(std::ostream &out) const
                                          ar.request.id)
                                    : 0);
         writePod<uint64_t>(out, ar.cowPending);
+        writePod<uint8_t>(out, ar.steppedThisIteration ? 1 : 0);
         ar.session.save(out);
     }
 
@@ -1083,6 +1363,13 @@ RequestManager::applyRecord(const JournalRecord &rec)
         req.arrivalIteration = rec.arrivalIteration;
         req.maxNewTokens = rec.maxNewTokens;
         req.deadlineIterations = rec.deadlineIterations;
+        req.deadlineNanos = rec.deadlineNanos;
+        req.priority = static_cast<Priority>(rec.priority);
+        // Journaled Submits are exactly the accepted ones, so
+        // replay re-consumes the same ingress token the live
+        // submit did (the iteration clock is replay-aligned, so
+        // the lazy refill lands on the same level too).
+        consumeBucketToken(req.priority);
         nextId_ = std::max(nextId_, rec.id + 1);
         pending_.push_back(std::move(req));
         ++stats_.requestsSubmitted;
@@ -1131,9 +1418,29 @@ RequestManager::applyRecord(const JournalRecord &rec)
                 rec.stopReason));
         // Mirror the live post-step copy-on-write release.
         settleCow(ar);
+        // Redo-recovery: bring the KV cache to the level the live
+        // run held after this step, so the session does not repeat
+        // prefill iterations after recovery (wall-clock deadlines
+        // would observe the delay). A prefill chunk re-absorbs the
+        // same chunk; a decode step leaves exactly the last token
+        // uncached (the next step's tree root).
+        if (!rec.sessionDone) {
+            if (rec.step.prefill)
+                ar.session.hydrateKv(ar.session.cachedTokens() +
+                                     rec.step.llmChunkTokens);
+            else
+                ar.session.hydrateKv(ar.session.sequence().size() -
+                                     1);
+        }
+        ar.steppedThisIteration = true;
         ++stats_.requestIterations;
-        if (!rec.step.prefill && rec.step.fallback)
-            ++stats_.fallbackSteps;
+        if (!rec.step.prefill && !degr_.speculationDisabled) {
+            resumeSpecRan_ = true;
+            if (rec.step.fallback) {
+                resumeFaultSeen_ = true;
+                ++stats_.fallbackSteps;
+            }
+        }
         break;
       }
 
@@ -1178,6 +1485,7 @@ RequestManager::applyRecord(const JournalRecord &rec)
         if (idx != active_.size()) {
             res.tokens = active_[idx].session.generated();
             res.stats = active_[idx].session.stats();
+            res.priority = active_[idx].request.priority;
             active_.erase(active_.begin() +
                           static_cast<ptrdiff_t>(idx));
         } else {
@@ -1185,6 +1493,7 @@ RequestManager::applyRecord(const JournalRecord &rec)
             SPECINFER_CHECK(takePending(rec.id, req),
                             "journal finish for unknown request "
                                 << rec.id);
+            res.priority = req.priority;
         }
         if (kvPool_ && kvPool_->requestBlocks(rec.id) > 0)
             kvPool_->release(rec.id);
@@ -1199,6 +1508,7 @@ RequestManager::applyRecord(const JournalRecord &rec)
             break;
           case core::SpecSession::StopReason::Shed:
             ++stats_.shedRequests;
+            ++stats_.shedByClass[static_cast<size_t>(res.priority)];
             break;
           case core::SpecSession::StopReason::Preempted:
             ++stats_.preemptionAborts;
@@ -1224,6 +1534,53 @@ RequestManager::applyRecord(const JournalRecord &rec)
         degr_.currentBackoff = rec.degrCurrentBackoff;
         degr_.reenableIteration = rec.degrReenableIteration;
         degr_.disableEpisodes = rec.degrDisableEpisodes;
+        // The iteration committed: close the in-flight window the
+        // Begin record opened.
+        resumeIteration_ = false;
+        resumeSpecRan_ = false;
+        resumeFaultSeen_ = false;
+        for (ActiveRequest &ar : active_)
+            ar.steppedThisIteration = false;
+        break;
+      }
+
+      case RecordType::Begin: {
+        // An iteration began. Mirror the live-run speculation
+        // re-enable check first (same state, same clock), so replayed
+        // step evidence below classifies against the allow_spec the
+        // crashed process actually used. If no matching Iteration
+        // commit follows, the crash landed mid-iteration: the next
+        // runIteration resumes it with this journaled clock reading.
+        if (degr_.speculationDisabled &&
+            stats_.iterations >= degr_.reenableIteration)
+            degr_.speculationDisabled = false;
+        resumeIteration_ = true;
+        nowNanos_ = rec.iterNanos;
+        break;
+      }
+
+      case RecordType::Admit: {
+        // Re-run the same admission the crashed process journaled:
+        // out of pending, session built, KV reserved — but not yet
+        // stepped, so a resumed iteration runs its step live.
+        Request req;
+        SPECINFER_CHECK(takePending(rec.id, req),
+                        "journal admit for unknown request "
+                            << rec.id);
+        if (req.preemptionCount > 0)
+            ++stats_.preemptionRetries;
+        core::SpecSession session = engine_->makeSession(
+            req.prompt, req.id, req.maxNewTokens);
+        uint64_t cow_pending = 0;
+        if (kvPool_)
+            cow_pending = admitKv(req, &session);
+        // The crashed process may have adopted shared prefix rows
+        // from its warm store; the recovering store is cold, so
+        // recompute up to the journaled adoption level — identical
+        // rows, identical remaining prefill iterations.
+        session.hydrateKv(rec.adoptedTokens);
+        active_.push_back({std::move(req), std::move(session),
+                           stats_.iterations, cow_pending});
         break;
       }
     }
@@ -1274,6 +1631,14 @@ RequestManager::recover(std::istream *snapshot, std::istream *journal)
         stats_.preemptionRetries = readPod<uint64_t>(*snapshot);
         stats_.preemptionAborts = readPod<uint64_t>(*snapshot);
         stats_.slowIterations = readPod<uint64_t>(*snapshot);
+        stats_.rejectedOverloaded = readPod<uint64_t>(*snapshot);
+        for (size_t cls = 0; cls < kPriorityCount; ++cls)
+            stats_.shedByClass[cls] = readPod<uint64_t>(*snapshot);
+        for (size_t cls = 0; cls < kPriorityCount; ++cls) {
+            bucketLevel_[cls] = readPod<uint64_t>(*snapshot);
+            bucketRefillIteration_[cls] =
+                readPod<uint64_t>(*snapshot);
+        }
         uint64_t trace_len = readPod<uint64_t>(*snapshot);
         SPECINFER_CHECK(trace_len < (1ull << 32),
                         "implausible snapshot trace length");
@@ -1288,6 +1653,11 @@ RequestManager::recover(std::istream *snapshot, std::istream *journal)
         degr_.currentBackoff = readPod<uint64_t>(*snapshot);
         degr_.reenableIteration = readPod<uint64_t>(*snapshot);
         degr_.disableEpisodes = readPod<uint64_t>(*snapshot);
+
+        resumeIteration_ = readPod<uint8_t>(*snapshot) != 0;
+        nowNanos_ = readPod<uint64_t>(*snapshot);
+        resumeSpecRan_ = readPod<uint8_t>(*snapshot) != 0;
+        resumeFaultSeen_ = readPod<uint8_t>(*snapshot) != 0;
 
         util::RngState rng_state;
         for (uint64_t &word : rng_state.s)
@@ -1330,6 +1700,7 @@ RequestManager::recover(std::istream *snapshot, std::istream *journal)
                 readPodVector<uint64_t>(*snapshot);
             uint64_t partial = readPod<uint64_t>(*snapshot);
             uint64_t cow_pending = readPod<uint64_t>(*snapshot);
+            const bool stepped = readPod<uint8_t>(*snapshot) != 0;
             core::SpecSession session =
                 engine_->loadSession(*snapshot);
             if (kvPool_) {
@@ -1350,7 +1721,7 @@ RequestManager::recover(std::istream *snapshot, std::istream *journal)
             if (prefixStore_)
                 session.enablePrefixSharing(prefixStore_.get());
             active_.push_back({std::move(req), std::move(session),
-                               start_iter, cow_pending});
+                               start_iter, cow_pending, stepped});
         }
 
         uint64_t n_finished = readPod<uint64_t>(*snapshot);
@@ -1373,9 +1744,15 @@ RequestManager::recover(std::istream *snapshot, std::istream *journal)
     }
 
     // Sessions that finished in the crash iteration, after their
-    // Step record but before their Finish record: retire them now
-    // (journaled to the attached post-recovery journal, if any).
-    for (size_t i = 0; i < active_.size();) {
+    // Step record but before their Finish record: when the crash
+    // landed mid-iteration (Begin without its commit), the next
+    // runIteration resumes that iteration and retires them at the
+    // exact point the uninterrupted run would have — holding their
+    // KV through the remaining live steps, matching the crashed
+    // process's memory pressure. Only a boundary crash (no open
+    // Begin) retires them here.
+    for (size_t i = 0; resumeIteration_ == false &&
+                       i < active_.size();) {
         if (!active_[i].session.done()) {
             ++i;
             continue;
@@ -1390,6 +1767,7 @@ RequestManager::recover(std::istream *snapshot, std::istream *journal)
         res.startIteration = ar.startIteration;
         res.finishIteration = stats_.iterations;
         res.preemptions = ar.request.preemptionCount;
+        res.priority = ar.request.priority;
         stats_.tokensGenerated += res.tokens.size();
         ++stats_.requestsFinished;
         if (kvPool_ && kvPool_->requestBlocks(res.id) > 0)

@@ -147,6 +147,41 @@ struct ServingConfig
      *  many extra ticks, consuming deadline budget. */
     size_t slowIterationPenalty = 4;
 
+    // --- QoS / overload knobs -------------------------------------
+
+    /**
+     * Per-class token-bucket ingress, indexed by runtime::Priority.
+     * A submission consumes one token from its class bucket; an
+     * empty bucket is a typed RejectReason::Overloaded with a
+     * retry-after hint. 0 = class unmetered (the default). Buckets
+     * refill on the iteration clock, so bucket state is a pure
+     * function of journaled events and recovery replays admissions
+     * identically.
+     */
+    size_t classBucketCapacity[kPriorityCount] = {0, 0, 0};
+
+    /** Refill cadence per class: one token every this many
+     *  iterations (>= 1). */
+    size_t classRefillEveryIterations[kPriorityCount] = {1, 1, 1};
+
+    /**
+     * Wall-clock deadline applied to requests submitted without one,
+     * relative to the submit-time clock reading (nanoseconds on the
+     * injectable obs::Clock; 0 = none). Requires an ObsContext —
+     * without a clock source wall-clock deadlines are inert.
+     */
+    uint64_t defaultWallDeadlineNanos = 0;
+
+    /**
+     * Opt-in durability: fdatasync the journal at iteration commit
+     * (and snapshot) boundaries. Without it the write-ahead journal
+     * survives process crashes — the kernel page cache holds every
+     * flushed byte — but not power loss (DESIGN.md §5d). Requires
+     * the journal writer to carry a sync fd (JournalWriter::
+     * setSyncFd); a writer without one makes this a no-op.
+     */
+    bool journalFsync = false;
+
     /** Record per-iteration batch sizes in
      *  ServingStats::batchSizeTrace. Off by default: the trace
      *  grows linearly with iterations, which long-running soaks
@@ -207,6 +242,11 @@ struct ServingStats
     size_t preemptionAborts = 0;
     /** Injected straggler iterations (clock jumped forward). */
     size_t slowIterations = 0;
+    /** submit() rejections: class token bucket empty (overload). */
+    size_t rejectedOverloaded = 0;
+    /** Shed requests broken down by QoS class (indexed by
+     *  runtime::Priority); sums to shedRequests. */
+    size_t shedByClass[kPriorityCount] = {0, 0, 0};
 
     double avgBatchSize() const
     {
@@ -267,10 +307,18 @@ class RequestManager
      * @param deadline_iterations Iteration-budget deadline; 0 uses
      *        ServingConfig::defaultDeadlineIterations (which may
      *        itself be 0 = no deadline).
+     * @param priority QoS class: scheduling, shedding, and
+     *        preemption order (Interactive > Standard > Batch).
+     * @param deadline_nanos Absolute wall-clock deadline on the
+     *        manager's obs::Clock (0 applies
+     *        ServingConfig::defaultWallDeadlineNanos relative to
+     *        now, when a clock is available).
      */
     SubmitResult submit(std::vector<int> prompt,
                         size_t max_new_tokens = 0,
-                        size_t deadline_iterations = 0);
+                        size_t deadline_iterations = 0,
+                        Priority priority = Priority::Standard,
+                        uint64_t deadline_nanos = 0);
 
     /**
      * Cancel a pending or active request. The request finishes
@@ -299,6 +347,16 @@ class RequestManager
 
     /** Speculation-health state of the degradation ladder. */
     const DegradationState &degradation() const { return degr_; }
+
+    /**
+     * Externally push the degradation ladder: disable speculation
+     * for `backoff_iterations` starting now. The daemon's watchdog
+     * calls this on an iteration stall — a stall is evidence the
+     * speculative path is sick even when no SSM fault fired, and
+     * incremental decoding is the safe gear. Extends (never
+     * shortens) an active disable window.
+     */
+    void forceDegrade(size_t backoff_iterations);
 
     /** Results completed so far, in finish order. */
     const std::vector<RequestResult> &finished() const
@@ -350,6 +408,7 @@ class RequestManager
         uint64_t id = 0;
         std::vector<int> prompt;
         size_t maxNewTokens = 0;
+        Priority priority = Priority::Standard;
     };
     std::vector<InflightInfo> inflight() const;
 
@@ -462,6 +521,11 @@ class RequestManager
          *  the request's first step writes past the divergence
          *  point (0 = none pending). */
         uint64_t cowPending = 0;
+        /** Replay bookkeeping: this request already stepped in the
+         *  half-journaled iteration being resumed, so the resuming
+         *  runIteration must skip it (set by Step replay, cleared at
+         *  iteration commit). */
+        bool steppedThisIteration = false;
     };
 
     /** Release a pending copy-on-write reference after the
@@ -469,16 +533,20 @@ class RequestManager
     void settleCow(ActiveRequest &ar);
 
     /**
-     * Preempt the latest-arrival active request that arrived after
-     * `requester` (FCFS priority: a request may only steal memory
-     * from strictly later arrivals, otherwise two requests could
-     * evict each other forever). Releases the victim's memory and
-     * requeues it for a fresh start — or, when the victim's
-     * preemption budget is exhausted, fails it with
-     * StopReason::Preempted.
+     * Preempt an active request to free memory for `requester`.
+     * Victim order: lowest QoS class first (Batch before Standard
+     * before Interactive), latest arrival within a class. A
+     * requester may only steal from a strictly lower class, or from
+     * a strictly later arrival in its own class — a total order on
+     * (class, id) that keeps preemption livelock-free, exactly as
+     * the plain FCFS id order did before classes existed. Releases
+     * the victim's memory and requeues it for a fresh start — or,
+     * when the victim's preemption budget is exhausted, fails it
+     * with StopReason::Preempted.
      * @return the erased index, or kNoVictim if none.
      */
-    size_t preemptLatestArrival(uint64_t requester);
+    size_t preemptLowestClass(uint64_t requester_id,
+                              Priority requester_priority);
 
     /** Reserve KV blocks, consulting the KvAlloc fault point; an
      *  injected failure is indistinguishable from pool pressure. */
@@ -504,8 +572,36 @@ class RequestManager
                        size_t start_iteration,
                        core::SpecSession::StopReason reason);
 
-    /** Fail pending requests whose deadline already expired. */
+    /** Fail pending requests whose deadline (iteration budget or
+     *  wall clock) already expired. */
     void expirePendingDeadlines();
+
+    /** True when the request's iteration-budget or wall-clock
+     *  deadline has passed (wall clock read once per iteration
+     *  into nowNanos_). */
+    bool deadlineExpired(const Request &req) const;
+
+    /** Refill the class bucket up to the current iteration (lazy,
+     *  idempotent: advances in whole refill periods only). */
+    void refillBucket(size_t cls);
+
+    /** Check the class has an ingress token; on an empty bucket
+     *  returns false with the iterations until the next token in
+     *  `retry_after`. Unmetered classes always admit. Does not
+     *  consume — only accepted (journaled) submits mutate bucket
+     *  state, or replay would diverge. */
+    bool bucketAdmit(Priority priority, uint64_t &retry_after);
+
+    /** Consume one ingress token (accepted submit, live or
+     *  replayed). */
+    void consumeBucketToken(Priority priority);
+
+    /** Shed victim among pending_: lowest class first, latest
+     *  arrival within a class; pending_.size() when none. */
+    size_t shedVictimIndex() const;
+
+    /** Shed pending_[index] with StopReason::Shed (class stats). */
+    void shedPending(size_t index);
 
     /** Update the degradation ladder after one stepping sweep. */
     void updateDegradation(bool speculation_ran, bool fault_seen);
@@ -520,6 +616,15 @@ class RequestManager
 
     /** Journal the end-of-iteration commit (clock + degradation). */
     void journalIteration(bool degraded, bool slow);
+
+    /** Journal the start of an iteration (index + wall-clock read;
+     *  see RecordType::Begin). */
+    void journalBegin();
+
+    /** Journal the admission of a pending request into a batch
+     *  slot, with its post-admission KV residency (the prefix
+     *  adoption level; see RecordType::Admit). */
+    void journalAdmit(uint64_t id, uint64_t adopted_tokens);
 
     /** Apply one replayed journal record (recover() body). */
     void applyRecord(const JournalRecord &rec);
@@ -551,6 +656,31 @@ class RequestManager
     /** Preemption-backoff jitter source; state is snapshotted and
      *  replay re-draws, so recovery stays bit-identical. */
     util::Rng backoffRng_;
+    /** Per-class ingress token buckets (see classBucketCapacity).
+     *  Snapshotted; replayed Submits re-consume, so recovery sees
+     *  the same admission decisions. */
+    uint64_t bucketLevel_[kPriorityCount] = {0, 0, 0};
+    uint64_t bucketRefillIteration_[kPriorityCount] = {0, 0, 0};
+    /** Wall-clock reading cached once per iteration (and at
+     *  submit); all wall-deadline decisions compare against this,
+     *  never a fresh read, so a ManualClock drives them exactly. */
+    uint64_t nowNanos_ = 0;
+    /**
+     * Recovery replayed a Begin record without its matching
+     * Iteration commit: the crash landed mid-iteration. The next
+     * runIteration *resumes* that iteration — it reuses the
+     * journaled nowNanos_ instead of reading the clock, skips
+     * admission (Admit replay already rebuilt the batch), and skips
+     * sessions whose Step records were replayed — so deadline
+     * decisions land at exactly the same session progress as the
+     * uninterrupted run.
+     */
+    bool resumeIteration_ = false;
+    /** Replayed step evidence for the half-iteration being resumed,
+     *  so the resumed commit feeds updateDegradation the same
+     *  signals the crashed process saw. */
+    bool resumeSpecRan_ = false;
+    bool resumeFaultSeen_ = false;
 };
 
 } // namespace runtime

@@ -32,6 +32,10 @@ faultPointName(FaultPoint point)
         return "ipc-recv";
       case FaultPoint::ClientReap:
         return "client-reap";
+      case FaultPoint::Hang:
+        return "hang";
+      case FaultPoint::Wedge:
+        return "wedge";
     }
     return "unknown";
 }
@@ -88,6 +92,51 @@ FaultInjector::fire(FaultPoint point)
             fires = true;
         } else if (probability_[p] > 0.0) {
             fires = rng_.uniform() < probability_[p];
+        }
+    }
+    if (fires)
+        fired_[p].fetch_add(1, std::memory_order_relaxed);
+    return fires;
+}
+
+namespace {
+
+/** Stateless uniform in [0, 1) from (seed, point, key): splitmix64
+ *  finalizer over the mixed inputs. No stream, no memory — the same
+ *  triple always yields the same draw. */
+double
+keyedUniform(uint64_t seed, size_t point, uint64_t key)
+{
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (key + 1) +
+                 0x632be59bd9b4e019ULL * (point + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+bool
+FaultInjector::fireKeyed(FaultPoint point, uint64_t key)
+{
+    const size_t p = static_cast<size_t>(point);
+    const uint64_t occurrence =
+        occurrences_[p].fetch_add(1, std::memory_order_relaxed) + 1;
+    bool fires = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::vector<uint64_t> &armed = armed_[p];
+        auto hit = std::find(armed.begin(), armed.end(), occurrence);
+        if (hit != armed.end()) {
+            armed.erase(hit);
+            fires = true;
+        } else if (probability_[p] > 0.0) {
+            // Pure hash, never the shared RNG stream: the decision
+            // depends only on (seed, point, key), so re-consulting
+            // after a crash-replay resume repeats the answer and
+            // never shifts another point's schedule.
+            fires = keyedUniform(seed_, p, key) < probability_[p];
         }
     }
     if (fires)

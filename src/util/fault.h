@@ -85,10 +85,22 @@ enum class FaultPoint : int
      *  heartbeating client exactly as if it had crashed. The client
      *  library must detect the revocation and reconnect. */
     ClientReap = 7,
+
+    /** A hung iteration (models a spinning kernel or a deadlocked
+     *  pool worker that eventually returns): the daemon's watchdog
+     *  sees the stall budget blown, publishes degraded health, and
+     *  disables speculation via the degradation ladder. */
+    Hang = 8,
+
+    /** A hard wedge (models a step that never returns): only an
+     *  external supervisor can recover by killing the process; the
+     *  daemon treats a fired wedge as an abort into the
+     *  journal-recovery path. */
+    Wedge = 9,
 };
 
 /** Number of distinct fault points. */
-constexpr size_t kFaultPointCount = 8;
+constexpr size_t kFaultPointCount = 10;
 
 /** Human-readable fault point name (for logs and repro lines). */
 const char *faultPointName(FaultPoint point);
@@ -132,6 +144,23 @@ class FaultInjector
      * probability draw succeeds).
      */
     bool fire(FaultPoint point);
+
+    /**
+     * Keyed consultation: like fire(), but the probability decision
+     * is a *pure hash* of (seed, point, key) instead of a draw from
+     * the shared RNG stream. Callers derive the key from world
+     * state (e.g. request id + iteration), which makes the schedule
+     * replay-stable: a crashed-and-recovered process re-consulting
+     * the same logical event gets the same answer, and consultations
+     * that replay skips cannot shift any other point's schedule.
+     * Armed occurrences still fire by consultation index, and the
+     * occurrence/fired counters advance exactly as with fire().
+     * Repeated consultations of one key within one decision window
+     * repeat the same answer — deliberately modelling temporally
+     * correlated pressure (real allocators do not recover between
+     * adjacent calls).
+     */
+    bool fireKeyed(FaultPoint point, uint64_t key);
 
     /** Times the point has been consulted. */
     uint64_t occurrences(FaultPoint point) const;
@@ -182,6 +211,18 @@ faultAt(FaultPoint point)
 {
     FaultInjector *injector = detail::g_fault_injector;
     return injector != nullptr && injector->fire(point);
+}
+
+/**
+ * Keyed fault hook (see FaultInjector::fireKeyed): the decision is
+ * a pure function of (seed, point, key), so it survives crash-replay
+ * re-consultation without perturbing other points' schedules.
+ */
+inline bool
+faultAtKeyed(FaultPoint point, uint64_t key)
+{
+    FaultInjector *injector = detail::g_fault_injector;
+    return injector != nullptr && injector->fireKeyed(point, key);
 }
 
 /**

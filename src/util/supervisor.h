@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Crash-loop-aware restart policy for the daemon supervisor.
+ *
+ * The process half of supervision (fork/exec, waitpid, signal
+ * forwarding) lives in tools/specinferd_supervisor.cc; this class
+ * is the decision half, kept pure so tests can replay whole
+ * restart/give-up schedules deterministically with injected
+ * timestamps — no processes, no sleeps.
+ *
+ * Policy:
+ *  - Every abnormal child exit restarts the daemon after a
+ *    seeded-jitter exponential backoff (base doubling per
+ *    consecutive crash, capped, plus up to half a base of jitter so
+ *    a fleet of supervisors never restarts in lockstep — the same
+ *    rationale as the client reconnect and preemption backoffs).
+ *  - A child that stays up past stableUptimeMillis resets the
+ *    backoff ladder: an occasional crash a day is routine, not a
+ *    loop.
+ *  - A *crash loop* — crashLoopCrashes abnormal exits inside a
+ *    sliding crashLoopWindowMillis — means restarting cannot help
+ *    (bad config, corrupt snapshot, poisoned input); the supervisor
+ *    gives up with a typed exit instead of burning CPU forever.
+ */
+
+#ifndef SPECINFER_UTIL_SUPERVISOR_H
+#define SPECINFER_UTIL_SUPERVISOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "util/rng.h"
+
+namespace specinfer {
+namespace util {
+
+/** Tuning knobs for SupervisorPolicy. */
+struct SupervisorConfig
+{
+    /** First-restart backoff base (doubles per consecutive
+     *  crash). */
+    uint64_t backoffBaseMillis = 100;
+
+    /** Backoff ceiling. */
+    uint64_t backoffCapMillis = 10000;
+
+    /** Child uptime that resets the consecutive-crash ladder. */
+    uint64_t stableUptimeMillis = 10000;
+
+    /** Give up after this many abnormal exits ... */
+    size_t crashLoopCrashes = 5;
+
+    /** ... within this sliding window (0 disables give-up). */
+    uint64_t crashLoopWindowMillis = 60000;
+
+    /** Restart-jitter seed (deterministic schedules in tests). */
+    uint64_t jitterSeed = 0x5afe6a2dULL;
+};
+
+class SupervisorPolicy
+{
+  public:
+    enum class Action
+    {
+        Restart, ///< relaunch after Decision::delayMillis
+        GiveUp,  ///< crash loop detected; exit typed
+    };
+
+    struct Decision
+    {
+        Action action = Action::Restart;
+        uint64_t delayMillis = 0;
+        /** Consecutive abnormal exits driving the backoff. */
+        size_t consecutiveCrashes = 0;
+    };
+
+    explicit SupervisorPolicy(SupervisorConfig cfg = {});
+
+    /** Record a (re)launch at `now_millis`. */
+    void onChildStart(uint64_t now_millis);
+
+    /**
+     * Decide what to do after an abnormal child exit at
+     * `now_millis` (clean exits end supervision; don't report
+     * them here).
+     */
+    Decision onChildExit(uint64_t now_millis);
+
+    /** Abnormal exits observed over the policy's lifetime. */
+    uint64_t totalCrashes() const { return totalCrashes_; }
+
+    /** Restarts granted so far. */
+    uint64_t restartsGranted() const { return restarts_; }
+
+    size_t consecutiveCrashes() const { return consecutive_; }
+
+    const SupervisorConfig &config() const { return cfg_; }
+
+  private:
+    SupervisorConfig cfg_;
+    Rng rng_;
+    uint64_t startMillis_ = 0;
+    bool started_ = false;
+    size_t consecutive_ = 0;
+    uint64_t totalCrashes_ = 0;
+    uint64_t restarts_ = 0;
+    /** Abnormal-exit timestamps inside the sliding window. */
+    std::deque<uint64_t> recentCrashes_;
+};
+
+} // namespace util
+} // namespace specinfer
+
+#endif // SPECINFER_UTIL_SUPERVISOR_H

@@ -1,0 +1,41 @@
+#include "util/watchdog.h"
+
+namespace specinfer {
+namespace util {
+
+void
+Watchdog::arm()
+{
+    if (budget_ == 0)
+        return;
+    armed_ = true;
+    ++armCount_;
+    deadline_ = now_() + budget_;
+}
+
+bool
+Watchdog::disarm()
+{
+    if (!armed_)
+        return false;
+    armed_ = false;
+    const uint64_t end = now_();
+    if (end < deadline_) {
+        lastOverrun_ = 0;
+        consecutiveStalls_ = 0;
+        return false;
+    }
+    lastOverrun_ = end - deadline_;
+    ++stallCount_;
+    ++consecutiveStalls_;
+    return true;
+}
+
+bool
+Watchdog::expired() const
+{
+    return armed_ && budget_ != 0 && now_() >= deadline_;
+}
+
+} // namespace util
+} // namespace specinfer

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deadline-armed stall detector for the serving loop.
+ *
+ * A production scheduler must notice when one iteration stops
+ * making progress — a spinning kernel, a deadlocked pool worker, a
+ * pathological batch — and degrade instead of silently stalling
+ * every queued request. The watchdog guards one section at a time:
+ * arm() stamps a deadline (now + budget), disarm() reports whether
+ * the section blew it, and expired() lets a poller (or the hang
+ * fault simulation) observe the blown deadline mid-flight.
+ *
+ * Two stall flavors, matching the fault points in util/fault.h:
+ *
+ *  - `hang` (FaultPoint::Hang): the section eventually returns but
+ *    far past its budget. disarm() reports the stall; the daemon
+ *    publishes degraded health and disables speculation via the
+ *    degradation ladder.
+ *  - `wedge` (FaultPoint::Wedge): the section never returns. No
+ *    in-process detector can help — an external supervisor watches
+ *    the board heartbeat and kills the process, and recovery
+ *    replays the write-ahead journal.
+ *
+ * Time comes from an injected nanosecond source, not a syscall: the
+ * util layer is clock-agnostic by design, so the daemon wires in
+ * its obs::Clock and tests drive the watchdog with a ManualClock —
+ * every arm/fire/reset schedule is deterministic, no real sleeps.
+ * Single-threaded by design, like the scheduler it guards.
+ */
+
+#ifndef SPECINFER_UTIL_WATCHDOG_H
+#define SPECINFER_UTIL_WATCHDOG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace specinfer {
+namespace util {
+
+class Watchdog
+{
+  public:
+    /** Monotonic nanosecond source (obs::Clock in the daemon,
+     *  ManualClock in tests). */
+    using NowFn = std::function<uint64_t()>;
+
+    /**
+     * @param budget_nanos Stall budget per guarded section; a
+     *        section running longer counts as a stall. 0 disables
+     *        the watchdog (arm/disarm become no-ops that never
+     *        report a stall).
+     * @param now Nanosecond source; must outlive the watchdog.
+     */
+    Watchdog(uint64_t budget_nanos, NowFn now)
+        : budget_(budget_nanos), now_(std::move(now))
+    {
+    }
+
+    /** Start guarding a section: deadline = now + budget.
+     *  Re-arming while armed simply restarts the window. */
+    void arm();
+
+    /**
+     * End the guarded section.
+     * @return true when the section overran its budget (a stall);
+     *         the overrun is retained in lastOverrunNanos(). Also
+     *         maintains the consecutive-stall ladder used for
+     *         escalation decisions.
+     */
+    bool disarm();
+
+    /** True while a section is being guarded. */
+    bool armed() const { return armed_; }
+
+    /** True when the armed section has already blown its deadline
+     *  (a mid-flight poll; false when disarmed or unbudgeted). */
+    bool expired() const;
+
+    /** Deadline of the armed section (meaningless when disarmed). */
+    uint64_t deadlineNanos() const { return deadline_; }
+
+    uint64_t budgetNanos() const { return budget_; }
+
+    /** Sections guarded so far. */
+    uint64_t armCount() const { return armCount_; }
+
+    /** Sections that overran their budget. */
+    uint64_t stallCount() const { return stallCount_; }
+
+    /** Stalls since the last in-budget section (escalation input:
+     *  one straggler is noise, a streak is a sick scheduler). */
+    uint64_t consecutiveStalls() const { return consecutiveStalls_; }
+
+    /** Nanoseconds past the deadline at the last disarm (0 when the
+     *  last section met its budget). */
+    uint64_t lastOverrunNanos() const { return lastOverrun_; }
+
+  private:
+    uint64_t budget_;
+    NowFn now_;
+    bool armed_ = false;
+    uint64_t deadline_ = 0;
+    uint64_t armCount_ = 0;
+    uint64_t stallCount_ = 0;
+    uint64_t consecutiveStalls_ = 0;
+    uint64_t lastOverrun_ = 0;
+};
+
+} // namespace util
+} // namespace specinfer
+
+#endif // SPECINFER_UTIL_WATCHDOG_H

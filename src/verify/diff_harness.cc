@@ -10,6 +10,8 @@
 
 #include "core/spec_engine.h"
 #include "model/model_factory.h"
+#include "obs/clock.h"
+#include "obs/obs.h"
 #include "runtime/journal.h"
 #include "runtime/request_manager.h"
 #include "util/fault.h"
@@ -604,16 +606,37 @@ runRecoveryTrial(uint64_t seed, bool verbose)
         pool.push_back(&ssm);
     core::SpecEngine engine(&llm, pool, ecfg);
 
-    // Arrival script: prompts with staggered driver-side arrivals.
+    // Deterministic wall clock for the QoS trials: frozen between
+    // explicit set() calls, keyed to the driver iteration below, so
+    // baseline, counting run, and crash run read identical
+    // timestamps at the same iteration regardless of how many
+    // requests are in flight (nowNanos_ is sampled once per
+    // iteration). kTick is large enough that per-iteration deadlines
+    // are expressible; kEpoch keeps 0 meaning "no deadline".
+    constexpr uint64_t kTick = 1000;
+    constexpr uint64_t kEpoch = 1000000;
+    // ManualClock refuses to move backwards, and the trial drives
+    // three full runs (baseline, consultation count, crash) through
+    // the same schedule — so each run gets a fresh clock instance,
+    // rebound into the serving config just before its manager is
+    // built.
+    std::unique_ptr<obs::ManualClock> clock;
+    std::unique_ptr<obs::ObsContext> obs_ctx;
+
+    // Arrival script: prompts with staggered driver-side arrivals,
+    // QoS classes, and (sometimes) absolute wall-clock deadlines.
     struct Arrival
     {
         std::vector<int> prompt;
         size_t maxNew;
         size_t driverIter;
+        runtime::Priority priority = runtime::Priority::Standard;
+        uint64_t deadlineNanos = 0;
     };
     std::vector<Arrival> script;
     const size_t n_req = 2 + rng.uniformInt(uint64_t{3}); // 2..4
     size_t worst_tokens = 0;
+    size_t wall_deadlines = 0;
     for (size_t i = 0; i < n_req; ++i) {
         Arrival a;
         a.prompt = drawPrompt(rng, 3 + rng.uniformInt(uint64_t{13}),
@@ -642,6 +665,22 @@ runRecoveryTrial(uint64_t seed, bool verbose)
                        ? 0
                        : 4 + rng.uniformInt(uint64_t{7});
         a.driverIter = rng.uniformInt(uint64_t{7});
+        a.priority = static_cast<runtime::Priority>(
+            rng.uniformInt(uint64_t{runtime::kPriorityCount}));
+        if (rng.uniform() < 0.4) {
+            // Absolute deadline on the manual clock. Mostly
+            // generous (the request finishes), sometimes tight
+            // (it expires mid-decode or while queued) — both
+            // outcomes are journaled finish events and must
+            // replay identically through any crash.
+            const uint64_t horizon =
+                rng.uniform() < 0.5
+                    ? 3 + rng.uniformInt(uint64_t{10}) // tight
+                    : 200;                             // generous
+            a.deadlineNanos =
+                kEpoch + (a.driverIter + horizon) * kTick;
+            ++wall_deadlines;
+        }
         const size_t budget =
             a.maxNew > 0 ? a.maxNew : ecfg.maxNewTokens;
         worst_tokens =
@@ -657,6 +696,29 @@ runRecoveryTrial(uint64_t seed, bool verbose)
     runtime::ServingConfig scfg;
     scfg.maxBatchSize = 2 + rng.uniformInt(uint64_t{3}); // 2..4
     scfg.kvBlockTokens = 8;
+    auto resetClock = [&]() {
+        obs_ctx.reset();
+        clock = std::make_unique<obs::ManualClock>(kEpoch,
+                                                   /*auto_step=*/0);
+        obs_ctx = std::make_unique<obs::ObsContext>(
+            clock.get(), /*tracing_enabled=*/false);
+        scfg.obs = obs_ctx.get();
+    };
+    bool buckets = false;
+    if (rng.uniform() < 0.5) {
+        // Per-class token buckets, sized so every scripted request
+        // is admitted (a rejected submit would fork the workload):
+        // the interesting part is that accepted submits consume
+        // bucket tokens through the journal-replay path, so crash
+        // recovery must re-consume identically.
+        buckets = true;
+        for (size_t c = 0; c < runtime::kPriorityCount; ++c) {
+            scfg.classBucketCapacity[c] =
+                n_req + rng.uniformInt(uint64_t{4});
+            scfg.classRefillEveryIterations[c] =
+                1 + rng.uniformInt(uint64_t{3});
+        }
+    }
     if (rng.uniform() < 0.8) {
         // Pool between 1x and 3x one worst-case request: tight
         // enough that on-demand paging preempts under load, while
@@ -694,20 +756,37 @@ runRecoveryTrial(uint64_t seed, bool verbose)
             << " snapEvery=" << snap_every
             << " crashes<=" << crash_budget
             << " kvFaults=" << (kv_faults ? 1 : 0)
-            << " sharing=" << (scfg.kvPrefixSharing ? 1 : 0);
+            << " sharing=" << (scfg.kvPrefixSharing ? 1 : 0)
+            << " buckets=" << (buckets ? 1 : 0)
+            << " wallDeadlines=" << wall_deadlines;
         out.configLine = oss.str();
     }
 
     // --- Reference: the same workload, never interrupted. ---------
+    // The baseline runs inside the *same* fault environment as the
+    // crash run (same injector seed, KvAlloc armed, Crash not):
+    // KvAlloc decisions are keyed by (request, iteration), so both
+    // runs see identical allocation pressure and any divergence is
+    // attributable to recovery alone — even when wall-clock
+    // deadlines make fault-induced delays observable in the output.
     std::vector<runtime::RequestResult> baseline;
     {
+        util::FaultInjector base_injector(seed ^ 0xc7a5d1ULL);
+        util::FaultScope base_scope(&base_injector);
+        if (kv_faults)
+            base_injector.setProbability(util::FaultPoint::KvAlloc,
+                                         kv_fault_prob);
+        resetClock();
         runtime::RequestManager mgr(&engine, scfg);
         size_t it = 0, next = 0, guard = 0;
         while (next < script.size() || mgr.busy()) {
+            clock->set(kEpoch + it * kTick);
             while (next < script.size() &&
                    script[next].driverIter <= it) {
                 runtime::SubmitResult sr = mgr.submit(
-                    script[next].prompt, script[next].maxNew);
+                    script[next].prompt, script[next].maxNew, 0,
+                    script[next].priority,
+                    script[next].deadlineNanos);
                 SPECINFER_CHECK(sr.accepted(),
                                 "recovery trial baseline reject");
                 ++next;
@@ -750,14 +829,18 @@ runRecoveryTrial(uint64_t seed, bool verbose)
                                    kv_fault_prob);
         std::stringstream count_buf;
         runtime::JournalWriter count_writer(count_buf);
+        resetClock();
         runtime::RequestManager count_mgr(&engine, scfg);
         count_mgr.attachJournal(&count_writer);
         size_t cit = 0, cnext = 0, cguard = 0;
         while (cnext < script.size() || count_mgr.busy()) {
+            clock->set(kEpoch + cit * kTick);
             while (cnext < script.size() &&
                    script[cnext].driverIter <= cit) {
                 count_mgr.submit(script[cnext].prompt,
-                                 script[cnext].maxNew);
+                                 script[cnext].maxNew, 0,
+                                 script[cnext].priority,
+                                 script[cnext].deadlineNanos);
                 ++cnext;
             }
             count_mgr.runIteration();
@@ -789,6 +872,7 @@ runRecoveryTrial(uint64_t seed, bool verbose)
     auto journal_buf = std::make_unique<std::stringstream>();
     auto writer = std::make_unique<runtime::JournalWriter>(
         *journal_buf);
+    resetClock();
     auto mgr = std::make_unique<runtime::RequestManager>(&engine,
                                                          scfg);
     mgr->attachJournal(writer.get());
@@ -797,10 +881,17 @@ runRecoveryTrial(uint64_t seed, bool verbose)
 
     size_t it = 0, next = 0, guard = 0;
     while (next < script.size() || mgr->busy()) {
+        // Same clock schedule as the baseline: a crash retries the
+        // driver iteration without advancing `it`, so the recovered
+        // manager's first live iteration reads the very timestamp
+        // the crashed one would have.
+        clock->set(kEpoch + it * kTick);
         while (next < script.size() &&
                script[next].driverIter <= it) {
             runtime::SubmitResult sr = mgr->submit(
-                script[next].prompt, script[next].maxNew);
+                script[next].prompt, script[next].maxNew, 0,
+                script[next].priority,
+                script[next].deadlineNanos);
             SPECINFER_CHECK(sr.accepted(),
                             "recovery trial crash-run reject");
             ++next;

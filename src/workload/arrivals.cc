@@ -82,5 +82,47 @@ burstyMultiTenantArrivals(size_t count, size_t tenants,
     return arrivals;
 }
 
+std::vector<ClassedArrival>
+classedBurstyArrivals(size_t count, const double (&mix)[3],
+                      double mean_gap_iterations,
+                      double mean_batch_burst, uint64_t seed)
+{
+    SPECINFER_CHECK(mean_gap_iterations > 0.0,
+                    "mean arrival gap must be positive");
+    SPECINFER_CHECK(mean_batch_burst >= 1.0,
+                    "batch bursts hold at least one request");
+    const double total = mix[0] + mix[1] + mix[2];
+    SPECINFER_CHECK(total > 0.0 && mix[0] >= 0.0 && mix[1] >= 0.0 &&
+                        mix[2] >= 0.0,
+                    "class mix needs non-negative weights with a "
+                    "positive sum");
+    util::Rng rng(seed ^ 0xc1a55u);
+    std::vector<ClassedArrival> arrivals;
+    arrivals.reserve(count);
+    double t = 0.0;
+    while (arrivals.size() < count) {
+        double u;
+        do {
+            u = rng.uniform();
+        } while (u <= 0.0);
+        t += -mean_gap_iterations * std::log(u);
+        const double pick = rng.uniform() * total;
+        const uint8_t cls =
+            pick < mix[0] ? 0 : (pick < mix[0] + mix[1] ? 1 : 2);
+        size_t burst = 1;
+        if (cls == 2 && mean_batch_burst > 1.0) {
+            double v;
+            do {
+                v = rng.uniform();
+            } while (v <= 0.0);
+            burst = 1 + static_cast<size_t>(
+                            -(mean_batch_burst - 1.0) * std::log(v));
+        }
+        for (size_t i = 0; i < burst && arrivals.size() < count; ++i)
+            arrivals.push_back({static_cast<size_t>(t), cls});
+    }
+    return arrivals;
+}
+
 } // namespace workload
 } // namespace specinfer

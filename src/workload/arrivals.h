@@ -65,6 +65,37 @@ std::vector<TenantArrival> burstyMultiTenantArrivals(
     size_t count, size_t tenants, double mean_gap_iterations,
     double mean_burst_size, uint64_t seed);
 
+/** One arrival of a QoS-classed trace: when, and which priority
+ *  class (0 = interactive, 1 = standard, 2 = batch — matches
+ *  runtime::Priority without depending on the runtime layer). */
+struct ClassedArrival
+{
+    size_t iteration = 0;
+    uint8_t priority = 1;
+};
+
+/**
+ * Bursty mixed-QoS arrivals, the traffic shape overload control
+ * targets: interactive and standard requests trickle in one at a
+ * time on a Poisson process, while batch traffic slams the queue in
+ * bursts (an offline pipeline submitting a whole shard at once).
+ * Every arrival event draws its class from `mix` (three relative
+ * weights, interactive/standard/batch); a batch event lands
+ * 1 + Exp(mean_batch_burst - 1) requests on the same iteration.
+ *
+ * @param count Total arrivals generated.
+ * @param mix Relative class weights {interactive, standard, batch};
+ *            must sum to a positive value.
+ * @param mean_gap_iterations Mean gap between arrival events.
+ * @param mean_batch_burst Mean requests per batch burst (>= 1).
+ * @param seed RNG seed.
+ * @return `count` arrivals with non-decreasing iterations.
+ */
+std::vector<ClassedArrival> classedBurstyArrivals(
+    size_t count, const double (&mix)[3],
+    double mean_gap_iterations, double mean_batch_burst,
+    uint64_t seed);
+
 } // namespace workload
 } // namespace specinfer
 

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Watchdog arm/fire/reset properties under injected time. Every
+ * schedule runs on a manually advanced nanosecond source (the
+ * obs::ManualClock pattern) — no real sleeps, no flaky margins:
+ * each assertion is exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/watchdog.h"
+
+namespace specinfer {
+namespace util {
+namespace {
+
+/** Manually advanced nanosecond source shared with a watchdog. */
+struct TestClock
+{
+    uint64_t now = 0;
+    Watchdog::NowFn fn()
+    {
+        return [this]() { return now; };
+    }
+};
+
+TEST(WatchdogTest, InBudgetSectionReportsNoStall)
+{
+    TestClock clock;
+    Watchdog dog(1000, clock.fn());
+
+    dog.arm();
+    EXPECT_TRUE(dog.armed());
+    EXPECT_EQ(dog.deadlineNanos(), 1000u);
+    clock.now = 999; // one nano under the deadline
+    EXPECT_FALSE(dog.disarm());
+    EXPECT_FALSE(dog.armed());
+    EXPECT_EQ(dog.armCount(), 1u);
+    EXPECT_EQ(dog.stallCount(), 0u);
+    EXPECT_EQ(dog.lastOverrunNanos(), 0u);
+}
+
+TEST(WatchdogTest, OverrunReportsStallWithExactOverrun)
+{
+    TestClock clock;
+    Watchdog dog(1000, clock.fn());
+
+    clock.now = 500;
+    dog.arm(); // deadline 1500
+    clock.now = 1777;
+    EXPECT_TRUE(dog.disarm());
+    EXPECT_EQ(dog.stallCount(), 1u);
+    EXPECT_EQ(dog.lastOverrunNanos(), 277u);
+
+    // Hitting the deadline exactly is already a stall: the budget
+    // is the last in-budget instant plus one.
+    dog.arm(); // deadline 2777
+    clock.now = 3777;
+    EXPECT_TRUE(dog.disarm());
+    EXPECT_EQ(dog.lastOverrunNanos(), 1000u);
+    EXPECT_EQ(dog.stallCount(), 2u);
+}
+
+TEST(WatchdogTest, ExpiredObservesBlownDeadlineMidFlight)
+{
+    TestClock clock;
+    Watchdog dog(100, clock.fn());
+
+    EXPECT_FALSE(dog.expired()); // disarmed: nothing to expire
+    dog.arm();                   // deadline 100
+    EXPECT_FALSE(dog.expired());
+    clock.now = 99;
+    EXPECT_FALSE(dog.expired());
+    clock.now = 100;
+    EXPECT_TRUE(dog.expired()); // at the deadline, not past it
+    clock.now = 5000;
+    EXPECT_TRUE(dog.expired());
+    EXPECT_TRUE(dog.disarm());
+    EXPECT_FALSE(dog.expired()); // disarming clears the condition
+}
+
+TEST(WatchdogTest, RearmRestartsTheWindow)
+{
+    TestClock clock;
+    Watchdog dog(1000, clock.fn());
+
+    dog.arm(); // deadline 1000
+    clock.now = 900;
+    dog.arm(); // restarted: deadline 1900
+    EXPECT_EQ(dog.deadlineNanos(), 1900u);
+    clock.now = 1500; // past the first window, inside the second
+    EXPECT_FALSE(dog.expired());
+    EXPECT_FALSE(dog.disarm());
+    EXPECT_EQ(dog.armCount(), 2u);
+    EXPECT_EQ(dog.stallCount(), 0u);
+}
+
+TEST(WatchdogTest, ConsecutiveStallLadderResetsOnCleanSection)
+{
+    TestClock clock;
+    Watchdog dog(10, clock.fn());
+
+    for (int i = 0; i < 3; ++i) {
+        dog.arm();
+        clock.now += 50; // blow the budget every time
+        EXPECT_TRUE(dog.disarm());
+    }
+    EXPECT_EQ(dog.consecutiveStalls(), 3u);
+    EXPECT_EQ(dog.stallCount(), 3u);
+
+    dog.arm();
+    clock.now += 5; // in budget: one healthy section ends the streak
+    EXPECT_FALSE(dog.disarm());
+    EXPECT_EQ(dog.consecutiveStalls(), 0u);
+    EXPECT_EQ(dog.stallCount(), 3u); // lifetime count is monotone
+
+    dog.arm();
+    clock.now += 50;
+    EXPECT_TRUE(dog.disarm());
+    EXPECT_EQ(dog.consecutiveStalls(), 1u); // streak restarts at one
+}
+
+TEST(WatchdogTest, ZeroBudgetDisablesTheWatchdog)
+{
+    TestClock clock;
+    Watchdog dog(0, clock.fn());
+
+    dog.arm(); // no-op
+    EXPECT_FALSE(dog.armed());
+    EXPECT_FALSE(dog.expired());
+    clock.now = 1u << 30;
+    EXPECT_FALSE(dog.disarm()); // never reports a stall
+    EXPECT_EQ(dog.armCount(), 0u);
+    EXPECT_EQ(dog.stallCount(), 0u);
+}
+
+TEST(WatchdogTest, DisarmWithoutArmIsANoOp)
+{
+    TestClock clock;
+    Watchdog dog(100, clock.fn());
+    clock.now = 1u << 20;
+    EXPECT_FALSE(dog.disarm());
+    EXPECT_EQ(dog.stallCount(), 0u);
+}
+
+} // namespace
+} // namespace util
+} // namespace specinfer

@@ -38,7 +38,7 @@ commonFlagNames()
         "verbose",
         // Crash-safe serving (spec_infer --journal mode).
         "batch",      "journal",    "snapshot-every",
-        "crash-after", "recover",
+        "crash-after", "recover",   "journal-fsync",
         // Observability exporters.
         "metrics-out", "trace-out",
     };

@@ -37,6 +37,9 @@
 
 #include "cli_common.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -56,7 +59,8 @@ serveJournaled(core::SpecEngine &engine,
                size_t num_prompts, size_t batch,
                model::Precision ssm_precision,
                const std::string &journal_path, size_t snap_every,
-               int64_t crash_after, bool recover_mode, bool verbose)
+               int64_t crash_after, bool recover_mode,
+               bool journal_fsync, bool verbose)
 {
     const std::string snap_path = journal_path + ".snap";
     runtime::ServingConfig scfg;
@@ -64,6 +68,7 @@ serveJournaled(core::SpecEngine &engine,
     // Persisted in every snapshot: recovery refuses to resume a run
     // under a different SSM precision than it crashed with.
     scfg.ssmPrecision = static_cast<uint8_t>(ssm_precision);
+    scfg.journalFsync = journal_fsync;
     runtime::RequestManager manager(&engine, scfg);
 
     size_t next_prompt = 0;
@@ -101,6 +106,15 @@ serveJournaled(core::SpecEngine &engine,
     SPECINFER_CHECK(journal_out.good(),
                     "cannot write journal '" << journal_path << "'");
     runtime::JournalWriter journal(journal_out);
+    // Power-loss durability (opt-in): a second descriptor on the
+    // journal file; appends flush the stream, sync() fdatasyncs it
+    // at iteration and snapshot boundaries.
+    int sync_fd = -1;
+    if (journal_fsync) {
+        sync_fd = ::open(journal_path.c_str(), O_WRONLY);
+        if (sync_fd >= 0)
+            journal.setSyncFd(sync_fd);
+    }
     manager.attachJournal(&journal);
     // An operator interrupt mid-serve still leaves a recoverable
     // journal prefix on disk (satellite of the daemon work: every
@@ -113,6 +127,7 @@ serveJournaled(core::SpecEngine &engine,
                                std::ios::binary | std::ios::trunc);
         manager.writeSnapshot(snap_out);
         journal_out.flush();
+        journal.sync(); // no-op without --journal-fsync
     };
     snapshot();
 
@@ -157,6 +172,8 @@ serveJournaled(core::SpecEngine &engine,
                 tokens, steps, tokens / steps,
                 static_cast<size_t>(manager.stats().iterations));
     tools::setSignalFlushHook(nullptr); // journal_out leaves scope
+    if (sync_fd >= 0)
+        ::close(sync_fd);
     return 0;
 }
 
@@ -226,7 +243,8 @@ main(int argc, char **argv)
             ssm_precision, journal_path,
             static_cast<size_t>(flags.getInt("snapshot-every", 32)),
             flags.getInt("crash-after", -1),
-            flags.getBool("recover"), verbose);
+            flags.getBool("recover"),
+            flags.getBool("journal-fsync"), verbose);
         tools::writeObsOutputs(obs_ctx.get(), metrics_out,
                                trace_out);
         return rc;

@@ -12,6 +12,7 @@
  *   specinfer_client [--dir DIR] [--llm llama-7b-sim]
  *                    [--dataset Alpaca] [--num-prompts 3]
  *                    [--prompt-start 0] [--max-tokens 32]
+ *                    [--priority interactive|standard|batch]
  *                    [--poll-micros 500] [--max-polls 400000]
  *                    [--stall-polls 4000]
  *                    [--abandon-after-tokens N] [--verbose]
@@ -21,8 +22,14 @@
  * (no goodbye, no unlink — kill -9 semantics) and exits 7; the
  * daemon's lease reaper must clean up.
  *
+ * An overload rejection is typed so callers can script retries:
+ * `rejected: overloaded (retry-after N)` where N is the daemon's
+ * class-scaled backoff advice in polls, and the exit code is 8
+ * (distinct from other rejections' 2).
+ *
  * Exit codes: 0 all finished, 2 a submit was rejected, 4 daemon
- * gone, 5 timed out, 6 corrupt channel, 7 abandoned on purpose.
+ * gone, 5 timed out, 6 corrupt channel, 7 abandoned on purpose,
+ * 8 shed by overload control (retry after the advised backoff).
  */
 
 #include "cli_common.h"
@@ -38,8 +45,8 @@ main(int argc, char **argv)
     using namespace specinfer;
     util::Flags flags(argc, argv);
     flags.allowOnly({"dir", "llm", "dataset", "num-prompts",
-                     "prompt-start", "max-tokens", "poll-micros",
-                     "max-polls", "stall-polls",
+                     "prompt-start", "max-tokens", "priority",
+                     "poll-micros", "max-polls", "stall-polls",
                      "abandon-after-tokens", "verbose"});
 
     const std::string llm_name = flags.get("llm", "llama-7b-sim");
@@ -57,6 +64,20 @@ main(int argc, char **argv)
         static_cast<long>(flags.getInt("poll-micros", 500)));
     const size_t max_polls =
         static_cast<size_t>(flags.getInt("max-polls", 400000));
+    const std::string priority_name =
+        flags.get("priority", "standard");
+    runtime::Priority priority = runtime::Priority::Standard;
+    if (priority_name == "interactive")
+        priority = runtime::Priority::Interactive;
+    else if (priority_name == "batch")
+        priority = runtime::Priority::Batch;
+    else if (priority_name != "standard") {
+        std::fprintf(stderr,
+                     "specinfer_client: unknown --priority '%s' "
+                     "(interactive|standard|batch)\n",
+                     priority_name.c_str());
+        return 1;
+    }
 
     // Prompts only need the model's vocab size, not its weights.
     workload::PromptDataset dataset = workload::PromptDataset::named(
@@ -85,7 +106,8 @@ main(int argc, char **argv)
     std::vector<uint64_t> tags;
     for (size_t i = 0; i < num_prompts; ++i)
         tags.push_back(client.submit(
-            dataset.prompt(prompt_start + i), max_tokens));
+            dataset.prompt(prompt_start + i), max_tokens,
+            priority));
 
     size_t polls = 0;
     bool abandoned = false;
@@ -144,6 +166,18 @@ main(int argc, char **argv)
     }
     for (size_t i = 0; i < tags.size(); ++i) {
         const ipc::ClientRequest *req = client.request(tags[i]);
+        if (req->reject == ipc::WireReject::Overloaded) {
+            // Typed shed line: scripts parse the class-scaled
+            // backoff advice and retry instead of treating the
+            // shed as a hard failure.
+            std::printf("[prompt %zu] rejected: overloaded "
+                        "(retry-after %llu)\n",
+                        prompt_start + i,
+                        static_cast<unsigned long long>(
+                            client.overloadBackoffPolls()));
+            rc = rc == 0 ? 8 : rc;
+            continue;
+        }
         if (req->reject != ipc::WireReject::None) {
             std::printf("[prompt %zu] rejected: %s\n",
                         prompt_start + i,

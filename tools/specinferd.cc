@@ -21,8 +21,21 @@
  *                                     run until signalled)
  *              [--journal PATH]       write-ahead journal (crash
  *                                     recovery; snapshot at .snap)
+ *              [--journal-fsync]      fdatasync the journal at
+ *                                     iteration/snapshot boundaries
+ *                                     (power-loss durability)
  *              [--record PATH]        request-stream recording
  *                                     (diffcheck --replay-record)
+ *              [--class-buckets i,s,b] per-class token-bucket
+ *                                     capacities (0 = unmetered)
+ *              [--class-refill i,s,b] bucket refill periods
+ *                                     (iterations per token)
+ *              [--wall-deadline-ms N] default wall-clock deadline
+ *              [--watchdog-budget-ms N] per-iteration stall budget
+ *              [--stall-degrade N]    iterations speculation stays
+ *                                     off after a stall
+ *              [--crash-after N]      simulate a crash after N live
+ *                                     iterations (supervisor smoke)
  *              [--metrics-out F] [--trace-out F] [--verbose]
  *
  * SIGTERM/SIGINT triggers a graceful drain: admission stops
@@ -68,8 +81,11 @@ main(int argc, char **argv)
                      "max-tokens", "temperature", "batch", "dir",
                      "lease-ticks", "scan-every", "tick-micros",
                      "max-ticks", "journal", "snapshot-every",
-                     "record", "metrics-out", "trace-out",
-                     "verbose"});
+                     "journal-fsync", "record",
+                     "class-buckets", "class-refill",
+                     "wall-deadline-ms", "watchdog-budget-ms",
+                     "stall-degrade", "crash-after",
+                     "metrics-out", "trace-out", "verbose"});
 
     const std::string llm_name = flags.get("llm", "llama-7b-sim");
     const size_t ssm_layers =
@@ -115,6 +131,33 @@ main(int argc, char **argv)
         static_cast<size_t>(flags.getInt("batch", 4));
     serving.ssmPrecision = static_cast<uint8_t>(ssm_precision);
     serving.obs = obs_ctx.get();
+    serving.journalFsync = flags.getBool("journal-fsync");
+    serving.defaultWallDeadlineNanos =
+        static_cast<uint64_t>(flags.getInt("wall-deadline-ms", 0)) *
+        1000000ULL;
+    {
+        // "i,s,b" per-class bucket capacities / refill periods.
+        unsigned long long a = 0, b = 0, c = 0;
+        const std::string caps = flags.get("class-buckets", "");
+        if (!caps.empty() &&
+            std::sscanf(caps.c_str(), "%llu,%llu,%llu", &a, &b,
+                        &c) == 3) {
+            serving.classBucketCapacity[0] = static_cast<size_t>(a);
+            serving.classBucketCapacity[1] = static_cast<size_t>(b);
+            serving.classBucketCapacity[2] = static_cast<size_t>(c);
+        }
+        const std::string refill = flags.get("class-refill", "");
+        if (!refill.empty() &&
+            std::sscanf(refill.c_str(), "%llu,%llu,%llu", &a, &b,
+                        &c) == 3) {
+            serving.classRefillEveryIterations[0] =
+                static_cast<size_t>(a);
+            serving.classRefillEveryIterations[1] =
+                static_cast<size_t>(b);
+            serving.classRefillEveryIterations[2] =
+                static_cast<size_t>(c);
+        }
+    }
 
     ipc::DaemonConfig dcfg;
     dcfg.dir = flags.get("dir", "");
@@ -137,6 +180,14 @@ main(int argc, char **argv)
     dcfg.recordHeader.ssmPrecision =
         static_cast<uint8_t>(ssm_precision);
     dcfg.obs = obs_ctx.get();
+    dcfg.watchdogBudgetNanos =
+        static_cast<uint64_t>(
+            flags.getInt("watchdog-budget-ms", 0)) *
+        1000000ULL;
+    dcfg.stallDegradeIterations =
+        static_cast<size_t>(flags.getInt("stall-degrade", 64));
+    dcfg.crashAfterIterations =
+        static_cast<uint64_t>(flags.getInt("crash-after", 0));
 
     ipc::Daemon daemon(&engine, serving, dcfg);
     if (!daemon.start()) {

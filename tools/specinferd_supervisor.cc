@@ -1,0 +1,271 @@
+/**
+ * @file
+ * specinferd_supervisor — keep a specinferd alive across crashes.
+ *
+ * Fork/execs the daemon and babysits it:
+ *
+ *  - An abnormal child exit (signal, nonzero status, injected
+ *    --crash-after) is restarted after a seeded-jitter exponential
+ *    backoff; the restarted daemon recovers from its journal and
+ *    resumed clients never lose a stream.
+ *  - A *crash loop* — too many abnormal exits inside a sliding
+ *    window — means restarting cannot help (bad config, corrupt
+ *    state); the supervisor gives up with the typed exit code 9.
+ *  - A *wedge* — the child is alive but its board heartbeat stopped
+ *    advancing past --heartbeat-stall-ms — is broken with SIGKILL
+ *    and handled like a crash; recovery replays the journal.
+ *  - SIGTERM/SIGINT are forwarded to the child for a graceful drain
+ *    and the supervisor exits with the child's status.
+ *
+ * All restart/give-up decisions live in util::SupervisorPolicy so
+ * tests replay the schedules deterministically; this binary is only
+ * the process plumbing.
+ *
+ * Usage:
+ *   specinferd_supervisor [--daemon PATH] [--dir DIR]
+ *       [--backoff-base-ms 100] [--backoff-cap-ms 10000]
+ *       [--stable-uptime-ms 10000]
+ *       [--crash-loop-crashes 5] [--crash-loop-window-ms 60000]
+ *       [--seed N] [--heartbeat-stall-ms 0]  (0 = no wedge watch)
+ *       [--poll-ms 10] [--metrics-out FILE]
+ *       -- <daemon flags...>
+ *
+ * Everything after `--` is passed to the daemon verbatim. The
+ * supervisor publishes supervisor_* metrics (restarts, crashes,
+ * wedge kills, give-ups) to --metrics-out after every event, so a
+ * smoke test can assert `supervisor_restarts` even after the
+ * supervisor exits.
+ *
+ * Exit codes: the drained child's own status after SIGTERM, 9 on a
+ * crash-loop give-up, 1 on usage/spawn errors.
+ */
+
+#include "cli_common.h"
+
+#include <csignal>
+#include <cstring>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "ipc/channel.h"
+#include "ipc/shm.h"
+#include "util/supervisor.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_term = 0;
+
+void
+onTermSignal(int)
+{
+    g_term = 1;
+}
+
+uint64_t
+nowMillis()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace specinfer;
+
+    // Split at the literal `--`: our flags before, the daemon's
+    // command line after.
+    int sep = argc;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--") == 0) {
+            sep = i;
+            break;
+        }
+    util::Flags flags(sep, argv);
+    flags.allowOnly({"daemon", "dir", "backoff-base-ms",
+                     "backoff-cap-ms", "stable-uptime-ms",
+                     "crash-loop-crashes", "crash-loop-window-ms",
+                     "seed", "heartbeat-stall-ms", "poll-ms",
+                     "metrics-out"});
+
+    const std::string daemon_path =
+        flags.get("daemon", "./specinferd");
+    const std::string ipc_dir = flags.get("dir", "");
+    const uint64_t hb_stall_ms = static_cast<uint64_t>(
+        flags.getInt("heartbeat-stall-ms", 0));
+    const auto poll_sleep = std::chrono::milliseconds(
+        static_cast<long>(flags.getInt("poll-ms", 10)));
+    const std::string metrics_out = flags.get("metrics-out", "");
+
+    util::SupervisorConfig pcfg;
+    pcfg.backoffBaseMillis = static_cast<uint64_t>(
+        flags.getInt("backoff-base-ms", 100));
+    pcfg.backoffCapMillis = static_cast<uint64_t>(
+        flags.getInt("backoff-cap-ms", 10000));
+    pcfg.stableUptimeMillis = static_cast<uint64_t>(
+        flags.getInt("stable-uptime-ms", 10000));
+    pcfg.crashLoopCrashes = static_cast<size_t>(
+        flags.getInt("crash-loop-crashes", 5));
+    pcfg.crashLoopWindowMillis = static_cast<uint64_t>(
+        flags.getInt("crash-loop-window-ms", 60000));
+    if (flags.has("seed"))
+        pcfg.jitterSeed =
+            static_cast<uint64_t>(flags.getInt("seed", 0));
+    util::SupervisorPolicy policy(pcfg);
+
+    // Child argv: daemon path + everything after `--`.
+    std::vector<char *> child_argv;
+    child_argv.push_back(const_cast<char *>(daemon_path.c_str()));
+    for (int i = sep + 1; i < argc; ++i)
+        child_argv.push_back(argv[i]);
+    child_argv.push_back(nullptr);
+
+    // Always-on context (cheap): the counters drive the log lines
+    // even when --metrics-out is absent and nothing is exported.
+    auto obs_ctx = std::make_unique<obs::ObsContext>(
+        &obs::SteadyClock::instance(), /*tracing_enabled=*/false);
+    auto counter = [&](const char *name) {
+        return obs_ctx->metrics().counter(name);
+    };
+    for (const char *name :
+         {"supervisor_restarts", "supervisor_crashes",
+          "supervisor_wedge_kills", "supervisor_giveups"})
+        counter(name)->inc(0);
+    auto publish = [&]() {
+        if (!metrics_out.empty())
+            tools::writeObsOutputs(obs_ctx.get(), metrics_out, "");
+    };
+    publish();
+
+    std::signal(SIGTERM, onTermSignal);
+    std::signal(SIGINT, onTermSignal);
+
+    for (;;) {
+        const pid_t child = ::fork();
+        if (child < 0) {
+            std::perror("specinferd_supervisor: fork");
+            return 1;
+        }
+        if (child == 0) {
+            ::execvp(daemon_path.c_str(), child_argv.data());
+            std::perror("specinferd_supervisor: exec");
+            std::_Exit(127);
+        }
+        policy.onChildStart(nowMillis());
+        std::printf("supervisor: launched %s as pid %d\n",
+                    daemon_path.c_str(),
+                    static_cast<int>(child));
+        std::fflush(stdout);
+
+        // Watch the child: exit, SIGTERM forward, wedge detection.
+        ipc::Board board;
+        uint64_t last_hb = 0;
+        uint64_t last_hb_change_ms = nowMillis();
+        bool wedge_killed = false;
+        int status = 0;
+        for (;;) {
+            const pid_t r = ::waitpid(child, &status, WNOHANG);
+            if (r == child)
+                break;
+            if (g_term != 0) {
+                // Graceful drain: forward and wait for the child to
+                // finish streaming + unlink its segments.
+                ::kill(child, SIGTERM);
+                ::waitpid(child, &status, 0);
+                publish();
+                std::printf("supervisor: drained after SIGTERM\n");
+                return WIFEXITED(status) ? WEXITSTATUS(status) : 0;
+            }
+            if (hb_stall_ms > 0) {
+                if (!board.valid())
+                    (void)board.open(ipc_dir.empty()
+                                         ? ipc::defaultIpcDir()
+                                         : ipc_dir);
+                if (board.valid()) {
+                    const uint64_t hb =
+                        board.shared()->heartbeat.load(
+                            std::memory_order_acquire);
+                    const uint64_t now = nowMillis();
+                    if (hb != last_hb) {
+                        last_hb = hb;
+                        last_hb_change_ms = now;
+                    } else if (now - last_hb_change_ms >
+                               hb_stall_ms) {
+                        // Wedged: alive but not ticking. No
+                        // in-process watchdog can fire (the loop
+                        // never returns), so break the process and
+                        // let journal recovery take over.
+                        std::printf("supervisor: heartbeat stalled "
+                                    "%llu ms; killing wedged pid "
+                                    "%d\n",
+                                    static_cast<unsigned long long>(
+                                        now - last_hb_change_ms),
+                                    static_cast<int>(child));
+                        std::fflush(stdout);
+                        ::kill(child, SIGKILL);
+                        ::waitpid(child, &status, 0);
+                        counter("supervisor_wedge_kills")->inc();
+                        wedge_killed = true;
+                        break;
+                    }
+                }
+            }
+            std::this_thread::sleep_for(poll_sleep);
+        }
+
+        if (!wedge_killed && WIFEXITED(status) &&
+            WEXITSTATUS(status) == 0) {
+            publish();
+            std::printf("supervisor: daemon exited cleanly\n");
+            return 0;
+        }
+
+        counter("supervisor_crashes")->inc();
+        const util::SupervisorPolicy::Decision decision =
+            policy.onChildExit(nowMillis());
+        if (decision.action ==
+            util::SupervisorPolicy::Action::GiveUp) {
+            counter("supervisor_giveups")->inc();
+            publish();
+            std::fprintf(stderr,
+                         "supervisor: crash loop (%zu crashes in "
+                         "%llu ms window); giving up\n",
+                         policy.config().crashLoopCrashes,
+                         static_cast<unsigned long long>(
+                             policy.config().crashLoopWindowMillis));
+            return 9;
+        }
+        counter("supervisor_restarts")->inc();
+        publish();
+        std::printf("supervisor: child died (%s %d); restart #%llu "
+                    "in %llu ms\n",
+                    WIFSIGNALED(status) ? "signal" : "status",
+                    WIFSIGNALED(status) ? WTERMSIG(status)
+                                        : WEXITSTATUS(status),
+                    static_cast<unsigned long long>(
+                        policy.restartsGranted()),
+                    static_cast<unsigned long long>(
+                        decision.delayMillis));
+        std::fflush(stdout);
+        // Interruptible backoff sleep: a SIGTERM during the wait
+        // still exits promptly instead of spawning one more child.
+        const uint64_t wake = nowMillis() + decision.delayMillis;
+        while (g_term == 0 && nowMillis() < wake)
+            std::this_thread::sleep_for(poll_sleep);
+        if (g_term != 0) {
+            publish();
+            std::printf("supervisor: SIGTERM during backoff; "
+                        "exiting\n");
+            return 0;
+        }
+    }
+}
