@@ -26,6 +26,7 @@
 #include "obs/export.h"
 #include "obs/obs.h"
 #include "runtime/request_manager.h"
+#include "simulator/perf_model.h"
 #include "util/rng.h"
 #include "workload/datasets.h"
 
@@ -48,6 +49,32 @@ fixturePrecision()
                           : model::Precision::Fp32;
 }
 
+/**
+ * SPECINFER_TP=<n> reshards the shared fixture's models across n
+ * simulated tensor-parallel ranks (must divide the preset's head
+ * count), so the whole serving suite can be re-recorded sharded.
+ * Outputs are bit-identical at every degree (DESIGN.md §5j) — only
+ * the execution shape, and therefore the timings, change. The
+ * BM_ShardedForward sweep below measures the contrast across
+ * degrees within one run.
+ */
+size_t
+fixtureTpDegree()
+{
+    const char *env = std::getenv("SPECINFER_TP");
+    return env != nullptr
+               ? static_cast<size_t>(std::strtoull(env, nullptr, 10))
+               : 1;
+}
+
+model::ModelConfig
+fixtureLlmConfig()
+{
+    model::ModelConfig cfg = model::llmPreset("llama-7b-sim");
+    cfg.tensorParallel = fixtureTpDegree();
+    return cfg;
+}
+
 struct ServingFixture
 {
     model::Transformer llm;
@@ -59,7 +86,7 @@ struct ServingFixture
     workload::PromptDataset dataset;
 
     ServingFixture()
-        : llm(model::makeLlm(model::llmPreset("llama-7b-sim"))),
+        : llm(model::makeLlm(fixtureLlmConfig())),
           ssm(fixturePrecision() == model::Precision::Int8
                   ? model::makeInt8Ssm(llm, 2)
                   : model::makeEarlyExitSsm(llm, 2)),
@@ -160,6 +187,94 @@ BM_ContinuousBatchDrain(benchmark::State &state)
     state.SetItemsProcessed(static_cast<int64_t>(iterations));
 }
 BENCHMARK(BM_ContinuousBatchDrain)->Unit(benchmark::kMillisecond);
+
+/**
+ * One sharded forward pair — a 24-token prefill plus a 16-token
+ * tree chunk — at tensor-parallel degree state.range(0), so
+ * BENCH_serving.json tracks how the real collective path scales
+ * with the shard count. The user counters report the measured
+ * all-reduce volume from the collective ledger alongside the perf
+ * model's prediction for the same shapes; test_parallel pins them
+ * EXACTLY equal, the benchmark records both so a drift shows up in
+ * the perf trajectory too.
+ */
+void
+BM_ShardedForward(benchmark::State &state)
+{
+    const size_t tp = static_cast<size_t>(state.range(0));
+    model::ModelConfig cfg = model::llmPreset("llama-7b-sim");
+    cfg.tensorParallel = tp;
+    model::Transformer llm = model::makeLlm(cfg);
+
+    const size_t prefill_tokens = 24;
+    const size_t tree_tokens = 16;
+    util::Rng rng(17);
+    std::vector<int> prompt;
+    for (size_t i = 0; i < prefill_tokens; ++i)
+        prompt.push_back(static_cast<int>(rng.uniformInt(
+            int64_t{1}, static_cast<int64_t>(cfg.vocabSize) - 1)));
+    model::DecodeChunk chunk;
+    for (size_t i = 0; i < tree_tokens; ++i) {
+        chunk.tokens.push_back(static_cast<int>(rng.uniformInt(
+            int64_t{1}, static_cast<int64_t>(cfg.vocabSize) - 1)));
+        chunk.parents.push_back(
+            i == 0 ? -1
+                   : static_cast<int32_t>(
+                         rng.uniformInt(static_cast<uint64_t>(i))));
+    }
+
+    // Divert the collective ledger to a local context for the
+    // duration of the loop so the counters below reflect exactly
+    // this benchmark's traffic (and the process-global exporter, if
+    // installed, is not polluted).
+    obs::ObsContext ctx(&obs::SteadyClock::instance(),
+                        /*tracing_enabled=*/false);
+    obs::ObsContext *prev = obs::setGlobalObs(&ctx);
+    size_t iters = 0;
+    for (auto _ : state) {
+        model::KvCache cache = llm.makeCache();
+        llm.forward(model::DecodeChunk::sequence(prompt), cache);
+        tensor::Tensor out = llm.forward(chunk, cache);
+        benchmark::DoNotOptimize(out.data());
+        ++iters;
+    }
+    obs::setGlobalObs(prev);
+
+    obs::MetricsSnapshot snap = ctx.metrics().snapshot();
+    const obs::SnapshotCounter *ar_bytes =
+        snap.findCounter("parallel_allreduce_bytes");
+    const double measured_kb =
+        iters > 0 && ar_bytes != nullptr
+            ? static_cast<double>(ar_bytes->value) /
+                  static_cast<double>(iters) / 1024.0
+            : 0.0;
+
+    simulator::LlmSpec spec;
+    spec.nLayers = cfg.nLayers;
+    spec.hidden = cfg.dModel;
+    spec.vocab = cfg.vocabSize;
+    spec.bytesPerParam = 4.0; // fp32 activations on this backend
+    simulator::ParallelismPlan plan;
+    plan.tensorParallel = tp;
+    double modeled_bytes = 0.0;
+    for (size_t tokens : {prefill_tokens, tree_tokens}) {
+        simulator::TpCommVolume vol =
+            simulator::GpuPerfModel::tensorParallelComm(
+                spec, plan, static_cast<double>(tokens));
+        modeled_bytes += vol.totalAllReduceBytes();
+    }
+
+    state.counters["allreduce_KB_per_iter"] = measured_kb;
+    state.counters["modeled_allreduce_KB_per_iter"] =
+        modeled_bytes / 1024.0;
+    state.SetItemsProcessed(static_cast<int64_t>(
+        iters * (prefill_tokens + tree_tokens)));
+}
+BENCHMARK(BM_ShardedForward)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 // --- Interrupt handling ------------------------------------------
 //

@@ -58,6 +58,15 @@ SPECINFER_BENCH_TOKENS=8 \
     --metrics build/obs/spec_infer_int8.prom \
     --trace build/obs/spec_infer_int8.trace.json \
     --require-metric model_int8_kernel_launches,model_quantize_nanos,model_int8_gemm_nanos
+# Sharded serving smoke: the same run at --tp 2 must emit the
+# collective-accounting catalog (two allReduces per layer plus the
+# LM-head allGather, byte counts matching the perf model's formula —
+# tests/parallel pins the exact equality; this pins the catalog).
+./build/tools/spec_infer --num-prompts 2 --max-tokens 8 --tp 2 \
+    --metrics-out build/obs/spec_infer_tp2.prom
+./build/tools/obs_check \
+    --metrics build/obs/spec_infer_tp2.prom \
+    --require-metric parallel_allreduce_calls,parallel_allreduce_bytes,parallel_allgather_calls,parallel_allgather_bytes
 
 # Daemon smoke: specinferd + three real client processes over the
 # shared-memory plane, one killed mid-stream. Asserts the lease
@@ -101,6 +110,13 @@ cmake --build --preset asan --target test_tensor test_model
 ./build-asan/tests/test_tensor --gtest_filter='Int8*'
 ./build-asan/tests/test_model --gtest_filter='*Int8*'
 
+# Tensor-parallel suites under ASan/UBSan: the collective library's
+# determinism/accounting properties and the sharded-forward
+# bit-identity sweep (tp in {2,4,8} vs tp=1, fp32 and int8).
+cmake --build --preset asan --target test_parallel
+./build-asan/tests/test_parallel
+./build-asan/tests/test_model --gtest_filter='Sharded*'
+
 # Crash-recovery oracle under ASan/UBSan: seeded workloads crashed
 # at random points (torn journal records included) must recover to
 # bit-identical outputs with no KV leak.
@@ -117,7 +133,7 @@ cmake --build --preset tsan
 SPECINFER_SOAK_ITERATIONS=1500 SPECINFER_RECOVERY_TRIALS=60 \
 SPECINFER_RECOVERY_SOAK_ITERATIONS=800 \
 ctest --preset tsan \
-      -R 'ThreadPool|ThreadedForward|Fault|Recovery|Journal|Crc32|Concurrency|Tracer|WorkloadTrace|OverheadGuard|KvSharing|PrefixSharing|Ring|Int8|Watchdog|SupervisorPolicy|Priority|Overload'
+      -R 'ThreadPool|ThreadedForward|Fault|Recovery|Journal|Crc32|Concurrency|Tracer|WorkloadTrace|OverheadGuard|KvSharing|PrefixSharing|Ring|Int8|Watchdog|SupervisorPolicy|Priority|Overload|Parallel|Collective|ShardedForward'
 
 for b in build/bench/*; do
     echo "=== $b ==="

@@ -124,5 +124,56 @@ awk '$1 == "daemon_reaps" { reaps = $2 }
     grep '^daemon_' "$WORK/daemon.prom"; exit 1
 }
 
+# --- Sharded daemon phase: specinferd --tp 2 -------------------
+# One client against a tensor-parallel daemon; its tokens must be
+# byte-identical to the tp=1 oracle above (DESIGN.md §5j lifted to
+# the multi-process plane), and the daemon's metrics must carry the
+# collective-accounting catalog.
+IPCDIR2="$WORK/ipc-tp2"
+mkdir -p "$IPCDIR2"
+"$BUILD/tools/specinferd" \
+    --llm $LLM --max-tokens $MAX_TOKENS --batch 4 --tp 2 \
+    --dir "$IPCDIR2" --lease-ticks 400 --scan-every 1 \
+    --tick-micros 200 \
+    --metrics-out "$WORK/daemon_tp2.prom" --verbose \
+    >"$WORK/daemon_tp2.log" 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+    [ -e "$IPCDIR2/specinferd.board" ] && break
+    sleep 0.1
+done
+[ -e "$IPCDIR2/specinferd.board" ] || {
+    echo "daemon_smoke: tp2 board never appeared"
+    cat "$WORK/daemon_tp2.log"; exit 1
+}
+
+"$BUILD/tools/specinfer_client" \
+    --llm $LLM --dir "$IPCDIR2" --num-prompts 3 \
+    --prompt-start 0 --max-tokens $MAX_TOKENS \
+    >"$WORK/client_tp2.log" 2>&1 || {
+    echo "daemon_smoke: tp2 client failed"
+    cat "$WORK/client_tp2.log"; exit 1
+}
+
+head -n 3 "$WORK/oracle.tokens" >"$WORK/oracle_tp2.tokens"
+grep '^  tokens:' "$WORK/client_tp2.log" >"$WORK/tp2.tokens"
+diff -u "$WORK/oracle_tp2.tokens" "$WORK/tp2.tokens" || {
+    echo "daemon_smoke: --tp 2 tokens diverged from tp=1 oracle"
+    exit 1
+}
+
+kill -TERM $DAEMON_PID
+rc=0; wait $DAEMON_PID || rc=$?
+DAEMON_PID=""
+[ "$rc" -eq 0 ] || {
+    echo "daemon_smoke: tp2 daemon exit $rc, wanted 0 (drained)"
+    cat "$WORK/daemon_tp2.log"; exit 1
+}
+
+"$BUILD/tools/obs_check" --metrics "$WORK/daemon_tp2.prom" \
+    --require-metric parallel_allreduce_calls,parallel_allreduce_bytes,parallel_allgather_calls,parallel_allgather_bytes,daemon_tokens_streamed
+
 echo "daemon_smoke: OK (3 clients, 1 reaped, survivors oracle-"
-echo "identical, recording replayed, catalog pinned)"
+echo "identical, recording replayed, catalog pinned, --tp 2"
+echo "daemon oracle-identical with collective accounting)"

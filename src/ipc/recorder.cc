@@ -90,6 +90,7 @@ encodeEvent(const RecordedEvent &ev)
         put<double>(out, ev.temperature);
         put<uint64_t>(out, ev.maxBatchSize);
         put<uint8_t>(out, ev.ssmPrecision);
+        put<uint8_t>(out, ev.tpDegree);
         break;
       case EventType::Submit:
         put<uint64_t>(out, ev.iteration);
@@ -132,6 +133,7 @@ decodeEvent(const std::vector<uint8_t> &bytes, RecordedEvent *ev)
                take(bytes, &pos, &ev->temperature) &&
                take(bytes, &pos, &ev->maxBatchSize) &&
                take(bytes, &pos, &ev->ssmPrecision) &&
+               take(bytes, &pos, &ev->tpDegree) &&
                pos == bytes.size();
       case EventType::Submit:
         return take(bytes, &pos, &ev->iteration) &&

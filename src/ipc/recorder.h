@@ -66,6 +66,10 @@ struct RecordedEvent
     /** Raw model::Precision of the daemon's SSM; replay rebuilds
      *  the draft model at the recorded precision. */
     uint8_t ssmPrecision = 0;
+    /** Tensor-parallel degree the daemon served at; replay rebuilds
+     *  the models at the recorded degree so the replayed process
+     *  has the recorded one's exact execution shape. */
+    uint8_t tpDegree = 1;
 
     // --- Submit / Cancel / Finish --------------------------------
     /** Manager iteration clock when the event was applied. */

@@ -47,9 +47,15 @@ replayRecording(std::istream &in, std::ostream &log, bool verbose)
     // Rebuild the recorded engine identity, SSM precision included:
     // an int8 daemon's drafts must be re-drafted in int8 (greedy
     // replays would pass either way, but stochastic ones sample from
-    // the draft distribution).
-    model::Transformer llm =
-        model::makeLlm(model::llmPreset(header.llm));
+    // the draft distribution). The recorded tensor-parallel degree
+    // is re-applied too — logits are degree-invariant by the §5j
+    // proof, but a replay is defined as re-driving the recorded
+    // process, execution shape included (the factories propagate
+    // the degree to the SSMs).
+    model::ModelConfig llm_cfg = model::llmPreset(header.llm);
+    llm_cfg.tensorParallel =
+        std::max<size_t>(1, header.tpDegree);
+    model::Transformer llm = model::makeLlm(llm_cfg);
     const size_t ssm_layers = static_cast<size_t>(header.ssmLayers);
     model::Transformer ssm =
         static_cast<model::Precision>(header.ssmPrecision) ==

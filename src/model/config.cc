@@ -48,6 +48,13 @@ ModelConfig::validate() const
     SPECINFER_CHECK(eosToken >= 0 &&
                     static_cast<size_t>(eosToken) < vocabSize,
                     "EOS token outside vocabulary");
+    SPECINFER_CHECK(tensorParallel >= 1,
+                    "tensor-parallel degree must be >= 1");
+    SPECINFER_CHECK(nHeads % tensorParallel == 0,
+                    "tensor-parallel degree " << tensorParallel
+                    << " must divide nHeads=" << nHeads
+                    << " (non-divisible head splits would misalign "
+                       "the canonical reduce blocks)");
 }
 
 namespace {

@@ -92,6 +92,16 @@ struct ModelConfig
     /** Linear-layer precision (see Precision). */
     Precision precision = Precision::Fp32;
 
+    /**
+     * Tensor-parallel degree: attention heads, MLP hidden width, and
+     * the LM-head vocab are sharded across this many simulated ranks
+     * (src/parallel). Must divide nHeads — a non-divisible split
+     * would silently misalign the canonical reduce blocks, so
+     * validate() rejects it. Logits are bit-identical at every
+     * degree (see DESIGN.md §5j); 1 = the unsharded fast path.
+     */
+    size_t tensorParallel = 1;
+
     /** Per-head dimension. */
     size_t dHead() const { return dModel / nHeads; }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/obs.h"
+#include "parallel/collective.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/threadpool.h"
@@ -85,6 +86,7 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
     const size_t d = cfg_.dModel;
     const size_t n_heads = cfg_.nHeads;
     const size_t d_head = cfg_.dHead();
+    const size_t tp = cfg_.tensorParallel;
     const float attn_scale = 1.0f / std::sqrt(static_cast<float>(d_head));
 
     const size_t entry_len = cache.length();
@@ -125,12 +127,36 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
         tensor::quantizeRows(src, dst);
         t_quant += now() - q0;
     };
-    auto gemmI8 = [&](const tensor::QTensor &a,
-                      const tensor::QTensor &b, float *out,
-                      size_t stride) {
-        const uint64_t g0 = now();
-        tensor::matmulTransposedBInto(a, b, out, stride);
-        t_i8gemm += now() - g0;
+
+    // Tensor-parallel execution (DESIGN.md §5j). The forward runs as
+    // orchestrated fork-join phases: forEachRank() runs one body per
+    // rank — inline at tp=1 (so the unsharded path keeps the legacy
+    // GEMMs' internal pool threading), on pool workers at tp>1
+    // (nested GEMM parallelFors then degrade to inline, giving one
+    // serial tile per rank). The collectives run on the orchestrator
+    // thread between phases, after every rank body has joined.
+    //
+    // Determinism rule: column-parallel projections (K/V/Q, gate/up,
+    // LM head) compute full-k dots — each output element is the same
+    // dotRow as the unsharded kernel, bitwise. Row-parallel
+    // projections (wo, wDown) split their k dimension into nHeads
+    // *canonical* blocks regardless of tp; each block's [m x d]
+    // partial product feeds one ordered allReduceSum fold, ascending
+    // block order, at every tp including 1. Since tp divides nHeads,
+    // rank shards align with canonical block boundaries (see
+    // shardRange), so the fold tree — and every logit bit — is
+    // independent of the rank count.
+    util::ThreadPool &pool = util::ThreadPool::global();
+    parallel::TpComm comm(tp);
+    auto forEachRank = [&](auto &&body) {
+        if (tp == 1) {
+            body(size_t{0});
+            return;
+        }
+        pool.parallelFor(0, tp, body);
+    };
+    auto headRange = [&](size_t r) {
+        return parallel::shardRange(n_heads, tp, r);
     };
 
     static const std::vector<size_t> no_extras;
@@ -189,7 +215,6 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
     // m matvec sweeps, with the shared pool splitting rows. Each
     // phase below is a barrier — e.g. every K/V row is written
     // before any token's attention reads ancestor slots.
-    util::ThreadPool &pool = util::ThreadPool::global();
     tensor::Tensor normed(m, d);
     tensor::Tensor q_all(m, d);
     tensor::Tensor attn_out(m, d);
@@ -197,6 +222,15 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
     tensor::Tensor gate(m, cfg_.dFf);
     tensor::Tensor up(m, cfg_.dFf);
     std::vector<std::vector<float>> scores_scratch(pool.threads());
+
+    // Canonical reduce-block partials for the two row-parallel
+    // projections: block b's [m x d] partial product occupies rows
+    // [b*m, (b+1)*m). parts[] is the fixed ascending fold order fed
+    // to allReduceSum — the same nHeads-long list at every tp.
+    tensor::Tensor partials(n_heads * m, d);
+    std::vector<const float *> parts(n_heads);
+    for (size_t b = 0; b < n_heads; ++b)
+        parts[b] = partials.row(b * m);
 
     // Per-token RoPE rotation tables, hoisted out of the layer loop:
     // a token's position (and thus its cos/sin pairs) is the same in
@@ -223,24 +257,41 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
         // attention below can read any ancestor's slot. This is the
         // fused single-kernel layout of §4.2; chunk slots are
         // contiguous rows [base, base + m) of the per-layer cache
-        // tensors, so one strided GEMM writes them all.
+        // tensors, so one strided GEMM writes them all. Column-
+        // parallel by heads: rank r writes the column slice
+        // [h0*d_head, h1*d_head) of each row at the same stride, so
+        // the cache layout — and every value bit — is identical to
+        // the unsharded path at any tp.
         uint64_t t0 = now();
         if (int8) {
             // One activation quantization of `normed` serves the K,
-            // V, and Q projections below.
+            // V, and Q projections below (full-row scales, so the
+            // quantization grid never depends on tp).
             quantizeInto(normed, q_act_d);
-            gemmI8(q_act_d, ql->wk, cache.keyRow(layer, base),
-                   cache.kvDim());
-            gemmI8(q_act_d, ql->wv, cache.valueRow(layer, base),
-                   cache.kvDim());
-        } else {
-            tensor::matmulTransposedBInto(normed, lw.wk,
-                                          cache.keyRow(layer, base),
-                                          cache.kvDim());
-            tensor::matmulTransposedBInto(normed, lw.wv,
-                                          cache.valueRow(layer, base),
-                                          cache.kvDim());
         }
+        uint64_t g0 = now();
+        forEachRank([&](size_t r) {
+            const auto hr = headRange(r);
+            const size_t c0 = hr.first * d_head;
+            const size_t c1 = hr.second * d_head;
+            if (int8) {
+                tensor::matmulTransposedBSlice(
+                    q_act_d, ql->wk, 0, d, c0, c1,
+                    cache.keyRow(layer, base) + c0, cache.kvDim());
+                tensor::matmulTransposedBSlice(
+                    q_act_d, ql->wv, 0, d, c0, c1,
+                    cache.valueRow(layer, base) + c0, cache.kvDim());
+            } else {
+                tensor::matmulTransposedBSlice(
+                    normed, lw.wk, 0, d, c0, c1,
+                    cache.keyRow(layer, base) + c0, cache.kvDim());
+                tensor::matmulTransposedBSlice(
+                    normed, lw.wv, 0, d, c0, c1,
+                    cache.valueRow(layer, base) + c0, cache.kvDim());
+            }
+        });
+        if (int8)
+            t_i8gemm += now() - g0;
         pool.parallelFor(0, m, [&](size_t i) {
             tensor::ropeRowCached(cache.keyRow(layer, base + i),
                                   n_heads, d_head, rope_tab.row(i));
@@ -248,11 +299,27 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
         uint64_t t1 = now();
         t_kv += t1 - t0;
 
-        // Phase 2a: batched Q projection + RoPE.
+        // Phase 2a: batched Q projection + RoPE, column-parallel by
+        // heads like K/V.
+        g0 = now();
+        forEachRank([&](size_t r) {
+            const auto hr = headRange(r);
+            const size_t c0 = hr.first * d_head;
+            const size_t c1 = hr.second * d_head;
+            if (int8) {
+                tensor::matmulTransposedBSlice(q_act_d, ql->wq, 0, d,
+                                               c0, c1,
+                                               q_all.data() + c0,
+                                               q_all.cols());
+            } else {
+                tensor::matmulTransposedBSlice(normed, lw.wq, 0, d,
+                                               c0, c1,
+                                               q_all.data() + c0,
+                                               q_all.cols());
+            }
+        });
         if (int8)
-            gemmI8(q_act_d, ql->wq, q_all.data(), q_all.cols());
-        else
-            tensor::matmulTransposedB(normed, lw.wq, q_all);
+            t_i8gemm += now() - g0;
         pool.parallelFor(0, m, [&](size_t i) {
             tensor::ropeRowCached(q_all.row(i), n_heads, d_head,
                                   rope_tab.row(i));
@@ -261,45 +328,57 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
         t_q += t2 - t1;
 
         // Phase 2b: attention under the topology-aware causal mask,
-        // parallel over tokens. Loops run context-slot-outer /
+        // parallel over (rank, token) pairs — rank r owns its head
+        // shard [h0, h1) of every token, writing a disjoint column
+        // slice of attn_out. Loops run context-slot-outer /
         // head-inner so each cached K/V row is loaded once for all
-        // heads; for any fixed output element the accumulation order
-        // over slots is unchanged (prefix ascending, then ancestor
-        // slots), so logits stay bit-identical to the per-head walk.
-        // Raw per-layer K/V base pointers (rows are contiguous with
-        // stride kvDim()): the slot loops below index them directly
-        // instead of paying a bounds-checked call per (token, slot).
+        // local heads; a head's score row, softmax, and mix
+        // accumulation are per-head computations identical to the
+        // unsharded walk, so attn_out stays bit-identical at any tp
+        // (at tp=1 this is exactly the legacy one-job-per-token
+        // sweep). Raw per-layer K/V base pointers (rows are
+        // contiguous with stride kvDim()): the slot loops below
+        // index them directly instead of paying a bounds-checked
+        // call per (token, slot).
         const float *k_base = cache.keyRow(layer, 0);
         const float *v_base = cache.valueRow(layer, 0);
         const size_t kv_stride = cache.kvDim();
-        pool.parallelForWorker(0, m, [&](size_t i, size_t worker) {
+        pool.parallelForWorker(0, tp * m, [&](size_t job,
+                                              size_t worker) {
+            const size_t r = job / m;
+            const size_t i = job % m;
+            const auto hr = headRange(r);
+            const size_t h0 = hr.first;
+            const size_t nh = hr.second - h0;
             const std::vector<size_t> &vis = slots[i];
             const size_t n_ctx = prefix + vis.size();
             const float *q_row = q_all.row(i);
-            // scores[h * n_ctx + s]: per-head rows of the score
-            // matrix for this token.
+            // scores[h * n_ctx + s]: rows of the score matrix for
+            // this token's local heads h in [0, nh).
             std::vector<float> &scores = scores_scratch[worker];
-            scores.resize(n_heads * n_ctx);
+            scores.resize(nh * n_ctx);
             auto score_slot = [&](size_t idx, const float *k_row) {
-                for (size_t h = 0; h < n_heads; ++h)
+                for (size_t h = 0; h < nh; ++h)
                     scores[h * n_ctx + idx] = attn_scale *
-                        tensor::dotRow(q_row + h * d_head,
-                                       k_row + h * d_head, d_head);
+                        tensor::dotRow(q_row + (h0 + h) * d_head,
+                                       k_row + (h0 + h) * d_head,
+                                       d_head);
             };
             for (size_t s = 0; s < prefix; ++s)
                 score_slot(s, k_base + s * kv_stride);
             for (size_t a = 0; a < vis.size(); ++a)
                 score_slot(prefix + a, k_base + vis[a] * kv_stride);
-            for (size_t h = 0; h < n_heads; ++h)
+            for (size_t h = 0; h < nh; ++h)
                 tensor::softmaxRow(scores.data() + h * n_ctx, n_ctx);
 
             float *out_row = attn_out.row(i);
-            std::fill(out_row, out_row + d, 0.0f);
+            std::fill(out_row + h0 * d_head,
+                      out_row + (h0 + nh) * d_head, 0.0f);
             auto mix_slot = [&](size_t idx, const float *v_row) {
-                for (size_t h = 0; h < n_heads; ++h) {
+                for (size_t h = 0; h < nh; ++h) {
                     const float wgt = scores[h * n_ctx + idx];
-                    const float *vh = v_row + h * d_head;
-                    float *out_h = out_row + h * d_head;
+                    const float *vh = v_row + (h0 + h) * d_head;
+                    float *out_h = out_row + (h0 + h) * d_head;
                     for (size_t c = 0; c < d_head; ++c)
                         out_h[c] += wgt * vh[c];
                 }
@@ -312,63 +391,162 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
         uint64_t t3 = now();
         t_attn += t3 - t2;
 
-        // Phase 2c: batched output projection + residual.
-        if (int8) {
+        // Phase 2c: batched output projection + residual. Row-
+        // parallel: wo's k dimension (the head-major attn_out
+        // columns) splits into nHeads canonical blocks — one per
+        // head — and rank r computes the [m x d] partial product of
+        // each block in its head shard. The orchestrator then folds
+        // all nHeads partials into proj with one ordered
+        // allReduceSum; the fold never sees rank boundaries, so the
+        // sum is bit-identical at every tp.
+        if (int8)
             quantizeInto(attn_out, q_act_d);
-            gemmI8(q_act_d, ql->wo, proj.data(), proj.cols());
-        } else {
-            tensor::matmulTransposedB(attn_out, lw.wo, proj);
-        }
+        g0 = now();
+        forEachRank([&](size_t r) {
+            const auto hr = headRange(r);
+            for (size_t b = hr.first; b < hr.second; ++b) {
+                if (int8) {
+                    tensor::matmulTransposedBSlice(
+                        q_act_d, ql->wo, b * d_head, (b + 1) * d_head,
+                        0, d, partials.row(b * m), d);
+                } else {
+                    tensor::matmulTransposedBSlice(
+                        attn_out, lw.wo, b * d_head, (b + 1) * d_head,
+                        0, d, partials.row(b * m), d);
+                }
+            }
+        });
+        if (int8)
+            t_i8gemm += now() - g0;
+        comm.allReduceSum(parts, proj.data(), m * d);
         pool.parallelFor(0, m, [&](size_t i) {
             tensor::addRow(hidden.row(i), proj.row(i), d);
         });
         uint64_t t4 = now();
         t_proj += t4 - t3;
 
-        // Phase 3: SwiGLU MLP, batched.
+        // Phase 3: SwiGLU MLP, batched. Column-parallel gate/up over
+        // the dFf shard (full-k dots, exact), elementwise SiLU *
+        // gate on the replicated buffer, then the row-parallel down
+        // projection over the same nHeads canonical blocks of dFf as
+        // the wo fold — rank shards align with block boundaries by
+        // the shardRange nesting guarantee.
         pool.parallelFor(0, m, [&](size_t i) {
             tensor::rmsnormRow(hidden.row(i), lw.ffnNorm.data(), d,
                                normed.row(i));
         });
-        if (int8) {
+        if (int8)
             quantizeInto(normed, q_act_d);
-            gemmI8(q_act_d, ql->wGate, gate.data(), gate.cols());
-            gemmI8(q_act_d, ql->wUp, up.data(), up.cols());
-        } else {
-            tensor::matmulTransposedB(normed, lw.wGate, gate);
-            tensor::matmulTransposedB(normed, lw.wUp, up);
-        }
+        g0 = now();
+        forEachRank([&](size_t r) {
+            const auto fr = parallel::shardRange(cfg_.dFf, tp, r);
+            if (int8) {
+                tensor::matmulTransposedBSlice(
+                    q_act_d, ql->wGate, 0, d, fr.first, fr.second,
+                    gate.data() + fr.first, gate.cols());
+                tensor::matmulTransposedBSlice(
+                    q_act_d, ql->wUp, 0, d, fr.first, fr.second,
+                    up.data() + fr.first, up.cols());
+            } else {
+                tensor::matmulTransposedBSlice(
+                    normed, lw.wGate, 0, d, fr.first, fr.second,
+                    gate.data() + fr.first, gate.cols());
+                tensor::matmulTransposedBSlice(
+                    normed, lw.wUp, 0, d, fr.first, fr.second,
+                    up.data() + fr.first, up.cols());
+            }
+        });
+        if (int8)
+            t_i8gemm += now() - g0;
         pool.parallelFor(0, m, [&](size_t i) {
             tensor::siluRow(gate.row(i), cfg_.dFf);
             tensor::mulRows(gate.row(i), gate.row(i), up.row(i),
                             cfg_.dFf);
         });
-        if (int8) {
+        if (int8)
             quantizeInto(gate, q_act_ff);
-            gemmI8(q_act_ff, ql->wDown, proj.data(), proj.cols());
-        } else {
-            tensor::matmulTransposedB(gate, lw.wDown, proj);
-        }
+        g0 = now();
+        forEachRank([&](size_t r) {
+            const auto hr = headRange(r);
+            for (size_t b = hr.first; b < hr.second; ++b) {
+                const auto fb =
+                    parallel::shardRange(cfg_.dFf, n_heads, b);
+                if (int8) {
+                    tensor::matmulTransposedBSlice(
+                        q_act_ff, ql->wDown, fb.first, fb.second, 0,
+                        d, partials.row(b * m), d);
+                } else {
+                    tensor::matmulTransposedBSlice(
+                        gate, lw.wDown, fb.first, fb.second, 0, d,
+                        partials.row(b * m), d);
+                }
+            }
+        });
+        if (int8)
+            t_i8gemm += now() - g0;
+        comm.allReduceSum(parts, proj.data(), m * d);
         pool.parallelFor(0, m, [&](size_t i) {
             tensor::addRow(hidden.row(i), proj.row(i), d);
         });
         t_mlp += now() - t4;
     }
 
-    // Final norm + LM head, batched.
+    // Final norm + LM head, batched. The head is column-parallel
+    // over the vocab: full-k dots into per-rank slabs, concatenated
+    // by one allGather — exact, so logits match the unsharded GEMM
+    // bitwise. At tp=1 the slab and gather are skipped (the legacy
+    // direct write into logits computes the same elements).
     const uint64_t t_head_start = now();
     tensor::Tensor logits(m, cfg_.vocabSize);
     pool.parallelFor(0, m, [&](size_t i) {
         tensor::rmsnormRow(hidden.row(i), weights_->finalNorm.data(),
                            d, normed.row(i));
     });
-    if (int8) {
+    if (int8)
         quantizeInto(normed, q_act_d);
-        gemmI8(q_act_d, weights_->qLmHead, logits.data(),
-               logits.cols());
+    uint64_t g0 = now();
+    if (tp == 1) {
+        if (int8) {
+            tensor::matmulTransposedBInto(q_act_d, weights_->qLmHead,
+                                          logits.data(),
+                                          logits.cols());
+        } else {
+            tensor::matmulTransposedB(normed, weights_->lmHead,
+                                      logits);
+        }
     } else {
-        tensor::matmulTransposedB(normed, weights_->lmHead, logits);
+        std::vector<tensor::Tensor> lm_shards;
+        std::vector<const float *> lm_srcs(tp);
+        lm_shards.reserve(tp);
+        for (size_t r = 0; r < tp; ++r) {
+            const auto vr =
+                parallel::shardRange(cfg_.vocabSize, tp, r);
+            lm_shards.emplace_back(
+                m, std::max(vr.second - vr.first, size_t{1}));
+            lm_srcs[r] = lm_shards[r].data();
+        }
+        forEachRank([&](size_t r) {
+            const auto vr =
+                parallel::shardRange(cfg_.vocabSize, tp, r);
+            if (vr.second == vr.first)
+                return;
+            if (int8) {
+                tensor::matmulTransposedBSlice(
+                    q_act_d, weights_->qLmHead, 0, d, vr.first,
+                    vr.second, lm_shards[r].data(),
+                    lm_shards[r].cols());
+            } else {
+                tensor::matmulTransposedBSlice(
+                    normed, weights_->lmHead, 0, d, vr.first,
+                    vr.second, lm_shards[r].data(),
+                    lm_shards[r].cols());
+            }
+        });
+        comm.allGatherColumns(lm_srcs, m, cfg_.vocabSize,
+                              logits.data());
     }
+    if (int8)
+        t_i8gemm += now() - g0;
     pool.parallelFor(0, m, [&](size_t i) {
         tensor::scaleRow(logits.row(i), cfg_.vocabSize,
                          cfg_.logitScale);
@@ -389,6 +567,14 @@ Transformer::forward(const DecodeChunk &chunk, KvCache &cache) const
         reg.counter("model_mlp_gemm_nanos")->inc(t_mlp);
         reg.counter("model_lm_head_nanos")
             ->inc(now() - t_head_start);
+        // Collective byte/call accounting for the sharded path:
+        // per layer, two allReduces of exactly m*dModel*4 bytes —
+        // the counts GpuPerfModel::tensorParallelComm() predicts —
+        // plus one LM-head allGather of m*vocab*4 bytes. A TpComm
+        // of 1 rank counts nothing, keeping unsharded runs' metric
+        // catalogs unchanged.
+        if (tp > 1)
+            comm.publish(reg);
     }
     return logits;
 }

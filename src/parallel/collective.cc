@@ -1,0 +1,142 @@
+#include "parallel/collective.h"
+
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace specinfer {
+namespace parallel {
+
+std::pair<size_t, size_t> shardRange(size_t n, size_t shards,
+                                     size_t shard)
+{
+    SPECINFER_CHECK(shards >= 1, "shardRange: shards must be >= 1");
+    SPECINFER_CHECK(shard < shards,
+                    "shardRange: shard index out of range");
+    size_t begin = shard * n / shards;
+    size_t end = (shard + 1) * n / shards;
+    return {begin, end};
+}
+
+Barrier::Barrier(size_t parties, TpComm *comm)
+    : parties_(parties), comm_(comm)
+{
+    SPECINFER_CHECK(parties >= 1,
+                    "Barrier: parties must be >= 1");
+}
+
+void Barrier::arriveAndWait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (++waiting_ == parties_) {
+        waiting_ = 0;
+        ++phase_;
+        if (comm_ != nullptr && comm_->ranks_ > 1) {
+            ++comm_->stats_.barrierCalls;
+        }
+        released_.notify_all();
+        return;
+    }
+    uint64_t my_phase = phase_;
+    released_.wait(lock,
+                   [&] { return phase_ != my_phase; });
+}
+
+TpComm::TpComm(size_t ranks) : ranks_(ranks)
+{
+    SPECINFER_CHECK(ranks >= 1, "TpComm: ranks must be >= 1");
+}
+
+void TpComm::allReduceSum(const std::vector<const float *> &parts,
+                          float *out, size_t n)
+{
+    SPECINFER_CHECK(!parts.empty(),
+                    "allReduceSum: need at least one part");
+    std::memcpy(out, parts[0], n * sizeof(float));
+    for (size_t p = 1; p < parts.size(); ++p) {
+        const float *src = parts[p];
+        for (size_t i = 0; i < n; ++i) out[i] += src[i];
+    }
+    if (ranks_ > 1) {
+        ++stats_.allReduceCalls;
+        stats_.allReduceBytes += n * sizeof(float);
+    }
+}
+
+void TpComm::allGatherColumns(const std::vector<const float *> &src,
+                              size_t rows, size_t cols, float *out)
+{
+    SPECINFER_CHECK(src.size() == ranks_,
+                    "allGatherColumns: one slab per rank");
+    for (size_t r = 0; r < ranks_; ++r) {
+        auto range = rankRange(cols, r);
+        size_t width = range.second - range.first;
+        if (width == 0) continue;
+        const float *slab = src[r];
+        for (size_t i = 0; i < rows; ++i) {
+            std::memcpy(out + i * cols + range.first,
+                        slab + i * width, width * sizeof(float));
+        }
+    }
+    if (ranks_ > 1) {
+        ++stats_.allGatherCalls;
+        stats_.allGatherBytes += rows * cols * sizeof(float);
+    }
+}
+
+void TpComm::allGather(const std::vector<const float *> &src,
+                       const std::vector<size_t> &counts, float *out)
+{
+    SPECINFER_CHECK(src.size() == ranks_ && counts.size() == ranks_,
+                    "allGather: one buffer + count per rank");
+    size_t offset = 0;
+    for (size_t r = 0; r < ranks_; ++r) {
+        if (counts[r] > 0) {
+            std::memcpy(out + offset, src[r],
+                        counts[r] * sizeof(float));
+        }
+        offset += counts[r];
+    }
+    if (ranks_ > 1) {
+        ++stats_.allGatherCalls;
+        stats_.allGatherBytes += offset * sizeof(float);
+    }
+}
+
+void TpComm::broadcast(const float *src, size_t n,
+                       const std::vector<float *> &dst)
+{
+    SPECINFER_CHECK(dst.size() == ranks_,
+                    "broadcast: one destination slot per rank");
+    for (size_t r = 0; r < ranks_; ++r) {
+        if (dst[r] != nullptr && dst[r] != src) {
+            std::memcpy(dst[r], src, n * sizeof(float));
+        }
+    }
+    if (ranks_ > 1) {
+        ++stats_.broadcastCalls;
+        stats_.broadcastBytes += n * sizeof(float);
+    }
+}
+
+void TpComm::publish(obs::MetricsRegistry &reg) const
+{
+    reg.counter("parallel_allreduce_calls")
+        ->inc(stats_.allReduceCalls);
+    reg.counter("parallel_allreduce_bytes")
+        ->inc(stats_.allReduceBytes);
+    reg.counter("parallel_allgather_calls")
+        ->inc(stats_.allGatherCalls);
+    reg.counter("parallel_allgather_bytes")
+        ->inc(stats_.allGatherBytes);
+    reg.counter("parallel_broadcast_calls")
+        ->inc(stats_.broadcastCalls);
+    reg.counter("parallel_broadcast_bytes")
+        ->inc(stats_.broadcastBytes);
+    reg.counter("parallel_barrier_calls")
+        ->inc(stats_.barrierCalls);
+}
+
+} // namespace parallel
+} // namespace specinfer

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tensor-parallel rank topology and a simulated collective library.
+ *
+ * The sharded forward path (src/model/transformer.cc) executes as a
+ * sequence of orchestrated fork-join phases: rank bodies run on the
+ * shared ThreadPool, and the collectives below move real bytes
+ * between rank-local buffers at the phase boundaries. This mirrors
+ * the paper artifact's intra-node tensor parallelism (§4, fig. 7)
+ * at CPU scale — the data movement is genuine (memcpy/adds between
+ * per-rank buffers), only the interconnect is simulated, so every
+ * collective's byte and call counts can be validated exactly
+ * against GpuPerfModel's communication formula.
+ *
+ * Determinism contract (DESIGN.md §5j): allReduceSum folds its
+ * contributions serially in strictly ascending part order. Callers
+ * that need rank-count invariance decompose the reduction dimension
+ * into a FIXED number of canonical parts — independent of the rank
+ * count — and pass them in canonical order. The fold tree then
+ * never changes shape when ranks do, so results are bit-identical
+ * at every tensor-parallel degree.
+ */
+
+#ifndef SPECINFER_PARALLEL_COLLECTIVE_H
+#define SPECINFER_PARALLEL_COLLECTIVE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace specinfer {
+namespace obs {
+class MetricsRegistry;
+}
+
+namespace parallel {
+
+/**
+ * Contiguous slice [begin, end) of n items owned by shard i of
+ * `shards` (the Megatron-style static partition; uneven remainders
+ * spread over the leading shards).
+ *
+ * Nesting guarantee: when inner divides outer, the range of outer
+ * shard i equals the union of inner shards [i*inner/outer,
+ * (i+1)*inner/outer) — rank shard boundaries therefore always align
+ * with canonical reduce-block boundaries when tp divides the block
+ * count. (Both bounds are exact rationals: i*n/outer ==
+ * (i*inner/outer)*n/inner.)
+ */
+std::pair<size_t, size_t> shardRange(size_t n, size_t shards,
+                                     size_t shard);
+
+/** Byte/call accounting for every collective issued on one comm. */
+struct CommStats
+{
+    uint64_t allReduceCalls = 0;
+    uint64_t allReduceBytes = 0;
+    uint64_t allGatherCalls = 0;
+    uint64_t allGatherBytes = 0;
+    uint64_t broadcastCalls = 0;
+    uint64_t broadcastBytes = 0;
+    uint64_t barrierCalls = 0;
+};
+
+class TpComm;
+
+/**
+ * Sense-reversing reconvergence barrier for real SPMD thread
+ * groups. The orchestrated forward path does not need it (fork-join
+ * joins are its barriers); it exists for callers that keep rank
+ * threads alive across phases, and it is hammered under TSan by
+ * tests/parallel/collective_test.cc.
+ */
+class Barrier
+{
+  public:
+    /**
+     * @param parties Threads per reconvergence (>= 1).
+     * @param comm Optional comm whose barrierCalls counter is
+     *             incremented once per full reconvergence.
+     */
+    explicit Barrier(size_t parties, TpComm *comm = nullptr);
+
+    /** Block until all parties have arrived, then release them. */
+    void arriveAndWait();
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable released_;
+    size_t parties_;
+    size_t waiting_ = 0;
+    uint64_t phase_ = 0;
+    TpComm *comm_;
+};
+
+/**
+ * One tensor-parallel communicator: a rank count plus the byte/call
+ * ledger of every collective issued through it.
+ *
+ * Collectives execute real data movement between the caller's
+ * rank-local buffers, on the calling thread (they sit at fork-join
+ * phase boundaries, after every rank body has been joined — see the
+ * file comment). Methods are not thread-safe against each other;
+ * only Barrier touches the ledger concurrently, under its own lock.
+ *
+ * Accounting: a communicator of 1 rank moves nothing off-"device",
+ * so its collectives count zero calls and zero bytes — exactly the
+ * tp=1 branch of GpuPerfModel::tensorParallelComm(). With > 1
+ * ranks, each collective counts one call and the logical payload
+ * (the reduced/gathered tensor's bytes, matching the perf model's
+ * msg_bytes, not the per-link traffic of a ring schedule).
+ */
+class TpComm
+{
+  public:
+    explicit TpComm(size_t ranks);
+
+    size_t ranks() const { return ranks_; }
+    const CommStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CommStats{}; }
+
+    /** Rank r's shard of n items (see shardRange). */
+    std::pair<size_t, size_t> rankRange(size_t n, size_t rank) const
+    {
+        return shardRange(n, ranks_, rank);
+    }
+
+    /**
+     * Ordered sum-reduction into out (n floats):
+     *   out = (((parts[0] + parts[1]) + parts[2]) + ...)
+     * folded elementwise, strictly in ascending part order. Parts
+     * may outnumber ranks (canonical reduce blocks, rank-major
+     * ascending); the part list — not the rank count — defines the
+     * fold tree, which is what makes results bit-identical at every
+     * tensor-parallel degree. out must not alias any part.
+     */
+    void allReduceSum(const std::vector<const float *> &parts,
+                      float *out, size_t n);
+
+    /**
+     * Column-slab all-gather: rank r's buffer src[r] holds the
+     * dense [rows x width_r] slab for columns rankRange(cols, r) of
+     * a row-major [rows x cols] destination; every slab is copied
+     * into place. The canonical use is the vocab-sharded LM head.
+     */
+    void allGatherColumns(const std::vector<const float *> &src,
+                          size_t rows, size_t cols, float *out);
+
+    /**
+     * Concatenating all-gather: out becomes src[0] (counts[0]
+     * floats) followed by src[1], ... in rank order.
+     */
+    void allGather(const std::vector<const float *> &src,
+                   const std::vector<size_t> &counts, float *out);
+
+    /** Replicate src (n floats) into every dst buffer (one per
+     *  rank; a rank's dst may be null to skip, e.g. the root's). */
+    void broadcast(const float *src, size_t n,
+                   const std::vector<float *> &dst);
+
+    /**
+     * Publish the ledger into `reg` as the parallel_* counters
+     * (parallel_allreduce_calls/bytes, parallel_allgather_*,
+     * parallel_broadcast_*, parallel_barrier_calls). Counters are
+     * cumulative across publishes; callers publish deltas by
+     * resetStats() between rounds (the forward path uses one
+     * short-lived comm per call instead).
+     */
+    void publish(obs::MetricsRegistry &reg) const;
+
+  private:
+    friend class Barrier;
+
+    size_t ranks_;
+    CommStats stats_;
+};
+
+} // namespace parallel
+} // namespace specinfer
+
+#endif // SPECINFER_PARALLEL_COLLECTIVE_H

@@ -31,7 +31,11 @@ constexpr char kSnapMagic[4] = {'S', 'P', 'S', 'N'};
 // reading + replayed degradation evidence, and a per-active
 // stepped-this-iteration mark, so a snapshot taken right after a
 // mid-iteration recovery carries the resume state.
-constexpr uint32_t kSnapVersion = 6;
+// v7: tensor-parallel degree byte, so recovery replays the journal
+// under the same sharded execution shape the crashed process ran
+// (logits are bit-identical across TP degrees, but recovery is
+// defined as reproducing the crashed process exactly).
+constexpr uint32_t kSnapVersion = 7;
 
 using model::io::readPod;
 using model::io::readPodVector;
@@ -1232,6 +1236,7 @@ RequestManager::writeSnapshot(std::ostream &out) const
                        journal_ ? journal_->bytesWritten() : 0);
     writePod<uint64_t>(out, nextId_);
     writePod<uint8_t>(out, cfg_.ssmPrecision);
+    writePod<uint8_t>(out, cfg_.tpDegree);
 
     writePod<uint64_t>(out, stats_.iterations);
     writePod<uint64_t>(out, stats_.requestsSubmitted);
@@ -1614,6 +1619,15 @@ RequestManager::recover(std::istream *snapshot, std::istream *journal)
                             << unsigned(cfg_.ssmPrecision)
                             << "; recovery must replay under the "
                                "same draft-model numerics");
+        const uint8_t snap_tp = readPod<uint8_t>(*snapshot);
+        SPECINFER_CHECK(snap_tp == cfg_.tpDegree,
+                        "snapshot was taken with tensor-parallel "
+                        "degree "
+                            << unsigned(snap_tp)
+                            << " but this manager is configured for "
+                            << unsigned(cfg_.tpDegree)
+                            << "; recovery must replay under the "
+                               "same sharded execution shape");
 
         stats_.iterations = readPod<uint64_t>(*snapshot);
         stats_.requestsSubmitted = readPod<uint64_t>(*snapshot);

@@ -102,6 +102,17 @@ struct ServingConfig
      */
     uint8_t ssmPrecision = 0;
 
+    /**
+     * Tensor-parallel degree the serving models run at (see
+     * ModelConfig::tensorParallel), persisted into snapshots for the
+     * same reason as ssmPrecision: the sharded forward is proven
+     * bit-identical across degrees, but recovery is defined as
+     * reproducing the crashed process's exact execution shape, so
+     * recover() refuses a snapshot taken under a different degree
+     * rather than relying on that proof at recovery time.
+     */
+    uint8_t tpDegree = 1;
+
     // --- Robustness / graceful-degradation knobs ------------------
 
     /** Bounded pending queue: submit() rejects with

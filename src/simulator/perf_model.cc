@@ -25,6 +25,21 @@ GpuPerfModel::fitsInMemory(const LlmSpec &llm,
     return per_gpu_bytes <= cluster_.gpu.hbmCapacityGB * 1.0e9 * 0.75;
 }
 
+TpCommVolume
+GpuPerfModel::tensorParallelComm(const LlmSpec &llm,
+                                const ParallelismPlan &plan,
+                                double tokens)
+{
+    TpCommVolume vol;
+    if (plan.tensorParallel <= 1)
+        return vol;
+    vol.allReduceCalls = 2.0 * static_cast<double>(llm.nLayers);
+    vol.bytesPerAllReduce = tokens *
+                            static_cast<double>(llm.hidden) *
+                            llm.bytesPerParam;
+    return vol;
+}
+
 double
 GpuPerfModel::iterationTime(const LlmSpec &llm,
                             const ParallelismPlan &plan,
@@ -75,17 +90,16 @@ GpuPerfModel::iterationTime(const LlmSpec &llm,
     }
 
     // --- Tensor parallelism: two all-reduces per layer of the
-    // per-token activations.
+    // per-token activations (the schedule tensorParallelComm()
+    // exposes for the runtime-accounting tests).
     double comm_s = 0.0;
-    if (plan.tensorParallel > 1) {
-        const double msg_bytes = t_tokens *
-                                 static_cast<double>(llm.hidden) *
-                                 llm.bytesPerParam;
+    const TpCommVolume tp_comm =
+        tensorParallelComm(llm, plan, t_tokens);
+    if (tp_comm.allReduceCalls > 0.0) {
         const double per_allreduce =
             link.intraNodeLatencyUs * 1.0e-6 +
-            msg_bytes / (link.intraNodeGBps * 1.0e9);
-        comm_s += 2.0 * static_cast<double>(llm.nLayers) *
-                  per_allreduce;
+            tp_comm.bytesPerAllReduce / (link.intraNodeGBps * 1.0e9);
+        comm_s += tp_comm.allReduceCalls * per_allreduce;
     }
 
     // --- Pipeline parallelism: stages execute sequentially for one

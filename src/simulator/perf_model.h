@@ -67,6 +67,30 @@ struct IterationWorkload
 };
 
 /**
+ * Tensor-parallel communication volume of one decoding iteration:
+ * the collective schedule the analytical model charges for, and the
+ * exact counts the real sharded forward (src/parallel) must record.
+ * The comm-accounting tests diff one against the other, closing the
+ * simulator <-> runtime loop.
+ */
+struct TpCommVolume
+{
+    /** allReduce invocations (2 per layer: attention out-proj and
+     *  MLP down-proj), 0 when tensorParallel == 1. */
+    double allReduceCalls = 0.0;
+
+    /** Payload bytes of one allReduce: tokens * hidden *
+     *  bytesPerParam (the logical reduced tensor, not per-link ring
+     *  traffic). */
+    double bytesPerAllReduce = 0.0;
+
+    double totalAllReduceBytes() const
+    {
+        return allReduceCalls * bytesPerAllReduce;
+    }
+};
+
+/**
  * Analytical iteration-latency model for one cluster.
  */
 class GpuPerfModel
@@ -75,6 +99,15 @@ class GpuPerfModel
     explicit GpuPerfModel(ClusterSpec cluster);
 
     const ClusterSpec &cluster() const { return cluster_; }
+
+    /**
+     * The tensor-parallel collective schedule iterationTime()
+     * charges for `tokens` new tokens: shared by the latency
+     * formula below and the runtime-accounting validation tests.
+     */
+    static TpCommVolume tensorParallelComm(const LlmSpec &llm,
+                                           const ParallelismPlan &plan,
+                                           double tokens);
 
     /**
      * Latency (seconds) of one decoding iteration.

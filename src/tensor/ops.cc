@@ -286,6 +286,125 @@ gemmBlockI8()
 }
 
 /**
+ * One slice-GEMM tile: activation rows [i_lo, i_hi) x local weight
+ * rows [jb, j_hi), with explicit row strides so the dot can run over
+ * a k-slice of rows that are wider than the slice (a_base/b_base are
+ * pre-offset to the slice start; local weight row jj lives at
+ * b_base + jj * b_stride). Element values are dotRow over the slice.
+ */
+void
+gemmSliceGeneric(const float *a_base, size_t a_stride,
+                 const float *b_base, size_t b_stride, float *out,
+                 size_t out_stride, size_t len, size_t i_lo,
+                 size_t i_hi, size_t jb, size_t j_hi)
+{
+    for (size_t i = i_lo; i < i_hi; ++i) {
+        const float *a_row = a_base + i * a_stride;
+        float *out_row = out + i * out_stride;
+        for (size_t j = jb; j < j_hi; ++j)
+            out_row[j] = dotRow(a_row, b_base + j * b_stride, len);
+    }
+}
+
+using GemmSliceFn = void (*)(const float *, size_t, const float *,
+                             size_t, float *, size_t, size_t, size_t,
+                             size_t, size_t, size_t);
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+__attribute__((target("avx2"))) void
+gemmSliceAvx2(const float *a_base, size_t a_stride,
+              const float *b_base, size_t b_stride, float *out,
+              size_t out_stride, size_t len, size_t i_lo, size_t i_hi,
+              size_t jb, size_t j_hi)
+{
+    for (size_t i = i_lo; i < i_hi; ++i) {
+        const float *a_row = a_base + i * a_stride;
+        float *out_row = out + i * out_stride;
+        for (size_t j = jb; j < j_hi; ++j)
+            out_row[j] = dotRowAvx2(a_row, b_base + j * b_stride, len);
+    }
+}
+
+#endif // x86_64 && GNUC
+
+/** One-time slice-tile dispatch, mirroring gemmBlock(). */
+GemmSliceFn
+gemmSlice()
+{
+#if defined(__x86_64__) && defined(__GNUC__)
+    static const GemmSliceFn fn = __builtin_cpu_supports("avx2")
+                                      ? gemmSliceAvx2
+                                      : gemmSliceGeneric;
+#else
+    static const GemmSliceFn fn = gemmSliceGeneric;
+#endif
+    return fn;
+}
+
+/** Int8 slice tile, scalar reference: exact slice dot, one shared
+ *  float expression (see matmulTransposedBSlice header contract). */
+void
+gemmSliceI8Generic(const int8_t *a_base, size_t a_stride,
+                   const float *a_scales, const int8_t *b_base,
+                   size_t b_stride, const float *b_scales, float *out,
+                   size_t out_stride, size_t len, size_t i_lo,
+                   size_t i_hi, size_t jb, size_t j_hi)
+{
+    for (size_t i = i_lo; i < i_hi; ++i) {
+        const int8_t *a_row = a_base + i * a_stride;
+        const float sa = a_scales[i];
+        float *out_row = out + i * out_stride;
+        for (size_t j = jb; j < j_hi; ++j) {
+            const int32_t acc =
+                dotRowI8(a_row, b_base + j * b_stride, len);
+            out_row[j] = static_cast<float>(acc) * (sa * b_scales[j]);
+        }
+    }
+}
+
+using GemmSliceI8Fn = void (*)(const int8_t *, size_t, const float *,
+                               const int8_t *, size_t, const float *,
+                               float *, size_t, size_t, size_t, size_t,
+                               size_t, size_t);
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+__attribute__((target("avx2"))) void
+gemmSliceI8Avx2(const int8_t *a_base, size_t a_stride,
+                const float *a_scales, const int8_t *b_base,
+                size_t b_stride, const float *b_scales, float *out,
+                size_t out_stride, size_t len, size_t i_lo,
+                size_t i_hi, size_t jb, size_t j_hi)
+{
+    for (size_t i = i_lo; i < i_hi; ++i) {
+        const int8_t *a_row = a_base + i * a_stride;
+        const float sa = a_scales[i];
+        float *out_row = out + i * out_stride;
+        for (size_t j = jb; j < j_hi; ++j) {
+            const int32_t acc =
+                dotRowI8Avx2(a_row, b_base + j * b_stride, len);
+            out_row[j] = static_cast<float>(acc) * (sa * b_scales[j]);
+        }
+    }
+}
+
+#endif // x86_64 && GNUC
+
+GemmSliceI8Fn
+gemmSliceI8()
+{
+#if defined(__x86_64__) && defined(__GNUC__)
+    static const GemmSliceI8Fn fn = __builtin_cpu_supports("avx2")
+                                        ? gemmSliceI8Avx2
+                                        : gemmSliceI8Generic;
+#else
+    static const GemmSliceI8Fn fn = gemmSliceI8Generic;
+#endif
+    return fn;
+}
+
+/**
  * out rows [i_lo, i_hi) of a * b^T, blocked over b rows so a block
  * of weights is reused across all activation rows before moving on.
  */
@@ -423,6 +542,114 @@ matmulTransposedB(const QTensor &a, const QTensor &b, Tensor &out)
     SPECINFER_CHECK(out.rows() == a.rows() && out.cols() == b.rows(),
                     "int8 matmulT output shape mismatch");
     matmulTransposedBInto(a, b, out.data(), out.cols());
+}
+
+void
+matmulTransposedBSlice(const Tensor &a, const Tensor &b, size_t k0,
+                       size_t k1, size_t j0, size_t j1, float *out,
+                       size_t out_stride)
+{
+    SPECINFER_CHECK(a.cols() == b.cols(),
+                    "matmulT slice shape mismatch "
+                        << a.shapeString() << " * " << b.shapeString()
+                        << "^T");
+    SPECINFER_CHECK(k0 <= k1 && k1 <= a.cols(),
+                    "matmulT k-slice [" << k0 << ", " << k1
+                                        << ") out of range");
+    SPECINFER_CHECK(j0 <= j1 && j1 <= b.rows(),
+                    "matmulT j-slice [" << j0 << ", " << j1
+                                        << ") out of range");
+    SPECINFER_CHECK(out_stride >= j1 - j0,
+                    "matmulT slice output stride "
+                        << out_stride << " narrower than " << (j1 - j0)
+                        << " columns");
+    if (k0 == 0 && k1 == a.cols() && j0 == 0 && j1 == b.rows()) {
+        matmulTransposedBInto(a, b, out, out_stride);
+        return;
+    }
+    const size_t m = a.rows(), nw = j1 - j0, len = k1 - k0;
+    if (m == 0 || nw == 0)
+        return;
+    const float *a_base = a.data() + k0;
+    const float *b_base = b.data() + j0 * b.cols() + k0;
+    const GemmSliceFn tile = gemmSlice();
+    util::ThreadPool &pool = util::ThreadPool::global();
+    // Same split policy as matmulTransposedBInto; under a rank body
+    // the nested parallelFor degrades to inline, so sharded callers
+    // get per-rank serial tiles while tp=1 orchestrator calls still
+    // thread across the pool.
+    if (m >= pool.threads()) {
+        pool.parallelFor(0, pool.threads(), [&](size_t w) {
+            const size_t i_lo = w * m / pool.threads();
+            const size_t i_hi = (w + 1) * m / pool.threads();
+            for (size_t jb = 0; jb < nw; jb += kGemmRowBlock) {
+                const size_t j_hi = std::min(jb + kGemmRowBlock, nw);
+                tile(a_base, a.cols(), b_base, b.cols(), out,
+                     out_stride, len, i_lo, i_hi, jb, j_hi);
+            }
+        });
+        return;
+    }
+    const size_t n_blocks = (nw + kGemmRowBlock - 1) / kGemmRowBlock;
+    pool.parallelFor(0, n_blocks, [&](size_t blk) {
+        const size_t jb = blk * kGemmRowBlock;
+        const size_t j_hi = std::min(jb + kGemmRowBlock, nw);
+        tile(a_base, a.cols(), b_base, b.cols(), out, out_stride, len,
+             0, m, jb, j_hi);
+    });
+}
+
+void
+matmulTransposedBSlice(const QTensor &a, const QTensor &b, size_t k0,
+                       size_t k1, size_t j0, size_t j1, float *out,
+                       size_t out_stride)
+{
+    SPECINFER_CHECK(a.cols() == b.cols(),
+                    "int8 matmulT slice shape mismatch ["
+                        << a.rows() << " x " << a.cols() << "] * ["
+                        << b.rows() << " x " << b.cols() << "]^T");
+    SPECINFER_CHECK(k0 <= k1 && k1 <= a.cols(),
+                    "int8 matmulT k-slice [" << k0 << ", " << k1
+                                             << ") out of range");
+    SPECINFER_CHECK(j0 <= j1 && j1 <= b.rows(),
+                    "int8 matmulT j-slice [" << j0 << ", " << j1
+                                             << ") out of range");
+    SPECINFER_CHECK(out_stride >= j1 - j0,
+                    "int8 matmulT slice output stride "
+                        << out_stride << " narrower than " << (j1 - j0)
+                        << " columns");
+    if (k0 == 0 && k1 == a.cols() && j0 == 0 && j1 == b.rows()) {
+        matmulTransposedBInto(a, b, out, out_stride);
+        return;
+    }
+    const size_t m = a.rows(), nw = j1 - j0, len = k1 - k0;
+    if (m == 0 || nw == 0)
+        return;
+    const int8_t *a_base = a.data() + k0;
+    const int8_t *b_base = b.data() + j0 * b.cols() + k0;
+    const float *b_scales = b.scales() + j0;
+    const GemmSliceI8Fn tile = gemmSliceI8();
+    util::ThreadPool &pool = util::ThreadPool::global();
+    if (m >= pool.threads()) {
+        pool.parallelFor(0, pool.threads(), [&](size_t w) {
+            const size_t i_lo = w * m / pool.threads();
+            const size_t i_hi = (w + 1) * m / pool.threads();
+            for (size_t jb = 0; jb < nw; jb += kGemmRowBlock) {
+                const size_t j_hi = std::min(jb + kGemmRowBlock, nw);
+                tile(a_base, a.cols(), a.scales(), b_base, b.cols(),
+                     b_scales, out, out_stride, len, i_lo, i_hi, jb,
+                     j_hi);
+            }
+        });
+        return;
+    }
+    const size_t n_blocks = (nw + kGemmRowBlock - 1) / kGemmRowBlock;
+    pool.parallelFor(0, n_blocks, [&](size_t blk) {
+        const size_t jb = blk * kGemmRowBlock;
+        const size_t j_hi = std::min(jb + kGemmRowBlock, nw);
+        tile(a_base, a.cols(), a.scales(), b_base, b.cols(), b_scales,
+             out, out_stride, len, 0, m, jb, j_hi);
+    });
 }
 
 void

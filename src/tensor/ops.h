@@ -73,6 +73,53 @@ void matmulTransposedBInto(const QTensor &a, const QTensor &b,
 void matmulTransposedB(const QTensor &a, const QTensor &b, Tensor &out);
 
 /**
+ * Rectangular slice of the transposed-B GEMM, the primitive behind
+ * tensor-parallel sharding (src/parallel): for weight rows j in
+ * [j0, j1) and the k-slice [k0, k1),
+ *
+ *   out[i * out_stride + (j - j0)] =
+ *       dotRow(a.row(i) + k0, b.row(j) + k0, k1 - k0)
+ *
+ * A column-parallel layer takes the full k range and a j shard (the
+ * rank's output slab, dense with width j1 - j0); a row-parallel
+ * layer takes the full j range and a k shard (one canonical reduce
+ * block's partial product). k0 == k1 is legal and writes 0.0f
+ * (dotRow over zero elements) — empty canonical blocks must still
+ * contribute a well-defined partial to the ordered reduction.
+ *
+ * Bit-exactness contract: each element is one dotRow over the
+ * slice, identical bits regardless of blocking, thread count, or
+ * ISA; with the full k range it equals the unsliced kernel's
+ * element exactly. The full-matrix call (k0 == 0, k1 == k, j0 == 0,
+ * j1 == n) delegates to matmulTransposedBInto, so tp=1 callers keep
+ * the legacy tiles and threading policy.
+ *
+ * @pre k0 <= k1 <= a.cols(); j0 <= j1 <= b.rows();
+ *      out_stride >= j1 - j0; out does not alias a or b.
+ */
+void matmulTransposedBSlice(const Tensor &a, const Tensor &b,
+                            size_t k0, size_t k1, size_t j0, size_t j1,
+                            float *out, size_t out_stride);
+
+/**
+ * Integer variant of matmulTransposedBSlice: the int32 dot runs over
+ * the k-slice [k0, k1) and the one shared float expression applies
+ * the full per-row scales,
+ *
+ *   out[i * out_stride + (j - j0)] =
+ *       float(dotRowI8(a.row(i) + k0, b.row(j) + k0, k1 - k0))
+ *           * (a.scale(i) * b.scale(j)).
+ *
+ * The slice dot is exact integer math, so results are bit-identical
+ * across blocking, threads, and dispatch — and a sum of k-slice
+ * partials folded in canonical order is the sharded int8 path's
+ * deterministic replacement for the full-k dot.
+ */
+void matmulTransposedBSlice(const QTensor &a, const QTensor &b,
+                            size_t k0, size_t k1, size_t j0, size_t j1,
+                            float *out, size_t out_stride);
+
+/**
  * out_row = x_row * w^T for one row: y[j] = sum_i x[i] * w[j][i].
  * @param x Input vector of length w.cols().
  * @param w Weight matrix [out_dim x in_dim].

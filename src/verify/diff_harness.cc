@@ -50,6 +50,13 @@ drawModelConfig(util::Rng &rng)
     cfg.nLayers = 2 + rng.uniformInt(uint64_t{3});          // 2..4
     cfg.maxSeqLen = 192;
     cfg.seed = rng.next();
+    // Tensor-parallel degree: a power of two dividing nHeads (1, 2,
+    // or — with 4 heads — 4), so the oracle suite continually fuzzes
+    // the sharded forward against the spec/incremental equivalences.
+    const uint64_t tp_draw = rng.uniformInt(uint64_t{3}); // 0..2
+    cfg.tensorParallel = size_t{1} << tp_draw;
+    if (cfg.nHeads % cfg.tensorParallel != 0)
+        cfg.tensorParallel = 2;
     return cfg;
 }
 

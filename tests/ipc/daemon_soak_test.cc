@@ -77,19 +77,34 @@ TEST(DaemonSoakTest, ChaosSoakKeepsEveryInvariant)
     Fixture f;
     util::Rng chaos(0x50a4ca05ULL);
 
+    // The soak daemon serves SHARDED (tp=2) while every oracle
+    // comparison below stays against the fixture's tp=1 engine:
+    // §5j bit-identity soaked under chaos, with the degree riding
+    // through each crash's snapshot recovery and the recording
+    // header.
+    model::ModelConfig sharded_cfg = model::llmPreset("tiny");
+    sharded_cfg.tensorParallel = 2;
+    model::Transformer sharded_llm = model::makeLlm(sharded_cfg);
+    model::Transformer sharded_ssm =
+        model::makeEarlyExitSsm(sharded_llm, 2);
+    core::SpecEngine sharded_engine(&sharded_llm, {&sharded_ssm},
+                                    Fixture::engineConfig());
+
     runtime::ServingConfig scfg;
     scfg.maxBatchSize = 3;
     scfg.kvPoolBlocks = 64; // exercises the leak assertion
     scfg.kvBlockTokens = 16;
+    scfg.tpDegree = 2;
 
     DaemonConfig dcfg = f.daemonConfig();
     dcfg.journalPath = f.dir + "/soak.wal";
     dcfg.recordPath = f.dir + "/soak.rec";
     dcfg.snapshotEvery = 8;
     dcfg.leaseTicks = 16;
+    dcfg.recordHeader.tpDegree = 2;
 
     auto daemon =
-        std::make_unique<Daemon>(&f.engine, scfg, dcfg);
+        std::make_unique<Daemon>(&sharded_engine, scfg, dcfg);
     ASSERT_TRUE(daemon->start());
 
     // Widely spaced nonces: reconnects bump by one, and in-process
@@ -155,8 +170,8 @@ TEST(DaemonSoakTest, ChaosSoakKeepsEveryInvariant)
             if (crashes < kMaxCrashes &&
                 chaos.uniformInt(1000) < 5) {
                 daemon.reset();
-                daemon = std::make_unique<Daemon>(&f.engine, scfg,
-                                                  dcfg);
+                daemon = std::make_unique<Daemon>(&sharded_engine,
+                                                  scfg, dcfg);
                 ASSERT_TRUE(daemon->start());
                 ++crashes;
             }

@@ -285,6 +285,54 @@ TEST(DaemonTest, CrashRestartRecoversAndResumesStreams)
     EXPECT_GE(res.finishesChecked, 3u);
 }
 
+TEST(DaemonTest, ShardedDaemonMatchesUnshardedOracleAndReplays)
+{
+    // A daemon serving at --tp 2 must stream tokens identical to
+    // the tp=1 engine oracle (§5j bit-identity at the serving
+    // boundary), and its recording — which persists the degree in
+    // the header — must replay token-identically offline with the
+    // engine rebuilt at that same degree.
+    Fixture f;
+    model::ModelConfig sharded_cfg = model::llmPreset("tiny");
+    sharded_cfg.tensorParallel = 2;
+    model::Transformer llm = model::makeLlm(sharded_cfg);
+    model::Transformer ssm = model::makeEarlyExitSsm(llm, 2);
+    core::SpecEngine engine(&llm, {&ssm}, Fixture::engineConfig());
+
+    runtime::ServingConfig scfg = f.servingConfig();
+    scfg.tpDegree = 2;
+    DaemonConfig dcfg = f.daemonConfig();
+    dcfg.recordPath = f.dir + "/sharded.rec";
+    dcfg.recordHeader.tpDegree = 2;
+    Daemon daemon(&engine, scfg, dcfg);
+    ASSERT_TRUE(daemon.start());
+
+    Client client(f.clientConfig(1));
+    ASSERT_EQ(client.connect(), ClientStatus::Pending);
+    std::vector<uint64_t> tags;
+    for (int i = 0; i < 3; ++i)
+        tags.push_back(client.submit(f.prompt(i), 8));
+    pumpUntilIdle(daemon, client, 600);
+    ASSERT_EQ(client.inflightCount(), 0u);
+    for (int i = 0; i < 3; ++i) {
+        const ClientRequest *req = client.request(tags[i]);
+        ASSERT_TRUE(req->finished) << "request " << i;
+        // The oracle engine is the fixture's UNSHARDED tp=1 engine.
+        EXPECT_EQ(req->tokens, f.oracle(f.prompt(i), req->id, 8))
+            << "sharded daemon diverged from tp=1 oracle, request "
+            << i;
+    }
+    daemon.drain();
+
+    std::ifstream rec(dcfg.recordPath, std::ios::binary);
+    ASSERT_TRUE(rec.good());
+    std::ostringstream log;
+    ReplayResult res = replayRecording(rec, log);
+    EXPECT_TRUE(res.ok) << log.str();
+    EXPECT_EQ(res.mismatches, 0u);
+    EXPECT_GE(res.finishesChecked, 3u);
+}
+
 TEST(DaemonTest, InjectedClientReapIsSurvivedByReconnecting)
 {
     Fixture f;

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The sharded-forward bit-identity sweep: tensor-parallel degrees
+ * {2, 4, 8} must produce logits AND KV-cache contents byte-equal to
+ * tp=1 for prefill, tree decode, and the int8 SSM path — the
+ * determinism contract of DESIGN.md §5j. Also covers the typed
+ * rejection of non-divisible head splits and the PR-1 differential
+ * oracle under sharded configurations (the harness draws a random
+ * tensor-parallel degree per seed).
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/model_factory.h"
+#include "model/transformer.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "verify/diff_harness.h"
+
+#include "test_models.h"
+
+namespace {
+
+using namespace specinfer;
+namespace spectest = specinfer::testing;
+
+/** Eight heads so the sweep can shard at tp up to 8 (tinyConfig has
+ *  only four); dFf deliberately not a multiple of nHeads to exercise
+ *  uneven canonical reduce blocks in the down-projection. */
+model::ModelConfig
+wideConfig(uint64_t seed = 123)
+{
+    model::ModelConfig cfg;
+    cfg.name = "test-wide";
+    cfg.vocabSize = 96;
+    cfg.dModel = 64;
+    cfg.nHeads = 8;
+    cfg.dFf = 84;
+    cfg.nLayers = 2;
+    cfg.maxSeqLen = 160;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** Prefix prefill + one tree chunk against `llm`; returns both
+ *  chunks' logits concatenated and leaves the cache populated. */
+tensor::Tensor
+runForward(model::Transformer &llm, model::KvCache &cache)
+{
+    util::Rng rng(17);
+    std::vector<int> prefix = spectest::randomPrompt(
+        rng, 24, llm.config().vocabSize);
+    tensor::Tensor prefill_logits = llm.forward(
+        model::DecodeChunk::sequence(prefix), cache);
+    model::DecodeChunk chunk = spectest::randomTreeChunk(
+        rng, 16, llm.config().vocabSize);
+    tensor::Tensor tree_logits = llm.forward(chunk, cache);
+
+    tensor::Tensor all(prefill_logits.rows() + tree_logits.rows(),
+                       prefill_logits.cols());
+    std::memcpy(all.data(), prefill_logits.data(),
+                prefill_logits.size() * sizeof(float));
+    std::memcpy(all.data() + prefill_logits.size(),
+                tree_logits.data(),
+                tree_logits.size() * sizeof(float));
+    return all;
+}
+
+/** Byte equality of two caches' live rows, every layer. */
+void
+expectCachesIdentical(const model::KvCache &got,
+                      const model::KvCache &ref, size_t tp)
+{
+    ASSERT_EQ(got.length(), ref.length());
+    ASSERT_EQ(got.kvDim(), ref.kvDim());
+    ASSERT_EQ(got.layers(), ref.layers());
+    const size_t bytes =
+        got.length() * got.kvDim() * sizeof(float);
+    for (size_t layer = 0; layer < got.layers(); ++layer) {
+        EXPECT_EQ(std::memcmp(got.keyRow(layer, 0),
+                              ref.keyRow(layer, 0), bytes),
+                  0)
+            << "keys differ at layer " << layer << " tp=" << tp;
+        EXPECT_EQ(std::memcmp(got.valueRow(layer, 0),
+                              ref.valueRow(layer, 0), bytes),
+                  0)
+            << "values differ at layer " << layer << " tp=" << tp;
+    }
+}
+
+TEST(ShardedForwardTest, LogitsAndKvBitIdenticalAcrossTpDegrees)
+{
+    model::ModelConfig ref_cfg = wideConfig();
+    model::Transformer ref_llm = model::makeLlm(ref_cfg);
+    model::KvCache ref_cache = ref_llm.makeCache();
+    tensor::Tensor ref = runForward(ref_llm, ref_cache);
+
+    for (size_t tp : {2u, 4u, 8u}) {
+        model::ModelConfig cfg = wideConfig();
+        cfg.tensorParallel = tp;
+        model::Transformer llm = model::makeLlm(cfg);
+        model::KvCache cache = llm.makeCache();
+        tensor::Tensor got = runForward(llm, cache);
+        ASSERT_EQ(got.rows(), ref.rows());
+        ASSERT_EQ(got.cols(), ref.cols());
+        EXPECT_EQ(std::memcmp(got.data(), ref.data(),
+                              ref.size() * sizeof(float)),
+                  0)
+            << "sharded logits differ at tp=" << tp;
+        expectCachesIdentical(cache, ref_cache, tp);
+    }
+}
+
+/** The tiny 4-head preset (what the serving tests and the daemon
+ *  run) at its full shardable range. */
+TEST(ShardedForwardTest, TinyPresetShardsBitIdentically)
+{
+    model::Transformer ref_llm = spectest::tinyLlm();
+    model::KvCache ref_cache = ref_llm.makeCache();
+    tensor::Tensor ref = runForward(ref_llm, ref_cache);
+    for (size_t tp : {2u, 4u}) {
+        model::ModelConfig cfg = spectest::tinyConfig();
+        cfg.tensorParallel = tp;
+        model::Transformer llm = model::makeLlm(cfg);
+        model::KvCache cache = llm.makeCache();
+        tensor::Tensor got = runForward(llm, cache);
+        EXPECT_EQ(std::memcmp(got.data(), ref.data(),
+                              ref.size() * sizeof(float)),
+                  0)
+            << "tiny preset logits differ at tp=" << tp;
+        expectCachesIdentical(cache, ref_cache, tp);
+    }
+}
+
+/** The integer GEMM path: int8 SSM slice products must fold to the
+ *  same bits at every degree (activation scales are computed on
+ *  full rows orchestrator-side, so they are tp-invariant). */
+TEST(ShardedForwardTest, Int8SsmBitIdenticalAcrossTpDegrees)
+{
+    model::ModelConfig ref_cfg = wideConfig();
+    model::Transformer ref_llm = model::makeLlm(ref_cfg);
+    model::Transformer ref_ssm = model::makeInt8Ssm(ref_llm, 1);
+    model::KvCache ref_cache = ref_ssm.makeCache();
+    tensor::Tensor ref = runForward(ref_ssm, ref_cache);
+
+    for (size_t tp : {2u, 8u}) {
+        model::ModelConfig cfg = wideConfig();
+        cfg.tensorParallel = tp;
+        model::Transformer llm = model::makeLlm(cfg);
+        model::Transformer ssm = model::makeInt8Ssm(llm, 1);
+        ASSERT_EQ(ssm.config().tensorParallel, tp)
+            << "factory must propagate the degree to derived SSMs";
+        model::KvCache cache = ssm.makeCache();
+        tensor::Tensor got = runForward(ssm, cache);
+        EXPECT_EQ(std::memcmp(got.data(), ref.data(),
+                              ref.size() * sizeof(float)),
+                  0)
+            << "int8 sharded logits differ at tp=" << tp;
+        expectCachesIdentical(cache, ref_cache, tp);
+    }
+}
+
+/** The spec-vs-incremental differential oracle stays green with the
+ *  harness drawing sharded configurations (drawModelConfig fuzzes
+ *  tensorParallel in {1, 2, 4}). */
+TEST(ShardedForwardTest, DiffOracleGreenUnderShardedConfigs)
+{
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        verify::TrialOutcome greedy = verify::runGreedyTrial(seed);
+        EXPECT_TRUE(greedy.ok) << greedy.detail;
+        verify::TrialOutcome kv = verify::runKvRoundTripTrial(seed);
+        EXPECT_TRUE(kv.ok) << kv.detail;
+    }
+}
+
+/** Non-divisible head splits would misalign the canonical reduce
+ *  blocks; the config layer rejects them with a typed check. */
+TEST(ShardedForwardDeathTest, RejectsNonDivisibleHeadSplit)
+{
+    model::ModelConfig cfg = wideConfig(); // nHeads = 8
+    cfg.tensorParallel = 3;
+    EXPECT_DEATH(model::makeLlm(cfg), "must divide nHeads");
+    cfg.tensorParallel = 0;
+    EXPECT_DEATH(model::makeLlm(cfg), "must be >= 1");
+}
+
+} // namespace

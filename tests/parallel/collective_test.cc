@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Property/fuzz tests for the simulated collective library: the
+ * shard-range partition algebra, bit-exact ordered allReduce folds
+ * (and their rank-count invariance — the §5j determinism contract),
+ * allGather/broadcast permutation checks, byte/call accounting
+ * against GpuPerfModel's communication formula, and a two-thread
+ * barrier hammer aimed at the TSan sweep.
+ */
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/transformer.h"
+#include "obs/obs.h"
+#include "parallel/collective.h"
+#include "simulator/perf_model.h"
+#include "util/rng.h"
+
+#include "../model/test_models.h"
+
+namespace {
+
+using namespace specinfer;
+namespace spectest = specinfer::testing;
+
+/** n seeded floats with varied magnitude/sign (so FP reassociation
+ *  would actually change bits if the fold order ever drifted). */
+std::vector<float>
+randomFloats(util::Rng &rng, size_t n)
+{
+    std::vector<float> v(n);
+    for (size_t i = 0; i < n; ++i)
+        v[i] = static_cast<float>(rng.normal(0.0, 1.0) *
+                                  (1.0 + 100.0 * rng.uniform()));
+    return v;
+}
+
+// --- shardRange --------------------------------------------------
+
+TEST(CollectiveShardRange, PartitionsExactlyAndContiguously)
+{
+    for (size_t n : {0u, 1u, 5u, 7u, 8u, 31u, 96u, 1000u}) {
+        for (size_t shards : {1u, 2u, 3u, 4u, 8u}) {
+            size_t expected_begin = 0;
+            for (size_t s = 0; s < shards; ++s) {
+                auto r = parallel::shardRange(n, shards, s);
+                EXPECT_EQ(r.first, expected_begin)
+                    << "n=" << n << " shards=" << shards << " s=" << s;
+                EXPECT_LE(r.first, r.second);
+                expected_begin = r.second;
+            }
+            EXPECT_EQ(expected_begin, n)
+                << "n=" << n << " shards=" << shards;
+        }
+    }
+}
+
+TEST(CollectiveShardRange, BalancedWithinOneItem)
+{
+    for (size_t n : {7u, 96u, 1000u}) {
+        for (size_t shards : {2u, 3u, 8u}) {
+            for (size_t s = 0; s < shards; ++s) {
+                auto r = parallel::shardRange(n, shards, s);
+                size_t width = r.second - r.first;
+                EXPECT_GE(width, n / shards);
+                EXPECT_LE(width, n / shards + 1);
+            }
+        }
+    }
+}
+
+/** The nesting law the sharded forward relies on: rank boundaries
+ *  (outer = tp) always align with canonical reduce-block boundaries
+ *  (inner = nHeads) when tp divides nHeads. */
+TEST(CollectiveShardRange, NestsWhenOuterDividesInner)
+{
+    const size_t inner_counts[] = {2, 4, 8, 12, 24};
+    for (size_t n : {0u, 8u, 31u, 96u, 257u}) {
+        for (size_t inner : inner_counts) {
+            for (size_t outer = 1; outer <= inner; ++outer) {
+                if (inner % outer != 0)
+                    continue;
+                const size_t per = inner / outer;
+                for (size_t s = 0; s < outer; ++s) {
+                    auto coarse = parallel::shardRange(n, outer, s);
+                    auto fine_lo =
+                        parallel::shardRange(n, inner, s * per);
+                    auto fine_hi = parallel::shardRange(
+                        n, inner, (s + 1) * per - 1);
+                    EXPECT_EQ(coarse.first, fine_lo.first);
+                    EXPECT_EQ(coarse.second, fine_hi.second);
+                }
+            }
+        }
+    }
+}
+
+// --- allReduceSum ------------------------------------------------
+
+TEST(CollectiveAllReduce, MatchesSerialAscendingFoldBitExactly)
+{
+    util::Rng rng(42);
+    for (size_t n : {1u, 17u, 256u}) {
+        for (size_t nparts : {1u, 2u, 3u, 4u, 8u}) {
+            std::vector<std::vector<float>> storage;
+            std::vector<const float *> parts;
+            for (size_t p = 0; p < nparts; ++p) {
+                storage.push_back(randomFloats(rng, n));
+                parts.push_back(storage.back().data());
+            }
+            // The contract: out[i] = (((p0[i]+p1[i])+p2[i])+...),
+            // strictly ascending part order.
+            std::vector<float> expected(n);
+            for (size_t i = 0; i < n; ++i) {
+                float acc = storage[0][i];
+                for (size_t p = 1; p < nparts; ++p)
+                    acc += storage[p][i];
+                expected[i] = acc;
+            }
+            parallel::TpComm comm(nparts);
+            std::vector<float> out(n, -1.0f);
+            comm.allReduceSum(parts, out.data(), n);
+            EXPECT_EQ(std::memcmp(out.data(), expected.data(),
+                                  n * sizeof(float)),
+                      0)
+                << "n=" << n << " parts=" << nparts;
+        }
+    }
+}
+
+/** The §5j rank-count invariance: the part list, not the rank
+ *  count, defines the fold tree — the same canonical parts reduced
+ *  through communicators of 1, 2, 3, 4, and 8 ranks give bitwise
+ *  identical sums. */
+TEST(CollectiveAllReduce, RankCountInvariantForCanonicalParts)
+{
+    util::Rng rng(7);
+    const size_t n = 64;
+    const size_t blocks = 8; // canonical block count (think nHeads)
+    std::vector<std::vector<float>> storage;
+    std::vector<const float *> parts;
+    for (size_t b = 0; b < blocks; ++b) {
+        storage.push_back(randomFloats(rng, n));
+        parts.push_back(storage.back().data());
+    }
+    parallel::TpComm ref_comm(1);
+    std::vector<float> ref(n);
+    ref_comm.allReduceSum(parts, ref.data(), n);
+    for (size_t ranks : {2u, 3u, 4u, 8u}) {
+        parallel::TpComm comm(ranks);
+        std::vector<float> out(n, 0.0f);
+        comm.allReduceSum(parts, out.data(), n);
+        EXPECT_EQ(std::memcmp(out.data(), ref.data(),
+                              n * sizeof(float)),
+                  0)
+            << "fold drifted at ranks=" << ranks;
+    }
+}
+
+// --- allGather / broadcast ---------------------------------------
+
+TEST(CollectiveAllGather, ColumnSlabsReassembleTheFullMatrix)
+{
+    util::Rng rng(11);
+    const size_t rows = 6;
+    for (size_t cols : {1u, 5u, 16u, 96u}) {
+        std::vector<float> full = randomFloats(rng, rows * cols);
+        for (size_t ranks : {1u, 2u, 3u, 4u, 8u}) {
+            // Slice the reference into per-rank column slabs (the
+            // layout each rank's LM-head slice GEMM produces).
+            std::vector<std::vector<float>> slabs(ranks);
+            std::vector<const float *> src(ranks);
+            for (size_t r = 0; r < ranks; ++r) {
+                auto range = parallel::shardRange(cols, ranks, r);
+                size_t width = range.second - range.first;
+                slabs[r].resize(rows * width);
+                for (size_t i = 0; i < rows; ++i)
+                    for (size_t j = 0; j < width; ++j)
+                        slabs[r][i * width + j] =
+                            full[i * cols + range.first + j];
+                src[r] = slabs[r].data();
+            }
+            parallel::TpComm comm(ranks);
+            std::vector<float> out(rows * cols, -7.0f);
+            comm.allGatherColumns(src, rows, cols, out.data());
+            EXPECT_EQ(std::memcmp(out.data(), full.data(),
+                                  rows * cols * sizeof(float)),
+                      0)
+                << "cols=" << cols << " ranks=" << ranks;
+        }
+    }
+}
+
+TEST(CollectiveAllGather, ConcatenatesVariableCountsInRankOrder)
+{
+    util::Rng rng(13);
+    const std::vector<size_t> counts = {3, 0, 5, 1};
+    std::vector<std::vector<float>> storage;
+    std::vector<const float *> src;
+    std::vector<float> expected;
+    for (size_t c : counts) {
+        storage.push_back(randomFloats(rng, c));
+        src.push_back(storage.back().data());
+        expected.insert(expected.end(), storage.back().begin(),
+                        storage.back().end());
+    }
+    parallel::TpComm comm(counts.size());
+    std::vector<float> out(expected.size(), 0.0f);
+    comm.allGather(src, counts, out.data());
+    EXPECT_EQ(std::memcmp(out.data(), expected.data(),
+                          expected.size() * sizeof(float)),
+              0);
+}
+
+TEST(CollectiveBroadcast, ReplicatesToEveryNonNullDestination)
+{
+    util::Rng rng(17);
+    const size_t n = 33;
+    std::vector<float> root = randomFloats(rng, n);
+    std::vector<float> d1(n, 0.0f), d2(n, 0.0f);
+    // Rank 0 is the root: its slot is null (nothing to copy).
+    parallel::TpComm comm(3);
+    comm.broadcast(root.data(), n, {nullptr, d1.data(), d2.data()});
+    EXPECT_EQ(std::memcmp(d1.data(), root.data(),
+                          n * sizeof(float)),
+              0);
+    EXPECT_EQ(std::memcmp(d2.data(), root.data(),
+                          n * sizeof(float)),
+              0);
+}
+
+// --- accounting --------------------------------------------------
+
+TEST(CollectiveAccounting, OneRankCountsNothing)
+{
+    util::Rng rng(3);
+    const size_t n = 16;
+    std::vector<float> a = randomFloats(rng, n);
+    std::vector<float> out(n);
+    parallel::TpComm comm(1);
+    comm.allReduceSum({a.data()}, out.data(), n);
+    comm.allGatherColumns({a.data()}, 1, n, out.data());
+    comm.allGather({a.data()}, {n}, out.data());
+    comm.broadcast(a.data(), n, {nullptr});
+    const parallel::CommStats &s = comm.stats();
+    EXPECT_EQ(s.allReduceCalls, 0u);
+    EXPECT_EQ(s.allReduceBytes, 0u);
+    EXPECT_EQ(s.allGatherCalls, 0u);
+    EXPECT_EQ(s.allGatherBytes, 0u);
+    EXPECT_EQ(s.broadcastCalls, 0u);
+    EXPECT_EQ(s.broadcastBytes, 0u);
+    EXPECT_EQ(s.barrierCalls, 0u);
+}
+
+TEST(CollectiveAccounting, CountsLogicalPayloadBytesPerCall)
+{
+    util::Rng rng(5);
+    const size_t n = 24;
+    std::vector<float> a = randomFloats(rng, n);
+    std::vector<float> b = randomFloats(rng, n);
+    std::vector<float> out(n);
+    parallel::TpComm comm(2);
+    comm.allReduceSum({a.data(), b.data()}, out.data(), n);
+    comm.allReduceSum({a.data(), b.data()}, out.data(), n);
+    std::vector<float> gathered(2 * n);
+    comm.allGather({a.data(), b.data()}, {n, n}, gathered.data());
+    comm.broadcast(a.data(), n, {nullptr, out.data()});
+    const parallel::CommStats &s = comm.stats();
+    EXPECT_EQ(s.allReduceCalls, 2u);
+    EXPECT_EQ(s.allReduceBytes, 2 * n * sizeof(float));
+    EXPECT_EQ(s.allGatherCalls, 1u);
+    EXPECT_EQ(s.allGatherBytes, 2 * n * sizeof(float));
+    EXPECT_EQ(s.broadcastCalls, 1u);
+    EXPECT_EQ(s.broadcastBytes, n * sizeof(float));
+    comm.resetStats();
+    EXPECT_EQ(comm.stats().allReduceCalls, 0u);
+    EXPECT_EQ(comm.stats().allReduceBytes, 0u);
+}
+
+/**
+ * Closed loop with the analytical model: run a REAL sharded forward
+ * under a local ObsContext and require the published parallel_*
+ * counters to equal GpuPerfModel::tensorParallelComm()'s prediction
+ * for the same shapes — exactly, not approximately.
+ */
+TEST(ParallelCommAccounting, ForwardMatchesPerfModelFormula)
+{
+    model::ModelConfig cfg = spectest::tinyConfig();
+    cfg.tensorParallel = 2;
+    model::Transformer llm = model::makeLlm(cfg);
+    model::KvCache cache = llm.makeCache();
+
+    obs::ObsContext ctx(&obs::SteadyClock::instance(),
+                        /*tracing_enabled=*/false);
+    obs::ObsContext *prev = obs::setGlobalObs(&ctx);
+
+    util::Rng rng(29);
+    const size_t prefill_tokens = 24;
+    const size_t tree_tokens = 16;
+    llm.forward(model::DecodeChunk::sequence(spectest::randomPrompt(
+                    rng, prefill_tokens, cfg.vocabSize)),
+                cache);
+    llm.forward(spectest::randomTreeChunk(rng, tree_tokens,
+                                          cfg.vocabSize),
+                cache);
+    obs::setGlobalObs(prev);
+
+    // The analytical prediction for the same LLM shape; fp32
+    // activations on this CPU backend, hence bytesPerParam = 4.
+    simulator::LlmSpec spec;
+    spec.nLayers = cfg.nLayers;
+    spec.hidden = cfg.dModel;
+    spec.vocab = cfg.vocabSize;
+    spec.bytesPerParam = 4.0;
+    simulator::ParallelismPlan plan;
+    plan.tensorParallel = cfg.tensorParallel;
+
+    double want_calls = 0.0, want_bytes = 0.0;
+    for (size_t tokens : {prefill_tokens, tree_tokens}) {
+        simulator::TpCommVolume vol =
+            simulator::GpuPerfModel::tensorParallelComm(
+                spec, plan, static_cast<double>(tokens));
+        want_calls += vol.allReduceCalls;
+        want_bytes += vol.totalAllReduceBytes();
+    }
+
+    obs::MetricsSnapshot snap = ctx.metrics().snapshot();
+    const obs::SnapshotCounter *calls =
+        snap.findCounter("parallel_allreduce_calls");
+    const obs::SnapshotCounter *bytes =
+        snap.findCounter("parallel_allreduce_bytes");
+    ASSERT_NE(calls, nullptr);
+    ASSERT_NE(bytes, nullptr);
+    EXPECT_EQ(calls->value, static_cast<uint64_t>(want_calls));
+    EXPECT_EQ(bytes->value, static_cast<uint64_t>(want_bytes));
+
+    // LM head: one vocab allGather of m*vocab*4 bytes per forward.
+    const obs::SnapshotCounter *ag_calls =
+        snap.findCounter("parallel_allgather_calls");
+    const obs::SnapshotCounter *ag_bytes =
+        snap.findCounter("parallel_allgather_bytes");
+    ASSERT_NE(ag_calls, nullptr);
+    ASSERT_NE(ag_bytes, nullptr);
+    EXPECT_EQ(ag_calls->value, 2u);
+    EXPECT_EQ(ag_bytes->value,
+              (prefill_tokens + tree_tokens) * cfg.vocabSize *
+                  sizeof(float));
+}
+
+/** tp=1 (and the perf model at tp=1) predict zero communication —
+ *  and the forward path publishes no parallel_* counters at all, so
+ *  unsharded metric catalogs are unchanged. */
+TEST(ParallelCommAccounting, UnshardedForwardPublishesNoCounters)
+{
+    model::Transformer llm = spectest::tinyLlm();
+    model::KvCache cache = llm.makeCache();
+    obs::ObsContext ctx(&obs::SteadyClock::instance(),
+                        /*tracing_enabled=*/false);
+    obs::ObsContext *prev = obs::setGlobalObs(&ctx);
+    util::Rng rng(31);
+    llm.forward(model::DecodeChunk::sequence(spectest::randomPrompt(
+                    rng, 8, llm.config().vocabSize)),
+                cache);
+    obs::setGlobalObs(prev);
+    obs::MetricsSnapshot snap = ctx.metrics().snapshot();
+    EXPECT_EQ(snap.findCounter("parallel_allreduce_calls"), nullptr);
+    EXPECT_EQ(snap.findCounter("parallel_allgather_calls"), nullptr);
+
+    simulator::LlmSpec spec;
+    simulator::ParallelismPlan plan; // tensorParallel = 1
+    simulator::TpCommVolume vol =
+        simulator::GpuPerfModel::tensorParallelComm(spec, plan,
+                                                    64.0);
+    EXPECT_EQ(vol.allReduceCalls, 0.0);
+    EXPECT_EQ(vol.totalAllReduceBytes(), 0.0);
+}
+
+// --- barrier -----------------------------------------------------
+
+/**
+ * Two threads hammer one barrier; each round, each thread writes its
+ * own (plain, non-atomic) slot before the barrier and reads the
+ * peer's slot after it. Under TSan this proves the barrier
+ * establishes happens-before across reconvergence; under any build
+ * it proves no thread ever escapes a phase early.
+ */
+TEST(ParallelBarrier, TwoThreadHammerReconverges)
+{
+    const size_t rounds = 400;
+    parallel::TpComm comm(2);
+    parallel::Barrier barrier(2, &comm);
+    size_t progress[2] = {0, 0};
+    bool ok[2] = {true, true};
+
+    auto body = [&](size_t me) {
+        const size_t peer = 1 - me;
+        for (size_t r = 0; r < rounds; ++r) {
+            progress[me] = r + 1;
+            barrier.arriveAndWait();
+            if (progress[peer] != r + 1)
+                ok[me] = false;
+            barrier.arriveAndWait();
+        }
+    };
+    std::thread t0(body, 0);
+    std::thread t1(body, 1);
+    t0.join();
+    t1.join();
+    EXPECT_TRUE(ok[0]);
+    EXPECT_TRUE(ok[1]);
+    EXPECT_EQ(comm.stats().barrierCalls, 2 * rounds);
+}
+
+} // namespace

@@ -240,6 +240,99 @@ TEST(RecoveryTest, RecoveredManagerKeepsJournalingForNextCrash)
 }
 
 // ----------------------------------------------------------------
+// Tensor-parallel serving: the degree rides through snapshots.
+
+struct ShardedEngineFixture
+{
+    explicit ShardedEngineFixture(size_t tp)
+        : llm(makeShardedLlm(tp)),
+          ssm(model::makeEarlyExitSsm(llm, 2))
+    {
+        core::EngineConfig cfg = core::EngineConfig::greedyDefault();
+        cfg.spec.expansion = core::ExpansionConfig::uniform(2, 3);
+        cfg.maxNewTokens = 14;
+        cfg.stopAtEos = false;
+        engine.reset(new core::SpecEngine(&llm, {&ssm}, cfg));
+    }
+
+    static model::Transformer makeShardedLlm(size_t tp)
+    {
+        model::ModelConfig cfg = specinfer::testing::tinyConfig();
+        cfg.tensorParallel = tp;
+        return model::makeLlm(cfg);
+    }
+
+    model::Transformer llm;
+    model::Transformer ssm;
+    std::unique_ptr<core::SpecEngine> engine;
+};
+
+TEST(RecoveryTest, ShardedServingRecoversBitIdentically)
+{
+    // A tp=2 serving run, crashed at an iteration boundary and
+    // recovered under the same degree, must finish with outputs
+    // identical to both its own uninterrupted run AND an unsharded
+    // tp=1 reference — §5j bit-identity lifted to the serving layer.
+    ShardedEngineFixture f(2);
+    ServingConfig cfg;
+    cfg.maxBatchSize = 2;
+    cfg.tpDegree = 2;
+
+    RequestManager live(f.engine.get(), cfg);
+    std::stringstream journal_buf;
+    JournalWriter journal(journal_buf);
+    live.attachJournal(&journal);
+    ASSERT_TRUE(live.submit({4, 8, 15}).accepted());
+    ASSERT_TRUE(live.submit({16, 23, 42}).accepted());
+    for (int it = 0; it < 3; ++it)
+        live.runIteration();
+    std::stringstream snapshot;
+    live.writeSnapshot(snapshot);
+    std::string journal_bytes = journal_buf.str();
+    live.runUntilDrained();
+
+    RequestManager recovered(f.engine.get(), cfg);
+    std::stringstream journal_in(journal_bytes);
+    recovered.recover(&snapshot, &journal_in);
+    recovered.runUntilDrained();
+    EXPECT_EQ(finishedMap(recovered), finishedMap(live));
+
+    ShardedEngineFixture unsharded(1);
+    ServingConfig ref_cfg;
+    ref_cfg.maxBatchSize = 2;
+    RequestManager reference(unsharded.engine.get(), ref_cfg);
+    ASSERT_TRUE(reference.submit({4, 8, 15}).accepted());
+    ASSERT_TRUE(reference.submit({16, 23, 42}).accepted());
+    reference.runUntilDrained();
+    EXPECT_EQ(finishedMap(recovered), finishedMap(reference));
+}
+
+TEST(RecoveryDeathTest, TpDegreeMismatchRefusesRecovery)
+{
+    // A snapshot taken at tp=1 must not silently resume under a
+    // resharded manager: the typed check names both degrees.
+    EngineFixture f;
+    ServingConfig cfg;
+    cfg.maxBatchSize = 2;
+    RequestManager live(f.engine.get(), cfg);
+    std::stringstream journal_buf;
+    JournalWriter journal(journal_buf);
+    live.attachJournal(&journal);
+    ASSERT_TRUE(live.submit({4, 8, 15}).accepted());
+    live.runIteration();
+    std::stringstream snapshot;
+    live.writeSnapshot(snapshot);
+
+    ServingConfig sharded_cfg;
+    sharded_cfg.maxBatchSize = 2;
+    sharded_cfg.tpDegree = 2;
+    RequestManager mismatched(f.engine.get(), sharded_cfg);
+    std::stringstream journal_in(journal_buf.str());
+    EXPECT_DEATH(mismatched.recover(&snapshot, &journal_in),
+                 "tensor-parallel degree");
+}
+
+// ----------------------------------------------------------------
 // The randomized recovery-equivalence oracle.
 
 TEST(RecoveryTest, SeededCrashTrialsRecoverBitIdentically)

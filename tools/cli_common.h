@@ -32,7 +32,7 @@ inline const std::vector<std::string> &
 commonFlagNames()
 {
     static const std::vector<std::string> names = {
-        "llm",        "ssm-layers", "ssm-precision",
+        "llm",        "ssm-layers", "ssm-precision", "tp",
         "dataset",    "num-prompts",
         "max-tokens", "temperature", "expansion", "seed",
         "verbose",

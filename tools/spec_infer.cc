@@ -6,7 +6,7 @@
  *
  * Usage:
  *   spec_infer [--llm llama-7b-sim] [--ssm-layers 2]
- *              [--ssm-precision fp32|int8]
+ *              [--ssm-precision fp32|int8] [--tp 1]
  *              [--dataset Alpaca] [--num-prompts 4]
  *              [--max-tokens 64] [--temperature 0]
  *              [--expansion 1,1,3,1,1,1,1,1] [--seed 1] [--verbose]
@@ -57,7 +57,7 @@ int
 serveJournaled(core::SpecEngine &engine,
                const workload::PromptDataset &dataset,
                size_t num_prompts, size_t batch,
-               model::Precision ssm_precision,
+               model::Precision ssm_precision, size_t tp_degree,
                const std::string &journal_path, size_t snap_every,
                int64_t crash_after, bool recover_mode,
                bool journal_fsync, bool verbose)
@@ -66,8 +66,10 @@ serveJournaled(core::SpecEngine &engine,
     runtime::ServingConfig scfg;
     scfg.maxBatchSize = batch;
     // Persisted in every snapshot: recovery refuses to resume a run
-    // under a different SSM precision than it crashed with.
+    // under a different SSM precision or tensor-parallel degree
+    // than it crashed with.
     scfg.ssmPrecision = static_cast<uint8_t>(ssm_precision);
+    scfg.tpDegree = static_cast<uint8_t>(tp_degree);
     scfg.journalFsync = journal_fsync;
     runtime::RequestManager manager(&engine, scfg);
 
@@ -206,8 +208,13 @@ main(int argc, char **argv)
     tools::installSignalFlush(obs_ctx.get(), metrics_out,
                               trace_out);
 
-    model::Transformer llm =
-        model::makeLlm(model::llmPreset(llm_name));
+    // --tp shards the LLM (and, through the factories, the SSMs)
+    // across simulated tensor-parallel ranks; emitted tokens are
+    // bit-identical at every degree (DESIGN.md §5j).
+    model::ModelConfig llm_cfg = model::llmPreset(llm_name);
+    llm_cfg.tensorParallel =
+        static_cast<size_t>(flags.getInt("tp", 1));
+    model::Transformer llm = model::makeLlm(llm_cfg);
     const model::Precision ssm_precision =
         model::parsePrecision(flags.get("ssm-precision", "fp32"));
     model::Transformer ssm =
@@ -240,7 +247,7 @@ main(int argc, char **argv)
         int rc = serveJournaled(
             engine, dataset, num_prompts,
             static_cast<size_t>(flags.getInt("batch", 4)),
-            ssm_precision, journal_path,
+            ssm_precision, llm_cfg.tensorParallel, journal_path,
             static_cast<size_t>(flags.getInt("snapshot-every", 32)),
             flags.getInt("crash-after", -1),
             flags.getBool("recover"),

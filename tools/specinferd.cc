@@ -10,7 +10,7 @@
  *
  * Usage:
  *   specinferd [--llm llama-7b-sim] [--ssm-layers 2]
- *              [--ssm-precision fp32|int8]
+ *              [--ssm-precision fp32|int8] [--tp 1]
  *              [--expansion 1,1,3,1,1,1,1,1] [--seed 1]
  *              [--max-tokens 64] [--temperature 0] [--batch 4]
  *              [--dir DIR]            IPC dir ($SPECINFER_IPC_DIR,
@@ -76,7 +76,7 @@ main(int argc, char **argv)
 {
     using namespace specinfer;
     util::Flags flags(argc, argv);
-    flags.allowOnly({"llm", "ssm-layers", "ssm-precision",
+    flags.allowOnly({"llm", "ssm-layers", "ssm-precision", "tp",
                      "expansion", "seed",
                      "max-tokens", "temperature", "batch", "dir",
                      "lease-ticks", "scan-every", "tick-micros",
@@ -105,8 +105,15 @@ main(int argc, char **argv)
     std::unique_ptr<obs::ObsContext> obs_ctx =
         tools::makeObsFromFlags(metrics_out, trace_out);
 
-    model::Transformer llm =
-        model::makeLlm(model::llmPreset(llm_name));
+    // --tp shards the serving models across simulated tensor-
+    // parallel ranks (bit-identical tokens at every degree); the
+    // degree is persisted in snapshots and recording headers so
+    // recovery and replay re-run the same execution shape.
+    const size_t tp_degree =
+        static_cast<size_t>(flags.getInt("tp", 1));
+    model::ModelConfig llm_cfg = model::llmPreset(llm_name);
+    llm_cfg.tensorParallel = tp_degree;
+    model::Transformer llm = model::makeLlm(llm_cfg);
     const model::Precision ssm_precision = model::parsePrecision(
         flags.get("ssm-precision", "fp32"));
     model::Transformer ssm =
@@ -130,6 +137,7 @@ main(int argc, char **argv)
     serving.maxBatchSize =
         static_cast<size_t>(flags.getInt("batch", 4));
     serving.ssmPrecision = static_cast<uint8_t>(ssm_precision);
+    serving.tpDegree = static_cast<uint8_t>(tp_degree);
     serving.obs = obs_ctx.get();
     serving.journalFsync = flags.getBool("journal-fsync");
     serving.defaultWallDeadlineNanos =
@@ -179,6 +187,7 @@ main(int argc, char **argv)
         static_cast<double>(temperature);
     dcfg.recordHeader.ssmPrecision =
         static_cast<uint8_t>(ssm_precision);
+    dcfg.recordHeader.tpDegree = static_cast<uint8_t>(tp_degree);
     dcfg.obs = obs_ctx.get();
     dcfg.watchdogBudgetNanos =
         static_cast<uint64_t>(
